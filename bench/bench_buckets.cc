@@ -1,0 +1,149 @@
+// The paper's §I claim, tested across the whole bucketing-method family:
+// population analysis applies wherever a full bucket splits into a fixed
+// number of children. One fanout-2 model run predicts the occupancy of
+// extendible hashing (Fagin et al.) and EXCELL (Tamminen); the quadtree
+// model covers the PR tree; the grid file's buddy-block splits are also
+// fanout 2. Each structure is loaded with the same key/point budget and
+// its census compared with the model.
+
+#include <cstdio>
+
+#include "core/steady_state.h"
+#include "sim/distributions.h"
+#include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::Pcg32;
+using popan::geo::Box2;
+using popan::geo::Point2;
+using popan::sim::TextTable;
+
+constexpr size_t kCapacity = 8;
+constexpr size_t kItems = 4000;
+constexpr size_t kTrials = 5;
+
+double ModelOccupancy(size_t fanout) {
+  popan::core::PopulationModel model(
+      popan::core::TreeModelParams{kCapacity, fanout});
+  return popan::core::SolveSteadyState(model)->average_occupancy;
+}
+
+template <typename LoadFn>
+popan::spatial::Census Pooled(LoadFn load) {
+  popan::spatial::Census pooled;
+  for (uint64_t trial = 0; trial < kTrials; ++trial) {
+    load(popan::DeriveSeed(1987, trial), &pooled);
+  }
+  return pooled;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Population analysis across bucketing methods "
+              "(capacity %zu, %zu items x %zu trials each)\n\n",
+              kCapacity, kItems, kTrials);
+
+  double model2 = ModelOccupancy(2);
+  double model4 = ModelOccupancy(4);
+
+  popan::spatial::Census hash_census = Pooled([](uint64_t seed,
+                                                 popan::spatial::Census* out) {
+    popan::spatial::ExtendibleHashOptions options;
+    options.bucket_capacity = kCapacity;
+    popan::spatial::ExtendibleHash table(options);
+    Pcg32 rng(seed);
+    for (size_t i = 0; i < kItems; ++i) table.Insert(rng.Next64()).ok();
+    table.VisitBuckets([out](size_t depth, size_t occ) {
+      out->AddLeaf(occ, depth);
+    });
+  });
+
+  popan::spatial::Census excell_census = Pooled(
+      [](uint64_t seed, popan::spatial::Census* out) {
+        popan::spatial::ExcellOptions options;
+        options.bucket_capacity = kCapacity;
+        popan::spatial::Excell table(Box2::UnitCube(), options);
+        Pcg32 rng(seed);
+        size_t inserted = 0;
+        while (inserted < kItems) {
+          if (table.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok()) {
+            ++inserted;
+          }
+        }
+        table.VisitBuckets([out](size_t depth, size_t occ) {
+          out->AddLeaf(occ, depth);
+        });
+      });
+
+  popan::spatial::Census grid_census = Pooled(
+      [](uint64_t seed, popan::spatial::Census* out) {
+        popan::spatial::GridFileOptions options;
+        options.bucket_capacity = kCapacity;
+        popan::spatial::GridFile grid(Box2::UnitCube(), options);
+        Pcg32 rng(seed);
+        size_t inserted = 0;
+        while (inserted < kItems) {
+          if (grid.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok()) {
+            ++inserted;
+          }
+        }
+        grid.VisitBuckets([out](size_t occ) { out->AddLeaf(occ, 0); });
+      });
+
+  popan::spatial::Census pr_census = Pooled(
+      [](uint64_t seed, popan::spatial::Census* out) {
+        popan::spatial::PrTreeOptions options;
+        options.capacity = kCapacity;
+        options.max_depth = 20;
+        popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+        Pcg32 rng(seed);
+        size_t inserted = 0;
+        while (inserted < kItems) {
+          if (tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok()) {
+            ++inserted;
+          }
+        }
+        out->Merge(popan::spatial::TakeCensus(tree));
+      });
+
+  TextTable table("Occupancy: population model vs bucketing structures");
+  table.SetHeader({"structure", "split fanout", "model", "measured",
+                   "measured/model", "utilization"});
+  struct Row {
+    const char* name;
+    size_t fanout;
+    double model;
+    const popan::spatial::Census* census;
+  };
+  const Row rows[] = {
+      {"extendible hashing", 2, model2, &hash_census},
+      {"EXCELL", 2, model2, &excell_census},
+      {"grid file", 2, model2, &grid_census},
+      {"PR quadtree", 4, model4, &pr_census},
+  };
+  for (const Row& row : rows) {
+    double measured = row.census->AverageOccupancy();
+    table.AddRow({row.name, TextTable::Fmt(row.fanout),
+                  TextTable::Fmt(row.model, 3), TextTable::Fmt(measured, 3),
+                  TextTable::Fmt(measured / row.model, 3),
+                  TextTable::Fmt(
+                      100.0 * row.census->StorageUtilization(kCapacity), 1) +
+                      "%"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: every ratio within the phasing band (~0.85-1.1; one\n"
+      "N sits at one phase of the occupancy cycle), and slightly below 1\n"
+      "(aging). Fanout-2 methods pack tighter than the quadtree at equal\n"
+      "capacity — the paper's occupancy-vs-fanout trend across the whole\n"
+      "bucketing family.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Validates the paper's §III claim that "the same principles apply in the
+// case of octrees and higher dimensional data structures": the population
+// model with fanout 2^D against simulated PR bintrees (D=1), quadtrees
+// (D=2) and octrees (D=3), sweeping the node capacity.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/occupancy.h"
+#include "core/steady_state.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+namespace {
+
+using popan::core::PopulationModel;
+using popan::core::SolveSteadyState;
+using popan::core::TreeModelParams;
+using popan::sim::ExperimentSpec;
+using popan::sim::TextTable;
+
+template <size_t D>
+void AddRows(TextTable* table) {
+  const size_t fanout = size_t{1} << D;
+  for (size_t m : {1u, 2u, 4u, 8u}) {
+    PopulationModel model(TreeModelParams{m, fanout});
+    popan::StatusOr<popan::core::SteadyState> theory =
+        SolveSteadyState(model);
+    if (!theory.ok()) continue;
+    // Occupancy oscillates with period `fanout`x in N (phasing), so a
+    // single sample size would land at an arbitrary phase. Average over
+    // four sizes log-spaced across one full cycle to isolate the aging
+    // gap the model-vs-experiment comparison is after.
+    double occupancy_sum = 0.0;
+    const int kPhases = 4;
+    for (int k = 0; k < kPhases; ++k) {
+      ExperimentSpec spec;
+      spec.capacity = m;
+      spec.num_points = static_cast<size_t>(
+          1000.0 * std::pow(static_cast<double>(fanout),
+                            static_cast<double>(k) / kPhases));
+      spec.trials = 10;
+      spec.max_depth = 24;
+      spec.base_seed = 1987 + static_cast<uint64_t>(k);
+      occupancy_sum +=
+          popan::sim::RunPrTreeExperiment<D>(spec).mean_occupancy;
+    }
+    double experiment = occupancy_sum / kPhases;
+    double diff = popan::core::PercentDifference(theory->average_occupancy,
+                                                 experiment);
+    table->AddRow({TextTable::Fmt(D), TextTable::Fmt(fanout),
+                   TextTable::Fmt(m), TextTable::Fmt(experiment, 3),
+                   TextTable::Fmt(theory->average_occupancy, 3),
+                   TextTable::Fmt(diff, 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: dimension sweep (bintree / quadtree / octree)\n");
+  std::printf("Workload: 10 trees x 1000 uniform points per (D, m)\n\n");
+  TextTable table("Population model vs simulation across dimensions");
+  table.SetHeader({"D", "fanout", "m", "experimental", "theoretical",
+                   "percent diff"});
+  AddRows<1>(&table);
+  AddRows<2>(&table);
+  AddRows<3>(&table);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Expected shape: theory slightly above experiment in every "
+              "dimension (aging is dimension-generic); occupancy at fixed "
+              "m decreases with fanout.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation: the paper's §II/§III methodological contrast, made concrete.
+// Four estimates of the occupancy-vs-N curve for the m = 8 PR quadtree:
+//
+//   population  — the paper's contribution: one constant from the tiny
+//                 quadratic system (no N dependence by construction);
+//   exact       — the direct statistical approach, computed exactly by
+//                 the E[census] recurrence (the "considerable
+//                 mathematical effort" route, done by machine);
+//   mean-field  — this repository's area-weighted dynamics, the refined
+//                 population model with the §IV aging correction;
+//   simulated   — 10 real PR quadtrees per N.
+//
+// The exact and mean-field curves oscillate forever around the population
+// constant (phasing: the statistical limit does not exist), and the
+// simulation tracks them.
+
+#include <cstdio>
+
+#include "core/area_weighted_dynamics.h"
+#include "core/exact_census.h"
+#include "core/phasing.h"
+#include "core/steady_state.h"
+#include "sim/ascii_plot.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+int main() {
+  using popan::core::AnalyzePhasing;
+  using popan::core::AreaWeightedOccupancySeries;
+  using popan::core::ExactCensusCalculator;
+  using popan::core::LogarithmicSchedule;
+  using popan::core::OccupancySeries;
+  using popan::core::PopulationModel;
+  using popan::core::SolveSteadyState;
+  using popan::core::TreeModelParams;
+  using popan::sim::TextTable;
+
+  const size_t kCapacity = 8;
+  std::printf("Ablation: population model vs exact statistics vs "
+              "area-weighted mean-field vs simulation (m = %zu)\n\n",
+              kCapacity);
+
+  PopulationModel model(TreeModelParams{kCapacity, 4});
+  double constant = SolveSteadyState(model)->average_occupancy;
+
+  std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 4);
+  ExactCensusCalculator exact({kCapacity, 4}, 4096);
+  OccupancySeries exact_series = exact.OccupancySeriesFor(schedule);
+  OccupancySeries mean_field =
+      AreaWeightedOccupancySeries({kCapacity, 4}, schedule);
+
+  popan::sim::ExperimentSpec spec;
+  spec.capacity = kCapacity;
+  spec.trials = 10;
+  spec.max_depth = 16;
+  spec.base_seed = 1987;
+  OccupancySeries simulated = popan::sim::RunOccupancySweep(spec, schedule);
+
+  TextTable table("Average occupancy vs N, four ways");
+  table.SetHeader({"points", "population", "exact", "mean-field",
+                   "simulated"});
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    table.AddRow({TextTable::Fmt(schedule[i]), TextTable::Fmt(constant, 2),
+                  TextTable::Fmt(exact_series.average_occupancy[i], 2),
+                  TextTable::Fmt(mean_field.average_occupancy[i], 2),
+                  TextTable::Fmt(simulated.average_occupancy[i], 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::vector<double> xs(schedule.begin(), schedule.end());
+  std::printf("%s\n", popan::sim::AsciiPlot(
+                          "Exact E[occupancy] vs N (the statistical limit "
+                          "that does not exist)",
+                          xs, exact_series.average_occupancy)
+                          .c_str());
+  std::printf("exact:      %s\n",
+              AnalyzePhasing(exact_series).ToString().c_str());
+  std::printf("mean-field: %s\n",
+              AnalyzePhasing(mean_field).ToString().c_str());
+  std::printf("simulated:  %s\n",
+              AnalyzePhasing(simulated).ToString().c_str());
+  std::printf("\nExpected shape: exact/mean-field/simulated agree and "
+              "oscillate with period 4x around (slightly below) the "
+              "population constant %.2f; damping ratio near 1.\n",
+              constant);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Extension (§V): population analysis of the PMR quadtree for line
+// segments. The local quadrant-hit probability q is estimated by Monte
+// Carlo per segment style; two model variants are compared against
+// simulated PMR censuses:
+//   folded   — the paper-style m+1-state model that folds over-threshold
+//              children back through an immediate re-split;
+//   extended — over-threshold occupancies as first-class states (this
+//              repository's extension), which captures the PMR
+//              once-only-split rule exactly.
+
+#include <cstdio>
+
+#include "core/pmr_model.h"
+#include "core/steady_state.h"
+#include "sim/distributions.h"
+#include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/pmr_quadtree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::core::SegmentStyle;
+using popan::core::SolveSteadyState;
+using popan::sim::SegmentDistributionKind;
+using popan::sim::TextTable;
+
+popan::spatial::Census SimulatePmr(size_t threshold,
+                                   SegmentDistributionKind kind,
+                                   size_t segments, size_t trials) {
+  popan::spatial::Census pooled;
+  popan::sim::SegmentDistributionParams params;
+  popan::geo::Box2 box = popan::geo::Box2::UnitCube();
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    popan::spatial::PmrQuadtreeOptions options;
+    options.splitting_threshold = threshold;
+    options.max_depth = 12;
+    popan::spatial::PmrQuadtree tree(box, options);
+    popan::Pcg32 rng(popan::DeriveSeed(1987, trial));
+    for (size_t i = 0; i < segments; ++i) {
+      popan::geo::Segment s =
+          popan::sim::DrawSegment(kind, params, box, rng);
+      tree.Insert(s).ok();
+    }
+    pooled.Merge(popan::spatial::TakeCensus(tree));
+  }
+  return pooled;
+}
+
+double Occupancy(const popan::core::PopulationModel& model) {
+  popan::StatusOr<popan::core::SteadyState> ss = SolveSteadyState(model);
+  return ss.ok() ? ss->average_occupancy : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: PMR quadtree population analysis (paper SS V, "
+              "[Nels86b])\n");
+  std::printf("Workload: 5 trees x 800 random segments per (threshold, "
+              "style)\n\n");
+
+  TextTable table("PMR quadtree: folded vs extended model vs simulation");
+  table.SetHeader({"threshold", "segment style", "q (MC)", "folded model",
+                   "extended model", "simulated", "sim/extended"});
+  struct StyleCase {
+    SegmentStyle model_style;
+    SegmentDistributionKind sim_kind;
+    const char* name;
+  };
+  const StyleCase styles[] = {
+      {SegmentStyle::kUniformEndpoints,
+       SegmentDistributionKind::kUniformEndpoints, "uniform endpoints"},
+      {SegmentStyle::kChord, SegmentDistributionKind::kChord, "chords"},
+  };
+  for (size_t threshold : {2u, 4u, 8u}) {
+    for (const StyleCase& style : styles) {
+      double q = popan::core::EstimateQuadrantHitProbability(
+          style.model_style, 200000, 42);
+      popan::core::PopulationModel folded(
+          popan::core::BuildPmrTransformMatrix(threshold, q));
+      popan::core::PopulationModel extended(
+          popan::core::BuildExtendedPmrTransformMatrix(threshold, q,
+                                                       threshold + 12));
+      double folded_occ = Occupancy(folded);
+      double extended_occ = Occupancy(extended);
+      popan::spatial::Census census =
+          SimulatePmr(threshold, style.sim_kind, 800, 5);
+      double sim_occ = census.AverageOccupancy();
+      table.AddRow({TextTable::Fmt(threshold), style.name,
+                    TextTable::Fmt(q, 3), TextTable::Fmt(folded_occ, 3),
+                    TextTable::Fmt(extended_occ, 3),
+                    TextTable::Fmt(sim_occ, 3),
+                    TextTable::Fmt(sim_occ / extended_occ, 3)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: for short segments (uniform endpoints) the extended\n"
+      "model tracks simulation within a few percent and beats the folded\n"
+      "one. Chord data still runs above the model: a chord of the root\n"
+      "block is a full crossing of every deep block it meets, so the local\n"
+      "q grows with depth and insertions weight nodes by their size - the\n"
+      "line-data analogue of the paper's aging, deliberately left\n"
+      "unmodeled, as in the paper.\n");
+  return 0;
+}

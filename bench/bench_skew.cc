@@ -1,0 +1,112 @@
+// Extension: population analysis under locally skewed data. The paper
+// assumes items scatter uniformly over a splitting block's quadrants; the
+// skewed transform row generalizes that to an arbitrary per-quadrant
+// distribution p. The matching workload is a self-similar multiplicative
+// cascade: a point is drawn by descending the quadrant hierarchy choosing
+// child q with probability p_q at every level, so the model's local-skew
+// assumption holds at all scales — and the skewed model should track the
+// simulation just as the uniform model tracks uniform data.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/steady_state.h"
+#include "core/transform_matrix.h"
+#include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::Pcg32;
+using popan::geo::Box2;
+using popan::geo::Point2;
+using popan::sim::TextTable;
+
+/// Draws one point of the multiplicative cascade with per-quadrant
+/// probabilities `p`, descending `levels` levels then placing the point
+/// uniformly in the final cell.
+Point2 CascadePoint(const std::vector<double>& p, size_t levels,
+                    Pcg32& rng) {
+  Box2 box = Box2::UnitCube();
+  for (size_t level = 0; level < levels; ++level) {
+    double u = rng.NextDouble();
+    double acc = 0.0;
+    size_t q = p.size() - 1;
+    for (size_t k = 0; k < p.size(); ++k) {
+      acc += p[k];
+      if (u < acc) {
+        q = k;
+        break;
+      }
+    }
+    box = box.Quadrant(q);
+  }
+  return Point2(rng.NextDouble(box.lo().x(), box.hi().x()),
+                rng.NextDouble(box.lo().y(), box.hi().y()));
+}
+
+double SimulatedOccupancy(const std::vector<double>& p, size_t capacity,
+                          size_t points, size_t trials) {
+  double total = 0.0;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    popan::spatial::PrTreeOptions options;
+    options.capacity = capacity;
+    options.max_depth = 26;
+    popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+    Pcg32 rng(popan::DeriveSeed(1987, trial));
+    while (tree.size() < points) {
+      tree.Insert(CascadePoint(p, 13, rng)).ok();
+    }
+    total += popan::spatial::TakeCensus(tree).AverageOccupancy();
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Extension: skewed-data population model vs multiplicative-"
+              "cascade workloads (m = 4, 5 trials x 2000 points)\n\n");
+
+  TextTable table("Steady-state occupancy under per-quadrant skew");
+  table.SetHeader({"quadrant probs", "model", "simulated", "ratio"});
+  const std::vector<std::vector<double>> skews = {
+      {0.25, 0.25, 0.25, 0.25},
+      {0.40, 0.30, 0.20, 0.10},
+      {0.55, 0.25, 0.15, 0.05},
+      {0.70, 0.10, 0.10, 0.10},
+      {0.85, 0.05, 0.05, 0.05},
+  };
+  const size_t kCapacity = 4;
+  for (const std::vector<double>& p : skews) {
+    auto t = popan::core::BuildSkewedTransformMatrix(kCapacity, p);
+    if (!t.ok()) {
+      std::fprintf(stderr, "model build failed: %s\n",
+                   t.status().ToString().c_str());
+      continue;
+    }
+    popan::core::PopulationModel model(std::move(t).value());
+    auto steady = popan::core::SolveSteadyState(model);
+    if (!steady.ok()) continue;
+    double simulated = SimulatedOccupancy(p, kCapacity, 2000, 5);
+    std::string label;
+    for (double v : p) {
+      if (!label.empty()) label += "/";
+      label += TextTable::Fmt(v, 2);
+    }
+    table.AddRow({label, TextTable::Fmt(steady->average_occupancy, 3),
+                  TextTable::Fmt(simulated, 3),
+                  TextTable::Fmt(simulated / steady->average_occupancy,
+                                 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: both columns fall as skew concentrates mass in one\n"
+      "quadrant (splits waste the siblings). The simulated/model ratio\n"
+      "sits below 1 everywhere (aging) and dips further at moderate skew\n"
+      "(~0.7): skew diversifies block sizes, which amplifies the\n"
+      "area-weighting error the paper's SS IV analyzes.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation of the paper's "iterative technique": fixed-point (Picard)
+// iteration on the insertion map versus damped Newton on the quadratic
+// residual, across node capacities. Reports iterations, wall time, and
+// the max component disagreement between the two solutions.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "core/spectral.h"
+#include "core/steady_state.h"
+#include "sim/table.h"
+
+namespace {
+
+double MillisFor(const std::function<void()>& fn, int repeats) {
+  auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < repeats; ++r) fn();
+  auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count() /
+         repeats;
+}
+
+}  // namespace
+
+int main() {
+  using popan::core::PopulationModel;
+  using popan::core::SolveSteadyState;
+  using popan::core::SolverMethod;
+  using popan::core::SteadyState;
+  using popan::core::SteadyStateOptions;
+  using popan::core::TreeModelParams;
+  using popan::sim::TextTable;
+
+  std::printf("Ablation: steady-state solver choice (the paper used an "
+              "unspecified iterative technique)\n\n");
+
+  TextTable table("Fixed-point vs Newton across node capacities (c = 4)");
+  table.SetHeader({"m", "fp iters", "fp predicted", "contraction",
+                   "fp ms", "newton iters", "newton ms", "max |diff|"});
+  const int kRepeats = 20;
+  for (size_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    SteadyStateOptions fp_options;
+    fp_options.method = SolverMethod::kFixedPoint;
+    SteadyStateOptions nt_options;
+    nt_options.method = SolverMethod::kNewton;
+
+    popan::StatusOr<SteadyState> fp = SolveSteadyState(model, fp_options);
+    popan::StatusOr<SteadyState> nt = SolveSteadyState(model, nt_options);
+    if (!fp.ok() || !nt.ok()) {
+      std::fprintf(stderr, "solver failure at m=%zu\n", m);
+      return 1;
+    }
+    double fp_ms = MillisFor(
+        [&] { SolveSteadyState(model, fp_options).value(); }, kRepeats);
+    double nt_ms = MillisFor(
+        [&] { SolveSteadyState(model, nt_options).value(); }, kRepeats);
+    // Spectral prediction of the fixed-point iteration count: the
+    // contraction rate of the insertion map at the fixed point.
+    popan::StatusOr<popan::core::SpectralAnalysis> spectrum =
+        popan::core::AnalyzeSpectrum(model);
+    std::string predicted = "?", rate = "?";
+    if (spectrum.ok()) {
+      predicted = TextTable::Fmt(
+          size_t(spectrum->PredictedIterations(1e-13)));
+      rate = TextTable::Fmt(spectrum->contraction_rate, 4);
+    }
+    table.AddRow({TextTable::Fmt(m), TextTable::Fmt(size_t(fp->iterations)),
+                  predicted, rate, TextTable::Fmt(fp_ms, 3),
+                  TextTable::Fmt(size_t(nt->iterations)),
+                  TextTable::Fmt(nt_ms, 3),
+                  TextTable::Fmt(
+                      fp->distribution.MaxAbsDiff(nt->distribution), 12)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Expected shape: Newton needs O(10) iterations regardless of "
+              "m; fixed-point iterations grow with m but each is cheap. "
+              "Solutions agree to ~1e-12. The spectral prediction "
+              "log(tol)/log(rate) tracks the observed fixed-point counts "
+              "(the contraction rate is the insertion-map Jacobian's "
+              "spectral radius on the simplex).\n");
+  return 0;
+}

@@ -1,0 +1,233 @@
+// Microbenchmarks (google-benchmark) of the data-structure substrate:
+// insertion and query throughput of the PR quadtree, point quadtree, grid
+// file and extendible hashing under a shared uniform workload, plus the
+// PR tree across capacities — the operational cost picture behind the
+// paper's storage analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/distributions.h"
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace popan {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+std::vector<Point2> UniformPoints(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Point2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.NextDouble(), rng.NextDouble());
+  }
+  return out;
+}
+
+void BM_PrTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t capacity = static_cast<size_t>(state.range(1));
+  std::vector<Point2> points = UniformPoints(n, 1);
+  for (auto _ : state) {
+    spatial::PrTreeOptions options;
+    options.capacity = capacity;
+    spatial::PrQuadtree tree(Box2::UnitCube(), options);
+    for (const Point2& p : points) {
+      benchmark::DoNotOptimize(tree.Insert(p));
+    }
+    benchmark::DoNotOptimize(tree.LeafCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PrTreeInsert)
+    ->Args({1000, 1})
+    ->Args({1000, 8})
+    ->Args({10000, 1})
+    ->Args({10000, 8});
+
+void BM_PointQuadtreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2> points = UniformPoints(n, 1);
+  for (auto _ : state) {
+    spatial::PointQuadtree tree;
+    for (const Point2& p : points) {
+      benchmark::DoNotOptimize(tree.Insert(p));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PointQuadtreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_GridFileInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2> points = UniformPoints(n, 1);
+  for (auto _ : state) {
+    spatial::GridFileOptions options;
+    options.bucket_capacity = 8;
+    spatial::GridFile grid(Box2::UnitCube(), options);
+    for (const Point2& p : points) {
+      benchmark::DoNotOptimize(grid.Insert(p));
+    }
+    benchmark::DoNotOptimize(grid.BucketCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GridFileInsert)->Arg(1000)->Arg(10000);
+
+void BM_ExtendibleHashInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(rng.Next64());
+  for (auto _ : state) {
+    spatial::ExtendibleHashOptions options;
+    options.bucket_capacity = 8;
+    spatial::ExtendibleHash table(options);
+    for (uint64_t key : keys) {
+      benchmark::DoNotOptimize(table.Insert(key));
+    }
+    benchmark::DoNotOptimize(table.BucketCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExtendibleHashInsert)->Arg(1000)->Arg(10000);
+
+void BM_PrTreeRangeQuery(benchmark::State& state) {
+  const size_t n = 10000;
+  spatial::PrTreeOptions options;
+  options.capacity = static_cast<size_t>(state.range(0));
+  spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  for (const Point2& p : UniformPoints(n, 1)) tree.Insert(p).ok();
+  Pcg32 rng(2);
+  for (auto _ : state) {
+    double x = rng.NextDouble(0.0, 0.9);
+    double y = rng.NextDouble(0.0, 0.9);
+    Box2 query(Point2(x, y), Point2(x + 0.1, y + 0.1));
+    benchmark::DoNotOptimize(tree.RangeQuery(query));
+  }
+}
+BENCHMARK(BM_PrTreeRangeQuery)->Arg(1)->Arg(8);
+
+void BM_PrTreeNearest(benchmark::State& state) {
+  spatial::PrTreeOptions options;
+  options.capacity = static_cast<size_t>(state.range(0));
+  spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  for (const Point2& p : UniformPoints(10000, 1)) tree.Insert(p).ok();
+  Pcg32 rng(3);
+  for (auto _ : state) {
+    Point2 target(rng.NextDouble(), rng.NextDouble());
+    benchmark::DoNotOptimize(tree.Nearest(target));
+  }
+}
+BENCHMARK(BM_PrTreeNearest)->Arg(1)->Arg(8);
+
+void BM_PrTreeContains(benchmark::State& state) {
+  spatial::PrTreeOptions options;
+  options.capacity = 4;
+  spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  std::vector<Point2> points = UniformPoints(10000, 1);
+  for (const Point2& p : points) tree.Insert(p).ok();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(points[i % points.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrTreeContains);
+
+void BM_GridFileContains(benchmark::State& state) {
+  spatial::GridFileOptions options;
+  options.bucket_capacity = 4;
+  spatial::GridFile grid(Box2::UnitCube(), options);
+  std::vector<Point2> points = UniformPoints(10000, 1);
+  for (const Point2& p : points) grid.Insert(p).ok();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Contains(points[i % points.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GridFileContains);
+
+void BM_ExtendibleHashContains(benchmark::State& state) {
+  spatial::ExtendibleHashOptions options;
+  options.bucket_capacity = 8;
+  spatial::ExtendibleHash table(options);
+  Pcg32 rng(1);
+  std::vector<uint64_t> keys;
+  for (size_t i = 0; i < 10000; ++i) keys.push_back(rng.Next64());
+  for (uint64_t key : keys) table.Insert(key).ok();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(keys[i % keys.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExtendibleHashContains);
+
+void BM_ExcellInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2> points = UniformPoints(n, 1);
+  for (auto _ : state) {
+    spatial::ExcellOptions options;
+    options.bucket_capacity = 8;
+    spatial::Excell table(Box2::UnitCube(), options);
+    for (const Point2& p : points) {
+      benchmark::DoNotOptimize(table.Insert(p));
+    }
+    benchmark::DoNotOptimize(table.BucketCount());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ExcellInsert)->Arg(1000)->Arg(10000);
+
+void BM_LinearQuadtreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Point2> points = UniformPoints(n, 1);
+  for (auto _ : state) {
+    auto tree = spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points);
+    benchmark::DoNotOptimize(tree.ok() ? tree->LeafCount() : 0);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LinearQuadtreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_LinearQuadtreeContains(benchmark::State& state) {
+  std::vector<Point2> points = UniformPoints(10000, 1);
+  auto tree = spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Contains(points[i % points.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LinearQuadtreeContains);
+
+void BM_PrTreeErase(benchmark::State& state) {
+  std::vector<Point2> points = UniformPoints(2000, 9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    spatial::PrTreeOptions options;
+    options.capacity = 2;
+    spatial::PrQuadtree tree(Box2::UnitCube(), options);
+    for (const Point2& p : points) tree.Insert(p).ok();
+    state.ResumeTiming();
+    for (const Point2& p : points) {
+      benchmark::DoNotOptimize(tree.Erase(p));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_PrTreeErase);
+
+}  // namespace
+}  // namespace popan

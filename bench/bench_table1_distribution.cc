@@ -1,0 +1,103 @@
+// Reproduces the paper's Table 1: the expected distribution in PR
+// quadtrees, theoretical (population model, §III) versus experimental
+// (10 quadtrees of 1000 uniform points each), for node capacities 1..8.
+// Also prints the §III headline result for the simple PR quadtree.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/occupancy.h"
+#include "core/steady_state.h"
+#include "sim/experiment.h"
+#include "sim/goodness_of_fit.h"
+#include "sim/table.h"
+
+namespace {
+
+using popan::core::PopulationModel;
+using popan::core::SolveSteadyState;
+using popan::core::SteadyState;
+using popan::core::TreeModelParams;
+using popan::sim::ExperimentResult;
+using popan::sim::ExperimentSpec;
+using popan::sim::RunPrQuadtreeExperiment;
+using popan::sim::TextTable;
+
+std::string VectorCells(const popan::num::Vector& v, size_t count) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (i != 0) out += " ";
+    out += TextTable::Fmt(i < v.size() ? v[i] : 0.0, 3);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Paper: Nelson & Samet, 'A Population Analysis for "
+              "Hierarchical Data Structures' (SIGMOD 1987)\n");
+  std::printf("Artifact: Table 1 - expected distribution in PR quadtrees\n");
+  std::printf("Workload: 10 trees x 1000 uniform points per capacity\n\n");
+
+  TextTable table("Table 1: Expected distribution, theoretical (thy) vs "
+                  "experimental (exp)");
+  table.SetHeader({"bucket size", "src", "distribution vector", "TV dist",
+                   "chi2 p"});
+
+  for (size_t m = 1; m <= 8; ++m) {
+    PopulationModel model(TreeModelParams{m, 4});
+    popan::StatusOr<SteadyState> theory = SolveSteadyState(model);
+    if (!theory.ok()) {
+      std::fprintf(stderr, "solver failed for m=%zu: %s\n", m,
+                   theory.status().ToString().c_str());
+      return 1;
+    }
+    ExperimentSpec spec;
+    spec.capacity = m;
+    spec.num_points = 1000;
+    spec.trials = 10;
+    spec.max_depth = 16;
+    spec.base_seed = 1987;
+    ExperimentResult experiment = RunPrQuadtreeExperiment(spec);
+    double distance = popan::core::DistributionDistance(
+        theory->distribution, experiment.proportions);
+    // Chi-square of the pooled leaf counts against the model: with ~20k
+    // leaves pooled the test has the power to DETECT aging, so small
+    // p-values here are the paper's point, not a reproduction failure.
+    std::vector<double> observed;
+    for (size_t i = 0; i <= experiment.pooled_census.MaxOccupancy(); ++i) {
+      observed.push_back(
+          static_cast<double>(experiment.pooled_census.CountAt(i)));
+    }
+    popan::StatusOr<popan::sim::ChiSquareResult> gof =
+        popan::sim::ChiSquareGoodnessOfFit(observed, theory->distribution);
+    table.AddRow({std::to_string(m), "thy",
+                  VectorCells(theory->distribution, m + 1), "", ""});
+    table.AddRow({"", "exp", VectorCells(experiment.proportions, m + 1),
+                  TextTable::Fmt(distance, 3),
+                  gof.ok() ? TextTable::Fmt(gof->p_value, 4) : "-"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("chi2 p-values are ~0: with 10 pooled trees the test "
+              "resolves the systematic aging shift the paper analyzes in "
+              "SS IV (the deviation is real, not sampling noise).\n\n");
+
+  // §III inline result: the simple PR quadtree.
+  PopulationModel m1(TreeModelParams{1, 4});
+  SteadyState theory = SolveSteadyState(m1).value();
+  ExperimentSpec spec;
+  spec.capacity = 1;
+  spec.num_points = 1000;
+  spec.trials = 10;
+  spec.max_depth = 16;
+  ExperimentResult experiment = RunPrQuadtreeExperiment(spec);
+  std::printf("Simple PR quadtree (m=1): theory predicts %.0f%%/%.0f%% "
+              "empty/full;\n  paper observed ~53%%/47%%; this run: "
+              "%.1f%%/%.1f%%\n",
+              100.0 * theory.distribution[0], 100.0 * theory.distribution[1],
+              100.0 * experiment.proportions[0],
+              100.0 * experiment.proportions[1]);
+  return 0;
+}

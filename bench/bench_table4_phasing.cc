@@ -1,0 +1,69 @@
+// Reproduces the paper's Table 4 and Figure 2: variation of average node
+// occupancy with tree size for a uniform distribution (m = 8), showing
+// *phasing* — undamped oscillation with one cycle per quadrupling of N.
+
+#include <cstdio>
+
+#include "core/phasing.h"
+#include "sim/ascii_plot.h"
+#include "sim/csv.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+int main() {
+  using popan::core::AnalyzePhasing;
+  using popan::core::LogarithmicSchedule;
+  using popan::core::OccupancySeries;
+  using popan::core::PhasingAnalysis;
+  using popan::sim::ExperimentSpec;
+  using popan::sim::TextTable;
+
+  std::printf("Artifact: Table 4 + Figure 2 - occupancy vs tree size, "
+              "uniform distribution\n");
+  std::printf("Workload: m=8, 10 trees per sample size, N = 64..4096 on "
+              "the paper's log schedule\n\n");
+
+  ExperimentSpec spec;
+  spec.capacity = 8;
+  spec.trials = 10;
+  spec.max_depth = 16;
+  spec.base_seed = 1987;
+  spec.distribution = popan::sim::PointDistributionKind::kUniform;
+  std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 4);
+  OccupancySeries series = popan::sim::RunOccupancySweep(spec, schedule);
+
+  TextTable table("Table 4: Variation of occupancy with tree size "
+                  "(uniform, averages for 10 trees)");
+  table.SetHeader({"points", "nodes", "occupancy"});
+  for (size_t i = 0; i < series.sample_sizes.size(); ++i) {
+    table.AddRow({TextTable::Fmt(series.sample_sizes[i]),
+                  TextTable::Fmt(series.nodes[i], 1),
+                  TextTable::Fmt(series.average_occupancy[i], 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Paper's occupancy column: 3.79 4.15 3.64 3.33 3.80 3.99 "
+              "3.53 3.35 3.84 4.13 3.65 3.30 3.81\n\n");
+
+  std::vector<double> xs(series.sample_sizes.begin(),
+                         series.sample_sizes.end());
+  std::printf("%s\n",
+              popan::sim::AsciiPlot(
+                  "Figure 2: average occupancy vs number of points "
+                  "(semi-log, uniform)",
+                  xs, series.average_occupancy)
+                  .c_str());
+
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  std::printf("%s\n", analysis.ToString().c_str());
+  std::printf("Expected shape: maxima/minima separated by ~4x in N; no "
+              "damping (ratio near 1).\n\n");
+
+  popan::sim::CsvWriter csv;
+  csv.WriteRow({"points", "nodes", "occupancy"});
+  for (size_t i = 0; i < series.sample_sizes.size(); ++i) {
+    csv.WriteNumericRow({static_cast<double>(series.sample_sizes[i]),
+                         series.nodes[i], series.average_occupancy[i]});
+  }
+  std::printf("CSV (figure 2 data):\n%s", csv.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Watch phasing happen: grow one PR quadtree point by point and sample
+// its average occupancy continuously. Under a uniform distribution the
+// occupancy saw-tooths — whole generations of blocks fill together and
+// split together — while a Gaussian source dephases and flattens out.
+//
+// Run:  ./phasing_explorer [capacity] [max_points]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/phasing.h"
+#include "core/steady_state.h"
+#include "sim/ascii_plot.h"
+#include "sim/distributions.h"
+#include "spatial/census.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::geo::Box2;
+using popan::geo::Point2;
+
+popan::core::OccupancySeries GrowOneTree(
+    size_t capacity, size_t max_points,
+    popan::sim::PointDistributionKind kind, uint64_t seed) {
+  popan::spatial::PrTreeOptions options;
+  options.capacity = capacity;
+  options.max_depth = 20;
+  popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  popan::Pcg32 rng(seed);
+  popan::sim::PointDistributionParams params;
+
+  popan::core::OccupancySeries series;
+  std::vector<size_t> checkpoints =
+      popan::core::LogarithmicSchedule(32, max_points, 8);
+  size_t next_checkpoint = 0;
+  while (tree.size() < max_points && next_checkpoint < checkpoints.size()) {
+    Point2 p = popan::sim::DrawPoint(kind, params, Box2::UnitCube(), rng);
+    if (!tree.Insert(p).ok()) continue;
+    if (tree.size() == checkpoints[next_checkpoint]) {
+      series.sample_sizes.push_back(tree.size());
+      series.nodes.push_back(static_cast<double>(tree.LeafCount()));
+      series.average_occupancy.push_back(
+          static_cast<double>(tree.size()) /
+          static_cast<double>(tree.LeafCount()));
+      ++next_checkpoint;
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t capacity = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  size_t max_points = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 16384;
+  if (capacity < 1 || max_points < 64) {
+    std::fprintf(stderr, "usage: %s [capacity>=1] [max_points>=64]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  popan::core::PopulationModel model(
+      popan::core::TreeModelParams{capacity, 4});
+  auto steady = popan::core::SolveSteadyState(model);
+  double predicted =
+      steady.ok() ? steady->average_occupancy : 0.0;
+
+  std::printf("Growing single PR quadtrees (m = %zu) to %zu points; the "
+              "model's steady-state occupancy is %.2f.\n\n",
+              capacity, max_points, predicted);
+
+  for (auto [kind, name] :
+       {std::pair{popan::sim::PointDistributionKind::kUniform, "uniform"},
+        std::pair{popan::sim::PointDistributionKind::kGaussian,
+                  "gaussian"}}) {
+    popan::core::OccupancySeries series =
+        GrowOneTree(capacity, max_points, kind, 1987);
+    std::vector<double> xs(series.sample_sizes.begin(),
+                           series.sample_sizes.end());
+    std::printf("%s\n",
+                popan::sim::AsciiPlot(
+                    std::string("occupancy while growing (") + name + ")",
+                    xs, series.average_occupancy)
+                    .c_str());
+    popan::core::PhasingAnalysis analysis =
+        popan::core::AnalyzePhasing(series);
+    std::printf("  %s\n\n", analysis.ToString().c_str());
+  }
+  std::printf("Reading: the uniform curve saw-tooths once per quadrupling "
+              "of N and never settles (the paper's phasing); the Gaussian "
+              "curve flattens toward the steady state as differently-dense "
+              "regions fall out of phase.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// PMR quadtree on a synthetic road network (paper §V extension): store
+// short road segments, query a map window, and compare the fragment
+// population census against the PMR population model whose only input is
+// the Monte-Carlo quadrant-hit probability q.
+//
+// Run:  ./pmr_lines [threshold] [segments]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pmr_model.h"
+#include "core/steady_state.h"
+#include "sim/distributions.h"
+#include "spatial/census.h"
+#include "spatial/pmr_quadtree.h"
+#include "util/random.h"
+
+int main(int argc, char** argv) {
+  using popan::geo::Box2;
+  using popan::geo::Point2;
+
+  size_t threshold = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  size_t num_segments = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3000;
+  if (threshold < 1 || num_segments < 1) {
+    std::fprintf(stderr, "usage: %s [threshold>=1] [segments>=1]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Build the road network: short segments with uniform midpoints.
+  popan::spatial::PmrQuadtreeOptions options;
+  options.splitting_threshold = threshold;
+  options.max_depth = 14;
+  popan::spatial::PmrQuadtree roads(Box2::UnitCube(), options);
+  popan::Pcg32 rng(1987);
+  popan::sim::SegmentDistributionParams params;
+  params.road_length_fraction = 0.05;
+  for (size_t i = 0; i < num_segments; ++i) {
+    popan::geo::Segment s = popan::sim::DrawSegment(
+        popan::sim::SegmentDistributionKind::kRoadLike, params,
+        Box2::UnitCube(), rng);
+    if (!roads.Insert(s).ok()) --i;  // redraw the rare out-of-box segment
+  }
+  std::printf("road network: %zu segments in %zu blocks\n", roads.size(),
+              roads.LeafCount());
+
+  // Map-window query.
+  Box2 window(Point2(0.3, 0.3), Point2(0.5, 0.5));
+  auto in_window = roads.RangeQuery(window);
+  std::printf("window [0.3,0.5)^2 intersects %zu segments\n\n",
+              in_window.size());
+
+  // Census vs the PMR population model.
+  popan::spatial::Census census = popan::spatial::TakeCensus(roads);
+  std::printf("fragment census: %llu fragments over %llu blocks, "
+              "occupancy %.3f\n",
+              static_cast<unsigned long long>(census.ItemCount()),
+              static_cast<unsigned long long>(census.LeafCount()),
+              census.AverageOccupancy());
+  std::printf("census distribution: %s\n",
+              census.Proportions(threshold + 1).ToString(3).c_str());
+
+  // Short road segments behave like the uniform-endpoints style for q
+  // estimation (both are interior-dominated short segments).
+  double q = popan::core::EstimateQuadrantHitProbability(
+      popan::core::SegmentStyle::kUniformEndpoints, 200000, 42);
+  popan::core::PopulationModel folded(
+      popan::core::BuildPmrTransformMatrix(threshold, q));
+  popan::core::PopulationModel extended(
+      popan::core::BuildExtendedPmrTransformMatrix(threshold, q,
+                                                   threshold + 12));
+  auto folded_ss = popan::core::SolveSteadyState(folded);
+  auto extended_ss = popan::core::SolveSteadyState(extended);
+  if (!folded_ss.ok() || !extended_ss.ok()) {
+    std::fprintf(stderr, "solver failed\n");
+    return 1;
+  }
+  std::printf("\nPMR models (q = %.3f):\n", q);
+  std::printf("  folded (paper-style):          occupancy %.3f\n",
+              folded_ss->average_occupancy);
+  std::printf("  extended (over-threshold states): occupancy %.3f, "
+              "distribution %s\n",
+              extended_ss->average_occupancy,
+              extended_ss->distribution.ToString(3).c_str());
+  std::printf("ratio simulated/extended-model occupancy: %.3f (the paper "
+              "reports close agreement for PMR structures)\n",
+              census.AverageOccupancy() / extended_ss->average_occupancy);
+  return 0;
+}

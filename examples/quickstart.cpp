@@ -1,0 +1,112 @@
+// Quickstart: build a PR quadtree, insert points, run the standard
+// queries, take a population census, and compare it against the paper's
+// steady-state prediction. Also renders a Figure-1-style ASCII picture of
+// the decomposition.
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/steady_state.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "sim/distributions.h"
+#include "spatial/census.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::geo::Box2;
+using popan::geo::Point2;
+
+/// Renders the leaf decomposition as a character grid (the paper's
+/// Figure 1, in ASCII): block borders as '+--|', stored points as 'o'.
+std::string RenderDecomposition(const popan::spatial::PrQuadtree& tree,
+                                size_t cells) {
+  std::vector<std::string> canvas(cells + 1, std::string(2 * cells + 1, ' '));
+  auto col = [&](double x) {
+    return static_cast<size_t>(x * 2 * static_cast<double>(cells));
+  };
+  auto row = [&](double y) {
+    return cells - static_cast<size_t>(y * static_cast<double>(cells));
+  };
+  tree.VisitLeavesPoints([&](const Box2& box, size_t,
+                             const std::vector<Point2>& points) {
+    size_t c0 = col(box.lo().x()), c1 = col(box.hi().x());
+    size_t r0 = row(box.hi().y()), r1 = row(box.lo().y());
+    for (size_t c = c0; c <= c1; ++c) {
+      canvas[r0][c] = '-';
+      canvas[r1][c] = '-';
+    }
+    for (size_t r = r0; r <= r1; ++r) {
+      canvas[r][c0] = canvas[r][c0] == '-' ? '+' : '|';
+      canvas[r][c1] = canvas[r][c1] == '-' ? '+' : '|';
+    }
+    canvas[r0][c0] = canvas[r0][c1] = canvas[r1][c0] = canvas[r1][c1] = '+';
+    for (const Point2& p : points) {
+      canvas[row(p.y())][col(p.x())] = 'o';
+    }
+  });
+  std::string out;
+  for (const std::string& line : canvas) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // A generalized PR quadtree over the unit square with capacity 1: the
+  // simple PR quadtree of the paper's Figure 1.
+  popan::spatial::PrTreeOptions options;
+  options.capacity = 1;
+  popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+
+  // The four points of Figure 1 (roughly).
+  for (const Point2& p : {Point2(0.2, 0.8), Point2(0.7, 0.9),
+                          Point2(0.3, 0.3), Point2(0.55, 0.6)}) {
+    popan::Status status = tree.Insert(p);
+    std::printf("insert %s -> %s\n", p.ToString().c_str(),
+                status.ToString().c_str());
+  }
+
+  std::printf("\nFigure-1-style decomposition (blocks quartered until no "
+              "block holds more than one point):\n%s\n",
+              RenderDecomposition(tree, 16).c_str());
+
+  // Queries.
+  std::printf("contains (0.3, 0.3)? %s\n",
+              tree.Contains(Point2(0.3, 0.3)) ? "yes" : "no");
+  auto nearest = tree.Nearest(Point2(0.5, 0.5));
+  std::printf("nearest to (0.5, 0.5): %s\n",
+              nearest.ok() ? nearest->ToString().c_str() : "none");
+  auto in_range =
+      tree.RangeQuery(Box2(Point2(0.0, 0.5), Point2(1.0, 1.0)));
+  std::printf("points with y >= 0.5: %zu\n\n", in_range.size());
+
+  // Scale up: 2000 random points, census vs the model.
+  popan::Pcg32 rng(7);
+  while (tree.size() < 2000) {
+    tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  popan::spatial::Census census = popan::spatial::TakeCensus(tree);
+  std::printf("after 2000 random points: %zu leaves, occupancy %.3f, "
+              "distribution %s\n",
+              tree.LeafCount(), census.AverageOccupancy(),
+              census.Proportions().ToString(3).c_str());
+
+  popan::core::PopulationModel model(popan::core::TreeModelParams{1, 4});
+  auto steady = popan::core::SolveSteadyState(model);
+  if (steady.ok()) {
+    std::printf("paper's model predicts:   occupancy %.3f, distribution "
+                "%s\n",
+                steady->average_occupancy,
+                steady->distribution.ToString(3).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "core/aging.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+AgingReport AnalyzeAging(const spatial::Census& census,
+                         const TreeModelParams& params, size_t trials) {
+  POPAN_CHECK(trials >= 1);
+  AgingReport report;
+  report.split_cohort_occupancy = SplitCohortOccupancy(params);
+
+  const double scale = 1.0 / static_cast<double>(trials);
+  for (size_t depth : census.DepthsPresent()) {
+    AgingDepthRow row;
+    row.depth = depth;
+    row.leaves = static_cast<double>(census.LeavesAtDepth(depth)) * scale;
+    row.items = static_cast<double>(census.ItemsAtDepth(depth)) * scale;
+    row.average_occupancy = census.AverageOccupancyAtDepth(depth);
+    size_t max_occ = census.MaxOccupancy();
+    row.count_by_occupancy.resize(max_occ + 1, 0.0);
+    for (size_t i = 0; i <= max_occ; ++i) {
+      row.count_by_occupancy[i] =
+          static_cast<double>(census.CountAt(i, depth)) * scale;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  if (!report.rows.empty()) {
+    report.aging_gradient = report.rows.front().average_occupancy -
+                            report.rows.back().average_occupancy;
+  }
+  return report;
+}
+
+std::string AgingReport::ToString() const {
+  std::ostringstream os;
+  os << std::fixed;
+  os << "depth   leaves    items    occupancy\n";
+  for (const AgingDepthRow& row : rows) {
+    os << std::setw(5) << row.depth << std::setw(9) << std::setprecision(1)
+       << row.leaves << std::setw(9) << std::setprecision(1) << row.items
+       << std::setw(13) << std::setprecision(3) << row.average_occupancy
+       << "\n";
+  }
+  os << "split-cohort (age-zero) occupancy: " << std::setprecision(3)
+     << split_cohort_occupancy << "\n";
+  return os.str();
+}
+
+}  // namespace popan::core

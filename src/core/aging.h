@@ -1,0 +1,52 @@
+#ifndef POPAN_CORE_AGING_H_
+#define POPAN_CORE_AGING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/transform_matrix.h"
+#include "spatial/census.h"
+
+namespace popan::core {
+
+/// One depth cohort of a census (Table 3's rows): the nodes whose blocks
+/// all have area proportional to fanout^-depth.
+struct AgingDepthRow {
+  size_t depth = 0;
+  double leaves = 0.0;           ///< leaves at this depth (per-trial mean)
+  double items = 0.0;            ///< items at this depth (per-trial mean)
+  double average_occupancy = 0.0;
+  /// Leaf counts by occupancy (per-trial means), index = occupancy; the
+  /// "n_0 nodes / n_1 nodes" columns of Table 3 for m = 1.
+  std::vector<double> count_by_occupancy;
+};
+
+/// The per-depth occupancy breakdown demonstrating the paper's *aging*
+/// phenomenon: shallow (large, old) cohorts carry higher average occupancy
+/// than deep (small, young) ones, which converge down to the split-cohort
+/// value t_m · (0..m) / |t_m| (0.40 for m = 1 quadtrees).
+struct AgingReport {
+  std::vector<AgingDepthRow> rows;  ///< ascending depth, present depths only
+
+  /// The model's age-zero occupancy the deep cohorts approach.
+  double split_cohort_occupancy = 0.0;
+
+  /// Occupancy of the shallowest cohort minus the deepest — positive when
+  /// aging is visible.
+  double aging_gradient = 0.0;
+
+  /// Renders a Table-3 style listing.
+  std::string ToString() const;
+};
+
+/// Analyzes a (possibly pooled multi-trial) census against the model
+/// parameters. `trials` divides the raw counts so the report shows
+/// per-tree means exactly as the paper's Table 3 does (averages over 10
+/// trees). Depths with no leaves are omitted.
+AgingReport AnalyzeAging(const spatial::Census& census,
+                         const TreeModelParams& params, size_t trials = 1);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_AGING_H_

@@ -1,0 +1,148 @@
+#include "core/area_weighted_dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+AreaWeightedDynamics::AreaWeightedDynamics(const TreeModelParams& params,
+                                           size_t max_depth)
+    : params_(params), max_depth_(max_depth) {
+  POPAN_CHECK(ValidateParams(params).ok());
+  POPAN_CHECK(max_depth_ >= 1);
+  counts_.resize(max_depth_ + 1);
+  for (auto& row : counts_) row.resize(params_.capacity + 1, 0.0);
+  counts_[0][0] = 1.0;  // one empty root leaf
+}
+
+void AreaWeightedDynamics::CascadeSplit(size_t child_depth, double weight) {
+  const size_t m = params_.capacity;
+  const size_t c = params_.fanout;
+  // P_k: expected children with k of the m+1 scattered items.
+  for (size_t k = 0; k <= m; ++k) {
+    counts_[child_depth][k] +=
+        weight * ExpectedChildrenWithOccupancy(m + 1, k, c);
+  }
+  double overflow =
+      weight * ExpectedChildrenWithOccupancy(m + 1, m + 1, c);
+  if (overflow <= 1e-18) return;
+  if (child_depth >= max_depth_) {
+    // Truncated: the over-capacity child stays a leaf at max depth.
+    auto& row = counts_[max_depth_];
+    if (row.size() < m + 2) row.resize(m + 2, 0.0);
+    row[m + 1] += overflow;
+    return;
+  }
+  CascadeSplit(child_depth + 1, overflow);
+}
+
+void AreaWeightedDynamics::Step() {
+  const size_t m = params_.capacity;
+  const double c = static_cast<double>(params_.fanout);
+
+  // Area weights: a depth-d leaf covers c^-d of the root. The weights sum
+  // to 1 exactly (leaves tile the block); renormalize to absorb rounding.
+  double total_weight = 0.0;
+  std::vector<std::vector<double>> hit(counts_.size());
+  for (size_t d = 0; d < counts_.size(); ++d) {
+    double area = std::pow(c, -static_cast<double>(d));
+    hit[d].resize(counts_[d].size(), 0.0);
+    for (size_t i = 0; i < counts_[d].size(); ++i) {
+      hit[d][i] = counts_[d][i] * area;
+      total_weight += hit[d][i];
+    }
+  }
+  POPAN_DCHECK(total_weight > 0.0);
+
+  for (size_t d = 0; d < counts_.size(); ++d) {
+    for (size_t i = 0; i < hit[d].size(); ++i) {
+      double w = hit[d][i] / total_weight;
+      if (w <= 0.0) continue;
+      if (i < m || d >= max_depth_) {
+        // Absorb (always at max depth: the truncated leaf just grows).
+        counts_[d][i] -= w;
+        if (counts_[d].size() < i + 2) counts_[d].resize(i + 2, 0.0);
+        counts_[d][i + 1] += w;
+      } else {
+        // Full node at an interior depth: split into depth d+1.
+        counts_[d][i] -= w;
+        CascadeSplit(d + 1, w);
+      }
+    }
+  }
+  ++steps_;
+}
+
+void AreaWeightedDynamics::StepMany(size_t n) {
+  for (size_t k = 0; k < n; ++k) Step();
+}
+
+double AreaWeightedDynamics::CountAt(size_t depth, size_t occupancy) const {
+  if (depth >= counts_.size()) return 0.0;
+  if (occupancy >= counts_[depth].size()) return 0.0;
+  return counts_[depth][occupancy];
+}
+
+double AreaWeightedDynamics::TotalLeaves() const {
+  double total = 0.0;
+  for (const auto& row : counts_) {
+    for (double x : row) total += x;
+  }
+  return total;
+}
+
+double AreaWeightedDynamics::TotalItems() const {
+  double total = 0.0;
+  for (const auto& row : counts_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      total += row[i] * static_cast<double>(i);
+    }
+  }
+  return total;
+}
+
+double AreaWeightedDynamics::AverageOccupancy() const {
+  double leaves = TotalLeaves();
+  POPAN_CHECK(leaves > 0.0);
+  return TotalItems() / leaves;
+}
+
+double AreaWeightedDynamics::OccupancyAtDepth(size_t depth) const {
+  if (depth >= counts_.size()) return 0.0;
+  double leaves = 0.0, items = 0.0;
+  for (size_t i = 0; i < counts_[depth].size(); ++i) {
+    leaves += counts_[depth][i];
+    items += counts_[depth][i] * static_cast<double>(i);
+  }
+  if (leaves <= 0.0) return 0.0;
+  return items / leaves;
+}
+
+num::Vector AreaWeightedDynamics::DistributionByOccupancy() const {
+  size_t width = 0;
+  for (const auto& row : counts_) width = std::max(width, row.size());
+  num::Vector pooled(width);
+  for (const auto& row : counts_) {
+    for (size_t i = 0; i < row.size(); ++i) pooled[i] += row[i];
+  }
+  return pooled.Normalized();
+}
+
+OccupancySeries AreaWeightedOccupancySeries(
+    const TreeModelParams& params, const std::vector<size_t>& schedule,
+    size_t max_depth) {
+  AreaWeightedDynamics dynamics(params, max_depth);
+  OccupancySeries series;
+  for (size_t n : schedule) {
+    POPAN_CHECK(n >= dynamics.steps()) << "schedule must be ascending";
+    dynamics.StepMany(n - dynamics.steps());
+    series.sample_sizes.push_back(n);
+    series.nodes.push_back(dynamics.TotalLeaves());
+    series.average_occupancy.push_back(dynamics.AverageOccupancy());
+  }
+  return series;
+}
+
+}  // namespace popan::core

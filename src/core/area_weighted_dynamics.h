@@ -1,0 +1,100 @@
+#ifndef POPAN_CORE_AREA_WEIGHTED_DYNAMICS_H_
+#define POPAN_CORE_AREA_WEIGHTED_DYNAMICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/phasing.h"
+#include "core/transform_matrix.h"
+#include "numerics/vector.h"
+
+namespace popan::core {
+
+/// A refined mean-field model that repairs the population model's one
+/// simplifying assumption — and thereby *predicts* the paper's two
+/// discrepancy phenomena quantitatively instead of describing them
+/// qualitatively (§IV).
+///
+/// The basic model assumes an insertion hits a node with probability
+/// proportional to its population *count*. In reality a uniform point
+/// lands in a node with probability proportional to its *area*, and a
+/// depth-d block has area c^-d of the root. This class tracks expected
+/// leaf counts indexed by (depth, occupancy) and evolves them one expected
+/// insertion at a time with area weighting:
+///
+///   P(hit node of depth d, occupancy i) = counts[d][i] * c^-d
+///   (the weights always sum to 1 because leaves tile the root block);
+///   i < m: the node moves to occupancy i+1 at the same depth;
+///   i = m: the node splits; children join depth d+1 with the binomial
+///          expected counts P_k of the transform-matrix derivation, and
+///          the expected all-in-one-child fraction splits again at d+2,
+///          cascading until max_depth.
+///
+/// Because node areas shrink as the structure deepens, this process is
+/// not scale-free: it has no steady state, its average occupancy
+/// oscillates with period c in N (phasing, Tables 4/5), and at any N its
+/// shallow cohorts are older and fuller than its deep ones (aging,
+/// Table 3).
+class AreaWeightedDynamics {
+ public:
+  /// Starts from one empty root node. `max_depth` truncates the cascade;
+  /// blocks at max_depth absorb points beyond capacity like the real
+  /// trees' truncated leaves.
+  AreaWeightedDynamics(const TreeModelParams& params, size_t max_depth = 24);
+
+  const TreeModelParams& params() const { return params_; }
+
+  /// Points inserted so far.
+  size_t steps() const { return steps_; }
+
+  /// Advances by one expected insertion.
+  void Step();
+
+  /// Advances by `n` insertions.
+  void StepMany(size_t n);
+
+  /// Expected number of leaves at `depth` with occupancy `i`.
+  double CountAt(size_t depth, size_t occupancy) const;
+
+  /// Expected total leaves.
+  double TotalLeaves() const;
+
+  /// Expected total stored points (== steps(), up to rounding; exposed as
+  /// a conservation self-check).
+  double TotalItems() const;
+
+  /// Expected points per leaf over the whole structure.
+  double AverageOccupancy() const;
+
+  /// Expected occupancy of the depth-`d` cohort (Table 3's column);
+  /// 0 when the cohort is (expected) empty.
+  double OccupancyAtDepth(size_t depth) const;
+
+  /// Leaf proportions by occupancy, pooled over depths.
+  num::Vector DistributionByOccupancy() const;
+
+ private:
+  /// Adds `weight` split events at `depth` (weight = expected number of
+  /// full nodes absorbing a point there), cascading the all-in-one-child
+  /// overflow deeper.
+  void CascadeSplit(size_t depth, double weight);
+
+  TreeModelParams params_;
+  size_t max_depth_;
+  size_t steps_ = 0;
+  // counts_[d][i]: expected leaves at depth d with occupancy i. The
+  // occupancy axis extends past capacity only at max_depth (truncation).
+  std::vector<std::vector<double>> counts_;
+};
+
+/// Runs the dynamics once to max(schedule) points and samples the
+/// occupancy series at the scheduled sizes — the analytic Table 4/Figure 2
+/// counterpart (compare RunOccupancySweep for the simulated one).
+OccupancySeries AreaWeightedOccupancySeries(const TreeModelParams& params,
+                                            const std::vector<size_t>&
+                                                schedule,
+                                            size_t max_depth = 24);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_AREA_WEIGHTED_DYNAMICS_H_

@@ -1,0 +1,80 @@
+#include "core/exact_census.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+ExactCensusCalculator::ExactCensusCalculator(const TreeModelParams& params,
+                                             size_t max_points)
+    : params_(params), max_points_(max_points) {
+  POPAN_CHECK(ValidateParams(params).ok());
+  const size_t m = params_.capacity;
+  const double c = static_cast<double>(params_.fanout);
+  const double p = 1.0 / c;
+  const double log_p = std::log(p);
+  const double log_1mp = std::log1p(-p);
+
+  f_.reserve(max_points + 1);
+  // Base cases: n <= m points fit one leaf of occupancy n.
+  for (size_t n = 0; n <= m && n <= max_points; ++n) {
+    num::Vector base(m + 1);
+    base[n] = 1.0;
+    f_.push_back(std::move(base));
+  }
+  // Recurrence: f(n) (1 - c^{1-n}) = c sum_{k<n} B(n, k; 1/c) f(k).
+  for (size_t n = m + 1; n <= max_points; ++n) {
+    num::Vector acc(m + 1);
+    // Walk the binomial row in log space; skip the negligible far tail.
+    double log_b = static_cast<double>(n) * log_1mp;  // log B(n, 0)
+    for (size_t k = 0; k < n; ++k) {
+      if (log_b > -745.0) {  // exp underflows below this; terms are ~0
+        double weight = std::exp(log_b);
+        const num::Vector& fk = f_[k];
+        for (size_t i = 0; i <= m; ++i) acc[i] += weight * fk[i];
+      }
+      // B(n, k+1) = B(n, k) * (n-k)/(k+1) * p/(1-p).
+      log_b += std::log(static_cast<double>(n - k) /
+                        static_cast<double>(k + 1)) +
+               log_p - log_1mp;
+    }
+    // The k = n term carries coefficient c * (1/c)^n = c^{1-n} < 1.
+    double self_weight =
+        std::exp((1.0 - static_cast<double>(n)) * std::log(c));
+    num::Vector fn = acc * (c / (1.0 - self_weight));
+    f_.push_back(std::move(fn));
+  }
+}
+
+const num::Vector& ExactCensusCalculator::ExpectedLeafCounts(size_t n) const {
+  POPAN_CHECK(n < f_.size()) << "n exceeds max_points";
+  return f_[n];
+}
+
+double ExactCensusCalculator::ExpectedLeaves(size_t n) const {
+  return ExpectedLeafCounts(n).Sum();
+}
+
+num::Vector ExactCensusCalculator::ExpectedDistribution(size_t n) const {
+  return ExpectedLeafCounts(n).Normalized();
+}
+
+double ExactCensusCalculator::ExpectedOccupancy(size_t n) const {
+  double leaves = ExpectedLeaves(n);
+  POPAN_CHECK(leaves > 0.0);
+  return static_cast<double>(n) / leaves;
+}
+
+OccupancySeries ExactCensusCalculator::OccupancySeriesFor(
+    const std::vector<size_t>& schedule) const {
+  OccupancySeries series;
+  for (size_t n : schedule) {
+    series.sample_sizes.push_back(n);
+    series.nodes.push_back(ExpectedLeaves(n));
+    series.average_occupancy.push_back(ExpectedOccupancy(n));
+  }
+  return series;
+}
+
+}  // namespace popan::core

@@ -1,0 +1,75 @@
+#ifndef POPAN_CORE_EXACT_CENSUS_H_
+#define POPAN_CORE_EXACT_CENSUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/phasing.h"
+#include "core/transform_matrix.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::core {
+
+/// The *direct statistical approach* the paper contrasts with population
+/// analysis (§III): the exact expected census of a PR tree holding exactly
+/// N independent uniform points.
+///
+/// Let f(n) be the expected leaf-count vector (components: expected number
+/// of leaves of occupancy 0..m) for one block containing exactly n uniform
+/// points. Each child of a splitting block receives Binomial(n, 1/c)
+/// points marginally, and expectation is linear over the c children, so
+///
+///   f(n) = e_n                                      for n <= m,
+///   f(n) = c * sum_{k=0}^{n} B(n, k; 1/c) f(k)      for n >  m,
+///
+/// where the k = n term (all points in one child, probability c^{1-n}
+/// after multiplying by c) is moved to the left side to solve for f(n).
+/// Computing f(0..N) costs O(N^2 (m+1)) and is exact up to double
+/// rounding — the laborious calculation the paper avoided, tractable here
+/// by machine. It provides ground truth for the population model's
+/// approximation error and an analytic demonstration of *phasing*: the
+/// derived occupancy sequence oscillates in log_c N without damping, so
+/// the limit defining the statistical expected distribution does not
+/// exist (§II, citing the Fagin et al. analysis).
+class ExactCensusCalculator {
+ public:
+  /// Prepares the recurrence tables for censuses up to `max_points`
+  /// points. Cost O(max_points^2 (m+1)); ~100 ms for max_points = 4096.
+  /// Params must be valid per ValidateParams.
+  ExactCensusCalculator(const TreeModelParams& params, size_t max_points);
+
+  const TreeModelParams& params() const { return params_; }
+  size_t max_points() const { return max_points_; }
+
+  /// The expected leaf-count vector for a root block holding exactly `n`
+  /// uniform points: component i = E[# leaves of occupancy i]. n must be
+  /// <= max_points().
+  const num::Vector& ExpectedLeafCounts(size_t n) const;
+
+  /// Expected total number of leaves, E[L_n].
+  double ExpectedLeaves(size_t n) const;
+
+  /// E[d_n] normalized to proportions: the exact expected distribution of
+  /// the paper's statistical approach (ratio of expectations).
+  num::Vector ExpectedDistribution(size_t n) const;
+
+  /// The occupancy measure the paper's Tables 4/5 report: points per
+  /// leaf, n / E[L_n].
+  double ExpectedOccupancy(size_t n) const;
+
+  /// The full exact occupancy series over a sample-size schedule — the
+  /// analytic counterpart of the Table 4 experiment. Every entry of
+  /// `schedule` must be <= max_points().
+  OccupancySeries OccupancySeriesFor(const std::vector<size_t>& schedule)
+      const;
+
+ private:
+  TreeModelParams params_;
+  size_t max_points_;
+  std::vector<num::Vector> f_;  // f_[n] = expected leaf counts, n points
+};
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_EXACT_CENSUS_H_

@@ -1,0 +1,56 @@
+#include "core/occupancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+double AverageOccupancy(const num::Vector& distribution) {
+  double acc = 0.0;
+  for (size_t i = 0; i < distribution.size(); ++i) {
+    acc += distribution[i] * static_cast<double>(i);
+  }
+  return acc;
+}
+
+double StorageUtilization(const num::Vector& distribution, size_t capacity) {
+  POPAN_CHECK(capacity > 0);
+  return AverageOccupancy(distribution) / static_cast<double>(capacity);
+}
+
+double NodesPerItem(const num::Vector& distribution) {
+  double avg = AverageOccupancy(distribution);
+  if (avg == 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / avg;
+}
+
+double EmptyFraction(const num::Vector& distribution) {
+  POPAN_CHECK(!distribution.empty());
+  return distribution[0];
+}
+
+double FullFraction(const num::Vector& distribution) {
+  POPAN_CHECK(!distribution.empty());
+  return distribution[distribution.size() - 1];
+}
+
+double PercentDifference(double a, double b) {
+  POPAN_CHECK(b != 0.0);
+  return 100.0 * (a - b) / b;
+}
+
+double DistributionDistance(const num::Vector& a, const num::Vector& b) {
+  size_t n = std::max(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ai = i < a.size() ? a[i] : 0.0;
+    double bi = i < b.size() ? b[i] : 0.0;
+    acc += std::abs(ai - bi);
+  }
+  return 0.5 * acc;
+}
+
+}  // namespace popan::core

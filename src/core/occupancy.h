@@ -1,0 +1,40 @@
+#ifndef POPAN_CORE_OCCUPANCY_H_
+#define POPAN_CORE_OCCUPANCY_H_
+
+#include "numerics/vector.h"
+
+namespace popan::core {
+
+/// Derived storage statistics shared by the model side (expected
+/// distributions) and the experimental side (censuses). All take a
+/// distribution vector d with d_i = proportion of nodes of occupancy i.
+
+/// d · (0, 1, …, k): mean items per node.
+double AverageOccupancy(const num::Vector& distribution);
+
+/// AverageOccupancy / capacity.
+double StorageUtilization(const num::Vector& distribution, size_t capacity);
+
+/// Expected number of nodes per stored item, 1 / AverageOccupancy.
+/// Infinite for an all-empty distribution.
+double NodesPerItem(const num::Vector& distribution);
+
+/// The proportion of empty nodes, d_0.
+double EmptyFraction(const num::Vector& distribution);
+
+/// The proportion of full nodes, d_capacity (trailing component).
+double FullFraction(const num::Vector& distribution);
+
+/// Relative difference (a - b) / b in percent — the paper's Table 2
+/// "percent difference" column (theory vs experiment).
+double PercentDifference(double a, double b);
+
+/// Total-variation style distance between two distributions: half the L1
+/// difference, in [0, 1]. Shorter vectors are implicitly zero-padded, so
+/// model (m+1 components) and census (possibly fewer observed occupancies)
+/// vectors compare directly.
+double DistributionDistance(const num::Vector& a, const num::Vector& b);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_OCCUPANCY_H_

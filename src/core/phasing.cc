@@ -1,0 +1,92 @@
+#include "core/phasing.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+std::vector<size_t> LogarithmicSchedule(size_t min_n, size_t max_n,
+                                        size_t steps_per_quadrupling) {
+  POPAN_CHECK(min_n >= 1);
+  POPAN_CHECK(steps_per_quadrupling >= 1);
+  std::vector<size_t> out;
+  double log4 = std::log(4.0);
+  for (size_t k = 0;; ++k) {
+    double value =
+        static_cast<double>(min_n) *
+        std::exp(log4 * static_cast<double>(k) /
+                 static_cast<double>(steps_per_quadrupling));
+    // floor with a tiny epsilon so exact powers (128, 256, ...) are not
+    // lost to representation error.
+    size_t n = static_cast<size_t>(std::floor(value + 1e-9));
+    if (n > max_n) break;
+    if (out.empty() || n != out.back()) out.push_back(n);
+  }
+  return out;
+}
+
+PhasingAnalysis AnalyzePhasing(const OccupancySeries& series) {
+  PhasingAnalysis out;
+  const std::vector<double>& occ = series.average_occupancy;
+  POPAN_CHECK(occ.size() == series.sample_sizes.size());
+  const size_t n = occ.size();
+
+  double sum = 0.0;
+  for (double v : occ) sum += v;
+  out.mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  double var = 0.0;
+  for (double v : occ) var += (v - out.mean) * (v - out.mean);
+  out.stddev = n > 1 ? std::sqrt(var / static_cast<double>(n - 1)) : 0.0;
+
+  // Interior local extrema (strict on at least one side to skip plateaus).
+  for (size_t i = 1; i + 1 < n; ++i) {
+    bool peak = occ[i] >= occ[i - 1] && occ[i] >= occ[i + 1] &&
+                (occ[i] > occ[i - 1] || occ[i] > occ[i + 1]);
+    bool trough = occ[i] <= occ[i - 1] && occ[i] <= occ[i + 1] &&
+                  (occ[i] < occ[i - 1] || occ[i] < occ[i + 1]);
+    if (peak) out.maxima.push_back(i);
+    if (trough) out.minima.push_back(i);
+  }
+
+  if (out.maxima.size() >= 2) {
+    double acc = 0.0;
+    for (size_t k = 0; k + 1 < out.maxima.size(); ++k) {
+      acc += static_cast<double>(series.sample_sizes[out.maxima[k + 1]]) /
+             static_cast<double>(series.sample_sizes[out.maxima[k]]);
+    }
+    out.period_ratio = acc / static_cast<double>(out.maxima.size() - 1);
+  }
+
+  // Swing of each cycle: a maximum paired with the first minimum after it.
+  std::vector<double> swings;
+  size_t mi = 0;
+  for (size_t peak_idx : out.maxima) {
+    while (mi < out.minima.size() && out.minima[mi] < peak_idx) ++mi;
+    if (mi < out.minima.size()) {
+      swings.push_back(occ[peak_idx] - occ[out.minima[mi]]);
+    }
+  }
+  if (!swings.empty()) {
+    out.first_swing = swings.front();
+    out.last_swing = swings.back();
+    if (out.first_swing != 0.0) {
+      out.damping_ratio = out.last_swing / out.first_swing;
+    }
+  }
+  return out;
+}
+
+std::string PhasingAnalysis::ToString() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "phasing: mean=" << mean << " stddev=" << stddev
+     << " maxima=" << maxima.size() << " minima=" << minima.size()
+     << " period_ratio=" << period_ratio << " first_swing=" << first_swing
+     << " last_swing=" << last_swing << " damping=" << damping_ratio;
+  return os.str();
+}
+
+}  // namespace popan::core

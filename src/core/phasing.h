@@ -1,0 +1,61 @@
+#ifndef POPAN_CORE_PHASING_H_
+#define POPAN_CORE_PHASING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace popan::core {
+
+/// A sampled occupancy-versus-size series: the data behind the paper's
+/// Tables 4/5 and Figures 2/3.
+struct OccupancySeries {
+  std::vector<size_t> sample_sizes;      ///< numbers of points N, ascending
+  std::vector<double> nodes;             ///< mean leaf count at each N
+  std::vector<double> average_occupancy; ///< mean occupancy at each N
+};
+
+/// Summary of the oscillation in an occupancy series — the paper's
+/// *phasing* phenomenon: under a uniform distribution the whole node
+/// population fills and splits nearly in phase, so average occupancy
+/// oscillates with period log_4 N (one cycle per quadrupling of N) and
+/// does not damp; a non-uniform (e.g. Gaussian) distribution dephases the
+/// cohorts and the oscillation decays.
+struct PhasingAnalysis {
+  /// Indices into the series of local maxima / minima of occupancy.
+  std::vector<size_t> maxima;
+  std::vector<size_t> minima;
+
+  /// Mean ratio N_{k+1}/N_k between consecutive maxima — ~4 for phased
+  /// uniform data sampled along the paper's log schedule.
+  double period_ratio = 0.0;
+
+  /// Peak-to-trough swing of the first and last full cycles, and their
+  /// ratio last/first (the damping measure: ~1 for uniform, < 1 damped).
+  double first_swing = 0.0;
+  double last_swing = 0.0;
+  double damping_ratio = 0.0;
+
+  /// Overall mean and standard deviation of the occupancy values.
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Detects extrema and summarizes the oscillation. The series should be
+/// sampled on (approximately) the logarithmic schedule of
+/// LogarithmicSchedule so that extrema spacing is meaningful.
+PhasingAnalysis AnalyzePhasing(const OccupancySeries& series);
+
+/// The paper's sample-size schedule: sizes from `min_n` to `max_n`
+/// quadrupling every `steps_per_quadrupling` steps, i.e.
+/// floor(min_n * 4^(k / steps)). With min_n = 64, steps = 4, max_n = 4096
+/// this reproduces Table 4's column exactly:
+/// 64, 90, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048, 2896, 4096.
+std::vector<size_t> LogarithmicSchedule(size_t min_n, size_t max_n,
+                                        size_t steps_per_quadrupling = 4);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_PHASING_H_

@@ -1,0 +1,149 @@
+#include "core/pmr_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+#include "numerics/combinatorics.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace popan::core {
+
+namespace {
+
+/// A point uniform on the boundary of the unit square.
+geo::Point2 RandomBoundaryPoint(Pcg32& rng) {
+  double t = rng.NextDouble();
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return geo::Point2(t, 0.0);
+    case 1:
+      return geo::Point2(t, 1.0);
+    case 2:
+      return geo::Point2(0.0, t);
+    default:
+      return geo::Point2(1.0, t);
+  }
+}
+
+geo::Segment DrawSegment(SegmentStyle style, Pcg32& rng) {
+  switch (style) {
+    case SegmentStyle::kUniformEndpoints:
+      return geo::Segment(
+          geo::Point2(rng.NextDouble(), rng.NextDouble()),
+          geo::Point2(rng.NextDouble(), rng.NextDouble()));
+    case SegmentStyle::kChord:
+      return geo::Segment(RandomBoundaryPoint(rng), RandomBoundaryPoint(rng));
+    case SegmentStyle::kLongLine: {
+      // A random line through a uniform interior point at a uniform angle,
+      // extended far beyond the block so the stored piece is effectively a
+      // full crossing.
+      geo::Point2 p(rng.NextDouble(), rng.NextDouble());
+      double theta = rng.NextDouble(0.0, M_PI);
+      double dx = std::cos(theta), dy = std::sin(theta);
+      const double kFar = 10.0;
+      return geo::Segment(geo::Point2(p.x() - kFar * dx, p.y() - kFar * dy),
+                          geo::Point2(p.x() + kFar * dx, p.y() + kFar * dy));
+    }
+  }
+  POPAN_CHECK(false) << "unknown segment style";
+  return geo::Segment();
+}
+
+}  // namespace
+
+double EstimateQuadrantHitProbability(SegmentStyle style, size_t samples,
+                                      uint64_t seed) {
+  POPAN_CHECK(samples > 0);
+  Pcg32 rng(seed);
+  geo::Box2 block = geo::Box2::UnitCube();
+  uint64_t quadrant_hits = 0;  // over all 4 quadrants
+  uint64_t block_hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    geo::Segment segment = DrawSegment(style, rng);
+    if (!segment.IntersectsBox(block)) continue;
+    ++block_hits;
+    for (size_t q = 0; q < 4; ++q) {
+      if (segment.IntersectsBox(block.Quadrant(q))) ++quadrant_hits;
+    }
+  }
+  POPAN_CHECK(block_hits > 0) << "no sampled segment hit the block";
+  // The marginal per quadrant: total quadrant incidences / (4 * hits).
+  return static_cast<double>(quadrant_hits) /
+         (4.0 * static_cast<double>(block_hits));
+}
+
+num::Vector PmrSplitRow(size_t threshold, double q) {
+  POPAN_CHECK(threshold >= 1);
+  POPAN_CHECK(q > 0.0 && q < 1.0) << "q must be in (0,1), got" << q;
+  const size_t m = threshold;
+  const int n = static_cast<int>(m + 1);
+  // B_i = 4 C(m+1, i) q^i (1-q)^{m+1-i} for i = 0..m+1.
+  auto b = [&](size_t i) {
+    return 4.0 *
+           std::exp(num::LogBinomial(n, static_cast<int>(i)) +
+                    static_cast<double>(i) * std::log(q) +
+                    static_cast<double>(m + 1 - i) * std::log1p(-q));
+  };
+  double overflow = b(m + 1);
+  POPAN_CHECK(overflow < 1.0)
+      << "PMR model diverges: expected over-threshold children" << overflow;
+  num::Vector row(m + 1);
+  for (size_t i = 0; i <= m; ++i) {
+    row[i] = b(i) / (1.0 - overflow);
+  }
+  return row;
+}
+
+num::Matrix BuildPmrTransformMatrix(size_t threshold, double q) {
+  const size_t m = threshold;
+  num::Matrix t(m + 1, m + 1);
+  for (size_t i = 0; i + 1 <= m; ++i) t.At(i, i + 1) = 1.0;
+  t.SetRow(m, PmrSplitRow(threshold, q));
+  return t;
+}
+
+PopulationModel BuildPmrModel(size_t threshold, SegmentStyle style,
+                              size_t samples, uint64_t seed) {
+  double q = EstimateQuadrantHitProbability(style, samples, seed);
+  return PopulationModel(BuildPmrTransformMatrix(threshold, q));
+}
+
+num::Matrix BuildExtendedPmrTransformMatrix(size_t threshold, double q,
+                                            size_t max_state) {
+  POPAN_CHECK(threshold >= 1);
+  POPAN_CHECK(max_state >= threshold);
+  POPAN_CHECK(q > 0.0 && q < 1.0);
+  const size_t n = max_state + 1;
+  num::Matrix t(n, n);
+  for (size_t i = 0; i < threshold; ++i) {
+    t.At(i, i + 1) = 1.0;
+  }
+  for (size_t i = threshold; i <= max_state; ++i) {
+    // The node absorbs its (i+1)-st fragment and splits once. Each of the
+    // i+1 fragments hits a given child independently with probability q.
+    const int fragments = static_cast<int>(i + 1);
+    for (int k = 0; k <= fragments; ++k) {
+      double expected_children =
+          4.0 * std::exp(num::LogBinomial(fragments, k) +
+                         k * std::log(q) +
+                         (fragments - k) * std::log1p(-q));
+      size_t state = std::min<size_t>(static_cast<size_t>(k), max_state);
+      t.At(i, state) += expected_children;
+    }
+  }
+  return t;
+}
+
+PopulationModel BuildExtendedPmrModel(size_t threshold, SegmentStyle style,
+                                      size_t extra_states, size_t samples,
+                                      uint64_t seed) {
+  double q = EstimateQuadrantHitProbability(style, samples, seed);
+  return PopulationModel(
+      BuildExtendedPmrTransformMatrix(threshold, q, threshold + extra_states));
+}
+
+}  // namespace popan::core

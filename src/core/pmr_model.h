@@ -1,0 +1,83 @@
+#ifndef POPAN_CORE_PMR_MODEL_H_
+#define POPAN_CORE_PMR_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/population_model.h"
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+
+namespace popan::core {
+
+/// How the Monte-Carlo estimator draws random segments relative to a block
+/// (the "local interaction of the data primitive with the quadrants" the
+/// paper's §V says is all the PMR adaptation needs).
+enum class SegmentStyle {
+  /// Both endpoints uniform inside the block — short local segments.
+  kUniformEndpoints,
+  /// Endpoints uniform on the block boundary — chords.
+  kChord,
+  /// A uniformly random line clipped to the block — the long-segment
+  /// limit, where a stored segment crosses the whole block.
+  kLongLine,
+};
+
+/// Estimates q: the probability that a random segment known to intersect a
+/// block also intersects one given quadrant of it. By symmetry the four
+/// quadrants share this marginal. Monte-Carlo over `samples` segments in
+/// the unit square, deterministic in `seed`.
+double EstimateQuadrantHitProbability(SegmentStyle style, size_t samples,
+                                      uint64_t seed);
+
+/// The PMR split transform row for splitting threshold m and quadrant-hit
+/// probability q. When a block holding m+1 segment fragments splits, each
+/// fragment intersects a given child independently with probability q, so
+/// the expected number of children with occupancy i is
+///   B_i = 4 C(m+1, i) q^i (1-q)^{m+1-i},  i = 0 .. m+1.
+/// The PMR rule splits only once per insertion, but in steady state an
+/// over-threshold child splits on its next hit; folding that in the same
+/// way as the PR recurrence, t_m = (B_0..B_m) + B_{m+1} t_m, keeps the
+/// state space at m+1 populations. (This is the approximation of
+/// [Nels86b]; it is exact in the limit where over-threshold children are
+/// rare, i.e. B_{m+1} << 1.)
+num::Vector PmrSplitRow(size_t threshold, double q);
+
+/// The full PMR transform matrix: rows 0..m-1 are unit shifts (a fragment
+/// is absorbed), row m is PmrSplitRow.
+num::Matrix BuildPmrTransformMatrix(size_t threshold, double q);
+
+/// Convenience: the PMR population model for a threshold and segment
+/// style, with q estimated from `samples` Monte-Carlo draws.
+PopulationModel BuildPmrModel(size_t threshold, SegmentStyle style,
+                              size_t samples = 200000, uint64_t seed = 42);
+
+/// Extended PMR transform matrix with explicit over-threshold states.
+///
+/// The folded model above approximates an over-threshold child as
+/// splitting immediately, which is accurate only when such children are
+/// rare (B_{m+1} << 1). For long segments (chords, full crossings) q is
+/// large, over-threshold leaves are common — the PMR once-only rule lets
+/// them sit at occupancy > m until the next insertion touches them — and
+/// the folded model underpredicts occupancy badly.
+///
+/// This variant models occupancies 0 .. max_state as first-class
+/// populations (max_state >= threshold):
+///   - row i < threshold: absorb, unit shift to i+1;
+///   - row i >= threshold: the node receives its (i+1)-st fragment and
+///     splits once; the expected number of children with occupancy k is
+///     4 C(i+1, k) q^k (1-q)^{i+1-k}, with any k > max_state mass
+///     credited to the max_state population (negligible when max_state is
+///     a few states past the threshold).
+num::Matrix BuildExtendedPmrTransformMatrix(size_t threshold, double q,
+                                            size_t max_state);
+
+/// Convenience: the extended model with max_state = threshold + extra.
+PopulationModel BuildExtendedPmrModel(size_t threshold, SegmentStyle style,
+                                      size_t extra_states = 8,
+                                      size_t samples = 200000,
+                                      uint64_t seed = 42);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_PMR_MODEL_H_

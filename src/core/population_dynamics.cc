@@ -1,0 +1,45 @@
+#include "core/population_dynamics.h"
+
+#include "core/occupancy.h"
+#include "util/check.h"
+
+namespace popan::core {
+
+DynamicsTrajectory SimulateExpectedDynamics(const PopulationModel& model,
+                                            const num::Vector& initial_counts,
+                                            size_t steps,
+                                            size_t record_every) {
+  POPAN_CHECK(initial_counts.size() == model.NumPopulations());
+  POPAN_CHECK(initial_counts.AllNonNegative());
+  POPAN_CHECK(initial_counts.Sum() > 0.0);
+  POPAN_CHECK(record_every >= 1);
+
+  DynamicsTrajectory trajectory;
+  num::Vector counts = initial_counts;
+
+  auto record = [&](size_t step) {
+    trajectory.steps.push_back(step);
+    trajectory.distributions.push_back(counts.Normalized());
+    trajectory.node_counts.push_back(counts.Sum());
+  };
+  record(0);
+
+  for (size_t step = 1; step <= steps; ++step) {
+    double total = counts.Sum();
+    // counts += (counts T - counts) / total: one expected insertion.
+    num::Vector produced = model.transform().ApplyLeft(counts);
+    produced -= counts;
+    produced /= total;
+    counts += produced;
+    if (step % record_every == 0 || step == steps) record(step);
+  }
+  return trajectory;
+}
+
+double FinalDistanceToSteadyState(const DynamicsTrajectory& trajectory,
+                                  const num::Vector& steady_state) {
+  POPAN_CHECK(!trajectory.distributions.empty());
+  return DistributionDistance(trajectory.distributions.back(), steady_state);
+}
+
+}  // namespace popan::core

@@ -1,0 +1,46 @@
+#ifndef POPAN_CORE_POPULATION_DYNAMICS_H_
+#define POPAN_CORE_POPULATION_DYNAMICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/population_model.h"
+#include "numerics/vector.h"
+
+namespace popan::core {
+
+/// The trajectory of the expected-value population dynamics: the
+/// distribution after each recorded step of the mean-field insertion
+/// process. Demonstrates that the steady state is an attracting fixed
+/// point — starting from any population mix, the proportions flow to the
+/// expected distribution (which is why the paper can treat it as "the"
+/// typical state).
+struct DynamicsTrajectory {
+  /// Step indices at which `distributions` were recorded (0 = initial).
+  std::vector<size_t> steps;
+  /// Normalized population proportions at each recorded step.
+  std::vector<num::Vector> distributions;
+  /// Total node count (expected) at each recorded step.
+  std::vector<double> node_counts;
+};
+
+/// Evolves expected population counts under one insertion per step:
+///   counts' = counts + (counts T - counts) / |counts|_1
+/// (an insertion hits type i with probability counts_i / total, removing
+/// one node of type i and creating the row-i transform's nodes).
+/// `initial_counts` must be nonnegative with positive sum; a fresh
+/// structure is counts = (1, 0, …, 0) — one empty node. Records every
+/// `record_every`-th step (and always the first and last).
+DynamicsTrajectory SimulateExpectedDynamics(const PopulationModel& model,
+                                            const num::Vector& initial_counts,
+                                            size_t steps,
+                                            size_t record_every = 1);
+
+/// Distance of the final recorded distribution from the model's steady
+/// state (total-variation); a convergence diagnostic for tests/benches.
+double FinalDistanceToSteadyState(const DynamicsTrajectory& trajectory,
+                                  const num::Vector& steady_state);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_POPULATION_DYNAMICS_H_

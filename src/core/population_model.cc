@@ -1,0 +1,87 @@
+#include "core/population_model.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+namespace {
+
+num::Vector ComputeRowSums(const num::Matrix& t) {
+  num::Vector sums(t.rows());
+  for (size_t r = 0; r < t.rows(); ++r) sums[r] = t.RowSum(r);
+  return sums;
+}
+
+}  // namespace
+
+PopulationModel::PopulationModel(const TreeModelParams& params)
+    : transform_(BuildTransformMatrix(params)),
+      row_sums_(ComputeRowSums(transform_)) {}
+
+PopulationModel::PopulationModel(num::Matrix transform)
+    : transform_(std::move(transform)),
+      row_sums_(ComputeRowSums(transform_)) {
+  POPAN_CHECK(transform_.rows() == transform_.cols())
+      << "transform matrix must be square";
+  POPAN_CHECK(transform_.rows() >= 2) << "need at least two populations";
+}
+
+double PopulationModel::Normalization(const num::Vector& e) const {
+  POPAN_CHECK(e.size() == NumPopulations());
+  return e.Dot(row_sums_);
+}
+
+num::Vector PopulationModel::InsertionMap(const num::Vector& e) const {
+  double a = Normalization(e);
+  POPAN_CHECK(a > 0.0) << "degenerate distribution: a(e) <= 0";
+  num::Vector out = transform_.ApplyLeft(e);
+  out /= a;
+  return out;
+}
+
+num::Vector PopulationModel::Residual(const num::Vector& e) const {
+  const size_t n = NumPopulations();
+  POPAN_CHECK(e.size() == n);
+  double a = Normalization(e);
+  num::Vector et = transform_.ApplyLeft(e);
+  num::Vector f(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    f[i] = et[i] - a * e[i];
+  }
+  f[n - 1] = e.Sum() - 1.0;
+  return f;
+}
+
+num::Matrix PopulationModel::ResidualJacobian(const num::Vector& e) const {
+  const size_t n = NumPopulations();
+  POPAN_CHECK(e.size() == n);
+  double a = Normalization(e);
+  num::Matrix jac(n, n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double value = transform_.At(j, i) - row_sums_[j] * e[i];
+      if (i == j) value -= a;
+      jac.At(i, j) = value;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) jac.At(n - 1, j) = 1.0;
+  return jac;
+}
+
+double PopulationModel::AverageOccupancy(const num::Vector& e) const {
+  POPAN_CHECK(e.size() == NumPopulations());
+  double acc = 0.0;
+  for (size_t i = 0; i < e.size(); ++i) {
+    acc += e[i] * static_cast<double>(i);
+  }
+  return acc;
+}
+
+num::Vector PopulationModel::UniformDistribution() const {
+  return num::Vector(NumPopulations(),
+                     1.0 / static_cast<double>(NumPopulations()));
+}
+
+}  // namespace popan::core

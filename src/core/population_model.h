@@ -1,0 +1,82 @@
+#ifndef POPAN_CORE_POPULATION_MODEL_H_
+#define POPAN_CORE_POPULATION_MODEL_H_
+
+#include "core/transform_matrix.h"
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+
+namespace popan::core {
+
+/// The paper's population model of a bucketing structure: node populations
+/// indexed by occupancy 0..m, an insertion transform matrix T, and the
+/// steady-state ("expected distribution") condition
+///
+///     e T = a(e) e,   a(e) = sum_i e_i RowSum_i(T),   sum_i e_i = 1,
+///
+/// a system of m+1 quadratic equations whose unique positive solution is
+/// the model's prediction for the long-run proportions of node
+/// occupancies. This class owns T and exposes the maps and derivatives the
+/// solvers in steady_state.h need; it is agnostic about where T came from
+/// (the PR construction in transform_matrix.h, the Monte-Carlo PMR
+/// construction in pmr_model.h, or a caller-supplied matrix).
+class PopulationModel {
+ public:
+  /// Builds the model for a generalized PR tree (or any structure whose
+  /// transform matrix follows the paper's uniform-scatter construction).
+  explicit PopulationModel(const TreeModelParams& params);
+
+  /// Builds the model around an arbitrary transform matrix. `transform`
+  /// must be square; row i describes the expected node production of an
+  /// insertion into a node of occupancy i.
+  explicit PopulationModel(num::Matrix transform);
+
+  /// Number of populations, m+1.
+  size_t NumPopulations() const { return transform_.rows(); }
+
+  /// The node capacity m.
+  size_t Capacity() const { return transform_.rows() - 1; }
+
+  /// The transform matrix T.
+  const num::Matrix& transform() const { return transform_; }
+
+  /// Row sums of T (cached): the expected node count produced by an
+  /// insertion into each node type.
+  const num::Vector& row_sums() const { return row_sums_; }
+
+  /// The normalization scalar a(e) = sum_i e_i RowSum_i.
+  double Normalization(const num::Vector& e) const;
+
+  /// One step of the paper's insertion map G(e) = (e T) / a(e). G preserves
+  /// sum(e) = 1 and maps the open simplex to itself; its fixed point is the
+  /// expected distribution. This is the map the fixed-point solver
+  /// iterates.
+  num::Vector InsertionMap(const num::Vector& e) const;
+
+  /// The steady-state residual F(e), size m+1:
+  ///   F_i(e) = (e T)_i - a(e) e_i   for i < m,
+  ///   F_m(e) = sum_i e_i - 1        (the simplex constraint).
+  /// Replacing the redundant m-th balance equation with the constraint
+  /// makes the system square and regular at the solution, which is what
+  /// the Newton solver wants. (The omitted balance equation is implied:
+  /// the m+1 balance equations sum to zero identically.)
+  num::Vector Residual(const num::Vector& e) const;
+
+  /// Analytic Jacobian of Residual:
+  ///   dF_i/de_j = T_ji - RowSum_j e_i - a(e) [i == j]   for i < m,
+  ///   dF_m/de_j = 1.
+  num::Matrix ResidualJacobian(const num::Vector& e) const;
+
+  /// Expected occupancy under distribution `e`: e · (0, 1, …, m).
+  double AverageOccupancy(const num::Vector& e) const;
+
+  /// A sensible solver starting point: the uniform distribution.
+  num::Vector UniformDistribution() const;
+
+ private:
+  num::Matrix transform_;
+  num::Vector row_sums_;
+};
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_POPULATION_MODEL_H_

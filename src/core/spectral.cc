@@ -1,0 +1,56 @@
+#include "core/spectral.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/steady_state.h"
+#include "numerics/eigen.h"
+#include "util/check.h"
+
+namespace popan::core {
+
+num::Matrix InsertionMapJacobian(const PopulationModel& model,
+                                 const num::Vector& e) {
+  const size_t n = model.NumPopulations();
+  POPAN_CHECK(e.size() == n);
+  double a = model.Normalization(e);
+  POPAN_CHECK(a > 0.0);
+  num::Vector et = model.transform().ApplyLeft(e);
+  num::Matrix jac(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      jac.At(i, j) = model.transform().At(j, i) / a -
+                     et[i] * model.row_sums()[j] / (a * a);
+    }
+  }
+  return jac;
+}
+
+double SpectralAnalysis::PredictedIterations(double tolerance) const {
+  POPAN_CHECK(tolerance > 0.0 && tolerance < 1.0);
+  if (contraction_rate <= 0.0 || contraction_rate >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::log(tolerance) / std::log(contraction_rate);
+}
+
+StatusOr<SpectralAnalysis> AnalyzeSpectrum(const PopulationModel& model) {
+  SteadyStateOptions options;
+  options.method = SolverMethod::kNewton;
+  POPAN_ASSIGN_OR_RETURN(SteadyState steady,
+                         SolveSteadyState(model, options));
+  SpectralAnalysis analysis;
+  analysis.jacobian = InsertionMapJacobian(model, steady.distribution);
+  // At the fixed point the Jacobian annihilates the steady state itself
+  // (J e = 0) and preserves the zero-sum tangent space, so its spectral
+  // radius IS the contraction rate on the simplex. The dominant tangent
+  // eigenvalues come in complex pairs for most m (the occupancy shift is
+  // nearly cyclic), so the radius estimator is used rather than plain
+  // power iteration.
+  POPAN_ASSIGN_OR_RETURN(double radius,
+                         num::SpectralRadius(analysis.jacobian));
+  analysis.contraction_rate = radius;
+  return analysis;
+}
+
+}  // namespace popan::core

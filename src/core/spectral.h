@@ -1,0 +1,44 @@
+#ifndef POPAN_CORE_SPECTRAL_H_
+#define POPAN_CORE_SPECTRAL_H_
+
+#include "core/population_model.h"
+#include "numerics/matrix.h"
+#include "util/statusor.h"
+
+namespace popan::core {
+
+/// Spectral characterization of the steady state: how fast do
+/// perturbations of the population mix die out?
+///
+/// The insertion map G(e) = (e T)/a(e) fixes the expected distribution ē.
+/// Its Jacobian at ē, restricted to the tangent space of the simplex
+/// (perturbations summing to zero), governs the local dynamics: the
+/// largest-modulus eigenvalue ρ there is the asymptotic contraction rate
+/// of the paper's iterative solver, iterations ≈ log(tol)/log(ρ) — the
+/// quantity bench_solvers measures empirically.
+struct SpectralAnalysis {
+  /// The Jacobian of G at the steady state (full space).
+  num::Matrix jacobian;
+
+  /// Largest-modulus eigenvalue of the Jacobian on the simplex tangent
+  /// space (the direction ē itself maps with eigenvalue 1 and is
+  /// projected out).
+  double contraction_rate = 0.0;
+
+  /// Predicted fixed-point iterations to reach `tolerance` from O(1)
+  /// error: log(tolerance) / log(contraction_rate).
+  double PredictedIterations(double tolerance) const;
+};
+
+/// Computes the Jacobian of the insertion map at `e`:
+///   dG_i/de_j = T_ji / a(e) - (e T)_i RowSum_j / a(e)^2.
+num::Matrix InsertionMapJacobian(const PopulationModel& model,
+                                 const num::Vector& e);
+
+/// Solves the steady state internally and analyzes the linearization.
+/// Returns NotConverged/NumericError from the underlying solvers.
+StatusOr<SpectralAnalysis> AnalyzeSpectrum(const PopulationModel& model);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_SPECTRAL_H_

@@ -1,0 +1,89 @@
+#include "core/steady_state.h"
+
+#include <cmath>
+
+#include "numerics/fixed_point.h"
+#include "numerics/newton.h"
+#include "util/check.h"
+
+namespace popan::core {
+
+std::string_view SolverMethodToString(SolverMethod method) {
+  switch (method) {
+    case SolverMethod::kFixedPoint:
+      return "fixed-point";
+    case SolverMethod::kNewton:
+      return "newton";
+  }
+  return "?";
+}
+
+namespace {
+
+StatusOr<SteadyState> Finish(const PopulationModel& model, num::Vector e,
+                             int iterations, SolverMethod method) {
+  // The solution must be a positive probability vector; the model
+  // guarantees a unique such solution, so anything else is a solver or
+  // model failure.
+  if (!e.AllPositive()) {
+    return Status::NumericError(
+        "steady-state solution has non-positive components: " + e.ToString());
+  }
+  if (std::abs(e.Sum() - 1.0) > 1e-9) {
+    return Status::NumericError("steady-state solution is not normalized");
+  }
+  SteadyState out;
+  out.average_occupancy = model.AverageOccupancy(e);
+  out.storage_utilization =
+      out.average_occupancy / static_cast<double>(model.Capacity());
+  out.normalization = model.Normalization(e);
+  out.distribution = std::move(e);
+  out.iterations = iterations;
+  out.method_used = method;
+  return out;
+}
+
+}  // namespace
+
+StatusOr<SteadyState> SolveSteadyState(const PopulationModel& model,
+                                       const SteadyStateOptions& options) {
+  num::Vector start = model.UniformDistribution();
+  switch (options.method) {
+    case SolverMethod::kFixedPoint: {
+      num::FixedPointOptions fp_options;
+      fp_options.tolerance = options.tolerance;
+      fp_options.max_iterations = options.max_iterations;
+      POPAN_ASSIGN_OR_RETURN(
+          num::FixedPointResult result,
+          num::FixedPointIterate(
+              [&model](const num::Vector& e) { return model.InsertionMap(e); },
+              start, fp_options));
+      return Finish(model, std::move(result.solution), result.iterations,
+                    SolverMethod::kFixedPoint);
+    }
+    case SolverMethod::kNewton: {
+      num::NewtonOptions nt_options;
+      nt_options.residual_tolerance = options.tolerance;
+      nt_options.max_iterations = options.max_iterations;
+      POPAN_ASSIGN_OR_RETURN(
+          num::NewtonResult result,
+          num::NewtonSolve(
+              [&model](const num::Vector& e) { return model.Residual(e); },
+              [&model](const num::Vector& e) {
+                return model.ResidualJacobian(e);
+              },
+              start, nt_options));
+      return Finish(model, std::move(result.solution), result.iterations,
+                    SolverMethod::kNewton);
+    }
+  }
+  return Status::InvalidArgument("unknown solver method");
+}
+
+num::Vector AnalyticSteadyStateM1(size_t fanout) {
+  POPAN_CHECK(fanout >= 2);
+  double inv_sqrt_c = 1.0 / std::sqrt(static_cast<double>(fanout));
+  return num::Vector{1.0 - inv_sqrt_c, inv_sqrt_c};
+}
+
+}  // namespace popan::core

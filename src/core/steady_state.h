@@ -1,0 +1,77 @@
+#ifndef POPAN_CORE_STEADY_STATE_H_
+#define POPAN_CORE_STEADY_STATE_H_
+
+#include <string_view>
+
+#include "core/population_model.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::core {
+
+/// How to solve the steady-state system.
+enum class SolverMethod {
+  /// Iterate the paper's insertion map G(e) = (e T)/a(e) to its fixed
+  /// point — "the iterative technique which converged on the positive
+  /// solution" of the paper's §III. Robust and simple; linear convergence.
+  kFixedPoint,
+  /// Damped Newton on the residual with the analytic Jacobian; quadratic
+  /// convergence, a handful of iterations for any m.
+  kNewton,
+};
+
+std::string_view SolverMethodToString(SolverMethod method);
+
+/// Options for SolveSteadyState.
+struct SteadyStateOptions {
+  SolverMethod method = SolverMethod::kFixedPoint;
+  double tolerance = 1e-13;
+  int max_iterations = 100000;
+};
+
+/// A solved steady state: the paper's "expected distribution" e plus its
+/// summary statistics.
+struct SteadyState {
+  /// The expected distribution vector (p_0, …, p_m), summing to 1, all
+  /// components positive.
+  num::Vector distribution;
+
+  /// e · (0, 1, …, m) — the paper's "average node occupancy" (Table 2).
+  double average_occupancy = 0.0;
+
+  /// average_occupancy / m — storage utilization in [0, 1].
+  double storage_utilization = 0.0;
+
+  /// The normalization scalar a(e) at the solution: the expected number of
+  /// nodes produced per insertion, so a(e) - 1 new nodes appear per point
+  /// and the asymptotic node count is N (a-1) ... per unit point; exposed
+  /// because it is the natural growth-rate constant of the structure.
+  double normalization = 0.0;
+
+  /// Iterations the solver performed.
+  int iterations = 0;
+
+  /// Which method produced the result.
+  SolverMethod method_used = SolverMethod::kFixedPoint;
+};
+
+/// Solves e T = a(e) e, sum e = 1, e > 0 for the given model. The system
+/// has at most one positive solution ([Nels86b]); both methods converge to
+/// it from the uniform starting distribution for every transform matrix in
+/// this library. Verifies positivity before returning; a non-positive
+/// result yields NumericError (it would indicate a transform matrix
+/// outside the model's assumptions).
+StatusOr<SteadyState> SolveSteadyState(const PopulationModel& model,
+                                       const SteadyStateOptions& options = {});
+
+/// The closed-form m = 1 solution for fanout c:
+///   e = (1 - 1/sqrt(c), 1/sqrt(c)).
+/// For the paper's quadtree (c = 4) this is the §III analytic result
+/// (1/2, 1/2). Derivation: with T = [[0, 1], [c-1, 2]] the balance
+/// equation reduces to c e_0^2 - 2 c e_0 + (c - 1) = 0 whose root in
+/// (0, 1) is 1 - c^{-1/2}.
+num::Vector AnalyticSteadyStateM1(size_t fanout);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_STEADY_STATE_H_

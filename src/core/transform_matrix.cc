@@ -1,0 +1,152 @@
+#include "core/transform_matrix.h"
+
+#include <cmath>
+
+#include "numerics/combinatorics.h"
+#include "util/check.h"
+
+namespace popan::core {
+
+Status ValidateParams(const TreeModelParams& params) {
+  if (params.capacity < 1) {
+    return Status::InvalidArgument("capacity must be >= 1");
+  }
+  if (params.fanout < 2) {
+    return Status::InvalidArgument("fanout must be >= 2");
+  }
+  if (params.capacity > 512) {
+    return Status::InvalidArgument("capacity > 512 unsupported");
+  }
+  if (params.fanout > 1024) {
+    return Status::InvalidArgument("fanout > 1024 unsupported");
+  }
+  return Status::OK();
+}
+
+double ExpectedChildrenWithOccupancy(size_t n, size_t i, size_t c) {
+  POPAN_CHECK(c >= 2);
+  if (i > n) return 0.0;
+  // c * Binomial(n, 1/c) pmf at i, evaluated in log space for stability.
+  double log_c = std::log(static_cast<double>(c));
+  double log_cm1 = std::log(static_cast<double>(c - 1));
+  double log_value = std::log(static_cast<double>(c)) +
+                     num::LogBinomial(static_cast<int>(n), static_cast<int>(i)) -
+                     static_cast<double>(i) * log_c +
+                     static_cast<double>(n - i) * (log_cm1 - log_c);
+  return std::exp(log_value);
+}
+
+num::Vector SplitTransformRow(const TreeModelParams& params) {
+  POPAN_CHECK(ValidateParams(params).ok());
+  const size_t m = params.capacity;
+  const size_t c = params.fanout;
+  num::Vector row(m + 1);
+  // Component i = C(m+1, i) (c-1)^{m+1-i} / (c^m - 1), computed as
+  // P_i / (1 - c^-m) with P_i from ExpectedChildrenWithOccupancy — the
+  // closed form of the recurrence t_m = (P_0..P_m) + P_{m+1} t_m.
+  double log_c = std::log(static_cast<double>(c));
+  // log(c^m - 1) = m log c + log(1 - c^-m).
+  double log_denominator =
+      static_cast<double>(m) * log_c + std::log1p(-std::pow(c, -static_cast<double>(m)));
+  double log_cm1 = std::log(static_cast<double>(c - 1));
+  for (size_t i = 0; i <= m; ++i) {
+    double log_value =
+        num::LogBinomial(static_cast<int>(m + 1), static_cast<int>(i)) +
+        static_cast<double>(m + 1 - i) * log_cm1 - log_denominator;
+    row[i] = std::exp(log_value);
+  }
+  return row;
+}
+
+double SplitCohortOccupancy(const TreeModelParams& params) {
+  num::Vector row = SplitTransformRow(params);
+  double items = 0.0;
+  for (size_t i = 0; i < row.size(); ++i) {
+    items += row[i] * static_cast<double>(i);
+  }
+  return items / row.Sum();
+}
+
+num::Matrix BuildTransformMatrix(const TreeModelParams& params) {
+  POPAN_CHECK(ValidateParams(params).ok());
+  const size_t m = params.capacity;
+  num::Matrix t(m + 1, m + 1);
+  for (size_t i = 0; i + 1 <= m; ++i) {
+    t.At(i, i + 1) = 1.0;  // absorb: n_i -> n_{i+1}
+  }
+  t.SetRow(m, SplitTransformRow(params));
+  return t;
+}
+
+num::Vector RowSums(const TreeModelParams& params) {
+  const size_t m = params.capacity;
+  num::Vector sums(m + 1, 1.0);
+  sums[m] = SplitRowSum(params);
+  return sums;
+}
+
+StatusOr<num::Vector> SkewedSplitTransformRow(
+    size_t capacity, const std::vector<double>& quadrant_probs) {
+  if (capacity < 1 || capacity > 512) {
+    return Status::InvalidArgument("capacity out of range");
+  }
+  if (quadrant_probs.size() < 2) {
+    return Status::InvalidArgument("need at least two children");
+  }
+  double total = 0.0;
+  for (double p : quadrant_probs) {
+    if (!(p > 0.0) || !(p < 1.0)) {
+      return Status::InvalidArgument(
+          "quadrant probabilities must lie in (0, 1)");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("quadrant probabilities must sum to 1");
+  }
+  const size_t m = capacity;
+  const int n = static_cast<int>(m + 1);
+  // P_i = sum_q Binomial(m+1, p_q) pmf at i; P_{m+1} folds recursively.
+  num::Vector p_counts(m + 2);
+  for (double p : quadrant_probs) {
+    for (size_t i = 0; i <= m + 1; ++i) {
+      p_counts[i] += std::exp(num::LogBinomial(n, static_cast<int>(i)) +
+                              static_cast<double>(i) * std::log(p) +
+                              static_cast<double>(m + 1 - i) *
+                                  std::log1p(-p));
+    }
+  }
+  double overflow = p_counts[m + 1];
+  // Always < 1: each p_q^{m+1} < p_q and the p_q sum to 1, so the fold
+  // converges for every valid skew.
+  POPAN_CHECK(overflow < 1.0);
+  num::Vector row(m + 1);
+  for (size_t i = 0; i <= m; ++i) {
+    row[i] = p_counts[i] / (1.0 - overflow);
+  }
+  return row;
+}
+
+StatusOr<num::Matrix> BuildSkewedTransformMatrix(
+    size_t capacity, const std::vector<double>& quadrant_probs) {
+  POPAN_ASSIGN_OR_RETURN(num::Vector split_row,
+                         SkewedSplitTransformRow(capacity, quadrant_probs));
+  num::Matrix t(capacity + 1, capacity + 1);
+  for (size_t i = 0; i + 1 <= capacity; ++i) t.At(i, i + 1) = 1.0;
+  t.SetRow(capacity, split_row);
+  return t;
+}
+
+double SplitRowSum(const TreeModelParams& params) {
+  POPAN_CHECK(ValidateParams(params).ok());
+  const size_t m = params.capacity;
+  const double c = static_cast<double>(params.fanout);
+  // (c^{m+1} - 1) / (c^m - 1), stable via expm1/log1p-style rearrangement:
+  // both numerator and denominator are huge for large m, so compute the
+  // ratio as c * (1 - c^{-(m+1)}) / (1 - c^{-m}).
+  double cm = std::pow(c, -static_cast<double>(m));
+  double cm1 = std::pow(c, -static_cast<double>(m + 1));
+  return c * (1.0 - cm1) / (1.0 - cm);
+}
+
+}  // namespace popan::core

@@ -1,0 +1,85 @@
+#ifndef POPAN_CORE_TRANSFORM_MATRIX_H_
+#define POPAN_CORE_TRANSFORM_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::core {
+
+/// Parameters identifying a generalized PR tree for modeling purposes: its
+/// node capacity m and its fanout c = 2^dimension (4 for the paper's
+/// quadtrees; 2 for bintrees, 8 for octrees). The same pair also models
+/// fanout-2 bucket structures such as extendible hashing.
+struct TreeModelParams {
+  /// Node capacity m >= 1: a node splits on receiving its (m+1)-st item.
+  size_t capacity = 1;
+
+  /// Children per split, c >= 2. For a 2^d-ary regular decomposition this
+  /// is 2^d; extendible hashing splits buckets 2-for-1, so c = 2.
+  size_t fanout = 4;
+};
+
+/// Validates params (capacity >= 1, fanout >= 2, sizes small enough for
+/// stable double arithmetic: capacity <= 512, fanout <= 1024).
+Status ValidateParams(const TreeModelParams& params);
+
+/// The expected number of child blocks receiving exactly `i` of `n` items
+/// when a block of fanout `c` splits and the items scatter independently
+/// and uniformly: P_i = c * C(n, i) (1/c)^i (1 - 1/c)^{n-i}
+///               = C(n, i) (c-1)^{n-i} / c^{n-1}.
+/// The paper's P_i with n = m+1, c = 4. Note sum_i P_i = c (it counts
+/// blocks, not probability).
+double ExpectedChildrenWithOccupancy(size_t n, size_t i, size_t c);
+
+/// The split transform vector t_m: the expected numbers of nodes of each
+/// occupancy 0..m produced when a full node absorbs one more point and
+/// splits, *including* the recursive re-split when all m+1 points land in
+/// one child (probability c^-m). Solving the paper's recurrence
+///   t_m = (P_0, …, P_m) + P_{m+1} t_m
+/// gives component i = C(m+1, i) (c-1)^{m+1-i} / (c^m - 1).
+num::Vector SplitTransformRow(const TreeModelParams& params);
+
+/// The expected occupancy of a node freshly created by a split: the
+/// normalized dot product t_m · (0, …, m) / |t_m|_1. This is the value the
+/// paper's Table 3 shows deep (young) node cohorts approaching — 0.40 for
+/// m = 1, c = 4.
+double SplitCohortOccupancy(const TreeModelParams& params);
+
+/// The full (m+1) x (m+1) transform matrix T: row i (< m) is the unit
+/// vector e_{i+1} (absorb without splitting); row m is SplitTransformRow.
+num::Matrix BuildTransformMatrix(const TreeModelParams& params);
+
+/// Row sums of T as a vector: rows 0..m-1 sum to 1; row m sums to
+/// (c^{m+1} - 1) / (c^m - 1), slightly above c. The normalization scalar
+/// a(e) of the steady-state equation is the dot product of this vector
+/// with e.
+num::Vector RowSums(const TreeModelParams& params);
+
+/// Closed form of the row-m sum: (c^{m+1} - 1) / (c^m - 1).
+double SplitRowSum(const TreeModelParams& params);
+
+/// Extension beyond the paper's uniform-data assumption: the split
+/// transform row when an item falling into a splitting block lands in
+/// child q with probability quadrant_probs[q] (summing to 1; the uniform
+/// case is 1/c everywhere). The expected number of children with
+/// occupancy i becomes a sum of per-child binomials,
+///   P_i = sum_q C(m+1, i) p_q^i (1 - p_q)^{m+1-i},
+/// and the all-in-one-child recursion folds with P_{m+1} = sum_q p_q^{m+1}
+/// under the locally-self-similar approximation that a child block sees
+/// the same skew. Models locally skewed data (e.g. the diagonal
+/// distribution) with the same steady-state machinery. All probabilities
+/// must be in (0, 1) and the fold mass P_{m+1} must stay below 1.
+StatusOr<num::Vector> SkewedSplitTransformRow(
+    size_t capacity, const std::vector<double>& quadrant_probs);
+
+/// Full transform matrix with the skewed split row.
+StatusOr<num::Matrix> BuildSkewedTransformMatrix(
+    size_t capacity, const std::vector<double>& quadrant_probs);
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_TRANSFORM_MATRIX_H_

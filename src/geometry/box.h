@@ -1,0 +1,165 @@
+#ifndef POPAN_GEOMETRY_BOX_H_
+#define POPAN_GEOMETRY_BOX_H_
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "geometry/point.h"
+#include "util/check.h"
+
+namespace popan::geo {
+
+/// An axis-aligned box in D dimensions, closed at the low corner and open
+/// at the high corner ([lo, hi) per axis). Half-open boxes tile space
+/// exactly, so every point belongs to exactly one child when a quadtree
+/// block is quartered — the property the PR splitting rule depends on.
+template <size_t D>
+class Box {
+ public:
+  static constexpr size_t kDimension = D;
+  /// Number of children a block splits into: 2^D (4 for quadtrees).
+  static constexpr size_t kNumQuadrants = size_t{1} << D;
+
+  /// An empty box at the origin.
+  Box() = default;
+
+  /// Constructs [lo, hi). Each lo[i] <= hi[i] is required.
+  Box(const Point<D>& lo, const Point<D>& hi) : lo_(lo), hi_(hi) {
+    for (size_t i = 0; i < D; ++i) {
+      POPAN_DCHECK(lo[i] <= hi[i]) << "inverted box on axis" << i;
+    }
+  }
+
+  /// The cube [0, side)^D — the canonical root block of the experiments.
+  static Box UnitCube(double side = 1.0) {
+    Point<D> lo;
+    Point<D> hi;
+    for (size_t i = 0; i < D; ++i) hi[i] = side;
+    return Box(lo, hi);
+  }
+
+  const Point<D>& lo() const { return lo_; }
+  const Point<D>& hi() const { return hi_; }
+
+  /// Side length on axis `i`.
+  double Extent(size_t i) const { return hi_[i] - lo_[i]; }
+
+  /// D-dimensional volume (area for D = 2).
+  double Volume() const {
+    double v = 1.0;
+    for (size_t i = 0; i < D; ++i) v *= Extent(i);
+    return v;
+  }
+
+  /// Center point.
+  Point<D> Center() const {
+    Point<D> c;
+    for (size_t i = 0; i < D; ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+    return c;
+  }
+
+  /// True iff `p` lies inside the half-open box.
+  bool Contains(const Point<D>& p) const {
+    for (size_t i = 0; i < D; ++i) {
+      if (p[i] < lo_[i] || p[i] >= hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `other` is entirely inside this box (half-open semantics:
+  /// other.hi() may touch this->hi()).
+  bool ContainsBox(const Box& other) const {
+    for (size_t i = 0; i < D; ++i) {
+      if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff the two boxes overlap in a region of positive volume (or
+  /// share boundary under half-open semantics such that a point could be in
+  /// both — which cannot happen; this tests interior overlap).
+  bool Intersects(const Box& other) const {
+    for (size_t i = 0; i < D; ++i) {
+      if (other.hi_[i] <= lo_[i] || other.lo_[i] >= hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Index of the quadrant (child block) containing `p`, a D-bit code with
+  /// bit i set iff p[i] is in the upper half of axis i. `p` must be inside
+  /// the box.
+  size_t QuadrantOf(const Point<D>& p) const {
+    POPAN_DCHECK(Contains(p)) << "point outside box";
+    size_t index = 0;
+    Point<D> c = Center();
+    for (size_t i = 0; i < D; ++i) {
+      if (p[i] >= c[i]) index |= size_t{1} << i;
+    }
+    return index;
+  }
+
+  /// The child block with quadrant code `index` (see QuadrantOf). The 2^D
+  /// children tile this box exactly.
+  Box Quadrant(size_t index) const {
+    POPAN_DCHECK(index < kNumQuadrants);
+    Point<D> c = Center();
+    Point<D> lo = lo_;
+    Point<D> hi = hi_;
+    for (size_t i = 0; i < D; ++i) {
+      if (index & (size_t{1} << i)) {
+        lo[i] = c[i];
+      } else {
+        hi[i] = c[i];
+      }
+    }
+    return Box(lo, hi);
+  }
+
+  /// Squared distance from `p` to the closest point of the box (0 if
+  /// inside). Used by nearest-neighbour search to prune subtrees.
+  double DistanceSquaredTo(const Point<D>& p) const {
+    double acc = 0.0;
+    for (size_t i = 0; i < D; ++i) {
+      double d = 0.0;
+      if (p[i] < lo_[i]) {
+        d = lo_[i] - p[i];
+      } else if (p[i] > hi_[i]) {
+        d = p[i] - hi_[i];
+      }
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+  friend bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+
+  /// Renders "[lo, hi)".
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "[" << lo_.ToString() << ", " << hi_.ToString() << ")";
+    return os.str();
+  }
+
+ private:
+  Point<D> lo_;
+  Point<D> hi_;
+};
+
+template <size_t D>
+std::ostream& operator<<(std::ostream& os, const Box<D>& b) {
+  return os << b.ToString();
+}
+
+using Box1 = Box<1>;
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+}  // namespace popan::geo
+
+#endif  // POPAN_GEOMETRY_BOX_H_

@@ -1,0 +1,107 @@
+#ifndef POPAN_GEOMETRY_POINT_H_
+#define POPAN_GEOMETRY_POINT_H_
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+
+namespace popan::geo {
+
+/// A point in D-dimensional Euclidean space. D = 1 serves the bintree,
+/// D = 2 the quadtree (the paper's subject), D = 3 the octree; the
+/// population machinery is dimension-generic.
+template <size_t D>
+class Point {
+ public:
+  static constexpr size_t kDimension = D;
+
+  /// The origin.
+  Point() { coords_.fill(0.0); }
+
+  /// Constructs from exactly D coordinates.
+  template <typename... Coords,
+            typename = std::enable_if_t<sizeof...(Coords) == D>>
+  explicit Point(Coords... coords)
+      : coords_{static_cast<double>(coords)...} {}
+
+  /// Constructs from an array of coordinates.
+  explicit Point(const std::array<double, D>& coords) : coords_(coords) {}
+
+  double& operator[](size_t i) {
+    POPAN_DCHECK(i < D);
+    return coords_[i];
+  }
+  double operator[](size_t i) const {
+    POPAN_DCHECK(i < D);
+    return coords_[i];
+  }
+
+  const std::array<double, D>& coords() const { return coords_; }
+
+  /// Convenience accessors for the common dimensions.
+  double x() const {
+    static_assert(D >= 1);
+    return coords_[0];
+  }
+  double y() const {
+    static_assert(D >= 2, "y() requires at least 2 dimensions");
+    return coords_[1];
+  }
+  double z() const {
+    static_assert(D >= 3, "z() requires at least 3 dimensions");
+    return coords_[2];
+  }
+
+  /// Squared Euclidean distance to `other`.
+  double DistanceSquared(const Point& other) const {
+    double acc = 0.0;
+    for (size_t i = 0; i < D; ++i) {
+      double d = coords_[i] - other.coords_[i];
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  /// Euclidean distance to `other`.
+  double Distance(const Point& other) const {
+    return std::sqrt(DistanceSquared(other));
+  }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coords_ == b.coords_;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+  /// Renders "(x, y)".
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < D; ++i) {
+      if (i != 0) os << ", ";
+      os << coords_[i];
+    }
+    os << ")";
+    return os.str();
+  }
+
+ private:
+  std::array<double, D> coords_;
+};
+
+template <size_t D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+  return os << p.ToString();
+}
+
+using Point1 = Point<1>;
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace popan::geo
+
+#endif  // POPAN_GEOMETRY_POINT_H_

@@ -1,0 +1,75 @@
+#include "geometry/segment.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace popan::geo {
+
+double Orient2D(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x() - a.x()) * (c.y() - a.y()) -
+         (b.y() - a.y()) * (c.x() - a.x());
+}
+
+namespace {
+
+/// True iff `p` lies on segment [a, b], assuming the three are collinear.
+bool OnCollinearSegment(const Point2& a, const Point2& b, const Point2& p) {
+  return std::min(a.x(), b.x()) <= p.x() && p.x() <= std::max(a.x(), b.x()) &&
+         std::min(a.y(), b.y()) <= p.y() && p.y() <= std::max(a.y(), b.y());
+}
+
+}  // namespace
+
+bool Segment::IntersectsSegment(const Segment& other) const {
+  const Point2& p1 = a_;
+  const Point2& p2 = b_;
+  const Point2& q1 = other.a_;
+  const Point2& q2 = other.b_;
+
+  double o1 = Orient2D(p1, p2, q1);
+  double o2 = Orient2D(p1, p2, q2);
+  double o3 = Orient2D(q1, q2, p1);
+  double o4 = Orient2D(q1, q2, p2);
+
+  if (((o1 > 0) != (o2 > 0)) && ((o3 > 0) != (o4 > 0)) && o1 != 0 &&
+      o2 != 0 && o3 != 0 && o4 != 0) {
+    return true;  // proper crossing
+  }
+  // Degenerate cases: collinear or endpoint-touching.
+  if (o1 == 0 && OnCollinearSegment(p1, p2, q1)) return true;
+  if (o2 == 0 && OnCollinearSegment(p1, p2, q2)) return true;
+  if (o3 == 0 && OnCollinearSegment(q1, q2, p1)) return true;
+  if (o4 == 0 && OnCollinearSegment(q1, q2, p2)) return true;
+  return false;
+}
+
+bool Segment::IntersectsBox(const Box2& box) const {
+  // Closed-box semantics. First the cheap cases: an endpoint inside.
+  auto inside = [&box](const Point2& p) {
+    return p.x() >= box.lo().x() && p.x() <= box.hi().x() &&
+           p.y() >= box.lo().y() && p.y() <= box.hi().y();
+  };
+  if (inside(a_) || inside(b_)) return true;
+
+  // Otherwise the segment must cross one of the four edges.
+  Point2 c00(box.lo().x(), box.lo().y());
+  Point2 c10(box.hi().x(), box.lo().y());
+  Point2 c01(box.lo().x(), box.hi().y());
+  Point2 c11(box.hi().x(), box.hi().y());
+  return IntersectsSegment(Segment(c00, c10)) ||
+         IntersectsSegment(Segment(c10, c11)) ||
+         IntersectsSegment(Segment(c11, c01)) ||
+         IntersectsSegment(Segment(c01, c00));
+}
+
+std::string Segment::ToString() const {
+  std::ostringstream os;
+  os << a_.ToString() << "-" << b_.ToString();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.ToString();
+}
+
+}  // namespace popan::geo

@@ -1,0 +1,60 @@
+#ifndef POPAN_GEOMETRY_SEGMENT_H_
+#define POPAN_GEOMETRY_SEGMENT_H_
+
+#include <ostream>
+#include <string>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace popan::geo {
+
+/// A 2-D line segment between two endpoints. The PMR-quadtree extension
+/// (the paper's §V companion analysis) stores segments in quadtree blocks;
+/// the only geometric predicate it needs is segment–box intersection.
+class Segment {
+ public:
+  Segment() = default;
+  Segment(const Point2& a, const Point2& b) : a_(a), b_(b) {}
+
+  const Point2& a() const { return a_; }
+  const Point2& b() const { return b_; }
+
+  /// Segment length.
+  double Length() const { return a_.Distance(b_); }
+
+  /// True iff the segment has a point strictly inside or on the boundary of
+  /// the closed box [lo, hi] (the closed box is used here: a segment that
+  /// only grazes a block boundary is conventionally stored in both blocks
+  /// by PMR implementations).
+  bool IntersectsBox(const Box2& box) const;
+
+  /// True iff this segment and `other` intersect (closed segments,
+  /// including endpoint touching and collinear overlap).
+  bool IntersectsSegment(const Segment& other) const;
+
+  friend bool operator==(const Segment& s, const Segment& t) {
+    return s.a_ == t.a_ && s.b_ == t.b_;
+  }
+  friend bool operator!=(const Segment& s, const Segment& t) {
+    return !(s == t);
+  }
+
+  /// Renders "(x1, y1)-(x2, y2)".
+  std::string ToString() const;
+
+ private:
+  Point2 a_;
+  Point2 b_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Segment& s);
+
+/// Orientation of the ordered triple (a, b, c): positive for
+/// counter-clockwise, negative for clockwise, zero for collinear. The
+/// standard cross-product predicate used by the intersection tests.
+double Orient2D(const Point2& a, const Point2& b, const Point2& c);
+
+}  // namespace popan::geo
+
+#endif  // POPAN_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,77 @@
+#include "numerics/combinatorics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace popan::num {
+
+StatusOr<int64_t> BinomialExact(int n, int k) {
+  if (n < 0 || k < 0 || k > n) {
+    return Status::InvalidArgument("BinomialExact requires 0 <= k <= n");
+  }
+  if (k > n - k) k = n - k;
+  // 128-bit intermediates: after step i the value is C(n-k+i, i), which is
+  // at most C(n, k); the transient product before dividing by i can exceed
+  // int64 even when the final coefficient fits.
+  unsigned __int128 result = 1;
+  const unsigned __int128 kMax = std::numeric_limits<int64_t>::max();
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<unsigned>(n - k + i) /
+             static_cast<unsigned>(i);
+    if (result > kMax) {
+      return Status::NumericError("binomial coefficient overflows int64");
+    }
+  }
+  return static_cast<int64_t>(result);
+}
+
+double Binomial(int n, int k) {
+  POPAN_CHECK(n >= 0);
+  if (k < 0 || k > n) return 0.0;
+  if (n <= 60) {
+    // Exact path for everything the models use.
+    StatusOr<int64_t> exact = BinomialExact(n, k);
+    POPAN_CHECK(exact.ok());
+    return static_cast<double>(exact.value());
+  }
+  return std::round(std::exp(LogBinomial(n, k)));
+}
+
+double LogBinomial(int n, int k) {
+  POPAN_CHECK(n >= 0 && k >= 0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+double Factorial(int n) {
+  POPAN_CHECK(n >= 0);
+  return std::round(std::exp(std::lgamma(n + 1.0)));
+}
+
+double BinomialBucketProbability(int n, int i, int buckets) {
+  POPAN_CHECK(n >= 0);
+  POPAN_CHECK(buckets >= 2);
+  if (i < 0 || i > n) return 0.0;
+  double p = 1.0 / buckets;
+  // Compute in log space to stay stable for large n.
+  double log_prob = LogBinomial(n, i) + i * std::log(p) +
+                    (n - i) * std::log1p(-p);
+  return std::exp(log_prob);
+}
+
+int64_t PowInt(int64_t base, int exp) {
+  POPAN_CHECK(exp >= 0);
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) {
+    POPAN_DCHECK(base == 0 ||
+                 std::abs(result) <=
+                     std::numeric_limits<int64_t>::max() / std::abs(base))
+        << "PowInt overflow:" << base << "^" << exp;
+    result *= base;
+  }
+  return result;
+}
+
+}  // namespace popan::num

@@ -1,0 +1,39 @@
+#ifndef POPAN_NUMERICS_COMBINATORICS_H_
+#define POPAN_NUMERICS_COMBINATORICS_H_
+
+#include <cstdint>
+
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// Exact binomial coefficient C(n, k) as a 64-bit integer. Returns
+/// NumericError on overflow (first overflow at C(67, 33) ≈ 1.4e19 > 2^63).
+/// The population models use n ≤ m+1 with m ≤ 64, which is safe for every
+/// capacity this library supports.
+StatusOr<int64_t> BinomialExact(int n, int k);
+
+/// Binomial coefficient as a double via lgamma; exact to double precision
+/// for the small arguments used here and overflow-free for large ones.
+double Binomial(int n, int k);
+
+/// Natural log of C(n, k). Requires 0 <= k <= n.
+double LogBinomial(int n, int k);
+
+/// n! as a double via lgamma (exact for n <= 22 at double precision).
+double Factorial(int n);
+
+/// Probability that a bucket receives exactly `i` of `n` balls thrown
+/// independently and uniformly into `buckets` buckets:
+///   C(n, i) (1/buckets)^i (1 - 1/buckets)^{n-i}.
+/// This is the quadrant-occupancy distribution at the heart of the paper's
+/// transform-matrix derivation (n = m+1, buckets = 4 for quadtrees).
+double BinomialBucketProbability(int n, int i, int buckets);
+
+/// Integer power base^exp for small arguments; CHECK-fails on overflow in
+/// debug builds. exp must be >= 0.
+int64_t PowInt(int64_t base, int exp);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_COMBINATORICS_H_

@@ -1,0 +1,60 @@
+#ifndef POPAN_NUMERICS_EIGEN_H_
+#define POPAN_NUMERICS_EIGEN_H_
+
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// Options for the power iteration.
+struct PowerIterationOptions {
+  double tolerance = 1e-12;   ///< stop when the eigenvalue estimate settles
+  int max_iterations = 50000;
+};
+
+/// A (real) eigenpair estimate.
+struct EigenPair {
+  double value = 0.0;
+  Vector vector;       ///< unit L2 norm, sign such that the largest
+                       ///< absolute component is positive
+  int iterations = 0;
+};
+
+/// Power iteration for the dominant eigenvalue of `a` (by modulus),
+/// assuming it is real and simple — true for the nonnegative transform
+/// matrices (Perron–Frobenius) and the linearized insertion maps this
+/// library feeds it. Returns NotConverged when the gap is too small
+/// within the budget, NumericError if iterates degenerate.
+StatusOr<EigenPair> PowerIteration(const Matrix& a,
+                                   const PowerIterationOptions& options = {});
+
+/// The dominant eigenvalue of `a - shift I`, shifted back — power
+/// iteration with a spectral shift, used to find the subdominant
+/// eigenvalue of a stochastic-like map: call with shift = dominant value
+/// after deflating is not needed when the dominant eigenvector is known;
+/// see DeflateOnce.
+StatusOr<EigenPair> ShiftedPowerIteration(
+    const Matrix& a, double shift,
+    const PowerIterationOptions& options = {});
+
+/// Estimates the spectral radius (largest eigenvalue modulus) of `a`.
+/// Unlike PowerIteration this also handles complex dominant pairs, whose
+/// iterates rotate instead of converging: the radius is recovered as the
+/// geometric mean of the per-step norm growth over the tail of the run
+/// (||A^k v|| ~ rho^k up to a bounded oscillation). Returns 0 for
+/// nilpotent-like maps whose iterates vanish.
+StatusOr<double> SpectralRadius(const Matrix& a, int iterations = 2000);
+
+/// Removes a known eigenpair by Hotelling deflation:
+///   A' = A - value * v w^T / (w^T v),
+/// where `right` = v is the right eigenvector and `left` = w the left one
+/// (for symmetric A pass the same vector twice). The remaining spectrum
+/// of A' equals A's with `value` replaced by 0, so a second power
+/// iteration on A' yields the subdominant pair.
+Matrix DeflateOnce(const Matrix& a, double value, const Vector& right,
+                   const Vector& left);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_EIGEN_H_

@@ -1,0 +1,53 @@
+#include "numerics/fixed_point.h"
+
+#include <cmath>
+#include <string>
+
+namespace popan::num {
+
+namespace {
+
+bool AllFinite(const Vector& v) {
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!std::isfinite(v[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<FixedPointResult> FixedPointIterate(
+    const std::function<Vector(const Vector&)>& g, const Vector& x0,
+    const FixedPointOptions& options) {
+  if (options.damping <= 0.0 || options.damping > 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1]");
+  }
+  FixedPointResult result;
+  result.solution = x0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Vector next = g(result.solution);
+    if (next.size() != result.solution.size() || !AllFinite(next)) {
+      return Status::NumericError(
+          "fixed-point map produced a non-finite or mis-sized iterate at "
+          "iteration " +
+          std::to_string(iter));
+    }
+    if (options.damping < 1.0) {
+      next = result.solution * (1.0 - options.damping) +
+             next * options.damping;
+    }
+    double delta = next.MaxAbsDiff(result.solution);
+    result.solution = std::move(next);
+    result.delta = delta;
+    result.iterations = iter + 1;
+    if (delta <= options.tolerance) {
+      return result;
+    }
+  }
+  return Status::NotConverged("fixed point: no convergence after " +
+                              std::to_string(options.max_iterations) +
+                              " iterations (delta " +
+                              std::to_string(result.delta) + ")");
+}
+
+}  // namespace popan::num

@@ -1,0 +1,42 @@
+#ifndef POPAN_NUMERICS_FIXED_POINT_H_
+#define POPAN_NUMERICS_FIXED_POINT_H_
+
+#include <functional>
+
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// Options for the fixed-point iteration.
+struct FixedPointOptions {
+  /// Stop when successive iterates differ by at most this (max norm).
+  double tolerance = 1e-14;
+  /// Give up after this many iterations.
+  int max_iterations = 100000;
+  /// Damping in (0, 1]: x' = (1-damping) x + damping G(x). 1.0 is the
+  /// undamped Picard iteration the paper used.
+  double damping = 1.0;
+};
+
+/// Result of a fixed-point iteration.
+struct FixedPointResult {
+  Vector solution;     ///< The fixed point found.
+  double delta = 0.0;  ///< Final ||x_{k+1} - x_k||_inf.
+  int iterations = 0;  ///< Iterations performed.
+};
+
+/// Iterates x <- (1-d) x + d G(x) from `x0` until successive iterates agree
+/// to `options.tolerance`. This is "the iterative technique" of the paper:
+/// for the population model, G(e) = (e T) / a(e) is normalization-preserving
+/// and contracts onto the unique positive solution.
+///
+/// Returns NotConverged if the iteration budget is exhausted, and
+/// NumericError if an iterate turns non-finite.
+StatusOr<FixedPointResult> FixedPointIterate(
+    const std::function<Vector(const Vector&)>& g, const Vector& x0,
+    const FixedPointOptions& options = {});
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_FIXED_POINT_H_

@@ -1,0 +1,102 @@
+#include "numerics/lu.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace popan::num {
+
+StatusOr<LuDecomposition> LuDecomposition::Factor(const Matrix& a,
+                                                  double pivot_tolerance) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int parity = 1;
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining entry of column k to
+    // the diagonal.
+    size_t pivot_row = k;
+    double pivot_mag = std::abs(lu.At(k, k));
+    for (size_t r = k + 1; r < n; ++r) {
+      double mag = std::abs(lu.At(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tolerance) {
+      return Status::NumericError("singular matrix in LU factorization");
+    }
+    if (pivot_row != k) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu.At(k, c), lu.At(pivot_row, c));
+      }
+      std::swap(perm[k], perm[pivot_row]);
+      parity = -parity;
+    }
+    // Eliminate below the pivot, storing multipliers in the L part.
+    double pivot = lu.At(k, k);
+    for (size_t r = k + 1; r < n; ++r) {
+      double mult = lu.At(r, k) / pivot;
+      lu.At(r, k) = mult;
+      if (mult == 0.0) continue;
+      for (size_t c = k + 1; c < n; ++c) {
+        lu.At(r, c) -= mult * lu.At(k, c);
+      }
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), parity);
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  const size_t n = size();
+  POPAN_CHECK(b.size() == n);
+  // Forward substitution with the permuted right-hand side: L y = P b.
+  Vector y(n);
+  for (size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (size_t c = 0; c < r; ++c) acc -= lu_.At(r, c) * y[c];
+    y[r] = acc;
+  }
+  // Back substitution: U x = y.
+  Vector x(n);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (size_t c = ri + 1; c < n; ++c) acc -= lu_.At(ri, c) * x[c];
+    x[ri] = acc / lu_.At(ri, ri);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  POPAN_CHECK(b.rows() == size());
+  Matrix x(b.rows(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (size_t r = 0; r < b.rows(); ++r) x.At(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return Solve(Matrix::Identity(size()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = parity_;
+  for (size_t i = 0; i < size(); ++i) det *= lu_.At(i, i);
+  return det;
+}
+
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  POPAN_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Factor(a));
+  return lu.Solve(b);
+}
+
+}  // namespace popan::num

@@ -1,0 +1,52 @@
+#ifndef POPAN_NUMERICS_LU_H_
+#define POPAN_NUMERICS_LU_H_
+
+#include <vector>
+
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// LU decomposition with partial (row) pivoting: P A = L U. Factors once,
+/// then solves any number of right-hand sides in O(n^2) each. This is the
+/// linear-algebra kernel behind the Newton steady-state solver; the systems
+/// involved are tiny (n = m+2 ≤ ~66) and well-conditioned.
+class LuDecomposition {
+ public:
+  /// Factors `a`, which must be square. Returns NumericError if the matrix
+  /// is singular to working precision (a pivot below `pivot_tolerance`).
+  static StatusOr<LuDecomposition> Factor(const Matrix& a,
+                                          double pivot_tolerance = 1e-13);
+
+  /// Solves A x = b for one right-hand side. `b.size()` must equal n.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B columnwise.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Returns A^{-1} (solves against the identity).
+  Matrix Inverse() const;
+
+  /// Determinant of A (product of U's diagonal, sign-adjusted for the
+  /// permutation parity).
+  double Determinant() const;
+
+  size_t size() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<size_t> perm, int parity)
+      : lu_(std::move(lu)), perm_(std::move(perm)), parity_(parity) {}
+
+  Matrix lu_;                 // L (unit diagonal, below) and U (diag + above)
+  std::vector<size_t> perm_;  // row permutation: row i of PA is row perm_[i]
+  int parity_;                // +1 or -1, permutation sign
+};
+
+/// One-shot convenience: factor `a` and solve A x = b.
+StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_LU_H_

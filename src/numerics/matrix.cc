@@ -1,0 +1,174 @@
+#include "numerics/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::num {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    POPAN_CHECK(row.size() == cols_) << "ragged initializer";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  POPAN_DCHECK(r < rows_ && c < cols_)
+      << "(" << r << "," << c << ") in " << rows_ << "x" << cols_;
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  POPAN_DCHECK(r < rows_ && c < cols_)
+      << "(" << r << "," << c << ") in " << rows_ << "x" << cols_;
+  return data_[r * cols_ + c];
+}
+
+Vector Matrix::Row(size_t r) const {
+  POPAN_CHECK(r < rows_);
+  Vector out(cols_);
+  for (size_t c = 0; c < cols_; ++c) out[c] = At(r, c);
+  return out;
+}
+
+Vector Matrix::Col(size_t c) const {
+  POPAN_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& row) {
+  POPAN_CHECK(r < rows_);
+  POPAN_CHECK(row.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = row[c];
+}
+
+double Matrix::RowSum(size_t r) const {
+  POPAN_CHECK(r < rows_);
+  double acc = 0.0;
+  for (size_t c = 0; c < cols_; ++c) acc += At(r, c);
+  return acc;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  POPAN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  POPAN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  POPAN_CHECK(cols_ == other.rows_)
+      << rows_ << "x" << cols_ << " * " << other.rows_ << "x" << other.cols_;
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::Apply(const Vector& v) const {
+  POPAN_CHECK(v.size() == cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += At(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::ApplyLeft(const Vector& v) const {
+  POPAN_CHECK(v.size() == rows_);
+  Vector out(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double x = v[r];
+    if (x == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += x * At(r, c);
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  POPAN_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::abs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c != 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]";
+    if (r + 1 != rows_) os << "\n";
+  }
+  return os.str();
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      if (a.At(r, c) != b.At(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  return os << m.ToString();
+}
+
+}  // namespace popan::num

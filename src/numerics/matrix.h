@@ -1,0 +1,105 @@
+#ifndef POPAN_NUMERICS_MATRIX_H_
+#define POPAN_NUMERICS_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "numerics/vector.h"
+
+namespace popan::num {
+
+/// A dense row-major real matrix. Transform matrices in this library are
+/// (m+1)x(m+1) with m ≤ ~64, so the implementation is straightforward
+/// triple-loop code with checked access.
+class Matrix {
+ public:
+  /// Constructs an empty (0x0) matrix.
+  Matrix() = default;
+
+  /// Constructs a rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Constructs from nested braces: Matrix{{1,2},{3,4}}. All rows must have
+  /// the same length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Returns the n x n identity matrix.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix whose rows are the given vectors (all equal length).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Element access, row-major, DCHECK-bounded.
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Returns row `r` as a Vector.
+  Vector Row(size_t r) const;
+
+  /// Returns column `c` as a Vector.
+  Vector Col(size_t c) const;
+
+  /// Overwrites row `r` (length must equal cols()).
+  void SetRow(size_t r, const Vector& row);
+
+  /// Sum of the entries of row `r`. For a population transform matrix this
+  /// is the expected number of nodes produced by an insertion into a node
+  /// of occupancy r.
+  double RowSum(size_t r) const;
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product; inner dimensions must agree.
+  Matrix operator*(const Matrix& other) const;
+
+  /// Right action on a column vector: (A v)_r = sum_c A(r,c) v_c.
+  Vector Apply(const Vector& v) const;
+
+  /// Left action on a row vector: (v A)_c = sum_r v_r A(r,c). This is the
+  /// form the population fixed-point equation e T = a e uses.
+  Vector ApplyLeft(const Vector& v) const;
+
+  /// Largest absolute entry difference to `other` (same shape required).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// Multi-line rendering with `precision` fractional digits.
+  std::string ToString(int precision = 6) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+bool operator==(const Matrix& a, const Matrix& b);
+inline bool operator!=(const Matrix& a, const Matrix& b) { return !(a == b); }
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_MATRIX_H_

@@ -1,0 +1,124 @@
+#include "numerics/newton.h"
+
+#include <cmath>
+
+#include "numerics/lu.h"
+#include "util/check.h"
+
+namespace popan::num {
+
+namespace {
+
+/// Shared driver: `make_jacobian` produces J(x) and reports how many extra
+/// function evaluations it spent (0 for analytic, n for forward-difference).
+StatusOr<NewtonResult> NewtonDriver(
+    const VectorFunction& f,
+    const std::function<Matrix(const Vector&, int*)>& make_jacobian,
+    const Vector& x0, const NewtonOptions& options) {
+  NewtonResult result;
+  result.solution = x0;
+  Vector fx = f(result.solution);
+  result.function_evals = 1;
+  double fnorm = fx.NormInf();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (fnorm <= options.residual_tolerance) {
+      result.residual = fnorm;
+      result.iterations = iter;
+      return result;
+    }
+    Matrix jac = make_jacobian(result.solution, &result.function_evals);
+    StatusOr<LuDecomposition> lu = LuDecomposition::Factor(jac);
+    if (!lu.ok()) {
+      return Status::NumericError("Newton: singular Jacobian at iteration " +
+                                  std::to_string(iter));
+    }
+    // Newton step: solve J dx = -F(x).
+    Vector neg_fx = fx * -1.0;
+    Vector dx = lu->Solve(neg_fx);
+
+    // Backtracking line search: halve the step until the residual improves.
+    double lambda = 1.0;
+    Vector candidate = result.solution + dx;
+    Vector f_candidate = f(candidate);
+    ++result.function_evals;
+    int backtracks = 0;
+    while (f_candidate.NormInf() >= fnorm &&
+           backtracks < options.max_backtracks) {
+      lambda *= 0.5;
+      candidate = result.solution + dx * lambda;
+      f_candidate = f(candidate);
+      ++result.function_evals;
+      ++backtracks;
+    }
+
+    double step_size = (dx * lambda).NormInf();
+    result.solution = candidate;
+    fx = f_candidate;
+    fnorm = fx.NormInf();
+
+    if (step_size <= options.step_tolerance) {
+      result.residual = fnorm;
+      result.iterations = iter + 1;
+      if (fnorm <= options.residual_tolerance * 1e3) {
+        // Stagnated but essentially converged: accept.
+        return result;
+      }
+      return Status::NotConverged(
+          "Newton stagnated with residual " + std::to_string(fnorm));
+    }
+  }
+  if (fnorm <= options.residual_tolerance) {
+    result.residual = fnorm;
+    result.iterations = options.max_iterations;
+    return result;
+  }
+  return Status::NotConverged("Newton: iteration budget exhausted, residual " +
+                              std::to_string(fnorm));
+}
+
+}  // namespace
+
+Matrix NumericJacobian(const VectorFunction& f, const Vector& x, double h) {
+  POPAN_CHECK(h > 0.0);
+  const size_t n = x.size();
+  Vector fx = f(x);
+  POPAN_CHECK(fx.size() == n) << "F must map R^n to R^n";
+  Matrix jac(n, n);
+  Vector xh = x;
+  for (size_t j = 0; j < n; ++j) {
+    // Scale the step with the coordinate magnitude for better conditioning.
+    double step = h * std::max(1.0, std::abs(x[j]));
+    xh[j] = x[j] + step;
+    Vector fxh = f(xh);
+    xh[j] = x[j];
+    for (size_t i = 0; i < n; ++i) {
+      jac.At(i, j) = (fxh[i] - fx[i]) / step;
+    }
+  }
+  return jac;
+}
+
+StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
+                                   const JacobianFunction& jacobian,
+                                   const Vector& x0,
+                                   const NewtonOptions& options) {
+  return NewtonDriver(
+      f,
+      [&jacobian](const Vector& x, int* /*evals*/) { return jacobian(x); },
+      x0, options);
+}
+
+StatusOr<NewtonResult> NewtonSolveNumericJacobian(const VectorFunction& f,
+                                                  const Vector& x0,
+                                                  const NewtonOptions& options) {
+  return NewtonDriver(
+      f,
+      [&f, &options](const Vector& x, int* evals) {
+        *evals += static_cast<int>(x.size());
+        return NumericJacobian(f, x, options.fd_step);
+      },
+      x0, options);
+}
+
+}  // namespace popan::num

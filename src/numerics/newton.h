@@ -1,0 +1,61 @@
+#ifndef POPAN_NUMERICS_NEWTON_H_
+#define POPAN_NUMERICS_NEWTON_H_
+
+#include <functional>
+
+#include "numerics/matrix.h"
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// Options controlling the damped Newton iteration.
+struct NewtonOptions {
+  /// Stop when ||F(x)||_inf falls below this residual tolerance.
+  double residual_tolerance = 1e-12;
+  /// Also stop when the step size falls below this tolerance.
+  double step_tolerance = 1e-14;
+  /// Give up after this many iterations.
+  int max_iterations = 200;
+  /// Backtracking: the step is halved until the residual norm decreases,
+  /// at most this many times per iteration.
+  int max_backtracks = 30;
+  /// Step size used by the forward-difference Jacobian when no analytic
+  /// Jacobian is supplied.
+  double fd_step = 1e-7;
+};
+
+/// The result of a Newton solve.
+struct NewtonResult {
+  Vector solution;        ///< The root found.
+  double residual = 0.0;  ///< ||F(solution)||_inf.
+  int iterations = 0;     ///< Newton steps taken.
+  int function_evals = 0; ///< Total calls to F (including line search / FD).
+};
+
+/// A system F: R^n -> R^n whose root is sought.
+using VectorFunction = std::function<Vector(const Vector&)>;
+
+/// An analytic Jacobian J(x), n x n.
+using JacobianFunction = std::function<Matrix(const Vector&)>;
+
+/// Damped (backtracking line-search) Newton's method for F(x) = 0 starting
+/// from `x0`, with an analytic Jacobian. Returns NotConverged if the
+/// iteration budget is exhausted and NumericError if a Jacobian is singular.
+StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
+                                   const JacobianFunction& jacobian,
+                                   const Vector& x0,
+                                   const NewtonOptions& options = {});
+
+/// As above, approximating the Jacobian by forward differences.
+StatusOr<NewtonResult> NewtonSolveNumericJacobian(
+    const VectorFunction& f, const Vector& x0,
+    const NewtonOptions& options = {});
+
+/// Computes the forward-difference Jacobian of `f` at `x` with step `h`.
+/// Exposed for testing and for callers that want to inspect conditioning.
+Matrix NumericJacobian(const VectorFunction& f, const Vector& x, double h);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_NEWTON_H_

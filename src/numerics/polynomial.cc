@@ -1,0 +1,149 @@
+#include "numerics/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::num {
+
+Polynomial::Polynomial(std::vector<double> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  while (!coefficients_.empty() && coefficients_.back() == 0.0) {
+    coefficients_.pop_back();
+  }
+}
+
+double Polynomial::Evaluate(double x) const {
+  double acc = 0.0;
+  for (size_t i = coefficients_.size(); i-- > 0;) {
+    acc = acc * x + coefficients_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::Derivative() const {
+  if (coefficients_.size() <= 1) return Polynomial();
+  std::vector<double> out(coefficients_.size() - 1);
+  for (size_t k = 1; k < coefficients_.size(); ++k) {
+    out[k - 1] = coefficients_[k] * static_cast<double>(k);
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  std::vector<double> out(
+      std::max(coefficients_.size(), other.coefficients_.size()), 0.0);
+  for (size_t i = 0; i < coefficients_.size(); ++i) out[i] += coefficients_[i];
+  for (size_t i = 0; i < other.coefficients_.size(); ++i) {
+    out[i] += other.coefficients_[i];
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  std::vector<double> out(
+      std::max(coefficients_.size(), other.coefficients_.size()), 0.0);
+  for (size_t i = 0; i < coefficients_.size(); ++i) out[i] += coefficients_[i];
+  for (size_t i = 0; i < other.coefficients_.size(); ++i) {
+    out[i] -= other.coefficients_[i];
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  if (coefficients_.empty() || other.coefficients_.empty()) {
+    return Polynomial();
+  }
+  std::vector<double> out(
+      coefficients_.size() + other.coefficients_.size() - 1, 0.0);
+  for (size_t i = 0; i < coefficients_.size(); ++i) {
+    for (size_t j = 0; j < other.coefficients_.size(); ++j) {
+      out[i + j] += coefficients_[i] * other.coefficients_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+StatusOr<double> Polynomial::RootInBracket(double lo, double hi,
+                                           double tolerance) const {
+  POPAN_CHECK(lo <= hi);
+  double flo = Evaluate(lo);
+  double fhi = Evaluate(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    return Status::InvalidArgument("no sign change over bracket");
+  }
+  // Bisection: robust, and the intervals here are tiny.
+  for (int iter = 0; iter < 200 && hi - lo > tolerance; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    double fmid = Evaluate(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> Polynomial::RealRootsInInterval(double lo, double hi,
+                                                    double tolerance) const {
+  std::vector<double> roots;
+  if (Degree() < 1) return roots;
+  // Critical points of this polynomial partition [lo, hi] into intervals of
+  // monotonicity; each contains at most one root.
+  std::vector<double> breakpoints = {lo};
+  if (Degree() >= 2) {
+    std::vector<double> extrema =
+        Derivative().RealRootsInInterval(lo, hi, tolerance);
+    breakpoints.insert(breakpoints.end(), extrema.begin(), extrema.end());
+  }
+  breakpoints.push_back(hi);
+  std::sort(breakpoints.begin(), breakpoints.end());
+
+  for (size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+    double a = breakpoints[i];
+    double b = breakpoints[i + 1];
+    if (b - a < tolerance) continue;
+    StatusOr<double> root = RootInBracket(a, b, tolerance);
+    if (root.ok()) {
+      if (roots.empty() || std::abs(roots.back() - root.value()) > tolerance) {
+        roots.push_back(root.value());
+      }
+    }
+  }
+  return roots;
+}
+
+std::string Polynomial::ToString() const {
+  if (coefficients_.empty()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (size_t k = 0; k < coefficients_.size(); ++k) {
+    double c = coefficients_[k];
+    if (c == 0.0) continue;
+    if (first) {
+      if (c < 0.0) os << "-";
+      first = false;
+    } else {
+      os << (c < 0.0 ? " - " : " + ");
+    }
+    double mag = std::abs(c);
+    if (k == 0) {
+      os << mag;
+    } else {
+      if (mag != 1.0) os << mag << " ";
+      os << "x";
+      if (k > 1) os << "^" << k;
+    }
+  }
+  if (first) return "0";
+  return os.str();
+}
+
+}  // namespace popan::num

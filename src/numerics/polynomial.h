@@ -1,0 +1,58 @@
+#ifndef POPAN_NUMERICS_POLYNOMIAL_H_
+#define POPAN_NUMERICS_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace popan::num {
+
+/// A univariate real polynomial, stored by ascending power:
+/// coefficients()[k] multiplies x^k. Used by the analytic small-m
+/// steady-state solutions and their tests.
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// Constructs from coefficients, constant term first. Trailing zero
+  /// coefficients are trimmed.
+  explicit Polynomial(std::vector<double> coefficients);
+
+  /// Degree; the zero polynomial reports degree -1.
+  int Degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// Horner evaluation at `x`.
+  double Evaluate(double x) const;
+
+  /// Formal derivative.
+  Polynomial Derivative() const;
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator-(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+
+  /// Finds a real root in [lo, hi] by bisection. Requires a sign change
+  /// over the bracket; returns InvalidArgument otherwise.
+  StatusOr<double> RootInBracket(double lo, double hi,
+                                 double tolerance = 1e-14) const;
+
+  /// Finds all real roots in [lo, hi] by recursively bracketing between the
+  /// extrema (roots of the derivative). Roots are returned in ascending
+  /// order; multiple roots may be found once only.
+  std::vector<double> RealRootsInInterval(double lo, double hi,
+                                          double tolerance = 1e-12) const;
+
+  /// Human-readable form like "1 + 2 x - 3 x^2".
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coefficients_;
+};
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_POLYNOMIAL_H_

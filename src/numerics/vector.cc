@@ -1,0 +1,125 @@
+#include "numerics/vector.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::num {
+
+double& Vector::operator[](size_t i) {
+  POPAN_DCHECK(i < data_.size()) << "index" << i << "size" << data_.size();
+  return data_[i];
+}
+
+double Vector::operator[](size_t i) const {
+  POPAN_DCHECK(i < data_.size()) << "index" << i << "size" << data_.size();
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& other) {
+  POPAN_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  POPAN_CHECK(size() == other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scalar) {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scalar) {
+  POPAN_CHECK(scalar != 0.0);
+  for (double& x : data_) x /= scalar;
+  return *this;
+}
+
+double Vector::Dot(const Vector& other) const {
+  POPAN_CHECK(size() == other.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Vector::Sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Vector::NormL1() const {
+  double acc = 0.0;
+  for (double x : data_) acc += std::abs(x);
+  return acc;
+}
+
+double Vector::NormL2() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Vector::NormInf() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+bool Vector::AllPositive() const {
+  for (double x : data_) {
+    if (!(x > 0.0)) return false;
+  }
+  return true;
+}
+
+bool Vector::AllNonNegative(double tolerance) const {
+  for (double x : data_) {
+    if (x < -tolerance) return false;
+  }
+  return true;
+}
+
+Vector Vector::Normalized() const {
+  double s = Sum();
+  POPAN_CHECK(s != 0.0) << "cannot normalize a zero-sum vector";
+  Vector out = *this;
+  out /= s;
+  return out;
+}
+
+double Vector::MaxAbsDiff(const Vector& other) const {
+  POPAN_CHECK(size() == other.size());
+  double best = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::abs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+std::string Vector::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << "(";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << data_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+bool operator==(const Vector& a, const Vector& b) {
+  return a.data() == b.data();
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  return os << v.ToString();
+}
+
+}  // namespace popan::num

@@ -1,0 +1,101 @@
+#ifndef POPAN_NUMERICS_VECTOR_H_
+#define POPAN_NUMERICS_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace popan::num {
+
+/// A dense real vector with the handful of algebraic operations the
+/// population models need. Sizes in this library are tiny (m+1 ≤ ~65), so
+/// the implementation favors clarity and checked access over vectorization.
+class Vector {
+ public:
+  /// Constructs an empty vector.
+  Vector() = default;
+
+  /// Constructs a vector of `size` zeros.
+  explicit Vector(size_t size) : data_(size, 0.0) {}
+
+  /// Constructs a vector of `size` copies of `fill`.
+  Vector(size_t size, double fill) : data_(size, fill) {}
+
+  /// Constructs from a braced list: Vector v{1.0, 2.0, 3.0};
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Constructs by taking ownership of an existing buffer.
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) noexcept = default;
+  Vector& operator=(Vector&&) noexcept = default;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access (DCHECK in release).
+  double& operator[](size_t i);
+  double operator[](size_t i) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Elementwise arithmetic. Operands must have equal sizes.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scalar);
+  Vector& operator/=(double scalar);
+
+  friend Vector operator+(Vector a, const Vector& b) { return a += b; }
+  friend Vector operator-(Vector a, const Vector& b) { return a -= b; }
+  friend Vector operator*(Vector a, double s) { return a *= s; }
+  friend Vector operator*(double s, Vector a) { return a *= s; }
+  friend Vector operator/(Vector a, double s) { return a /= s; }
+
+  /// Dot product. Sizes must match.
+  double Dot(const Vector& other) const;
+
+  /// Sum of components.
+  double Sum() const;
+
+  /// L1 norm (sum of absolute values).
+  double NormL1() const;
+
+  /// L2 (Euclidean) norm.
+  double NormL2() const;
+
+  /// Max-norm (largest absolute component).
+  double NormInf() const;
+
+  /// True iff every component is strictly positive.
+  bool AllPositive() const;
+
+  /// True iff every component is >= -tolerance.
+  bool AllNonNegative(double tolerance = 0.0) const;
+
+  /// Returns this vector scaled so its components sum to 1. The sum must be
+  /// nonzero.
+  Vector Normalized() const;
+
+  /// Largest absolute componentwise difference to `other` (sizes must
+  /// match); the convergence metric used by the iterative solvers.
+  double MaxAbsDiff(const Vector& other) const;
+
+  /// Renders "(a, b, c)" with `precision` digits after the decimal point.
+  std::string ToString(int precision = 6) const;
+
+ private:
+  std::vector<double> data_;
+};
+
+bool operator==(const Vector& a, const Vector& b);
+inline bool operator!=(const Vector& a, const Vector& b) { return !(a == b); }
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace popan::num
+
+#endif  // POPAN_NUMERICS_VECTOR_H_

@@ -1,0 +1,104 @@
+#include "sim/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::sim {
+
+std::string AsciiPlot(const std::string& title, const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const AsciiPlotOptions& options) {
+  POPAN_CHECK(xs.size() == ys.size());
+  POPAN_CHECK(options.width >= 8 && options.height >= 4);
+  if (xs.empty()) return title + "\n(no data)\n";
+
+  auto x_coord = [&options](double x) {
+    return options.log_x ? std::log(x) : x;
+  };
+  double x_min = x_coord(xs.front());
+  double x_max = x_coord(xs.back());
+  double y_min = *std::min_element(ys.begin(), ys.end());
+  double y_max = *std::max_element(ys.begin(), ys.end());
+  if (x_max - x_min <= 0.0) x_max = x_min + 1.0;
+  if (y_max - y_min <= 0.0) {
+    y_max += 0.5;
+    y_min -= 0.5;
+  } else {
+    // Margins so extreme points are not glued to the frame.
+    double pad = 0.08 * (y_max - y_min);
+    y_min -= pad;
+    y_max += pad;
+  }
+
+  const size_t w = options.width;
+  const size_t h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  auto col_of = [&](double x) {
+    double t = (x_coord(x) - x_min) / (x_max - x_min);
+    return std::min(w - 1, static_cast<size_t>(t * static_cast<double>(w - 1) +
+                                               0.5));
+  };
+  auto row_of = [&](double y) {
+    double t = (y - y_min) / (y_max - y_min);
+    size_t from_bottom =
+        std::min(h - 1, static_cast<size_t>(t * static_cast<double>(h - 1) +
+                                            0.5));
+    return h - 1 - from_bottom;
+  };
+
+  if (options.connect) {
+    // Piecewise-linear interpolation in screen space, drawn with '.'.
+    for (size_t i = 0; i + 1 < xs.size(); ++i) {
+      size_t c0 = col_of(xs[i]);
+      size_t c1 = col_of(xs[i + 1]);
+      for (size_t c = c0; c <= c1; ++c) {
+        double t = c1 == c0 ? 0.0
+                            : static_cast<double>(c - c0) /
+                                  static_cast<double>(c1 - c0);
+        double y = ys[i] + t * (ys[i + 1] - ys[i]);
+        grid[row_of(y)][c] = '.';
+      }
+    }
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    grid[row_of(ys[i])][col_of(xs[i])] = options.marker;
+  }
+
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::fixed << std::setprecision(2);
+  for (size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      os << std::setw(8) << y_max << " |";
+    } else if (r == h - 1) {
+      os << std::setw(8) << y_min << " |";
+    } else {
+      os << std::string(8, ' ') << " |";
+    }
+    os << grid[r] << "\n";
+  }
+  os << std::string(9, ' ') << "+" << std::string(w, '-') << "\n";
+  std::ostringstream labels;
+  labels << std::string(10, ' ');
+  std::string left = options.log_x ? "log scale " : "";
+  std::ostringstream lo_label, hi_label;
+  lo_label << std::fixed << std::setprecision(0) << xs.front();
+  hi_label << std::fixed << std::setprecision(0) << xs.back();
+  labels << lo_label.str() << " " << left
+         << std::string(w > lo_label.str().size() + hi_label.str().size() +
+                                left.size() + 2
+                            ? w - lo_label.str().size() -
+                                  hi_label.str().size() - left.size() - 2
+                            : 1,
+                        ' ')
+         << hi_label.str();
+  os << labels.str() << "\n";
+  return os.str();
+}
+
+}  // namespace popan::sim

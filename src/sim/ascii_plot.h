@@ -1,0 +1,27 @@
+#ifndef POPAN_SIM_ASCII_PLOT_H_
+#define POPAN_SIM_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace popan::sim {
+
+/// Options for the character plot.
+struct AsciiPlotOptions {
+  size_t width = 64;   ///< plot columns (excluding axis labels)
+  size_t height = 16;  ///< plot rows
+  bool log_x = true;   ///< logarithmic x axis (the paper's semi-log plots)
+  char marker = '*';
+  bool connect = true;  ///< draw a '.' interpolation between samples
+};
+
+/// Renders y versus x as a character plot — the terminal stand-in for the
+/// paper's Figures 2 and 3 (occupancy versus number of points, semi-log).
+/// xs must be positive and ascending when log_x is set.
+std::string AsciiPlot(const std::string& title, const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const AsciiPlotOptions& options = {});
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_ASCII_PLOT_H_

@@ -1,0 +1,48 @@
+#include "sim/csv.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace popan::sim {
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) buffer_ << ",";
+    buffer_ << Escape(cells[i]);
+  }
+  buffer_ << "\n";
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) buffer_ << ",";
+    buffer_ << std::setprecision(17) << values[i];
+  }
+  buffer_ << "\n";
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << buffer_.str();
+  if (!out) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::sim

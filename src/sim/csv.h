@@ -1,0 +1,39 @@
+#ifndef POPAN_SIM_CSV_H_
+#define POPAN_SIM_CSV_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace popan::sim {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (quoting cells that
+/// contain commas, quotes or newlines). Benches emit CSV alongside their
+/// text tables so the figures can be re-plotted with external tools.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Appends a row of raw cells.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Appends a row of doubles at full precision.
+  void WriteNumericRow(const std::vector<double>& values);
+
+  /// The CSV text so far.
+  std::string ToString() const { return buffer_.str(); }
+
+  /// Writes the CSV to a file; Status on I/O failure.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ostringstream buffer_;
+};
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_CSV_H_

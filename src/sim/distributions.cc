@@ -1,0 +1,77 @@
+#include "sim/distributions.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace popan::sim {
+
+std::string_view PointDistributionKindToString(PointDistributionKind kind) {
+  switch (kind) {
+    case PointDistributionKind::kUniform:
+      return "uniform";
+    case PointDistributionKind::kGaussian:
+      return "gaussian";
+    case PointDistributionKind::kClustered:
+      return "clustered";
+    case PointDistributionKind::kDiagonal:
+      return "diagonal";
+  }
+  return "?";
+}
+
+namespace {
+
+geo::Point2 BoundaryPoint(const geo::Box2& box, Pcg32& rng) {
+  double tx = rng.NextDouble(box.lo().x(), box.hi().x());
+  double ty = rng.NextDouble(box.lo().y(), box.hi().y());
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return geo::Point2(tx, box.lo().y());
+    case 1:
+      return geo::Point2(tx, box.hi().y());
+    case 2:
+      return geo::Point2(box.lo().x(), ty);
+    default:
+      return geo::Point2(box.hi().x(), ty);
+  }
+}
+
+}  // namespace
+
+geo::Segment DrawSegment(SegmentDistributionKind kind,
+                         const SegmentDistributionParams& params,
+                         const geo::Box2& box, Pcg32& rng) {
+  switch (kind) {
+    case SegmentDistributionKind::kUniformEndpoints:
+      return geo::Segment(
+          geo::Point2(rng.NextDouble(box.lo().x(), box.hi().x()),
+                      rng.NextDouble(box.lo().y(), box.hi().y())),
+          geo::Point2(rng.NextDouble(box.lo().x(), box.hi().x()),
+                      rng.NextDouble(box.lo().y(), box.hi().y())));
+    case SegmentDistributionKind::kChord:
+      return geo::Segment(BoundaryPoint(box, rng), BoundaryPoint(box, rng));
+    case SegmentDistributionKind::kRoadLike: {
+      double len = params.road_length_fraction *
+                   std::min(box.Extent(0), box.Extent(1));
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        geo::Point2 mid(rng.NextDouble(box.lo().x(), box.hi().x()),
+                        rng.NextDouble(box.lo().y(), box.hi().y()));
+        double theta = rng.NextDouble(0.0, M_PI);
+        double dx = 0.5 * len * std::cos(theta);
+        double dy = 0.5 * len * std::sin(theta);
+        geo::Point2 a(mid.x() - dx, mid.y() - dy);
+        geo::Point2 b(mid.x() + dx, mid.y() + dy);
+        if (box.Contains(a) && box.Contains(b)) {
+          return geo::Segment(a, b);
+        }
+      }
+      // Degenerate geometry: fall back to a chord.
+      return geo::Segment(BoundaryPoint(box, rng), BoundaryPoint(box, rng));
+    }
+  }
+  POPAN_CHECK(false) << "unknown segment distribution";
+  return geo::Segment();
+}
+
+}  // namespace popan::sim

@@ -1,0 +1,181 @@
+#ifndef POPAN_SIM_DISTRIBUTIONS_H_
+#define POPAN_SIM_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+#include "util/random.h"
+
+namespace popan::sim {
+
+/// The point data models the experiments draw from.
+enum class PointDistributionKind {
+  /// Uniform over the root block — the paper's main workload (Tables 1-4).
+  kUniform,
+  /// Gaussian centered in the block, "two standard deviations wide":
+  /// sigma = extent/4 per axis (Table 5 / Figure 3), resampled until the
+  /// point falls inside the block.
+  kGaussian,
+  /// A fixed number of Gaussian clusters with uniform centers — the
+  /// city-like GIS workload of the motivating application [Same85c].
+  kClustered,
+  /// Points jittered around the main diagonal — an adversarial
+  /// low-dimensional manifold that concentrates splits.
+  kDiagonal,
+};
+
+std::string_view PointDistributionKindToString(PointDistributionKind kind);
+
+/// Parameters refining a distribution kind.
+struct PointDistributionParams {
+  /// Gaussian: sigma as a fraction of the block extent (0.25 = the paper's
+  /// "two standard deviations wide" setting).
+  double gaussian_sigma_fraction = 0.25;
+  /// Clustered: number of clusters and per-cluster sigma fraction.
+  size_t num_clusters = 10;
+  double cluster_sigma_fraction = 0.03;
+  /// Diagonal: jitter width as a fraction of the extent.
+  double diagonal_jitter_fraction = 0.02;
+};
+
+/// Draws one point of the given distribution inside `box`. Deterministic
+/// in the rng state. For kClustered the cluster centers are derived from
+/// `cluster_seed` so that all points of one experiment share centers.
+template <size_t D>
+geo::Point<D> DrawPoint(PointDistributionKind kind,
+                        const PointDistributionParams& params,
+                        const geo::Box<D>& box, Pcg32& rng,
+                        uint64_t cluster_seed = 0);
+
+/// Draws `n` points (convenience wrapper over DrawPoint).
+template <size_t D>
+std::vector<geo::Point<D>> DrawPoints(PointDistributionKind kind,
+                                      const PointDistributionParams& params,
+                                      const geo::Box<D>& box, size_t n,
+                                      Pcg32& rng, uint64_t cluster_seed = 0);
+
+/// Segment data models for the PMR experiments.
+enum class SegmentDistributionKind {
+  /// Endpoints uniform in the box — short local segments.
+  kUniformEndpoints,
+  /// Endpoints on the box boundary — chords.
+  kChord,
+  /// Short segments of bounded length with uniform midpoint/direction —
+  /// road-network-like data.
+  kRoadLike,
+};
+
+/// Parameters for segment generation.
+struct SegmentDistributionParams {
+  /// kRoadLike: segment length as a fraction of the box extent.
+  double road_length_fraction = 0.1;
+};
+
+/// Draws one random segment intersecting `box`.
+geo::Segment DrawSegment(SegmentDistributionKind kind,
+                         const SegmentDistributionParams& params,
+                         const geo::Box2& box, Pcg32& rng);
+
+// ---------------------------------------------------------------------------
+// Template definitions.
+
+namespace internal_distributions {
+
+template <size_t D>
+geo::Point<D> UniformIn(const geo::Box<D>& box, Pcg32& rng) {
+  geo::Point<D> p;
+  for (size_t i = 0; i < D; ++i) {
+    p[i] = rng.NextDouble(box.lo()[i], box.hi()[i]);
+  }
+  return p;
+}
+
+template <size_t D>
+geo::Point<D> GaussianIn(const geo::Box<D>& box, double sigma_fraction,
+                         Pcg32& rng) {
+  geo::Point<D> center = box.Center();
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    geo::Point<D> p;
+    for (size_t i = 0; i < D; ++i) {
+      p[i] = rng.NextGaussian(center[i], sigma_fraction * box.Extent(i));
+    }
+    if (box.Contains(p)) return p;
+  }
+  // Pathological sigma; fall back to uniform so experiments cannot hang.
+  return UniformIn(box, rng);
+}
+
+}  // namespace internal_distributions
+
+template <size_t D>
+geo::Point<D> DrawPoint(PointDistributionKind kind,
+                        const PointDistributionParams& params,
+                        const geo::Box<D>& box, Pcg32& rng,
+                        uint64_t cluster_seed) {
+  using internal_distributions::GaussianIn;
+  using internal_distributions::UniformIn;
+  switch (kind) {
+    case PointDistributionKind::kUniform:
+      return UniformIn(box, rng);
+    case PointDistributionKind::kGaussian:
+      return GaussianIn(box, params.gaussian_sigma_fraction, rng);
+    case PointDistributionKind::kClustered: {
+      // Cluster centers from their own deterministic stream.
+      Pcg32 center_rng(DeriveSeed(cluster_seed, 0xC1u));
+      size_t which = rng.NextBounded(
+          static_cast<uint32_t>(params.num_clusters == 0
+                                    ? 1
+                                    : params.num_clusters));
+      geo::Point<D> center;
+      for (size_t k = 0; k <= which; ++k) {
+        center = UniformIn(box, center_rng);
+      }
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        geo::Point<D> p;
+        for (size_t i = 0; i < D; ++i) {
+          p[i] = rng.NextGaussian(center[i],
+                                  params.cluster_sigma_fraction *
+                                      box.Extent(i));
+        }
+        if (box.Contains(p)) return p;
+      }
+      return UniformIn(box, rng);
+    }
+    case PointDistributionKind::kDiagonal: {
+      double t = rng.NextDouble();
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        geo::Point<D> p;
+        for (size_t i = 0; i < D; ++i) {
+          p[i] = box.lo()[i] + t * box.Extent(i) +
+                 rng.NextGaussian(0.0, params.diagonal_jitter_fraction *
+                                           box.Extent(i));
+        }
+        if (box.Contains(p)) return p;
+        t = rng.NextDouble();
+      }
+      return UniformIn(box, rng);
+    }
+  }
+  return UniformIn(box, rng);
+}
+
+template <size_t D>
+std::vector<geo::Point<D>> DrawPoints(PointDistributionKind kind,
+                                      const PointDistributionParams& params,
+                                      const geo::Box<D>& box, size_t n,
+                                      Pcg32& rng, uint64_t cluster_seed) {
+  std::vector<geo::Point<D>> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(DrawPoint(kind, params, box, rng, cluster_seed));
+  }
+  return out;
+}
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_DISTRIBUTIONS_H_

@@ -1,0 +1,25 @@
+#include "sim/experiment.h"
+
+namespace popan::sim {
+
+ExperimentResult RunPrQuadtreeExperiment(const ExperimentSpec& spec) {
+  return RunPrTreeExperiment<2>(spec);
+}
+
+core::OccupancySeries RunOccupancySweep(const ExperimentSpec& spec,
+                                        const std::vector<size_t>& schedule) {
+  core::OccupancySeries series;
+  for (size_t n : schedule) {
+    ExperimentSpec point_spec = spec;
+    point_spec.num_points = n;
+    // Different N get different seed families so trees are independent.
+    point_spec.base_seed = DeriveSeed(spec.base_seed, n);
+    ExperimentResult result = RunPrQuadtreeExperiment(point_spec);
+    series.sample_sizes.push_back(n);
+    series.nodes.push_back(result.mean_leaves);
+    series.average_occupancy.push_back(result.mean_occupancy);
+  }
+  return series;
+}
+
+}  // namespace popan::sim

@@ -1,0 +1,145 @@
+#include "sim/goodness_of_fit.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::sim {
+
+namespace {
+
+/// Series expansion of the regularized lower incomplete gamma P(s, x),
+/// good for x < s + 1.
+double GammaPSeries(double s, double x) {
+  double term = 1.0 / s;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (s + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+/// Lentz continued fraction for Q(s, x), good for x >= s + 1.
+double GammaQContinuedFraction(double s, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - s;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - s);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + s * std::log(x) - std::lgamma(s));
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double s, double x) {
+  POPAN_CHECK(s > 0.0);
+  POPAN_CHECK(x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < s + 1.0) {
+    return 1.0 - GammaPSeries(s, x);
+  }
+  return GammaQContinuedFraction(s, x);
+}
+
+double ChiSquareSurvival(double x, size_t dof) {
+  POPAN_CHECK(dof >= 1);
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
+    const std::vector<double>& observed,
+    const num::Vector& expected_probabilities) {
+  if (observed.empty()) {
+    return Status::InvalidArgument("no observed counts");
+  }
+  double total = 0.0;
+  for (double o : observed) {
+    if (o < 0.0) return Status::InvalidArgument("negative count");
+    total += o;
+  }
+  if (total <= 0.0) return Status::InvalidArgument("all counts are zero");
+
+  // Expected counts per bin; probabilities beyond the provided vector are
+  // treated as zero, which merging will fold into a neighbour.
+  std::vector<double> expected(observed.size(), 0.0);
+  double prob_total = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double p = i < expected_probabilities.size()
+                   ? expected_probabilities[i]
+                   : 0.0;
+    if (p < 0.0) return Status::InvalidArgument("negative probability");
+    expected[i] = p * total;
+    prob_total += p;
+  }
+  if (std::abs(prob_total - 1.0) > 0.05) {
+    return Status::InvalidArgument(
+        "expected probabilities do not sum to ~1 over the observed range");
+  }
+
+  // Pool adjacent bins until every expected count reaches 5.
+  std::vector<double> obs_bins, exp_bins;
+  double o_acc = 0.0, e_acc = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    o_acc += observed[i];
+    e_acc += expected[i];
+    if (e_acc >= 5.0) {
+      obs_bins.push_back(o_acc);
+      exp_bins.push_back(e_acc);
+      o_acc = 0.0;
+      e_acc = 0.0;
+    }
+  }
+  if (o_acc > 0.0 || e_acc > 0.0) {
+    if (!exp_bins.empty()) {
+      obs_bins.back() += o_acc;
+      exp_bins.back() += e_acc;
+    } else {
+      obs_bins.push_back(o_acc);
+      exp_bins.push_back(e_acc);
+    }
+  }
+  if (obs_bins.size() < 2) {
+    return Status::InvalidArgument(
+        "fewer than two usable bins after pooling");
+  }
+
+  ChiSquareResult result;
+  result.merged_bins = obs_bins.size();
+  result.dof = obs_bins.size() - 1;
+  for (size_t i = 0; i < obs_bins.size(); ++i) {
+    if (exp_bins[i] <= 0.0) {
+      return Status::InvalidArgument("zero expected count after pooling");
+    }
+    double diff = obs_bins[i] - exp_bins[i];
+    result.statistic += diff * diff / exp_bins[i];
+  }
+  result.p_value = ChiSquareSurvival(result.statistic, result.dof);
+  return result;
+}
+
+std::string ChiSquareResult::ToString() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << "chi2=" << statistic
+     << " dof=" << dof << " p=" << std::setprecision(4) << p_value
+     << " bins=" << merged_bins;
+  return os.str();
+}
+
+}  // namespace popan::sim

@@ -1,0 +1,48 @@
+#ifndef POPAN_SIM_GOODNESS_OF_FIT_H_
+#define POPAN_SIM_GOODNESS_OF_FIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numerics/vector.h"
+#include "util/statusor.h"
+
+namespace popan::sim {
+
+/// The outcome of a Pearson chi-square goodness-of-fit test of observed
+/// category counts against model probabilities — the statistical yardstick
+/// for "does the census match the expected distribution".
+struct ChiSquareResult {
+  double statistic = 0.0;  ///< sum (O-E)^2 / E over (merged) bins
+  size_t dof = 0;          ///< bins after merging, minus one
+  double p_value = 0.0;    ///< P(chi2_dof >= statistic)
+  size_t merged_bins = 0;  ///< bins after low-expectation merging
+
+  /// True at significance level `alpha` (default 1%).
+  bool RejectsFit(double alpha = 0.01) const { return p_value < alpha; }
+
+  std::string ToString() const;
+};
+
+/// Runs the test. `observed` holds raw counts per category i;
+/// `expected_probabilities` the model's cell probabilities (padded /
+/// truncated to the observed length; must sum to ~1 over that range).
+/// Adjacent bins are pooled until every expected count is >= 5 (the
+/// classical validity rule). InvalidArgument when fewer than two bins
+/// survive or inputs are degenerate.
+StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
+    const std::vector<double>& observed,
+    const num::Vector& expected_probabilities);
+
+/// Upper tail P(chi2_dof >= x): the regularized upper incomplete gamma
+/// Q(dof/2, x/2). Exposed for tests and for other statistics.
+double ChiSquareSurvival(double x, size_t dof);
+
+/// Regularized upper incomplete gamma Q(s, x), s > 0, x >= 0, evaluated
+/// by series (x < s+1) or continued fraction (x >= s+1).
+double RegularizedGammaQ(double s, double x);
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_GOODNESS_OF_FIT_H_

@@ -1,0 +1,58 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace popan::sim {
+
+double TCritical95(size_t dof) {
+  // Two-sided 95% quantiles of Student's t.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+      2.262,  2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+      2.101,  2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+      2.052,  2.048,  2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof];
+  if (dof <= 60) return 2.02;
+  if (dof <= 120) return 1.98;
+  return 1.96;  // normal limit
+}
+
+SampleSummary Summarize(const std::vector<double>& values) {
+  SampleSummary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n == 1) {
+    s.ci95_low = s.ci95_high = s.mean;
+    return s;
+  }
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  s.standard_error = s.stddev / std::sqrt(static_cast<double>(s.n));
+  double half = TCritical95(s.n - 1) * s.standard_error;
+  s.ci95_low = s.mean - half;
+  s.ci95_high = s.mean + half;
+  return s;
+}
+
+std::string SampleSummary::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " +- "
+     << (ci95_high - mean) << " (n=" << n << ")";
+  return os.str();
+}
+
+}  // namespace popan::sim

@@ -1,0 +1,42 @@
+#ifndef POPAN_SIM_STATS_H_
+#define POPAN_SIM_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace popan::sim {
+
+/// Summary statistics of one experimental sample (e.g. the per-trial
+/// average occupancies of an ensemble): the numbers a results table needs
+/// to say whether a model-vs-measurement gap is real or trial noise.
+struct SampleSummary {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;        ///< sample standard deviation (n-1)
+  double standard_error = 0.0;
+  double ci95_low = 0.0;      ///< t-based 95% confidence interval
+  double ci95_high = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// True iff `value` lies inside the 95% CI of the mean.
+  bool CiContains(double value) const {
+    return value >= ci95_low && value <= ci95_high;
+  }
+
+  /// "mean ± half-width (n=k)".
+  std::string ToString(int precision = 3) const;
+};
+
+/// Computes the summary. Empty input yields an all-zero summary; a single
+/// observation yields a degenerate CI equal to the point.
+SampleSummary Summarize(const std::vector<double>& values);
+
+/// Two-sided 95% critical value of Student's t with `dof` degrees of
+/// freedom (table for small dof, normal tail beyond).
+double TCritical95(size_t dof);
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_STATS_H_

@@ -1,0 +1,50 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace popan::sim {
+
+std::string TextTable::Fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::Fmt(size_t value) { return std::to_string(value); }
+
+std::string TextTable::Render() const {
+  // Column widths from header and all rows.
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  std::ostringstream os;
+  std::string rule(std::max(total, title_.size()), '-');
+  os << rule << "\n" << title_ << "\n" << rule << "\n";
+  auto emit_row = [&os, &widths](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      if (c != 0) os << "  ";
+      std::string cell = c < cells.size() ? cells[c] : "";
+      os << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << rule << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  os << rule << "\n";
+  return os.str();
+}
+
+}  // namespace popan::sim

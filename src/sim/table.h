@@ -1,0 +1,42 @@
+#ifndef POPAN_SIM_TABLE_H_
+#define POPAN_SIM_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace popan::sim {
+
+/// A fixed-width text table in the style of the paper's Tables 1-5: a
+/// title, a header row, and aligned data rows. Benches print these so
+/// their output reads side by side with the paper.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the column headers (also fixes the column count).
+  void SetHeader(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  /// Appends a row; it may have at most as many cells as the header.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with `precision` fractional digits.
+  static std::string Fmt(double value, int precision = 3);
+
+  /// Formats an integer count.
+  static std::string Fmt(size_t value);
+
+  /// Renders the table with a ruled title and right-aligned numeric-ish
+  /// columns.
+  std::string Render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_TABLE_H_

@@ -1,0 +1,274 @@
+#include "spatial/excell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+namespace {
+// Bits of each coordinate folded into the pseudokey (interleaved pairs).
+constexpr size_t kBitsPerAxis = 31;
+}  // namespace
+
+Excell::Excell(const BoxT& domain, const ExcellOptions& options)
+    : domain_(domain), options_(options) {
+  POPAN_CHECK(options_.bucket_capacity >= 1);
+  POPAN_CHECK(options_.max_global_depth <= 2 * kBitsPerAxis);
+  directory_.push_back(0);
+  buckets_.push_back(Bucket{});
+}
+
+uint64_t Excell::PseudoKey(const PointT& p) const {
+  // Normalize to [0, 1) and quantize each axis to kBitsPerAxis bits.
+  double fx = (p.x() - domain_.lo().x()) / domain_.Extent(0);
+  double fy = (p.y() - domain_.lo().y()) / domain_.Extent(1);
+  auto quantize = [](double f) {
+    double scaled = f * static_cast<double>(uint64_t{1} << kBitsPerAxis);
+    uint64_t q = static_cast<uint64_t>(scaled);
+    return std::min(q, (uint64_t{1} << kBitsPerAxis) - 1);
+  };
+  uint64_t xq = quantize(fx);
+  uint64_t yq = quantize(fy);
+  // Interleave from the most significant end: y bit first, then x bit,
+  // matching the alternating y/x halving of the directory.
+  uint64_t key = 0;
+  for (size_t level = 0; level < kBitsPerAxis; ++level) {
+    uint64_t ybit = (yq >> (kBitsPerAxis - 1 - level)) & 1;
+    uint64_t xbit = (xq >> (kBitsPerAxis - 1 - level)) & 1;
+    key = (key << 2) | (ybit << 1) | xbit;
+  }
+  // Left-align in 64 bits so DirIndex can take top bits.
+  return key << (64 - 2 * kBitsPerAxis);
+}
+
+size_t Excell::DirIndex(uint64_t pseudo) const {
+  if (global_depth_ == 0) return 0;
+  return static_cast<size_t>(pseudo >> (64 - global_depth_));
+}
+
+Status Excell::Insert(const PointT& p) {
+  if (!domain_.Contains(p)) {
+    return Status::OutOfRange("point outside the EXCELL domain");
+  }
+  uint64_t pseudo = PseudoKey(p);
+  {
+    const Bucket& b = buckets_[directory_[DirIndex(pseudo)]];
+    if (std::find(b.points.begin(), b.points.end(), p) != b.points.end()) {
+      return Status::AlreadyExists("duplicate point");
+    }
+  }
+  for (;;) {
+    size_t idx = DirIndex(pseudo);
+    Bucket& b = buckets_[directory_[idx]];
+    if (b.points.size() < options_.bucket_capacity) {
+      b.points.push_back(p);
+      ++size_;
+      return Status::OK();
+    }
+    if (!SplitBucket(idx)) {
+      return Status::ResourceExhausted(
+          "bucket split would exceed max_global_depth");
+    }
+  }
+}
+
+bool Excell::SplitBucket(size_t dir_idx) {
+  uint32_t bi = directory_[dir_idx];
+  if (buckets_[bi].local_depth == global_depth_) {
+    if (global_depth_ >= options_.max_global_depth) return false;
+    DoubleDirectory();
+  }
+  const size_t new_local = buckets_[bi].local_depth + 1;
+  uint32_t nbi = static_cast<uint32_t>(buckets_.size());
+  buckets_.push_back(Bucket{new_local, {}});
+  buckets_[bi].local_depth = new_local;
+
+  const uint64_t half_bit = uint64_t{1} << (global_depth_ - new_local);
+  for (size_t j = 0; j < directory_.size(); ++j) {
+    if (directory_[j] == bi && (j & half_bit)) directory_[j] = nbi;
+  }
+  std::vector<PointT> points = std::move(buckets_[bi].points);
+  buckets_[bi].points.clear();
+  for (const PointT& p : points) {
+    uint64_t pseudo = PseudoKey(p);
+    if ((pseudo >> (64 - new_local)) & 1) {
+      buckets_[nbi].points.push_back(p);
+    } else {
+      buckets_[bi].points.push_back(p);
+    }
+  }
+  return true;
+}
+
+void Excell::DoubleDirectory() {
+  std::vector<uint32_t> doubled(directory_.size() * 2);
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    doubled[2 * i] = directory_[i];
+    doubled[2 * i + 1] = directory_[i];
+  }
+  directory_ = std::move(doubled);
+  ++global_depth_;
+}
+
+bool Excell::Contains(const PointT& p) const {
+  if (!domain_.Contains(p)) return false;
+  const Bucket& b = buckets_[directory_[DirIndex(PseudoKey(p))]];
+  return std::find(b.points.begin(), b.points.end(), p) != b.points.end();
+}
+
+Status Excell::Erase(const PointT& p) {
+  if (!domain_.Contains(p)) return Status::NotFound("outside domain");
+  uint64_t pseudo = PseudoKey(p);
+  Bucket& b = buckets_[directory_[DirIndex(pseudo)]];
+  auto it = std::find(b.points.begin(), b.points.end(), p);
+  if (it == b.points.end()) return Status::NotFound("point not stored");
+  *it = b.points.back();
+  b.points.pop_back();
+  --size_;
+  TryMerge(pseudo);
+  TryShrinkDirectory();
+  return Status::OK();
+}
+
+void Excell::TryMerge(uint64_t pseudo) {
+  for (;;) {
+    size_t idx = DirIndex(pseudo);
+    uint32_t bi = directory_[idx];
+    Bucket& b = buckets_[bi];
+    if (b.local_depth == 0) return;
+    size_t buddy_idx = idx ^ (size_t{1} << (global_depth_ - b.local_depth));
+    uint32_t buddy_bi = directory_[buddy_idx];
+    if (buddy_bi == bi) return;
+    Bucket& buddy = buckets_[buddy_bi];
+    if (buddy.local_depth != b.local_depth) return;
+    if (b.points.size() + buddy.points.size() > options_.bucket_capacity) {
+      return;
+    }
+    b.points.insert(b.points.end(), buddy.points.begin(),
+                    buddy.points.end());
+    --b.local_depth;
+    for (uint32_t& slot : directory_) {
+      if (slot == buddy_bi) slot = bi;
+    }
+    uint32_t last = static_cast<uint32_t>(buckets_.size() - 1);
+    if (buddy_bi != last) {
+      buckets_[buddy_bi] = std::move(buckets_[last]);
+      for (uint32_t& slot : directory_) {
+        if (slot == last) slot = buddy_bi;
+      }
+    }
+    buckets_.pop_back();
+  }
+}
+
+void Excell::TryShrinkDirectory() {
+  while (global_depth_ > 0) {
+    for (const Bucket& b : buckets_) {
+      if (b.local_depth == global_depth_) return;
+    }
+    std::vector<uint32_t> halved(directory_.size() / 2);
+    for (size_t i = 0; i < halved.size(); ++i) {
+      POPAN_DCHECK(directory_[2 * i] == directory_[2 * i + 1]);
+      halved[i] = directory_[2 * i];
+    }
+    directory_ = std::move(halved);
+    --global_depth_;
+  }
+}
+
+Excell::BoxT Excell::BlockOfPrefix(uint64_t prefix_bits,
+                                   size_t depth_bits) const {
+  // Consume bits from the most significant position of the depth_bits
+  // prefix; even positions split y, odd positions split x (matching
+  // PseudoKey's interleaving).
+  BoxT box = domain_;
+  for (size_t level = 0; level < depth_bits; ++level) {
+    uint64_t bit = (prefix_bits >> (depth_bits - 1 - level)) & 1;
+    PointT lo = box.lo();
+    PointT hi = box.hi();
+    size_t axis = (level % 2 == 0) ? 1 : 0;  // y first
+    double mid = 0.5 * (lo[axis] + hi[axis]);
+    if (bit) {
+      lo[axis] = mid;
+    } else {
+      hi[axis] = mid;
+    }
+    box = BoxT(lo, hi);
+  }
+  return box;
+}
+
+std::vector<Excell::PointT> Excell::RangeQuery(const BoxT& query) const {
+  std::vector<PointT> out;
+  // Scan buckets; each bucket covers one dyadic block. For the directory
+  // sizes in this library a linear scan with a geometric reject is fine.
+  for (size_t bi = 0; bi < buckets_.size(); ++bi) {
+    const Bucket& b = buckets_[bi];
+    // Recover the bucket's prefix from any directory slot pointing to it.
+    // (Slots of one bucket are contiguous and aligned; find the first.)
+    size_t first_slot = directory_.size();
+    for (size_t j = 0; j < directory_.size(); ++j) {
+      if (directory_[j] == bi) {
+        first_slot = j;
+        break;
+      }
+    }
+    if (first_slot == directory_.size()) continue;
+    uint64_t prefix = static_cast<uint64_t>(first_slot) >>
+                      (global_depth_ - b.local_depth);
+    BoxT block = BlockOfPrefix(prefix, b.local_depth);
+    if (!block.Intersects(query)) continue;
+    for (const PointT& p : b.points) {
+      if (query.Contains(p)) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Status Excell::CheckInvariants() const {
+  if (directory_.size() != (size_t{1} << global_depth_)) {
+    return Status::Internal("directory size != 2^global_depth");
+  }
+  size_t points_seen = 0;
+  for (size_t bi = 0; bi < buckets_.size(); ++bi) {
+    const Bucket& b = buckets_[bi];
+    if (b.local_depth > global_depth_) {
+      return Status::Internal("local depth exceeds global depth");
+    }
+    size_t expected_slots = size_t{1} << (global_depth_ - b.local_depth);
+    size_t actual_slots = 0;
+    size_t first_slot = directory_.size();
+    for (size_t j = 0; j < directory_.size(); ++j) {
+      if (directory_[j] == bi) {
+        ++actual_slots;
+        first_slot = std::min(first_slot, j);
+      }
+    }
+    if (actual_slots != expected_slots) {
+      return Status::Internal("bucket pointer multiplicity mismatch");
+    }
+    if (first_slot % expected_slots != 0) {
+      return Status::Internal("bucket slot range misaligned");
+    }
+    // Geometric placement: every point must lie in the bucket's block and
+    // hash back to a slot of this bucket.
+    uint64_t prefix = static_cast<uint64_t>(first_slot) >>
+                      (global_depth_ - b.local_depth);
+    BoxT block = BlockOfPrefix(prefix, b.local_depth);
+    for (const PointT& p : b.points) {
+      if (directory_[DirIndex(PseudoKey(p))] != bi) {
+        return Status::Internal("point stored in the wrong bucket");
+      }
+      if (!block.Contains(p)) {
+        return Status::Internal("point outside its bucket block");
+      }
+    }
+    points_seen += b.points.size();
+  }
+  if (points_seen != size_) return Status::Internal("size mismatch");
+  return Status::OK();
+}
+
+}  // namespace popan::spatial

@@ -1,0 +1,115 @@
+#ifndef POPAN_SPATIAL_EXCELL_H_
+#define POPAN_SPATIAL_EXCELL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+
+/// Options for the EXCELL directory.
+struct ExcellOptions {
+  /// Bucket capacity; a bucket splits when an insertion would exceed it.
+  size_t bucket_capacity = 4;
+
+  /// Upper bound on the directory depth (directory size 2^depth). Depth
+  /// increments alternate between halving the y and x extents.
+  size_t max_global_depth = 40;
+};
+
+/// EXCELL (Tamminen 1981), the "extendible cell" method the paper's
+/// introduction groups with quadtrees and grid files: extendible hashing
+/// whose pseudokey is the bit-interleaving of the point's coordinates, so
+/// the directory is a regular grid over the data space that doubles by
+/// halving cells along alternating axes, and every directory cell points
+/// to a data bucket that may be shared by an aligned dyadic block of
+/// cells. Exact-match search is one directory access; the regular
+/// decomposition makes the structure another instance of the paper's
+/// population systems (fanout-2 splits).
+class Excell {
+ public:
+  using PointT = geo::Point2;
+  using BoxT = geo::Box2;
+
+  explicit Excell(const BoxT& domain, const ExcellOptions& options = {});
+
+  const BoxT& domain() const { return domain_; }
+
+  /// Number of stored points.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of buckets (the population size).
+  size_t BucketCount() const { return buckets_.size(); }
+
+  /// Directory depth (number of coordinate bits consumed).
+  size_t GlobalDepth() const { return global_depth_; }
+
+  /// Directory entries, 2^GlobalDepth().
+  size_t DirectorySize() const { return directory_.size(); }
+
+  /// Inserts a point. OutOfRange outside the domain; AlreadyExists for a
+  /// duplicate; ResourceExhausted when separating the points would need a
+  /// directory deeper than max_global_depth.
+  Status Insert(const PointT& p);
+
+  /// True iff an equal point is stored (one directory probe).
+  bool Contains(const PointT& p) const;
+
+  /// Removes a point; NotFound if absent. Buddy buckets whose combined
+  /// contents fit are merged and the directory shrinks when possible.
+  Status Erase(const PointT& p);
+
+  /// All stored points inside `query` (half-open).
+  std::vector<PointT> RangeQuery(const BoxT& query) const;
+
+  /// Census hook: fn(local_depth, occupancy) per bucket.
+  template <typename Fn>
+  void VisitBuckets(Fn fn) const {
+    for (const Bucket& b : buckets_) fn(b.local_depth, b.points.size());
+  }
+
+  /// Average points per bucket.
+  double AverageOccupancy() const {
+    if (buckets_.empty()) return 0.0;
+    return static_cast<double>(size_) / static_cast<double>(buckets_.size());
+  }
+
+  /// The dyadic block of the data space a bucket covers, given its first
+  /// directory slot and local depth (exposed for tests/benches).
+  BoxT BlockOfPrefix(uint64_t prefix_bits, size_t depth_bits) const;
+
+  /// Verifies directory/bucket invariants (pointer multiplicity and
+  /// alignment, geometric placement of every point, size accounting).
+  Status CheckInvariants() const;
+
+ private:
+  struct Bucket {
+    size_t local_depth = 0;
+    std::vector<PointT> points;
+  };
+
+  /// The interleaved-coordinate pseudokey: bits y0 x0 y1 x1 … from the
+  /// most significant end, where y0 is the top half-plane bit.
+  uint64_t PseudoKey(const PointT& p) const;
+
+  size_t DirIndex(uint64_t pseudo) const;
+  bool SplitBucket(size_t dir_idx);
+  void DoubleDirectory();
+  void TryMerge(uint64_t pseudo);
+  void TryShrinkDirectory();
+
+  BoxT domain_;
+  ExcellOptions options_;
+  size_t global_depth_ = 0;
+  std::vector<uint32_t> directory_;
+  std::vector<Bucket> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_EXCELL_H_

@@ -1,0 +1,124 @@
+#ifndef POPAN_SPATIAL_GRID_FILE_H_
+#define POPAN_SPATIAL_GRID_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+
+/// Options for the grid file.
+struct GridFileOptions {
+  /// Bucket capacity: a bucket splits when an insertion would exceed it.
+  size_t bucket_capacity = 4;
+};
+
+/// The grid file of Nievergelt, Hinterberger & Sevcik (TODS 1984), one of
+/// the bucketing methods the paper's introduction groups with quadtrees as
+/// "hierarchical" (variable-resolution) structures. Space is cut by two
+/// linear scales (one sorted boundary list per axis) into a grid of cells;
+/// a directory maps every cell to a bucket, and one bucket may serve a
+/// rectangular block of cells (so storage adapts to density while any
+/// exact-match lookup costs two scale searches plus one directory access).
+///
+/// A full bucket splits in two: along an existing scale boundary if its
+/// cell block spans more than one cell on some axis, otherwise by adding a
+/// midpoint boundary to a scale (which refines a whole row or column of
+/// the directory). Deletions remove points but do not merge buckets (the
+/// classic paper treats merging as optional; experiments here only grow).
+class GridFile {
+ public:
+  using PointT = geo::Point<2>;
+  using BoxT = geo::Box<2>;
+
+  explicit GridFile(const BoxT& domain, const GridFileOptions& options = {});
+
+  /// The covered domain.
+  const BoxT& domain() const { return domain_; }
+
+  /// Number of points stored.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of buckets (the population size).
+  size_t BucketCount() const { return buckets_.size(); }
+
+  /// Directory shape: number of cells per axis.
+  size_t CellsX() const { return xs_.size() + 1; }
+  size_t CellsY() const { return ys_.size() + 1; }
+
+  /// Inserts a point. OutOfRange outside the domain, AlreadyExists for a
+  /// duplicate.
+  Status Insert(const PointT& p);
+
+  /// True iff an equal point is stored.
+  bool Contains(const PointT& p) const;
+
+  /// Removes a point; NotFound if absent.
+  Status Erase(const PointT& p);
+
+  /// All stored points inside `query` (half-open).
+  std::vector<PointT> RangeQuery(const BoxT& query) const;
+
+  /// Calls fn(occupancy) for every bucket — the census hook (grid-file
+  /// buckets have no depth; census callers record depth 0).
+  template <typename Fn>
+  void VisitBuckets(Fn fn) const {
+    for (const Bucket& b : buckets_) fn(b.points.size());
+  }
+
+  /// Average points per bucket.
+  double AverageOccupancy() const {
+    if (buckets_.empty()) return 0.0;
+    return static_cast<double>(size_) / static_cast<double>(buckets_.size());
+  }
+
+  /// Verifies directory/bucket invariants.
+  Status CheckInvariants() const;
+
+ private:
+  struct Bucket {
+    // The rectangular block of directory cells this bucket serves:
+    // x cells [ix0, ix1) times y cells [iy0, iy1).
+    size_t ix0 = 0, ix1 = 1, iy0 = 0, iy1 = 1;
+    std::vector<PointT> points;
+  };
+
+  size_t CellX(double x) const;
+  size_t CellY(double y) const;
+  uint32_t& Dir(size_t ix, size_t iy) { return directory_[iy * CellsX() + ix]; }
+  uint32_t Dir(size_t ix, size_t iy) const {
+    return directory_[iy * CellsX() + ix];
+  }
+
+  /// Domain coordinate of x-scale boundary index `i` (0..xs_.size():
+  /// index 0 is domain lo, xs_.size() is domain hi — cell ix spans
+  /// [XBoundary(ix), XBoundary(ix+1))).
+  double XBoundary(size_t i) const;
+  double YBoundary(size_t i) const;
+
+  /// Splits bucket `bi`; returns false if no split is geometrically
+  /// possible (degenerate cell). Grows the scales/directory as needed.
+  bool SplitBucket(uint32_t bi);
+
+  /// Adds a boundary splitting x-cell `ix` at its midpoint; the directory
+  /// gains a column and every bucket's x-range is remapped.
+  void RefineX(size_t ix);
+  void RefineY(size_t iy);
+
+  BoxT domain_;
+  GridFileOptions options_;
+  std::vector<double> xs_;  // interior x boundaries, ascending
+  std::vector<double> ys_;  // interior y boundaries, ascending
+  std::vector<uint32_t> directory_;  // CellsX*CellsY bucket ids, row-major
+  std::vector<Bucket> buckets_;
+  size_t size_ = 0;
+  bool split_x_next_ = true;  // alternate split axis for single-cell splits
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_GRID_FILE_H_

@@ -1,0 +1,215 @@
+#include "spatial/linear_quadtree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+StatusOr<LinearPrQuadtree> LinearPrQuadtree::BulkLoad(
+    const geo::Box2& bounds, std::vector<geo::Point2> points,
+    const PrTreeOptions& options) {
+  PrTreeOptions clamped = options;
+  if (clamped.max_depth > MortonCode::kMaxDepth) {
+    clamped.max_depth = MortonCode::kMaxDepth;
+  }
+  if (clamped.capacity < 1) {
+    return Status::InvalidArgument("capacity must be >= 1");
+  }
+  for (const geo::Point2& p : points) {
+    if (!bounds.Contains(p)) {
+      return Status::OutOfRange("point " + p.ToString() +
+                                " outside the bounds");
+    }
+  }
+  // Sort by full-resolution Morton code; children of any block are then
+  // contiguous sub-spans, so the decomposition falls out of a top-down
+  // span walk.
+  std::vector<uint64_t> codes(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    codes[i] = CodeOfPoint(bounds, points[i], MortonCode::kMaxDepth).bits;
+  }
+  std::vector<size_t> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (codes[a] != codes[b]) return codes[a] < codes[b];
+    // Equal codes at full resolution: tie-break by coordinates so
+    // duplicate detection below is reliable.
+    return std::make_pair(points[a].x(), points[a].y()) <
+           std::make_pair(points[b].x(), points[b].y());
+  });
+  std::vector<uint64_t> sorted_codes(points.size());
+  std::vector<geo::Point2> sorted_points(points.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_codes[i] = codes[order[i]];
+    sorted_points[i] = points[order[i]];
+  }
+  for (size_t i = 1; i < sorted_points.size(); ++i) {
+    if (sorted_points[i] == sorted_points[i - 1]) {
+      return Status::AlreadyExists("duplicate point " +
+                                   sorted_points[i].ToString());
+    }
+  }
+
+  LinearPrQuadtree tree(bounds, clamped);
+  tree.size_ = sorted_points.size();
+  tree.BuildSpan(sorted_codes, sorted_points, 0, sorted_points.size(),
+                 RootCode());
+  return tree;
+}
+
+void LinearPrQuadtree::BuildSpan(const std::vector<uint64_t>& codes,
+                                 const std::vector<geo::Point2>& points,
+                                 size_t begin, size_t end,
+                                 const MortonCode& block) {
+  size_t count = end - begin;
+  if (count <= options_.capacity ||
+      block.depth >= static_cast<uint8_t>(options_.max_depth)) {
+    Leaf leaf;
+    leaf.code = block;
+    leaf.points.assign(points.begin() + static_cast<ptrdiff_t>(begin),
+                       points.begin() + static_cast<ptrdiff_t>(end));
+    leaves_.push_back(std::move(leaf));
+    return;
+  }
+  // Partition the sorted span into the four child code intervals.
+  size_t cursor = begin;
+  for (size_t q = 0; q < 4; ++q) {
+    MortonCode child = ChildCode(block, q);
+    uint64_t lo, hi;
+    DescendantRange(child, &lo, &hi);
+    size_t child_end = static_cast<size_t>(
+        std::upper_bound(codes.begin() + static_cast<ptrdiff_t>(cursor),
+                         codes.begin() + static_cast<ptrdiff_t>(end),
+                         hi - 1) -
+        codes.begin());
+    BuildSpan(codes, points, cursor, child_end, child);
+    cursor = child_end;
+  }
+  POPAN_DCHECK(cursor == end);
+}
+
+LinearPrQuadtree LinearPrQuadtree::FromTree(const PrTree<2>& tree) {
+  PrTreeOptions options;
+  options.capacity = tree.capacity();
+  options.max_depth = std::min<size_t>(tree.max_depth(),
+                                       MortonCode::kMaxDepth);
+  // The configured limit may exceed what codes can express; only actual
+  // leaf depths matter.
+  size_t deepest = 0;
+  tree.VisitLeaves([&deepest](const geo::Box2&, size_t depth, size_t) {
+    deepest = std::max(deepest, depth);
+  });
+  POPAN_CHECK(deepest <= MortonCode::kMaxDepth)
+      << "tree too deep for locational codes";
+  LinearPrQuadtree out(tree.bounds(), options);
+  out.size_ = tree.size();
+  // VisitLeavesPoints walks children in quadrant order, which is exactly
+  // Z (code) order, so the array comes out sorted.
+  tree.VisitLeavesPoints([&out, &tree](const geo::Box2& box, size_t depth,
+                                       const std::vector<geo::Point2>&
+                                           points) {
+    Leaf leaf;
+    leaf.code = CodeOfPoint(tree.bounds(), box.Center(),
+                            static_cast<uint8_t>(depth));
+    leaf.points = points;
+    out.leaves_.push_back(std::move(leaf));
+  });
+  return out;
+}
+
+size_t LinearPrQuadtree::LeafIndexFor(uint64_t point_bits) const {
+  POPAN_DCHECK(!leaves_.empty());
+  // The containing leaf is the last one whose code interval starts at or
+  // before the point's full-resolution code.
+  size_t lo = 0, hi = leaves_.size();
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (leaves_[mid].code.bits <= point_bits) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool LinearPrQuadtree::Contains(const geo::Point2& p) const {
+  if (!bounds_.Contains(p) || leaves_.empty()) return false;
+  uint64_t bits = CodeOfPoint(bounds_, p, MortonCode::kMaxDepth).bits;
+  const Leaf& leaf = leaves_[LeafIndexFor(bits)];
+  return std::find(leaf.points.begin(), leaf.points.end(), p) !=
+         leaf.points.end();
+}
+
+std::vector<geo::Point2> LinearPrQuadtree::RangeQuery(
+    const geo::Box2& query) const {
+  std::vector<geo::Point2> out;
+  RangeRec(RootCode(), 0, leaves_.size(), query, &out);
+  return out;
+}
+
+void LinearPrQuadtree::RangeRec(const MortonCode& block, size_t begin,
+                                size_t end, const geo::Box2& query,
+                                std::vector<geo::Point2>* out) const {
+  if (begin >= end) return;
+  geo::Box2 box = BlockOfCode(bounds_, block);
+  if (!box.Intersects(query)) return;
+  if (end - begin == 1 && leaves_[begin].code == block) {
+    for (const geo::Point2& p : leaves_[begin].points) {
+      if (query.Contains(p)) out->push_back(p);
+    }
+    return;
+  }
+  size_t cursor = begin;
+  for (size_t q = 0; q < 4; ++q) {
+    MortonCode child = ChildCode(block, q);
+    uint64_t lo, hi;
+    DescendantRange(child, &lo, &hi);
+    size_t child_end = cursor;
+    while (child_end < end && leaves_[child_end].code.bits < hi) {
+      ++child_end;
+    }
+    RangeRec(child, cursor, child_end, query, out);
+    cursor = child_end;
+  }
+}
+
+Status LinearPrQuadtree::CheckInvariants() const {
+  if (leaves_.empty()) {
+    return Status::Internal("a linear quadtree always has >= 1 leaf");
+  }
+  uint64_t expected_lo = 0;
+  size_t points_seen = 0;
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    const Leaf& leaf = leaves_[i];
+    uint64_t lo, hi;
+    DescendantRange(leaf.code, &lo, &hi);
+    if (lo != expected_lo) {
+      return Status::Internal("leaf intervals do not tile: gap before " +
+                              MortonCodeToString(leaf.code));
+    }
+    expected_lo = hi;
+    geo::Box2 box = BlockOfCode(bounds_, leaf.code);
+    for (const geo::Point2& p : leaf.points) {
+      if (!box.Contains(p)) {
+        return Status::Internal("point outside its leaf block");
+      }
+    }
+    if (leaf.points.size() > options_.capacity &&
+        leaf.code.depth < options_.max_depth) {
+      return Status::Internal("leaf over capacity below max depth");
+    }
+    points_seen += leaf.points.size();
+  }
+  if (expected_lo != (uint64_t{1} << (2 * MortonCode::kMaxDepth))) {
+    return Status::Internal("leaf intervals do not cover the root");
+  }
+  if (points_seen != size_) {
+    return Status::Internal("size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::spatial

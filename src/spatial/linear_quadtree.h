@@ -1,0 +1,105 @@
+#ifndef POPAN_SPATIAL_LINEAR_QUADTREE_H_
+#define POPAN_SPATIAL_LINEAR_QUADTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/morton.h"
+#include "spatial/pr_tree.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+
+/// A pointerless ("linear") PR quadtree: the leaves of the regular
+/// decomposition stored as a Morton-code-sorted array — the disk-friendly
+/// representation used by the Samet group's geographic systems that
+/// motivated the paper. Immutable once built; the use case is bulk
+/// loading a static point set and serving queries, with the pointer-based
+/// PrTree handling dynamic workloads.
+///
+/// Because the PR decomposition is canonical for a point set, BulkLoad
+/// and FromTree produce identical leaf arrays for identical inputs — a
+/// property the tests exploit.
+class LinearPrQuadtree {
+ public:
+  /// One leaf block: its locational code and its points (sorted arrays of
+  /// these, by code, form the whole structure).
+  struct Leaf {
+    MortonCode code;
+    std::vector<geo::Point2> points;
+  };
+
+  /// Builds the canonical PR decomposition of `points` by sorting on
+  /// Morton code and splitting spans top-down; O(n log n + L). Duplicate
+  /// points are rejected (AlreadyExists), out-of-bounds points are
+  /// rejected (OutOfRange). options.max_depth is clamped to
+  /// MortonCode::kMaxDepth.
+  static StatusOr<LinearPrQuadtree> BulkLoad(
+      const geo::Box2& bounds, std::vector<geo::Point2> points,
+      const PrTreeOptions& options = {});
+
+  /// Linearizes an existing pointer-based tree (its depth limit must not
+  /// exceed MortonCode::kMaxDepth).
+  static LinearPrQuadtree FromTree(const PrTree<2>& tree);
+
+  const geo::Box2& bounds() const { return bounds_; }
+  size_t capacity() const { return options_.capacity; }
+
+  /// Number of stored points.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of leaves (blocks), including empty ones.
+  size_t LeafCount() const { return leaves_.size(); }
+
+  /// The sorted leaf array.
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+
+  /// True iff an equal point is stored; one binary search.
+  bool Contains(const geo::Point2& p) const;
+
+  /// All stored points inside `query` (half-open), via code-interval
+  /// descent over the sorted array.
+  std::vector<geo::Point2> RangeQuery(const geo::Box2& query) const;
+
+  /// Census hook: fn(box, depth, occupancy) per leaf, in Z order.
+  template <typename Fn>
+  void VisitLeaves(Fn fn) const {
+    for (const Leaf& leaf : leaves_) {
+      fn(BlockOfCode(bounds_, leaf.code), static_cast<size_t>(leaf.code.depth),
+         leaf.points.size());
+    }
+  }
+
+  /// Verifies the linear-quadtree invariants: codes strictly ascending,
+  /// descendant intervals exactly tiling the root interval, every point
+  /// inside its leaf's block, occupancy <= capacity away from max_depth.
+  Status CheckInvariants() const;
+
+ private:
+  LinearPrQuadtree(const geo::Box2& bounds, const PrTreeOptions& options)
+      : bounds_(bounds), options_(options) {}
+
+  /// Recursive span splitter for BulkLoad. `codes` parallels `points`.
+  void BuildSpan(const std::vector<uint64_t>& codes,
+                 const std::vector<geo::Point2>& points, size_t begin,
+                 size_t end, const MortonCode& block);
+
+  /// Index of the leaf whose code interval contains `point_bits`.
+  size_t LeafIndexFor(uint64_t point_bits) const;
+
+  void RangeRec(const MortonCode& block, size_t begin, size_t end,
+                const geo::Box2& query,
+                std::vector<geo::Point2>* out) const;
+
+  geo::Box2 bounds_;
+  PrTreeOptions options_;
+  std::vector<Leaf> leaves_;
+  size_t size_ = 0;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_LINEAR_QUADTREE_H_

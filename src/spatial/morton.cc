@@ -1,0 +1,89 @@
+#include "spatial/morton.h"
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+namespace {
+
+/// Bit position (from 0 = least significant) of the 2-bit field holding
+/// the quadrant choice at path position `level` (0-based from the root).
+int FieldShift(int level) { return 2 * (MortonCode::kMaxDepth - 1 - level); }
+
+}  // namespace
+
+MortonCode ChildCode(const MortonCode& parent, size_t quadrant) {
+  POPAN_CHECK(parent.depth < MortonCode::kMaxDepth);
+  POPAN_CHECK(quadrant < 4);
+  MortonCode child;
+  child.bits = parent.bits |
+               (static_cast<uint64_t>(quadrant)
+                << FieldShift(parent.depth));
+  child.depth = parent.depth + 1;
+  return child;
+}
+
+MortonCode ParentCode(const MortonCode& code) {
+  POPAN_CHECK(code.depth > 0) << "root has no parent";
+  MortonCode parent;
+  parent.depth = code.depth - 1;
+  parent.bits =
+      code.bits & ~(uint64_t{3} << FieldShift(parent.depth));
+  return parent;
+}
+
+MortonCode CodeOfPoint(const geo::Box2& root, const geo::Point2& p,
+                       uint8_t depth) {
+  POPAN_CHECK(root.Contains(p));
+  POPAN_CHECK(depth <= MortonCode::kMaxDepth);
+  MortonCode code;
+  geo::Box2 box = root;
+  for (uint8_t level = 0; level < depth; ++level) {
+    size_t q = box.QuadrantOf(p);
+    code = ChildCode(code, q);
+    box = box.Quadrant(q);
+  }
+  return code;
+}
+
+geo::Box2 BlockOfCode(const geo::Box2& root, const MortonCode& code) {
+  geo::Box2 box = root;
+  for (int level = 0; level < code.depth; ++level) {
+    size_t q = (code.bits >> FieldShift(level)) & 3;
+    box = box.Quadrant(q);
+  }
+  return box;
+}
+
+bool IsAncestorOrSelf(const MortonCode& ancestor, const MortonCode& code) {
+  if (ancestor.depth > code.depth) return false;
+  if (ancestor.depth == 0) return true;
+  // Compare the leading `ancestor.depth` quadrant fields.
+  int keep_bits = 2 * ancestor.depth;
+  uint64_t mask = ~uint64_t{0}
+                  << (2 * MortonCode::kMaxDepth - keep_bits);
+  return (ancestor.bits & mask) == (code.bits & mask);
+}
+
+void DescendantRange(const MortonCode& code, uint64_t* lo, uint64_t* hi) {
+  POPAN_CHECK(lo != nullptr && hi != nullptr);
+  *lo = code.bits;
+  if (code.depth == 0) {
+    *hi = uint64_t{1} << (2 * MortonCode::kMaxDepth);
+    return;
+  }
+  uint64_t span = uint64_t{1}
+                  << (2 * (MortonCode::kMaxDepth - code.depth));
+  *hi = code.bits + span;
+}
+
+std::string MortonCodeToString(const MortonCode& code) {
+  std::string out;
+  for (int level = 0; level < code.depth; ++level) {
+    if (level != 0) out += '.';
+    out += static_cast<char>('0' + ((code.bits >> FieldShift(level)) & 3));
+  }
+  return out;
+}
+
+}  // namespace popan::spatial

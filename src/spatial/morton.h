@@ -1,0 +1,75 @@
+#ifndef POPAN_SPATIAL_MORTON_H_
+#define POPAN_SPATIAL_MORTON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace popan::spatial {
+
+/// Morton (Z-order) locational codes for quadtree blocks — the linear
+/// quadtree machinery of the Samet group's GIS systems the paper grew out
+/// of [Same85c]. A block at depth d in the regular decomposition of a
+/// root square is identified by the d quadrant choices on the path from
+/// the root; packing those 2-bit choices most-significant-first yields a
+/// code with two key properties:
+///
+///   * the codes of all descendants of a block form one contiguous
+///     interval, so containment is an integer range test; and
+///   * sorting leaves by code linearizes the tree in depth-first order,
+///     so a pointerless ("linear") quadtree is just a sorted array.
+struct MortonCode {
+  /// Quadrant path bits, packed from the most significant end of the
+  /// kMaxDepth-pair field; bits beyond `depth` pairs are zero.
+  uint64_t bits = 0;
+  /// Path length (root block = 0).
+  uint8_t depth = 0;
+
+  /// Deepest representable block: 31 quadrant choices fit 62 bits.
+  static constexpr uint8_t kMaxDepth = 31;
+
+  friend bool operator==(const MortonCode& a, const MortonCode& b) {
+    return a.bits == b.bits && a.depth == b.depth;
+  }
+  friend bool operator!=(const MortonCode& a, const MortonCode& b) {
+    return !(a == b);
+  }
+  /// Depth-first (pre-)order: ancestors sort before descendants, and
+  /// disjoint blocks sort by spatial Z order.
+  friend bool operator<(const MortonCode& a, const MortonCode& b) {
+    return a.bits != b.bits ? a.bits < b.bits : a.depth < b.depth;
+  }
+};
+
+/// The root block's code (empty path).
+inline MortonCode RootCode() { return MortonCode{}; }
+
+/// The code of `parent`'s child in quadrant `q` (Box2::Quadrant indexing).
+MortonCode ChildCode(const MortonCode& parent, size_t quadrant);
+
+/// The parent of a non-root code.
+MortonCode ParentCode(const MortonCode& code);
+
+/// The code of the depth-`depth` block of `root` containing `p`. `p` must
+/// lie inside `root`; depth <= kMaxDepth.
+MortonCode CodeOfPoint(const geo::Box2& root, const geo::Point2& p,
+                       uint8_t depth);
+
+/// The block a code denotes, within `root`.
+geo::Box2 BlockOfCode(const geo::Box2& root, const MortonCode& code);
+
+/// True iff `ancestor` is `code` or one of its ancestors.
+bool IsAncestorOrSelf(const MortonCode& ancestor, const MortonCode& code);
+
+/// The half-open interval [lo, hi) of kMaxDepth-level codes covered by
+/// `code`'s block; used for sorted-array range searches.
+void DescendantRange(const MortonCode& code, uint64_t* lo, uint64_t* hi);
+
+/// Human-readable quadrant path like "0.3.1" ("" for the root).
+std::string MortonCodeToString(const MortonCode& code);
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_MORTON_H_

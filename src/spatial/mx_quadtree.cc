@@ -1,0 +1,163 @@
+#include "spatial/mx_quadtree.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+MxQuadtree::MxQuadtree(size_t resolution_bits) : bits_(resolution_bits) {
+  POPAN_CHECK(bits_ >= 1 && bits_ <= 16)
+      << "resolution_bits must be in [1, 16]";
+}
+
+Status MxQuadtree::Insert(uint32_t x, uint32_t y) {
+  if (x >= side() || y >= side()) {
+    return Status::OutOfRange("cell outside the grid");
+  }
+  if (root_ == kNullNode) root_ = arena_.Allocate();
+  NodeIndex idx = root_;
+  size_t block = side();
+  while (block > 1) {
+    size_t half = block / 2;
+    size_t q = QuadrantOf(x, y, half);
+    if (x >= half) x -= static_cast<uint32_t>(half);
+    if (y >= half) y -= static_cast<uint32_t>(half);
+    NodeIndex child = arena_.Get(idx).children[q];
+    if (child == kNullNode) {
+      if (half == 1) {
+        // Creating the cell: this is the successful insert.
+        NodeIndex cell = arena_.Allocate();
+        arena_.Get(idx).children[q] = cell;
+        ++size_;
+        return Status::OK();
+      }
+      child = arena_.Allocate();
+      arena_.Get(idx).children[q] = child;
+    } else if (half == 1) {
+      return Status::AlreadyExists("cell already occupied");
+    }
+    idx = arena_.Get(idx).children[q];
+    block = half;
+  }
+  // side() == 1 is excluded by the constructor.
+  return Status::Internal("unreachable");
+}
+
+bool MxQuadtree::Contains(uint32_t x, uint32_t y) const {
+  if (x >= side() || y >= side() || root_ == kNullNode) return false;
+  NodeIndex idx = root_;
+  size_t block = side();
+  while (block > 1) {
+    size_t half = block / 2;
+    size_t q = QuadrantOf(x, y, half);
+    if (x >= half) x -= static_cast<uint32_t>(half);
+    if (y >= half) y -= static_cast<uint32_t>(half);
+    idx = arena_.Get(idx).children[q];
+    if (idx == kNullNode) return false;
+    block = half;
+  }
+  return true;
+}
+
+Status MxQuadtree::Erase(uint32_t x, uint32_t y) {
+  if (x >= side() || y >= side() || root_ == kNullNode) {
+    return Status::NotFound("cell not occupied");
+  }
+  // Record the path so emptied ancestors can be pruned on the way back.
+  std::vector<std::pair<NodeIndex, size_t>> path;  // (node, child slot)
+  NodeIndex idx = root_;
+  size_t block = side();
+  while (block > 1) {
+    size_t half = block / 2;
+    size_t q = QuadrantOf(x, y, half);
+    if (x >= half) x -= static_cast<uint32_t>(half);
+    if (y >= half) y -= static_cast<uint32_t>(half);
+    NodeIndex child = arena_.Get(idx).children[q];
+    if (child == kNullNode) return Status::NotFound("cell not occupied");
+    path.emplace_back(idx, q);
+    idx = child;
+    block = half;
+  }
+  // idx is the cell node; free it and prune upward.
+  arena_.Free(idx);
+  --size_;
+  for (size_t level = path.size(); level-- > 0;) {
+    auto [parent, slot] = path[level];
+    arena_.Get(parent).children[slot] = kNullNode;
+    bool any_child = false;
+    for (NodeIndex c : arena_.Get(parent).children) {
+      if (c != kNullNode) {
+        any_child = true;
+        break;
+      }
+    }
+    if (any_child) return Status::OK();
+    arena_.Free(parent);
+    if (level == 0) root_ = kNullNode;
+  }
+  return Status::OK();
+}
+
+void MxQuadtree::RangeRec(
+    NodeIndex idx, uint32_t bx, uint32_t by, size_t block, uint32_t x0,
+    uint32_t y0, uint32_t x1, uint32_t y1,
+    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
+  if (bx >= x1 || by >= y1 || bx + block <= x0 || by + block <= y0) return;
+  if (block == 1) {
+    out->emplace_back(bx, by);
+    return;
+  }
+  const Node& node = arena_.Get(idx);
+  size_t half = block / 2;
+  for (size_t q = 0; q < 4; ++q) {
+    if (node.children[q] == kNullNode) continue;
+    RangeRec(node.children[q],
+             bx + static_cast<uint32_t>((q & 1) ? half : 0),
+             by + static_cast<uint32_t>((q & 2) ? half : 0), half, x0, y0,
+             x1, y1, out);
+  }
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::RangeQuery(
+    uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1) const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (root_ != kNullNode) {
+    RangeRec(root_, 0, 0, side(), x0, y0, x1, y1, &out);
+  }
+  return out;
+}
+
+Status MxQuadtree::CheckInvariants() const {
+  size_t points_seen = 0;
+  if (root_ != kNullNode) {
+    POPAN_RETURN_IF_ERROR(CheckRec(root_, side(), &points_seen));
+  }
+  if (points_seen != size_) return Status::Internal("size mismatch");
+  if (root_ == kNullNode && size_ != 0) {
+    return Status::Internal("null root with nonzero size");
+  }
+  return Status::OK();
+}
+
+Status MxQuadtree::CheckRec(NodeIndex idx, size_t block,
+                            size_t* points_seen) const {
+  if (block == 1) {
+    ++*points_seen;
+    return Status::OK();
+  }
+  const Node& node = arena_.Get(idx);
+  bool any_child = false;
+  for (size_t q = 0; q < 4; ++q) {
+    if (node.children[q] == kNullNode) continue;
+    any_child = true;
+    POPAN_RETURN_IF_ERROR(
+        CheckRec(node.children[q], block / 2, points_seen));
+  }
+  if (!any_child) {
+    return Status::Internal("childless internal node not pruned");
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::spatial

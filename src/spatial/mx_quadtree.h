@@ -1,0 +1,113 @@
+#ifndef POPAN_SPATIAL_MX_QUADTREE_H_
+#define POPAN_SPATIAL_MX_QUADTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "spatial/node_arena.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+
+/// The MX ("matrix") quadtree — the third member of §II's point-quadtree
+/// family (Samet's survey [Same84a]): a regular decomposition to a FIXED
+/// resolution, where a data point occupies a 1x1 cell of the 2^k x 2^k
+/// grid and only the occupied subtrees are materialized. Where the PR
+/// quadtree's depth adapts to point spacing, the MX quadtree's is bounded
+/// by construction (depth k for every stored point), at the cost of
+/// quantized coordinates — the raster-like tradeoff its name comes from.
+///
+/// The API is integer-cell based: a point is a cell (x, y) with
+/// 0 <= x, y < 2^k.
+class MxQuadtree {
+ public:
+  /// A tree over the 2^resolution_bits square grid; resolution_bits in
+  /// [1, 16] (up to 65536 x 65536 cells).
+  explicit MxQuadtree(size_t resolution_bits);
+
+  /// Grid side length, 2^resolution_bits.
+  size_t side() const { return size_t{1} << bits_; }
+
+  /// Number of stored points.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Materialized nodes (internal + leaf); the MX storage cost.
+  size_t NodeCount() const { return arena_.LiveCount(); }
+
+  /// Inserts cell (x, y). OutOfRange outside the grid; AlreadyExists for
+  /// an occupied cell.
+  Status Insert(uint32_t x, uint32_t y);
+
+  /// True iff cell (x, y) is occupied.
+  bool Contains(uint32_t x, uint32_t y) const;
+
+  /// Removes a point; NotFound when the cell is empty. Emptied subtrees
+  /// are pruned, so the node count shrinks back.
+  Status Erase(uint32_t x, uint32_t y);
+
+  /// All occupied cells with x in [x0, x1) and y in [y0, y1), in Z order.
+  std::vector<std::pair<uint32_t, uint32_t>> RangeQuery(uint32_t x0,
+                                                        uint32_t y0,
+                                                        uint32_t x1,
+                                                        uint32_t y1) const;
+
+  /// Depth of every stored point (they all live at resolution_bits — the
+  /// defining MX property; exposed for tests).
+  size_t PointDepth() const { return bits_; }
+
+  /// Calls fn(x, y) for every occupied cell, Z order.
+  template <typename Fn>
+  void VisitPoints(Fn fn) const {
+    if (root_ != kNullNode) VisitRec(root_, 0, 0, side(), fn);
+  }
+
+  /// Verifies: every materialized internal node has >= 1 child, leaves
+  /// only at full depth, size accounting.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    std::array<NodeIndex, 4> children = {kNullNode, kNullNode, kNullNode,
+                                         kNullNode};
+  };
+
+  static size_t QuadrantOf(uint32_t x, uint32_t y, size_t half) {
+    return (x >= half ? 1u : 0u) | (y >= half ? 2u : 0u);
+  }
+
+  /// Returns true when the subtree became empty and was freed.
+  bool EraseRec(NodeIndex idx, uint32_t x, uint32_t y, size_t block);
+
+  void RangeRec(NodeIndex idx, uint32_t bx, uint32_t by, size_t block,
+                uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+
+  template <typename Fn>
+  void VisitRec(NodeIndex idx, uint32_t bx, uint32_t by, size_t block,
+                Fn& fn) const {
+    if (block == 1) {
+      fn(bx, by);
+      return;
+    }
+    const Node& node = arena_.Get(idx);
+    size_t half = block / 2;
+    for (size_t q = 0; q < 4; ++q) {
+      if (node.children[q] == kNullNode) continue;
+      VisitRec(node.children[q], bx + ((q & 1) ? half : 0),
+               by + ((q & 2) ? half : 0), half, fn);
+    }
+  }
+
+  Status CheckRec(NodeIndex idx, size_t block, size_t* points_seen) const;
+
+  size_t bits_;
+  NodeArena<Node> arena_;
+  NodeIndex root_ = kNullNode;
+  size_t size_ = 0;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_MX_QUADTREE_H_

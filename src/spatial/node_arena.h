@@ -1,0 +1,93 @@
+#ifndef POPAN_SPATIAL_NODE_ARENA_H_
+#define POPAN_SPATIAL_NODE_ARENA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+/// Index type used for arena slots. 32 bits addresses 4G nodes, far beyond
+/// any experiment here, and halves pointer storage versus raw pointers.
+using NodeIndex = uint32_t;
+
+/// Sentinel meaning "no node".
+inline constexpr NodeIndex kNullNode = 0xffffffffu;
+
+/// A typed slab allocator for tree nodes. Nodes are stored contiguously,
+/// addressed by index, and recycled through a free list when trees collapse
+/// after deletions. Index addressing keeps nodes stable under reallocation
+/// (vector growth moves the slab, which invalidates pointers but not
+/// indices) — the standard idiom in storage engines.
+template <typename NodeT>
+class NodeArena {
+ public:
+  NodeArena() = default;
+
+  NodeArena(const NodeArena&) = default;
+  NodeArena& operator=(const NodeArena&) = default;
+  NodeArena(NodeArena&&) noexcept = default;
+  NodeArena& operator=(NodeArena&&) noexcept = default;
+
+  /// Creates a node, constructing it from `args`, and returns its index.
+  template <typename... Args>
+  NodeIndex Allocate(Args&&... args) {
+    if (!free_list_.empty()) {
+      NodeIndex idx = free_list_.back();
+      free_list_.pop_back();
+      slots_[idx] = NodeT(std::forward<Args>(args)...);
+      ++live_count_;
+      return idx;
+    }
+    POPAN_CHECK(slots_.size() < kNullNode) << "arena exhausted";
+    slots_.emplace_back(std::forward<Args>(args)...);
+    ++live_count_;
+    return static_cast<NodeIndex>(slots_.size() - 1);
+  }
+
+  /// Returns a node's slot to the free list. The slot's contents are reset
+  /// to a default-constructed node to release any owned memory.
+  void Free(NodeIndex idx) {
+    POPAN_DCHECK(idx < slots_.size());
+    slots_[idx] = NodeT();
+    free_list_.push_back(idx);
+    POPAN_DCHECK(live_count_ > 0);
+    --live_count_;
+  }
+
+  NodeT& Get(NodeIndex idx) {
+    POPAN_DCHECK(idx < slots_.size()) << "index" << idx;
+    return slots_[idx];
+  }
+  const NodeT& Get(NodeIndex idx) const {
+    POPAN_DCHECK(idx < slots_.size()) << "index" << idx;
+    return slots_[idx];
+  }
+
+  NodeT& operator[](NodeIndex idx) { return Get(idx); }
+  const NodeT& operator[](NodeIndex idx) const { return Get(idx); }
+
+  /// Number of live (allocated, not freed) nodes.
+  size_t LiveCount() const { return live_count_; }
+
+  /// Number of slots ever created (live + free-listed).
+  size_t SlotCount() const { return slots_.size(); }
+
+  /// Drops all nodes and recycled slots.
+  void Clear() {
+    slots_.clear();
+    free_list_.clear();
+    live_count_ = 0;
+  }
+
+ private:
+  std::vector<NodeT> slots_;
+  std::vector<NodeIndex> free_list_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_NODE_ARENA_H_

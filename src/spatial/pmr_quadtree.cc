@@ -1,0 +1,146 @@
+#include "spatial/pmr_quadtree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+PmrQuadtree::PmrQuadtree(const BoxT& bounds, const PmrQuadtreeOptions& options)
+    : bounds_(bounds), options_(options) {
+  POPAN_CHECK(options_.splitting_threshold >= 1);
+  root_ = arena_.Allocate();
+}
+
+Status PmrQuadtree::Insert(const geo::Segment& segment) {
+  if (!segment.IntersectsBox(bounds_)) {
+    return Status::OutOfRange("segment does not intersect the tree bounds");
+  }
+  SegmentId id = static_cast<SegmentId>(segments_.size());
+  segments_.push_back(segment);
+  InsertRec(root_, bounds_, 0, id);
+  return Status::OK();
+}
+
+const geo::Segment& PmrQuadtree::GetSegment(SegmentId id) const {
+  POPAN_CHECK(id < segments_.size());
+  return segments_[id];
+}
+
+void PmrQuadtree::InsertRec(NodeIndex idx, const BoxT& box, size_t depth,
+                            SegmentId id) {
+  const geo::Segment& segment = segments_[id];
+  if (!segment.IntersectsBox(box)) return;
+  if (!arena_.Get(idx).is_leaf) {
+    // Copy the child indices: a recursive insert can split a descendant,
+    // growing the arena and invalidating references into it.
+    std::array<NodeIndex, 4> children = arena_.Get(idx).children;
+    for (size_t q = 0; q < 4; ++q) {
+      InsertRec(children[q], box.Quadrant(q), depth + 1, id);
+    }
+    return;
+  }
+  Node& node = arena_.Get(idx);
+  node.segment_ids.push_back(id);
+  // The PMR rule: split at most once per insertion, and only the leaf the
+  // insertion pushed over the threshold.
+  if (node.segment_ids.size() > options_.splitting_threshold &&
+      depth < options_.max_depth) {
+    SplitOnce(idx, box);
+  }
+}
+
+void PmrQuadtree::SplitOnce(NodeIndex idx, const BoxT& box) {
+  std::vector<SegmentId> ids = std::move(arena_.Get(idx).segment_ids);
+  std::array<NodeIndex, 4> children;
+  for (size_t q = 0; q < 4; ++q) children[q] = arena_.Allocate();
+  Node& node = arena_.Get(idx);
+  node.is_leaf = false;
+  node.segment_ids.clear();
+  node.children = children;
+  leaf_count_ += 3;
+  // Redistribute fragments to the children they intersect. No recursive
+  // splitting: children may end up over threshold; they will split when a
+  // future insertion lands in them (the once-only rule).
+  for (SegmentId id : ids) {
+    const geo::Segment& segment = segments_[id];
+    for (size_t q = 0; q < 4; ++q) {
+      BoxT child_box = box.Quadrant(q);
+      if (segment.IntersectsBox(child_box)) {
+        arena_.Get(children[q]).segment_ids.push_back(id);
+      }
+    }
+  }
+}
+
+std::vector<PmrQuadtree::SegmentId> PmrQuadtree::RangeQuery(
+    const BoxT& query) const {
+  std::vector<SegmentId> out;
+  RangeRec(root_, bounds_, query, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Fragments only prove block overlap; confirm actual intersection with
+  // the query box.
+  std::vector<SegmentId> confirmed;
+  confirmed.reserve(out.size());
+  for (SegmentId id : out) {
+    if (segments_[id].IntersectsBox(query)) confirmed.push_back(id);
+  }
+  return confirmed;
+}
+
+void PmrQuadtree::RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
+                           std::vector<SegmentId>* out) const {
+  if (!box.Intersects(query)) return;
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) {
+    out->insert(out->end(), node.segment_ids.begin(), node.segment_ids.end());
+    return;
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    RangeRec(node.children[q], box.Quadrant(q), query, out);
+  }
+}
+
+Status PmrQuadtree::CheckInvariants() const {
+  POPAN_RETURN_IF_ERROR(CheckRec(root_, bounds_));
+  // Coverage: every segment must be present in every leaf whose block it
+  // intersects. O(segments x leaves); used by tests on small trees.
+  Status coverage = Status::OK();
+  VisitLeavesWithIds([this, &coverage](const BoxT& box,
+                                       const std::vector<SegmentId>& ids) {
+    if (!coverage.ok()) return;
+    for (SegmentId id = 0; id < segments_.size(); ++id) {
+      if (!segments_[id].IntersectsBox(box)) continue;
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        coverage = Status::Internal("segment " + std::to_string(id) +
+                                    " missing from a leaf it intersects");
+      }
+    }
+  });
+  return coverage;
+}
+
+Status PmrQuadtree::CheckRec(NodeIndex idx, const BoxT& box) const {
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) {
+    for (SegmentId id : node.segment_ids) {
+      if (!segments_[id].IntersectsBox(box)) {
+        return Status::Internal("leaf stores a segment missing its block");
+      }
+    }
+    return Status::OK();
+  }
+  if (!node.segment_ids.empty()) {
+    return Status::Internal("internal PMR node holds segments");
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    if (node.children[q] == kNullNode) {
+      return Status::Internal("internal PMR node with missing child");
+    }
+    POPAN_RETURN_IF_ERROR(CheckRec(node.children[q], box.Quadrant(q)));
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::spatial

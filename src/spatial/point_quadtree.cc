@@ -1,0 +1,134 @@
+#include "spatial/point_quadtree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace popan::spatial {
+
+Status PointQuadtree::Insert(const PointT& p) {
+  if (root_ == kNullNode) {
+    root_ = arena_.Allocate();
+    arena_.Get(root_).point = p;
+    return Status::OK();
+  }
+  NodeIndex idx = root_;
+  for (;;) {
+    Node& node = arena_.Get(idx);
+    if (node.point == p) {
+      return Status::AlreadyExists("duplicate point");
+    }
+    size_t q = QuadrantOf(node.point, p);
+    if (node.children[q] == kNullNode) {
+      NodeIndex child = arena_.Allocate();
+      arena_.Get(child).point = p;
+      // `node` may be dangling after Allocate; re-fetch.
+      arena_.Get(idx).children[q] = child;
+      return Status::OK();
+    }
+    idx = node.children[q];
+  }
+}
+
+bool PointQuadtree::Contains(const PointT& p) const {
+  NodeIndex idx = root_;
+  while (idx != kNullNode) {
+    const Node& node = arena_.Get(idx);
+    if (node.point == p) return true;
+    idx = node.children[QuadrantOf(node.point, p)];
+  }
+  return false;
+}
+
+std::vector<PointQuadtree::PointT> PointQuadtree::RangeQuery(
+    const BoxT& query) const {
+  std::vector<PointT> out;
+  RangeRec(root_, query, &out);
+  return out;
+}
+
+void PointQuadtree::RangeRec(NodeIndex idx, const BoxT& query,
+                             std::vector<PointT>* out) const {
+  if (idx == kNullNode) return;
+  const Node& node = arena_.Get(idx);
+  const PointT& p = node.point;
+  if (query.Contains(p)) out->push_back(p);
+  // Prune: a child quadrant q of pivot p can contain query points only if
+  // the query extends to that side of p on each axis.
+  // Quadrant q holds points with x < p.x (bit 0 clear) or x >= p.x (bit 0
+  // set), and likewise for y. With the half-open query [lo, hi), the left
+  // side is reachable iff lo < p.x and the right side iff hi > p.x.
+  bool lo_x = query.lo().x() < p.x();
+  bool hi_x = query.hi().x() > p.x();
+  bool lo_y = query.lo().y() < p.y();
+  bool hi_y = query.hi().y() > p.y();
+  for (size_t q = 0; q < 4; ++q) {
+    bool x_ok = (q & 1) ? hi_x : lo_x;
+    bool y_ok = (q & 2) ? hi_y : lo_y;
+    if (x_ok && y_ok) RangeRec(node.children[q], query, out);
+  }
+}
+
+StatusOr<PointQuadtree::PointT> PointQuadtree::Nearest(
+    const PointT& target) const {
+  if (root_ == kNullNode) return Status::NotFound("tree is empty");
+  PointT best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  double inf = std::numeric_limits<double>::infinity();
+  BoxT everything(PointT(-inf, -inf), PointT(inf, inf));
+  NearestRec(root_, everything, target, &best, &best_d2);
+  return best;
+}
+
+void PointQuadtree::NearestRec(NodeIndex idx, const BoxT& cell,
+                               const PointT& target, PointT* best,
+                               double* best_d2) const {
+  if (idx == kNullNode) return;
+  if (cell.DistanceSquaredTo(target) >= *best_d2) return;
+  const Node& node = arena_.Get(idx);
+  double d2 = node.point.DistanceSquared(target);
+  if (d2 < *best_d2) {
+    *best_d2 = d2;
+    *best = node.point;
+  }
+  // Children cells are the four quadrants of `cell` cut at the pivot point.
+  const PointT& p = node.point;
+  std::array<std::pair<double, size_t>, 4> order;
+  std::array<BoxT, 4> cells;
+  for (size_t q = 0; q < 4; ++q) {
+    PointT lo = cell.lo();
+    PointT hi = cell.hi();
+    if (q & 1) {
+      lo[0] = p.x();
+    } else {
+      hi[0] = p.x();
+    }
+    if (q & 2) {
+      lo[1] = p.y();
+    } else {
+      hi[1] = p.y();
+    }
+    cells[q] = BoxT(lo, hi);
+    order[q] = {cells[q].DistanceSquaredTo(target), q};
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [dist2, q] : order) {
+    if (dist2 >= *best_d2) break;
+    NearestRec(node.children[q], cells[q], target, best, best_d2);
+  }
+}
+
+size_t PointQuadtree::Height() const {
+  size_t best = 0;
+  VisitNodes([&best](const PointT&, size_t depth) {
+    best = std::max(best, depth);
+  });
+  return best;
+}
+
+size_t PointQuadtree::TotalPathLength() const {
+  size_t total = 0;
+  VisitNodes([&total](const PointT&, size_t depth) { total += depth; });
+  return total;
+}
+
+}  // namespace popan::spatial

@@ -1,0 +1,102 @@
+#ifndef POPAN_SPATIAL_POINT_QUADTREE_H_
+#define POPAN_SPATIAL_POINT_QUADTREE_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/node_arena.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// The classical point quadtree of Finkel & Bentley (1974): every node
+/// stores one data point, and the four subtrees hold the points of the four
+/// quadrants *of that point* — so the decomposition is irregular and
+/// depends on insertion order. The paper contrasts this data-dependent
+/// scheme (§II) with the regular decomposition of the PR quadtree; this
+/// implementation exists so experiments can compare the two families'
+/// shape statistics under identical workloads.
+class PointQuadtree {
+ public:
+  using PointT = geo::Point<2>;
+  using BoxT = geo::Box<2>;
+
+  PointQuadtree() = default;
+
+  /// Number of points (== number of nodes; each node holds exactly one).
+  size_t size() const { return arena_.LiveCount(); }
+  bool empty() const { return size() == 0; }
+
+  /// Inserts a point. Returns AlreadyExists for an exact duplicate.
+  Status Insert(const PointT& p);
+
+  /// True iff an equal point is stored.
+  bool Contains(const PointT& p) const;
+
+  /// All stored points with x in [query.lo.x, query.hi.x) and likewise for
+  /// y (half-open, matching the PR tree's convention).
+  std::vector<PointT> RangeQuery(const BoxT& query) const;
+
+  /// The stored point nearest to `target`; NotFound when empty.
+  StatusOr<PointT> Nearest(const PointT& target) const;
+
+  /// Maximum node depth (root = 0); 0 for an empty tree. The comparison
+  /// statistic: point quadtrees built from random insertion orders have
+  /// expected depth O(log n), but adversarial orders degenerate to O(n).
+  size_t Height() const;
+
+  /// Total path length (sum of node depths); / size() = average node depth.
+  size_t TotalPathLength() const;
+
+  /// Calls fn(point, depth) for every node, preorder.
+  template <typename Fn>
+  void VisitNodes(Fn fn) const {
+    VisitRec(root_, 0, fn);
+  }
+
+  /// Removes all points.
+  void Clear() {
+    arena_.Clear();
+    root_ = kNullNode;
+  }
+
+ private:
+  struct Node {
+    PointT point;
+    // Quadrant codes match Box::QuadrantOf: bit 0 = x >= split, bit 1 =
+    // y >= split, where the split point is `point`.
+    std::array<NodeIndex, 4> children = {kNullNode, kNullNode, kNullNode,
+                                         kNullNode};
+  };
+
+  static size_t QuadrantOf(const PointT& pivot, const PointT& p) {
+    size_t q = 0;
+    if (p.x() >= pivot.x()) q |= 1;
+    if (p.y() >= pivot.y()) q |= 2;
+    return q;
+  }
+
+  void RangeRec(NodeIndex idx, const BoxT& query,
+                std::vector<PointT>* out) const;
+  void NearestRec(NodeIndex idx, const BoxT& cell, const PointT& target,
+                  PointT* best, double* best_d2) const;
+
+  template <typename Fn>
+  void VisitRec(NodeIndex idx, size_t depth, Fn& fn) const {
+    if (idx == kNullNode) return;
+    const Node& node = arena_.Get(idx);
+    fn(node.point, depth);
+    for (NodeIndex child : node.children) VisitRec(child, depth + 1, fn);
+  }
+
+  NodeArena<Node> arena_;
+  NodeIndex root_ = kNullNode;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_POINT_QUADTREE_H_

@@ -1,0 +1,504 @@
+#ifndef POPAN_SPATIAL_PR_TREE_H_
+#define POPAN_SPATIAL_PR_TREE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/node_arena.h"
+#include "util/check.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// Configuration of a generalized PR tree.
+struct PrTreeOptions {
+  /// Node capacity m: a leaf splits when it would hold more than this many
+  /// points. m = 1 gives the simple PR quadtree of the paper's §III
+  /// example; the paper's Tables 1–2 sweep m = 1…8.
+  size_t capacity = 1;
+
+  /// Depth at which splitting stops; a leaf at this depth absorbs points
+  /// beyond `capacity`. The paper's implementation truncated at depth 9
+  /// (the Table 3 anomaly at depth 9 is this artifact). Defaults high
+  /// enough to be effectively unlimited for random real-valued data.
+  size_t max_depth = 64;
+};
+
+/// The generalized PR (point-region) tree over D dimensions: a regular
+/// recursive decomposition of a fixed root block into 2^D congruent
+/// children ("quadrants"), splitting any block that holds more than
+/// `capacity` points. D = 1 is a bintree, D = 2 the PR quadtree the paper
+/// analyzes, D = 3 a PR octree.
+///
+/// Points are unique: inserting a duplicate returns AlreadyExists (with
+/// real-valued random data duplicates are a measure-zero event; the PR
+/// splitting rule counts distinct points).
+///
+/// The tree exposes exactly what the paper's experiments need —
+/// VisitLeaves for taking population censuses — plus the standard query
+/// operations (point lookup, orthogonal range query, nearest neighbour) a
+/// library user expects.
+template <size_t D>
+class PrTree {
+ public:
+  using PointT = geo::Point<D>;
+  using BoxT = geo::Box<D>;
+  static constexpr size_t kFanout = size_t{1} << D;
+
+  /// Creates an empty tree over the root block `bounds`.
+  PrTree(const BoxT& bounds, const PrTreeOptions& options = {})
+      : bounds_(bounds), options_(options) {
+    POPAN_CHECK(options_.capacity >= 1) << "capacity must be at least 1";
+    root_ = arena_.Allocate();
+  }
+
+  PrTree(const PrTree&) = default;
+  PrTree& operator=(const PrTree&) = default;
+  PrTree(PrTree&&) noexcept = default;
+  PrTree& operator=(PrTree&&) noexcept = default;
+
+  /// The root block.
+  const BoxT& bounds() const { return bounds_; }
+
+  /// The configured node capacity m.
+  size_t capacity() const { return options_.capacity; }
+
+  /// The configured truncation depth.
+  size_t max_depth() const { return options_.max_depth; }
+
+  /// Number of points stored.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Number of leaf nodes (the paper's "nodes": only leaves hold data and
+  /// only leaves are counted in the population censuses).
+  size_t LeafCount() const { return leaf_count_; }
+
+  /// Total nodes including internal (gray) nodes.
+  size_t NodeCount() const { return arena_.LiveCount(); }
+
+  /// Inserts `p`. Returns OutOfRange if p is outside the root block and
+  /// AlreadyExists if an equal point is already stored.
+  Status Insert(const PointT& p) {
+    if (!bounds_.Contains(p)) {
+      return Status::OutOfRange("point outside the tree bounds");
+    }
+    Status s = InsertRec(root_, bounds_, 0, p);
+    if (s.ok()) ++size_;
+    return s;
+  }
+
+  /// True iff an equal point is stored.
+  bool Contains(const PointT& p) const {
+    if (!bounds_.Contains(p)) return false;
+    NodeIndex idx = root_;
+    BoxT box = bounds_;
+    while (!arena_.Get(idx).is_leaf) {
+      size_t q = box.QuadrantOf(p);
+      idx = arena_.Get(idx).children[q];
+      box = box.Quadrant(q);
+    }
+    const auto& pts = arena_.Get(idx).points;
+    return std::find(pts.begin(), pts.end(), p) != pts.end();
+  }
+
+  /// Removes `p`. Returns NotFound if it is not stored. After a removal,
+  /// any chain of internal nodes whose total occupancy fits in one leaf is
+  /// collapsed, so the tree is always the minimal decomposition for its
+  /// contents (insertion order independence — a defining PR property).
+  Status Erase(const PointT& p) {
+    if (!bounds_.Contains(p)) {
+      return Status::NotFound("point outside the tree bounds");
+    }
+    Status s = EraseRec(root_, bounds_, p);
+    if (s.ok()) --size_;
+    return s;
+  }
+
+  /// Returns all stored points inside `query` (half-open box semantics).
+  std::vector<PointT> RangeQuery(const BoxT& query) const {
+    std::vector<PointT> out;
+    RangeRec(root_, bounds_, query, &out);
+    return out;
+  }
+
+  /// Returns the stored point nearest to `target` (Euclidean metric), or
+  /// NotFound on an empty tree. Ties broken arbitrarily.
+  StatusOr<PointT> Nearest(const PointT& target) const {
+    if (size_ == 0) return Status::NotFound("tree is empty");
+    PointT best;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    NearestRec(root_, bounds_, target, &best, &best_d2);
+    return best;
+  }
+
+  /// Returns the k stored points nearest to `target`, ascending by
+  /// distance (fewer if the tree holds fewer than k). k must be >= 1.
+  std::vector<PointT> NearestK(const PointT& target, size_t k) const {
+    POPAN_CHECK(k >= 1);
+    // Max-heap of the k best (distance², point) candidates so far; the
+    // heap top is the current k-th distance, the pruning radius.
+    std::vector<std::pair<double, PointT>> heap;
+    NearestKRec(root_, bounds_, target, k, &heap);
+    std::sort(heap.begin(), heap.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<PointT> out;
+    out.reserve(heap.size());
+    for (const auto& [d2, p] : heap) out.push_back(p);
+    return out;
+  }
+
+  /// Calls fn(box, depth, occupancy) for every leaf. Depth of the root
+  /// is 0; a leaf's block area is bounds.Volume() / 2^(D*depth).
+  template <typename Fn>
+  void VisitLeaves(Fn fn) const {
+    VisitLeavesRec(root_, bounds_, 0, fn);
+  }
+
+  /// Calls fn(box, depth, is_leaf, occupancy) for every node, preorder.
+  template <typename Fn>
+  void VisitAllNodes(Fn fn) const {
+    VisitAllRec(root_, bounds_, 0, fn);
+  }
+
+  /// Returns every stored point (in no particular order).
+  std::vector<PointT> AllPoints() const {
+    std::vector<PointT> out;
+    out.reserve(size_);
+    VisitLeavesPoints(
+        [&out](const BoxT&, size_t, const std::vector<PointT>& pts) {
+          out.insert(out.end(), pts.begin(), pts.end());
+        });
+    return out;
+  }
+
+  /// Calls fn(box, depth, points) for every leaf, exposing the points.
+  template <typename Fn>
+  void VisitLeavesPoints(Fn fn) const {
+    VisitLeavesPointsRec(root_, bounds_, 0, fn);
+  }
+
+  /// Removes all points, leaving one empty root leaf.
+  void Clear() {
+    arena_.Clear();
+    root_ = arena_.Allocate();
+    size_ = 0;
+    leaf_count_ = 1;
+  }
+
+  /// Verifies structural invariants; returns Internal on violation. Used by
+  /// tests and available to callers as a consistency check:
+  ///  - every leaf holds at most `capacity` points unless at max_depth;
+  ///  - every internal node has 2^D children and holds no points;
+  ///  - every point lies inside its leaf's block;
+  ///  - no internal node's subtree fits within `capacity` (minimality);
+  ///  - cached size / leaf counts match reality.
+  Status CheckInvariants() const {
+    size_t points_seen = 0;
+    size_t leaves_seen = 0;
+    Status s = CheckRec(root_, bounds_, 0, &points_seen, &leaves_seen);
+    if (!s.ok()) return s;
+    if (points_seen != size_) {
+      return Status::Internal("size mismatch: counted " +
+                              std::to_string(points_seen) + " cached " +
+                              std::to_string(size_));
+    }
+    if (leaves_seen != leaf_count_) {
+      return Status::Internal("leaf count mismatch");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Node {
+    // A node is a leaf iff is_leaf; then `points` holds its contents.
+    // Otherwise `children` holds 2^D arena indices.
+    bool is_leaf = true;
+    std::array<NodeIndex, kFanout> children = InitChildren();
+    std::vector<PointT> points;
+
+    static constexpr std::array<NodeIndex, kFanout> InitChildren() {
+      std::array<NodeIndex, kFanout> c{};
+      for (size_t i = 0; i < kFanout; ++i) c[i] = kNullNode;
+      return c;
+    }
+  };
+
+  Status InsertRec(NodeIndex idx, const BoxT& box, size_t depth,
+                   const PointT& p) {
+    Node& node = arena_.Get(idx);
+    if (!node.is_leaf) {
+      size_t q = box.QuadrantOf(p);
+      return InsertRec(node.children[q], box.Quadrant(q), depth + 1, p);
+    }
+    if (std::find(node.points.begin(), node.points.end(), p) !=
+        node.points.end()) {
+      return Status::AlreadyExists("duplicate point");
+    }
+    if (node.points.size() < options_.capacity ||
+        depth >= options_.max_depth) {
+      node.points.push_back(p);
+      return Status::OK();
+    }
+    // The splitting rule fires: the block would exceed capacity. Convert
+    // the leaf into an internal node with 2^D fresh empty leaves and
+    // reinsert its m points plus the new one; if they all land in one
+    // quadrant, that child splits again through the same recursion (the
+    // paper's "perhaps several times" case with probability 4^-m).
+    std::vector<PointT> to_place = std::move(node.points);
+    to_place.push_back(p);
+    // `node` is invalidated by the allocations below; go through the arena.
+    {
+      std::array<NodeIndex, kFanout> children;
+      for (size_t q = 0; q < kFanout; ++q) children[q] = arena_.Allocate();
+      Node& n = arena_.Get(idx);
+      n.is_leaf = false;
+      n.points.clear();
+      n.children = children;
+      leaf_count_ += kFanout - 1;
+    }
+    for (const PointT& pt : to_place) {
+      size_t q = box.QuadrantOf(pt);
+      Status s = InsertRec(arena_.Get(idx).children[q], box.Quadrant(q),
+                           depth + 1, pt);
+      POPAN_CHECK(s.ok()) << "redistribution failed:" << s.ToString();
+    }
+    return Status::OK();
+  }
+
+  Status EraseRec(NodeIndex idx, const BoxT& box, const PointT& p) {
+    Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      auto it = std::find(node.points.begin(), node.points.end(), p);
+      if (it == node.points.end()) {
+        return Status::NotFound("point not stored");
+      }
+      // Order within a leaf is immaterial: swap-and-pop.
+      *it = node.points.back();
+      node.points.pop_back();
+      return Status::OK();
+    }
+    size_t q = box.QuadrantOf(p);
+    POPAN_RETURN_IF_ERROR(
+        EraseRec(node.children[q], box.Quadrant(q), p));
+    TryCollapse(idx);
+    return Status::OK();
+  }
+
+  /// If all children of internal node `idx` are leaves and their total
+  /// occupancy fits in one leaf, merge them back into `idx`.
+  void TryCollapse(NodeIndex idx) {
+    Node& node = arena_.Get(idx);
+    if (node.is_leaf) return;
+    size_t total = 0;
+    for (size_t q = 0; q < kFanout; ++q) {
+      const Node& child = arena_.Get(node.children[q]);
+      if (!child.is_leaf) return;
+      total += child.points.size();
+    }
+    if (total > options_.capacity) return;
+    std::vector<PointT> merged;
+    merged.reserve(total);
+    for (size_t q = 0; q < kFanout; ++q) {
+      NodeIndex child_idx = node.children[q];
+      auto& child_points = arena_.Get(child_idx).points;
+      merged.insert(merged.end(), child_points.begin(), child_points.end());
+      arena_.Free(child_idx);
+    }
+    Node& parent = arena_.Get(idx);
+    parent.is_leaf = true;
+    parent.points = std::move(merged);
+    for (size_t q = 0; q < kFanout; ++q) parent.children[q] = kNullNode;
+    leaf_count_ -= kFanout - 1;
+  }
+
+  void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
+                std::vector<PointT>* out) const {
+    if (!box.Intersects(query)) return;
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      for (const PointT& p : node.points) {
+        if (query.Contains(p)) out->push_back(p);
+      }
+      return;
+    }
+    for (size_t q = 0; q < kFanout; ++q) {
+      RangeRec(node.children[q], box.Quadrant(q), query, out);
+    }
+  }
+
+  void NearestRec(NodeIndex idx, const BoxT& box, const PointT& target,
+                  PointT* best, double* best_d2) const {
+    if (box.DistanceSquaredTo(target) >= *best_d2) return;
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      for (const PointT& p : node.points) {
+        double d2 = p.DistanceSquared(target);
+        if (d2 < *best_d2) {
+          *best_d2 = d2;
+          *best = p;
+        }
+      }
+      return;
+    }
+    // Visit children nearest-first so pruning kicks in early.
+    std::array<std::pair<double, size_t>, kFanout> order;
+    for (size_t q = 0; q < kFanout; ++q) {
+      order[q] = {box.Quadrant(q).DistanceSquaredTo(target), q};
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [d2, q] : order) {
+      if (d2 >= *best_d2) break;
+      NearestRec(node.children[q], box.Quadrant(q), target, best, best_d2);
+    }
+  }
+
+  void NearestKRec(NodeIndex idx, const BoxT& box, const PointT& target,
+                   size_t k,
+                   std::vector<std::pair<double, PointT>>* heap) const {
+    auto radius2 = [&]() {
+      return heap->size() < k ? std::numeric_limits<double>::infinity()
+                              : heap->front().first;
+    };
+    auto heap_less = [](const std::pair<double, PointT>& a,
+                        const std::pair<double, PointT>& b) {
+      return a.first < b.first;
+    };
+    if (box.DistanceSquaredTo(target) >= radius2()) return;
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      for (const PointT& p : node.points) {
+        double d2 = p.DistanceSquared(target);
+        if (d2 < radius2()) {
+          if (heap->size() == k) {
+            std::pop_heap(heap->begin(), heap->end(), heap_less);
+            heap->pop_back();
+          }
+          heap->emplace_back(d2, p);
+          std::push_heap(heap->begin(), heap->end(), heap_less);
+        }
+      }
+      return;
+    }
+    std::array<std::pair<double, size_t>, kFanout> order;
+    for (size_t q = 0; q < kFanout; ++q) {
+      order[q] = {box.Quadrant(q).DistanceSquaredTo(target), q};
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [d2, q] : order) {
+      if (d2 >= radius2()) break;
+      NearestKRec(node.children[q], box.Quadrant(q), target, k, heap);
+    }
+  }
+
+  template <typename Fn>
+  void VisitLeavesRec(NodeIndex idx, const BoxT& box, size_t depth,
+                      Fn& fn) const {
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      fn(box, depth, node.points.size());
+      return;
+    }
+    for (size_t q = 0; q < kFanout; ++q) {
+      VisitLeavesRec(node.children[q], box.Quadrant(q), depth + 1, fn);
+    }
+  }
+
+  template <typename Fn>
+  void VisitLeavesPointsRec(NodeIndex idx, const BoxT& box, size_t depth,
+                            Fn& fn) const {
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      fn(box, depth, node.points);
+      return;
+    }
+    for (size_t q = 0; q < kFanout; ++q) {
+      VisitLeavesPointsRec(node.children[q], box.Quadrant(q), depth + 1, fn);
+    }
+  }
+
+  template <typename Fn>
+  void VisitAllRec(NodeIndex idx, const BoxT& box, size_t depth,
+                   Fn& fn) const {
+    const Node& node = arena_.Get(idx);
+    fn(box, depth, node.is_leaf, node.points.size());
+    if (node.is_leaf) return;
+    for (size_t q = 0; q < kFanout; ++q) {
+      VisitAllRec(node.children[q], box.Quadrant(q), depth + 1, fn);
+    }
+  }
+
+  Status CheckRec(NodeIndex idx, const BoxT& box, size_t depth,
+                  size_t* points_seen, size_t* leaves_seen) const {
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      ++*leaves_seen;
+      *points_seen += node.points.size();
+      if (node.points.size() > options_.capacity &&
+          depth < options_.max_depth) {
+        return Status::Internal("leaf over capacity below max depth");
+      }
+      for (const PointT& p : node.points) {
+        if (!box.Contains(p)) {
+          return Status::Internal("point " + p.ToString() +
+                                  " outside its leaf block " +
+                                  box.ToString());
+        }
+      }
+      return Status::OK();
+    }
+    if (!node.points.empty()) {
+      return Status::Internal("internal node holds points");
+    }
+    size_t subtree_points = 0;
+    for (size_t q = 0; q < kFanout; ++q) {
+      if (node.children[q] == kNullNode) {
+        return Status::Internal("internal node with missing child");
+      }
+      size_t before = *points_seen;
+      POPAN_RETURN_IF_ERROR(CheckRec(node.children[q], box.Quadrant(q),
+                                     depth + 1, points_seen, leaves_seen));
+      subtree_points += *points_seen - before;
+    }
+    // Minimality: an internal node whose whole subtree fits in a leaf
+    // should have been collapsed (PR trees are canonical for a point set).
+    if (subtree_points <= options_.capacity) {
+      bool all_leaf_children = true;
+      for (size_t q = 0; q < kFanout; ++q) {
+        if (!arena_.Get(node.children[q]).is_leaf) {
+          all_leaf_children = false;
+          break;
+        }
+      }
+      if (all_leaf_children) {
+        return Status::Internal("non-minimal decomposition: " +
+                                std::to_string(subtree_points) +
+                                " points under an internal node");
+      }
+    }
+    return Status::OK();
+  }
+
+  BoxT bounds_;
+  PrTreeOptions options_;
+  NodeArena<Node> arena_;
+  NodeIndex root_ = kNullNode;
+  size_t size_ = 0;
+  size_t leaf_count_ = 1;
+};
+
+/// Convenience aliases for the common dimensions.
+using PrBintree = PrTree<1>;
+using PrQuadtree = PrTree<2>;
+using PrOctree = PrTree<3>;
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_PR_TREE_H_

@@ -1,0 +1,363 @@
+#include "spatial/region_quadtree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+namespace {
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+RegionQuadtree::RegionQuadtree(size_t side, bool black) : side_(side) {
+  root_ = arena_.Allocate();
+  arena_.Get(root_).black = black;
+}
+
+StatusOr<RegionQuadtree> RegionQuadtree::Empty(size_t side) {
+  if (!IsPowerOfTwo(side) || side > (size_t{1} << 15)) {
+    return Status::InvalidArgument("side must be a power of two <= 32768");
+  }
+  return RegionQuadtree(side, false);
+}
+
+StatusOr<RegionQuadtree> RegionQuadtree::Full(size_t side) {
+  POPAN_ASSIGN_OR_RETURN(RegionQuadtree tree, Empty(side));
+  tree.arena_.Get(tree.root_).black = true;
+  return tree;
+}
+
+StatusOr<RegionQuadtree> RegionQuadtree::FromRaster(
+    const std::vector<uint8_t>& pixels, size_t side) {
+  POPAN_ASSIGN_OR_RETURN(RegionQuadtree tree, Empty(side));
+  if (pixels.size() != side * side) {
+    return Status::InvalidArgument("raster size mismatch");
+  }
+  tree.arena_.Clear();
+  tree.root_ = tree.BuildRec(pixels, 0, 0, side);
+  return tree;
+}
+
+NodeIndex RegionQuadtree::BuildRec(const std::vector<uint8_t>& pixels,
+                                   size_t x0, size_t y0, size_t block) {
+  if (block == 1) {
+    NodeIndex idx = arena_.Allocate();
+    arena_.Get(idx).black = pixels[y0 * side_ + x0] != 0;
+    return idx;
+  }
+  size_t half = block / 2;
+  std::array<NodeIndex, 4> children;
+  for (size_t q = 0; q < 4; ++q) {
+    size_t cx = x0 + ((q & 1) ? half : 0);
+    size_t cy = y0 + ((q & 2) ? half : 0);
+    children[q] = BuildRec(pixels, cx, cy, half);
+  }
+  // Merge four same-color leaves (normalization during construction).
+  bool all_leaves_same = true;
+  bool color = arena_.Get(children[0]).black;
+  for (size_t q = 0; q < 4; ++q) {
+    const Node& child = arena_.Get(children[q]);
+    if (!child.is_leaf || child.black != color) {
+      all_leaves_same = false;
+      break;
+    }
+  }
+  if (all_leaves_same) {
+    for (NodeIndex child : children) arena_.Free(child);
+    NodeIndex idx = arena_.Allocate();
+    arena_.Get(idx).black = color;
+    return idx;
+  }
+  NodeIndex idx = arena_.Allocate();
+  Node& node = arena_.Get(idx);
+  node.is_leaf = false;
+  node.children = children;
+  return idx;
+}
+
+bool RegionQuadtree::At(size_t x, size_t y) const {
+  POPAN_CHECK(x < side_ && y < side_);
+  return AtRec(root_, x, y, side_);
+}
+
+bool RegionQuadtree::AtRec(NodeIndex idx, size_t x, size_t y,
+                           size_t block) const {
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) return node.black;
+  size_t half = block / 2;
+  size_t q = (x >= half ? 1 : 0) | (y >= half ? 2 : 0);
+  return AtRec(node.children[q], x - (x >= half ? half : 0),
+               y - (y >= half ? half : 0), half);
+}
+
+void RegionQuadtree::Set(size_t x, size_t y, bool black) {
+  SetRect(x, y, x + 1, y + 1, black);
+}
+
+void RegionQuadtree::SetRect(size_t x0, size_t y0, size_t x1, size_t y1,
+                             bool black) {
+  POPAN_CHECK(x0 <= x1 && x1 <= side_);
+  POPAN_CHECK(y0 <= y1 && y1 <= side_);
+  if (x0 == x1 || y0 == y1) return;
+  SetRectRec(root_, 0, 0, side_, x0, y0, x1, y1, black);
+}
+
+void RegionQuadtree::SetRectRec(NodeIndex idx, size_t bx, size_t by,
+                                size_t block, size_t x0, size_t y0,
+                                size_t x1, size_t y1, bool black) {
+  // Intersection of the rectangle with this block.
+  size_t ix0 = std::max(x0, bx), ix1 = std::min(x1, bx + block);
+  size_t iy0 = std::max(y0, by), iy1 = std::min(y1, by + block);
+  if (ix0 >= ix1 || iy0 >= iy1) return;
+  Node& node = arena_.Get(idx);
+  if (ix0 == bx && ix1 == bx + block && iy0 == by && iy1 == by + block) {
+    // Fully covered: paint the whole block.
+    if (!node.is_leaf) {
+      for (NodeIndex child : node.children) FreeSubtree(child);
+      Node& repaint = arena_.Get(idx);
+      repaint.is_leaf = true;
+      repaint.children = {kNullNode, kNullNode, kNullNode, kNullNode};
+      repaint.black = black;
+    } else {
+      node.black = black;
+    }
+    return;
+  }
+  if (node.is_leaf) {
+    if (node.black == black) return;  // already that color
+    // Split the leaf to paint a sub-rectangle.
+    bool old = node.black;
+    std::array<NodeIndex, 4> children;
+    for (size_t q = 0; q < 4; ++q) {
+      children[q] = arena_.Allocate();
+      arena_.Get(children[q]).black = old;
+    }
+    Node& parent = arena_.Get(idx);
+    parent.is_leaf = false;
+    parent.children = children;
+  }
+  size_t half = block / 2;
+  for (size_t q = 0; q < 4; ++q) {
+    size_t cx = bx + ((q & 1) ? half : 0);
+    size_t cy = by + ((q & 2) ? half : 0);
+    SetRectRec(arena_.Get(idx).children[q], cx, cy, half, x0, y0, x1, y1,
+               black);
+  }
+  Normalize(idx);
+}
+
+void RegionQuadtree::FreeSubtree(NodeIndex idx) {
+  Node& node = arena_.Get(idx);
+  if (!node.is_leaf) {
+    for (NodeIndex child : node.children) FreeSubtree(child);
+  }
+  arena_.Free(idx);
+}
+
+void RegionQuadtree::Normalize(NodeIndex idx) {
+  Node& node = arena_.Get(idx);
+  if (node.is_leaf) return;
+  bool color = false;
+  for (size_t q = 0; q < 4; ++q) {
+    const Node& child = arena_.Get(node.children[q]);
+    if (!child.is_leaf) return;
+    if (q == 0) {
+      color = child.black;
+    } else if (child.black != color) {
+      return;
+    }
+  }
+  for (NodeIndex child : node.children) arena_.Free(child);
+  Node& collapsed = arena_.Get(idx);
+  collapsed.is_leaf = true;
+  collapsed.black = color;
+  collapsed.children = {kNullNode, kNullNode, kNullNode, kNullNode};
+}
+
+uint64_t RegionQuadtree::Area() const { return AreaRec(root_, side_); }
+
+uint64_t RegionQuadtree::AreaRec(NodeIndex idx, size_t block) const {
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) {
+    return node.black ? static_cast<uint64_t>(block) * block : 0;
+  }
+  uint64_t total = 0;
+  for (NodeIndex child : node.children) {
+    total += AreaRec(child, block / 2);
+  }
+  return total;
+}
+
+size_t RegionQuadtree::LeafCount() const { return LeafCountRec(root_); }
+
+size_t RegionQuadtree::LeafCountRec(NodeIndex idx) const {
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) return 1;
+  size_t total = 0;
+  for (NodeIndex child : node.children) total += LeafCountRec(child);
+  return total;
+}
+
+RegionQuadtree RegionQuadtree::Union(const RegionQuadtree& a,
+                                     const RegionQuadtree& b) {
+  POPAN_CHECK(a.side_ == b.side_) << "side mismatch";
+  RegionQuadtree out(a.side_, false);
+  out.arena_.Clear();
+  out.root_ = CombineRec(a, a.root_, b, b.root_, /*is_union=*/true, &out);
+  return out;
+}
+
+RegionQuadtree RegionQuadtree::Intersect(const RegionQuadtree& a,
+                                         const RegionQuadtree& b) {
+  POPAN_CHECK(a.side_ == b.side_) << "side mismatch";
+  RegionQuadtree out(a.side_, false);
+  out.arena_.Clear();
+  out.root_ = CombineRec(a, a.root_, b, b.root_, /*is_union=*/false, &out);
+  return out;
+}
+
+NodeIndex RegionQuadtree::CombineRec(const RegionQuadtree& a, NodeIndex ai,
+                                     const RegionQuadtree& b, NodeIndex bi,
+                                     bool is_union, RegionQuadtree* out) {
+  const Node& na = a.arena_.Get(ai);
+  const Node& nb = b.arena_.Get(bi);
+  // Short circuits: a black leaf dominates a union, a white leaf an
+  // intersection; the neutral element defers to the other operand.
+  if (na.is_leaf) {
+    if (na.black == is_union) {
+      NodeIndex idx = out->arena_.Allocate();
+      out->arena_.Get(idx).black = is_union;
+      return idx;
+    }
+    return out->CopyRec(b, bi);
+  }
+  if (nb.is_leaf) {
+    if (nb.black == is_union) {
+      NodeIndex idx = out->arena_.Allocate();
+      out->arena_.Get(idx).black = is_union;
+      return idx;
+    }
+    return out->CopyRec(a, ai);
+  }
+  std::array<NodeIndex, 4> children;
+  for (size_t q = 0; q < 4; ++q) {
+    children[q] =
+        CombineRec(a, na.children[q], b, nb.children[q], is_union, out);
+  }
+  NodeIndex idx = out->arena_.Allocate();
+  Node& node = out->arena_.Get(idx);
+  node.is_leaf = false;
+  node.children = children;
+  out->Normalize(idx);
+  return idx;
+}
+
+RegionQuadtree RegionQuadtree::Complement() const {
+  RegionQuadtree out(side_, false);
+  out.arena_.Clear();
+  out.root_ = ComplementRec(root_, &out);
+  return out;
+}
+
+NodeIndex RegionQuadtree::ComplementRec(NodeIndex idx,
+                                        RegionQuadtree* out) const {
+  const Node& node = arena_.Get(idx);
+  NodeIndex copy = out->arena_.Allocate();
+  if (node.is_leaf) {
+    out->arena_.Get(copy).black = !node.black;
+    return copy;
+  }
+  std::array<NodeIndex, 4> children;
+  for (size_t q = 0; q < 4; ++q) {
+    children[q] = ComplementRec(node.children[q], out);
+  }
+  Node& copied = out->arena_.Get(copy);
+  copied.is_leaf = false;
+  copied.children = children;
+  return copy;
+}
+
+NodeIndex RegionQuadtree::CopyRec(const RegionQuadtree& from,
+                                  NodeIndex idx) {
+  const Node& node = from.arena_.Get(idx);
+  NodeIndex copy = arena_.Allocate();
+  if (node.is_leaf) {
+    arena_.Get(copy).black = node.black;
+    return copy;
+  }
+  std::array<NodeIndex, 4> children;
+  for (size_t q = 0; q < 4; ++q) {
+    children[q] = CopyRec(from, node.children[q]);
+  }
+  Node& copied = arena_.Get(copy);
+  copied.is_leaf = false;
+  copied.children = children;
+  return copy;
+}
+
+std::vector<uint8_t> RegionQuadtree::ToRaster() const {
+  std::vector<uint8_t> pixels(side_ * side_, 0);
+  VisitLeaves([this, &pixels](size_t x0, size_t y0, size_t block,
+                              bool black) {
+    if (!black) return;
+    for (size_t y = y0; y < y0 + block; ++y) {
+      for (size_t x = x0; x < x0 + block; ++x) {
+        pixels[y * side_ + x] = 1;
+      }
+    }
+  });
+  return pixels;
+}
+
+bool RegionQuadtree::Equal(const RegionQuadtree& a, NodeIndex ai,
+                           const RegionQuadtree& b, NodeIndex bi) {
+  const Node& na = a.arena_.Get(ai);
+  const Node& nb = b.arena_.Get(bi);
+  if (na.is_leaf != nb.is_leaf) return false;
+  if (na.is_leaf) return na.black == nb.black;
+  for (size_t q = 0; q < 4; ++q) {
+    if (!Equal(a, na.children[q], b, nb.children[q])) return false;
+  }
+  return true;
+}
+
+Status RegionQuadtree::CheckInvariants() const {
+  return CheckRec(root_, side_);
+}
+
+Status RegionQuadtree::CheckRec(NodeIndex idx, size_t block) const {
+  const Node& node = arena_.Get(idx);
+  if (node.is_leaf) return Status::OK();
+  if (block == 1) {
+    return Status::Internal("single pixel cannot be subdivided");
+  }
+  bool all_leaves = true;
+  for (size_t q = 0; q < 4; ++q) {
+    if (node.children[q] == kNullNode) {
+      return Status::Internal("internal node missing a child");
+    }
+    if (!arena_.Get(node.children[q]).is_leaf) all_leaves = false;
+  }
+  if (all_leaves) {
+    bool first = arena_.Get(node.children[0]).black;
+    bool same = true;
+    for (size_t q = 1; q < 4; ++q) {
+      if (arena_.Get(node.children[q]).black != first) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      return Status::Internal("unnormalized: four same-color leaf siblings");
+    }
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    POPAN_RETURN_IF_ERROR(CheckRec(node.children[q], block / 2));
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::spatial

@@ -1,0 +1,142 @@
+#ifndef POPAN_SPATIAL_REGION_QUADTREE_H_
+#define POPAN_SPATIAL_REGION_QUADTREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "spatial/node_arena.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// The classical region quadtree (Klinger 1971; Samet's survey [Same84a])
+/// over a 2^k x 2^k binary image — the representation the paper's §II
+/// opens with before moving to point data. A block is a leaf when all its
+/// pixels share one color; otherwise it splits into quadrants. The
+/// structure is kept *normalized*: no internal node has four leaf
+/// children of equal color, so a given image has exactly one quadtree.
+///
+/// Quadrant indexing matches Box2/Morton: bit 0 = right half (x), bit 1 =
+/// top half (y), with pixel (0, 0) at the bottom-left.
+class RegionQuadtree {
+ public:
+  /// An all-white (false) image of the given side, which must be a power
+  /// of two between 1 and 2^15.
+  static StatusOr<RegionQuadtree> Empty(size_t side);
+
+  /// An all-black (true) image.
+  static StatusOr<RegionQuadtree> Full(size_t side);
+
+  /// Builds from a row-major raster (pixels[y * side + x] != 0 = black).
+  /// `pixels.size()` must equal side * side.
+  static StatusOr<RegionQuadtree> FromRaster(
+      const std::vector<uint8_t>& pixels, size_t side);
+
+  /// Image side length in pixels.
+  size_t side() const { return side_; }
+
+  /// Color of pixel (x, y); both must be < side().
+  bool At(size_t x, size_t y) const;
+
+  /// Sets one pixel, re-normalizing on the path.
+  void Set(size_t x, size_t y, bool black);
+
+  /// Sets every pixel of the axis-aligned rectangle [x0, x1) x [y0, y1).
+  void SetRect(size_t x0, size_t y0, size_t x1, size_t y1, bool black);
+
+  /// Number of black pixels.
+  uint64_t Area() const;
+
+  /// Leaves (blocks) in the decomposition.
+  size_t LeafCount() const;
+
+  /// All nodes, internal included.
+  size_t NodeCount() const { return arena_.LiveCount(); }
+
+  /// Pixelwise boolean combinations; operands must have equal sides.
+  /// Results are normalized. These run on the tree structure directly —
+  /// O(min of the two trees' sizes), never touching rasters.
+  static RegionQuadtree Union(const RegionQuadtree& a,
+                              const RegionQuadtree& b);
+  static RegionQuadtree Intersect(const RegionQuadtree& a,
+                                  const RegionQuadtree& b);
+  RegionQuadtree Complement() const;
+
+  /// Renders back to a row-major raster.
+  std::vector<uint8_t> ToRaster() const;
+
+  /// Calls fn(x, y, block_side, black) for every leaf, where (x, y) is
+  /// the block's bottom-left pixel.
+  template <typename Fn>
+  void VisitLeaves(Fn fn) const {
+    VisitRec(root_, 0, 0, side_, fn);
+  }
+
+  /// True iff the two trees represent the same image (structural equality
+  /// suffices thanks to normalization).
+  friend bool operator==(const RegionQuadtree& a, const RegionQuadtree& b) {
+    return a.side_ == b.side_ && Equal(a, a.root_, b, b.root_);
+  }
+  friend bool operator!=(const RegionQuadtree& a, const RegionQuadtree& b) {
+    return !(a == b);
+  }
+
+  /// Verifies normalization (no four same-color leaf siblings), shape and
+  /// the cached census counters.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    bool black = false;
+    std::array<NodeIndex, 4> children = {kNullNode, kNullNode, kNullNode,
+                                         kNullNode};
+  };
+
+  RegionQuadtree(size_t side, bool black);
+
+  NodeIndex BuildRec(const std::vector<uint8_t>& pixels, size_t x0,
+                     size_t y0, size_t block);
+  bool AtRec(NodeIndex idx, size_t x, size_t y, size_t block) const;
+  void SetRectRec(NodeIndex idx, size_t bx, size_t by, size_t block,
+                  size_t x0, size_t y0, size_t x1, size_t y1, bool black);
+  /// Collapses `idx` to a leaf if its children are same-color leaves.
+  void Normalize(NodeIndex idx);
+  /// Recursively returns a subtree's nodes to the arena.
+  void FreeSubtree(NodeIndex idx);
+  uint64_t AreaRec(NodeIndex idx, size_t block) const;
+  size_t LeafCountRec(NodeIndex idx) const;
+  static NodeIndex CombineRec(const RegionQuadtree& a, NodeIndex ai,
+                              const RegionQuadtree& b, NodeIndex bi,
+                              bool is_union, RegionQuadtree* out);
+  NodeIndex ComplementRec(NodeIndex idx, RegionQuadtree* out) const;
+  NodeIndex CopyRec(const RegionQuadtree& from, NodeIndex idx);
+  static bool Equal(const RegionQuadtree& a, NodeIndex ai,
+                    const RegionQuadtree& b, NodeIndex bi);
+  Status CheckRec(NodeIndex idx, size_t block) const;
+
+  template <typename Fn>
+  void VisitRec(NodeIndex idx, size_t x0, size_t y0, size_t block,
+                Fn& fn) const {
+    const Node& node = arena_.Get(idx);
+    if (node.is_leaf) {
+      fn(x0, y0, block, node.black);
+      return;
+    }
+    size_t half = block / 2;
+    for (size_t q = 0; q < 4; ++q) {
+      size_t cx = x0 + ((q & 1) ? half : 0);
+      size_t cy = y0 + ((q & 2) ? half : 0);
+      VisitRec(node.children[q], cx, cy, half, fn);
+    }
+  }
+
+  size_t side_ = 0;
+  NodeArena<Node> arena_;
+  NodeIndex root_ = kNullNode;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_REGION_QUADTREE_H_

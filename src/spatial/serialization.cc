@@ -1,0 +1,289 @@
+#include "spatial/serialization.h"
+
+#include <charconv>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "spatial/morton.h"
+
+namespace popan::spatial {
+
+namespace {
+
+constexpr char kLinearMagic[] = "popan-linear-quadtree v1";
+constexpr char kRegionMagic[] = "popan-region-quadtree v1";
+
+/// Reads one line and splits it on spaces.
+bool ReadTokens(std::istream* in, std::vector<std::string>* tokens) {
+  std::string line;
+  if (!std::getline(*in, line)) return false;
+  tokens->clear();
+  std::istringstream ls(line);
+  std::string token;
+  while (ls >> token) tokens->push_back(token);
+  return true;
+}
+
+StatusOr<uint64_t> ParseU64(const std::string& s) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + s);
+  }
+  return value;
+}
+
+StatusOr<double> ParseDouble(const std::string& s) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size() ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("bad real number: " + s);
+  }
+  return value;
+}
+
+}  // namespace
+
+void Serialize(const LinearPrQuadtree& tree, std::ostream* out) {
+  *out << kLinearMagic << "\n";
+  *out << std::setprecision(17);
+  *out << "bounds " << tree.bounds().lo().x() << " "
+       << tree.bounds().lo().y() << " " << tree.bounds().hi().x() << " "
+       << tree.bounds().hi().y() << "\n";
+  // Recover max_depth via the deepest leaf bound stored in options; the
+  // canonical decomposition only needs capacity, but truncated trees need
+  // the exact depth cap, so persist the deepest leaf depth as the cap
+  // when leaves are over capacity.
+  size_t max_depth = MortonCode::kMaxDepth;
+  bool truncated = false;
+  for (const LinearPrQuadtree::Leaf& leaf : tree.leaves()) {
+    if (leaf.points.size() > tree.capacity()) truncated = true;
+  }
+  if (truncated) {
+    size_t deepest = 0;
+    for (const LinearPrQuadtree::Leaf& leaf : tree.leaves()) {
+      deepest = std::max<size_t>(deepest, leaf.code.depth);
+    }
+    max_depth = deepest;
+  }
+  *out << "options " << tree.capacity() << " " << max_depth << "\n";
+  *out << "leaves " << tree.LeafCount() << "\n";
+  for (const LinearPrQuadtree::Leaf& leaf : tree.leaves()) {
+    *out << "leaf " << leaf.code.bits << " "
+         << static_cast<unsigned>(leaf.code.depth) << " "
+         << leaf.points.size();
+    for (const geo::Point2& p : leaf.points) {
+      *out << " " << p.x() << " " << p.y();
+    }
+    *out << "\n";
+  }
+}
+
+std::string SerializeToString(const LinearPrQuadtree& tree) {
+  std::ostringstream os;
+  Serialize(tree, &os);
+  return os.str();
+}
+
+StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(std::istream* in) {
+  std::vector<std::string> tokens;
+  if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
+      tokens[0] + " " + tokens[1] != kLinearMagic) {
+    return Status::InvalidArgument("missing linear-quadtree magic line");
+  }
+  if (!ReadTokens(in, &tokens) || tokens.size() != 5 ||
+      tokens[0] != "bounds") {
+    return Status::InvalidArgument("missing bounds line");
+  }
+  POPAN_ASSIGN_OR_RETURN(double lox, ParseDouble(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(double loy, ParseDouble(tokens[2]));
+  POPAN_ASSIGN_OR_RETURN(double hix, ParseDouble(tokens[3]));
+  POPAN_ASSIGN_OR_RETURN(double hiy, ParseDouble(tokens[4]));
+  if (!(lox < hix) || !(loy < hiy)) {
+    return Status::InvalidArgument("degenerate bounds");
+  }
+  geo::Box2 bounds(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+
+  if (!ReadTokens(in, &tokens) || tokens.size() != 3 ||
+      tokens[0] != "options") {
+    return Status::InvalidArgument("missing options line");
+  }
+  PrTreeOptions options;
+  POPAN_ASSIGN_OR_RETURN(uint64_t capacity, ParseU64(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(uint64_t max_depth, ParseU64(tokens[2]));
+  if (capacity == 0) return Status::InvalidArgument("capacity 0");
+  options.capacity = static_cast<size_t>(capacity);
+  options.max_depth = static_cast<size_t>(max_depth);
+
+  if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
+      tokens[0] != "leaves") {
+    return Status::InvalidArgument("missing leaves line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t leaf_count, ParseU64(tokens[1]));
+
+  std::vector<MortonCode> file_codes;
+  std::vector<geo::Point2> points;
+  for (uint64_t l = 0; l < leaf_count; ++l) {
+    if (!ReadTokens(in, &tokens) || tokens.size() < 4 ||
+        tokens[0] != "leaf") {
+      return Status::InvalidArgument("bad leaf line " + std::to_string(l));
+    }
+    POPAN_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(tokens[1]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t depth, ParseU64(tokens[2]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t npoints, ParseU64(tokens[3]));
+    if (depth > MortonCode::kMaxDepth) {
+      return Status::InvalidArgument("leaf depth out of range");
+    }
+    if (tokens.size() != 4 + 2 * npoints) {
+      return Status::InvalidArgument("leaf point count mismatch");
+    }
+    MortonCode code;
+    code.bits = bits;
+    code.depth = static_cast<uint8_t>(depth);
+    file_codes.push_back(code);
+    for (uint64_t i = 0; i < npoints; ++i) {
+      POPAN_ASSIGN_OR_RETURN(double x, ParseDouble(tokens[4 + 2 * i]));
+      POPAN_ASSIGN_OR_RETURN(double y, ParseDouble(tokens[5 + 2 * i]));
+      points.emplace_back(x, y);
+    }
+  }
+
+  // Rebuild canonically from the points (the PR decomposition is unique),
+  // then verify the file's leaf codes match — any corruption of codes,
+  // duplication or loss shows up as a mismatch.
+  POPAN_ASSIGN_OR_RETURN(
+      LinearPrQuadtree tree,
+      LinearPrQuadtree::BulkLoad(bounds, std::move(points), options));
+  if (tree.LeafCount() != file_codes.size()) {
+    return Status::InvalidArgument(
+        "leaf codes inconsistent with point data (count)");
+  }
+  for (size_t i = 0; i < file_codes.size(); ++i) {
+    if (tree.leaves()[i].code != file_codes[i]) {
+      return Status::InvalidArgument(
+          "leaf codes inconsistent with point data at index " +
+          std::to_string(i));
+    }
+  }
+  return tree;
+}
+
+StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
+    const std::string& text) {
+  std::istringstream in(text);
+  return DeserializeLinearPrQuadtree(&in);
+}
+
+void Serialize(const RegionQuadtree& tree, std::ostream* out) {
+  *out << kRegionMagic << "\n";
+  *out << "side " << tree.side() << "\n";
+  // Leaves in Morton order with their codes.
+  struct Entry {
+    uint64_t bits;
+    unsigned depth;
+    bool black;
+  };
+  std::vector<Entry> entries;
+  size_t side = tree.side();
+  tree.VisitLeaves([&entries, side](size_t x0, size_t y0, size_t block,
+                                    bool black) {
+    // Reconstruct the Morton code from pixel coordinates.
+    MortonCode code;
+    size_t half = side;
+    size_t x = x0, y = y0;
+    while (half > block) {
+      half /= 2;
+      size_t q = (x >= half ? 1 : 0) | (y >= half ? 2 : 0);
+      if (x >= half) x -= half;
+      if (y >= half) y -= half;
+      code = ChildCode(code, q);
+    }
+    entries.push_back(
+        {code.bits, static_cast<unsigned>(code.depth), black});
+  });
+  *out << "leaves " << entries.size() << "\n";
+  for (const Entry& e : entries) {
+    *out << "leaf " << e.bits << " " << e.depth << " " << (e.black ? 1 : 0)
+         << "\n";
+  }
+}
+
+std::string SerializeToString(const RegionQuadtree& tree) {
+  std::ostringstream os;
+  Serialize(tree, &os);
+  return os.str();
+}
+
+StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in) {
+  std::vector<std::string> tokens;
+  if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
+      tokens[0] + " " + tokens[1] != kRegionMagic) {
+    return Status::InvalidArgument("missing region-quadtree magic line");
+  }
+  if (!ReadTokens(in, &tokens) || tokens.size() != 2 || tokens[0] != "side") {
+    return Status::InvalidArgument("missing side line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t side64, ParseU64(tokens[1]));
+  size_t side = static_cast<size_t>(side64);
+  POPAN_ASSIGN_OR_RETURN(RegionQuadtree tree, RegionQuadtree::Empty(side));
+  size_t depth_limit = 0;
+  while ((size_t{1} << depth_limit) < side) ++depth_limit;
+
+  if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
+      tokens[0] != "leaves") {
+    return Status::InvalidArgument("missing leaves line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t leaf_count, ParseU64(tokens[1]));
+
+  uint64_t expected_lo = 0;
+  for (uint64_t l = 0; l < leaf_count; ++l) {
+    if (!ReadTokens(in, &tokens) || tokens.size() != 4 ||
+        tokens[0] != "leaf") {
+      return Status::InvalidArgument("bad leaf line " + std::to_string(l));
+    }
+    POPAN_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(tokens[1]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t depth, ParseU64(tokens[2]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t black, ParseU64(tokens[3]));
+    if (depth > depth_limit) {
+      return Status::InvalidArgument("leaf deeper than the image allows");
+    }
+    if (black > 1) return Status::InvalidArgument("bad color");
+    MortonCode code;
+    code.bits = bits;
+    code.depth = static_cast<uint8_t>(depth);
+    uint64_t lo, hi;
+    DescendantRange(code, &lo, &hi);
+    if (lo != expected_lo) {
+      return Status::InvalidArgument("leaves do not tile the image");
+    }
+    expected_lo = hi;
+    if (black == 1) {
+      // Decode pixel rectangle from the code path.
+      size_t block = side >> depth;
+      size_t x = 0, y = 0;
+      for (uint64_t level = 0; level < depth; ++level) {
+        uint64_t q =
+            (bits >> (2 * (MortonCode::kMaxDepth - 1 - level))) & 3;
+        size_t half = side >> (level + 1);
+        if (q & 1) x += half;
+        if (q & 2) y += half;
+      }
+      tree.SetRect(x, y, x + block, y + block, true);
+    }
+  }
+  if (expected_lo != (uint64_t{1} << (2 * MortonCode::kMaxDepth))) {
+    return Status::InvalidArgument("leaves do not cover the image");
+  }
+  return tree;
+}
+
+StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text) {
+  std::istringstream in(text);
+  return DeserializeRegionQuadtree(&in);
+}
+
+}  // namespace popan::spatial

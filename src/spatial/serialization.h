@@ -1,0 +1,53 @@
+#ifndef POPAN_SPATIAL_SERIALIZATION_H_
+#define POPAN_SPATIAL_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "spatial/linear_quadtree.h"
+#include "spatial/region_quadtree.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// Text serialization of the two static structures — the interchange
+/// format a GIS pipeline would archive its layers in. The formats are
+/// line-oriented, versioned and self-describing; readers validate
+/// structure (magic line, counts, code ordering/tiling, geometry) and
+/// return InvalidArgument on any corruption rather than guessing.
+///
+/// Linear PR quadtree format:
+///   popan-linear-quadtree v1
+///   bounds <lo.x> <lo.y> <hi.x> <hi.y>
+///   options <capacity> <max_depth>
+///   leaves <count>
+///   leaf <bits> <depth> <npoints> [<x> <y>]...
+///   (one leaf line per leaf, in code order)
+///
+/// Region quadtree format:
+///   popan-region-quadtree v1
+///   side <side>
+///   leaves <count>
+///   leaf <bits> <depth> <0|1>
+///   (leaves in Morton order; together they tile the image)
+
+/// Writes `tree` to `out` in the format above.
+void Serialize(const LinearPrQuadtree& tree, std::ostream* out);
+std::string SerializeToString(const LinearPrQuadtree& tree);
+
+/// Parses a linear PR quadtree; validates invariants before returning.
+StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(std::istream* in);
+StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
+    const std::string& text);
+
+/// Writes `tree` to `out`.
+void Serialize(const RegionQuadtree& tree, std::ostream* out);
+std::string SerializeToString(const RegionQuadtree& tree);
+
+/// Parses a region quadtree; validates that the leaves tile the image.
+StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in);
+StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text);
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_SERIALIZATION_H_

@@ -1,0 +1,177 @@
+#include "spatial/wal.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+namespace {
+
+constexpr char kMagic[] = "popan-wal";
+constexpr char kVersion[] = "v1";
+
+/// FNV-1a over a byte buffer.
+uint64_t Fnv1a(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+StatusOr<double> ParseDouble(const std::string& s) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size() ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("bad real number: " + s);
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseU64(const std::string& s) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + s);
+  }
+  return value;
+}
+
+bool ReadTokens(std::istream* in, std::vector<std::string>* tokens) {
+  std::string line;
+  if (!std::getline(*in, line)) return false;
+  tokens->clear();
+  std::istringstream ls(line);
+  std::string token;
+  while (ls >> token) tokens->push_back(token);
+  return true;
+}
+
+}  // namespace
+
+uint64_t WalChecksum(uint64_t sequence, char op, double x, double y) {
+  // Hash the exact binary content, not the decimal rendering, so the
+  // checksum is immune to formatting differences.
+  unsigned char buffer[8 + 1 + 8 + 8];
+  std::memcpy(buffer, &sequence, 8);
+  buffer[8] = static_cast<unsigned char>(op);
+  std::memcpy(buffer + 9, &x, 8);
+  std::memcpy(buffer + 17, &y, 8);
+  return Fnv1a(buffer, sizeof(buffer));
+}
+
+WalWriter::WalWriter(std::ostream* out, const geo::Box2& bounds,
+                     const PrTreeOptions& options)
+    : out_(out) {
+  POPAN_CHECK(out_ != nullptr);
+  *out_ << kMagic << " " << kVersion << " " << options.capacity << " "
+        << options.max_depth << " " << std::setprecision(17)
+        << bounds.lo().x() << " " << bounds.lo().y() << " "
+        << bounds.hi().x() << " " << bounds.hi().y() << "\n";
+}
+
+void WalWriter::Append(char op, const geo::Point2& p) {
+  uint64_t seq = next_sequence_++;
+  *out_ << seq << " " << op << " " << std::setprecision(17) << p.x() << " "
+        << p.y() << " " << WalChecksum(seq, op, p.x(), p.y()) << "\n";
+  out_->flush();
+}
+
+uint64_t WalWriter::LogInsert(const geo::Point2& p) {
+  uint64_t seq = next_sequence_;
+  Append('I', p);
+  return seq;
+}
+
+uint64_t WalWriter::LogErase(const geo::Point2& p) {
+  uint64_t seq = next_sequence_;
+  Append('E', p);
+  return seq;
+}
+
+StatusOr<WalRecovery> ReplayWal(std::istream* in) {
+  std::vector<std::string> tokens;
+  if (!ReadTokens(in, &tokens) || tokens.size() != 8 ||
+      tokens[0] != kMagic || tokens[1] != kVersion) {
+    return Status::InvalidArgument("missing or malformed WAL header");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t capacity, ParseU64(tokens[2]));
+  POPAN_ASSIGN_OR_RETURN(uint64_t max_depth, ParseU64(tokens[3]));
+  POPAN_ASSIGN_OR_RETURN(double lox, ParseDouble(tokens[4]));
+  POPAN_ASSIGN_OR_RETURN(double loy, ParseDouble(tokens[5]));
+  POPAN_ASSIGN_OR_RETURN(double hix, ParseDouble(tokens[6]));
+  POPAN_ASSIGN_OR_RETURN(double hiy, ParseDouble(tokens[7]));
+  if (capacity == 0 || !(lox < hix) || !(loy < hiy)) {
+    return Status::InvalidArgument("degenerate WAL header");
+  }
+  PrTreeOptions options;
+  options.capacity = static_cast<size_t>(capacity);
+  options.max_depth = static_cast<size_t>(max_depth);
+  geo::Box2 bounds(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+
+  WalRecovery recovery{PrTree<2>(bounds, options), 0, 0, false, ""};
+  uint64_t expected_seq = 1;
+  while (ReadTokens(in, &tokens)) {
+    auto truncate = [&recovery](std::string reason) {
+      recovery.truncated_tail = true;
+      recovery.truncation_reason = std::move(reason);
+    };
+    if (tokens.empty()) continue;  // blank line: harmless
+    if (tokens.size() != 5) {
+      truncate("short record (torn write)");
+      break;
+    }
+    StatusOr<uint64_t> seq = ParseU64(tokens[0]);
+    StatusOr<double> x = ParseDouble(tokens[2]);
+    StatusOr<double> y = ParseDouble(tokens[3]);
+    StatusOr<uint64_t> checksum = ParseU64(tokens[4]);
+    if (!seq.ok() || !x.ok() || !y.ok() || !checksum.ok() ||
+        tokens[1].size() != 1) {
+      truncate("unparsable record");
+      break;
+    }
+    char op = tokens[1][0];
+    if (op != 'I' && op != 'E') {
+      truncate("unknown operation");
+      break;
+    }
+    if (seq.value() != expected_seq) {
+      truncate("sequence gap");
+      break;
+    }
+    if (WalChecksum(seq.value(), op, x.value(), y.value()) !=
+        checksum.value()) {
+      truncate("checksum mismatch");
+      break;
+    }
+    geo::Point2 p(x.value(), y.value());
+    Status applied = op == 'I' ? recovery.tree.Insert(p)
+                               : recovery.tree.Erase(p);
+    if (!applied.ok()) {
+      truncate("record does not apply: " + applied.ToString());
+      break;
+    }
+    recovery.last_sequence = seq.value();
+    ++recovery.records_applied;
+    ++expected_seq;
+  }
+  return recovery;
+}
+
+StatusOr<WalRecovery> ReplayWal(const std::string& text) {
+  std::istringstream in(text);
+  return ReplayWal(&in);
+}
+
+}  // namespace popan::spatial

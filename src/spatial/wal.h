@@ -1,0 +1,74 @@
+#ifndef POPAN_SPATIAL_WAL_H_
+#define POPAN_SPATIAL_WAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "geometry/point.h"
+#include "spatial/pr_tree.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// A write-ahead log for a dynamic PR quadtree — the storage-engine idiom
+/// for durability: every mutation is appended (with a sequence number and
+/// a checksum) before it is applied, and a crashed process recovers by
+/// replaying the log over the last snapshot. Records are line-oriented:
+///
+///   popan-wal v1 <capacity> <max_depth> <lo.x> <lo.y> <hi.x> <hi.y>
+///   <seq> I <x> <y> <checksum>
+///   <seq> E <x> <y> <checksum>
+///
+/// The checksum covers the record's logical content, so torn or corrupted
+/// tail records are detected and recovery stops at the last intact one —
+/// replay never applies garbage.
+class WalWriter {
+ public:
+  /// Starts a log for a tree with the given geometry/options, writing the
+  /// header immediately. The stream must outlive the writer.
+  WalWriter(std::ostream* out, const geo::Box2& bounds,
+            const PrTreeOptions& options);
+
+  /// Appends an insert record; returns the sequence number assigned.
+  uint64_t LogInsert(const geo::Point2& p);
+
+  /// Appends an erase record.
+  uint64_t LogErase(const geo::Point2& p);
+
+  /// Sequence number of the next record.
+  uint64_t next_sequence() const { return next_sequence_; }
+
+ private:
+  void Append(char op, const geo::Point2& p);
+
+  std::ostream* out_;
+  uint64_t next_sequence_ = 1;
+};
+
+/// The result of a recovery.
+struct WalRecovery {
+  PrTree<2> tree;               ///< state after replaying intact records
+  uint64_t records_applied = 0;
+  uint64_t last_sequence = 0;
+  /// True when replay stopped early at a corrupt/torn record (everything
+  /// before it was applied; the tail was discarded).
+  bool truncated_tail = false;
+  std::string truncation_reason;
+};
+
+/// Replays a log from the beginning. Fails (InvalidArgument) only for an
+/// unusable header; data-record corruption is not an error — it marks the
+/// end of the usable log, exactly like a torn write after a crash.
+/// Records that no longer apply cleanly (duplicate insert, erase of a
+/// missing point) also stop replay: they indicate a log/state mismatch.
+StatusOr<WalRecovery> ReplayWal(std::istream* in);
+StatusOr<WalRecovery> ReplayWal(const std::string& text);
+
+/// The checksum used for log records (FNV-1a over the formatted content);
+/// exposed so tests can craft valid and corrupt records.
+uint64_t WalChecksum(uint64_t sequence, char op, double x, double y);
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_WAL_H_

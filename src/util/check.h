@@ -1,0 +1,66 @@
+#ifndef POPAN_UTIL_CHECK_H_
+#define POPAN_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace popan::internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used as the right-hand side of POPAN_CHECK so that callers can stream
+/// additional context: POPAN_CHECK(x > 0) << "x=" << x;
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a disabled DCHECK is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace popan::internal_check
+
+/// Aborts with a diagnostic when `cond` is false. Always enabled: these
+/// guard library invariants whose violation would otherwise corrupt results
+/// silently (the database idiom: fail fast, loudly).
+#define POPAN_CHECK(cond)                                        \
+  if (cond) {                                                    \
+  } else /* NOLINT(readability/braces) */                        \
+    ::popan::internal_check::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+/// Debug-only check; compiles to nothing in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define POPAN_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::popan::internal_check::NullStream()
+#else
+#define POPAN_DCHECK(cond) POPAN_CHECK(cond)
+#endif
+
+#endif  // POPAN_UTIL_CHECK_H_

@@ -1,0 +1,50 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace popan {
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  POPAN_DCHECK(bound != 0);
+  // Lemire's multiply-shift rejection method: unbiased and needs one
+  // multiplication in the common case.
+  uint64_t m = static_cast<uint64_t>(Next32()) * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t t = -bound % bound;
+    while (l < t) {
+      m = static_cast<uint64_t>(Next32()) * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller: draw u1 in (0,1] so log() is finite.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t trial) {
+  SplitMix64 mix(base_seed ^ (trial * 0xd1342543de82ef95ULL));
+  // Burn one value so that trial 0 is not simply the mixed base seed.
+  mix.Next();
+  return mix.Next();
+}
+
+}  // namespace popan

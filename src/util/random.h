@@ -1,0 +1,94 @@
+#ifndef POPAN_UTIL_RANDOM_H_
+#define POPAN_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace popan {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer used to expand a user seed
+/// into the larger state of Pcg32 and to derive independent per-trial seeds.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value and advances the state.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// PCG32 (pcg32_oneseq): O'Neill's permuted congruential generator.
+/// Deterministic across platforms and compilers, which keeps every
+/// experiment in this repository reproducible from its seed. 32 bits of
+/// output per step, period 2^64.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Two generators built from different seeds are
+  /// statistically independent for our purposes (the seed is mixed through
+  /// SplitMix64 first).
+  explicit Pcg32(uint64_t seed) {
+    SplitMix64 mix(seed);
+    state_ = mix.Next();
+    inc_ = mix.Next() | 1u;  // stream selector must be odd
+    Next32();
+  }
+
+  /// Returns the next 32 pseudo-random bits.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Returns the next 64 pseudo-random bits (two 32-bit draws).
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// `bound` must be nonzero.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Standard normal deviate via the Box-Muller transform (one value per
+  /// call; the pair's second value is cached).
+  double NextGaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 0;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Derives the seed for trial `trial` of an experiment family identified by
+/// `base_seed`. Distinct (base_seed, trial) pairs give independent streams.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t trial);
+
+}  // namespace popan
+
+#endif  // POPAN_UTIL_RANDOM_H_

@@ -1,0 +1,121 @@
+#ifndef POPAN_UTIL_STATUS_H_
+#define POPAN_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace popan {
+
+/// Coarse classification of an error, modeled after the RocksDB / Abseil
+/// status idiom. The library does not use exceptions; every fallible
+/// operation returns a Status (or a StatusOr<T>, see statusor.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a value outside the contract.
+  kNotFound = 2,          ///< Lookup key / element does not exist.
+  kAlreadyExists = 3,     ///< Insertion of a duplicate where forbidden.
+  kOutOfRange = 4,        ///< Index or geometric coordinate out of bounds.
+  kFailedPrecondition = 5,///< Object not in the required state.
+  kResourceExhausted = 6, ///< Capacity (e.g. max depth) exhausted.
+  kNotConverged = 7,      ///< Iterative numeric method failed to converge.
+  kNumericError = 8,      ///< Singular matrix, overflow, domain error.
+  kInternal = 9,          ///< Invariant violation; indicates a library bug.
+  kUnimplemented = 10,    ///< Feature intentionally not provided.
+};
+
+/// Returns the canonical spelling of a status code, e.g. "NotConverged".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK or carries an error code plus a human-readable
+/// message. It is cheap to copy in the OK case and small otherwise.
+///
+/// Typical use:
+/// \code
+///   Status s = tree.Insert(p);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A message with
+  /// code kOk is allowed but the message is ignored by ok().
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff the status carries no error.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error classification. kOk iff ok().
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace popan
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define POPAN_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::popan::Status _popan_status = (expr);          \
+    if (!_popan_status.ok()) return _popan_status;   \
+  } while (false)
+
+#endif  // POPAN_UTIL_STATUS_H_

@@ -1,0 +1,85 @@
+#ifndef POPAN_UTIL_STATUSOR_H_
+#define POPAN_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace popan {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The usual return type of fallible factory functions:
+///
+/// \code
+///   StatusOr<SteadyState> result = SolveSteadyState(model, opts);
+///   if (!result.ok()) return result.status();
+///   Use(result.value());
+/// \endcode
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. CHECK-fails if `status` is OK, since
+  /// an OK StatusOr must carry a value.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    POPAN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. CHECK-fails if !ok().
+  const T& value() const& {
+    POPAN_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    POPAN_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    POPAN_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace popan
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define POPAN_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  POPAN_ASSIGN_OR_RETURN_IMPL_(                            \
+      POPAN_STATUS_CONCAT_(_popan_statusor, __LINE__), lhs, rexpr)
+
+#define POPAN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define POPAN_STATUS_CONCAT_(a, b) POPAN_STATUS_CONCAT_IMPL_(a, b)
+#define POPAN_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // POPAN_UTIL_STATUSOR_H_

@@ -1,0 +1,142 @@
+#include "core/area_weighted_dynamics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_census.h"
+#include "core/steady_state.h"
+
+namespace popan::core {
+namespace {
+
+TEST(AreaWeightedDynamicsTest, StartsWithOneEmptyRoot) {
+  AreaWeightedDynamics dyn({1, 4});
+  EXPECT_EQ(dyn.CountAt(0, 0), 1.0);
+  EXPECT_EQ(dyn.TotalLeaves(), 1.0);
+  EXPECT_EQ(dyn.TotalItems(), 0.0);
+  EXPECT_EQ(dyn.steps(), 0u);
+}
+
+TEST(AreaWeightedDynamicsTest, FirstInsertFillsTheRoot) {
+  AreaWeightedDynamics dyn({1, 4});
+  dyn.Step();
+  EXPECT_NEAR(dyn.CountAt(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(dyn.TotalItems(), 1.0, 1e-12);
+}
+
+TEST(AreaWeightedDynamicsTest, SecondInsertSplitsLikeThePaper) {
+  // The root is full; the second point triggers the t_1 split: expected
+  // children (3, 2) spread over depths >= 1.
+  AreaWeightedDynamics dyn({1, 4});
+  dyn.StepMany(2);
+  EXPECT_NEAR(dyn.TotalLeaves(), 5.0, 1e-9);
+  EXPECT_NEAR(dyn.TotalItems(), 2.0, 1e-9);
+  EXPECT_NEAR(dyn.CountAt(1, 0), 2.25, 1e-9);  // P_0 = 9/4 at depth 1
+  EXPECT_NEAR(dyn.CountAt(1, 1), 1.5, 1e-9);   // P_1 = 3/2 at depth 1
+}
+
+TEST(AreaWeightedDynamicsTest, ItemConservation) {
+  AreaWeightedDynamics dyn({3, 4});
+  dyn.StepMany(500);
+  EXPECT_NEAR(dyn.TotalItems(), 500.0, 1e-6);
+}
+
+TEST(AreaWeightedDynamicsTest, AreaTilesTheRoot) {
+  // Leaves always tile the root block: sum of counts * c^-d == 1.
+  AreaWeightedDynamics dyn({2, 4});
+  dyn.StepMany(300);
+  double area = 0.0;
+  for (size_t d = 0; d <= 24; ++d) {
+    for (size_t i = 0; i <= 8; ++i) {
+      area += dyn.CountAt(d, i) * std::pow(4.0, -static_cast<double>(d));
+    }
+  }
+  EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(AreaWeightedDynamicsTest, ReproducesAgingGradient) {
+  // Table 3's phenomenon, from the refined model alone: shallow cohorts
+  // out-occupy deep ones, deep cohorts near the split-cohort value 0.40.
+  AreaWeightedDynamics dyn({1, 4});
+  dyn.StepMany(1000);
+  // Find populated depths (expected >= 10 leaves).
+  double shallow = -1.0, deep = -1.0;
+  for (size_t d = 0; d <= 24; ++d) {
+    double leaves = 0.0;
+    for (size_t i = 0; i <= 2; ++i) leaves += dyn.CountAt(d, i);
+    if (leaves < 10.0) continue;
+    if (shallow < 0.0) shallow = dyn.OccupancyAtDepth(d);
+    deep = dyn.OccupancyAtDepth(d);
+  }
+  ASSERT_GE(shallow, 0.0);
+  EXPECT_GT(shallow, deep);
+  EXPECT_NEAR(deep, 0.40, 0.10);
+}
+
+TEST(AreaWeightedDynamicsTest, AverageOccupancyBelowBasicModel) {
+  // The area-weighting correction lowers predicted occupancy relative to
+  // the count-weighted model — the direction of the paper's Table 2 gap.
+  for (size_t m : {1u, 4u, 8u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    double basic = SolveSteadyState(model)->average_occupancy;
+    AreaWeightedDynamics dyn({m, 4});
+    dyn.StepMany(2000);
+    // Average over a cycle (N in [2000, 8000] spans log4 a full period).
+    double sum = 0.0;
+    int samples = 0;
+    while (dyn.steps() < 8000) {
+      dyn.StepMany(250);
+      sum += dyn.AverageOccupancy();
+      ++samples;
+    }
+    double refined = sum / samples;
+    EXPECT_LT(refined, basic) << "m=" << m;
+    EXPECT_GT(refined, 0.6 * basic) << "m=" << m;
+  }
+}
+
+TEST(AreaWeightedDynamicsTest, TracksExactCensusOccupancy) {
+  // The mean-field dynamics against the exact statistical recurrence: the
+  // occupancy trajectories agree closely point by point.
+  const size_t m = 4;
+  ExactCensusCalculator exact({m, 4}, 2048);
+  AreaWeightedDynamics dyn({m, 4});
+  for (size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
+    dyn.StepMany(n - dyn.steps());
+    EXPECT_NEAR(dyn.AverageOccupancy(), exact.ExpectedOccupancy(n),
+                0.06 * exact.ExpectedOccupancy(n))
+        << "n=" << n;
+  }
+}
+
+TEST(AreaWeightedDynamicsTest, SeriesShowsPhasing) {
+  std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 8);
+  OccupancySeries series =
+      AreaWeightedOccupancySeries({8, 4}, schedule);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  ASSERT_GE(analysis.maxima.size(), 2u);
+  EXPECT_NEAR(analysis.period_ratio, 4.0, 0.5);
+}
+
+TEST(AreaWeightedDynamicsTest, DistributionSumsToOne) {
+  AreaWeightedDynamics dyn({3, 4});
+  dyn.StepMany(777);
+  num::Vector dist = dyn.DistributionByOccupancy();
+  EXPECT_NEAR(dist.Sum(), 1.0, 1e-12);
+  EXPECT_TRUE(dist.AllNonNegative());
+}
+
+TEST(AreaWeightedDynamicsTest, MaxDepthTruncationAccumulates) {
+  AreaWeightedDynamics dyn({1, 4}, /*max_depth=*/2);
+  dyn.StepMany(200);
+  // 200 points cannot fit 21 capacity-1 blocks; the depth-2 cohort must
+  // hold overflowing leaves.
+  double over = 0.0;
+  for (size_t i = 2; i <= 200; ++i) over += dyn.CountAt(2, i);
+  EXPECT_GT(over, 0.0);
+  EXPECT_NEAR(dyn.TotalItems(), 200.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace popan::core

@@ -1,0 +1,129 @@
+#include "core/exact_census.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/occupancy.h"
+#include "core/steady_state.h"
+#include "sim/experiment.h"
+
+namespace popan::core {
+namespace {
+
+TEST(ExactCensusTest, BaseCasesAreSingleLeaves) {
+  ExactCensusCalculator calc({3, 4}, 10);
+  for (size_t n = 0; n <= 3; ++n) {
+    const num::Vector& f = calc.ExpectedLeafCounts(n);
+    EXPECT_EQ(f[n], 1.0);
+    EXPECT_EQ(f.Sum(), 1.0);
+  }
+}
+
+TEST(ExactCensusTest, TwoPointsSimplePr) {
+  // m = 1, n = 2: the paper's worked split. Expected leaves follow the
+  // t_1 = (3, 2) derivation exactly: f(2) = (3, 2).
+  ExactCensusCalculator calc({1, 4}, 4);
+  const num::Vector& f = calc.ExpectedLeafCounts(2);
+  EXPECT_NEAR(f[0], 3.0, 1e-12);
+  EXPECT_NEAR(f[1], 2.0, 1e-12);
+}
+
+TEST(ExactCensusTest, ItemsConservedExactly) {
+  // sum_i i * f(n)[i] must equal n: every point sits in exactly one leaf.
+  for (size_t m : {1u, 3u, 8u}) {
+    ExactCensusCalculator calc({m, 4}, 512);
+    for (size_t n = 0; n <= 512; n += 7) {
+      const num::Vector& f = calc.ExpectedLeafCounts(n);
+      double items = 0.0;
+      for (size_t i = 0; i < f.size(); ++i) {
+        items += f[i] * static_cast<double>(i);
+      }
+      EXPECT_NEAR(items, static_cast<double>(n),
+                  1e-9 * std::max<double>(1.0, static_cast<double>(n)))
+          << "m=" << m << " n=" << n;
+    }
+  }
+}
+
+TEST(ExactCensusTest, LeafCountIsOneModFanoutMinusOne) {
+  // Every split turns 1 leaf into c leaves, so E[L] = 1 mod (c-1) ... the
+  // expectation preserves the affine invariant L = 1 + (c-1) * splits.
+  ExactCensusCalculator calc({2, 4}, 256);
+  for (size_t n = 0; n <= 256; n += 11) {
+    double leaves = calc.ExpectedLeaves(n);
+    double splits = (leaves - 1.0) / 3.0;
+    EXPECT_NEAR(splits, std::round(splits * 1e6) / 1e6, 1e-6);
+    EXPECT_GE(leaves, 1.0);
+  }
+}
+
+TEST(ExactCensusTest, MatchesBruteForceSimulationClosely) {
+  // The exact expectation against a large simulated ensemble.
+  const size_t m = 2, n = 300;
+  ExactCensusCalculator calc({m, 4}, n);
+  sim::ExperimentSpec spec;
+  spec.capacity = m;
+  spec.num_points = n;
+  spec.trials = 400;
+  spec.max_depth = 24;
+  spec.base_seed = 5;
+  sim::ExperimentResult result = sim::RunPrQuadtreeExperiment(spec);
+  num::Vector simulated = result.pooled_census.Proportions(m + 1);
+  num::Vector exact = calc.ExpectedDistribution(n);
+  // 400 trials of ~130 leaves: standard error ~ 0.002; allow 4 sigma-ish.
+  EXPECT_LT(DistributionDistance(simulated, exact), 0.02)
+      << "exact " << exact.ToString() << " vs sim " << simulated.ToString();
+  EXPECT_NEAR(result.mean_leaves, calc.ExpectedLeaves(n),
+              0.03 * calc.ExpectedLeaves(n));
+}
+
+TEST(ExactCensusTest, OccupancyOscillatesWithoutDamping) {
+  // The paper's §II claim, shown analytically: the exact expected
+  // occupancy for uniform data cycles in log_4 N with non-decreasing
+  // amplitude, so lim d_N does not exist.
+  ExactCensusCalculator calc({8, 4}, 4096);
+  std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 8);
+  OccupancySeries series = calc.OccupancySeriesFor(schedule);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  ASSERT_GE(analysis.maxima.size(), 2u);
+  EXPECT_NEAR(analysis.period_ratio, 4.0, 0.4);
+  EXPECT_GT(analysis.damping_ratio, 0.8);  // no damping
+  EXPECT_GT(analysis.first_swing, 0.2);
+}
+
+TEST(ExactCensusTest, OscillatesAroundPopulationModelValue) {
+  // The population model's constant sits inside the exact oscillation
+  // band — it is the "typical case" the oscillation straddles.
+  const size_t m = 8;
+  ExactCensusCalculator calc({m, 4}, 4096);
+  PopulationModel model(TreeModelParams{m, 4});
+  double predicted = SolveSteadyState(model)->average_occupancy;
+  double lo = 1e9, hi = -1e9;
+  for (size_t n = 1024; n <= 4096; n += 64) {
+    double occ = calc.ExpectedOccupancy(n);
+    lo = std::min(lo, occ);
+    hi = std::max(hi, occ);
+  }
+  EXPECT_LT(lo, predicted);
+  EXPECT_GT(hi, predicted * 0.92);  // band reaches near/above the constant
+}
+
+TEST(ExactCensusTest, FanoutTwoWorks) {
+  // The same recurrence covers extendible-hashing-like fanout-2 splits.
+  ExactCensusCalculator calc({4, 2}, 512);
+  EXPECT_GT(calc.ExpectedOccupancy(512), 2.0);
+  EXPECT_LT(calc.ExpectedOccupancy(512), 4.0);
+}
+
+TEST(ExactCensusTest, OutOfRangeDies) {
+  ExactCensusCalculator calc({1, 4}, 16);
+  EXPECT_DEATH(calc.ExpectedLeafCounts(17), "max_points");
+}
+
+TEST(ExactCensusTest, InvalidParamsDie) {
+  EXPECT_DEATH(ExactCensusCalculator({0, 4}, 16), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace popan::core

@@ -1,0 +1,80 @@
+#include "core/occupancy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::core {
+namespace {
+
+TEST(OccupancyTest, AverageOccupancy) {
+  EXPECT_EQ(AverageOccupancy(num::Vector{1.0, 0.0}), 0.0);
+  EXPECT_EQ(AverageOccupancy(num::Vector{0.0, 1.0}), 1.0);
+  EXPECT_EQ(AverageOccupancy(num::Vector{0.5, 0.5}), 0.5);
+  EXPECT_NEAR(AverageOccupancy(num::Vector{0.25, 0.5, 0.25}), 1.0, 1e-15);
+}
+
+TEST(OccupancyTest, StorageUtilization) {
+  EXPECT_DOUBLE_EQ(StorageUtilization(num::Vector{0.0, 0.0, 1.0}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(StorageUtilization(num::Vector{0.5, 0.5}, 1), 0.5);
+}
+
+TEST(OccupancyTest, StorageUtilizationZeroCapacityDies) {
+  EXPECT_DEATH(StorageUtilization(num::Vector{1.0}, 0), "CHECK failed");
+}
+
+TEST(OccupancyTest, NodesPerItem) {
+  EXPECT_DOUBLE_EQ(NodesPerItem(num::Vector{0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(NodesPerItem(num::Vector{0.5, 0.5}), 2.0);
+  EXPECT_TRUE(std::isinf(NodesPerItem(num::Vector{1.0, 0.0})));
+}
+
+TEST(OccupancyTest, EmptyAndFullFractions) {
+  num::Vector d{0.2, 0.5, 0.3};
+  EXPECT_EQ(EmptyFraction(d), 0.2);
+  EXPECT_EQ(FullFraction(d), 0.3);
+}
+
+TEST(OccupancyTest, PercentDifference) {
+  EXPECT_NEAR(PercentDifference(1.1, 1.0), 10.0, 1e-12);
+  EXPECT_NEAR(PercentDifference(0.9, 1.0), -10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PercentDifference(2.0, 2.0), 0.0);
+  // The paper's Table 2, m=1: theory 0.50 vs experiment 0.46... ~ 7-9%.
+  EXPECT_NEAR(PercentDifference(0.50, 0.465), 7.5, 0.1);
+}
+
+TEST(OccupancyTest, DistributionDistanceIdentical) {
+  num::Vector d{0.5, 0.5};
+  EXPECT_EQ(DistributionDistance(d, d), 0.0);
+}
+
+TEST(OccupancyTest, DistributionDistanceDisjoint) {
+  EXPECT_DOUBLE_EQ(
+      DistributionDistance(num::Vector{1.0, 0.0}, num::Vector{0.0, 1.0}),
+      1.0);
+}
+
+TEST(OccupancyTest, DistributionDistancePadsShorterVector) {
+  // (1) vs (0.5, 0.5): |1-0.5| + |0-0.5| = 1 -> distance 0.5.
+  EXPECT_DOUBLE_EQ(
+      DistributionDistance(num::Vector{1.0}, num::Vector{0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(
+      DistributionDistance(num::Vector{0.5, 0.5}, num::Vector{1.0}), 0.5);
+}
+
+TEST(OccupancyTest, DistributionDistanceSymmetric) {
+  num::Vector a{0.3, 0.3, 0.4};
+  num::Vector b{0.1, 0.6, 0.3};
+  EXPECT_DOUBLE_EQ(DistributionDistance(a, b), DistributionDistance(b, a));
+}
+
+TEST(OccupancyTest, DistributionDistanceTriangleInequality) {
+  num::Vector a{0.3, 0.3, 0.4};
+  num::Vector b{0.1, 0.6, 0.3};
+  num::Vector c{0.5, 0.2, 0.3};
+  EXPECT_LE(DistributionDistance(a, c),
+            DistributionDistance(a, b) + DistributionDistance(b, c) + 1e-15);
+}
+
+}  // namespace
+}  // namespace popan::core

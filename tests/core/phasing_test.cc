@@ -1,0 +1,128 @@
+#include "core/phasing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::core {
+namespace {
+
+TEST(LogarithmicScheduleTest, ReproducesPaperTable4Column) {
+  std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 4);
+  std::vector<size_t> expected = {64,  90,   128,  181,  256,  362, 512,
+                                  724, 1024, 1448, 2048, 2896, 4096};
+  EXPECT_EQ(schedule, expected);
+}
+
+TEST(LogarithmicScheduleTest, SingleStepQuadruples) {
+  std::vector<size_t> schedule = LogarithmicSchedule(10, 700, 1);
+  EXPECT_EQ(schedule, (std::vector<size_t>{10, 40, 160, 640}));
+}
+
+TEST(LogarithmicScheduleTest, StartEqualsMinimum) {
+  EXPECT_EQ(LogarithmicSchedule(100, 100, 4),
+            (std::vector<size_t>{100}));
+}
+
+TEST(LogarithmicScheduleTest, NoDuplicatesForFineSteps) {
+  std::vector<size_t> schedule = LogarithmicSchedule(2, 64, 16);
+  for (size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LT(schedule[i - 1], schedule[i]);
+  }
+}
+
+OccupancySeries MakeSyntheticSeries(double damping_per_cycle) {
+  // Occupancy oscillating once per quadrupling with optional damping, on
+  // the paper's schedule.
+  OccupancySeries series;
+  series.sample_sizes = LogarithmicSchedule(64, 4096, 4);
+  for (size_t i = 0; i < series.sample_sizes.size(); ++i) {
+    double cycles = std::log(static_cast<double>(series.sample_sizes[i]) /
+                             64.0) /
+                    std::log(4.0);
+    double amplitude = 0.4 * std::pow(damping_per_cycle, cycles);
+    series.average_occupancy.push_back(
+        3.7 + amplitude * std::cos(2.0 * M_PI * cycles));
+    series.nodes.push_back(static_cast<double>(series.sample_sizes[i]) /
+                           3.7);
+  }
+  return series;
+}
+
+TEST(AnalyzePhasingTest, DetectsExtremaOfUndampedCycle) {
+  OccupancySeries series = MakeSyntheticSeries(1.0);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  // Peaks at N = 64*4^k fall at indices 4 and 8 (ends excluded).
+  ASSERT_EQ(analysis.maxima.size(), 2u);
+  EXPECT_EQ(analysis.maxima[0], 4u);
+  EXPECT_EQ(analysis.maxima[1], 8u);
+  ASSERT_GE(analysis.minima.size(), 2u);
+}
+
+TEST(AnalyzePhasingTest, PeriodRatioNearFour) {
+  OccupancySeries series = MakeSyntheticSeries(1.0);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_NEAR(analysis.period_ratio, 4.0, 0.05);
+}
+
+TEST(AnalyzePhasingTest, UndampedCycleHasUnitDampingRatio) {
+  OccupancySeries series = MakeSyntheticSeries(1.0);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_NEAR(analysis.damping_ratio, 1.0, 0.05);
+}
+
+TEST(AnalyzePhasingTest, DampedCycleDetected) {
+  OccupancySeries series = MakeSyntheticSeries(0.4);
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_LT(analysis.damping_ratio, 0.6);
+  EXPECT_GT(analysis.first_swing, analysis.last_swing);
+}
+
+TEST(AnalyzePhasingTest, FlatSeriesHasNoExtrema) {
+  OccupancySeries series;
+  series.sample_sizes = {10, 20, 40, 80};
+  series.average_occupancy = {2.0, 2.0, 2.0, 2.0};
+  series.nodes = {5, 10, 20, 40};
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_TRUE(analysis.maxima.empty());
+  EXPECT_TRUE(analysis.minima.empty());
+  EXPECT_EQ(analysis.stddev, 0.0);
+  EXPECT_EQ(analysis.mean, 2.0);
+}
+
+TEST(AnalyzePhasingTest, MonotoneSeriesHasNoExtrema) {
+  OccupancySeries series;
+  series.sample_sizes = {10, 20, 40, 80};
+  series.average_occupancy = {1.0, 2.0, 3.0, 4.0};
+  series.nodes = {5, 10, 20, 40};
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_TRUE(analysis.maxima.empty());
+  EXPECT_TRUE(analysis.minima.empty());
+}
+
+TEST(AnalyzePhasingTest, MeanAndStddev) {
+  OccupancySeries series;
+  series.sample_sizes = {1, 2, 3};
+  series.average_occupancy = {1.0, 2.0, 3.0};
+  series.nodes = {1, 1, 1};
+  PhasingAnalysis analysis = AnalyzePhasing(series);
+  EXPECT_DOUBLE_EQ(analysis.mean, 2.0);
+  EXPECT_DOUBLE_EQ(analysis.stddev, 1.0);
+}
+
+TEST(AnalyzePhasingTest, MismatchedSizesDie) {
+  OccupancySeries series;
+  series.sample_sizes = {1, 2};
+  series.average_occupancy = {1.0};
+  EXPECT_DEATH(AnalyzePhasing(series), "CHECK failed");
+}
+
+TEST(AnalyzePhasingTest, ToStringSummarizes) {
+  OccupancySeries series = MakeSyntheticSeries(1.0);
+  std::string s = AnalyzePhasing(series).ToString();
+  EXPECT_NE(s.find("period_ratio"), std::string::npos);
+  EXPECT_NE(s.find("damping"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popan::core

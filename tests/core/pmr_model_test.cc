@@ -1,0 +1,194 @@
+#include "core/pmr_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.h"
+
+namespace popan::core {
+namespace {
+
+TEST(QuadrantHitProbabilityTest, DeterministicInSeed) {
+  double a = EstimateQuadrantHitProbability(SegmentStyle::kChord, 20000, 7);
+  double b = EstimateQuadrantHitProbability(SegmentStyle::kChord, 20000, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(QuadrantHitProbabilityTest, InOpenUnitInterval) {
+  for (SegmentStyle style :
+       {SegmentStyle::kUniformEndpoints, SegmentStyle::kChord,
+        SegmentStyle::kLongLine}) {
+    double q = EstimateQuadrantHitProbability(style, 50000, 11);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+}
+
+TEST(QuadrantHitProbabilityTest, LongerSegmentsHitMoreQuadrants) {
+  // Short local segments touch ~1-2 quadrants (q near 0.3-0.45); full
+  // crossings touch 2-3 (q near 0.6-0.75). The ordering must hold.
+  double q_short =
+      EstimateQuadrantHitProbability(SegmentStyle::kUniformEndpoints, 50000,
+                                     3);
+  double q_chord =
+      EstimateQuadrantHitProbability(SegmentStyle::kChord, 50000, 3);
+  double q_line =
+      EstimateQuadrantHitProbability(SegmentStyle::kLongLine, 50000, 3);
+  EXPECT_LT(q_short, q_chord);
+  EXPECT_LE(q_chord, q_line + 0.05);
+  EXPECT_GT(q_short, 0.25);  // a segment hits at least one of 4 quadrants
+}
+
+TEST(PmrSplitRowTest, ConservesChildCountApproximately) {
+  // Without the overflow fold the B_i sum to 4; after folding, the row sum
+  // is slightly above 4 (overflow children re-split), mirroring the PR
+  // row-sum structure.
+  for (size_t m : {2u, 4u, 8u}) {
+    num::Vector row = PmrSplitRow(m, 0.55);
+    // Closed form of the fold: (4 - B_{m+1}) / (1 - B_{m+1}).
+    double overflow = 4.0 * std::pow(0.55, static_cast<double>(m + 1));
+    double expected = (4.0 - overflow) / (1.0 - overflow);
+    EXPECT_NEAR(row.Sum(), expected, 1e-9) << "m=" << m;
+    EXPECT_GT(row.Sum(), 4.0);
+  }
+}
+
+TEST(PmrSplitRowTest, AllComponentsPositive) {
+  num::Vector row = PmrSplitRow(4, 0.6);
+  EXPECT_TRUE(row.AllPositive());
+  EXPECT_EQ(row.size(), 5u);
+}
+
+TEST(PmrSplitRowTest, HighQWithLowThresholdDiverges) {
+  // q close to 1 with threshold 1: each child inherits nearly all m+1
+  // fragments, the expected over-threshold children exceed 1 and the
+  // steady-state model (correctly) refuses.
+  EXPECT_DEATH(PmrSplitRow(1, 0.95), "diverges");
+}
+
+TEST(PmrSplitRowTest, InvalidQRejected) {
+  EXPECT_DEATH(PmrSplitRow(4, 0.0), "CHECK failed");
+  EXPECT_DEATH(PmrSplitRow(4, 1.0), "CHECK failed");
+}
+
+TEST(BuildPmrTransformMatrixTest, UnitRowsBelowThreshold) {
+  num::Matrix t = BuildPmrTransformMatrix(3, 0.5);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j <= 3; ++j) {
+      EXPECT_EQ(t.At(i, j), j == i + 1 ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(BuildPmrModelTest, SteadyStateSolvable) {
+  PopulationModel model = BuildPmrModel(4, SegmentStyle::kChord, 50000, 42);
+  StatusOr<SteadyState> ss = SolveSteadyState(model);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  EXPECT_TRUE(ss->distribution.AllPositive());
+  EXPECT_NEAR(ss->distribution.Sum(), 1.0, 1e-10);
+  EXPECT_GT(ss->average_occupancy, 0.0);
+  EXPECT_LT(ss->average_occupancy, 4.0);
+}
+
+TEST(ExtendedPmrModelTest, StructureBelowThresholdIsUnitShift) {
+  num::Matrix t = BuildExtendedPmrTransformMatrix(3, 0.5, 8);
+  ASSERT_EQ(t.rows(), 9u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(t.At(i, j), j == i + 1 ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(ExtendedPmrModelTest, SplitRowsProduceFourChildren) {
+  num::Matrix t = BuildExtendedPmrTransformMatrix(3, 0.5, 10);
+  for (size_t i = 3; i <= 10; ++i) {
+    EXPECT_NEAR(t.RowSum(i), 4.0, 1e-10) << "row " << i;
+  }
+}
+
+TEST(ExtendedPmrModelTest, SplitRowsConserveFragmentsApproximately) {
+  // A split of i+1 fragments places q*4*(i+1) expected fragment copies:
+  // each fragment lands in 4q children on average.
+  const double q = 0.5;
+  num::Matrix t = BuildExtendedPmrTransformMatrix(2, q, 12);
+  for (size_t i = 2; i <= 10; ++i) {  // rows far from the clamp boundary
+    double fragments = 0.0;
+    for (size_t k = 0; k < t.cols(); ++k) {
+      fragments += t.At(i, k) * static_cast<double>(k);
+    }
+    EXPECT_NEAR(fragments, 4.0 * q * static_cast<double>(i + 1), 1e-8)
+        << "row " << i;
+  }
+}
+
+TEST(ExtendedPmrModelTest, SteadyStateHasThinOverThresholdTail) {
+  PopulationModel model(BuildExtendedPmrTransformMatrix(4, 0.5, 16));
+  StatusOr<SteadyState> ss = SolveSteadyState(model);
+  ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+  // Over-threshold states exist but decay fast for moderate q.
+  double over = 0.0;
+  for (size_t i = 5; i < ss->distribution.size(); ++i) {
+    over += ss->distribution[i];
+  }
+  EXPECT_GT(over, 0.0);
+  EXPECT_LT(over, 0.10);
+}
+
+TEST(ExtendedPmrModelTest, PredictsHigherOccupancyThanFolded) {
+  // Letting over-threshold nodes persist (instead of folding them through
+  // an immediate re-split) raises the predicted occupancy — the direction
+  // of the folded model's bias.
+  const double q = 0.5;
+  for (size_t m : {2u, 4u, 8u}) {
+    PopulationModel folded(BuildPmrTransformMatrix(m, q));
+    PopulationModel extended(BuildExtendedPmrTransformMatrix(m, q, m + 12));
+    double occ_folded = SolveSteadyState(folded)->average_occupancy;
+    double occ_extended = SolveSteadyState(extended)->average_occupancy;
+    EXPECT_GT(occ_extended, occ_folded) << "m=" << m;
+  }
+}
+
+TEST(ExtendedPmrModelTest, ExtraStatesConverge) {
+  // Adding headroom states beyond a handful must not change the answer.
+  PopulationModel a(BuildExtendedPmrTransformMatrix(4, 0.55, 4 + 8));
+  PopulationModel b(BuildExtendedPmrTransformMatrix(4, 0.55, 4 + 20));
+  double occ_a = SolveSteadyState(a)->average_occupancy;
+  double occ_b = SolveSteadyState(b)->average_occupancy;
+  EXPECT_NEAR(occ_a, occ_b, 1e-6);
+}
+
+TEST(ExtendedPmrModelTest, BuildFromStyleSolves) {
+  PopulationModel model =
+      BuildExtendedPmrModel(4, SegmentStyle::kUniformEndpoints, 8, 50000, 7);
+  StatusOr<SteadyState> ss = SolveSteadyState(model);
+  ASSERT_TRUE(ss.ok());
+  EXPECT_GT(ss->average_occupancy, 2.0);
+  EXPECT_LT(ss->average_occupancy, 4.0);
+}
+
+TEST(ExtendedPmrModelTest, InvalidArgsDie) {
+  EXPECT_DEATH(BuildExtendedPmrTransformMatrix(4, 0.5, 3), "CHECK failed");
+  EXPECT_DEATH(BuildExtendedPmrTransformMatrix(0, 0.5, 4), "CHECK failed");
+  EXPECT_DEATH(BuildExtendedPmrTransformMatrix(4, 1.5, 8), "CHECK failed");
+}
+
+TEST(BuildPmrModelTest, ShortSegmentsBehaveMorePointLike) {
+  // Short segments rarely straddle quadrant boundaries, so the PMR model's
+  // prediction should sit closer to the PR point model than the long-line
+  // variant does.
+  PopulationModel short_model =
+      BuildPmrModel(4, SegmentStyle::kUniformEndpoints, 50000, 1);
+  PopulationModel line_model =
+      BuildPmrModel(4, SegmentStyle::kLongLine, 50000, 1);
+  PopulationModel point_model((TreeModelParams{4, 4}));
+  double occ_short = SolveSteadyState(short_model)->average_occupancy;
+  double occ_line = SolveSteadyState(line_model)->average_occupancy;
+  double occ_point = SolveSteadyState(point_model)->average_occupancy;
+  EXPECT_LT(std::abs(occ_short - occ_point),
+            std::abs(occ_line - occ_point));
+}
+
+}  // namespace
+}  // namespace popan::core

@@ -1,0 +1,111 @@
+#include "core/population_dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.h"
+
+namespace popan::core {
+namespace {
+
+TEST(PopulationDynamicsTest, RecordsInitialState) {
+  PopulationModel model(TreeModelParams{1, 4});
+  DynamicsTrajectory t =
+      SimulateExpectedDynamics(model, num::Vector{1.0, 0.0}, 0);
+  ASSERT_EQ(t.steps.size(), 1u);
+  EXPECT_EQ(t.steps[0], 0u);
+  EXPECT_EQ(t.distributions[0], (num::Vector{1.0, 0.0}));
+  EXPECT_EQ(t.node_counts[0], 1.0);
+}
+
+TEST(PopulationDynamicsTest, OneStepFromEmptyNode) {
+  PopulationModel model(TreeModelParams{1, 4});
+  DynamicsTrajectory t =
+      SimulateExpectedDynamics(model, num::Vector{1.0, 0.0}, 1);
+  // Inserting into the single empty node deterministically yields one full
+  // node: counts (0, 1).
+  ASSERT_EQ(t.distributions.size(), 2u);
+  EXPECT_NEAR(t.distributions[1][0], 0.0, 1e-12);
+  EXPECT_NEAR(t.distributions[1][1], 1.0, 1e-12);
+  EXPECT_NEAR(t.node_counts[1], 1.0, 1e-12);
+}
+
+TEST(PopulationDynamicsTest, SecondStepSplits) {
+  PopulationModel model(TreeModelParams{1, 4});
+  DynamicsTrajectory t =
+      SimulateExpectedDynamics(model, num::Vector{1.0, 0.0}, 2);
+  // Inserting into the full node applies t_1 = (3, 2): counts (3, 2).
+  EXPECT_NEAR(t.node_counts[2], 5.0, 1e-12);
+  EXPECT_NEAR(t.distributions[2][0], 0.6, 1e-12);
+  EXPECT_NEAR(t.distributions[2][1], 0.4, 1e-12);
+}
+
+TEST(PopulationDynamicsTest, ConvergesToSteadyStateFromFreshStructure) {
+  for (size_t m : {1u, 3u, 8u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    num::Vector initial(m + 1);
+    initial[0] = 1.0;
+    DynamicsTrajectory t =
+        SimulateExpectedDynamics(model, initial, 20000, 1000);
+    StatusOr<SteadyState> ss = SolveSteadyState(model);
+    ASSERT_TRUE(ss.ok());
+    EXPECT_LT(FinalDistanceToSteadyState(t, ss->distribution), 0.01)
+        << "m=" << m;
+  }
+}
+
+TEST(PopulationDynamicsTest, ConvergesFromSkewedStart) {
+  PopulationModel model(TreeModelParams{4, 4});
+  // Start from a pathological mix: everything full.
+  num::Vector initial(5);
+  initial[4] = 10.0;
+  DynamicsTrajectory t = SimulateExpectedDynamics(model, initial, 50000, 5000);
+  StatusOr<SteadyState> ss = SolveSteadyState(model);
+  ASSERT_TRUE(ss.ok());
+  EXPECT_LT(FinalDistanceToSteadyState(t, ss->distribution), 0.01);
+}
+
+TEST(PopulationDynamicsTest, NodeCountGrowsLinearly) {
+  PopulationModel model(TreeModelParams{2, 4});
+  num::Vector initial(3);
+  initial[0] = 1.0;
+  DynamicsTrajectory t = SimulateExpectedDynamics(model, initial, 10000, 10000);
+  StatusOr<SteadyState> ss = SolveSteadyState(model);
+  ASSERT_TRUE(ss.ok());
+  // At steady state each insertion creates a(e) - 1 nodes on average...
+  // a(e) counts produced nodes replacing one consumed: growth per step is
+  // the e_m-weighted extra nodes. Empirically nodes/points must approach
+  // 1/avg_occupancy.
+  double nodes_per_point = t.node_counts.back() / 10000.0;
+  EXPECT_NEAR(nodes_per_point, 1.0 / ss->average_occupancy, 0.05);
+}
+
+TEST(PopulationDynamicsTest, RecordEveryControlsSampling) {
+  PopulationModel model(TreeModelParams{1, 4});
+  DynamicsTrajectory t =
+      SimulateExpectedDynamics(model, num::Vector{1.0, 0.0}, 100, 10);
+  // Steps 0, 10, ..., 100 -> 11 records.
+  EXPECT_EQ(t.steps.size(), 11u);
+  EXPECT_EQ(t.steps.back(), 100u);
+}
+
+TEST(PopulationDynamicsTest, FinalStepAlwaysRecorded) {
+  PopulationModel model(TreeModelParams{1, 4});
+  DynamicsTrajectory t =
+      SimulateExpectedDynamics(model, num::Vector{1.0, 0.0}, 105, 10);
+  EXPECT_EQ(t.steps.back(), 105u);
+}
+
+TEST(PopulationDynamicsTest, RejectsBadInitialConditions) {
+  PopulationModel model(TreeModelParams{1, 4});
+  EXPECT_DEATH(
+      SimulateExpectedDynamics(model, num::Vector{0.0, 0.0}, 10),
+      "CHECK failed");
+  EXPECT_DEATH(
+      SimulateExpectedDynamics(model, num::Vector{-1.0, 2.0}, 10),
+      "CHECK failed");
+  EXPECT_DEATH(SimulateExpectedDynamics(model, num::Vector{1.0}, 10),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace popan::core

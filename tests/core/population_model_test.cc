@@ -1,0 +1,115 @@
+#include "core/population_model.h"
+
+#include <gtest/gtest.h>
+
+#include "numerics/newton.h"
+#include "util/random.h"
+
+namespace popan::core {
+namespace {
+
+TEST(PopulationModelTest, DimensionsFromParams) {
+  PopulationModel model(TreeModelParams{3, 4});
+  EXPECT_EQ(model.NumPopulations(), 4u);
+  EXPECT_EQ(model.Capacity(), 3u);
+}
+
+TEST(PopulationModelTest, RowSumsCached) {
+  PopulationModel model(TreeModelParams{2, 4});
+  EXPECT_NEAR(model.row_sums()[0], 1.0, 1e-15);
+  EXPECT_NEAR(model.row_sums()[1], 1.0, 1e-15);
+  EXPECT_NEAR(model.row_sums()[2], SplitRowSum({2, 4}), 1e-12);
+}
+
+TEST(PopulationModelTest, NormalizationIsWeightedRowSums) {
+  PopulationModel model(TreeModelParams{1, 4});
+  // a(e) = e0 * 1 + e1 * 5 for the m=1 quadtree.
+  EXPECT_NEAR(model.Normalization(num::Vector{0.5, 0.5}), 3.0, 1e-12);
+  EXPECT_NEAR(model.Normalization(num::Vector{1.0, 0.0}), 1.0, 1e-12);
+}
+
+TEST(PopulationModelTest, InsertionMapPreservesSimplex) {
+  PopulationModel model(TreeModelParams{4, 4});
+  Pcg32 rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    num::Vector e(5);
+    for (size_t i = 0; i < 5; ++i) e[i] = rng.NextDouble() + 1e-3;
+    e = e.Normalized();
+    num::Vector g = model.InsertionMap(e);
+    EXPECT_NEAR(g.Sum(), 1.0, 1e-12);
+    EXPECT_TRUE(g.AllNonNegative(1e-15));
+  }
+}
+
+TEST(PopulationModelTest, InsertionMapFixedPointForM1) {
+  PopulationModel model(TreeModelParams{1, 4});
+  num::Vector e{0.5, 0.5};
+  num::Vector g = model.InsertionMap(e);
+  EXPECT_NEAR(g[0], 0.5, 1e-12);
+  EXPECT_NEAR(g[1], 0.5, 1e-12);
+}
+
+TEST(PopulationModelTest, ResidualVanishesAtM1FixedPoint) {
+  PopulationModel model(TreeModelParams{1, 4});
+  num::Vector f = model.Residual(num::Vector{0.5, 0.5});
+  EXPECT_NEAR(f.NormInf(), 0.0, 1e-12);
+}
+
+TEST(PopulationModelTest, ResidualConstraintRow) {
+  PopulationModel model(TreeModelParams{2, 4});
+  num::Vector f = model.Residual(num::Vector{0.5, 0.5, 0.5});
+  EXPECT_NEAR(f[2], 0.5, 1e-12);  // sum - 1 = 0.5
+}
+
+TEST(PopulationModelTest, AnalyticJacobianMatchesNumeric) {
+  for (size_t m : {1u, 2u, 4u, 8u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    Pcg32 rng(m);
+    num::Vector e(m + 1);
+    for (size_t i = 0; i <= m; ++i) e[i] = rng.NextDouble() + 0.1;
+    e = e.Normalized();
+    num::Matrix analytic = model.ResidualJacobian(e);
+    num::Matrix numeric = num::NumericJacobian(
+        [&model](const num::Vector& x) { return model.Residual(x); }, e,
+        1e-7);
+    EXPECT_LT(analytic.MaxAbsDiff(numeric), 1e-5) << "m=" << m;
+  }
+}
+
+TEST(PopulationModelTest, AverageOccupancy) {
+  PopulationModel model(TreeModelParams{2, 4});
+  EXPECT_NEAR(model.AverageOccupancy(num::Vector{0.25, 0.5, 0.25}), 1.0,
+              1e-15);
+  EXPECT_NEAR(model.AverageOccupancy(num::Vector{0.0, 0.0, 1.0}), 2.0,
+              1e-15);
+}
+
+TEST(PopulationModelTest, UniformDistribution) {
+  PopulationModel model(TreeModelParams{3, 4});
+  num::Vector u = model.UniformDistribution();
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_NEAR(u.Sum(), 1.0, 1e-15);
+  EXPECT_EQ(u[0], u[3]);
+}
+
+TEST(PopulationModelTest, CustomMatrixConstructor) {
+  // The extendible-hashing shape: fanout 2, capacity 1. Transform rows:
+  // t_0 = (0, 1); t_1 = split into 2 buckets of 2 items... C(2,i) 1^{2-i}
+  // / (2^1 - 1) = (1, 2) for i = (0, 1).
+  num::Matrix t{{0.0, 1.0}, {1.0, 2.0}};
+  PopulationModel model(std::move(t));
+  EXPECT_EQ(model.Capacity(), 1u);
+  EXPECT_NEAR(model.row_sums()[1], 3.0, 1e-15);
+}
+
+TEST(PopulationModelTest, NonSquareMatrixDies) {
+  EXPECT_DEATH(PopulationModel(num::Matrix(2, 3)), "square");
+}
+
+TEST(PopulationModelTest, DegenerateDistributionDies) {
+  PopulationModel model(TreeModelParams{1, 4});
+  EXPECT_DEATH(model.InsertionMap(num::Vector{0.0, 0.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace popan::core

@@ -1,0 +1,92 @@
+#include "core/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/steady_state.h"
+#include "numerics/newton.h"
+
+namespace popan::core {
+namespace {
+
+TEST(SpectralTest, JacobianMatchesNumericDifferentiation) {
+  for (size_t m : {1u, 3u, 8u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    num::Vector e = model.UniformDistribution();
+    num::Matrix analytic = InsertionMapJacobian(model, e);
+    num::Matrix numeric = num::NumericJacobian(
+        [&model](const num::Vector& x) { return model.InsertionMap(x); },
+        e, 1e-7);
+    EXPECT_LT(analytic.MaxAbsDiff(numeric), 1e-5) << "m=" << m;
+  }
+}
+
+TEST(SpectralTest, JacobianAnnihilatesTheFixedPoint) {
+  PopulationModel model(TreeModelParams{4, 4});
+  SteadyState steady = SolveSteadyState(model).value();
+  num::Matrix jac = InsertionMapJacobian(model, steady.distribution);
+  num::Vector image = jac.Apply(steady.distribution);
+  EXPECT_LT(image.NormInf(), 1e-9);
+}
+
+TEST(SpectralTest, JacobianPreservesZeroSum) {
+  PopulationModel model(TreeModelParams{5, 4});
+  SteadyState steady = SolveSteadyState(model).value();
+  num::Matrix jac = InsertionMapJacobian(model, steady.distribution);
+  // Column sums of the (column-acting) Jacobian must vanish so that
+  // perturbation images stay on the zero-sum tangent space.
+  for (size_t j = 0; j < jac.cols(); ++j) {
+    EXPECT_NEAR(jac.Col(j).Sum(), 0.0, 1e-10) << "column " << j;
+  }
+}
+
+TEST(SpectralTest, ContractionRateInUnitInterval) {
+  for (size_t m : {1u, 2u, 4u, 8u, 16u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    StatusOr<SpectralAnalysis> analysis = AnalyzeSpectrum(model);
+    ASSERT_TRUE(analysis.ok()) << "m=" << m;
+    EXPECT_GT(analysis->contraction_rate, 0.0) << "m=" << m;
+    EXPECT_LT(analysis->contraction_rate, 1.0) << "m=" << m;
+  }
+}
+
+TEST(SpectralTest, RateGrowsWithCapacity) {
+  // Larger m mixes occupancies more slowly: the fixed-point solver slows
+  // down, which is exactly what bench_solvers observes.
+  double previous = 0.0;
+  for (size_t m : {1u, 2u, 4u, 8u, 16u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    double rate = AnalyzeSpectrum(model)->contraction_rate;
+    EXPECT_GT(rate, previous) << "m=" << m;
+    previous = rate;
+  }
+}
+
+TEST(SpectralTest, PredictsFixedPointIterationCount) {
+  // iterations ~ log(tol)/log(rate): compare against the actual solver.
+  for (size_t m : {2u, 4u, 8u}) {
+    PopulationModel model(TreeModelParams{m, 4});
+    SpectralAnalysis analysis = AnalyzeSpectrum(model).value();
+    SteadyStateOptions options;
+    options.method = SolverMethod::kFixedPoint;
+    options.tolerance = 1e-13;
+    SteadyState solved = SolveSteadyState(model, options).value();
+    double predicted = analysis.PredictedIterations(1e-13);
+    // Same order of magnitude and within a factor ~2.5 (transient +
+    // stopping-criterion differences).
+    EXPECT_GT(solved.iterations, predicted / 2.5) << "m=" << m;
+    EXPECT_LT(solved.iterations, predicted * 2.5) << "m=" << m;
+  }
+}
+
+TEST(SpectralTest, PredictedIterationsEdgeCases) {
+  SpectralAnalysis analysis;
+  analysis.contraction_rate = 0.5;
+  EXPECT_NEAR(analysis.PredictedIterations(0.5), 1.0, 1e-12);
+  analysis.contraction_rate = 1.0;
+  EXPECT_TRUE(std::isinf(analysis.PredictedIterations(0.5)));
+}
+
+}  // namespace
+}  // namespace popan::core

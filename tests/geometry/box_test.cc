@@ -1,0 +1,137 @@
+#include "geometry/box.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::geo {
+namespace {
+
+TEST(BoxTest, UnitCube) {
+  Box2 b = Box2::UnitCube();
+  EXPECT_EQ(b.lo(), Point2(0.0, 0.0));
+  EXPECT_EQ(b.hi(), Point2(1.0, 1.0));
+  EXPECT_EQ(b.Volume(), 1.0);
+  EXPECT_EQ(b.Extent(0), 1.0);
+}
+
+TEST(BoxTest, ScaledCube) {
+  Box3 b = Box3::UnitCube(2.0);
+  EXPECT_EQ(b.Volume(), 8.0);
+}
+
+TEST(BoxTest, Center) {
+  Box2 b(Point2(0.0, 2.0), Point2(4.0, 6.0));
+  EXPECT_EQ(b.Center(), Point2(2.0, 4.0));
+}
+
+TEST(BoxTest, HalfOpenContainment) {
+  Box2 b = Box2::UnitCube();
+  EXPECT_TRUE(b.Contains(Point2(0.0, 0.0)));    // lo corner in
+  EXPECT_FALSE(b.Contains(Point2(1.0, 1.0)));   // hi corner out
+  EXPECT_FALSE(b.Contains(Point2(0.5, 1.0)));   // hi edge out
+  EXPECT_TRUE(b.Contains(Point2(0.999999, 0.0)));
+  EXPECT_FALSE(b.Contains(Point2(-0.001, 0.5)));
+}
+
+TEST(BoxTest, ContainsBox) {
+  Box2 outer = Box2::UnitCube();
+  Box2 inner(Point2(0.25, 0.25), Point2(0.75, 0.75));
+  EXPECT_TRUE(outer.ContainsBox(inner));
+  EXPECT_FALSE(inner.ContainsBox(outer));
+  EXPECT_TRUE(outer.ContainsBox(outer));  // hi may touch hi
+}
+
+TEST(BoxTest, Intersects) {
+  Box2 a(Point2(0.0, 0.0), Point2(2.0, 2.0));
+  Box2 b(Point2(1.0, 1.0), Point2(3.0, 3.0));
+  Box2 c(Point2(2.0, 0.0), Point2(3.0, 1.0));  // touches a's edge only
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));  // half-open: shared edge is no overlap
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+TEST(BoxTest, QuadrantsTileTheBox) {
+  Box2 b = Box2::UnitCube();
+  double total = 0.0;
+  for (size_t q = 0; q < Box2::kNumQuadrants; ++q) {
+    total += b.Quadrant(q).Volume();
+    EXPECT_TRUE(b.ContainsBox(b.Quadrant(q)));
+  }
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(BoxTest, QuadrantIndexingConvention) {
+  Box2 b = Box2::UnitCube();
+  // Bit 0 = upper x half, bit 1 = upper y half.
+  EXPECT_EQ(b.Quadrant(0).lo(), Point2(0.0, 0.0));
+  EXPECT_EQ(b.Quadrant(1).lo(), Point2(0.5, 0.0));
+  EXPECT_EQ(b.Quadrant(2).lo(), Point2(0.0, 0.5));
+  EXPECT_EQ(b.Quadrant(3).lo(), Point2(0.5, 0.5));
+}
+
+TEST(BoxTest, QuadrantOfRoundTrips) {
+  Box2 b = Box2::UnitCube();
+  Pcg32 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    size_t q = b.QuadrantOf(p);
+    EXPECT_TRUE(b.Quadrant(q).Contains(p)) << p.ToString() << " q=" << q;
+  }
+}
+
+TEST(BoxTest, QuadrantOfCenterGoesUp) {
+  // The center belongs to the upper quadrant on every axis (half-open
+  // children: lower child is [lo, mid)).
+  Box2 b = Box2::UnitCube();
+  EXPECT_EQ(b.QuadrantOf(b.Center()), 3u);
+}
+
+TEST(BoxTest, EveryPointInExactlyOneQuadrant) {
+  Box2 b = Box2::UnitCube();
+  Pcg32 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    int containing = 0;
+    for (size_t q = 0; q < 4; ++q) {
+      if (b.Quadrant(q).Contains(p)) ++containing;
+    }
+    EXPECT_EQ(containing, 1);
+  }
+}
+
+TEST(BoxTest, OctantsInThreeDimensions) {
+  Box3 b = Box3::UnitCube();
+  EXPECT_EQ(Box3::kNumQuadrants, 8u);
+  double total = 0.0;
+  for (size_t q = 0; q < 8; ++q) total += b.Quadrant(q).Volume();
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(BoxTest, BintreeHalvesInOneDimension) {
+  Box1 b = Box1::UnitCube();
+  EXPECT_EQ(Box1::kNumQuadrants, 2u);
+  EXPECT_EQ(b.Quadrant(0).hi().x(), 0.5);
+  EXPECT_EQ(b.Quadrant(1).lo().x(), 0.5);
+}
+
+TEST(BoxTest, DistanceSquaredTo) {
+  Box2 b = Box2::UnitCube();
+  EXPECT_EQ(b.DistanceSquaredTo(Point2(0.5, 0.5)), 0.0);    // inside
+  EXPECT_EQ(b.DistanceSquaredTo(Point2(2.0, 0.5)), 1.0);    // right
+  EXPECT_EQ(b.DistanceSquaredTo(Point2(2.0, 2.0)), 2.0);    // corner
+  EXPECT_EQ(b.DistanceSquaredTo(Point2(-3.0, 0.5)), 9.0);   // left
+  EXPECT_EQ(b.DistanceSquaredTo(Point2(0.0, 0.0)), 0.0);    // on boundary
+}
+
+TEST(BoxTest, ToStringAndEquality) {
+  Box2 a = Box2::UnitCube();
+  Box2 b = Box2::UnitCube();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Box2(Point2(0.0, 0.0), Point2(2.0, 1.0)));
+  EXPECT_EQ(a.ToString(), "[(0, 0), (1, 1))");
+}
+
+}  // namespace
+}  // namespace popan::geo

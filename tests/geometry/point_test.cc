@@ -1,0 +1,78 @@
+#include "geometry/point.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace popan::geo {
+namespace {
+
+TEST(PointTest, DefaultIsOrigin) {
+  Point2 p;
+  EXPECT_EQ(p.x(), 0.0);
+  EXPECT_EQ(p.y(), 0.0);
+}
+
+TEST(PointTest, CoordinateConstructor) {
+  Point2 p(1.5, -2.0);
+  EXPECT_EQ(p.x(), 1.5);
+  EXPECT_EQ(p.y(), -2.0);
+  EXPECT_EQ(p[0], 1.5);
+  EXPECT_EQ(p[1], -2.0);
+}
+
+TEST(PointTest, ArrayConstructor) {
+  Point3 p(std::array<double, 3>{1.0, 2.0, 3.0});
+  EXPECT_EQ(p.z(), 3.0);
+}
+
+TEST(PointTest, OneDimensional) {
+  Point1 p(4.0);
+  EXPECT_EQ(p.x(), 4.0);
+  EXPECT_EQ(Point1::kDimension, 1u);
+}
+
+TEST(PointTest, MutableIndexing) {
+  Point2 p;
+  p[0] = 7.0;
+  EXPECT_EQ(p.x(), 7.0);
+}
+
+TEST(PointTest, Distance) {
+  Point2 a(0.0, 0.0);
+  Point2 b(3.0, 4.0);
+  EXPECT_EQ(a.DistanceSquared(b), 25.0);
+  EXPECT_EQ(a.Distance(b), 5.0);
+  EXPECT_EQ(a.Distance(a), 0.0);
+}
+
+TEST(PointTest, DistanceSymmetric) {
+  Point3 a(1.0, 2.0, 3.0);
+  Point3 b(-1.0, 0.5, 9.0);
+  EXPECT_EQ(a.Distance(b), b.Distance(a));
+}
+
+TEST(PointTest, Equality) {
+  EXPECT_EQ(Point2(1.0, 2.0), Point2(1.0, 2.0));
+  EXPECT_NE(Point2(1.0, 2.0), Point2(1.0, 2.1));
+}
+
+TEST(PointTest, ToString) {
+  EXPECT_EQ(Point2(1.0, 2.5).ToString(), "(1, 2.5)");
+}
+
+TEST(PointTest, StreamOutput) {
+  std::ostringstream os;
+  os << Point1(3.0);
+  EXPECT_EQ(os.str(), "(3)");
+}
+
+TEST(PointTest, HigherDimensions) {
+  Point<5> p(1.0, 2.0, 3.0, 4.0, 5.0);
+  EXPECT_EQ(p[4], 5.0);
+  EXPECT_EQ(p.DistanceSquared(Point<5>()), 55.0);
+}
+
+}  // namespace
+}  // namespace popan::geo

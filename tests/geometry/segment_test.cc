@@ -1,0 +1,127 @@
+#include "geometry/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::geo {
+namespace {
+
+TEST(Orient2DTest, SignConvention) {
+  Point2 a(0.0, 0.0), b(1.0, 0.0);
+  EXPECT_GT(Orient2D(a, b, Point2(0.5, 1.0)), 0.0);   // left of ab: ccw
+  EXPECT_LT(Orient2D(a, b, Point2(0.5, -1.0)), 0.0);  // right: cw
+  EXPECT_EQ(Orient2D(a, b, Point2(2.0, 0.0)), 0.0);   // collinear
+}
+
+TEST(SegmentTest, Length) {
+  Segment s(Point2(0.0, 0.0), Point2(3.0, 4.0));
+  EXPECT_EQ(s.Length(), 5.0);
+}
+
+TEST(SegmentTest, ProperCrossing) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  Segment t(Point2(0.0, 1.0), Point2(1.0, 0.0));
+  EXPECT_TRUE(s.IntersectsSegment(t));
+  EXPECT_TRUE(t.IntersectsSegment(s));
+}
+
+TEST(SegmentTest, DisjointSegments) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 0.0));
+  Segment t(Point2(0.0, 1.0), Point2(1.0, 1.0));
+  EXPECT_FALSE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, EndpointTouching) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 0.0));
+  Segment t(Point2(1.0, 0.0), Point2(2.0, 5.0));
+  EXPECT_TRUE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, TJunction) {
+  Segment s(Point2(0.0, 0.0), Point2(2.0, 0.0));
+  Segment t(Point2(1.0, 0.0), Point2(1.0, 3.0));
+  EXPECT_TRUE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, CollinearOverlap) {
+  Segment s(Point2(0.0, 0.0), Point2(2.0, 0.0));
+  Segment t(Point2(1.0, 0.0), Point2(3.0, 0.0));
+  EXPECT_TRUE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, CollinearDisjoint) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 0.0));
+  Segment t(Point2(2.0, 0.0), Point2(3.0, 0.0));
+  EXPECT_FALSE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, ParallelNonCollinear) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  Segment t(Point2(0.0, 0.5), Point2(1.0, 1.5));
+  EXPECT_FALSE(s.IntersectsSegment(t));
+}
+
+TEST(SegmentTest, BoxIntersectionEndpointInside) {
+  Box2 box = Box2::UnitCube();
+  Segment s(Point2(0.5, 0.5), Point2(5.0, 5.0));
+  EXPECT_TRUE(s.IntersectsBox(box));
+}
+
+TEST(SegmentTest, BoxIntersectionCrossingThrough) {
+  Box2 box = Box2::UnitCube();
+  Segment s(Point2(-1.0, 0.5), Point2(2.0, 0.5));
+  EXPECT_TRUE(s.IntersectsBox(box));
+}
+
+TEST(SegmentTest, BoxIntersectionMiss) {
+  Box2 box = Box2::UnitCube();
+  EXPECT_FALSE(
+      Segment(Point2(-1.0, -1.0), Point2(-0.2, 3.0)).IntersectsBox(box));
+  EXPECT_FALSE(
+      Segment(Point2(2.0, 0.0), Point2(3.0, 1.0)).IntersectsBox(box));
+}
+
+TEST(SegmentTest, BoxIntersectionGrazingCorner) {
+  Box2 box = Box2::UnitCube();
+  // Diagonal line touching the corner (1, 1) exactly (closed box).
+  Segment s(Point2(0.5, 1.5), Point2(1.5, 0.5));
+  EXPECT_TRUE(s.IntersectsBox(box));
+}
+
+TEST(SegmentTest, BoxIntersectionAlongEdge) {
+  Box2 box = Box2::UnitCube();
+  Segment s(Point2(-0.5, 0.0), Point2(1.5, 0.0));
+  EXPECT_TRUE(s.IntersectsBox(box));
+}
+
+TEST(SegmentTest, CrossingMatchesQuadrantDecomposition) {
+  // A segment crossing a box must intersect at least one quadrant, and
+  // the union of quadrant hits must equal a hit on the box (closed-box
+  // semantics make quadrant counts 1..4).
+  Box2 box = Box2::UnitCube();
+  Pcg32 rng(123);
+  for (int i = 0; i < 500; ++i) {
+    Segment s(Point2(rng.NextDouble(-1.0, 2.0), rng.NextDouble(-1.0, 2.0)),
+              Point2(rng.NextDouble(-1.0, 2.0), rng.NextDouble(-1.0, 2.0)));
+    int quadrant_hits = 0;
+    for (size_t q = 0; q < 4; ++q) {
+      if (s.IntersectsBox(box.Quadrant(q))) ++quadrant_hits;
+    }
+    if (s.IntersectsBox(box)) {
+      EXPECT_GE(quadrant_hits, 1) << s.ToString();
+    } else {
+      EXPECT_EQ(quadrant_hits, 0) << s.ToString();
+    }
+  }
+}
+
+TEST(SegmentTest, ToStringAndEquality) {
+  Segment s(Point2(0.0, 0.0), Point2(1.0, 2.0));
+  EXPECT_EQ(s.ToString(), "(0, 0)-(1, 2)");
+  EXPECT_EQ(s, Segment(Point2(0.0, 0.0), Point2(1.0, 2.0)));
+  EXPECT_NE(s, Segment(Point2(1.0, 2.0), Point2(0.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace popan::geo

@@ -1,0 +1,166 @@
+// Differential tests: every point structure in the library answers the
+// same queries over the same data identically (and identically to brute
+// force). A disagreement pinpoints a bug in exactly one structure, which
+// makes this suite a cheap, high-yield regression net.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/excell.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace popan {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+std::vector<Point2> SortedByCoords(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end(),
+            [](const Point2& a, const Point2& b) {
+              return std::make_pair(a.x(), a.y()) <
+                     std::make_pair(b.x(), b.y());
+            });
+  return points;
+}
+
+class CrossStructureTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Pcg32 rng(GetParam());
+    while (points_.size() < 500) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (std::find(points_.begin(), points_.end(), p) == points_.end()) {
+        points_.push_back(p);
+      }
+    }
+  }
+
+  std::vector<Point2> points_;
+};
+
+TEST_P(CrossStructureTest, AllStructuresAgreeOnMembershipAndRange) {
+  spatial::PrTreeOptions pr_options;
+  pr_options.capacity = 4;
+  spatial::PrQuadtree pr(Box2::UnitCube(), pr_options);
+  spatial::PointQuadtree pq;
+  spatial::GridFileOptions grid_options;
+  grid_options.bucket_capacity = 4;
+  spatial::GridFile grid(Box2::UnitCube(), grid_options);
+  spatial::ExcellOptions excell_options;
+  excell_options.bucket_capacity = 4;
+  spatial::Excell excell(Box2::UnitCube(), excell_options);
+
+  for (const Point2& p : points_) {
+    ASSERT_TRUE(pr.Insert(p).ok());
+    ASSERT_TRUE(pq.Insert(p).ok());
+    ASSERT_TRUE(grid.Insert(p).ok());
+    ASSERT_TRUE(excell.Insert(p).ok());
+  }
+  StatusOr<spatial::LinearPrQuadtree> linear =
+      spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points_,
+                                          pr_options);
+  ASSERT_TRUE(linear.ok());
+
+  // Membership: stored and novel points.
+  Pcg32 rng(GetParam() ^ 0x5555);
+  std::vector<Point2> probes = points_;
+  for (int i = 0; i < 200; ++i) {
+    probes.emplace_back(rng.NextDouble(), rng.NextDouble());
+  }
+  for (const Point2& p : probes) {
+    bool expected = std::find(points_.begin(), points_.end(), p) !=
+                    points_.end();
+    EXPECT_EQ(pr.Contains(p), expected);
+    EXPECT_EQ(pq.Contains(p), expected);
+    EXPECT_EQ(grid.Contains(p), expected);
+    EXPECT_EQ(excell.Contains(p), expected);
+    EXPECT_EQ(linear->Contains(p), expected);
+  }
+
+  // Range queries.
+  for (int trial = 0; trial < 15; ++trial) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    Box2 query(Point2(std::min(x0, x1), std::min(y0, y1)),
+               Point2(std::max(x0, x1), std::max(y0, y1)));
+    std::vector<Point2> expected;
+    for (const Point2& p : points_) {
+      if (query.Contains(p)) expected.push_back(p);
+    }
+    expected = SortedByCoords(std::move(expected));
+    EXPECT_EQ(SortedByCoords(pr.RangeQuery(query)), expected);
+    EXPECT_EQ(SortedByCoords(pq.RangeQuery(query)), expected);
+    EXPECT_EQ(SortedByCoords(grid.RangeQuery(query)), expected);
+    EXPECT_EQ(SortedByCoords(excell.RangeQuery(query)), expected);
+    EXPECT_EQ(SortedByCoords(linear->RangeQuery(query)), expected);
+  }
+}
+
+TEST_P(CrossStructureTest, NearestNeighbourAgreement) {
+  spatial::PrTreeOptions options;
+  options.capacity = 2;
+  spatial::PrQuadtree pr(Box2::UnitCube(), options);
+  spatial::PointQuadtree pq;
+  for (const Point2& p : points_) {
+    ASSERT_TRUE(pr.Insert(p).ok());
+    ASSERT_TRUE(pq.Insert(p).ok());
+  }
+  Pcg32 rng(GetParam() ^ 0x9999);
+  for (int trial = 0; trial < 25; ++trial) {
+    Point2 target(rng.NextDouble(), rng.NextDouble());
+    double a = pr.Nearest(target)->DistanceSquared(target);
+    double b = pq.Nearest(target)->DistanceSquared(target);
+    EXPECT_DOUBLE_EQ(a, b);
+    std::vector<Point2> k1 = pr.NearestK(target, 1);
+    ASSERT_EQ(k1.size(), 1u);
+    EXPECT_DOUBLE_EQ(k1[0].DistanceSquared(target), a);
+  }
+}
+
+TEST_P(CrossStructureTest, ErasureKeepsStructuresAligned) {
+  spatial::PrTreeOptions options;
+  options.capacity = 3;
+  spatial::PrQuadtree pr(Box2::UnitCube(), options);
+  spatial::GridFileOptions grid_options;
+  grid_options.bucket_capacity = 3;
+  spatial::GridFile grid(Box2::UnitCube(), grid_options);
+  spatial::ExcellOptions excell_options;
+  excell_options.bucket_capacity = 3;
+  spatial::Excell excell(Box2::UnitCube(), excell_options);
+  for (const Point2& p : points_) {
+    ASSERT_TRUE(pr.Insert(p).ok());
+    ASSERT_TRUE(grid.Insert(p).ok());
+    ASSERT_TRUE(excell.Insert(p).ok());
+  }
+  // Erase every third point from all three structures.
+  for (size_t i = 0; i < points_.size(); i += 3) {
+    ASSERT_TRUE(pr.Erase(points_[i]).ok());
+    ASSERT_TRUE(grid.Erase(points_[i]).ok());
+    ASSERT_TRUE(excell.Erase(points_[i]).ok());
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    bool expected = i % 3 != 0;
+    EXPECT_EQ(pr.Contains(points_[i]), expected);
+    EXPECT_EQ(grid.Contains(points_[i]), expected);
+    EXPECT_EQ(excell.Contains(points_[i]), expected);
+  }
+  EXPECT_TRUE(pr.CheckInvariants().ok());
+  EXPECT_TRUE(grid.CheckInvariants().ok());
+  EXPECT_TRUE(excell.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossStructureTest,
+                         testing::Values<uint64_t>(1, 2, 3, 4),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace popan

@@ -1,0 +1,208 @@
+// Randomized stress: long adversarial operation sequences against every
+// dynamic structure, with invariant checks and an oracle. Sizes are kept
+// moderate so the suite stays fast; the seeds sweep via TEST_P.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/mx_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "spatial/region_quadtree.h"
+#include "util/random.h"
+
+namespace popan {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+class StressTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressTest, PrTreeAdversarialClusters) {
+  // Clustered inserts force deep splits; interleaved erases force deep
+  // collapses; the tree must stay canonical throughout.
+  spatial::PrTreeOptions options;
+  options.capacity = 1 + GetParam() % 4;
+  spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  Pcg32 rng(GetParam());
+  std::vector<Point2> live;
+  for (int op = 0; op < 3000; ++op) {
+    uint32_t action = rng.NextBounded(10);
+    if (action < 6 || live.empty()) {
+      // Insert near an existing point half the time (tight clusters).
+      Point2 p = live.empty() || rng.NextBounded(2) == 0
+                     ? Point2(rng.NextDouble(), rng.NextDouble())
+                     : Point2(live[rng.NextBounded(static_cast<uint32_t>(
+                                  live.size()))][0] +
+                                  rng.NextDouble() * 1e-5,
+                              rng.NextDouble());
+      if (!tree.bounds().Contains(p)) continue;
+      if (tree.Insert(p).ok()) live.push_back(p);
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(tree.Erase(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (op % 300 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << op << ": " << tree.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(tree.size(), live.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Full membership audit at the end.
+  for (const Point2& p : live) {
+    ASSERT_TRUE(tree.Contains(p)) << p.ToString();
+  }
+}
+
+TEST_P(StressTest, ExtendibleHashSkewedKeys) {
+  // Keys with long shared prefixes push the directory deep; erases must
+  // walk it back down.
+  spatial::ExtendibleHashOptions options;
+  options.bucket_capacity = 2;
+  options.identity_hash = true;
+  // Cap the directory: keys below are distinguishable within their top 16
+  // bits, so depth 16 suffices and anything needing more is a legal
+  // ResourceExhausted refusal (not a gigabyte directory).
+  options.max_global_depth = 16;
+  spatial::ExtendibleHash table(options);
+  Pcg32 rng(GetParam() ^ 0xE);
+  std::set<uint64_t> reference;
+  for (int op = 0; op < 2000; ++op) {
+    // Cluster keys in the top bits to stress prefix splits; all entropy
+    // lives in bits 48..63 so the directory can always separate keys.
+    uint64_t key = (uint64_t{rng.NextBounded(4)} << 62) |
+                   (uint64_t{rng.NextBounded(16)} << 58) |
+                   (uint64_t{rng.NextBounded(1024)} << 48);
+    if (rng.NextBounded(2) == 0) {
+      bool was_new = reference.insert(key).second;
+      Status s = table.Insert(key);
+      if (s.code() == StatusCode::kResourceExhausted) {
+        reference.erase(key);  // legal refusal on colocated keys
+        continue;
+      }
+      ASSERT_EQ(s.ok(), was_new) << s.ToString();
+    } else {
+      bool existed = reference.erase(key) > 0;
+      ASSERT_EQ(table.Erase(key).ok(), existed);
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(table.CheckInvariants().ok())
+          << table.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+TEST_P(StressTest, GridFilePathologicalColumns) {
+  // All points on a handful of vertical lines: splits concentrate on one
+  // axis and buddy blocks stay skewed.
+  spatial::GridFileOptions options;
+  options.bucket_capacity = 2;
+  spatial::GridFile grid(Box2::UnitCube(), options);
+  Pcg32 rng(GetParam() ^ 0xF00);
+  std::vector<Point2> live;
+  double columns[4] = {0.125, 0.126, 0.875, 0.876};
+  for (int op = 0; op < 1200; ++op) {
+    if (rng.NextBounded(3) != 0 || live.empty()) {
+      Point2 p(columns[rng.NextBounded(4)], rng.NextDouble());
+      if (grid.Insert(p).ok()) live.push_back(p);
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(grid.Erase(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (op % 200 == 0) {
+      ASSERT_TRUE(grid.CheckInvariants().ok())
+          << grid.CheckInvariants().ToString();
+    }
+  }
+  for (const Point2& p : live) ASSERT_TRUE(grid.Contains(p));
+}
+
+TEST_P(StressTest, ExcellBoundaryPoints) {
+  // Points exactly on dyadic boundaries exercise the half-open cell
+  // arithmetic of the interleaved pseudokey.
+  spatial::ExcellOptions options;
+  options.bucket_capacity = 2;
+  spatial::Excell table(Box2::UnitCube(), options);
+  Pcg32 rng(GetParam() ^ 0xABC);
+  std::vector<Point2> live;
+  for (int op = 0; op < 1200; ++op) {
+    double grid = static_cast<double>(1 << (1 + rng.NextBounded(6)));
+    Point2 p(rng.NextBounded(static_cast<uint32_t>(grid)) / grid,
+             rng.NextBounded(static_cast<uint32_t>(grid)) / grid);
+    if (rng.NextBounded(3) != 0) {
+      Status s = table.Insert(p);
+      if (s.ok()) live.push_back(p);
+    } else if (!live.empty()) {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(table.Erase(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (op % 200 == 0) {
+      ASSERT_TRUE(table.CheckInvariants().ok())
+          << table.CheckInvariants().ToString();
+    }
+  }
+  for (const Point2& p : live) ASSERT_TRUE(table.Contains(p));
+}
+
+TEST_P(StressTest, MxAndRegionQuadtreesAsBitmaps) {
+  // The MX quadtree of occupied cells and the region quadtree of the same
+  // bitmap must agree cell for cell under random rectangle edits.
+  const size_t side = 32;
+  spatial::MxQuadtree mx(5);
+  spatial::RegionQuadtree region =
+      spatial::RegionQuadtree::Empty(side).value();
+  Pcg32 rng(GetParam() ^ 0xB1737);
+  for (int op = 0; op < 120; ++op) {
+    uint32_t x0 = rng.NextBounded(side), y0 = rng.NextBounded(side);
+    uint32_t w = 1 + rng.NextBounded(6), h = 1 + rng.NextBounded(6);
+    uint32_t x1 = std::min<uint32_t>(side, x0 + w);
+    uint32_t y1 = std::min<uint32_t>(side, y0 + h);
+    bool black = rng.NextBounded(3) != 0;
+    region.SetRect(x0, y0, x1, y1, black);
+    for (uint32_t y = y0; y < y1; ++y) {
+      for (uint32_t x = x0; x < x1; ++x) {
+        if (black) {
+          mx.Insert(x, y).ok();  // AlreadyExists is fine
+        } else {
+          mx.Erase(x, y).ok();  // NotFound is fine
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(mx.CheckInvariants().ok());
+  ASSERT_TRUE(region.CheckInvariants().ok());
+  uint64_t mx_count = 0;
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      ASSERT_EQ(mx.Contains(x, y), region.At(x, y))
+          << "(" << x << "," << y << ")";
+      if (mx.Contains(x, y)) ++mx_count;
+    }
+  }
+  EXPECT_EQ(mx_count, region.Area());
+  EXPECT_EQ(mx_count, mx.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         testing::Values<uint64_t>(11, 22, 33),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace popan

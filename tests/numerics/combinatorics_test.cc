@@ -1,0 +1,133 @@
+#include "numerics/combinatorics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+TEST(BinomialExactTest, SmallValues) {
+  EXPECT_EQ(BinomialExact(0, 0).value(), 1);
+  EXPECT_EQ(BinomialExact(5, 0).value(), 1);
+  EXPECT_EQ(BinomialExact(5, 5).value(), 1);
+  EXPECT_EQ(BinomialExact(5, 2).value(), 10);
+  EXPECT_EQ(BinomialExact(10, 3).value(), 120);
+  EXPECT_EQ(BinomialExact(52, 5).value(), 2598960);
+}
+
+TEST(BinomialExactTest, SymmetryProperty) {
+  for (int n = 0; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(BinomialExact(n, k).value(), BinomialExact(n, n - k).value())
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialExactTest, PascalIdentity) {
+  for (int n = 1; n <= 40; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(BinomialExact(n, k).value(),
+                BinomialExact(n - 1, k - 1).value() +
+                    BinomialExact(n - 1, k).value());
+    }
+  }
+}
+
+TEST(BinomialExactTest, LargestSafeValue) {
+  // C(66, 33) fits in int64; C(67, 33) does not.
+  EXPECT_TRUE(BinomialExact(66, 33).ok());
+  StatusOr<int64_t> overflow = BinomialExact(67, 33);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kNumericError);
+}
+
+TEST(BinomialExactTest, InvalidArguments) {
+  EXPECT_FALSE(BinomialExact(-1, 0).ok());
+  EXPECT_FALSE(BinomialExact(3, -1).ok());
+  EXPECT_FALSE(BinomialExact(3, 4).ok());
+}
+
+TEST(BinomialTest, MatchesExactInSmallRange) {
+  for (int n = 0; n <= 40; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k),
+                static_cast<double>(BinomialExact(n, k).value()));
+    }
+  }
+}
+
+TEST(BinomialTest, OutOfRangeIsZero) {
+  EXPECT_EQ(Binomial(5, -1), 0.0);
+  EXPECT_EQ(Binomial(5, 6), 0.0);
+}
+
+TEST(BinomialTest, LargeArgumentsViaLgamma) {
+  // C(100, 50) ~ 1.00891e29.
+  EXPECT_NEAR(Binomial(100, 50) / 1.0089134454556417e29, 1.0, 1e-10);
+}
+
+TEST(LogBinomialTest, MatchesLogOfExact) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      double expected =
+          std::log(static_cast<double>(BinomialExact(n, k).value()));
+      EXPECT_NEAR(LogBinomial(n, k), expected, 1e-10);
+    }
+  }
+}
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0), 1.0);
+  EXPECT_EQ(Factorial(1), 1.0);
+  EXPECT_EQ(Factorial(5), 120.0);
+  EXPECT_EQ(Factorial(10), 3628800.0);
+}
+
+TEST(BinomialBucketProbabilityTest, SumsToOne) {
+  for (int n : {1, 2, 5, 9, 33}) {
+    for (int buckets : {2, 4, 8}) {
+      double total = 0.0;
+      for (int i = 0; i <= n; ++i) {
+        total += BinomialBucketProbability(n, i, buckets);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n << " c=" << buckets;
+    }
+  }
+}
+
+TEST(BinomialBucketProbabilityTest, MatchesPaperQuadrantCase) {
+  // m+1 = 2 points into 4 buckets: P(bucket holds both) = 1/16,
+  // P(exactly one) = 2 * (1/4)(3/4) = 3/8, P(none) = 9/16.
+  EXPECT_NEAR(BinomialBucketProbability(2, 2, 4), 1.0 / 16.0, 1e-15);
+  EXPECT_NEAR(BinomialBucketProbability(2, 1, 4), 6.0 / 16.0, 1e-15);
+  EXPECT_NEAR(BinomialBucketProbability(2, 0, 4), 9.0 / 16.0, 1e-15);
+}
+
+TEST(BinomialBucketProbabilityTest, MeanIsNOverC) {
+  const int n = 12, c = 4;
+  double mean = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    mean += i * BinomialBucketProbability(n, i, c);
+  }
+  EXPECT_NEAR(mean, static_cast<double>(n) / c, 1e-12);
+}
+
+TEST(BinomialBucketProbabilityTest, OutOfRangeIsZero) {
+  EXPECT_EQ(BinomialBucketProbability(3, 4, 4), 0.0);
+  EXPECT_EQ(BinomialBucketProbability(3, -1, 4), 0.0);
+}
+
+TEST(PowIntTest, SmallPowers) {
+  EXPECT_EQ(PowInt(2, 0), 1);
+  EXPECT_EQ(PowInt(2, 10), 1024);
+  EXPECT_EQ(PowInt(4, 5), 1024);
+  EXPECT_EQ(PowInt(3, 4), 81);
+  EXPECT_EQ(PowInt(-2, 3), -8);
+  EXPECT_EQ(PowInt(0, 3), 0);
+  EXPECT_EQ(PowInt(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace popan::num

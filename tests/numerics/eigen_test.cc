@@ -1,0 +1,143 @@
+#include "numerics/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+TEST(PowerIterationTest, DiagonalMatrix) {
+  Matrix a{{3.0, 0.0}, {0.0, 1.0}};
+  StatusOr<EigenPair> pair = PowerIteration(a);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->value, 3.0, 1e-10);
+  EXPECT_NEAR(std::abs(pair->vector[0]), 1.0, 1e-8);
+  EXPECT_NEAR(pair->vector[1], 0.0, 1e-6);
+}
+
+TEST(PowerIterationTest, SymmetricMatrix) {
+  // Eigenvalues 3 and 1, dominant eigenvector (1, 1)/sqrt(2).
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  StatusOr<EigenPair> pair = PowerIteration(a);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->value, 3.0, 1e-10);
+  EXPECT_NEAR(pair->vector[0], 1.0 / std::sqrt(2.0), 1e-7);
+  EXPECT_NEAR(pair->vector[1], 1.0 / std::sqrt(2.0), 1e-7);
+}
+
+TEST(PowerIterationTest, NegativeDominantEigenvalue) {
+  Matrix a{{-5.0, 0.0}, {0.0, 2.0}};
+  StatusOr<EigenPair> pair = PowerIteration(a);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->value, -5.0, 1e-9);
+}
+
+TEST(PowerIterationTest, ResidualIsSmall) {
+  Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  StatusOr<EigenPair> pair = PowerIteration(a);
+  ASSERT_TRUE(pair.ok());
+  Vector residual = a.Apply(pair->vector) - pair->vector * pair->value;
+  EXPECT_LT(residual.NormInf(), 1e-8);
+}
+
+TEST(PowerIterationTest, StochasticMatrixHasEigenvalueOne) {
+  // Row-stochastic: dominant eigenvalue 1 with the all-ones right vector.
+  Matrix a{{0.9, 0.1}, {0.4, 0.6}};
+  StatusOr<EigenPair> pair = PowerIteration(a);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->value, 1.0, 1e-10);
+}
+
+TEST(PowerIterationTest, ZeroMatrixConverges) {
+  StatusOr<EigenPair> pair = PowerIteration(Matrix(3, 3));
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->value, 0.0);
+}
+
+TEST(PowerIterationTest, NonSquareRejected) {
+  StatusOr<EigenPair> pair = PowerIteration(Matrix(2, 3));
+  ASSERT_FALSE(pair.ok());
+  EXPECT_EQ(pair.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PowerIterationTest, TiedModulusDoesNotConverge) {
+  // Eigenvalues +1 and -1: the iteration oscillates; the solver must
+  // report failure rather than a wrong answer.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  PowerIterationOptions options;
+  options.max_iterations = 500;
+  StatusOr<EigenPair> pair = PowerIteration(a, options);
+  // Either NotConverged, or it converged onto one of the two genuine
+  // eigenvalues (the start vector could be an exact eigenvector).
+  if (pair.ok()) {
+    EXPECT_NEAR(std::abs(pair->value), 1.0, 1e-8);
+  } else {
+    EXPECT_EQ(pair.status().code(), StatusCode::kNotConverged);
+  }
+}
+
+TEST(ShiftedPowerIterationTest, FindsSubdominantViaShift) {
+  // Eigenvalues 3 and 1; shifting by 3 makes them 0 and -2, so the
+  // shifted dominant is -2 -> original 1.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  StatusOr<EigenPair> pair = ShiftedPowerIteration(a, 3.0);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->value, 1.0, 1e-9);
+}
+
+TEST(SpectralRadiusTest, MatchesPowerIterationOnRealDominant) {
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  StatusOr<double> radius = SpectralRadius(a);
+  ASSERT_TRUE(radius.ok());
+  EXPECT_NEAR(radius.value(), 3.0, 1e-6);
+}
+
+TEST(SpectralRadiusTest, HandlesComplexDominantPair) {
+  // Scaled rotation: eigenvalues +-0.7i, radius 0.7. Power iteration
+  // cannot converge here; the radius estimator must.
+  Matrix a{{0.0, -0.7}, {0.7, 0.0}};
+  StatusOr<double> radius = SpectralRadius(a);
+  ASSERT_TRUE(radius.ok());
+  EXPECT_NEAR(radius.value(), 0.7, 1e-6);
+}
+
+TEST(SpectralRadiusTest, RotationPlusContraction) {
+  // Block diag of 0.5 I and a 0.9-modulus rotation: radius 0.9.
+  Matrix a{{0.5, 0.0, 0.0},
+           {0.0, 0.9 * std::cos(1.0), -0.9 * std::sin(1.0)},
+           {0.0, 0.9 * std::sin(1.0), 0.9 * std::cos(1.0)}};
+  StatusOr<double> radius = SpectralRadius(a);
+  ASSERT_TRUE(radius.ok());
+  EXPECT_NEAR(radius.value(), 0.9, 1e-5);
+}
+
+TEST(SpectralRadiusTest, ZeroAndNilpotent) {
+  StatusOr<double> zero = SpectralRadius(Matrix(3, 3));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero.value(), 0.0);
+  // Nilpotent: [[0,1],[0,0]] has radius 0; iterates die after one step.
+  Matrix nilpotent{{0.0, 1.0}, {0.0, 0.0}};
+  StatusOr<double> nil = SpectralRadius(nilpotent);
+  ASSERT_TRUE(nil.ok());
+  EXPECT_EQ(nil.value(), 0.0);
+}
+
+TEST(SpectralRadiusTest, NonSquareRejected) {
+  EXPECT_FALSE(SpectralRadius(Matrix(2, 3)).ok());
+}
+
+TEST(DeflateOnceTest, RemovesDominantPair) {
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  StatusOr<EigenPair> dominant = PowerIteration(a);
+  ASSERT_TRUE(dominant.ok());
+  // Symmetric: left == right eigenvector.
+  Matrix deflated =
+      DeflateOnce(a, dominant->value, dominant->vector, dominant->vector);
+  StatusOr<EigenPair> second = PowerIteration(deflated);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second->value, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace popan::num

@@ -1,0 +1,117 @@
+#include "numerics/fixed_point.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numerics/matrix.h"
+
+namespace popan::num {
+namespace {
+
+TEST(FixedPointTest, ConvergesToCosineFixedPoint) {
+  // x = cos(x) has the classic attracting fixed point ~0.7390851.
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{std::cos(x[0])}; }, Vector{0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], 0.7390851332151607, 1e-10);
+  EXPECT_LE(result->delta, 1e-14);
+}
+
+TEST(FixedPointTest, IdentityMapConvergesImmediately) {
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return x; }, Vector{1.0, 2.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 1);
+  EXPECT_EQ(result->solution, (Vector{1.0, 2.0}));
+}
+
+TEST(FixedPointTest, LinearContractionInTwoDimensions) {
+  // G(x) = A x + b with ||A|| < 1 converges to (I - A)^-1 b.
+  Matrix a{{0.5, 0.1}, {0.0, 0.25}};
+  Vector b{1.0, 3.0};
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [&](const Vector& x) { return a.Apply(x) + b; }, Vector{0.0, 0.0});
+  ASSERT_TRUE(result.ok());
+  // Solve (I - A) x = b by hand: x2 = 3/0.75 = 4; x1 = (1 + 0.4)/0.5 = 2.8.
+  EXPECT_NEAR(result->solution[1], 4.0, 1e-10);
+  EXPECT_NEAR(result->solution[0], 2.8, 1e-10);
+}
+
+TEST(FixedPointTest, DivergentMapHitsIterationBudget) {
+  FixedPointOptions options;
+  options.max_iterations = 50;
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{2.0 * x[0] + 1.0}; }, Vector{1.0},
+      options);
+  ASSERT_FALSE(result.ok());
+  // Either fails to converge or blows up to non-finite values; both are
+  // acceptable, crash is not.
+  EXPECT_TRUE(result.status().code() == StatusCode::kNotConverged ||
+              result.status().code() == StatusCode::kNumericError);
+}
+
+TEST(FixedPointTest, NonFiniteIterateIsNumericError) {
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{x[0] * 1e308 * 1e308}; },
+      Vector{1.0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericError);
+}
+
+TEST(FixedPointTest, MisSizedIterateIsNumericError) {
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector&) { return Vector{1.0, 2.0}; }, Vector{1.0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericError);
+}
+
+TEST(FixedPointTest, DampingStillFindsFixedPoint) {
+  FixedPointOptions options;
+  options.damping = 0.5;
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{std::cos(x[0])}; }, Vector{0.0},
+      options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPointTest, DampingCanConvergeWhereUndampedOscillates) {
+  // G(x) = -x oscillates forever undamped; damping 0.5 contracts to 0.
+  FixedPointOptions options;
+  options.damping = 0.5;
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{-x[0]}; }, Vector{1.0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], 0.0, 1e-12);
+}
+
+TEST(FixedPointTest, InvalidDampingRejected) {
+  FixedPointOptions options;
+  options.damping = 0.0;
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return x; }, Vector{1.0}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  options.damping = 1.5;
+  result = FixedPointIterate([](const Vector& x) { return x; }, Vector{1.0},
+                             options);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(FixedPointTest, ToleranceControlsPrecision) {
+  FixedPointOptions loose;
+  loose.tolerance = 1e-3;
+  StatusOr<FixedPointResult> result = FixedPointIterate(
+      [](const Vector& x) { return Vector{std::cos(x[0])}; }, Vector{0.0},
+      loose);
+  ASSERT_TRUE(result.ok());
+  StatusOr<FixedPointResult> tight = FixedPointIterate(
+      [](const Vector& x) { return Vector{std::cos(x[0])}; }, Vector{0.0});
+  ASSERT_TRUE(tight.ok());
+  EXPECT_LT(result->iterations, tight->iterations);
+}
+
+}  // namespace
+}  // namespace popan::num

@@ -1,0 +1,118 @@
+#include "numerics/lu.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::num {
+namespace {
+
+TEST(LuTest, SolvesDiagonalSystem) {
+  Matrix a{{2.0, 0.0}, {0.0, 4.0}};
+  StatusOr<Vector> x = SolveLinearSystem(a, Vector{2.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-14);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-14);
+}
+
+TEST(LuTest, Solves2x2) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  // Solution of A x = (5, 11) is (1, 2).
+  StatusOr<Vector> x = SolveLinearSystem(a, Vector{5.0, 11.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  StatusOr<Vector> x = SolveLinearSystem(a, Vector{3.0, 7.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 7.0, 1e-14);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-14);
+}
+
+TEST(LuTest, SingularMatrixReportsNumericError) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kNumericError);
+}
+
+TEST(LuTest, NonSquareRejected) {
+  Matrix a(2, 3);
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantTracksPermutationSign) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantOfIdentity) {
+  StatusOr<LuDecomposition> lu =
+      LuDecomposition::Factor(Matrix::Identity(5));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 1.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Matrix a{{4.0, 7.0, 2.0}, {3.0, 5.0, 1.0}, {8.0, 1.0, 6.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Matrix prod = a * lu->Inverse();
+  EXPECT_LT(prod.MaxAbsDiff(Matrix::Identity(3)), 1e-12);
+}
+
+TEST(LuTest, MatrixRightHandSide) {
+  Matrix a{{2.0, 0.0}, {0.0, 5.0}};
+  Matrix b{{2.0, 4.0}, {5.0, 10.0}};
+  StatusOr<LuDecomposition> lu = LuDecomposition::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  Matrix x = lu->Solve(b);
+  EXPECT_LT(x.MaxAbsDiff(Matrix{{1.0, 2.0}, {1.0, 2.0}}), 1e-13);
+}
+
+TEST(LuTest, RandomSystemsRoundTrip) {
+  Pcg32 rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(12);
+    Matrix a(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        a.At(r, c) = rng.NextDouble(-1.0, 1.0);
+      }
+      a.At(r, r) += 2.0;  // keep well conditioned
+    }
+    Vector x_true(n);
+    for (size_t i = 0; i < n; ++i) x_true[i] = rng.NextDouble(-5.0, 5.0);
+    Vector b = a.Apply(x_true);
+    StatusOr<Vector> x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LT(x->MaxAbsDiff(x_true), 1e-9);
+  }
+}
+
+TEST(LuTest, SolveRejectsWrongSizeRhs) {
+  StatusOr<LuDecomposition> lu =
+      LuDecomposition::Factor(Matrix::Identity(3));
+  ASSERT_TRUE(lu.ok());
+  EXPECT_DEATH(lu->Solve(Vector{1.0, 2.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace popan::num

@@ -1,0 +1,143 @@
+#include "numerics/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, SizedConstructorZeroFills) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.At(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, NestedInitializer) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerDies) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  EXPECT_EQ(m, (Matrix{{1.0, 2.0}, {3.0, 4.0}}));
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.Col(0), (Vector{1.0, 3.0}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2);
+  m.SetRow(0, Vector{5.0, 6.0});
+  EXPECT_EQ(m.Row(0), (Vector{5.0, 6.0}));
+}
+
+TEST(MatrixTest, SetRowWrongSizeDies) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.SetRow(0, Vector{1.0}), "CHECK failed");
+}
+
+TEST(MatrixTest, RowSum) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.RowSum(0), 3.0);
+  EXPECT_EQ(m.RowSum(1), 7.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.At(2, 1), 6.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix b{{0.0, 2.0}, {3.0, 0.0}};
+  EXPECT_EQ(a + b, (Matrix{{1.0, 2.0}, {3.0, 1.0}}));
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ(a * 3.0, (Matrix{{3.0, 0.0}, {0.0, 3.0}}));
+  EXPECT_EQ(2.0 * b, (Matrix{{0.0, 4.0}, {6.0, 0.0}}));
+}
+
+TEST(MatrixTest, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_EQ(a * b, (Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+}
+
+TEST(MatrixTest, ProductWithIdentity) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::Identity(2), a);
+  EXPECT_EQ(Matrix::Identity(2) * a, a);
+}
+
+TEST(MatrixTest, ProductDimensionMismatchDies) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_DEATH(a * b, "CHECK failed");
+}
+
+TEST(MatrixTest, RectangularProduct) {
+  Matrix a{{1.0, 2.0, 3.0}};        // 1x3
+  Matrix b{{1.0}, {2.0}, {3.0}};    // 3x1
+  Matrix ab = a * b;                // 1x1 = 14
+  EXPECT_EQ(ab.rows(), 1u);
+  EXPECT_EQ(ab.At(0, 0), 14.0);
+}
+
+TEST(MatrixTest, Apply) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.Apply(Vector{1.0, 1.0}), (Vector{3.0, 7.0}));
+}
+
+TEST(MatrixTest, ApplyLeft) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  // (1,1) M = columns sums = (4, 6)
+  EXPECT_EQ(m.ApplyLeft(Vector{1.0, 1.0}), (Vector{4.0, 6.0}));
+}
+
+TEST(MatrixTest, ApplyLeftMatchesTransposeApply) {
+  Matrix m{{1.0, 2.0, 0.5}, {3.0, 4.0, -1.0}, {0.0, 1.0, 2.0}};
+  Vector v{0.2, 0.3, 0.5};
+  EXPECT_EQ(m.ApplyLeft(v), m.Transposed().Apply(v));
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.5, 1.0}};
+  EXPECT_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(MatrixTest, ToString) {
+  Matrix m{{1.0, 2.0}};
+  EXPECT_EQ(m.ToString(1), "[1.0, 2.0]");
+}
+
+}  // namespace
+}  // namespace popan::num

@@ -1,0 +1,126 @@
+#include "numerics/newton.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+// F(x) = x^2 - 2 in 1-D; root sqrt(2).
+Vector Sqrt2Residual(const Vector& x) { return Vector{x[0] * x[0] - 2.0}; }
+Matrix Sqrt2Jacobian(const Vector& x) { return Matrix{{2.0 * x[0]}}; }
+
+TEST(NewtonTest, Scalar) {
+  StatusOr<NewtonResult> result =
+      NewtonSolve(Sqrt2Residual, Sqrt2Jacobian, Vector{1.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], std::sqrt(2.0), 1e-12);
+  EXPECT_LE(result->residual, 1e-12);
+  EXPECT_LT(result->iterations, 10);
+}
+
+TEST(NewtonTest, ScalarNumericJacobian) {
+  StatusOr<NewtonResult> result =
+      NewtonSolveNumericJacobian(Sqrt2Residual, Vector{1.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], std::sqrt(2.0), 1e-10);
+}
+
+// 2-D system: x^2 + y^2 = 4, x = y; positive root (sqrt(2), sqrt(2)).
+Vector CircleLineResidual(const Vector& v) {
+  return Vector{v[0] * v[0] + v[1] * v[1] - 4.0, v[0] - v[1]};
+}
+Matrix CircleLineJacobian(const Vector& v) {
+  return Matrix{{2.0 * v[0], 2.0 * v[1]}, {1.0, -1.0}};
+}
+
+TEST(NewtonTest, TwoDimensionalSystem) {
+  StatusOr<NewtonResult> result =
+      NewtonSolve(CircleLineResidual, CircleLineJacobian, Vector{1.0, 2.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(result->solution[1], std::sqrt(2.0), 1e-10);
+}
+
+TEST(NewtonTest, QuadraticConvergenceIsFast) {
+  StatusOr<NewtonResult> result =
+      NewtonSolve(CircleLineResidual, CircleLineJacobian, Vector{1.0, 2.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations, 8);
+}
+
+TEST(NewtonTest, AlreadyAtRootTakesZeroIterations) {
+  StatusOr<NewtonResult> result = NewtonSolve(
+      Sqrt2Residual, Sqrt2Jacobian, Vector{std::sqrt(2.0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations, 0);
+}
+
+TEST(NewtonTest, SingularJacobianReported) {
+  // F(x) = x^2 starting at 0: J = 0.
+  auto f = [](const Vector& x) { return Vector{x[0] * x[0]}; };
+  auto j = [](const Vector& x) { return Matrix{{2.0 * x[0]}}; };
+  StatusOr<NewtonResult> result = NewtonSolve(f, j, Vector{0.0});
+  // x=0 IS the root, so this should actually succeed with residual 0.
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->solution[0], 0.0);
+
+  // Start away from the root with a Jacobian that is always singular.
+  auto jbad = [](const Vector&) { return Matrix{{0.0}}; };
+  StatusOr<NewtonResult> failure = NewtonSolve(f, jbad, Vector{1.0});
+  ASSERT_FALSE(failure.ok());
+  EXPECT_EQ(failure.status().code(), StatusCode::kNumericError);
+}
+
+TEST(NewtonTest, IterationBudgetExhaustedReportsNotConverged) {
+  // F(x) = exp(x) + 1 has no root; the solver must give up cleanly with
+  // either NotConverged (budget) or NumericError (the Jacobian exp(x)
+  // underflows to singular as x races toward -inf) — never a crash or a
+  // bogus success.
+  auto f = [](const Vector& x) { return Vector{std::exp(x[0]) + 1.0}; };
+  NewtonOptions options;
+  options.max_iterations = 5;
+  StatusOr<NewtonResult> result =
+      NewtonSolveNumericJacobian(f, Vector{0.0}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().code() == StatusCode::kNotConverged ||
+              result.status().code() == StatusCode::kNumericError)
+      << result.status().ToString();
+}
+
+TEST(NewtonTest, BacktrackingHandlesOvershoot) {
+  // atan has a famous Newton overshoot for |x0| > ~1.39; damping fixes it.
+  auto f = [](const Vector& x) { return Vector{std::atan(x[0])}; };
+  auto j = [](const Vector& x) {
+    return Matrix{{1.0 / (1.0 + x[0] * x[0])}};
+  };
+  StatusOr<NewtonResult> result = NewtonSolve(f, j, Vector{3.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->solution[0], 0.0, 1e-10);
+}
+
+TEST(NumericJacobianTest, MatchesAnalyticOnSmoothSystem) {
+  Vector x{1.3, -0.4};
+  Matrix numeric = NumericJacobian(CircleLineResidual, x, 1e-7);
+  Matrix analytic = CircleLineJacobian(x);
+  EXPECT_LT(numeric.MaxAbsDiff(analytic), 1e-5);
+}
+
+TEST(NumericJacobianTest, ScalesStepWithMagnitude) {
+  // At large coordinates a fixed absolute step would lose all precision;
+  // verify the derivative of x -> x^2 at x = 1e6 is accurate.
+  auto f = [](const Vector& x) { return Vector{x[0] * x[0]}; };
+  Matrix jac = NumericJacobian(f, Vector{1e6}, 1e-7);
+  EXPECT_NEAR(jac.At(0, 0) / 2e6, 1.0, 1e-5);
+}
+
+TEST(NewtonTest, FunctionEvalsAreCounted) {
+  StatusOr<NewtonResult> result =
+      NewtonSolve(Sqrt2Residual, Sqrt2Jacobian, Vector{1.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->function_evals, result->iterations);
+}
+
+}  // namespace
+}  // namespace popan::num

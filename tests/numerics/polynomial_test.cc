@@ -1,0 +1,127 @@
+#include "numerics/polynomial.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+TEST(PolynomialTest, ZeroPolynomial) {
+  Polynomial p;
+  EXPECT_EQ(p.Degree(), -1);
+  EXPECT_EQ(p.Evaluate(3.0), 0.0);
+  EXPECT_EQ(p.ToString(), "0");
+}
+
+TEST(PolynomialTest, TrailingZerosTrimmed) {
+  Polynomial p({1.0, 2.0, 0.0, 0.0});
+  EXPECT_EQ(p.Degree(), 1);
+}
+
+TEST(PolynomialTest, HornerEvaluation) {
+  // p(x) = 2 - 3x + x^2; p(5) = 2 - 15 + 25 = 12.
+  Polynomial p({2.0, -3.0, 1.0});
+  EXPECT_EQ(p.Evaluate(5.0), 12.0);
+  EXPECT_EQ(p.Evaluate(0.0), 2.0);
+  EXPECT_EQ(p.Evaluate(1.0), 0.0);
+  EXPECT_EQ(p.Evaluate(2.0), 0.0);
+}
+
+TEST(PolynomialTest, Derivative) {
+  Polynomial p({2.0, -3.0, 1.0});
+  Polynomial d = p.Derivative();
+  EXPECT_EQ(d.Degree(), 1);
+  EXPECT_EQ(d.Evaluate(0.0), -3.0);
+  EXPECT_EQ(d.Evaluate(1.0), -1.0);
+  EXPECT_EQ(Polynomial({5.0}).Derivative().Degree(), -1);
+}
+
+TEST(PolynomialTest, Arithmetic) {
+  Polynomial a({1.0, 1.0});        // 1 + x
+  Polynomial b({0.0, 0.0, 1.0});   // x^2
+  Polynomial sum = a + b;
+  EXPECT_EQ(sum.Evaluate(2.0), 7.0);
+  Polynomial diff = b - a;
+  EXPECT_EQ(diff.Evaluate(2.0), 1.0);
+  Polynomial prod = a * a;  // 1 + 2x + x^2
+  EXPECT_EQ(prod.Degree(), 2);
+  EXPECT_EQ(prod.Evaluate(3.0), 16.0);
+}
+
+TEST(PolynomialTest, SubtractionCancelsDegree) {
+  Polynomial a({0.0, 0.0, 1.0});
+  Polynomial b({1.0, 0.0, 1.0});
+  EXPECT_EQ((a - b).Degree(), 0);
+}
+
+TEST(PolynomialTest, MultiplyByZero) {
+  Polynomial a({1.0, 2.0});
+  Polynomial zero;
+  EXPECT_EQ((a * zero).Degree(), -1);
+}
+
+TEST(PolynomialTest, RootInBracket) {
+  Polynomial p({-2.0, 0.0, 1.0});  // x^2 - 2
+  StatusOr<double> root = p.RootInBracket(0.0, 2.0);
+  ASSERT_TRUE(root.ok());
+  EXPECT_NEAR(root.value(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PolynomialTest, RootAtBracketEndpoints) {
+  Polynomial p({0.0, 1.0});  // x
+  EXPECT_EQ(p.RootInBracket(0.0, 1.0).value(), 0.0);
+  EXPECT_EQ(p.RootInBracket(-1.0, 0.0).value(), 0.0);
+}
+
+TEST(PolynomialTest, NoSignChangeRejected) {
+  Polynomial p({1.0, 0.0, 1.0});  // x^2 + 1
+  StatusOr<double> root = p.RootInBracket(-5.0, 5.0);
+  ASSERT_FALSE(root.ok());
+  EXPECT_EQ(root.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolynomialTest, AllRealRootsOfCubic) {
+  // (x + 1) x (x - 2) = x^3 - x^2 - 2x.
+  Polynomial p({0.0, -2.0, -1.0, 1.0});
+  std::vector<double> roots = p.RealRootsInInterval(-10.0, 10.0);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], -1.0, 1e-9);
+  EXPECT_NEAR(roots[1], 0.0, 1e-9);
+  EXPECT_NEAR(roots[2], 2.0, 1e-9);
+}
+
+TEST(PolynomialTest, RootsOfPaperM1Quadratic) {
+  // The m=1 steady-state balance for fanout c: c e^2 - 2c e + (c-1) = 0.
+  // For c = 4: roots 1 ± 1/2; only 1/2 lies in (0, 1).
+  Polynomial p({3.0, -8.0, 4.0});
+  std::vector<double> roots = p.RealRootsInInterval(0.0, 1.0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_NEAR(roots[0], 0.5, 1e-12);
+}
+
+TEST(PolynomialTest, NoRootsInInterval) {
+  Polynomial p({1.0, 0.0, 1.0});
+  EXPECT_TRUE(p.RealRootsInInterval(-3.0, 3.0).empty());
+}
+
+TEST(PolynomialTest, QuarticWithFourRoots) {
+  // (x^2 - 1)(x^2 - 4) = x^4 - 5x^2 + 4.
+  Polynomial p({4.0, 0.0, -5.0, 0.0, 1.0});
+  std::vector<double> roots = p.RealRootsInInterval(-3.0, 3.0);
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_NEAR(roots[0], -2.0, 1e-9);
+  EXPECT_NEAR(roots[1], -1.0, 1e-9);
+  EXPECT_NEAR(roots[2], 1.0, 1e-9);
+  EXPECT_NEAR(roots[3], 2.0, 1e-9);
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  Polynomial p({1.0, -2.0, 3.0});
+  EXPECT_EQ(p.ToString(), "1 - 2 x + 3 x^2");
+  EXPECT_EQ(Polynomial({0.0, 1.0}).ToString(), "x");
+  EXPECT_EQ(Polynomial({0.0, -1.0}).ToString(), "-x");
+}
+
+}  // namespace
+}  // namespace popan::num

@@ -1,0 +1,135 @@
+#include "numerics/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace popan::num {
+namespace {
+
+TEST(VectorTest, DefaultIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(VectorTest, SizedConstructorZeroFills) {
+  Vector v(3);
+  EXPECT_EQ(v.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(VectorTest, FillConstructor) {
+  Vector v(4, 2.5);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 2.5);
+}
+
+TEST(VectorTest, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(VectorTest, ElementAssignment) {
+  Vector v(2);
+  v[1] = 9.0;
+  EXPECT_EQ(v[1], 9.0);
+}
+
+TEST(VectorTest, AdditionSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{10.0, 20.0};
+  Vector sum = a + b;
+  Vector diff = b - a;
+  EXPECT_EQ(sum, (Vector{11.0, 22.0}));
+  EXPECT_EQ(diff, (Vector{9.0, 18.0}));
+}
+
+TEST(VectorTest, MismatchedSizesDie) {
+  Vector a{1.0};
+  Vector b{1.0, 2.0};
+  EXPECT_DEATH(a += b, "CHECK failed");
+  EXPECT_DEATH(a.Dot(b), "CHECK failed");
+}
+
+TEST(VectorTest, ScalarOps) {
+  Vector v{2.0, -4.0};
+  EXPECT_EQ(v * 0.5, (Vector{1.0, -2.0}));
+  EXPECT_EQ(0.5 * v, (Vector{1.0, -2.0}));
+  EXPECT_EQ(v / 2.0, (Vector{1.0, -2.0}));
+}
+
+TEST(VectorTest, DivisionByZeroDies) {
+  Vector v{1.0};
+  EXPECT_DEATH(v /= 0.0, "CHECK failed");
+}
+
+TEST(VectorTest, DotProduct) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_EQ(a.Dot(b), 32.0);
+}
+
+TEST(VectorTest, SumAndNorms) {
+  Vector v{3.0, -4.0};
+  EXPECT_EQ(v.Sum(), -1.0);
+  EXPECT_EQ(v.NormL1(), 7.0);
+  EXPECT_EQ(v.NormL2(), 5.0);
+  EXPECT_EQ(v.NormInf(), 4.0);
+}
+
+TEST(VectorTest, Positivity) {
+  EXPECT_TRUE((Vector{0.1, 2.0}).AllPositive());
+  EXPECT_FALSE((Vector{0.1, 0.0}).AllPositive());
+  EXPECT_FALSE((Vector{0.1, -0.1}).AllPositive());
+  EXPECT_TRUE((Vector{0.0, 1.0}).AllNonNegative());
+  EXPECT_FALSE((Vector{-1e-3, 1.0}).AllNonNegative());
+  EXPECT_TRUE((Vector{-1e-3, 1.0}).AllNonNegative(1e-2));
+}
+
+TEST(VectorTest, AllPositiveRejectsNan) {
+  Vector v{1.0, std::nan("")};
+  EXPECT_FALSE(v.AllPositive());
+}
+
+TEST(VectorTest, Normalized) {
+  Vector v{1.0, 3.0};
+  Vector n = v.Normalized();
+  EXPECT_DOUBLE_EQ(n.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+  EXPECT_DOUBLE_EQ(n[1], 0.75);
+}
+
+TEST(VectorTest, NormalizeZeroSumDies) {
+  Vector v{1.0, -1.0};
+  EXPECT_DEATH(v.Normalized(), "zero-sum");
+}
+
+TEST(VectorTest, MaxAbsDiff) {
+  Vector a{1.0, 5.0};
+  Vector b{1.5, 4.0};
+  EXPECT_EQ(a.MaxAbsDiff(b), 1.0);
+  EXPECT_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(VectorTest, ToStringPrecision) {
+  Vector v{0.5, 0.25};
+  EXPECT_EQ(v.ToString(2), "(0.50, 0.25)");
+}
+
+TEST(VectorTest, StreamOutput) {
+  std::ostringstream os;
+  os << Vector{1.0};
+  EXPECT_EQ(os.str(), "(1.000000)");
+}
+
+TEST(VectorTest, EqualityExact) {
+  EXPECT_EQ((Vector{1.0, 2.0}), (Vector{1.0, 2.0}));
+  EXPECT_NE((Vector{1.0, 2.0}), (Vector{1.0, 2.0000001}));
+  EXPECT_NE((Vector{1.0}), (Vector{1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace popan::num

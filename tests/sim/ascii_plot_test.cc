@@ -1,0 +1,77 @@
+#include "sim/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+TEST(AsciiPlotTest, EmptyDataSaysSo) {
+  std::string out = AsciiPlot("t", {}, {});
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ContainsTitleAndMarkers) {
+  std::string out =
+      AsciiPlot("occupancy vs N", {64, 256, 1024}, {3.8, 3.3, 3.9});
+  EXPECT_NE(out.find("occupancy vs N"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, AxisLabelsShowRange) {
+  std::string out = AsciiPlot("t", {64, 4096}, {1.0, 2.0});
+  EXPECT_NE(out.find("64"), std::string::npos);
+  EXPECT_NE(out.find("4096"), std::string::npos);
+  EXPECT_NE(out.find("2.0"), std::string::npos);  // y max label
+  EXPECT_NE(out.find("log scale"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, LinearAxisOption) {
+  AsciiPlotOptions options;
+  options.log_x = false;
+  std::string out = AsciiPlot("t", {0.0, 1.0}, {1.0, 2.0}, options);
+  EXPECT_EQ(out.find("log scale"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, RespectsDimensions) {
+  AsciiPlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  std::string out = AsciiPlot("t", {1, 10}, {0.0, 1.0}, options);
+  // 1 title line + 5 plot rows + axis + labels = 8 lines.
+  size_t lines = 0;
+  for (char ch : out) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 8u);
+}
+
+TEST(AsciiPlotTest, ConstantSeriesDoesNotCrash) {
+  std::string out = AsciiPlot("flat", {1, 2, 4}, {3.0, 3.0, 3.0});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, SinglePoint) {
+  std::string out = AsciiPlot("one", {10}, {5.0});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ConnectDrawsInterpolation) {
+  AsciiPlotOptions options;
+  options.connect = true;
+  std::string with = AsciiPlot("t", {1, 100}, {0.0, 10.0}, options);
+  options.connect = false;
+  std::string without = AsciiPlot("t", {1, 100}, {0.0, 10.0}, options);
+  size_t dots_with = 0, dots_without = 0;
+  for (char ch : with) dots_with += ch == '.';
+  for (char ch : without) dots_without += ch == '.';
+  EXPECT_GT(dots_with, dots_without);
+}
+
+TEST(AsciiPlotTest, MismatchedSizesDie) {
+  EXPECT_DEATH(AsciiPlot("t", {1.0, 2.0}, {1.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace popan::sim

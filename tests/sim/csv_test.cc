@@ -1,0 +1,78 @@
+#include "sim/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+TEST(CsvWriterTest, PlainRows) {
+  CsvWriter csv;
+  csv.WriteRow({"a", "b", "c"});
+  csv.WriteRow({"1", "2", "3"});
+  EXPECT_EQ(csv.ToString(), "a,b,c\n1,2,3\n");
+}
+
+TEST(CsvWriterTest, EmptyWriter) {
+  CsvWriter csv;
+  EXPECT_EQ(csv.ToString(), "");
+}
+
+TEST(CsvWriterTest, QuotesCommas) {
+  CsvWriter csv;
+  csv.WriteRow({"a,b", "c"});
+  EXPECT_EQ(csv.ToString(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriterTest, EscapesQuotes) {
+  CsvWriter csv;
+  csv.WriteRow({"say \"hi\""});
+  EXPECT_EQ(csv.ToString(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  CsvWriter csv;
+  csv.WriteRow({"two\nlines"});
+  EXPECT_EQ(csv.ToString(), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriterTest, NumericRowFullPrecision) {
+  CsvWriter csv;
+  csv.WriteNumericRow({0.1, 2.0});
+  std::string out = csv.ToString();
+  EXPECT_NE(out.find("0.1000000000000000"), std::string::npos);
+  EXPECT_NE(out.find(",2\n"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WriteToFileRoundTrips) {
+  CsvWriter csv;
+  csv.WriteRow({"n", "occupancy"});
+  csv.WriteRow({"64", "3.79"});
+  std::string path = testing::TempDir() + "/popan_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "n,occupancy");
+  EXPECT_EQ(line2, "64,3.79");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter csv;
+  csv.WriteRow({"x"});
+  Status s = csv.WriteToFile("/nonexistent_dir_zzz/file.csv");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(CsvWriterTest, EmptyCells) {
+  CsvWriter csv;
+  csv.WriteRow({"", "x", ""});
+  EXPECT_EQ(csv.ToString(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace popan::sim

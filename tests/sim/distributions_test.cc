@@ -1,0 +1,181 @@
+#include "sim/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+TEST(PointDistributionTest, KindNames) {
+  EXPECT_EQ(PointDistributionKindToString(PointDistributionKind::kUniform),
+            "uniform");
+  EXPECT_EQ(PointDistributionKindToString(PointDistributionKind::kGaussian),
+            "gaussian");
+  EXPECT_EQ(PointDistributionKindToString(PointDistributionKind::kClustered),
+            "clustered");
+  EXPECT_EQ(PointDistributionKindToString(PointDistributionKind::kDiagonal),
+            "diagonal");
+}
+
+TEST(PointDistributionTest, AllKindsStayInBox) {
+  Box2 box(Point2(-1.0, 2.0), Point2(3.0, 4.0));
+  PointDistributionParams params;
+  Pcg32 rng(10);
+  for (PointDistributionKind kind :
+       {PointDistributionKind::kUniform, PointDistributionKind::kGaussian,
+        PointDistributionKind::kClustered,
+        PointDistributionKind::kDiagonal}) {
+    for (int i = 0; i < 2000; ++i) {
+      Point2 p = DrawPoint(kind, params, box, rng, 5);
+      EXPECT_TRUE(box.Contains(p))
+          << PointDistributionKindToString(kind) << " " << p.ToString();
+    }
+  }
+}
+
+TEST(PointDistributionTest, UniformMomentsMatch) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;
+  Pcg32 rng(20);
+  double sx = 0.0, sy = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    Point2 p = DrawPoint(PointDistributionKind::kUniform, params, box, rng);
+    sx += p.x();
+    sy += p.y();
+  }
+  EXPECT_NEAR(sx / n, 0.5, 0.01);
+  EXPECT_NEAR(sy / n, 0.5, 0.01);
+}
+
+TEST(PointDistributionTest, GaussianConcentratesInCenter) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;  // sigma = 0.25
+  Pcg32 rng(30);
+  int center_hits = 0;
+  const int n = 20000;
+  Box2 center(Point2(0.25, 0.25), Point2(0.75, 0.75));
+  for (int i = 0; i < n; ++i) {
+    Point2 p = DrawPoint(PointDistributionKind::kGaussian, params, box, rng);
+    if (center.Contains(p)) ++center_hits;
+  }
+  // Uniform would give 25%; the central half-extent box is the +-1 sigma
+  // region, which holds ~0.68^2 ~ 0.47 of the clipped mass.
+  EXPECT_GT(static_cast<double>(center_hits) / n, 0.40);
+}
+
+TEST(PointDistributionTest, ClusteredSharesCentersAcrossDraws) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;
+  params.num_clusters = 3;
+  params.cluster_sigma_fraction = 0.001;  // essentially points at centers
+  Pcg32 rng_a(40);
+  Pcg32 rng_b(41);
+  // With a shared cluster_seed, both streams draw from the same 3 centers.
+  std::vector<Point2> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(DrawPoint(PointDistributionKind::kClustered, params, box,
+                          rng_a, /*cluster_seed=*/77));
+    b.push_back(DrawPoint(PointDistributionKind::kClustered, params, box,
+                          rng_b, /*cluster_seed=*/77));
+  }
+  // Every point of b lies within 0.02 of some point of a (same centers).
+  for (const Point2& p : b) {
+    double best = 1e9;
+    for (const Point2& q : a) best = std::min(best, p.Distance(q));
+    EXPECT_LT(best, 0.02);
+  }
+}
+
+TEST(PointDistributionTest, DiagonalHugsTheDiagonal) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;
+  Pcg32 rng(50);
+  for (int i = 0; i < 2000; ++i) {
+    Point2 p = DrawPoint(PointDistributionKind::kDiagonal, params, box, rng);
+    EXPECT_LT(std::abs(p.x() - p.y()), 0.25);
+  }
+}
+
+TEST(PointDistributionTest, DrawPointsBatches) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;
+  Pcg32 rng(60);
+  std::vector<Point2> points =
+      DrawPoints(PointDistributionKind::kUniform, params, box, 123, rng);
+  EXPECT_EQ(points.size(), 123u);
+}
+
+TEST(PointDistributionTest, WorksInOtherDimensions) {
+  geo::Box1 line = geo::Box1::UnitCube();
+  geo::Box3 cube = geo::Box3::UnitCube();
+  PointDistributionParams params;
+  Pcg32 rng(70);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(line.Contains(
+        DrawPoint(PointDistributionKind::kUniform, params, line, rng)));
+    EXPECT_TRUE(cube.Contains(
+        DrawPoint(PointDistributionKind::kGaussian, params, cube, rng)));
+  }
+}
+
+TEST(SegmentDistributionTest, SegmentsIntersectTheBox) {
+  Box2 box = Box2::UnitCube();
+  SegmentDistributionParams params;
+  Pcg32 rng(80);
+  for (SegmentDistributionKind kind :
+       {SegmentDistributionKind::kUniformEndpoints,
+        SegmentDistributionKind::kChord,
+        SegmentDistributionKind::kRoadLike}) {
+    for (int i = 0; i < 500; ++i) {
+      geo::Segment s = DrawSegment(kind, params, box, rng);
+      EXPECT_TRUE(s.IntersectsBox(box));
+    }
+  }
+}
+
+TEST(SegmentDistributionTest, RoadLikeLengthsBounded) {
+  Box2 box = Box2::UnitCube();
+  SegmentDistributionParams params;
+  params.road_length_fraction = 0.1;
+  Pcg32 rng(90);
+  for (int i = 0; i < 500; ++i) {
+    geo::Segment s =
+        DrawSegment(SegmentDistributionKind::kRoadLike, params, box, rng);
+    EXPECT_LE(s.Length(), 0.1 + 1e-12);
+  }
+}
+
+TEST(SegmentDistributionTest, ChordEndpointsOnBoundary) {
+  Box2 box = Box2::UnitCube();
+  SegmentDistributionParams params;
+  Pcg32 rng(100);
+  for (int i = 0; i < 200; ++i) {
+    geo::Segment s =
+        DrawSegment(SegmentDistributionKind::kChord, params, box, rng);
+    auto on_boundary = [&box](const Point2& p) {
+      return p.x() == box.lo().x() || p.x() == box.hi().x() ||
+             p.y() == box.lo().y() || p.y() == box.hi().y();
+    };
+    EXPECT_TRUE(on_boundary(s.a()));
+    EXPECT_TRUE(on_boundary(s.b()));
+  }
+}
+
+TEST(PointDistributionTest, DeterministicInSeed) {
+  Box2 box = Box2::UnitCube();
+  PointDistributionParams params;
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(
+        DrawPoint(PointDistributionKind::kGaussian, params, box, a),
+        DrawPoint(PointDistributionKind::kGaussian, params, box, b));
+  }
+}
+
+}  // namespace
+}  // namespace popan::sim

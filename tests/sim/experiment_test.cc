@@ -1,0 +1,109 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+ExperimentSpec SmallSpec() {
+  ExperimentSpec spec;
+  spec.num_points = 200;
+  spec.trials = 3;
+  spec.capacity = 2;
+  spec.max_depth = 16;
+  spec.base_seed = 99;
+  return spec;
+}
+
+TEST(ExperimentTest, ProducesRequestedEnsemble) {
+  ExperimentSpec spec = SmallSpec();
+  ExperimentResult result = RunPrQuadtreeExperiment(spec);
+  EXPECT_EQ(result.trials, 3u);
+  EXPECT_EQ(result.per_trial_occupancy.size(), 3u);
+  EXPECT_EQ(result.pooled_census.ItemCount(), 3u * 200u);
+}
+
+TEST(ExperimentTest, DeterministicInSeed) {
+  ExperimentResult a = RunPrQuadtreeExperiment(SmallSpec());
+  ExperimentResult b = RunPrQuadtreeExperiment(SmallSpec());
+  EXPECT_EQ(a.mean_occupancy, b.mean_occupancy);
+  EXPECT_EQ(a.mean_leaves, b.mean_leaves);
+  EXPECT_EQ(a.proportions, b.proportions);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentSpec other = SmallSpec();
+  other.base_seed = 100;
+  ExperimentResult a = RunPrQuadtreeExperiment(SmallSpec());
+  ExperimentResult b = RunPrQuadtreeExperiment(other);
+  EXPECT_NE(a.mean_leaves, b.mean_leaves);
+}
+
+TEST(ExperimentTest, ProportionsSumToOne) {
+  ExperimentResult result = RunPrQuadtreeExperiment(SmallSpec());
+  EXPECT_NEAR(result.proportions.Sum(), 1.0, 1e-12);
+  EXPECT_GE(result.proportions.size(), 3u);  // capacity + 1
+}
+
+TEST(ExperimentTest, MeanMatchesPerTrialValues) {
+  ExperimentResult result = RunPrQuadtreeExperiment(SmallSpec());
+  double sum = 0.0;
+  for (double occ : result.per_trial_occupancy) sum += occ;
+  EXPECT_NEAR(result.mean_occupancy, sum / 3.0, 1e-12);
+}
+
+TEST(ExperimentTest, TrialScatterIsModest) {
+  // The paper: "Corresponding data points from different trees were
+  // typically within about 10% of each other."
+  ExperimentSpec spec = SmallSpec();
+  spec.trials = 10;
+  spec.num_points = 1000;
+  spec.capacity = 1;
+  ExperimentResult result = RunPrQuadtreeExperiment(spec);
+  EXPECT_LT(result.stddev_occupancy / result.mean_occupancy, 0.10);
+}
+
+TEST(ExperimentTest, GaussianDistributionRuns) {
+  ExperimentSpec spec = SmallSpec();
+  spec.distribution = PointDistributionKind::kGaussian;
+  ExperimentResult result = RunPrQuadtreeExperiment(spec);
+  EXPECT_EQ(result.pooled_census.ItemCount(), 3u * 200u);
+  EXPECT_GT(result.mean_occupancy, 0.0);
+}
+
+TEST(ExperimentTest, BintreeAndOctreeVariants) {
+  ExperimentSpec spec = SmallSpec();
+  ExperimentResult bintree = RunPrTreeExperiment<1>(spec);
+  ExperimentResult octree = RunPrTreeExperiment<3>(spec);
+  EXPECT_EQ(bintree.pooled_census.ItemCount(), 600u);
+  EXPECT_EQ(octree.pooled_census.ItemCount(), 600u);
+  // Bintrees pack tighter than octrees at the same capacity.
+  EXPECT_GT(bintree.mean_occupancy, octree.mean_occupancy);
+}
+
+TEST(ExperimentTest, OccupancySweepFollowsSchedule) {
+  ExperimentSpec spec = SmallSpec();
+  spec.trials = 2;
+  std::vector<size_t> schedule = {64, 128, 256};
+  core::OccupancySeries series = RunOccupancySweep(spec, schedule);
+  ASSERT_EQ(series.sample_sizes, schedule);
+  ASSERT_EQ(series.average_occupancy.size(), 3u);
+  ASSERT_EQ(series.nodes.size(), 3u);
+  for (double occ : series.average_occupancy) {
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LE(occ, 2.0);  // capacity
+  }
+  // More points, more nodes.
+  EXPECT_LT(series.nodes[0], series.nodes[2]);
+}
+
+TEST(ExperimentTest, MaxDepthTruncationProducesOverfullLeaves) {
+  ExperimentSpec spec = SmallSpec();
+  spec.capacity = 1;
+  spec.max_depth = 3;  // only 64 possible leaves for 200 points
+  ExperimentResult result = RunPrQuadtreeExperiment(spec);
+  EXPECT_GT(result.pooled_census.MaxOccupancy(), 1u);
+}
+
+}  // namespace
+}  // namespace popan::sim

@@ -1,0 +1,135 @@
+#include "sim/goodness_of_fit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::sim {
+namespace {
+
+TEST(RegularizedGammaQTest, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 0.5), std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(RegularizedGammaQ(1.0, 3.0), std::exp(-3.0), 1e-12);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 1.0), std::erfc(1.0), 1e-10);
+  EXPECT_NEAR(RegularizedGammaQ(0.5, 4.0), std::erfc(2.0), 1e-10);
+  // Boundaries.
+  EXPECT_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+}
+
+TEST(RegularizedGammaQTest, MonotoneDecreasingInX) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 20.0; x += 0.7) {
+    double q = RegularizedGammaQ(2.5, x);
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(ChiSquareSurvivalTest, MatchesTextbookQuantiles) {
+  // P(chi2_1 >= 3.841) = 0.05; P(chi2_5 >= 11.070) = 0.05;
+  // P(chi2_10 >= 23.209) = 0.01.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquareSurvival(11.070, 5), 0.05, 2e-4);
+  EXPECT_NEAR(ChiSquareSurvival(23.209, 10), 0.01, 2e-4);
+  EXPECT_EQ(ChiSquareSurvival(0.0, 3), 1.0);
+}
+
+TEST(ChiSquareGofTest, PerfectFitHasHighPValue) {
+  num::Vector probs{0.25, 0.25, 0.25, 0.25};
+  std::vector<double> observed = {250, 250, 250, 250};
+  StatusOr<ChiSquareResult> result = ChiSquareGoodnessOfFit(observed, probs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result->p_value, 1.0, 1e-12);
+  EXPECT_FALSE(result->RejectsFit());
+  EXPECT_EQ(result->dof, 3u);
+}
+
+TEST(ChiSquareGofTest, GrossMisfitRejected) {
+  num::Vector probs{0.5, 0.5};
+  std::vector<double> observed = {900, 100};
+  StatusOr<ChiSquareResult> result = ChiSquareGoodnessOfFit(observed, probs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->RejectsFit());
+  EXPECT_LT(result->p_value, 1e-10);
+}
+
+TEST(ChiSquareGofTest, SamplesFromTheModelPassAtNominalRate) {
+  // Draw multinomial samples from the hypothesized distribution; the test
+  // must reject at roughly the significance level, not more.
+  num::Vector probs{0.1, 0.2, 0.4, 0.2, 0.1};
+  Pcg32 rng(42);
+  int rejections = 0;
+  const int kExperiments = 400;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::vector<double> observed(5, 0.0);
+    for (int i = 0; i < 500; ++i) {
+      double u = rng.NextDouble();
+      double acc = 0.0;
+      for (size_t k = 0; k < 5; ++k) {
+        acc += probs[k];
+        if (u < acc) {
+          observed[k] += 1.0;
+          break;
+        }
+      }
+    }
+    StatusOr<ChiSquareResult> result =
+        ChiSquareGoodnessOfFit(observed, probs);
+    ASSERT_TRUE(result.ok());
+    if (result->RejectsFit(0.05)) ++rejections;
+  }
+  double rate = static_cast<double>(rejections) / kExperiments;
+  EXPECT_LT(rate, 0.10);
+  EXPECT_GT(rate, 0.005);
+}
+
+TEST(ChiSquareGofTest, PoolsSparseBins) {
+  // Tail bins with tiny expectation must be merged, not divided by ~0.
+  num::Vector probs{0.90, 0.05, 0.03, 0.015, 0.005};
+  std::vector<double> observed = {180, 10, 6, 3, 1};  // total 200
+  StatusOr<ChiSquareResult> result = ChiSquareGoodnessOfFit(observed, probs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Expected counts 180/10/6/3/1: the last two bins (3 + 1 < 5) pool into
+  // their neighbour.
+  EXPECT_EQ(result->merged_bins, 3u);
+  EXPECT_FALSE(result->RejectsFit());
+}
+
+TEST(ChiSquareGofTest, SingleBinAfterPoolingRejected) {
+  // 100 observations with a 0.96 head leave < 5 expected in the tail; the
+  // whole tail folds into the head and the test must refuse to run.
+  num::Vector probs{0.96, 0.02, 0.01, 0.005, 0.005};
+  std::vector<double> observed = {96, 2, 1, 1, 0};
+  EXPECT_FALSE(ChiSquareGoodnessOfFit(observed, probs).ok());
+}
+
+TEST(ChiSquareGofTest, DegenerateInputsRejected) {
+  EXPECT_FALSE(ChiSquareGoodnessOfFit({}, num::Vector{1.0}).ok());
+  EXPECT_FALSE(
+      ChiSquareGoodnessOfFit({0, 0}, num::Vector{0.5, 0.5}).ok());
+  EXPECT_FALSE(
+      ChiSquareGoodnessOfFit({-1, 2}, num::Vector{0.5, 0.5}).ok());
+  // Probabilities summing far from 1.
+  EXPECT_FALSE(
+      ChiSquareGoodnessOfFit({10, 10}, num::Vector{0.2, 0.2}).ok());
+  // Single bin after pooling.
+  EXPECT_FALSE(
+      ChiSquareGoodnessOfFit({3, 3}, num::Vector{0.5, 0.5}).ok());
+}
+
+TEST(ChiSquareGofTest, ToStringMentionsFields) {
+  num::Vector probs{0.5, 0.5};
+  std::string s =
+      ChiSquareGoodnessOfFit({100, 120}, probs)->ToString();
+  EXPECT_NE(s.find("chi2="), std::string::npos);
+  EXPECT_NE(s.find("dof="), std::string::npos);
+  EXPECT_NE(s.find("p="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popan::sim

@@ -1,0 +1,81 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::sim {
+namespace {
+
+TEST(StatsTest, EmptySample) {
+  SampleSummary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SingleObservation) {
+  SampleSummary s = Summarize({4.2});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.mean, 4.2);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.ci95_low, 4.2);
+  EXPECT_EQ(s.ci95_high, 4.2);
+  EXPECT_TRUE(s.CiContains(4.2));
+  EXPECT_FALSE(s.CiContains(4.3));
+}
+
+TEST(StatsTest, KnownSample) {
+  // {1, 2, 3, 4, 5}: mean 3, sample stddev sqrt(2.5).
+  SampleSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(s.standard_error, std::sqrt(2.5 / 5.0), 1e-12);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  // t(4) = 2.776: CI half-width 2.776 * 0.7071 ~ 1.963.
+  EXPECT_NEAR(s.ci95_high - s.mean, 2.776 * std::sqrt(0.5), 1e-3);
+  EXPECT_TRUE(s.CiContains(3.0));
+  EXPECT_FALSE(s.CiContains(5.5));
+}
+
+TEST(StatsTest, TCriticalTableValues) {
+  EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(TCritical95(9), 2.262, 1e-3);
+  EXPECT_NEAR(TCritical95(30), 2.042, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.96, 1e-3);
+  EXPECT_EQ(TCritical95(0), 0.0);
+}
+
+TEST(StatsTest, TCriticalDecreasesWithDof) {
+  for (size_t dof = 2; dof <= 30; ++dof) {
+    EXPECT_LT(TCritical95(dof), TCritical95(dof - 1)) << dof;
+  }
+}
+
+TEST(StatsTest, CiCoversTrueMeanAtNominalRate) {
+  // Draw many samples from N(10, 2^2) and check the 95% CI covers 10
+  // roughly 95% of the time.
+  Pcg32 rng(99);
+  const int kExperiments = 2000;
+  int covered = 0;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::vector<double> sample;
+    for (int i = 0; i < 10; ++i) sample.push_back(rng.NextGaussian(10, 2));
+    if (Summarize(sample).CiContains(10.0)) ++covered;
+  }
+  double rate = static_cast<double>(covered) / kExperiments;
+  EXPECT_GT(rate, 0.92);
+  EXPECT_LT(rate, 0.975);
+}
+
+TEST(StatsTest, ToStringFormats) {
+  SampleSummary s = Summarize({1.0, 2.0, 3.0});
+  std::string out = s.ToString(2);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_NE(out.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace popan::sim

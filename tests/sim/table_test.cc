@@ -1,0 +1,70 @@
+#include "sim/table.h"
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+TEST(TextTableTest, FmtDouble) {
+  EXPECT_EQ(TextTable::Fmt(0.5, 3), "0.500");
+  EXPECT_EQ(TextTable::Fmt(1.03, 2), "1.03");
+  EXPECT_EQ(TextTable::Fmt(-2.5, 1), "-2.5");
+}
+
+TEST(TextTableTest, FmtSize) {
+  EXPECT_EQ(TextTable::Fmt(size_t{1024}), "1024");
+  EXPECT_EQ(TextTable::Fmt(size_t{0}), "0");
+}
+
+TEST(TextTableTest, RenderContainsTitleHeaderAndRows) {
+  TextTable table("Table 2: Average Node Occupancy");
+  table.SetHeader({"m", "experimental", "theoretical", "% diff"});
+  table.AddRow({"1", "0.46", "0.50", "7.2"});
+  table.AddRow({"2", "0.92", "1.03", "10.8"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("Table 2"), std::string::npos);
+  EXPECT_NE(out.find("experimental"), std::string::npos);
+  EXPECT_NE(out.find("10.8"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table("t");
+  table.SetHeader({"a", "long_header"});
+  table.AddRow({"123456", "x"});
+  std::string out = table.Render();
+  // Find the header and data lines; the second column must start at the
+  // same offset in both.
+  size_t header_pos = out.find("long_header");
+  size_t data_x = out.find("          x");  // x right-aligned to width 11
+  EXPECT_NE(header_pos, std::string::npos);
+  EXPECT_NE(data_x, std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable table("t");
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  // Must not crash; renders the missing cells empty.
+  std::string out = table.Render();
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRenders) {
+  TextTable table("empty");
+  table.SetHeader({});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("empty"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleSpansWidth) {
+  TextTable table("wide title exceeding columns");
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  std::string out = table.Render();
+  // First line is the rule; it must cover the title length.
+  size_t first_newline = out.find('\n');
+  EXPECT_GE(first_newline, std::string("wide title exceeding columns").size());
+}
+
+}  // namespace
+}  // namespace popan::sim

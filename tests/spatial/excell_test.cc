@@ -1,0 +1,181 @@
+#include "spatial/excell.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+Excell MakeExcell(size_t capacity = 4) {
+  ExcellOptions options;
+  options.bucket_capacity = capacity;
+  return Excell(Box2::UnitCube(), options);
+}
+
+TEST(ExcellTest, EmptyStructure) {
+  Excell e = MakeExcell();
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.BucketCount(), 1u);
+  EXPECT_EQ(e.GlobalDepth(), 0u);
+  EXPECT_TRUE(e.CheckInvariants().ok());
+}
+
+TEST(ExcellTest, InsertAndContains) {
+  Excell e = MakeExcell();
+  EXPECT_TRUE(e.Insert(Point2(0.1, 0.2)).ok());
+  EXPECT_TRUE(e.Insert(Point2(0.8, 0.9)).ok());
+  EXPECT_TRUE(e.Contains(Point2(0.1, 0.2)));
+  EXPECT_FALSE(e.Contains(Point2(0.2, 0.1)));
+  EXPECT_EQ(e.size(), 2u);
+}
+
+TEST(ExcellTest, OutOfDomainRejected) {
+  Excell e = MakeExcell();
+  EXPECT_EQ(e.Insert(Point2(2.0, 0.5)).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(e.Contains(Point2(2.0, 0.5)));
+}
+
+TEST(ExcellTest, DuplicateRejected) {
+  Excell e = MakeExcell();
+  ASSERT_TRUE(e.Insert(Point2(0.5, 0.5)).ok());
+  EXPECT_EQ(e.Insert(Point2(0.5, 0.5)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ExcellTest, FirstSplitHalvesTheSpaceInY) {
+  ExcellOptions options;
+  options.bucket_capacity = 1;
+  Excell e(Box2::UnitCube(), options);
+  ASSERT_TRUE(e.Insert(Point2(0.5, 0.1)).ok());  // lower half
+  ASSERT_TRUE(e.Insert(Point2(0.5, 0.9)).ok());  // upper half
+  EXPECT_EQ(e.GlobalDepth(), 1u);
+  EXPECT_EQ(e.BucketCount(), 2u);
+  EXPECT_TRUE(e.CheckInvariants().ok()) << e.CheckInvariants().ToString();
+}
+
+TEST(ExcellTest, DirectoryDepthAlternatesAxes) {
+  ExcellOptions options;
+  options.bucket_capacity = 1;
+  Excell e(Box2::UnitCube(), options);
+  // Two points in the same y-half but different x-halves need depth 2.
+  ASSERT_TRUE(e.Insert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(e.Insert(Point2(0.9, 0.1)).ok());
+  EXPECT_EQ(e.GlobalDepth(), 2u);
+  EXPECT_TRUE(e.CheckInvariants().ok());
+}
+
+TEST(ExcellTest, BlockOfPrefixGeometry) {
+  Excell e = MakeExcell();
+  // Depth 1, prefix 0: lower y half.
+  Box2 lower = e.BlockOfPrefix(0, 1);
+  EXPECT_EQ(lower.lo(), Point2(0.0, 0.0));
+  EXPECT_EQ(lower.hi(), Point2(1.0, 0.5));
+  // Depth 2, prefix 0b01: lower y, upper x.
+  Box2 lower_right = e.BlockOfPrefix(1, 2);
+  EXPECT_EQ(lower_right.lo(), Point2(0.5, 0.0));
+  EXPECT_EQ(lower_right.hi(), Point2(1.0, 0.5));
+}
+
+TEST(ExcellTest, ManyPointsStayConsistent) {
+  Excell e = MakeExcell(4);
+  Pcg32 rng(7);
+  std::vector<Point2> points;
+  for (int i = 0; i < 2000; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (e.Insert(p).ok()) points.push_back(p);
+  }
+  ASSERT_TRUE(e.CheckInvariants().ok()) << e.CheckInvariants().ToString();
+  for (const Point2& p : points) EXPECT_TRUE(e.Contains(p));
+  EXPECT_GT(e.BucketCount(), 100u);
+  EXPECT_LE(e.AverageOccupancy(), 4.0);
+}
+
+TEST(ExcellTest, EraseMergesBack) {
+  ExcellOptions options;
+  options.bucket_capacity = 2;
+  Excell e(Box2::UnitCube(), options);
+  Pcg32 rng(9);
+  std::vector<Point2> points;
+  for (int i = 0; i < 64; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (e.Insert(p).ok()) points.push_back(p);
+  }
+  ASSERT_GT(e.BucketCount(), 1u);
+  for (const Point2& p : points) {
+    ASSERT_TRUE(e.Erase(p).ok());
+    ASSERT_TRUE(e.CheckInvariants().ok()) << e.CheckInvariants().ToString();
+  }
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_EQ(e.BucketCount(), 1u);
+  EXPECT_EQ(e.GlobalDepth(), 0u);
+}
+
+TEST(ExcellTest, EraseMissingIsNotFound) {
+  Excell e = MakeExcell();
+  EXPECT_EQ(e.Erase(Point2(0.5, 0.5)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.Erase(Point2(5.0, 5.0)).code(), StatusCode::kNotFound);
+}
+
+TEST(ExcellTest, RangeQueryMatchesBruteForce) {
+  Excell e = MakeExcell(3);
+  std::vector<Point2> points;
+  Pcg32 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (e.Insert(p).ok()) points.push_back(p);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    Box2 query(Point2(std::min(x0, x1), std::min(y0, y1)),
+               Point2(std::max(x0, x1), std::max(y0, y1)));
+    std::vector<Point2> expected;
+    for (const Point2& p : points) {
+      if (query.Contains(p)) expected.push_back(p);
+    }
+    std::vector<Point2> got = e.RangeQuery(query);
+    auto by_key = [](const Point2& a, const Point2& b) {
+      return std::make_pair(a.x(), a.y()) < std::make_pair(b.x(), b.y());
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(ExcellTest, ColocatedPointsExhaustDirectory) {
+  ExcellOptions options;
+  options.bucket_capacity = 1;
+  options.max_global_depth = 6;
+  Excell e(Box2::UnitCube(), options);
+  // Points closer than the depth-6 cell size cannot be separated.
+  ASSERT_TRUE(e.Insert(Point2(0.500000, 0.500000)).ok());
+  Status s = e.Insert(Point2(0.500001, 0.500001));
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(e.CheckInvariants().ok());
+}
+
+TEST(ExcellTest, VisitBucketsAccounting) {
+  Excell e = MakeExcell(4);
+  Pcg32 rng(15);
+  for (int i = 0; i < 300; ++i) {
+    e.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  size_t buckets = 0, points = 0;
+  e.VisitBuckets([&](size_t local_depth, size_t occupancy) {
+    ++buckets;
+    points += occupancy;
+    EXPECT_LE(local_depth, e.GlobalDepth());
+  });
+  EXPECT_EQ(buckets, e.BucketCount());
+  EXPECT_EQ(points, e.size());
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,181 @@
+#include "spatial/extendible_hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+ExtendibleHash MakeHash(size_t capacity = 4) {
+  ExtendibleHashOptions options;
+  options.bucket_capacity = capacity;
+  return ExtendibleHash(options);
+}
+
+TEST(ExtendibleHashTest, EmptyTable) {
+  ExtendibleHash h = MakeHash();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.BucketCount(), 1u);
+  EXPECT_EQ(h.GlobalDepth(), 0u);
+  EXPECT_EQ(h.DirectorySize(), 1u);
+  EXPECT_TRUE(h.CheckInvariants().ok());
+}
+
+TEST(ExtendibleHashTest, InsertAndContains) {
+  ExtendibleHash h = MakeHash();
+  EXPECT_TRUE(h.Insert(1).ok());
+  EXPECT_TRUE(h.Insert(2).ok());
+  EXPECT_TRUE(h.Contains(1));
+  EXPECT_TRUE(h.Contains(2));
+  EXPECT_FALSE(h.Contains(3));
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(ExtendibleHashTest, DuplicateRejected) {
+  ExtendibleHash h = MakeHash();
+  ASSERT_TRUE(h.Insert(7).ok());
+  EXPECT_EQ(h.Insert(7).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(ExtendibleHashTest, OverflowSplitsBucket) {
+  ExtendibleHash h = MakeHash(2);
+  int key = 0;
+  while (h.BucketCount() == 1) {
+    ASSERT_TRUE(h.Insert(key++).ok());
+    ASSERT_LT(key, 100);
+  }
+  EXPECT_GE(h.GlobalDepth(), 1u);
+  EXPECT_TRUE(h.CheckInvariants().ok());
+}
+
+TEST(ExtendibleHashTest, ThousandsOfKeysStayConsistent) {
+  ExtendibleHash h = MakeHash(4);
+  const uint64_t n = 5000;
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(h.Insert(k).ok()) << "key " << k;
+  }
+  EXPECT_EQ(h.size(), n);
+  ASSERT_TRUE(h.CheckInvariants().ok()) << h.CheckInvariants().ToString();
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_TRUE(h.Contains(k));
+  }
+  EXPECT_FALSE(h.Contains(n + 1));
+  // Occupancy must be positive and at most capacity.
+  EXPECT_GT(h.AverageOccupancy(), 0.0);
+  EXPECT_LE(h.AverageOccupancy(), 4.0);
+}
+
+TEST(ExtendibleHashTest, EraseBasic) {
+  ExtendibleHash h = MakeHash();
+  h.Insert(1).ok();
+  h.Insert(2).ok();
+  EXPECT_TRUE(h.Erase(1).ok());
+  EXPECT_FALSE(h.Contains(1));
+  EXPECT_TRUE(h.Contains(2));
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.Erase(1).code(), StatusCode::kNotFound);
+}
+
+TEST(ExtendibleHashTest, EraseMergesAndShrinks) {
+  ExtendibleHash h = MakeHash(2);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_TRUE(h.Insert(k).ok());
+    keys.push_back(k);
+  }
+  size_t grown_buckets = h.BucketCount();
+  ASSERT_GT(grown_buckets, 1u);
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(h.Erase(k).ok());
+    ASSERT_TRUE(h.CheckInvariants().ok()) << h.CheckInvariants().ToString();
+  }
+  EXPECT_EQ(h.size(), 0u);
+  // Everything merged back to a single bucket and depth 0.
+  EXPECT_EQ(h.BucketCount(), 1u);
+  EXPECT_EQ(h.GlobalDepth(), 0u);
+}
+
+TEST(ExtendibleHashTest, RandomInsertEraseChurn) {
+  ExtendibleHash h = MakeHash(3);
+  Pcg32 rng(2718);
+  std::set<uint64_t> reference;
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t key = rng.NextBounded(500);
+    if (rng.NextBounded(2) == 0) {
+      Status s = h.Insert(key);
+      bool was_new = reference.insert(key).second;
+      EXPECT_EQ(s.ok(), was_new);
+    } else {
+      Status s = h.Erase(key);
+      bool existed = reference.erase(key) > 0;
+      EXPECT_EQ(s.ok(), existed);
+    }
+    if (op % 256 == 0) {
+      ASSERT_TRUE(h.CheckInvariants().ok())
+          << h.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(h.size(), reference.size());
+  for (uint64_t key : reference) {
+    EXPECT_TRUE(h.Contains(key));
+  }
+}
+
+TEST(ExtendibleHashTest, IdentityHashPlacesByTopBits) {
+  ExtendibleHashOptions options;
+  options.bucket_capacity = 1;
+  options.identity_hash = true;
+  ExtendibleHash h(options);
+  // Two keys differing in the top bit must split into depth-1 buckets.
+  ASSERT_TRUE(h.Insert(0x0000000000000000ULL).ok());
+  ASSERT_TRUE(h.Insert(0x8000000000000000ULL).ok());
+  EXPECT_EQ(h.GlobalDepth(), 1u);
+  EXPECT_EQ(h.BucketCount(), 2u);
+  EXPECT_TRUE(h.CheckInvariants().ok());
+}
+
+TEST(ExtendibleHashTest, DeepSharedPrefixForcesRepeatedDoubling) {
+  ExtendibleHashOptions options;
+  options.bucket_capacity = 1;
+  options.identity_hash = true;
+  ExtendibleHash h(options);
+  // Keys sharing the top 3 bits: directory must reach depth 4.
+  ASSERT_TRUE(h.Insert(0xF000000000000000ULL).ok());
+  ASSERT_TRUE(h.Insert(0xF800000000000000ULL).ok());
+  EXPECT_EQ(h.GlobalDepth(), 5u);
+  EXPECT_TRUE(h.CheckInvariants().ok());
+}
+
+TEST(ExtendibleHashTest, MaxGlobalDepthReportsExhaustion) {
+  ExtendibleHashOptions options;
+  options.bucket_capacity = 1;
+  options.identity_hash = true;
+  options.max_global_depth = 3;
+  ExtendibleHash h(options);
+  // Keys identical in the top 3 bits cannot be separated at depth <= 3.
+  ASSERT_TRUE(h.Insert(0x0000000000000001ULL).ok());
+  Status s = h.Insert(0x0000000000000002ULL);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(h.CheckInvariants().ok());
+}
+
+TEST(ExtendibleHashTest, VisitBucketsCoversAllKeys) {
+  ExtendibleHash h = MakeHash(4);
+  for (uint64_t k = 0; k < 300; ++k) h.Insert(k).ok();
+  size_t buckets = 0, keys = 0;
+  h.VisitBuckets([&](size_t local_depth, size_t occupancy) {
+    ++buckets;
+    keys += occupancy;
+    EXPECT_LE(local_depth, h.GlobalDepth());
+  });
+  EXPECT_EQ(buckets, h.BucketCount());
+  EXPECT_EQ(keys, h.size());
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,183 @@
+#include "spatial/grid_file.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+GridFile MakeGrid(size_t capacity = 4) {
+  GridFileOptions options;
+  options.bucket_capacity = capacity;
+  return GridFile(Box2::UnitCube(), options);
+}
+
+TEST(GridFileTest, EmptyFile) {
+  GridFile g = MakeGrid();
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.BucketCount(), 1u);
+  EXPECT_EQ(g.CellsX(), 1u);
+  EXPECT_EQ(g.CellsY(), 1u);
+  EXPECT_TRUE(g.CheckInvariants().ok());
+}
+
+TEST(GridFileTest, InsertWithinCapacityKeepsOneBucket) {
+  GridFile g = MakeGrid(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(g.Insert(Point2(0.1 + 0.2 * i, 0.5)).ok());
+  }
+  EXPECT_EQ(g.BucketCount(), 1u);
+  EXPECT_EQ(g.size(), 4u);
+}
+
+TEST(GridFileTest, OverflowSplits) {
+  GridFile g = MakeGrid(2);
+  ASSERT_TRUE(g.Insert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(g.Insert(Point2(0.9, 0.9)).ok());
+  ASSERT_TRUE(g.Insert(Point2(0.5, 0.5)).ok());
+  EXPECT_GE(g.BucketCount(), 2u);
+  EXPECT_TRUE(g.CheckInvariants().ok()) << g.CheckInvariants().ToString();
+}
+
+TEST(GridFileTest, OutOfDomainRejected) {
+  GridFile g = MakeGrid();
+  EXPECT_EQ(g.Insert(Point2(1.5, 0.5)).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.Insert(Point2(1.0, 1.0)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GridFileTest, DuplicateRejected) {
+  GridFile g = MakeGrid();
+  ASSERT_TRUE(g.Insert(Point2(0.5, 0.5)).ok());
+  EXPECT_EQ(g.Insert(Point2(0.5, 0.5)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GridFileTest, ContainsAfterManyInserts) {
+  GridFile g = MakeGrid(3);
+  std::vector<Point2> points;
+  Pcg32 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (g.Insert(p).ok()) points.push_back(p);
+  }
+  ASSERT_TRUE(g.CheckInvariants().ok()) << g.CheckInvariants().ToString();
+  for (const Point2& p : points) {
+    EXPECT_TRUE(g.Contains(p));
+  }
+  EXPECT_FALSE(g.Contains(Point2(0.123456789, 0.987654321)));
+  EXPECT_EQ(g.size(), points.size());
+}
+
+TEST(GridFileTest, TwoDiskAccessPrincipleBucketsBounded) {
+  // The grid file guarantee: every bucket holds at most capacity points
+  // (with the degenerate-coordinates exception that random data avoids).
+  GridFile g = MakeGrid(4);
+  Pcg32 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    g.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  g.VisitBuckets([](size_t occupancy) { EXPECT_LE(occupancy, 4u); });
+}
+
+TEST(GridFileTest, EraseBasic) {
+  GridFile g = MakeGrid();
+  g.Insert(Point2(0.5, 0.5)).ok();
+  EXPECT_TRUE(g.Erase(Point2(0.5, 0.5)).ok());
+  EXPECT_FALSE(g.Contains(Point2(0.5, 0.5)));
+  EXPECT_EQ(g.Erase(Point2(0.5, 0.5)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.Erase(Point2(5.0, 5.0)).code(), StatusCode::kNotFound);
+}
+
+TEST(GridFileTest, RangeQueryMatchesBruteForce) {
+  GridFile g = MakeGrid(3);
+  std::vector<Point2> points;
+  Pcg32 rng(29);
+  for (int i = 0; i < 400; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (g.Insert(p).ok()) points.push_back(p);
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    Box2 query(Point2(std::min(x0, x1), std::min(y0, y1)),
+               Point2(std::max(x0, x1), std::max(y0, y1)));
+    std::vector<Point2> expected;
+    for (const Point2& p : points) {
+      if (query.Contains(p)) expected.push_back(p);
+    }
+    std::vector<Point2> got = g.RangeQuery(query);
+    auto by_key = [](const Point2& a, const Point2& b) {
+      return std::make_pair(a.x(), a.y()) < std::make_pair(b.x(), b.y());
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(GridFileTest, ScalesRefineUnderClusteredLoad) {
+  // Clustered points force repeated refinement of the same region.
+  GridFile g = MakeGrid(2);
+  Pcg32 rng(41);
+  for (int i = 0; i < 200; ++i) {
+    Point2 p(0.4 + 0.01 * rng.NextDouble(), 0.4 + 0.01 * rng.NextDouble());
+    g.Insert(p).ok();
+  }
+  ASSERT_TRUE(g.CheckInvariants().ok()) << g.CheckInvariants().ToString();
+  EXPECT_GT(g.CellsX() * g.CellsY(), 16u);
+  EXPECT_GT(g.BucketCount(), 16u);
+}
+
+TEST(GridFileTest, AverageOccupancyBounded) {
+  GridFile g = MakeGrid(4);
+  Pcg32 rng(53);
+  for (int i = 0; i < 800; ++i) {
+    g.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  double avg = g.AverageOccupancy();
+  EXPECT_GT(avg, 0.5);
+  EXPECT_LE(avg, 4.0);
+}
+
+TEST(GridFileTest, DirectoryCellsShareBuckets) {
+  // After a scale refinement, untouched buckets span multiple cells: the
+  // directory must exceed the bucket count at some point.
+  GridFile g = MakeGrid(1);
+  Pcg32 rng(61);
+  for (int i = 0; i < 60; ++i) {
+    g.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  ASSERT_TRUE(g.CheckInvariants().ok());
+  EXPECT_GE(g.CellsX() * g.CellsY(), g.BucketCount());
+}
+
+TEST(GridFileTest, InvariantsUnderChurn) {
+  GridFile g = MakeGrid(2);
+  Pcg32 rng(71);
+  std::vector<Point2> live;
+  for (int op = 0; op < 1500; ++op) {
+    if (live.empty() || rng.NextBounded(3) != 0) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (g.Insert(p).ok()) live.push_back(p);
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(g.Erase(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    if (op % 200 == 0) {
+      ASSERT_TRUE(g.CheckInvariants().ok())
+          << g.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(g.size(), live.size());
+}
+
+}  // namespace
+}  // namespace popan::spatial

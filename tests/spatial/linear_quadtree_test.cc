@@ -1,0 +1,179 @@
+#include "spatial/linear_quadtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/census.h"
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+std::vector<Point2> RandomPoints(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Point2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(rng.NextDouble(), rng.NextDouble());
+  }
+  return out;
+}
+
+TEST(LinearQuadtreeTest, EmptyBulkLoad) {
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), {});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->empty());
+  EXPECT_EQ(tree->LeafCount(), 1u);
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(LinearQuadtreeTest, SinglePoint) {
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), {Point2(0.3, 0.7)});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->LeafCount(), 1u);
+  EXPECT_TRUE(tree->Contains(Point2(0.3, 0.7)));
+  EXPECT_FALSE(tree->Contains(Point2(0.7, 0.3)));
+}
+
+TEST(LinearQuadtreeTest, OutOfBoundsRejected) {
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), {Point2(1.5, 0.5)});
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LinearQuadtreeTest, DuplicatesRejected) {
+  StatusOr<LinearPrQuadtree> tree = LinearPrQuadtree::BulkLoad(
+      Box2::UnitCube(), {Point2(0.5, 0.5), Point2(0.5, 0.5)});
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LinearQuadtreeTest, BulkLoadMatchesIncrementalTree) {
+  // The PR decomposition is canonical: the linear bulk load and the
+  // pointer tree agree leaf for leaf.
+  for (size_t capacity : {1u, 2u, 4u, 8u}) {
+    std::vector<Point2> points = RandomPoints(500, 11 + capacity);
+    PrTreeOptions options;
+    options.capacity = capacity;
+    PrTree<2> pointer_tree(Box2::UnitCube(), options);
+    for (const Point2& p : points) {
+      ASSERT_TRUE(pointer_tree.Insert(p).ok());
+    }
+    StatusOr<LinearPrQuadtree> linear =
+        LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options);
+    ASSERT_TRUE(linear.ok());
+    LinearPrQuadtree from_tree = LinearPrQuadtree::FromTree(pointer_tree);
+
+    ASSERT_EQ(linear->LeafCount(), from_tree.LeafCount())
+        << "capacity " << capacity;
+    for (size_t i = 0; i < linear->LeafCount(); ++i) {
+      EXPECT_EQ(linear->leaves()[i].code, from_tree.leaves()[i].code)
+          << "leaf " << i;
+      EXPECT_EQ(linear->leaves()[i].points.size(),
+                from_tree.leaves()[i].points.size());
+    }
+    EXPECT_TRUE(linear->CheckInvariants().ok())
+        << linear->CheckInvariants().ToString();
+    EXPECT_TRUE(from_tree.CheckInvariants().ok())
+        << from_tree.CheckInvariants().ToString();
+  }
+}
+
+TEST(LinearQuadtreeTest, ContainsMatchesSource) {
+  std::vector<Point2> points = RandomPoints(400, 21);
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points);
+  ASSERT_TRUE(tree.ok());
+  for (const Point2& p : points) {
+    EXPECT_TRUE(tree->Contains(p));
+  }
+  for (const Point2& p : RandomPoints(100, 22)) {
+    bool inserted = std::find(points.begin(), points.end(), p) !=
+                    points.end();
+    EXPECT_EQ(tree->Contains(p), inserted);
+  }
+}
+
+TEST(LinearQuadtreeTest, RangeQueryMatchesBruteForce) {
+  std::vector<Point2> points = RandomPoints(400, 31);
+  PrTreeOptions options;
+  options.capacity = 3;
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options);
+  ASSERT_TRUE(tree.ok());
+  Pcg32 rng(32);
+  for (int trial = 0; trial < 25; ++trial) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    Box2 query(Point2(std::min(x0, x1), std::min(y0, y1)),
+               Point2(std::max(x0, x1), std::max(y0, y1)));
+    std::vector<Point2> expected;
+    for (const Point2& p : points) {
+      if (query.Contains(p)) expected.push_back(p);
+    }
+    std::vector<Point2> got = tree->RangeQuery(query);
+    auto by_key = [](const Point2& a, const Point2& b) {
+      return std::make_pair(a.x(), a.y()) < std::make_pair(b.x(), b.y());
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(LinearQuadtreeTest, CensusMatchesPointerTree) {
+  std::vector<Point2> points = RandomPoints(600, 41);
+  PrTreeOptions options;
+  options.capacity = 2;
+  PrTree<2> pointer_tree(Box2::UnitCube(), options);
+  for (const Point2& p : points) pointer_tree.Insert(p).ok();
+  StatusOr<LinearPrQuadtree> linear =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options);
+  ASSERT_TRUE(linear.ok());
+  Census a = TakeCensus(pointer_tree);
+  Census b = TakeCensus(*linear);
+  EXPECT_EQ(a.Proportions(), b.Proportions());
+  EXPECT_EQ(a.LeafCount(), b.LeafCount());
+  EXPECT_EQ(a.ItemCount(), b.ItemCount());
+  for (size_t d = 0; d <= a.MaxDepth(); ++d) {
+    EXPECT_EQ(a.LeavesAtDepth(d), b.LeavesAtDepth(d)) << "depth " << d;
+  }
+}
+
+TEST(LinearQuadtreeTest, MaxDepthTruncation) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 2;
+  std::vector<Point2> points = {Point2(0.01, 0.01), Point2(0.02, 0.02),
+                                Point2(0.03, 0.03)};
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  size_t deepest = 0;
+  tree->VisitLeaves([&](const Box2&, size_t depth, size_t) {
+    deepest = std::max(deepest, depth);
+  });
+  EXPECT_EQ(deepest, 2u);
+}
+
+TEST(LinearQuadtreeTest, LeavesSortedByCode) {
+  std::vector<Point2> points = RandomPoints(300, 51);
+  StatusOr<LinearPrQuadtree> tree =
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points);
+  ASSERT_TRUE(tree.ok());
+  for (size_t i = 1; i < tree->leaves().size(); ++i) {
+    EXPECT_TRUE(tree->leaves()[i - 1].code < tree->leaves()[i].code);
+  }
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,130 @@
+#include "spatial/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+TEST(MortonTest, RootCode) {
+  MortonCode root = RootCode();
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.bits, 0u);
+  EXPECT_EQ(MortonCodeToString(root), "");
+}
+
+TEST(MortonTest, ChildParentRoundTrip) {
+  MortonCode code = RootCode();
+  for (size_t q : {1u, 3u, 0u, 2u}) {
+    MortonCode child = ChildCode(code, q);
+    EXPECT_EQ(child.depth, code.depth + 1);
+    EXPECT_EQ(ParentCode(child), code);
+    code = child;
+  }
+  EXPECT_EQ(MortonCodeToString(code), "1.3.0.2");
+}
+
+TEST(MortonTest, ParentOfRootDies) {
+  EXPECT_DEATH(ParentCode(RootCode()), "root");
+}
+
+TEST(MortonTest, CodeOfPointMatchesBlockDescent) {
+  Box2 root = Box2::UnitCube();
+  Pcg32 rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    uint8_t depth = static_cast<uint8_t>(rng.NextBounded(12));
+    MortonCode code = CodeOfPoint(root, p, depth);
+    EXPECT_EQ(code.depth, depth);
+    EXPECT_TRUE(BlockOfCode(root, code).Contains(p));
+  }
+}
+
+TEST(MortonTest, BlockOfCodeQuadrants) {
+  Box2 root = Box2::UnitCube();
+  EXPECT_EQ(BlockOfCode(root, ChildCode(RootCode(), 0)),
+            root.Quadrant(0));
+  EXPECT_EQ(BlockOfCode(root, ChildCode(RootCode(), 3)),
+            root.Quadrant(3));
+  MortonCode deep = ChildCode(ChildCode(RootCode(), 2), 1);
+  EXPECT_EQ(BlockOfCode(root, deep), root.Quadrant(2).Quadrant(1));
+}
+
+TEST(MortonTest, AncestorRelation) {
+  MortonCode a = ChildCode(RootCode(), 2);
+  MortonCode b = ChildCode(a, 1);
+  MortonCode c = ChildCode(RootCode(), 3);
+  EXPECT_TRUE(IsAncestorOrSelf(RootCode(), b));
+  EXPECT_TRUE(IsAncestorOrSelf(a, b));
+  EXPECT_TRUE(IsAncestorOrSelf(b, b));
+  EXPECT_FALSE(IsAncestorOrSelf(b, a));
+  EXPECT_FALSE(IsAncestorOrSelf(c, b));
+  EXPECT_FALSE(IsAncestorOrSelf(b, c));
+}
+
+TEST(MortonTest, DescendantRangeNestsLikeBlocks) {
+  Pcg32 rng(5);
+  Box2 root = Box2::UnitCube();
+  for (int trial = 0; trial < 200; ++trial) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    MortonCode shallow = CodeOfPoint(root, p, 3);
+    MortonCode deep = CodeOfPoint(root, p, 9);
+    uint64_t slo, shi, dlo, dhi;
+    DescendantRange(shallow, &slo, &shi);
+    DescendantRange(deep, &dlo, &dhi);
+    EXPECT_LE(slo, dlo);
+    EXPECT_GE(shi, dhi);
+    EXPECT_LT(dlo, dhi);
+  }
+}
+
+TEST(MortonTest, SiblingRangesTile) {
+  MortonCode parent = ChildCode(RootCode(), 1);
+  uint64_t plo, phi;
+  DescendantRange(parent, &plo, &phi);
+  uint64_t cursor = plo;
+  for (size_t q = 0; q < 4; ++q) {
+    uint64_t lo, hi;
+    DescendantRange(ChildCode(parent, q), &lo, &hi);
+    EXPECT_EQ(lo, cursor);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, phi);
+}
+
+TEST(MortonTest, OrderingIsDepthFirst) {
+  MortonCode a = ChildCode(RootCode(), 1);
+  MortonCode a0 = ChildCode(a, 0);
+  MortonCode b = ChildCode(RootCode(), 2);
+  EXPECT_TRUE(RootCode() < a);
+  EXPECT_TRUE(a < a0);     // ancestor before descendant (same bits)
+  EXPECT_TRUE(a0 < b);     // whole subtree of a before b
+  EXPECT_TRUE(a < b);
+}
+
+TEST(MortonTest, ZOrderWithinOneDepth) {
+  // At a fixed depth, codes sort by quadrant path lexicographically.
+  Box2 root = Box2::UnitCube();
+  MortonCode sw = CodeOfPoint(root, Point2(0.1, 0.1), 4);
+  MortonCode se = CodeOfPoint(root, Point2(0.9, 0.1), 4);
+  MortonCode nw = CodeOfPoint(root, Point2(0.1, 0.9), 4);
+  MortonCode ne = CodeOfPoint(root, Point2(0.9, 0.9), 4);
+  EXPECT_TRUE(sw < se);
+  EXPECT_TRUE(se < nw);
+  EXPECT_TRUE(nw < ne);
+}
+
+TEST(MortonTest, MaxDepthCodesDistinct) {
+  Box2 root = Box2::UnitCube();
+  MortonCode a = CodeOfPoint(root, Point2(0.5, 0.5), MortonCode::kMaxDepth);
+  MortonCode b = CodeOfPoint(root, Point2(0.5 + 1e-9, 0.5),
+                             MortonCode::kMaxDepth);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,167 @@
+#include "spatial/mx_quadtree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+TEST(MxQuadtreeTest, EmptyTree) {
+  MxQuadtree tree(4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.side(), 16u);
+  EXPECT_EQ(tree.NodeCount(), 0u);
+  EXPECT_FALSE(tree.Contains(3, 3));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(MxQuadtreeTest, ResolutionLimits) {
+  EXPECT_DEATH(MxQuadtree(0), "resolution_bits");
+  EXPECT_DEATH(MxQuadtree(17), "resolution_bits");
+  EXPECT_EQ(MxQuadtree(1).side(), 2u);
+  EXPECT_EQ(MxQuadtree(16).side(), 65536u);
+}
+
+TEST(MxQuadtreeTest, InsertAndContains) {
+  MxQuadtree tree(3);
+  EXPECT_TRUE(tree.Insert(5, 2).ok());
+  EXPECT_TRUE(tree.Contains(5, 2));
+  EXPECT_FALSE(tree.Contains(2, 5));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(MxQuadtreeTest, OutOfRangeRejected) {
+  MxQuadtree tree(3);
+  EXPECT_EQ(tree.Insert(8, 0).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(tree.Insert(0, 100).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(tree.Contains(8, 0));
+}
+
+TEST(MxQuadtreeTest, DuplicateCellRejected) {
+  MxQuadtree tree(3);
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  EXPECT_EQ(tree.Insert(1, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(MxQuadtreeTest, AllPointsAtFullDepthNodeCounting) {
+  // One point in a 2^k tree materializes exactly k+... nodes: root + one
+  // node per level + the cell = k + 1 nodes (root at block 2^k down to
+  // the cell at block 1).
+  MxQuadtree tree(5);
+  ASSERT_TRUE(tree.Insert(17, 9).ok());
+  EXPECT_EQ(tree.NodeCount(), 6u);  // 5 internals + 1 cell
+}
+
+TEST(MxQuadtreeTest, EraseAndPrune) {
+  MxQuadtree tree(4);
+  ASSERT_TRUE(tree.Insert(3, 3).ok());
+  ASSERT_TRUE(tree.Insert(12, 12).ok());
+  size_t with_two = tree.NodeCount();
+  ASSERT_TRUE(tree.Erase(3, 3).ok());
+  EXPECT_FALSE(tree.Contains(3, 3));
+  EXPECT_TRUE(tree.Contains(12, 12));
+  EXPECT_LT(tree.NodeCount(), with_two);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_TRUE(tree.Erase(12, 12).ok());
+  EXPECT_EQ(tree.NodeCount(), 0u);  // fully pruned
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(MxQuadtreeTest, EraseMissingIsNotFound) {
+  MxQuadtree tree(4);
+  EXPECT_EQ(tree.Erase(1, 1).code(), StatusCode::kNotFound);
+  tree.Insert(1, 1).ok();
+  EXPECT_EQ(tree.Erase(1, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Erase(100, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(MxQuadtreeTest, RangeQueryMatchesBruteForce) {
+  MxQuadtree tree(6);  // 64 x 64
+  std::set<std::pair<uint32_t, uint32_t>> reference;
+  Pcg32 rng(11);
+  for (int i = 0; i < 600; ++i) {
+    uint32_t x = rng.NextBounded(64);
+    uint32_t y = rng.NextBounded(64);
+    Status s = tree.Insert(x, y);
+    bool was_new = reference.emplace(x, y).second;
+    EXPECT_EQ(s.ok(), was_new);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int trial = 0; trial < 25; ++trial) {
+    uint32_t x0 = rng.NextBounded(64), x1 = rng.NextBounded(65);
+    uint32_t y0 = rng.NextBounded(64), y1 = rng.NextBounded(65);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    std::vector<std::pair<uint32_t, uint32_t>> expected;
+    for (const auto& cell : reference) {
+      if (cell.first >= x0 && cell.first < x1 && cell.second >= y0 &&
+          cell.second < y1) {
+        expected.push_back(cell);
+      }
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> got =
+        tree.RangeQuery(x0, y0, x1, y1);
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(MxQuadtreeTest, VisitPointsSeesEverything) {
+  MxQuadtree tree(5);
+  std::set<std::pair<uint32_t, uint32_t>> reference;
+  Pcg32 rng(13);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t x = rng.NextBounded(32), y = rng.NextBounded(32);
+    if (tree.Insert(x, y).ok()) reference.emplace(x, y);
+  }
+  std::set<std::pair<uint32_t, uint32_t>> visited;
+  tree.VisitPoints([&visited](uint32_t x, uint32_t y) {
+    visited.emplace(x, y);
+  });
+  EXPECT_EQ(visited, reference);
+}
+
+TEST(MxQuadtreeTest, ChurnStaysConsistent) {
+  MxQuadtree tree(5);
+  std::set<std::pair<uint32_t, uint32_t>> reference;
+  Pcg32 rng(17);
+  for (int op = 0; op < 3000; ++op) {
+    uint32_t x = rng.NextBounded(32), y = rng.NextBounded(32);
+    if (rng.NextBounded(2) == 0) {
+      bool was_new = reference.emplace(x, y).second;
+      EXPECT_EQ(tree.Insert(x, y).ok(), was_new);
+    } else {
+      bool existed = reference.erase({x, y}) > 0;
+      EXPECT_EQ(tree.Erase(x, y).ok(), existed);
+    }
+    if (op % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << tree.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+TEST(MxQuadtreeTest, DenseCornerSharesPath) {
+  // Adjacent cells share all ancestors: 4 sibling cells need only the
+  // spine plus 4 cell nodes.
+  MxQuadtree tree(4);
+  tree.Insert(0, 0).ok();
+  size_t one = tree.NodeCount();
+  tree.Insert(1, 0).ok();
+  tree.Insert(0, 1).ok();
+  tree.Insert(1, 1).ok();
+  EXPECT_EQ(tree.NodeCount(), one + 3);  // shared spine, 3 more cells
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,101 @@
+#include "spatial/node_arena.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popan::spatial {
+namespace {
+
+struct TestNode {
+  int value = 0;
+  std::vector<int> payload;
+  TestNode() = default;
+  explicit TestNode(int v) : value(v) {}
+};
+
+TEST(NodeArenaTest, AllocateReturnsSequentialIndices) {
+  NodeArena<TestNode> arena;
+  EXPECT_EQ(arena.Allocate(1), 0u);
+  EXPECT_EQ(arena.Allocate(2), 1u);
+  EXPECT_EQ(arena.Allocate(3), 2u);
+  EXPECT_EQ(arena.LiveCount(), 3u);
+}
+
+TEST(NodeArenaTest, GetReturnsConstructedNode) {
+  NodeArena<TestNode> arena;
+  NodeIndex idx = arena.Allocate(42);
+  EXPECT_EQ(arena.Get(idx).value, 42);
+  EXPECT_EQ(arena[idx].value, 42);
+}
+
+TEST(NodeArenaTest, MutationThroughGet) {
+  NodeArena<TestNode> arena;
+  NodeIndex idx = arena.Allocate();
+  arena.Get(idx).value = 9;
+  EXPECT_EQ(arena.Get(idx).value, 9);
+}
+
+TEST(NodeArenaTest, FreeRecyclesSlots) {
+  NodeArena<TestNode> arena;
+  NodeIndex a = arena.Allocate(1);
+  arena.Allocate(2);
+  arena.Free(a);
+  EXPECT_EQ(arena.LiveCount(), 1u);
+  NodeIndex c = arena.Allocate(3);
+  EXPECT_EQ(c, a);  // the freed slot is reused
+  EXPECT_EQ(arena.SlotCount(), 2u);
+  EXPECT_EQ(arena.Get(c).value, 3);
+}
+
+TEST(NodeArenaTest, FreeResetsContents) {
+  NodeArena<TestNode> arena;
+  NodeIndex a = arena.Allocate(5);
+  arena.Get(a).payload = {1, 2, 3};
+  arena.Free(a);
+  NodeIndex b = arena.Allocate();
+  ASSERT_EQ(b, a);
+  EXPECT_TRUE(arena.Get(b).payload.empty());
+  EXPECT_EQ(arena.Get(b).value, 0);
+}
+
+TEST(NodeArenaTest, IndicesStableAcrossGrowth) {
+  NodeArena<TestNode> arena;
+  NodeIndex first = arena.Allocate(7);
+  for (int i = 0; i < 10000; ++i) arena.Allocate(i);
+  EXPECT_EQ(arena.Get(first).value, 7);
+}
+
+TEST(NodeArenaTest, ClearDropsEverything) {
+  NodeArena<TestNode> arena;
+  arena.Allocate(1);
+  arena.Allocate(2);
+  arena.Clear();
+  EXPECT_EQ(arena.LiveCount(), 0u);
+  EXPECT_EQ(arena.SlotCount(), 0u);
+  EXPECT_EQ(arena.Allocate(3), 0u);
+}
+
+TEST(NodeArenaTest, CopySemantics) {
+  NodeArena<TestNode> arena;
+  NodeIndex idx = arena.Allocate(11);
+  NodeArena<TestNode> copy = arena;
+  copy.Get(idx).value = 99;
+  EXPECT_EQ(arena.Get(idx).value, 11);
+  EXPECT_EQ(copy.Get(idx).value, 99);
+}
+
+TEST(NodeArenaTest, ManyFreesAndReuses) {
+  NodeArena<TestNode> arena;
+  std::vector<NodeIndex> indices;
+  for (int i = 0; i < 100; ++i) indices.push_back(arena.Allocate(i));
+  for (int i = 0; i < 100; i += 2) arena.Free(indices[i]);
+  EXPECT_EQ(arena.LiveCount(), 50u);
+  for (int i = 0; i < 50; ++i) arena.Allocate(1000 + i);
+  EXPECT_EQ(arena.LiveCount(), 100u);
+  EXPECT_EQ(arena.SlotCount(), 100u);  // all from the free list
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,167 @@
+#include "spatial/pmr_quadtree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "spatial/census.h"
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using geo::Segment;
+
+PmrQuadtree MakeTree(size_t threshold = 4, size_t max_depth = 16) {
+  PmrQuadtreeOptions options;
+  options.splitting_threshold = threshold;
+  options.max_depth = max_depth;
+  return PmrQuadtree(Box2::UnitCube(), options);
+}
+
+TEST(PmrQuadtreeTest, EmptyTree) {
+  PmrQuadtree tree = MakeTree();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PmrQuadtreeTest, InsertAssignsSequentialIds) {
+  PmrQuadtree tree = MakeTree();
+  ASSERT_TRUE(tree.Insert(Segment(Point2(0.1, 0.1), Point2(0.2, 0.2))).ok());
+  ASSERT_TRUE(tree.Insert(Segment(Point2(0.5, 0.5), Point2(0.6, 0.6))).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.GetSegment(0).a(), Point2(0.1, 0.1));
+  EXPECT_EQ(tree.GetSegment(1).b(), Point2(0.6, 0.6));
+}
+
+TEST(PmrQuadtreeTest, SegmentOutsideBoundsRejected) {
+  PmrQuadtree tree = MakeTree();
+  Status s = tree.Insert(Segment(Point2(2.0, 2.0), Point2(3.0, 3.0)));
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(PmrQuadtreeTest, ThresholdTriggersExactlyOneSplit) {
+  PmrQuadtree tree = MakeTree(2);
+  // Three tiny disjoint segments inside one quadrant: the third insert
+  // pushes the root leaf over threshold 2 -> exactly one split.
+  tree.Insert(Segment(Point2(0.10, 0.10), Point2(0.11, 0.10))).ok();
+  tree.Insert(Segment(Point2(0.12, 0.12), Point2(0.13, 0.12))).ok();
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  tree.Insert(Segment(Point2(0.14, 0.14), Point2(0.15, 0.14))).ok();
+  EXPECT_EQ(tree.LeafCount(), 4u);  // split once, NOT recursively
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PmrQuadtreeTest, OverThresholdChildSplitsOnNextInsertion) {
+  PmrQuadtree tree = MakeTree(2);
+  tree.Insert(Segment(Point2(0.10, 0.10), Point2(0.11, 0.10))).ok();
+  tree.Insert(Segment(Point2(0.12, 0.12), Point2(0.13, 0.12))).ok();
+  tree.Insert(Segment(Point2(0.14, 0.14), Point2(0.15, 0.14))).ok();
+  ASSERT_EQ(tree.LeafCount(), 4u);
+  // All three live in the SW child, which is over threshold but waits.
+  // The next insertion touching it splits it (once).
+  tree.Insert(Segment(Point2(0.16, 0.16), Point2(0.17, 0.16))).ok();
+  EXPECT_EQ(tree.LeafCount(), 7u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PmrQuadtreeTest, CrossingSegmentStoredInAllLeavesItTouches) {
+  PmrQuadtree tree = MakeTree(1);
+  // Force a split with two small segments.
+  tree.Insert(Segment(Point2(0.1, 0.1), Point2(0.15, 0.1))).ok();
+  tree.Insert(Segment(Point2(0.8, 0.8), Point2(0.85, 0.8))).ok();
+  ASSERT_GT(tree.LeafCount(), 1u);
+  // A horizontal chord through y=0.5... use y=0.3 to cross both lower
+  // quadrants.
+  tree.Insert(Segment(Point2(0.0, 0.3), Point2(1.0, 0.3))).ok();
+  EXPECT_TRUE(tree.CheckInvariants().ok());  // includes coverage check
+}
+
+TEST(PmrQuadtreeTest, RangeQueryFindsCrossingSegments) {
+  PmrQuadtree tree = MakeTree(2);
+  tree.Insert(Segment(Point2(0.1, 0.1), Point2(0.9, 0.9))).ok();   // id 0
+  tree.Insert(Segment(Point2(0.1, 0.9), Point2(0.3, 0.7))).ok();   // id 1
+  tree.Insert(Segment(Point2(0.85, 0.1), Point2(0.95, 0.2))).ok(); // id 2
+  std::vector<PmrQuadtree::SegmentId> hits =
+      tree.RangeQuery(Box2(Point2(0.0, 0.6), Point2(0.4, 1.0)));
+  std::set<PmrQuadtree::SegmentId> got(hits.begin(), hits.end());
+  EXPECT_TRUE(got.count(1));
+  EXPECT_FALSE(got.count(2));
+}
+
+TEST(PmrQuadtreeTest, RangeQueryDeduplicatesFragments) {
+  PmrQuadtree tree = MakeTree(1);
+  // Split the root, then insert a long diagonal crossing many leaves.
+  tree.Insert(Segment(Point2(0.1, 0.1), Point2(0.12, 0.1))).ok();
+  tree.Insert(Segment(Point2(0.9, 0.9), Point2(0.92, 0.9))).ok();
+  tree.Insert(Segment(Point2(0.0, 0.0), Point2(0.99, 0.99))).ok();
+  std::vector<PmrQuadtree::SegmentId> hits =
+      tree.RangeQuery(Box2::UnitCube());
+  // Every id exactly once.
+  std::set<PmrQuadtree::SegmentId> got(hits.begin(), hits.end());
+  EXPECT_EQ(hits.size(), got.size());
+  EXPECT_EQ(got.size(), 3u);
+}
+
+TEST(PmrQuadtreeTest, MaxDepthStopsSplitting) {
+  PmrQuadtreeOptions options;
+  options.splitting_threshold = 1;
+  options.max_depth = 2;
+  PmrQuadtree tree(Box2::UnitCube(), options);
+  for (int i = 0; i < 8; ++i) {
+    double y = 0.01 + 0.002 * i;
+    ASSERT_TRUE(
+        tree.Insert(Segment(Point2(0.01, y), Point2(0.02, y))).ok());
+  }
+  size_t deepest = 0;
+  tree.VisitLeaves([&](const Box2&, size_t depth, size_t) {
+    deepest = std::max(deepest, depth);
+  });
+  EXPECT_LE(deepest, 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PmrQuadtreeTest, CensusCountsFragments) {
+  PmrQuadtree tree = MakeTree(8);
+  // One segment crossing the whole box in a single leaf: occupancy 1.
+  tree.Insert(Segment(Point2(0.0, 0.5), Point2(0.99, 0.5))).ok();
+  Census census = TakeCensus(tree);
+  EXPECT_EQ(census.LeafCount(), 1u);
+  EXPECT_EQ(census.ItemCount(), 1u);
+}
+
+TEST(PmrQuadtreeTest, RandomWorkloadKeepsInvariants) {
+  PmrQuadtree tree = MakeTree(4);
+  Pcg32 rng(31);
+  for (int i = 0; i < 150; ++i) {
+    Point2 a(rng.NextDouble(), rng.NextDouble());
+    Point2 b(a.x() + rng.NextDouble(-0.2, 0.2),
+             a.y() + rng.NextDouble(-0.2, 0.2));
+    Segment s(a, b);
+    if (s.IntersectsBox(Box2::UnitCube())) {
+      ASSERT_TRUE(tree.Insert(s).ok());
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok())
+      << tree.CheckInvariants().ToString();
+  EXPECT_GT(tree.LeafCount(), 4u);
+}
+
+TEST(PmrQuadtreeTest, FragmentCountGrowsWithCrossings) {
+  // A long segment contributes one fragment per leaf it crosses; verify
+  // census items exceed segment count once leaves multiply.
+  PmrQuadtree tree = MakeTree(1);
+  tree.Insert(Segment(Point2(0.1, 0.2), Point2(0.2, 0.2))).ok();
+  tree.Insert(Segment(Point2(0.7, 0.8), Point2(0.8, 0.8))).ok();
+  tree.Insert(Segment(Point2(0.0, 0.4), Point2(0.99, 0.6))).ok();
+  Census census = TakeCensus(tree);
+  EXPECT_GT(census.ItemCount(), tree.size());
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,164 @@
+#include "spatial/point_quadtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+TEST(PointQuadtreeTest, EmptyTree) {
+  PointQuadtree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_FALSE(tree.Contains(Point2(0.0, 0.0)));
+  EXPECT_EQ(tree.Nearest(Point2(0.0, 0.0)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PointQuadtreeTest, InsertAndContains) {
+  PointQuadtree tree;
+  EXPECT_TRUE(tree.Insert(Point2(0.5, 0.5)).ok());
+  EXPECT_TRUE(tree.Insert(Point2(0.1, 0.9)).ok());
+  EXPECT_TRUE(tree.Contains(Point2(0.5, 0.5)));
+  EXPECT_TRUE(tree.Contains(Point2(0.1, 0.9)));
+  EXPECT_FALSE(tree.Contains(Point2(0.9, 0.1)));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(PointQuadtreeTest, DuplicateRejected) {
+  PointQuadtree tree;
+  ASSERT_TRUE(tree.Insert(Point2(0.5, 0.5)).ok());
+  EXPECT_EQ(tree.Insert(Point2(0.5, 0.5)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(PointQuadtreeTest, ShapeDependsOnInsertionOrder) {
+  // The §II contrast with the PR quadtree: the same set, different orders,
+  // different trees.
+  std::vector<Point2> points = {Point2(0.5, 0.5), Point2(0.2, 0.2),
+                                Point2(0.8, 0.8), Point2(0.1, 0.1)};
+  PointQuadtree in_order;
+  for (const Point2& p : points) in_order.Insert(p).ok();
+  PointQuadtree reversed;
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    reversed.Insert(*it).ok();
+  }
+  // Chain 0.5 -> 0.2 -> 0.1 gives height 2 one way; reversed roots at 0.1.
+  EXPECT_NE(in_order.Height(), reversed.Height());
+}
+
+TEST(PointQuadtreeTest, DegenerateOrderDegradesToList) {
+  PointQuadtree tree;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    double t = 0.9 - 0.01 * i;  // strictly decreasing diagonal
+    ASSERT_TRUE(tree.Insert(Point2(t, t)).ok());
+  }
+  EXPECT_EQ(tree.Height(), static_cast<size_t>(n - 1));
+}
+
+TEST(PointQuadtreeTest, RandomOrderIsShallow) {
+  PointQuadtree tree;
+  Pcg32 rng(7);
+  const int n = 1000;
+  int inserted = 0;
+  while (inserted < n) {
+    if (tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok()) {
+      ++inserted;
+    }
+  }
+  // Random point quadtrees have expected height O(log4 n) with modest
+  // constants; 1000 points should stay far below 30.
+  EXPECT_LT(tree.Height(), 30u);
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+}
+
+TEST(PointQuadtreeTest, RangeQueryMatchesBruteForce) {
+  PointQuadtree tree;
+  std::vector<Point2> points;
+  Pcg32 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) points.push_back(p);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    double x0 = rng.NextDouble(), x1 = rng.NextDouble();
+    double y0 = rng.NextDouble(), y1 = rng.NextDouble();
+    Box2 query(Point2(std::min(x0, x1), std::min(y0, y1)),
+               Point2(std::max(x0, x1), std::max(y0, y1)));
+    std::vector<Point2> expected;
+    for (const Point2& p : points) {
+      if (query.Contains(p)) expected.push_back(p);
+    }
+    std::vector<Point2> got = tree.RangeQuery(query);
+    auto by_key = [](const Point2& a, const Point2& b) {
+      return std::make_pair(a.x(), a.y()) < std::make_pair(b.x(), b.y());
+    };
+    std::sort(expected.begin(), expected.end(), by_key);
+    std::sort(got.begin(), got.end(), by_key);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(PointQuadtreeTest, NearestMatchesBruteForce) {
+  PointQuadtree tree;
+  std::vector<Point2> points;
+  Pcg32 rng(123);
+  for (int i = 0; i < 200; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) points.push_back(p);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    Point2 target(rng.NextDouble(), rng.NextDouble());
+    StatusOr<Point2> got = tree.Nearest(target);
+    ASSERT_TRUE(got.ok());
+    double best = 1e100;
+    for (const Point2& p : points) {
+      best = std::min(best, p.DistanceSquared(target));
+    }
+    EXPECT_DOUBLE_EQ(got->DistanceSquared(target), best);
+  }
+}
+
+TEST(PointQuadtreeTest, VisitNodesSeesEveryPointOnce) {
+  PointQuadtree tree;
+  Pcg32 rng(5);
+  const int n = 100;
+  int inserted = 0;
+  while (inserted < n) {
+    if (tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok()) {
+      ++inserted;
+    }
+  }
+  size_t visited = 0;
+  tree.VisitNodes([&](const Point2&, size_t) { ++visited; });
+  EXPECT_EQ(visited, static_cast<size_t>(n));
+}
+
+TEST(PointQuadtreeTest, TotalPathLengthOfChain) {
+  PointQuadtree tree;
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  tree.Insert(Point2(0.4, 0.4)).ok();
+  tree.Insert(Point2(0.3, 0.3)).ok();
+  EXPECT_EQ(tree.TotalPathLength(), 3u);  // depths 0 + 1 + 2
+}
+
+TEST(PointQuadtreeTest, ClearResets) {
+  PointQuadtree tree;
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Insert(Point2(0.5, 0.5)).ok());
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,341 @@
+#include "spatial/pr_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/census.h"
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+PrQuadtree MakeTree(size_t capacity = 1, size_t max_depth = 32) {
+  PrTreeOptions options;
+  options.capacity = capacity;
+  options.max_depth = max_depth;
+  return PrQuadtree(Box2::UnitCube(), options);
+}
+
+TEST(PrTreeTest, EmptyTree) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, SingleInsert) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_TRUE(tree.Insert(Point2(0.3, 0.4)).ok());
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.LeafCount(), 1u);  // no split needed
+  EXPECT_TRUE(tree.Contains(Point2(0.3, 0.4)));
+  EXPECT_FALSE(tree.Contains(Point2(0.3, 0.5)));
+}
+
+TEST(PrTreeTest, OutOfBoundsRejected) {
+  PrQuadtree tree = MakeTree();
+  Status s = tree.Insert(Point2(1.5, 0.5));
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains(Point2(1.5, 0.5)));
+}
+
+TEST(PrTreeTest, HiCornerIsOutside) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_EQ(tree.Insert(Point2(1.0, 1.0)).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(tree.Insert(Point2(0.0, 0.0)).ok());
+}
+
+TEST(PrTreeTest, DuplicateRejected) {
+  PrQuadtree tree = MakeTree();
+  ASSERT_TRUE(tree.Insert(Point2(0.3, 0.4)).ok());
+  Status s = tree.Insert(Point2(0.3, 0.4));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(PrTreeTest, SecondPointSplitsCapacityOneNode) {
+  PrQuadtree tree = MakeTree(1);
+  ASSERT_TRUE(tree.Insert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.9, 0.9)).ok());
+  // Points in opposite quadrants: one split suffices -> 4 leaves.
+  EXPECT_EQ(tree.LeafCount(), 4u);
+  EXPECT_EQ(tree.NodeCount(), 5u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, CloseTogetherPointsCascadeSplits) {
+  PrQuadtree tree = MakeTree(1);
+  // Both points in the lowest quadrant repeatedly: depth must reach the
+  // first level at which they separate.
+  ASSERT_TRUE(tree.Insert(Point2(0.01, 0.01)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.02, 0.02)).ok());
+  EXPECT_GT(tree.LeafCount(), 4u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Contains(Point2(0.01, 0.01)));
+  EXPECT_TRUE(tree.Contains(Point2(0.02, 0.02)));
+}
+
+TEST(PrTreeTest, Figure1Decomposition) {
+  // The paper's Figure 1: four points where blocks are recursively
+  // quartered until no block holds more than one point.
+  PrQuadtree tree = MakeTree(1);
+  ASSERT_TRUE(tree.Insert(Point2(0.2, 0.8)).ok());   // NW block
+  ASSERT_TRUE(tree.Insert(Point2(0.7, 0.9)).ok());   // NE block
+  ASSERT_TRUE(tree.Insert(Point2(0.3, 0.3)).ok());   // SW block
+  ASSERT_TRUE(tree.Insert(Point2(0.8, 0.2)).ok());   // SE block
+  EXPECT_EQ(tree.LeafCount(), 4u);                   // one split total
+  for (const Point2& p : tree.AllPoints()) {
+    EXPECT_TRUE(tree.Contains(p));
+  }
+}
+
+TEST(PrTreeTest, CapacityGovernsSplitting) {
+  PrQuadtree tree = MakeTree(4);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.2, 0.2)).ok();
+  tree.Insert(Point2(0.3, 0.3)).ok();
+  ASSERT_TRUE(tree.Insert(Point2(0.4, 0.4)).ok());
+  EXPECT_EQ(tree.LeafCount(), 1u);  // four points fit one node of cap 4
+  ASSERT_TRUE(tree.Insert(Point2(0.9, 0.9)).ok());
+  EXPECT_GT(tree.LeafCount(), 1u);  // fifth point forces the split
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, MaxDepthTruncationAllowsOverflow) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 2;
+  PrQuadtree tree(Box2::UnitCube(), options);
+  // All points in one depth-2 block [0, 0.25)^2: cannot split past depth 2.
+  ASSERT_TRUE(tree.Insert(Point2(0.01, 0.01)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.02, 0.02)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.03, 0.03)).ok());
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  size_t max_depth_seen = 0;
+  tree.VisitLeaves([&](const Box2&, size_t depth, size_t) {
+    max_depth_seen = std::max(max_depth_seen, depth);
+  });
+  EXPECT_EQ(max_depth_seen, 2u);
+}
+
+TEST(PrTreeTest, EraseSimple) {
+  PrQuadtree tree = MakeTree();
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  EXPECT_TRUE(tree.Erase(Point2(0.5, 0.5)).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains(Point2(0.5, 0.5)));
+}
+
+TEST(PrTreeTest, EraseMissingIsNotFound) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_EQ(tree.Erase(Point2(0.5, 0.5)).code(), StatusCode::kNotFound);
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  EXPECT_EQ(tree.Erase(Point2(0.4, 0.5)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Erase(Point2(2.0, 2.0)).code(), StatusCode::kNotFound);
+}
+
+TEST(PrTreeTest, EraseCollapsesTree) {
+  PrQuadtree tree = MakeTree(1);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.9, 0.9)).ok();
+  ASSERT_EQ(tree.LeafCount(), 4u);
+  ASSERT_TRUE(tree.Erase(Point2(0.9, 0.9)).ok());
+  // One point left: the tree must collapse back to a single leaf.
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_TRUE(tree.Contains(Point2(0.1, 0.1)));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, EraseCollapsesDeepChains) {
+  PrQuadtree tree = MakeTree(1);
+  tree.Insert(Point2(0.001, 0.001)).ok();
+  tree.Insert(Point2(0.002, 0.002)).ok();
+  ASSERT_GT(tree.LeafCount(), 4u);
+  ASSERT_TRUE(tree.Erase(Point2(0.002, 0.002)).ok());
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, RangeQueryFindsInsidePointsOnly) {
+  PrQuadtree tree = MakeTree(2);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  tree.Insert(Point2(0.9, 0.9)).ok();
+  std::vector<Point2> hits =
+      tree.RangeQuery(Box2(Point2(0.4, 0.4), Point2(0.8, 0.8)));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], Point2(0.5, 0.5));
+}
+
+TEST(PrTreeTest, RangeQueryHalfOpenBoundary) {
+  PrQuadtree tree = MakeTree(4);
+  tree.Insert(Point2(0.5, 0.5)).ok();
+  // Query with hi exactly at the point excludes it; lo at the point
+  // includes it.
+  EXPECT_TRUE(
+      tree.RangeQuery(Box2(Point2(0.0, 0.0), Point2(0.5, 0.5))).empty());
+  EXPECT_EQ(
+      tree.RangeQuery(Box2(Point2(0.5, 0.5), Point2(1.0, 1.0))).size(), 1u);
+}
+
+TEST(PrTreeTest, NearestOnEmptyTreeIsNotFound) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_EQ(tree.Nearest(Point2(0.5, 0.5)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PrTreeTest, NearestSinglePoint) {
+  PrQuadtree tree = MakeTree();
+  tree.Insert(Point2(0.25, 0.75)).ok();
+  StatusOr<Point2> nearest = tree.Nearest(Point2(0.9, 0.1));
+  ASSERT_TRUE(nearest.ok());
+  EXPECT_EQ(nearest.value(), Point2(0.25, 0.75));
+}
+
+TEST(PrTreeTest, NearestKMatchesBruteForce) {
+  PrQuadtree tree = MakeTree(3);
+  std::vector<Point2> points;
+  Pcg32 rng(321);
+  for (int i = 0; i < 300; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) points.push_back(p);
+  }
+  for (size_t k : {1u, 2u, 5u, 20u}) {
+    Point2 target(rng.NextDouble(), rng.NextDouble());
+    std::vector<Point2> got = tree.NearestK(target, k);
+    ASSERT_EQ(got.size(), k);
+    std::vector<Point2> expected = points;
+    std::sort(expected.begin(), expected.end(),
+              [&target](const Point2& a, const Point2& b) {
+                return a.DistanceSquared(target) < b.DistanceSquared(target);
+              });
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(got[i].DistanceSquared(target),
+                       expected[i].DistanceSquared(target))
+          << "k=" << k << " rank " << i;
+    }
+  }
+}
+
+TEST(PrTreeTest, NearestKWithFewerPointsReturnsAll) {
+  PrQuadtree tree = MakeTree(2);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.9, 0.9)).ok();
+  std::vector<Point2> got = tree.NearestK(Point2(0.0, 0.0), 10);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], Point2(0.1, 0.1));
+  EXPECT_EQ(got[1], Point2(0.9, 0.9));
+}
+
+TEST(PrTreeTest, NearestKOnEmptyTreeIsEmpty) {
+  PrQuadtree tree = MakeTree();
+  EXPECT_TRUE(tree.NearestK(Point2(0.5, 0.5), 3).empty());
+}
+
+TEST(PrTreeTest, NearestKOrderedAscending) {
+  PrQuadtree tree = MakeTree(4);
+  Pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  Point2 target(0.5, 0.5);
+  std::vector<Point2> got = tree.NearestK(target, 10);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].DistanceSquared(target),
+              got[i].DistanceSquared(target));
+  }
+}
+
+TEST(PrTreeTest, VisitLeavesCountsMatchSize) {
+  PrQuadtree tree = MakeTree(2);
+  Pcg32 rng(55);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Point2(rng.NextDouble(), rng.NextDouble())).ok();
+  }
+  size_t leaves = 0, items = 0;
+  tree.VisitLeaves([&](const Box2&, size_t, size_t occupancy) {
+    ++leaves;
+    items += occupancy;
+  });
+  EXPECT_EQ(leaves, tree.LeafCount());
+  EXPECT_EQ(items, tree.size());
+}
+
+TEST(PrTreeTest, AllPointsReturnsEverything) {
+  PrQuadtree tree = MakeTree(3);
+  std::vector<Point2> inserted;
+  Pcg32 rng(77);
+  for (int i = 0; i < 50; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) inserted.push_back(p);
+  }
+  std::vector<Point2> all = tree.AllPoints();
+  EXPECT_EQ(all.size(), inserted.size());
+  for (const Point2& p : inserted) {
+    EXPECT_NE(std::find(all.begin(), all.end(), p), all.end());
+  }
+}
+
+TEST(PrTreeTest, ClearResets) {
+  PrQuadtree tree = MakeTree(1);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.9, 0.9)).ok();
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Insert(Point2(0.1, 0.1)).ok());
+}
+
+TEST(PrTreeTest, BintreeWorks) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  PrBintree tree(geo::Box1::UnitCube(), options);
+  EXPECT_TRUE(tree.Insert(geo::Point1(0.1)).ok());
+  EXPECT_TRUE(tree.Insert(geo::Point1(0.9)).ok());
+  EXPECT_EQ(tree.LeafCount(), 2u);  // fanout 2
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, OctreeWorks) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  PrOctree tree(geo::Box3::UnitCube(), options);
+  EXPECT_TRUE(tree.Insert(geo::Point3(0.1, 0.1, 0.1)).ok());
+  EXPECT_TRUE(tree.Insert(geo::Point3(0.9, 0.9, 0.9)).ok());
+  EXPECT_EQ(tree.LeafCount(), 8u);  // fanout 8
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeTest, CensusIntegration) {
+  PrQuadtree tree = MakeTree(1);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  tree.Insert(Point2(0.9, 0.9)).ok();
+  Census census = TakeCensus(tree);
+  EXPECT_EQ(census.LeafCount(), 4u);
+  EXPECT_EQ(census.CountAt(0), 2u);
+  EXPECT_EQ(census.CountAt(1), 2u);
+  EXPECT_EQ(census.ItemCount(), 2u);
+}
+
+TEST(PrTreeTest, CopyIsIndependent) {
+  PrQuadtree tree = MakeTree(1);
+  tree.Insert(Point2(0.1, 0.1)).ok();
+  PrQuadtree copy = tree;
+  copy.Insert(Point2(0.9, 0.9)).ok();
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+}
+
+}  // namespace
+}  // namespace popan::spatial

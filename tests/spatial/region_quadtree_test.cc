@@ -1,0 +1,221 @@
+#include "spatial/region_quadtree.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+std::vector<uint8_t> RandomRaster(size_t side, double density,
+                                  uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint8_t> pixels(side * side);
+  for (auto& px : pixels) px = rng.NextDouble() < density ? 1 : 0;
+  return pixels;
+}
+
+TEST(RegionQuadtreeTest, EmptyAndFull) {
+  RegionQuadtree empty = RegionQuadtree::Empty(8).value();
+  RegionQuadtree full = RegionQuadtree::Full(8).value();
+  EXPECT_EQ(empty.Area(), 0u);
+  EXPECT_EQ(full.Area(), 64u);
+  EXPECT_EQ(empty.LeafCount(), 1u);
+  EXPECT_EQ(full.LeafCount(), 1u);
+  EXPECT_FALSE(empty.At(3, 3));
+  EXPECT_TRUE(full.At(3, 3));
+}
+
+TEST(RegionQuadtreeTest, InvalidSides) {
+  EXPECT_FALSE(RegionQuadtree::Empty(0).ok());
+  EXPECT_FALSE(RegionQuadtree::Empty(3).ok());
+  EXPECT_FALSE(RegionQuadtree::Empty(100000).ok());
+  EXPECT_TRUE(RegionQuadtree::Empty(1).ok());
+}
+
+TEST(RegionQuadtreeTest, RasterRoundTrip) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::vector<uint8_t> pixels = RandomRaster(16, 0.4, seed);
+    RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+    EXPECT_EQ(tree.ToRaster(), pixels);
+    EXPECT_TRUE(tree.CheckInvariants().ok());
+  }
+}
+
+TEST(RegionQuadtreeTest, RasterSizeMismatchRejected) {
+  EXPECT_FALSE(RegionQuadtree::FromRaster({1, 0, 1}, 2).ok());
+}
+
+TEST(RegionQuadtreeTest, AtMatchesRaster) {
+  std::vector<uint8_t> pixels = RandomRaster(32, 0.5, 9);
+  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 32).value();
+  for (size_t y = 0; y < 32; ++y) {
+    for (size_t x = 0; x < 32; ++x) {
+      EXPECT_EQ(tree.At(x, y), pixels[y * 32 + x] != 0)
+          << "(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(RegionQuadtreeTest, AreaMatchesPixelCount) {
+  std::vector<uint8_t> pixels = RandomRaster(64, 0.3, 17);
+  uint64_t expected = 0;
+  for (uint8_t px : pixels) expected += px;
+  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 64).value();
+  EXPECT_EQ(tree.Area(), expected);
+}
+
+TEST(RegionQuadtreeTest, ConstructionNormalizes) {
+  // A raster that is uniform must collapse to a single leaf.
+  std::vector<uint8_t> black(16 * 16, 1);
+  RegionQuadtree tree = RegionQuadtree::FromRaster(black, 16).value();
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+}
+
+TEST(RegionQuadtreeTest, CheckerboardIsMaximal) {
+  std::vector<uint8_t> pixels(8 * 8);
+  for (size_t y = 0; y < 8; ++y) {
+    for (size_t x = 0; x < 8; ++x) pixels[y * 8 + x] = (x + y) & 1;
+  }
+  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 8).value();
+  EXPECT_EQ(tree.LeafCount(), 64u);  // nothing merges
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RegionQuadtreeTest, SetPixelAndCollapse) {
+  RegionQuadtree tree = RegionQuadtree::Empty(8).value();
+  tree.Set(5, 2, true);
+  EXPECT_TRUE(tree.At(5, 2));
+  EXPECT_EQ(tree.Area(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  tree.Set(5, 2, false);
+  EXPECT_EQ(tree.Area(), 0u);
+  // Un-setting must collapse back to the single empty leaf.
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+}
+
+TEST(RegionQuadtreeTest, SetRectPaintsExactly) {
+  RegionQuadtree tree = RegionQuadtree::Empty(16).value();
+  tree.SetRect(3, 5, 11, 9, true);
+  EXPECT_EQ(tree.Area(), (11u - 3u) * (9u - 5u));
+  for (size_t y = 0; y < 16; ++y) {
+    for (size_t x = 0; x < 16; ++x) {
+      EXPECT_EQ(tree.At(x, y), x >= 3 && x < 11 && y >= 5 && y < 9);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RegionQuadtreeTest, SetRectAlignedBlockStaysSmall) {
+  RegionQuadtree tree = RegionQuadtree::Empty(16).value();
+  tree.SetRect(8, 8, 16, 16, true);  // exactly the NE quadrant
+  EXPECT_EQ(tree.LeafCount(), 4u);
+  EXPECT_EQ(tree.Area(), 64u);
+}
+
+TEST(RegionQuadtreeTest, EmptyRectIsNoOp) {
+  RegionQuadtree tree = RegionQuadtree::Empty(8).value();
+  tree.SetRect(3, 3, 3, 7, true);
+  EXPECT_EQ(tree.Area(), 0u);
+}
+
+TEST(RegionQuadtreeTest, UnionMatchesPixelwiseOr) {
+  std::vector<uint8_t> pa = RandomRaster(32, 0.3, 21);
+  std::vector<uint8_t> pb = RandomRaster(32, 0.3, 22);
+  RegionQuadtree a = RegionQuadtree::FromRaster(pa, 32).value();
+  RegionQuadtree b = RegionQuadtree::FromRaster(pb, 32).value();
+  RegionQuadtree u = RegionQuadtree::Union(a, b);
+  std::vector<uint8_t> expected(32 * 32);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = (pa[i] | pb[i]) != 0;
+  }
+  EXPECT_EQ(u.ToRaster(), expected);
+  EXPECT_TRUE(u.CheckInvariants().ok());
+}
+
+TEST(RegionQuadtreeTest, IntersectMatchesPixelwiseAnd) {
+  std::vector<uint8_t> pa = RandomRaster(32, 0.6, 23);
+  std::vector<uint8_t> pb = RandomRaster(32, 0.6, 24);
+  RegionQuadtree a = RegionQuadtree::FromRaster(pa, 32).value();
+  RegionQuadtree b = RegionQuadtree::FromRaster(pb, 32).value();
+  RegionQuadtree i = RegionQuadtree::Intersect(a, b);
+  std::vector<uint8_t> expected(32 * 32);
+  for (size_t k = 0; k < expected.size(); ++k) {
+    expected[k] = (pa[k] & pb[k]) != 0;
+  }
+  EXPECT_EQ(i.ToRaster(), expected);
+  EXPECT_TRUE(i.CheckInvariants().ok());
+}
+
+TEST(RegionQuadtreeTest, ComplementInvolution) {
+  std::vector<uint8_t> pixels = RandomRaster(16, 0.5, 25);
+  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+  RegionQuadtree twice = tree.Complement().Complement();
+  EXPECT_EQ(twice, tree);
+  EXPECT_EQ(tree.Complement().Area(), 16u * 16u - tree.Area());
+}
+
+TEST(RegionQuadtreeTest, DeMorgan) {
+  RegionQuadtree a =
+      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 26), 16).value();
+  RegionQuadtree b =
+      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 27), 16).value();
+  RegionQuadtree lhs = RegionQuadtree::Union(a, b).Complement();
+  RegionQuadtree rhs =
+      RegionQuadtree::Intersect(a.Complement(), b.Complement());
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RegionQuadtreeTest, UnionIdentities) {
+  RegionQuadtree a =
+      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 28), 16).value();
+  RegionQuadtree empty = RegionQuadtree::Empty(16).value();
+  RegionQuadtree full = RegionQuadtree::Full(16).value();
+  EXPECT_EQ(RegionQuadtree::Union(a, empty), a);
+  EXPECT_EQ(RegionQuadtree::Union(a, full), full);
+  EXPECT_EQ(RegionQuadtree::Intersect(a, full), a);
+  EXPECT_EQ(RegionQuadtree::Intersect(a, empty), empty);
+  EXPECT_EQ(RegionQuadtree::Union(a, a), a);
+  EXPECT_EQ(RegionQuadtree::Intersect(a, a), a);
+}
+
+TEST(RegionQuadtreeTest, VisitLeavesTilesImage) {
+  std::vector<uint8_t> pixels = RandomRaster(16, 0.35, 29);
+  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+  uint64_t covered = 0;
+  tree.VisitLeaves([&](size_t, size_t, size_t block, bool) {
+    covered += static_cast<uint64_t>(block) * block;
+  });
+  EXPECT_EQ(covered, 16u * 16u);
+}
+
+TEST(RegionQuadtreeTest, RandomEditsAgainstBitmapOracle) {
+  const size_t side = 16;
+  RegionQuadtree tree = RegionQuadtree::Empty(side).value();
+  std::vector<uint8_t> oracle(side * side, 0);
+  Pcg32 rng(31);
+  for (int op = 0; op < 400; ++op) {
+    size_t x0 = rng.NextBounded(side), x1 = rng.NextBounded(side);
+    size_t y0 = rng.NextBounded(side), y1 = rng.NextBounded(side);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    bool black = rng.NextBounded(2) == 0;
+    tree.SetRect(x0, y0, x1 + 1, y1 + 1, black);
+    for (size_t y = y0; y <= y1; ++y) {
+      for (size_t x = x0; x <= x1; ++x) oracle[y * side + x] = black;
+    }
+    if (op % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << tree.CheckInvariants().ToString();
+      ASSERT_EQ(tree.ToRaster(), oracle) << "op " << op;
+    }
+  }
+  EXPECT_EQ(tree.ToRaster(), oracle);
+}
+
+}  // namespace
+}  // namespace popan::spatial

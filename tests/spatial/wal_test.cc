@@ -1,0 +1,165 @@
+#include "spatial/wal.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+PrTreeOptions SmallOptions() {
+  PrTreeOptions options;
+  options.capacity = 2;
+  options.max_depth = 20;
+  return options;
+}
+
+TEST(WalTest, HeaderOnlyRecoversEmptyTree) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->tree.size(), 0u);
+  EXPECT_EQ(recovery->records_applied, 0u);
+  EXPECT_FALSE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->tree.capacity(), 2u);
+}
+
+TEST(WalTest, ReplayReconstructsTheTree) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  PrTree<2> reference(Box2::UnitCube(), SmallOptions());
+  Pcg32 rng(3);
+  std::vector<Point2> live;
+  for (int op = 0; op < 500; ++op) {
+    if (live.empty() || rng.NextBounded(3) != 0) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (reference.Insert(p).ok()) {
+        writer.LogInsert(p);
+        live.push_back(p);
+      }
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(reference.Erase(live[idx]).ok());
+      writer.LogErase(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->tree.size(), reference.size());
+  EXPECT_EQ(recovery->tree.LeafCount(), reference.LeafCount());
+  for (const Point2& p : live) {
+    EXPECT_TRUE(recovery->tree.Contains(p));
+  }
+  EXPECT_TRUE(recovery->tree.CheckInvariants().ok());
+}
+
+TEST(WalTest, SequenceNumbersAreConsecutive) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  EXPECT_EQ(writer.LogInsert(Point2(0.1, 0.1)), 1u);
+  EXPECT_EQ(writer.LogInsert(Point2(0.2, 0.2)), 2u);
+  EXPECT_EQ(writer.LogErase(Point2(0.1, 0.1)), 3u);
+  EXPECT_EQ(writer.next_sequence(), 4u);
+}
+
+TEST(WalTest, TornTailIsDiscardedNotFatal) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  writer.LogInsert(Point2(0.1, 0.1));
+  writer.LogInsert(Point2(0.9, 0.9));
+  std::string text = log.str();
+  // Simulate a crash mid-write: drop the last 10 characters.
+  text.resize(text.size() - 10);
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->records_applied, 1u);
+  EXPECT_TRUE(recovery->tree.Contains(Point2(0.1, 0.1)));
+  EXPECT_FALSE(recovery->tree.Contains(Point2(0.9, 0.9)));
+}
+
+TEST(WalTest, CorruptChecksumStopsReplay) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  writer.LogInsert(Point2(0.1, 0.1));
+  writer.LogInsert(Point2(0.9, 0.9));
+  std::string text = log.str();
+  // Flip a digit of the second record's x coordinate; its checksum no
+  // longer matches.
+  size_t pos = text.rfind("0.9");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 2] = '8';
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->truncation_reason, "checksum mismatch");
+  EXPECT_EQ(recovery->records_applied, 1u);
+}
+
+TEST(WalTest, SequenceGapStopsReplay) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  writer.LogInsert(Point2(0.1, 0.1));
+  // Hand-craft a record with sequence 5 (valid checksum, wrong sequence).
+  uint64_t checksum = WalChecksum(5, 'I', 0.5, 0.5);
+  std::string text = log.str() + "5 I 0.5 0.5 " +
+                     std::to_string(checksum) + "\n";
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->truncation_reason, "sequence gap");
+}
+
+TEST(WalTest, InapplicableRecordStopsReplay) {
+  // An erase of a point that is not stored signals log/state divergence.
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  writer.LogErase(Point2(0.5, 0.5));
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->records_applied, 0u);
+}
+
+TEST(WalTest, BadHeaderIsFatal) {
+  EXPECT_FALSE(ReplayWal(std::string("nonsense\n")).ok());
+  EXPECT_FALSE(ReplayWal(std::string("")).ok());
+  EXPECT_FALSE(
+      ReplayWal(std::string("popan-wal v1 0 20 0 0 1 1\n")).ok());
+  EXPECT_FALSE(
+      ReplayWal(std::string("popan-wal v1 2 20 1 0 0 1\n")).ok());
+}
+
+TEST(WalTest, ChecksumIsContentSensitive) {
+  uint64_t base = WalChecksum(1, 'I', 0.25, 0.75);
+  EXPECT_NE(base, WalChecksum(2, 'I', 0.25, 0.75));
+  EXPECT_NE(base, WalChecksum(1, 'E', 0.25, 0.75));
+  EXPECT_NE(base, WalChecksum(1, 'I', 0.250001, 0.75));
+  EXPECT_NE(base, WalChecksum(1, 'I', 0.25, 0.750001));
+  EXPECT_EQ(base, WalChecksum(1, 'I', 0.25, 0.75));
+}
+
+TEST(WalTest, FullPrecisionSurvivesTheRoundTrip) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  Point2 p(0.12345678901234567, 0.98765432109876543);
+  writer.LogInsert(p);
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_TRUE(recovery->tree.Contains(p));
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,62 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  POPAN_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(POPAN_CHECK(false) << "context 42", "CHECK failed");
+}
+
+TEST(CheckTest, FailureMessageIncludesCondition) {
+  EXPECT_DEATH(POPAN_CHECK(2 > 3), "2 > 3");
+}
+
+TEST(CheckTest, FailureMessageIncludesStreamedContext) {
+  int x = 7;
+  EXPECT_DEATH(POPAN_CHECK(x == 0) << "x=" << x, "x= 7");
+}
+
+TEST(CheckTest, CheckDoesNotDoubleEvaluateCondition) {
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  POPAN_CHECK(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, DcheckPassesWhenTrue) {
+  POPAN_DCHECK(true) << "nothing";
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(POPAN_DCHECK(false), "CHECK failed");
+}
+#else
+TEST(CheckTest, DcheckIsNoOpInReleaseBuilds) {
+  POPAN_DCHECK(false) << "compiled out";
+  SUCCEED();
+}
+#endif
+
+TEST(CheckTest, CheckComposesWithIfElse) {
+  // The macro must behave like a statement: hang an else off an if that
+  // wraps it without grabbing the wrong branch.
+  bool reached_else = false;
+  if (true)
+    POPAN_CHECK(true);
+  else
+    reached_else = true;  // NOLINT
+  EXPECT_FALSE(reached_else);
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace popan {
+namespace {
+
+/// Captures stderr for the duration of one statement via gtest's facility.
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, EmitsAtOrAboveThreshold) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  POPAN_LOG(kInfo) << "visible " << 42;
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[INFO"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, SuppressesBelowThreshold) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  POPAN_LOG(kInfo) << "hidden";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotEvaluateOperands) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "costly";
+  };
+  POPAN_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, WarningAndErrorTags) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  POPAN_LOG(kWarning) << "w";
+  POPAN_LOG(kError) << "e";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[WARN"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR"), std::string::npos);
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace popan

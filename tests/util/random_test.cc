@@ -1,0 +1,148 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popan {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Pcg32Test, DeterministicForSeed) {
+  Pcg32 a(7);
+  Pcg32 b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next32(), b.Next32());
+  }
+}
+
+TEST(Pcg32Test, StreamsFromDifferentSeedsDiffer) {
+  Pcg32 a(7);
+  Pcg32 b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next32() == b.Next32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32Test, DoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg32Test, DoubleInRange) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Pcg32Test, DoubleMeanNearHalf) {
+  Pcg32 rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32Test, BoundedStaysInBound) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Pcg32Test, BoundedCoversAllResidues) {
+  Pcg32 rng(5);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Pcg32Test, BoundedApproximatelyUniform) {
+  Pcg32 rng(11);
+  const uint32_t k = 10;
+  const int n = 100000;
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(k)];
+  for (uint32_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(counts[i], n / static_cast<int>(k), n / 100);
+  }
+}
+
+TEST(Pcg32Test, BoundedOne) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBounded(1), 0u);
+  }
+}
+
+TEST(Pcg32Test, GaussianMomentsMatchStandardNormal) {
+  Pcg32 rng(2024);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32Test, GaussianWithParams) {
+  Pcg32 rng(77);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Pcg32Test, Next64CombinesTwoDraws) {
+  Pcg32 a(1);
+  Pcg32 b(1);
+  uint64_t hi = b.Next32();
+  uint64_t lo = b.Next32();
+  EXPECT_EQ(a.Next64(), (hi << 32) | lo);
+}
+
+TEST(DeriveSeedTest, DistinctTrialsGiveDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t t = 0; t < 1000; ++t) {
+    seeds.insert(DeriveSeed(1987, t));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, DeterministicInInputs) {
+  EXPECT_EQ(DeriveSeed(5, 9), DeriveSeed(5, 9));
+  EXPECT_NE(DeriveSeed(5, 9), DeriveSeed(6, 9));
+  EXPECT_NE(DeriveSeed(5, 9), DeriveSeed(5, 10));
+}
+
+}  // namespace
+}  // namespace popan

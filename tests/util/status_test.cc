@@ -1,0 +1,96 @@
+#include "util/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace popan {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("a"), StatusCode::kNotFound},
+      {Status::AlreadyExists("a"), StatusCode::kAlreadyExists},
+      {Status::OutOfRange("a"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("a"), StatusCode::kFailedPrecondition},
+      {Status::ResourceExhausted("a"), StatusCode::kResourceExhausted},
+      {Status::NotConverged("a"), StatusCode::kNotConverged},
+      {Status::NumericError("a"), StatusCode::kNumericError},
+      {Status::Internal("a"), StatusCode::kInternal},
+      {Status::Unimplemented("a"), StatusCode::kUnimplemented},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "a");
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotConverged("iteration budget exhausted");
+  EXPECT_EQ(s.ToString(), "NotConverged: iteration budget exhausted");
+}
+
+TEST(StatusTest, ToStringOmitsEmptyMessage) {
+  Status s(StatusCode::kNotFound, "");
+  EXPECT_EQ(s.ToString(), "NotFound");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+  EXPECT_EQ(Status(), Status::OK());
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Internal("bug");
+  EXPECT_EQ(os.str(), "Internal: bug");
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNumericError), "NumericError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+Status Fails() { return Status::NotFound("inner"); }
+
+Status UsesReturnIfError() {
+  POPAN_RETURN_IF_ERROR(Fails());
+  return Status::Internal("unreachable");
+}
+
+Status UsesReturnIfErrorOkPath() {
+  POPAN_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError(), Status::NotFound("inner"));
+}
+
+TEST(StatusTest, ReturnIfErrorFallsThroughOnOk) {
+  EXPECT_EQ(UsesReturnIfErrorOkPath(), Status::Internal("reached"));
+}
+
+}  // namespace
+}  // namespace popan

@@ -1,0 +1,88 @@
+#include "util/statusor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popan {
+namespace {
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_DEATH(result.value(), "value\\(\\) on error StatusOr");
+}
+
+TEST(StatusOrTest, ConstructingFromOkStatusDies) {
+  EXPECT_DEATH(StatusOr<int>(Status::OK()), "OK status");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, MutableValue) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2};
+  result->push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(StatusOrTest, CopyPreservesState) {
+  StatusOr<int> ok_result = 5;
+  StatusOr<int> ok_copy = ok_result;
+  EXPECT_TRUE(ok_copy.ok());
+  EXPECT_EQ(ok_copy.value(), 5);
+
+  StatusOr<int> err_result = Status::Internal("x");
+  StatusOr<int> err_copy = err_result;
+  EXPECT_FALSE(err_copy.ok());
+  EXPECT_EQ(err_copy.status().message(), "x");
+}
+
+StatusOr<int> ProduceValue(bool succeed) {
+  if (succeed) return 10;
+  return Status::NumericError("nope");
+}
+
+StatusOr<int> UsesAssignOrReturn(bool succeed) {
+  POPAN_ASSIGN_OR_RETURN(int v, ProduceValue(succeed));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnHappyPath) {
+  StatusOr<int> result = UsesAssignOrReturn(true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 20);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  StatusOr<int> result = UsesAssignOrReturn(false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNumericError);
+}
+
+}  // namespace
+}  // namespace popan
