@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buckets.dir/bench_buckets.cc.o"
+  "CMakeFiles/bench_buckets.dir/bench_buckets.cc.o.d"
+  "bench_buckets"
+  "bench_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

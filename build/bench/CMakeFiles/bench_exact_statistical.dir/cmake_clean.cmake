@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_statistical.dir/bench_exact_statistical.cc.o"
+  "CMakeFiles/bench_exact_statistical.dir/bench_exact_statistical.cc.o.d"
+  "bench_exact_statistical"
+  "bench_exact_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pmr.cc" "bench/CMakeFiles/bench_pmr.dir/bench_pmr.cc.o" "gcc" "bench/CMakeFiles/bench_pmr.dir/bench_pmr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/popan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/popan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/popan_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/popan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/popan_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/popan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

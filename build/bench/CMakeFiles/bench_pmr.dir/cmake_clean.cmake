@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pmr.dir/bench_pmr.cc.o"
+  "CMakeFiles/bench_pmr.dir/bench_pmr.cc.o.d"
+  "bench_pmr"
+  "bench_pmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

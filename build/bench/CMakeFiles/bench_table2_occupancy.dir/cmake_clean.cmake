@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_occupancy.dir/bench_table2_occupancy.cc.o"
+  "CMakeFiles/bench_table2_occupancy.dir/bench_table2_occupancy.cc.o.d"
+  "bench_table2_occupancy"
+  "bench_table2_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

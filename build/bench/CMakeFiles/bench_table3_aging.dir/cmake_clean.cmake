@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_aging.dir/bench_table3_aging.cc.o"
+  "CMakeFiles/bench_table3_aging.dir/bench_table3_aging.cc.o.d"
+  "bench_table3_aging"
+  "bench_table3_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_phasing.dir/bench_table4_phasing.cc.o"
+  "CMakeFiles/bench_table4_phasing.dir/bench_table4_phasing.cc.o.d"
+  "bench_table4_phasing"
+  "bench_table4_phasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_phasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

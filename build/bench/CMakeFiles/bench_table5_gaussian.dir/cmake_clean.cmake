@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_gaussian.dir/bench_table5_gaussian.cc.o"
+  "CMakeFiles/bench_table5_gaussian.dir/bench_table5_gaussian.cc.o.d"
+  "bench_table5_gaussian"
+  "bench_table5_gaussian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_gaussian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

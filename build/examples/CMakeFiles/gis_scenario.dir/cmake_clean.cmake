@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_scenario.dir/gis_scenario.cpp.o"
+  "CMakeFiles/gis_scenario.dir/gis_scenario.cpp.o.d"
+  "gis_scenario"
+  "gis_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_regions.dir/image_regions.cpp.o"
+  "CMakeFiles/image_regions.dir/image_regions.cpp.o.d"
+  "image_regions"
+  "image_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

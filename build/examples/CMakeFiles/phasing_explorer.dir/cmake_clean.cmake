@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phasing_explorer.dir/phasing_explorer.cpp.o"
+  "CMakeFiles/phasing_explorer.dir/phasing_explorer.cpp.o.d"
+  "phasing_explorer"
+  "phasing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phasing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmr_lines.dir/pmr_lines.cpp.o"
+  "CMakeFiles/pmr_lines.dir/pmr_lines.cpp.o.d"
+  "pmr_lines"
+  "pmr_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmr_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

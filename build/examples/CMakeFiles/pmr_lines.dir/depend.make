@@ -1,0 +1,2 @@
+# Empty dependencies file for pmr_lines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_analysis.dir/population_analysis.cpp.o"
+  "CMakeFiles/population_analysis.dir/population_analysis.cpp.o.d"
+  "population_analysis"
+  "population_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aging.cc" "src/core/CMakeFiles/popan_core.dir/aging.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/aging.cc.o.d"
+  "/root/repo/src/core/area_weighted_dynamics.cc" "src/core/CMakeFiles/popan_core.dir/area_weighted_dynamics.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/area_weighted_dynamics.cc.o.d"
+  "/root/repo/src/core/exact_census.cc" "src/core/CMakeFiles/popan_core.dir/exact_census.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/exact_census.cc.o.d"
+  "/root/repo/src/core/occupancy.cc" "src/core/CMakeFiles/popan_core.dir/occupancy.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/occupancy.cc.o.d"
+  "/root/repo/src/core/phasing.cc" "src/core/CMakeFiles/popan_core.dir/phasing.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/phasing.cc.o.d"
+  "/root/repo/src/core/pmr_model.cc" "src/core/CMakeFiles/popan_core.dir/pmr_model.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/pmr_model.cc.o.d"
+  "/root/repo/src/core/population_dynamics.cc" "src/core/CMakeFiles/popan_core.dir/population_dynamics.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/population_dynamics.cc.o.d"
+  "/root/repo/src/core/population_model.cc" "src/core/CMakeFiles/popan_core.dir/population_model.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/population_model.cc.o.d"
+  "/root/repo/src/core/spectral.cc" "src/core/CMakeFiles/popan_core.dir/spectral.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/spectral.cc.o.d"
+  "/root/repo/src/core/steady_state.cc" "src/core/CMakeFiles/popan_core.dir/steady_state.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/steady_state.cc.o.d"
+  "/root/repo/src/core/transform_matrix.cc" "src/core/CMakeFiles/popan_core.dir/transform_matrix.cc.o" "gcc" "src/core/CMakeFiles/popan_core.dir/transform_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/popan_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/popan_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/popan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/popan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

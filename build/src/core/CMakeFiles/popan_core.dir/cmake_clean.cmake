@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_core.dir/aging.cc.o"
+  "CMakeFiles/popan_core.dir/aging.cc.o.d"
+  "CMakeFiles/popan_core.dir/area_weighted_dynamics.cc.o"
+  "CMakeFiles/popan_core.dir/area_weighted_dynamics.cc.o.d"
+  "CMakeFiles/popan_core.dir/exact_census.cc.o"
+  "CMakeFiles/popan_core.dir/exact_census.cc.o.d"
+  "CMakeFiles/popan_core.dir/occupancy.cc.o"
+  "CMakeFiles/popan_core.dir/occupancy.cc.o.d"
+  "CMakeFiles/popan_core.dir/phasing.cc.o"
+  "CMakeFiles/popan_core.dir/phasing.cc.o.d"
+  "CMakeFiles/popan_core.dir/pmr_model.cc.o"
+  "CMakeFiles/popan_core.dir/pmr_model.cc.o.d"
+  "CMakeFiles/popan_core.dir/population_dynamics.cc.o"
+  "CMakeFiles/popan_core.dir/population_dynamics.cc.o.d"
+  "CMakeFiles/popan_core.dir/population_model.cc.o"
+  "CMakeFiles/popan_core.dir/population_model.cc.o.d"
+  "CMakeFiles/popan_core.dir/spectral.cc.o"
+  "CMakeFiles/popan_core.dir/spectral.cc.o.d"
+  "CMakeFiles/popan_core.dir/steady_state.cc.o"
+  "CMakeFiles/popan_core.dir/steady_state.cc.o.d"
+  "CMakeFiles/popan_core.dir/transform_matrix.cc.o"
+  "CMakeFiles/popan_core.dir/transform_matrix.cc.o.d"
+  "libpopan_core.a"
+  "libpopan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_geometry.dir/segment.cc.o"
+  "CMakeFiles/popan_geometry.dir/segment.cc.o.d"
+  "libpopan_geometry.a"
+  "libpopan_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/combinatorics.cc" "src/numerics/CMakeFiles/popan_numerics.dir/combinatorics.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/combinatorics.cc.o.d"
+  "/root/repo/src/numerics/eigen.cc" "src/numerics/CMakeFiles/popan_numerics.dir/eigen.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/eigen.cc.o.d"
+  "/root/repo/src/numerics/fixed_point.cc" "src/numerics/CMakeFiles/popan_numerics.dir/fixed_point.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/fixed_point.cc.o.d"
+  "/root/repo/src/numerics/lu.cc" "src/numerics/CMakeFiles/popan_numerics.dir/lu.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/lu.cc.o.d"
+  "/root/repo/src/numerics/matrix.cc" "src/numerics/CMakeFiles/popan_numerics.dir/matrix.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/matrix.cc.o.d"
+  "/root/repo/src/numerics/newton.cc" "src/numerics/CMakeFiles/popan_numerics.dir/newton.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/newton.cc.o.d"
+  "/root/repo/src/numerics/polynomial.cc" "src/numerics/CMakeFiles/popan_numerics.dir/polynomial.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/polynomial.cc.o.d"
+  "/root/repo/src/numerics/vector.cc" "src/numerics/CMakeFiles/popan_numerics.dir/vector.cc.o" "gcc" "src/numerics/CMakeFiles/popan_numerics.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/popan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_numerics.dir/combinatorics.cc.o"
+  "CMakeFiles/popan_numerics.dir/combinatorics.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/eigen.cc.o"
+  "CMakeFiles/popan_numerics.dir/eigen.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/fixed_point.cc.o"
+  "CMakeFiles/popan_numerics.dir/fixed_point.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/lu.cc.o"
+  "CMakeFiles/popan_numerics.dir/lu.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/matrix.cc.o"
+  "CMakeFiles/popan_numerics.dir/matrix.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/newton.cc.o"
+  "CMakeFiles/popan_numerics.dir/newton.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/polynomial.cc.o"
+  "CMakeFiles/popan_numerics.dir/polynomial.cc.o.d"
+  "CMakeFiles/popan_numerics.dir/vector.cc.o"
+  "CMakeFiles/popan_numerics.dir/vector.cc.o.d"
+  "libpopan_numerics.a"
+  "libpopan_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

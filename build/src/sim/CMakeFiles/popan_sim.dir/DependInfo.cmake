@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ascii_plot.cc" "src/sim/CMakeFiles/popan_sim.dir/ascii_plot.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/ascii_plot.cc.o.d"
+  "/root/repo/src/sim/csv.cc" "src/sim/CMakeFiles/popan_sim.dir/csv.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/csv.cc.o.d"
+  "/root/repo/src/sim/distributions.cc" "src/sim/CMakeFiles/popan_sim.dir/distributions.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/distributions.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/popan_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/goodness_of_fit.cc" "src/sim/CMakeFiles/popan_sim.dir/goodness_of_fit.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/goodness_of_fit.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/popan_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/sim/CMakeFiles/popan_sim.dir/table.cc.o" "gcc" "src/sim/CMakeFiles/popan_sim.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/popan_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/popan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/popan_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/popan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

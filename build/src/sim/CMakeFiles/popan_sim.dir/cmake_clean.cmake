@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_sim.dir/ascii_plot.cc.o"
+  "CMakeFiles/popan_sim.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/popan_sim.dir/csv.cc.o"
+  "CMakeFiles/popan_sim.dir/csv.cc.o.d"
+  "CMakeFiles/popan_sim.dir/distributions.cc.o"
+  "CMakeFiles/popan_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/popan_sim.dir/experiment.cc.o"
+  "CMakeFiles/popan_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/popan_sim.dir/goodness_of_fit.cc.o"
+  "CMakeFiles/popan_sim.dir/goodness_of_fit.cc.o.d"
+  "CMakeFiles/popan_sim.dir/stats.cc.o"
+  "CMakeFiles/popan_sim.dir/stats.cc.o.d"
+  "CMakeFiles/popan_sim.dir/table.cc.o"
+  "CMakeFiles/popan_sim.dir/table.cc.o.d"
+  "libpopan_sim.a"
+  "libpopan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/census.cc" "src/spatial/CMakeFiles/popan_spatial.dir/census.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/census.cc.o.d"
+  "/root/repo/src/spatial/excell.cc" "src/spatial/CMakeFiles/popan_spatial.dir/excell.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/excell.cc.o.d"
+  "/root/repo/src/spatial/extendible_hash.cc" "src/spatial/CMakeFiles/popan_spatial.dir/extendible_hash.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/extendible_hash.cc.o.d"
+  "/root/repo/src/spatial/grid_file.cc" "src/spatial/CMakeFiles/popan_spatial.dir/grid_file.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/grid_file.cc.o.d"
+  "/root/repo/src/spatial/linear_quadtree.cc" "src/spatial/CMakeFiles/popan_spatial.dir/linear_quadtree.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/linear_quadtree.cc.o.d"
+  "/root/repo/src/spatial/morton.cc" "src/spatial/CMakeFiles/popan_spatial.dir/morton.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/morton.cc.o.d"
+  "/root/repo/src/spatial/mx_quadtree.cc" "src/spatial/CMakeFiles/popan_spatial.dir/mx_quadtree.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/mx_quadtree.cc.o.d"
+  "/root/repo/src/spatial/pmr_quadtree.cc" "src/spatial/CMakeFiles/popan_spatial.dir/pmr_quadtree.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/pmr_quadtree.cc.o.d"
+  "/root/repo/src/spatial/point_quadtree.cc" "src/spatial/CMakeFiles/popan_spatial.dir/point_quadtree.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/point_quadtree.cc.o.d"
+  "/root/repo/src/spatial/region_quadtree.cc" "src/spatial/CMakeFiles/popan_spatial.dir/region_quadtree.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/region_quadtree.cc.o.d"
+  "/root/repo/src/spatial/serialization.cc" "src/spatial/CMakeFiles/popan_spatial.dir/serialization.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/serialization.cc.o.d"
+  "/root/repo/src/spatial/wal.cc" "src/spatial/CMakeFiles/popan_spatial.dir/wal.cc.o" "gcc" "src/spatial/CMakeFiles/popan_spatial.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/popan_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/popan_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/popan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

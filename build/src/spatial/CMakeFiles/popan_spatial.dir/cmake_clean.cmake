@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_spatial.dir/census.cc.o"
+  "CMakeFiles/popan_spatial.dir/census.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/excell.cc.o"
+  "CMakeFiles/popan_spatial.dir/excell.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/extendible_hash.cc.o"
+  "CMakeFiles/popan_spatial.dir/extendible_hash.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/grid_file.cc.o"
+  "CMakeFiles/popan_spatial.dir/grid_file.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/linear_quadtree.cc.o"
+  "CMakeFiles/popan_spatial.dir/linear_quadtree.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/morton.cc.o"
+  "CMakeFiles/popan_spatial.dir/morton.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/mx_quadtree.cc.o"
+  "CMakeFiles/popan_spatial.dir/mx_quadtree.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/pmr_quadtree.cc.o"
+  "CMakeFiles/popan_spatial.dir/pmr_quadtree.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/point_quadtree.cc.o"
+  "CMakeFiles/popan_spatial.dir/point_quadtree.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/region_quadtree.cc.o"
+  "CMakeFiles/popan_spatial.dir/region_quadtree.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/serialization.cc.o"
+  "CMakeFiles/popan_spatial.dir/serialization.cc.o.d"
+  "CMakeFiles/popan_spatial.dir/wal.cc.o"
+  "CMakeFiles/popan_spatial.dir/wal.cc.o.d"
+  "libpopan_spatial.a"
+  "libpopan_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

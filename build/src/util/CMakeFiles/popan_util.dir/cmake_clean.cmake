@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popan_util.dir/logging.cc.o"
+  "CMakeFiles/popan_util.dir/logging.cc.o.d"
+  "CMakeFiles/popan_util.dir/random.cc.o"
+  "CMakeFiles/popan_util.dir/random.cc.o.d"
+  "CMakeFiles/popan_util.dir/status.cc.o"
+  "CMakeFiles/popan_util.dir/status.cc.o.d"
+  "libpopan_util.a"
+  "libpopan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpopan_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_weighted_dynamics_test.dir/core/area_weighted_dynamics_test.cc.o"
+  "CMakeFiles/area_weighted_dynamics_test.dir/core/area_weighted_dynamics_test.cc.o.d"
+  "area_weighted_dynamics_test"
+  "area_weighted_dynamics_test.pdb"
+  "area_weighted_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_weighted_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_structure_test.dir/integration/cross_structure_test.cc.o"
+  "CMakeFiles/cross_structure_test.dir/integration/cross_structure_test.cc.o.d"
+  "cross_structure_test"
+  "cross_structure_test.pdb"
+  "cross_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

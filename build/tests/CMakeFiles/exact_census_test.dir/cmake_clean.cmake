@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_census_test.dir/core/exact_census_test.cc.o"
+  "CMakeFiles/exact_census_test.dir/core/exact_census_test.cc.o.d"
+  "exact_census_test"
+  "exact_census_test.pdb"
+  "exact_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

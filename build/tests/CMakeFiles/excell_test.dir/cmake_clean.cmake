@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excell_test.dir/spatial/excell_test.cc.o"
+  "CMakeFiles/excell_test.dir/spatial/excell_test.cc.o.d"
+  "excell_test"
+  "excell_test.pdb"
+  "excell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

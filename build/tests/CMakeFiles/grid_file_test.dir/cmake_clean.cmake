@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_file_test.dir/spatial/grid_file_test.cc.o"
+  "CMakeFiles/grid_file_test.dir/spatial/grid_file_test.cc.o.d"
+  "grid_file_test"
+  "grid_file_test.pdb"
+  "grid_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

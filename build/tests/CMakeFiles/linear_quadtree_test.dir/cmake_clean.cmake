@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_quadtree_test.dir/spatial/linear_quadtree_test.cc.o"
+  "CMakeFiles/linear_quadtree_test.dir/spatial/linear_quadtree_test.cc.o.d"
+  "linear_quadtree_test"
+  "linear_quadtree_test.pdb"
+  "linear_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

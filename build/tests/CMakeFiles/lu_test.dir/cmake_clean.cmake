@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_test.dir/numerics/lu_test.cc.o"
+  "CMakeFiles/lu_test.dir/numerics/lu_test.cc.o.d"
+  "lu_test"
+  "lu_test.pdb"
+  "lu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

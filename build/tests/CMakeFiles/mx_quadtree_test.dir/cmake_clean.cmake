@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mx_quadtree_test.dir/spatial/mx_quadtree_test.cc.o"
+  "CMakeFiles/mx_quadtree_test.dir/spatial/mx_quadtree_test.cc.o.d"
+  "mx_quadtree_test"
+  "mx_quadtree_test.pdb"
+  "mx_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mx_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newton_test.dir/numerics/newton_test.cc.o"
+  "CMakeFiles/newton_test.dir/numerics/newton_test.cc.o.d"
+  "newton_test"
+  "newton_test.pdb"
+  "newton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

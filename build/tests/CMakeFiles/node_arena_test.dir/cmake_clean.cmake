@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_arena_test.dir/spatial/node_arena_test.cc.o"
+  "CMakeFiles/node_arena_test.dir/spatial/node_arena_test.cc.o.d"
+  "node_arena_test"
+  "node_arena_test.pdb"
+  "node_arena_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

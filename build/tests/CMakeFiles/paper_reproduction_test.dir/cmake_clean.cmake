@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_reproduction_test.dir/integration/paper_reproduction_test.cc.o"
+  "CMakeFiles/paper_reproduction_test.dir/integration/paper_reproduction_test.cc.o.d"
+  "paper_reproduction_test"
+  "paper_reproduction_test.pdb"
+  "paper_reproduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_reproduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phasing_test.dir/core/phasing_test.cc.o"
+  "CMakeFiles/phasing_test.dir/core/phasing_test.cc.o.d"
+  "phasing_test"
+  "phasing_test.pdb"
+  "phasing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phasing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmr_model_test.dir/core/pmr_model_test.cc.o"
+  "CMakeFiles/pmr_model_test.dir/core/pmr_model_test.cc.o.d"
+  "pmr_model_test"
+  "pmr_model_test.pdb"
+  "pmr_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmr_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

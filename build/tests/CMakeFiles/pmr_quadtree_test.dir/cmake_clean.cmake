@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmr_quadtree_test.dir/spatial/pmr_quadtree_test.cc.o"
+  "CMakeFiles/pmr_quadtree_test.dir/spatial/pmr_quadtree_test.cc.o.d"
+  "pmr_quadtree_test"
+  "pmr_quadtree_test.pdb"
+  "pmr_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmr_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

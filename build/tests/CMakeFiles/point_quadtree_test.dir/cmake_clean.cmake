@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_quadtree_test.dir/spatial/point_quadtree_test.cc.o"
+  "CMakeFiles/point_quadtree_test.dir/spatial/point_quadtree_test.cc.o.d"
+  "point_quadtree_test"
+  "point_quadtree_test.pdb"
+  "point_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_dynamics_test.dir/core/population_dynamics_test.cc.o"
+  "CMakeFiles/population_dynamics_test.dir/core/population_dynamics_test.cc.o.d"
+  "population_dynamics_test"
+  "population_dynamics_test.pdb"
+  "population_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

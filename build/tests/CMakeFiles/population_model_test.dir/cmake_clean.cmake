@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_model_test.dir/core/population_model_test.cc.o"
+  "CMakeFiles/population_model_test.dir/core/population_model_test.cc.o.d"
+  "population_model_test"
+  "population_model_test.pdb"
+  "population_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

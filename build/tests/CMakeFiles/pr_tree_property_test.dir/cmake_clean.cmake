@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pr_tree_property_test.dir/spatial/pr_tree_property_test.cc.o"
+  "CMakeFiles/pr_tree_property_test.dir/spatial/pr_tree_property_test.cc.o.d"
+  "pr_tree_property_test"
+  "pr_tree_property_test.pdb"
+  "pr_tree_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pr_tree_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_quadtree_test.dir/spatial/region_quadtree_test.cc.o"
+  "CMakeFiles/region_quadtree_test.dir/spatial/region_quadtree_test.cc.o.d"
+  "region_quadtree_test"
+  "region_quadtree_test.pdb"
+  "region_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

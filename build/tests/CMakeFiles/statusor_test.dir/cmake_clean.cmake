@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statusor_test.dir/util/statusor_test.cc.o"
+  "CMakeFiles/statusor_test.dir/util/statusor_test.cc.o.d"
+  "statusor_test"
+  "statusor_test.pdb"
+  "statusor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statusor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_matrix_test.dir/core/transform_matrix_test.cc.o"
+  "CMakeFiles/transform_matrix_test.dir/core/transform_matrix_test.cc.o.d"
+  "transform_matrix_test"
+  "transform_matrix_test.pdb"
+  "transform_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
