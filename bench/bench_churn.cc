@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/steady_state.h"
+#include "sim/experiment.h"
 #include "sim/table.h"
 #include "spatial/census.h"
 #include "spatial/pr_tree.h"
@@ -19,6 +20,7 @@ namespace {
 using popan::Pcg32;
 using popan::geo::Box2;
 using popan::geo::Point2;
+using popan::sim::ExperimentRunner;
 using popan::sim::TextTable;
 
 /// Grows a tree to `target` points, then applies `churn_ops` operations
@@ -53,8 +55,11 @@ popan::spatial::Census ChurnedCensus(size_t capacity, size_t target,
 }  // namespace
 
 int main() {
+  ExperimentRunner runner;
   std::printf("Extension: PR quadtree occupancy under churn "
-              "(insert/delete equilibrium vs the insertion-only model)\n\n");
+              "(insert/delete equilibrium vs the insertion-only model; "
+              "%zu threads, override with POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   TextTable table("Occupancy after churn (2000 points, m sweep; 5 trials)");
   table.SetHeader({"m", "model", "fresh tree", "after 1x churn",
@@ -63,15 +68,29 @@ int main() {
     popan::core::PopulationModel model(popan::core::TreeModelParams{m, 4});
     double predicted =
         popan::core::SolveSteadyState(model)->average_occupancy;
-    double fresh = 0.0, churn1 = 0.0, churn5 = 0.0;
     const size_t kTrials = 5, kPoints = 2000;
-    for (uint64_t trial = 0; trial < kTrials; ++trial) {
-      uint64_t seed = popan::DeriveSeed(1987, trial * 10 + m);
-      fresh += ChurnedCensus(m, kPoints, 0, seed).AverageOccupancy();
-      churn1 +=
-          ChurnedCensus(m, kPoints, kPoints, seed).AverageOccupancy();
-      churn5 +=
-          ChurnedCensus(m, kPoints, 5 * kPoints, seed).AverageOccupancy();
+    // Each trial's three churn levels are independent tree builds; fan
+    // the trial-by-level grid out and reduce in index order.
+    struct TrialRow {
+      double fresh = 0.0, churn1 = 0.0, churn5 = 0.0;
+    };
+    std::vector<TrialRow> rows = runner.Map<TrialRow>(
+        kTrials, [&](size_t trial) {
+          uint64_t seed = popan::DeriveSeed(1987, trial * 10 + m);
+          TrialRow row;
+          row.fresh = ChurnedCensus(m, kPoints, 0, seed).AverageOccupancy();
+          row.churn1 =
+              ChurnedCensus(m, kPoints, kPoints, seed).AverageOccupancy();
+          row.churn5 =
+              ChurnedCensus(m, kPoints, 5 * kPoints, seed)
+                  .AverageOccupancy();
+          return row;
+        });
+    double fresh = 0.0, churn1 = 0.0, churn5 = 0.0;
+    for (const TrialRow& row : rows) {
+      fresh += row.fresh;
+      churn1 += row.churn1;
+      churn5 += row.churn5;
     }
     table.AddRow({TextTable::Fmt(m), TextTable::Fmt(predicted, 3),
                   TextTable::Fmt(fresh / kTrials, 3),

@@ -20,7 +20,7 @@ using popan::sim::ExperimentSpec;
 using popan::sim::TextTable;
 
 template <size_t D>
-void AddRows(TextTable* table) {
+void AddRows(TextTable* table, popan::sim::ExperimentRunner* runner) {
   const size_t fanout = size_t{1} << D;
   for (size_t m : {1u, 2u, 4u, 8u}) {
     PopulationModel model(TreeModelParams{m, fanout});
@@ -43,7 +43,7 @@ void AddRows(TextTable* table) {
       spec.max_depth = 24;
       spec.base_seed = 1987 + static_cast<uint64_t>(k);
       occupancy_sum +=
-          popan::sim::RunPrTreeExperiment<D>(spec).mean_occupancy;
+          popan::sim::RunPrTreeExperiment<D>(spec, *runner).mean_occupancy;
     }
     double experiment = occupancy_sum / kPhases;
     double diff = popan::core::PercentDifference(theory->average_occupancy,
@@ -58,14 +58,17 @@ void AddRows(TextTable* table) {
 }  // namespace
 
 int main() {
+  popan::sim::ExperimentRunner runner;
   std::printf("Extension: dimension sweep (bintree / quadtree / octree)\n");
-  std::printf("Workload: 10 trees x 1000 uniform points per (D, m)\n\n");
+  std::printf("Workload: 10 trees x 1000 uniform points per (D, m) "
+              "(%zu threads; override with POPAN_THREADS)\n\n",
+              runner.num_threads());
   TextTable table("Population model vs simulation across dimensions");
   table.SetHeader({"D", "fanout", "m", "experimental", "theoretical",
                    "percent diff"});
-  AddRows<1>(&table);
-  AddRows<2>(&table);
-  AddRows<3>(&table);
+  AddRows<1>(&table, &runner);
+  AddRows<2>(&table, &runner);
+  AddRows<3>(&table, &runner);
   std::printf("%s\n", table.Render().c_str());
   std::printf("Expected shape: theory slightly above experiment in every "
               "dimension (aging is dimension-generic); occupancy at fixed "

@@ -4,10 +4,12 @@
 // the fixed point as "the" typical state (paper §III).
 
 #include <cstdio>
+#include <iterator>
 
 #include "core/occupancy.h"
 #include "core/population_dynamics.h"
 #include "core/steady_state.h"
+#include "sim/experiment.h"
 #include "sim/table.h"
 
 int main() {
@@ -17,10 +19,14 @@ int main() {
   using popan::core::SimulateExpectedDynamics;
   using popan::core::SolveSteadyState;
   using popan::core::TreeModelParams;
+  using popan::sim::ExperimentRunner;
   using popan::sim::TextTable;
 
+  ExperimentRunner runner;
   std::printf("Ablation: convergence of the expected population dynamics "
-              "to the steady state\n\n");
+              "to the steady state (%zu threads; override with "
+              "POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   for (size_t m : {1u, 4u, 8u}) {
     PopulationModel model(TreeModelParams{m, 4});
@@ -45,14 +51,23 @@ int main() {
     TextTable table("Distance to steady state over insertions (m = " +
                     std::to_string(m) + ")");
     table.SetHeader({"start", "10", "100", "1000", "10000", "100000"});
-    for (const Start& start : starts) {
-      std::vector<std::string> row = {start.name};
-      for (size_t steps : {10u, 100u, 1000u, 10000u, 100000u}) {
-        DynamicsTrajectory t =
-            SimulateExpectedDynamics(model, start.counts, steps, steps);
-        row.push_back(TextTable::Fmt(
-            DistributionDistance(t.distributions.back(), ss->distribution),
-            5));
+    // Every (start, steps) cell is an independent trajectory; fan the
+    // whole grid out and fill the table from the ordered results.
+    const size_t step_counts[] = {10u, 100u, 1000u, 10000u, 100000u};
+    const size_t kCols = std::size(step_counts);
+    std::vector<double> distances = runner.Map<double>(
+        std::size(starts) * kCols, [&](size_t cell) {
+          const Start& start = starts[cell / kCols];
+          size_t steps = step_counts[cell % kCols];
+          DynamicsTrajectory t =
+              SimulateExpectedDynamics(model, start.counts, steps, steps);
+          return DistributionDistance(t.distributions.back(),
+                                      ss->distribution);
+        });
+    for (size_t r = 0; r < std::size(starts); ++r) {
+      std::vector<std::string> row = {starts[r].name};
+      for (size_t c = 0; c < kCols; ++c) {
+        row.push_back(TextTable::Fmt(distances[r * kCols + c], 5));
       }
       table.AddRow(row);
     }

@@ -36,9 +36,11 @@ int main() {
   using popan::sim::TextTable;
 
   const size_t kCapacity = 8;
+  popan::sim::ExperimentRunner runner;
   std::printf("Ablation: population model vs exact statistics vs "
-              "area-weighted mean-field vs simulation (m = %zu)\n\n",
-              kCapacity);
+              "area-weighted mean-field vs simulation (m = %zu) "
+              "(%zu threads; override with POPAN_THREADS)\n\n",
+              kCapacity, runner.num_threads());
 
   PopulationModel model(TreeModelParams{kCapacity, 4});
   double constant = SolveSteadyState(model)->average_occupancy;
@@ -54,7 +56,8 @@ int main() {
   spec.trials = 10;
   spec.max_depth = 16;
   spec.base_seed = 1987;
-  OccupancySeries simulated = popan::sim::RunOccupancySweep(spec, schedule);
+  OccupancySeries simulated =
+      popan::sim::RunOccupancySweep(spec, schedule, runner);
 
   TextTable table("Average occupancy vs N, four ways");
   table.SetHeader({"points", "population", "exact", "mean-field",

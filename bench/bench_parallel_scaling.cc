@@ -1,0 +1,83 @@
+// Scaling probe for the parallel experiment engine: runs one fixed
+// ensemble at 1, 2, 4, ... threads, reports wall time and speedup, and
+// verifies the determinism contract (every thread count must produce the
+// same mean to the last bit). On multi-core hardware the 8-thread row is
+// expected to come in at >= 3x over single-threaded; on a 1-core machine
+// the interesting number is the overhead (speedup should stay near 1.0).
+//
+//   POPAN_SCALING_TRIALS / POPAN_SCALING_POINTS override the workload
+//   (e.g. for a quick CI smoke run).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+namespace {
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main() {
+  using popan::sim::ExperimentResult;
+  using popan::sim::ExperimentRunner;
+  using popan::sim::ExperimentSpec;
+  using popan::sim::TextTable;
+
+  ExperimentSpec spec;
+  spec.trials = EnvOr("POPAN_SCALING_TRIALS", 64);
+  spec.num_points = EnvOr("POPAN_SCALING_POINTS", 4000);
+  spec.capacity = 4;
+  spec.max_depth = 24;
+  spec.base_seed = 1987;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Scaling probe: %zu trials x %zu points, m=%zu "
+              "(hardware threads: %u)\n\n",
+              spec.trials, spec.num_points, spec.capacity, hw);
+
+  std::vector<size_t> counts = {1, 2, 4, 8};
+  if (hw > 8) counts.push_back(hw);
+
+  TextTable table("Ensemble wall time by thread count");
+  table.SetHeader({"threads", "seconds", "speedup", "mean occupancy"});
+  double baseline = 0.0;
+  double reference_mean = 0.0;
+  bool deterministic = true;
+  for (size_t threads : counts) {
+    ExperimentRunner runner(threads);
+    auto start = std::chrono::steady_clock::now();
+    ExperimentResult result = RunPrQuadtreeExperiment(spec, runner);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (threads == 1) {
+      baseline = seconds;
+      reference_mean = result.mean_occupancy;
+    } else if (result.mean_occupancy != reference_mean) {
+      deterministic = false;
+    }
+    table.AddRow({TextTable::Fmt(threads), TextTable::Fmt(seconds, 3),
+                  TextTable::Fmt(seconds > 0 ? baseline / seconds : 0.0, 2),
+                  TextTable::Fmt(result.mean_occupancy, 15)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("bit-identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO - DETERMINISM BUG");
+  return deterministic ? 0 : 1;
+}

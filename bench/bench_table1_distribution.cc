@@ -20,6 +20,7 @@ using popan::core::SolveSteadyState;
 using popan::core::SteadyState;
 using popan::core::TreeModelParams;
 using popan::sim::ExperimentResult;
+using popan::sim::ExperimentRunner;
 using popan::sim::ExperimentSpec;
 using popan::sim::RunPrQuadtreeExperiment;
 using popan::sim::TextTable;
@@ -36,10 +37,13 @@ std::string VectorCells(const popan::num::Vector& v, size_t count) {
 }  // namespace
 
 int main() {
+  ExperimentRunner runner;
   std::printf("Paper: Nelson & Samet, 'A Population Analysis for "
               "Hierarchical Data Structures' (SIGMOD 1987)\n");
   std::printf("Artifact: Table 1 - expected distribution in PR quadtrees\n");
-  std::printf("Workload: 10 trees x 1000 uniform points per capacity\n\n");
+  std::printf("Workload: 10 trees x 1000 uniform points per capacity "
+              "(%zu threads; override with POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   TextTable table("Table 1: Expected distribution, theoretical (thy) vs "
                   "experimental (exp)");
@@ -60,7 +64,7 @@ int main() {
     spec.trials = 10;
     spec.max_depth = 16;
     spec.base_seed = 1987;
-    ExperimentResult experiment = RunPrQuadtreeExperiment(spec);
+    ExperimentResult experiment = RunPrQuadtreeExperiment(spec, runner);
     double distance = popan::core::DistributionDistance(
         theory->distribution, experiment.proportions);
     // Chi-square of the pooled leaf counts against the model: with ~20k
@@ -92,7 +96,7 @@ int main() {
   spec.num_points = 1000;
   spec.trials = 10;
   spec.max_depth = 16;
-  ExperimentResult experiment = RunPrQuadtreeExperiment(spec);
+  ExperimentResult experiment = RunPrQuadtreeExperiment(spec, runner);
   std::printf("Simple PR quadtree (m=1): theory predicts %.0f%%/%.0f%% "
               "empty/full;\n  paper observed ~53%%/47%%; this run: "
               "%.1f%%/%.1f%%\n",

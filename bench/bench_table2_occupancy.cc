@@ -15,11 +15,15 @@ int main() {
   using popan::core::PopulationModel;
   using popan::core::SolveSteadyState;
   using popan::core::TreeModelParams;
+  using popan::sim::ExperimentRunner;
   using popan::sim::ExperimentSpec;
   using popan::sim::TextTable;
 
+  ExperimentRunner runner;
   std::printf("Artifact: Table 2 - average node occupancy\n");
-  std::printf("Workload: 10 trees x 1000 uniform points per capacity\n\n");
+  std::printf("Workload: 10 trees x 1000 uniform points per capacity "
+              "(%zu threads; override with POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   TextTable table("Table 2: Average Node Occupancy");
   table.SetHeader({"node capacity", "experimental", "theoretical",
@@ -39,7 +43,7 @@ int main() {
     spec.max_depth = 16;
     spec.base_seed = 1987;
     popan::sim::ExperimentResult experiment =
-        popan::sim::RunPrQuadtreeExperiment(spec);
+        popan::sim::RunPrQuadtreeExperiment(spec, runner);
     table.AddRow({TextTable::Fmt(m),
                   TextTable::Fmt(experiment.mean_occupancy, 2),
                   TextTable::Fmt(theory->average_occupancy, 2),

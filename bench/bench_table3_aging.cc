@@ -13,12 +13,16 @@ int main() {
   using popan::core::AgingDepthRow;
   using popan::core::AgingReport;
   using popan::core::AnalyzeAging;
+  using popan::sim::ExperimentRunner;
   using popan::sim::ExperimentSpec;
   using popan::sim::TextTable;
 
+  ExperimentRunner runner;
   std::printf("Artifact: Table 3 - occupancy by node size (aging)\n");
   std::printf("Workload: 10 trees x 1000 uniform points, m=1, trees "
-              "truncated at depth 9 (as in the paper)\n\n");
+              "truncated at depth 9 (as in the paper; %zu threads, "
+              "override with POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   ExperimentSpec spec;
   spec.capacity = 1;
@@ -27,7 +31,7 @@ int main() {
   spec.max_depth = 9;
   spec.base_seed = 1987;
   popan::sim::ExperimentResult result =
-      popan::sim::RunPrQuadtreeExperiment(spec);
+      popan::sim::RunPrQuadtreeExperiment(spec, runner);
   AgingReport report =
       AnalyzeAging(result.pooled_census, {1, 4}, spec.trials);
 

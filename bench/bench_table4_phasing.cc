@@ -15,13 +15,17 @@ int main() {
   using popan::core::LogarithmicSchedule;
   using popan::core::OccupancySeries;
   using popan::core::PhasingAnalysis;
+  using popan::sim::ExperimentRunner;
   using popan::sim::ExperimentSpec;
   using popan::sim::TextTable;
 
+  ExperimentRunner runner;
   std::printf("Artifact: Table 4 + Figure 2 - occupancy vs tree size, "
               "uniform distribution\n");
   std::printf("Workload: m=8, 10 trees per sample size, N = 64..4096 on "
-              "the paper's log schedule\n\n");
+              "the paper's log schedule (%zu threads; override with "
+              "POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   ExperimentSpec spec;
   spec.capacity = 8;
@@ -30,7 +34,8 @@ int main() {
   spec.base_seed = 1987;
   spec.distribution = popan::sim::PointDistributionKind::kUniform;
   std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 4);
-  OccupancySeries series = popan::sim::RunOccupancySweep(spec, schedule);
+  OccupancySeries series =
+      popan::sim::RunOccupancySweep(spec, schedule, runner);
 
   TextTable table("Table 4: Variation of occupancy with tree size "
                   "(uniform, averages for 10 trees)");

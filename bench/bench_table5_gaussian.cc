@@ -16,13 +16,17 @@ int main() {
   using popan::core::LogarithmicSchedule;
   using popan::core::OccupancySeries;
   using popan::core::PhasingAnalysis;
+  using popan::sim::ExperimentRunner;
   using popan::sim::ExperimentSpec;
   using popan::sim::TextTable;
 
+  ExperimentRunner runner;
   std::printf("Artifact: Table 5 + Figure 3 - occupancy vs tree size, "
               "Gaussian distribution\n");
   std::printf("Workload: m=8, 10 trees per sample size, sigma = extent/4 "
-              "(two-sigma width), centered\n\n");
+              "(two-sigma width), centered (%zu threads; override with "
+              "POPAN_THREADS)\n\n",
+              runner.num_threads());
 
   ExperimentSpec spec;
   spec.capacity = 8;
@@ -32,7 +36,8 @@ int main() {
   spec.distribution = popan::sim::PointDistributionKind::kGaussian;
   spec.distribution_params.gaussian_sigma_fraction = 0.25;
   std::vector<size_t> schedule = LogarithmicSchedule(64, 4096, 4);
-  OccupancySeries series = popan::sim::RunOccupancySweep(spec, schedule);
+  OccupancySeries series =
+      popan::sim::RunOccupancySweep(spec, schedule, runner);
 
   TextTable table("Table 5: Variation of occupancy with tree size "
                   "(Gaussian, averages for 10 trees)");
@@ -62,7 +67,7 @@ int main() {
   ExperimentSpec uniform_spec = spec;
   uniform_spec.distribution = popan::sim::PointDistributionKind::kUniform;
   OccupancySeries uniform =
-      popan::sim::RunOccupancySweep(uniform_spec, schedule);
+      popan::sim::RunOccupancySweep(uniform_spec, schedule, runner);
   auto tail_swing = [](const OccupancySeries& s) {
     double lo = 1e9, hi = -1e9;
     for (size_t i = 0; i < s.sample_sizes.size(); ++i) {

@@ -1,11 +1,14 @@
 // Command-line population analysis: solve the paper's steady-state model
-// for any node capacity and dimension and print the expected distribution
-// with its derived storage statistics.
+// for any node capacity and dimension, print the expected distribution
+// with its derived storage statistics, and (for dimensions 1-3) check the
+// prediction against a parallel simulation ensemble of real PR trees.
 //
 // Run:  ./population_analysis [capacity] [dimension] [solver]
 //   capacity   node capacity m >= 1            (default 8)
 //   dimension  1 = bintree, 2 = quadtree, 3 = octree, ... (default 2)
 //   solver     "fixed-point" or "newton"       (default fixed-point)
+// Thread count for the simulation comes from POPAN_THREADS (default: all
+// hardware threads); results are identical for any thread count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +16,7 @@
 
 #include "core/occupancy.h"
 #include "core/steady_state.h"
+#include "sim/experiment.h"
 #include "sim/table.h"
 
 int main(int argc, char** argv) {
@@ -72,6 +76,40 @@ int main(int argc, char** argv) {
               popan::core::NodesPerItem(steady->distribution));
   std::printf("empty-node fraction    : %.4f\n",
               popan::core::EmptyFraction(steady->distribution));
+  // Check the model against real trees: a 10-tree ensemble of 1000
+  // points, scheduled across the experiment runner's threads.
+  if (dimension <= 3) {
+    popan::sim::ExperimentRunner runner;
+    popan::sim::ExperimentSpec spec;
+    spec.capacity = capacity;
+    spec.num_points = 1000;
+    spec.trials = 10;
+    spec.max_depth = 16;
+    spec.base_seed = 1987;
+    popan::sim::ExperimentResult measured;
+    switch (dimension) {
+      case 1:
+        measured = popan::sim::RunPrTreeExperiment<1>(spec, runner);
+        break;
+      case 2:
+        measured = popan::sim::RunPrTreeExperiment<2>(spec, runner);
+        break;
+      default:
+        measured = popan::sim::RunPrTreeExperiment<3>(spec, runner);
+        break;
+    }
+    std::printf("\nSimulation check (10 trees x 1000 uniform points, "
+                "%zu threads):\n",
+                runner.num_threads());
+    std::printf("measured occupancy     : %s\n",
+                measured.occupancy_summary.ToString().c_str());
+    std::printf("model within 95%% CI    : %s\n",
+                measured.occupancy_summary.CiContains(
+                    steady->average_occupancy)
+                    ? "yes"
+                    : "no (aging: real trees run a few percent emptier)");
+  }
+
   std::printf("\nNote: simulation shows real trees run a few percent "
               "below these figures (aging) and oscillate around them with "
               "log-periodic N (phasing); see bench_table2 and "

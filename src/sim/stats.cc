@@ -48,6 +48,107 @@ SampleSummary Summarize(const std::vector<double>& values) {
   return s;
 }
 
+void RunningMoments::Add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t combined = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double nc = static_cast<double>(combined);
+  mean_ += delta * (nb / nc);
+  m2_ += other.m2_ + delta * delta * (na * nb / nc);
+  n_ = combined;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningMoments::SampleVariance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningMoments::SampleStddev() const {
+  return std::sqrt(SampleVariance());
+}
+
+SampleSummary RunningMoments::ToSummary() const {
+  SampleSummary s;
+  s.n = n_;
+  if (n_ == 0) return s;
+  s.mean = mean_;
+  s.min = min_;
+  s.max = max_;
+  if (n_ == 1) {
+    s.ci95_low = s.ci95_high = s.mean;
+    return s;
+  }
+  s.stddev = SampleStddev();
+  s.standard_error = s.stddev / std::sqrt(static_cast<double>(n_));
+  double half = TCritical95(n_ - 1) * s.standard_error;
+  s.ci95_low = s.mean - half;
+  s.ci95_high = s.mean + half;
+  return s;
+}
+
+void Histogram::Add(size_t bin, uint64_t count) {
+  if (bin >= counts_.size()) counts_.resize(bin + 1, 0);
+  counts_[bin] += count;
+  total_ += count;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+uint64_t Histogram::CountAt(size_t bin) const {
+  return bin < counts_.size() ? counts_[bin] : 0;
+}
+
+size_t Histogram::MaxBin() const {
+  for (size_t i = counts_.size(); i > 0; --i) {
+    if (counts_[i - 1] != 0) return i - 1;
+  }
+  return 0;
+}
+
+double Histogram::MeanBin() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(counts_[i]);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+double Histogram::ProportionAt(size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountAt(bin)) / static_cast<double>(total_);
+}
+
 std::string SampleSummary::ToString(int precision) const {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << mean << " +- "

@@ -2,6 +2,7 @@
 #define POPAN_SIM_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,75 @@ struct SampleSummary {
 /// Computes the summary. Empty input yields an all-zero summary; a single
 /// observation yields a degenerate CI equal to the point.
 SampleSummary Summarize(const std::vector<double>& values);
+
+/// Streaming mean/variance accumulator: Welford's update for Add, the
+/// Chan-Golub-LeVeque pairwise update for Merge. Merging accumulators
+/// built over a partition of a sample gives the same moments as one pass
+/// over the whole sample (up to rounding), which is what lets a parallel
+/// experiment reduce per-chunk statistics and still be deterministic: the
+/// chunk boundaries are fixed by trial index and the merges happen in
+/// chunk order, independent of which thread ran which chunk.
+class RunningMoments {
+ public:
+  /// Folds one observation in (Welford).
+  void Add(double x);
+
+  /// Folds another accumulator in (Chan et al., "Updating formulae and a
+  /// pairwise algorithm for computing sample variances", 1979).
+  void Merge(const RunningMoments& other);
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two points.
+  double SampleVariance() const;
+  double SampleStddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// The same summary Summarize() computes, from the accumulated moments.
+  SampleSummary ToSummary() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A mergeable histogram over non-negative integer bins (occupancies,
+/// depths, bucket sizes). The spatial::Census is the full-featured
+/// occupancy-by-depth variant of this; this class is the flat bin-count
+/// accumulator for everything else. Integer adds are associative, so a
+/// merged histogram is bit-identical no matter how the sample was
+/// partitioned.
+class Histogram {
+ public:
+  /// Adds `count` observations to `bin`.
+  void Add(size_t bin, uint64_t count = 1);
+
+  /// Adds another histogram's counts into this one.
+  void Merge(const Histogram& other);
+
+  /// Observations in `bin` (0 if never seen).
+  uint64_t CountAt(size_t bin) const;
+
+  /// Total observations.
+  uint64_t Total() const { return total_; }
+
+  /// Largest bin with a nonzero count (0 for an empty histogram).
+  size_t MaxBin() const;
+
+  /// Count-weighted mean bin index (0 for an empty histogram).
+  double MeanBin() const;
+
+  /// Proportion of observations in `bin` (0 for an empty histogram).
+  double ProportionAt(size_t bin) const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
 
 /// Two-sided 95% critical value of Student's t with `dof` degrees of
 /// freedom (table for small dof, normal tail beyond).

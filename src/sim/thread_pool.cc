@@ -1,0 +1,132 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace popan::sim {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+
+  // Shared by the caller, the workers, and any helper task that dequeues
+  // only after the loop already finished — hence the shared_ptr and the
+  // copied function: a late helper must find the state alive, observe the
+  // exhausted cursor, and exit without touching caller-stack data.
+  //
+  // All bookkeeping is mutex-protected. A chunk claim and the running++
+  // that pins the claimer are one critical section, so the caller can
+  // never observe "cursor exhausted, nobody running" while a claimed
+  // chunk is still executing. Chunks are coarse units of work (a full
+  // simulation trial or more), so the claim lock is not a bottleneck.
+  struct LoopState {
+    std::function<void(size_t)> fn;
+    size_t n = 0;
+    size_t grain = 1;
+    std::mutex mu;
+    std::condition_variable done;
+    size_t next = 0;     // first unclaimed index
+    size_t running = 0;  // participants currently executing a chunk
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->fn = fn;
+  state->n = n;
+  state->grain = grain;
+
+  auto body = [](const std::shared_ptr<LoopState>& s) {
+    for (;;) {
+      size_t begin, end;
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (s->next >= s->n) break;
+        begin = s->next;
+        end = std::min(s->n, begin + s->grain);
+        s->next = end;
+        ++s->running;
+      }
+      try {
+        for (size_t i = begin; i < end; ++i) s->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (!s->error) s->error = std::current_exception();
+        s->next = s->n;  // cancel the unclaimed chunks
+      }
+      {
+        std::lock_guard<std::mutex> lock(s->mu);
+        --s->running;
+      }
+      s->done.notify_all();
+    }
+  };
+
+  size_t chunks = (n + grain - 1) / grain;
+  size_t helpers = std::min(workers_.size(), chunks);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([state, body] { body(state); });
+  }
+  body(state);  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock,
+                   [&] { return state->next >= state->n && state->running == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace popan::sim

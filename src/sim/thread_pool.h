@@ -1,0 +1,64 @@
+#ifndef POPAN_SIM_THREAD_POOL_H_
+#define POPAN_SIM_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace popan::sim {
+
+/// A small fixed-size worker pool for embarrassingly parallel trial
+/// replication. Tasks are plain closures; ParallelFor layers dynamic
+/// chunked index scheduling on top.
+///
+/// Scheduling order is nondeterministic, so callers that need reproducible
+/// results must make the work itself order-free: write each index's output
+/// into its own slot and reduce in index order afterwards (this is what
+/// ExperimentRunner does). A pool built with zero workers degrades to
+/// inline execution on the calling thread, which keeps single-threaded
+/// runs free of any thread machinery.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_workers` worker threads (zero is allowed).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task. With zero workers the task runs inline before
+  /// Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n), handing out chunks of `grain`
+  /// consecutive indices to the workers and to the calling thread, and
+  /// returns once all indices are done. If any invocation throws, the
+  /// remaining indices are abandoned and the first exception observed is
+  /// rethrown on the calling thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t grain = 1);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task ready / stop
+  std::condition_variable idle_cv_;  // signals Wait(): pool went quiescent
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_THREAD_POOL_H_

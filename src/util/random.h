@@ -87,7 +87,39 @@ class Pcg32 {
 
 /// Derives the seed for trial `trial` of an experiment family identified by
 /// `base_seed`. Distinct (base_seed, trial) pairs give independent streams.
+/// Counter-based: a pure function of (base_seed, trial) with no sequential
+/// state, so stream seeds can be computed in any order on any thread.
 uint64_t DeriveSeed(uint64_t base_seed, uint64_t trial);
+
+/// A counter-based family of independent RNG streams: (base seed, stream
+/// index) -> generator, with no state advanced between calls. This is what
+/// makes parallel trial replication deterministic — trial t's generator is
+/// the same object whether it is built first or last, on one thread or
+/// sixteen, so results depend only on the seed and the trial index, never
+/// on the schedule.
+class RngStreamFamily {
+ public:
+  explicit RngStreamFamily(uint64_t base_seed) : base_seed_(base_seed) {}
+
+  uint64_t base_seed() const { return base_seed_; }
+
+  /// The seed of stream `index` (identical to DeriveSeed(base_seed, index)).
+  uint64_t StreamSeed(uint64_t index) const {
+    return DeriveSeed(base_seed_, index);
+  }
+
+  /// A freshly seeded generator for stream `index`.
+  Pcg32 MakeStream(uint64_t index) const { return Pcg32(StreamSeed(index)); }
+
+  /// A nested family, for two-level replication (e.g. one sub-family per
+  /// sample size in a sweep, each with its own per-trial streams).
+  RngStreamFamily SubFamily(uint64_t index) const {
+    return RngStreamFamily(StreamSeed(index));
+  }
+
+ private:
+  uint64_t base_seed_;
+};
 
 }  // namespace popan
 

@@ -77,5 +77,118 @@ TEST(StatsTest, ToStringFormats) {
   EXPECT_NE(out.find("n=3"), std::string::npos);
 }
 
+TEST(RunningMomentsTest, MatchesSummarizeOnKnownSample) {
+  std::vector<double> sample = {1, 2, 3, 4, 5};
+  RunningMoments m;
+  for (double v : sample) m.Add(v);
+  SampleSummary reference = Summarize(sample);
+  EXPECT_EQ(m.count(), 5u);
+  EXPECT_NEAR(m.mean(), reference.mean, 1e-12);
+  EXPECT_NEAR(m.SampleStddev(), reference.stddev, 1e-12);
+  EXPECT_EQ(m.min(), 1.0);
+  EXPECT_EQ(m.max(), 5.0);
+  SampleSummary s = m.ToSummary();
+  EXPECT_NEAR(s.ci95_low, reference.ci95_low, 1e-9);
+  EXPECT_NEAR(s.ci95_high, reference.ci95_high, 1e-9);
+  EXPECT_NEAR(s.standard_error, reference.standard_error, 1e-12);
+}
+
+TEST(RunningMomentsTest, EmptyAndSingle) {
+  RunningMoments empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.SampleVariance(), 0.0);
+  EXPECT_EQ(empty.ToSummary().n, 0u);
+
+  RunningMoments one;
+  one.Add(4.2);
+  EXPECT_EQ(one.mean(), 4.2);
+  EXPECT_EQ(one.SampleStddev(), 0.0);
+  EXPECT_EQ(one.ToSummary().ci95_low, 4.2);
+}
+
+TEST(RunningMomentsTest, ChanMergeMatchesSinglePass) {
+  // Every split point of the sample must merge back to the whole-sample
+  // moments — the invariant the parallel reduction depends on.
+  Pcg32 rng(17);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.NextGaussian(50, 9));
+  RunningMoments whole;
+  for (double v : sample) whole.Add(v);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{17}, size_t{100},
+                       size_t{199}, size_t{200}}) {
+    RunningMoments left, right;
+    for (size_t i = 0; i < split; ++i) left.Add(sample[i]);
+    for (size_t i = split; i < sample.size(); ++i) right.Add(sample[i]);
+    left.Merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.SampleVariance(), whole.SampleVariance(), 1e-8);
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+  }
+}
+
+TEST(RunningMomentsTest, MergeWithEmptyIsIdentity) {
+  RunningMoments m;
+  m.Add(1.0);
+  m.Add(3.0);
+  RunningMoments empty;
+  RunningMoments copy = m;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_EQ(copy.mean(), m.mean());
+  empty.Merge(m);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), m.mean());
+  EXPECT_EQ(empty.min(), 1.0);
+  EXPECT_EQ(empty.max(), 3.0);
+}
+
+TEST(HistogramTest, AddAndQuery) {
+  Histogram h;
+  EXPECT_EQ(h.Total(), 0u);
+  EXPECT_EQ(h.MeanBin(), 0.0);
+  h.Add(0);
+  h.Add(2, 3);
+  EXPECT_EQ(h.Total(), 4u);
+  EXPECT_EQ(h.CountAt(0), 1u);
+  EXPECT_EQ(h.CountAt(1), 0u);
+  EXPECT_EQ(h.CountAt(2), 3u);
+  EXPECT_EQ(h.CountAt(99), 0u);
+  EXPECT_EQ(h.MaxBin(), 2u);
+  EXPECT_DOUBLE_EQ(h.MeanBin(), 6.0 / 4.0);
+  EXPECT_DOUBLE_EQ(h.ProportionAt(2), 0.75);
+}
+
+TEST(HistogramTest, MergeIsExactRegardlessOfPartition) {
+  // Integer bin counts: a merged histogram is bit-identical to the
+  // histogram of the pooled sample, however the sample was split.
+  Pcg32 rng(5);
+  std::vector<size_t> bins;
+  for (int i = 0; i < 500; ++i) bins.push_back(rng.NextBounded(12));
+  Histogram whole;
+  for (size_t b : bins) whole.Add(b);
+  Histogram left, right;
+  for (size_t i = 0; i < bins.size(); ++i) {
+    (i % 3 == 0 ? left : right).Add(bins[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Total(), whole.Total());
+  EXPECT_EQ(left.MaxBin(), whole.MaxBin());
+  for (size_t b = 0; b <= whole.MaxBin(); ++b) {
+    EXPECT_EQ(left.CountAt(b), whole.CountAt(b)) << b;
+  }
+}
+
+TEST(HistogramTest, MergeGrowsBinRange) {
+  Histogram small, large;
+  small.Add(1);
+  large.Add(10, 2);
+  small.Merge(large);
+  EXPECT_EQ(small.MaxBin(), 10u);
+  EXPECT_EQ(small.CountAt(10), 2u);
+  EXPECT_EQ(small.Total(), 3u);
+}
+
 }  // namespace
 }  // namespace popan::sim

@@ -1,0 +1,125 @@
+#include "sim/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithCoarseGrain) {
+  ThreadPool pool(3);
+  const size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(
+      kN,
+      [&](size_t i) { visits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/64);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  size_t sum = 0;
+  // No workers: everything runs on the calling thread, so plain (unsynchronized)
+  // state is safe.
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ActuallyRunsOnMultipleThreads) {
+  // Rendezvous: two chunks each block until the other arrives, which can
+  // only complete if they run on different threads. Works on any machine
+  // (a blocking wait yields the CPU, so even one core schedules both); the
+  // timeout turns a lost second thread into a failure, not a hang.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool both_seen = false;
+  pool.ParallelFor(2, [&](size_t) {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    if (cv.wait_for(lock, std::chrono::seconds(5),
+                    [&] { return arrived == 2; })) {
+      both_seen = true;
+    }
+  });
+  EXPECT_TRUE(both_seen);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAcrossSequentialLoops) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(50, [&](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 1225u);
+  }
+}
+
+TEST(ThreadPoolTest, MoreWorkersThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(3, [&](size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace popan::sim

@@ -144,5 +144,49 @@ TEST(DeriveSeedTest, DeterministicInInputs) {
   EXPECT_NE(DeriveSeed(5, 9), DeriveSeed(5, 10));
 }
 
+TEST(RngStreamFamilyTest, StreamSeedMatchesDeriveSeed) {
+  RngStreamFamily family(1987);
+  for (uint64_t t = 0; t < 50; ++t) {
+    EXPECT_EQ(family.StreamSeed(t), DeriveSeed(1987, t));
+  }
+}
+
+TEST(RngStreamFamilyTest, StreamsAreCounterBased) {
+  // Building stream 7 first or last makes no difference: the splitter has
+  // no sequential state, which is what parallel trial scheduling relies on.
+  RngStreamFamily family(42);
+  Pcg32 late_first = family.MakeStream(7);
+  family.MakeStream(0);
+  family.MakeStream(3);
+  Pcg32 late_second = family.MakeStream(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(late_first.Next32(), late_second.Next32());
+  }
+}
+
+TEST(RngStreamFamilyTest, DistinctIndicesGiveIndependentStreams) {
+  RngStreamFamily family(7);
+  std::set<uint64_t> seeds;
+  for (uint64_t t = 0; t < 1000; ++t) seeds.insert(family.StreamSeed(t));
+  EXPECT_EQ(seeds.size(), 1000u);
+
+  Pcg32 a = family.MakeStream(0);
+  Pcg32 b = family.MakeStream(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next32() == b.Next32()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngStreamFamilyTest, SubFamilyIsItsOwnSeedSpace) {
+  RngStreamFamily family(1987);
+  RngStreamFamily sub = family.SubFamily(64);
+  EXPECT_EQ(sub.base_seed(), family.StreamSeed(64));
+  // A sub-family's streams differ from the parent's at the same indices.
+  EXPECT_NE(sub.StreamSeed(0), family.StreamSeed(0));
+  EXPECT_NE(sub.StreamSeed(64), family.StreamSeed(64));
+}
+
 }  // namespace
 }  // namespace popan
