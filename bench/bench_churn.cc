@@ -6,9 +6,11 @@
 // effect.
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/steady_state.h"
+#include "sim/bench_json.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 #include "spatial/census.h"
@@ -32,6 +34,7 @@ popan::spatial::Census ChurnedCensus(size_t capacity, size_t target,
   options.capacity = capacity;
   options.max_depth = 20;
   popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+  tree.ReserveForPoints(target);
   Pcg32 rng(seed);
   std::vector<Point2> live;
   while (tree.size() < target) {
@@ -49,7 +52,20 @@ popan::spatial::Census ChurnedCensus(size_t capacity, size_t target,
       }
     }
   }
-  return popan::spatial::TakeCensus(tree);
+  // The live census matches TakeCensus exactly (CheckInvariants verifies)
+  // without walking the tree.
+  return tree.LiveCensus();
+}
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -104,5 +120,96 @@ int main() {
       "decomposition, so the churned tree stays close to the fresh one\n"
       "(the PR decomposition is canonical in the point set; only the\n"
       "sampling of the point set changes).\n");
+
+  // ---- Large-scale trace: per-step censuses at N = 1e5 ---------------
+  // The occupancy trajectory DURING churn (not just the endpoint) is what
+  // the aging analysis consumes. With the incremental census this costs
+  // O(1) bookkeeping per op; the walked alternative re-traverses the tree
+  // per step. Both are timed here and recorded in BENCH_churn.json.
+  {
+    const size_t kTracePoints = EnvOr("POPAN_CHURN_TRACE_POINTS", 100000);
+    const size_t kTraceSteps = EnvOr("POPAN_CHURN_TRACE_STEPS", 20000);
+    const size_t kWalkSteps =
+        EnvOr("POPAN_CHURN_TRACE_WALK_STEPS", 200);
+    const size_t kTraceCapacity = 4;
+    popan::spatial::PrTreeOptions options;
+    options.capacity = kTraceCapacity;
+    options.max_depth = 32;
+    popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+    tree.ReserveForPoints(kTracePoints);
+    Pcg32 rng(popan::DeriveSeed(1987, 777));
+    std::vector<Point2> live;
+    live.reserve(kTracePoints);
+    popan::sim::WallTimer timer;
+    while (tree.size() < kTracePoints) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (tree.Insert(p).ok()) live.push_back(p);
+    }
+    double build_s = timer.Seconds();
+
+    auto churn_step = [&](Pcg32& r) {
+      size_t victim = r.NextBounded(static_cast<uint32_t>(live.size()));
+      POPAN_CHECK(tree.Erase(live[victim]).ok());
+      for (;;) {
+        Point2 p(r.NextDouble(), r.NextDouble());
+        if (tree.Insert(p).ok()) {
+          live[victim] = p;
+          break;
+        }
+      }
+    };
+
+    double live_sum = 0.0;
+    timer.Reset();
+    for (size_t op = 0; op < kTraceSteps; ++op) {
+      churn_step(rng);
+      live_sum += tree.LiveCensus().AverageOccupancy();
+    }
+    double live_s = timer.Seconds();
+
+    double walk_sum = 0.0;
+    timer.Reset();
+    for (size_t op = 0; op < kWalkSteps; ++op) {
+      churn_step(rng);
+      walk_sum += popan::spatial::TakeCensus(tree).AverageOccupancy();
+    }
+    double walk_s = timer.Seconds();
+
+    double live_per_step = live_s / static_cast<double>(kTraceSteps);
+    double walk_per_step = walk_s / static_cast<double>(kWalkSteps);
+    double speedup = live_per_step > 0.0 ? walk_per_step / live_per_step
+                                         : 0.0;
+    bool equal = tree.LiveCensus() == popan::spatial::TakeCensus(tree);
+
+    std::printf(
+        "\nPer-step census trace (N=%zu, m=%zu): %zu live-census steps in "
+        "%.3fs,\n%zu walked-census steps in %.3fs -> %.0fx per-step "
+        "speedup; live == walked: %s\n",
+        kTracePoints, kTraceCapacity, kTraceSteps, live_s, kWalkSteps,
+        walk_s, speedup, equal ? "OK" : "MISMATCH");
+
+    popan::sim::BenchJson json("churn");
+    json.Add("trace_points", static_cast<uint64_t>(kTracePoints))
+        .Add("trace_capacity", static_cast<uint64_t>(kTraceCapacity))
+        .Add("build_seconds", build_s)
+        .Add("trace_steps_live", static_cast<uint64_t>(kTraceSteps))
+        .Add("trace_live_seconds", live_s)
+        .Add("trace_steps_walk", static_cast<uint64_t>(kWalkSteps))
+        .Add("trace_walk_seconds", walk_s)
+        .Add("census_seconds_per_step_live", live_per_step)
+        .Add("census_seconds_per_step_walk", walk_per_step)
+        .Add("census_speedup", speedup)
+        .Add("trace_mean_occupancy",
+             live_sum / static_cast<double>(kTraceSteps))
+        .Add("walk_mean_occupancy",
+             walk_sum / static_cast<double>(kWalkSteps))
+        .Add("census_equal", std::string(equal ? "true" : "false"));
+    std::string path = json.WriteFile();
+    if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+    if (!equal) {
+      std::fprintf(stderr, "FAIL: LiveCensus diverged from TakeCensus\n");
+      return 1;
+    }
+  }
   return 0;
 }

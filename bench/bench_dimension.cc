@@ -9,6 +9,7 @@
 #include "core/occupancy.h"
 #include "core/steady_state.h"
 #include "sim/experiment.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 namespace {
@@ -58,6 +59,7 @@ void AddRows(TextTable* table, popan::sim::ExperimentRunner* runner) {
 }  // namespace
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   popan::sim::ExperimentRunner runner;
   std::printf("Extension: dimension sweep (bintree / quadtree / octree)\n");
   std::printf("Workload: 10 trees x 1000 uniform points per (D, m) "
@@ -73,5 +75,8 @@ int main() {
   std::printf("Expected shape: theory slightly above experiment in every "
               "dimension (aging is dimension-generic); occupancy at fixed "
               "m decreases with fanout.\n");
+  popan::sim::BenchJson bench_json("dimension");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -10,9 +10,11 @@
 #include "core/population_dynamics.h"
 #include "core/steady_state.h"
 #include "sim/experiment.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   using popan::core::DistributionDistance;
   using popan::core::DynamicsTrajectory;
   using popan::core::PopulationModel;
@@ -76,5 +78,8 @@ int main() {
   std::printf("Expected shape: monotone decrease toward 0 from every "
               "start — the fixed point is globally attracting on the "
               "simplex.\n");
+  popan::sim::BenchJson bench_json("dynamics");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -22,9 +22,11 @@
 #include "core/steady_state.h"
 #include "sim/ascii_plot.h"
 #include "sim/experiment.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   using popan::core::AnalyzePhasing;
   using popan::core::AreaWeightedOccupancySeries;
   using popan::core::ExactCensusCalculator;
@@ -86,5 +88,8 @@ int main() {
               "oscillate with period 4x around (slightly below) the "
               "population constant %.2f; damping ratio near 1.\n",
               constant);
+  popan::sim::BenchJson bench_json("exact_statistical");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

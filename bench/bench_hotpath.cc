@@ -1,0 +1,238 @@
+// Hot-path micro-benchmark: insert / erase / churn throughput of the PR
+// quadtree and the extendible hash, and the cost of per-step censuses in
+// the two available modes — LiveCensus() (O(1) incremental bookkeeping
+// per operation, O(depths x occupancies) per snapshot) versus
+// TakeCensus() (a full tree walk per snapshot). The two must agree
+// exactly; this binary exits non-zero on any divergence, which is the CI
+// census-equivalence gate.
+//
+// Emits BENCH_hotpath.json (see sim/bench_json.h) for machine tracking.
+//
+// Env knobs: POPAN_HOTPATH_POINTS (default 100000),
+//            POPAN_HOTPATH_WALK_SNAPSHOTS (default 200).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/bench_json.h"
+#include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::Pcg32;
+using popan::geo::Box2;
+using popan::geo::Point2;
+using popan::sim::BenchJson;
+using popan::sim::TextTable;
+using popan::sim::WallTimer;
+using popan::spatial::Census;
+using popan::spatial::ExtendibleHash;
+using popan::spatial::ExtendibleHashOptions;
+using popan::spatial::PrQuadtree;
+using popan::spatial::PrTreeOptions;
+using popan::spatial::TakeBucketCensus;
+using popan::spatial::TakeCensus;
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+double OpsPerSec(size_t ops, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kPoints = EnvOr("POPAN_HOTPATH_POINTS", 100000);
+  const size_t kWalkSnapshots = EnvOr("POPAN_HOTPATH_WALK_SNAPSHOTS", 200);
+  const size_t kCapacity = 4;
+  const uint64_t kSeed = 1987;
+
+  std::printf("Hot-path micro-benchmark: N=%zu points, m=%zu\n\n", kPoints,
+              kCapacity);
+
+  BenchJson json("hotpath");
+  json.Add("points", static_cast<uint64_t>(kPoints));
+  json.Add("capacity", static_cast<uint64_t>(kCapacity));
+
+  PrTreeOptions options;
+  options.capacity = kCapacity;
+  options.max_depth = 32;
+
+  // ---- PR quadtree: bulk insert ------------------------------------
+  std::vector<Point2> points;
+  points.reserve(kPoints);
+  {
+    Pcg32 rng(kSeed);
+    while (points.size() < kPoints) {
+      points.emplace_back(rng.NextDouble(), rng.NextDouble());
+    }
+  }
+  PrQuadtree tree(Box2::UnitCube(), options);
+  tree.ReserveForPoints(kPoints);
+  WallTimer timer;
+  size_t inserted = 0;
+  for (const Point2& p : points) {
+    if (tree.Insert(p).ok()) ++inserted;
+  }
+  double insert_s = timer.Seconds();
+
+  // ---- Churn with a per-step live census ---------------------------
+  // Steady-state insert/erase churn; after EVERY operation pair, snapshot
+  // the live census and fold a couple of its statistics into a checksum
+  // (so the snapshot cannot be optimized away). This is the pattern the
+  // aging/phasing experiments need: census trajectories, not endpoints.
+  Pcg32 churn_rng(kSeed + 1);
+  const size_t kChurnOps = kPoints / 2;
+  double checksum = 0.0;
+  timer.Reset();
+  for (size_t op = 0; op < kChurnOps; ++op) {
+    size_t victim = churn_rng.NextBounded(static_cast<uint32_t>(inserted));
+    (void)tree.Erase(points[victim]);
+    Point2 fresh(churn_rng.NextDouble(), churn_rng.NextDouble());
+    if (tree.Insert(fresh).ok()) points[victim] = fresh;
+    Census c = tree.LiveCensus();
+    checksum += c.AverageOccupancy() + static_cast<double>(c.LeafCount());
+  }
+  double churn_live_s = timer.Seconds();
+
+  // ---- The same churn loop with walked censuses --------------------
+  // TakeCensus per step is O(tree); do a subsample of the steps and scale
+  // the comparison per-snapshot. Same RNG stream so the work matches.
+  Pcg32 walk_rng(kSeed + 1);
+  double walk_checksum = 0.0;
+  timer.Reset();
+  for (size_t op = 0; op < kWalkSnapshots; ++op) {
+    size_t victim = walk_rng.NextBounded(static_cast<uint32_t>(inserted));
+    (void)tree.Erase(points[victim]);
+    Point2 fresh(walk_rng.NextDouble(), walk_rng.NextDouble());
+    if (tree.Insert(fresh).ok()) points[victim] = fresh;
+    Census c = TakeCensus(tree);
+    walk_checksum += c.AverageOccupancy() + static_cast<double>(c.LeafCount());
+  }
+  double churn_walk_s = timer.Seconds();
+
+  double live_per_step = churn_live_s / static_cast<double>(kChurnOps);
+  double walk_per_step = churn_walk_s / static_cast<double>(kWalkSnapshots);
+  double census_speedup =
+      live_per_step > 0.0 ? walk_per_step / live_per_step : 0.0;
+
+  // ---- Erase everything --------------------------------------------
+  timer.Reset();
+  size_t erased = 0;
+  for (const Point2& p : points) {
+    if (tree.Erase(p).ok()) ++erased;
+  }
+  double erase_s = timer.Seconds();
+
+  // ---- Extendible hash churn with live census ----------------------
+  ExtendibleHashOptions hash_options;
+  hash_options.bucket_capacity = 8;
+  ExtendibleHash table(hash_options);
+  timer.Reset();
+  for (size_t k = 0; k < kPoints; ++k) {
+    (void)table.Insert(k * 2654435761ULL + 7);
+  }
+  double hash_insert_s = timer.Seconds();
+  Pcg32 hash_rng(kSeed + 2);
+  double hash_checksum = 0.0;
+  timer.Reset();
+  for (size_t op = 0; op < kChurnOps; ++op) {
+    uint64_t victim =
+        static_cast<uint64_t>(hash_rng.NextBounded(
+            static_cast<uint32_t>(kPoints))) * 2654435761ULL + 7;
+    bool removed = table.Erase(victim).ok();
+    Census c = table.LiveCensus();
+    hash_checksum += c.AverageOccupancy();
+    if (removed) (void)table.Insert(victim);
+  }
+  double hash_churn_live_s = timer.Seconds();
+
+  // ---- Census equivalence gate -------------------------------------
+  // Rebuild a moderately churned tree and demand bit-identical censuses
+  // from the two paths; same for the hash. Any drift is a correctness
+  // bug, so this is a hard failure, wired into CI.
+  bool equal = true;
+  {
+    PrQuadtree check_tree(Box2::UnitCube(), options);
+    Pcg32 rng(kSeed + 3);
+    std::vector<Point2> live;
+    for (size_t i = 0; i < 20000; ++i) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (check_tree.Insert(p).ok()) live.push_back(p);
+      if (!live.empty() && rng.NextBounded(3) == 0) {
+        size_t victim = rng.NextBounded(static_cast<uint32_t>(live.size()));
+        if (check_tree.Erase(live[victim]).ok()) {
+          live[victim] = live.back();
+          live.pop_back();
+        }
+      }
+    }
+    equal = equal && check_tree.LiveCensus() == TakeCensus(check_tree);
+    equal = equal && table.LiveCensus() == TakeBucketCensus(table);
+  }
+
+  TextTable out("Hot-path throughput");
+  out.SetHeader({"section", "ops", "seconds", "ops/sec"});
+  out.AddRow({"pr insert", TextTable::Fmt(inserted),
+              TextTable::Fmt(insert_s, 4),
+              TextTable::Fmt(OpsPerSec(inserted, insert_s), 0)});
+  out.AddRow({"pr churn + live census", TextTable::Fmt(kChurnOps),
+              TextTable::Fmt(churn_live_s, 4),
+              TextTable::Fmt(OpsPerSec(kChurnOps, churn_live_s), 0)});
+  out.AddRow({"pr churn + walked census", TextTable::Fmt(kWalkSnapshots),
+              TextTable::Fmt(churn_walk_s, 4),
+              TextTable::Fmt(OpsPerSec(kWalkSnapshots, churn_walk_s), 0)});
+  out.AddRow({"pr erase", TextTable::Fmt(erased),
+              TextTable::Fmt(erase_s, 4),
+              TextTable::Fmt(OpsPerSec(erased, erase_s), 0)});
+  out.AddRow({"hash insert", TextTable::Fmt(kPoints),
+              TextTable::Fmt(hash_insert_s, 4),
+              TextTable::Fmt(OpsPerSec(kPoints, hash_insert_s), 0)});
+  out.AddRow({"hash churn + live census", TextTable::Fmt(kChurnOps),
+              TextTable::Fmt(hash_churn_live_s, 4),
+              TextTable::Fmt(OpsPerSec(kChurnOps, hash_churn_live_s), 0)});
+  std::printf("%s\n", out.Render().c_str());
+  std::printf("per-step census: live %.3g s, walked %.3g s -> %.1fx\n",
+              live_per_step, walk_per_step, census_speedup);
+  std::printf("census equivalence (live == walked): %s\n",
+              equal ? "OK" : "MISMATCH");
+  std::printf("(checksums: %.6g / %.6g / %.6g)\n", checksum, walk_checksum,
+              hash_checksum);
+
+  json.Add("insert_seconds", insert_s)
+      .Add("insert_ops_per_sec", OpsPerSec(inserted, insert_s))
+      .Add("churn_live_census_seconds", churn_live_s)
+      .Add("churn_live_census_ops", static_cast<uint64_t>(kChurnOps))
+      .Add("churn_walk_census_seconds", churn_walk_s)
+      .Add("churn_walk_census_ops", static_cast<uint64_t>(kWalkSnapshots))
+      .Add("census_seconds_per_step_live", live_per_step)
+      .Add("census_seconds_per_step_walk", walk_per_step)
+      .Add("census_speedup", census_speedup)
+      .Add("erase_seconds", erase_s)
+      .Add("erase_ops_per_sec", OpsPerSec(erased, erase_s))
+      .Add("hash_insert_seconds", hash_insert_s)
+      .Add("hash_churn_live_census_seconds", hash_churn_live_s)
+      .Add("census_equal", std::string(equal ? "true" : "false"));
+  std::string path = json.WriteFile();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+
+  if (!equal) {
+    std::fprintf(stderr, "FAIL: LiveCensus diverged from TakeCensus\n");
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/bench_json.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 
@@ -58,6 +59,9 @@ int main() {
   double baseline = 0.0;
   double reference_mean = 0.0;
   bool deterministic = true;
+  popan::sim::BenchJson bench_json("parallel_scaling");
+  bench_json.Add("trials", static_cast<uint64_t>(spec.trials))
+      .Add("points", static_cast<uint64_t>(spec.num_points));
   for (size_t threads : counts) {
     ExperimentRunner runner(threads);
     auto start = std::chrono::steady_clock::now();
@@ -75,9 +79,13 @@ int main() {
     table.AddRow({TextTable::Fmt(threads), TextTable::Fmt(seconds, 3),
                   TextTable::Fmt(seconds > 0 ? baseline / seconds : 0.0, 2),
                   TextTable::Fmt(result.mean_occupancy, 15)});
+    bench_json.Add("seconds_t" + std::to_string(threads), seconds);
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("bit-identical across thread counts: %s\n",
               deterministic ? "yes" : "NO - DETERMINISM BUG");
+  bench_json.Add("deterministic",
+                 std::string(deterministic ? "true" : "false"));
+  bench_json.WriteFile();
   return deterministic ? 0 : 1;
 }

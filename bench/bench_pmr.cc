@@ -13,6 +13,7 @@
 #include "core/pmr_model.h"
 #include "core/steady_state.h"
 #include "sim/distributions.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 #include "spatial/census.h"
 #include "spatial/pmr_quadtree.h"
@@ -55,6 +56,7 @@ double Occupancy(const popan::core::PopulationModel& model) {
 }  // namespace
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   std::printf("Extension: PMR quadtree population analysis (paper SS V, "
               "[Nels86b])\n");
   std::printf("Workload: 5 trees x 800 random segments per (threshold, "
@@ -103,5 +105,8 @@ int main() {
       "q grows with depth and insertions weight nodes by their size - the\n"
       "line-data analogue of the paper's aging, deliberately left\n"
       "unmodeled, as in the paper.\n");
+  popan::sim::BenchJson bench_json("pmr");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

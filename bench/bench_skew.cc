@@ -12,6 +12,7 @@
 
 #include "core/steady_state.h"
 #include "core/transform_matrix.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 #include "spatial/census.h"
 #include "spatial/pr_tree.h"
@@ -67,6 +68,7 @@ double SimulatedOccupancy(const std::vector<double>& p, size_t capacity,
 }  // namespace
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   std::printf("Extension: skewed-data population model vs multiplicative-"
               "cascade workloads (m = 4, 5 trials x 2000 points)\n\n");
 
@@ -108,5 +110,8 @@ int main() {
       "sits below 1 everywhere (aging) and dips further at moderate skew\n"
       "(~0.7): skew diversifies block sizes, which amplifies the\n"
       "area-weighting error the paper's SS IV analyzes.\n");
+  popan::sim::BenchJson bench_json("skew");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "core/spectral.h"
 #include "core/steady_state.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 namespace {
@@ -24,6 +25,7 @@ double MillisFor(const std::function<void()>& fn, int repeats) {
 }  // namespace
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   using popan::core::PopulationModel;
   using popan::core::SolveSteadyState;
   using popan::core::SolverMethod;
@@ -80,5 +82,8 @@ int main() {
               "log(tol)/log(rate) tracks the observed fixed-point counts "
               "(the contraction rate is the insertion-map Jacobian's "
               "spectral radius on the simplex).\n");
+  popan::sim::BenchJson bench_json("solvers");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/steady_state.h"
 #include "sim/experiment.h"
 #include "sim/goodness_of_fit.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 namespace {
@@ -37,6 +38,7 @@ std::string VectorCells(const popan::num::Vector& v, size_t count) {
 }  // namespace
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   ExperimentRunner runner;
   std::printf("Paper: Nelson & Samet, 'A Population Analysis for "
               "Hierarchical Data Structures' (SIGMOD 1987)\n");
@@ -103,5 +105,8 @@ int main() {
               100.0 * theory.distribution[0], 100.0 * theory.distribution[1],
               100.0 * experiment.proportions[0],
               100.0 * experiment.proportions[1]);
+  popan::sim::BenchJson bench_json("table1_distribution");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

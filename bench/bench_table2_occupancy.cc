@@ -8,9 +8,11 @@
 #include "core/occupancy.h"
 #include "core/steady_state.h"
 #include "sim/experiment.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   using popan::core::PercentDifference;
   using popan::core::PopulationModel;
   using popan::core::SolveSteadyState;
@@ -59,5 +61,8 @@ int main() {
               "3.44/3.72/7.5   3.79/4.25/10.8\n");
   std::printf("Expected shape: theory uniformly above experiment (aging); "
               "gap cycles with m (phasing).\n");
+  popan::sim::BenchJson bench_json("table2_occupancy");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -4,10 +4,31 @@
 // (split-cohort) value 0.40, with the depth-9 truncation artifact.
 
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "core/aging.h"
+#include "sim/bench_json.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
 
 int main() {
   using popan::core::AgingDepthRow;
@@ -57,5 +78,75 @@ int main() {
               "0.55 (depth 9 is the truncation artifact)\n");
   std::printf("Aging gradient (shallowest - deepest): %.2f\n",
               report.aging_gradient);
+
+  // ---- Large-scale aging trace: a census after EVERY insert ----------
+  // Aging is a statement about census *trajectories* (occupancy vs node
+  // age as the tree grows). The incremental census makes the full
+  // trajectory affordable: a snapshot per insertion at N = 1e5. The
+  // walked alternative is timed on a subsample for the recorded speedup.
+  {
+    const size_t kTracePoints = EnvOr("POPAN_AGING_TRACE_POINTS", 100000);
+    const size_t kWalkSteps = EnvOr("POPAN_AGING_TRACE_WALK_STEPS", 200);
+    popan::spatial::PrTreeOptions options;
+    options.capacity = 1;
+    options.max_depth = 32;
+    popan::spatial::PrQuadtree tree(popan::geo::Box2::UnitCube(), options);
+    tree.ReserveForPoints(kTracePoints);
+    popan::Pcg32 rng(popan::DeriveSeed(1987, 333));
+    double live_sum = 0.0;
+    popan::sim::WallTimer timer;
+    size_t inserted = 0;
+    while (inserted < kTracePoints) {
+      popan::geo::Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (!tree.Insert(p).ok()) continue;
+      ++inserted;
+      live_sum += tree.LiveCensus().AverageOccupancy();
+    }
+    double live_s = timer.Seconds();
+
+    double walk_sum = 0.0;
+    timer.Reset();
+    for (size_t op = 0; op < kWalkSteps; ++op) {
+      for (;;) {
+        popan::geo::Point2 p(rng.NextDouble(), rng.NextDouble());
+        if (tree.Insert(p).ok()) break;
+      }
+      walk_sum += popan::spatial::TakeCensus(tree).AverageOccupancy();
+    }
+    double walk_s = timer.Seconds();
+
+    double live_per_step = live_s / static_cast<double>(kTracePoints);
+    double walk_per_step = walk_s / static_cast<double>(kWalkSteps);
+    double speedup = live_per_step > 0.0 ? walk_per_step / live_per_step
+                                         : 0.0;
+    bool equal = tree.LiveCensus() == popan::spatial::TakeCensus(tree);
+
+    std::printf(
+        "\nGrowth trace (N=%zu, m=1, census after every insert): live "
+        "%.3fs,\n%zu walked snapshots %.3fs -> %.0fx per-step speedup; "
+        "live == walked: %s\n",
+        kTracePoints, live_s, kWalkSteps, walk_s, speedup,
+        equal ? "OK" : "MISMATCH");
+
+    popan::sim::BenchJson json("table3_aging");
+    json.Add("trace_points", static_cast<uint64_t>(kTracePoints))
+        .Add("trace_live_seconds", live_s)
+        .Add("trace_steps_walk", static_cast<uint64_t>(kWalkSteps))
+        .Add("trace_walk_seconds", walk_s)
+        .Add("census_seconds_per_step_live", live_per_step)
+        .Add("census_seconds_per_step_walk", walk_per_step)
+        .Add("census_speedup", speedup)
+        .Add("trace_mean_occupancy",
+             live_sum / static_cast<double>(kTracePoints))
+        .Add("walk_mean_occupancy",
+             walk_sum / static_cast<double>(kWalkSteps))
+        .Add("census_equal", std::string(equal ? "true" : "false"));
+    std::string path = json.WriteFile();
+    if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+    if (!equal) {
+      std::fprintf(stderr, "FAIL: LiveCensus diverged from TakeCensus\n");
+      return 1;
+    }
+  }
   return 0;
 }

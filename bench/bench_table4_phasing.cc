@@ -8,9 +8,11 @@
 #include "sim/ascii_plot.h"
 #include "sim/csv.h"
 #include "sim/experiment.h"
+#include "sim/bench_json.h"
 #include "sim/table.h"
 
 int main() {
+  popan::sim::WallTimer bench_timer;
   using popan::core::AnalyzePhasing;
   using popan::core::LogarithmicSchedule;
   using popan::core::OccupancySeries;
@@ -70,5 +72,8 @@ int main() {
                          series.nodes[i], series.average_occupancy[i]});
   }
   std::printf("CSV (figure 2 data):\n%s", csv.ToString().c_str());
+  popan::sim::BenchJson bench_json("table4_phasing");
+  bench_json.Add("wall_seconds", bench_timer.Seconds());
+  bench_json.WriteFile();
   return 0;
 }

@@ -6,6 +6,7 @@
 // Run:  ./quickstart
 
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -34,7 +35,7 @@ std::string RenderDecomposition(const popan::spatial::PrQuadtree& tree,
     return cells - static_cast<size_t>(y * static_cast<double>(cells));
   };
   tree.VisitLeavesPoints([&](const Box2& box, size_t,
-                             const std::vector<Point2>& points) {
+                             std::span<const Point2> points) {
     size_t c0 = col(box.lo().x()), c1 = col(box.hi().x());
     size_t r0 = row(box.hi().y()), r1 = row(box.lo().y());
     for (size_t c = c0; c <= c1; ++c) {

@@ -1,0 +1,80 @@
+#include "sim/bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace popan::sim {
+
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+BenchJson& BenchJson::Add(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  entries_.push_back(Entry{key, buf});
+  return *this;
+}
+
+BenchJson& BenchJson::Add(const std::string& key, uint64_t value) {
+  entries_.push_back(Entry{key, std::to_string(value)});
+  return *this;
+}
+
+BenchJson& BenchJson::Add(const std::string& key, const std::string& value) {
+  entries_.push_back(Entry{key, JsonString(value)});
+  return *this;
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"bench\": " + JsonString(name_);
+  for (const Entry& e : entries_) {
+    out += ",\n  " + JsonString(e.key) + ": " + e.rendered;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string BenchJson::WriteFile() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("POPAN_BENCH_JSON_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::string body = ToJson();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace popan::sim

@@ -1,0 +1,65 @@
+#ifndef POPAN_SIM_BENCH_JSON_H_
+#define POPAN_SIM_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace popan::sim {
+
+/// Simple wall-clock timer for benchmark sections.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable benchmark record: a flat JSON object of metrics,
+/// written as BENCH_<name>.json so CI (and offline analysis) can track
+/// timings without scraping the human-oriented tables from stdout.
+///
+/// Keys keep insertion order; values are numbers (doubles printed with
+/// round-trip precision, counters as integers) or strings. Output
+/// directory: $POPAN_BENCH_JSON_DIR if set, else the working directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& Add(const std::string& key, double value);
+  BenchJson& Add(const std::string& key, uint64_t value);
+  BenchJson& Add(const std::string& key, const std::string& value);
+
+  /// The record serialized as a JSON object.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json; returns the path written, or an empty
+  /// string on I/O failure (benchmarks print a warning but do not fail on
+  /// an unwritable directory).
+  std::string WriteFile() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string rendered;  // pre-rendered JSON value
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_BENCH_JSON_H_

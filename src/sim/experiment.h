@@ -127,6 +127,7 @@ TrialOutcome RunSingleTrial(const ExperimentSpec& spec, size_t trial) {
   options.capacity = spec.capacity;
   options.max_depth = spec.max_depth;
   spatial::PrTree<D> tree(bounds, options);
+  tree.ReserveForPoints(spec.num_points);
   size_t inserted = 0;
   while (inserted < spec.num_points) {
     geo::Point<D> p = DrawPoint(spec.distribution, spec.distribution_params,
@@ -137,7 +138,10 @@ TrialOutcome RunSingleTrial(const ExperimentSpec& spec, size_t trial) {
     ++inserted;
   }
   TrialOutcome outcome;
-  outcome.census = spatial::TakeCensus(tree);
+  // The live census is maintained O(1) per operation; snapshotting it
+  // avoids the full-tree walk per trial. CheckInvariants (tests) verifies
+  // it never drifts from TakeCensus.
+  outcome.census = tree.LiveCensus();
   outcome.occupancy = outcome.census.AverageOccupancy();
   outcome.leaves = static_cast<double>(outcome.census.LeafCount());
   return outcome;

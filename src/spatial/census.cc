@@ -8,19 +8,24 @@
 namespace popan::spatial {
 
 void Census::AddLeaf(size_t occupancy, size_t depth) {
+  AddLeaves(occupancy, depth, 1);
+}
+
+void Census::AddLeaves(size_t occupancy, size_t depth, uint64_t count) {
+  if (count == 0) return;
   if (occupancy >= count_by_occupancy_.size()) {
     count_by_occupancy_.resize(occupancy + 1, 0);
   }
-  ++count_by_occupancy_[occupancy];
+  count_by_occupancy_[occupancy] += count;
   if (depth >= by_depth_.size()) {
     by_depth_.resize(depth + 1);
   }
   if (occupancy >= by_depth_[depth].size()) {
     by_depth_[depth].resize(occupancy + 1, 0);
   }
-  ++by_depth_[depth][occupancy];
-  ++leaf_count_;
-  item_count_ += occupancy;
+  by_depth_[depth][occupancy] += count;
+  leaf_count_ += count;
+  item_count_ += occupancy * count;
 }
 
 void Census::Merge(const Census& other) {
@@ -122,6 +127,41 @@ double Census::AverageOccupancy() const {
 double Census::StorageUtilization(size_t capacity) const {
   POPAN_CHECK(capacity > 0);
   return AverageOccupancy() / static_cast<double>(capacity);
+}
+
+namespace {
+
+// a[i] == b[i] with missing tail entries treated as zero.
+bool PaddedEqual(const std::vector<uint64_t>& a,
+                 const std::vector<uint64_t>& b) {
+  size_t n = std::max(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t av = i < a.size() ? a[i] : 0;
+    uint64_t bv = i < b.size() ? b[i] : 0;
+    if (av != bv) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool operator==(const Census& a, const Census& b) {
+  if (a.leaf_count_ != b.leaf_count_ || a.item_count_ != b.item_count_) {
+    return false;
+  }
+  if (!PaddedEqual(a.count_by_occupancy_, b.count_by_occupancy_)) {
+    return false;
+  }
+  static const std::vector<uint64_t> kEmpty;
+  size_t depths = std::max(a.by_depth_.size(), b.by_depth_.size());
+  for (size_t d = 0; d < depths; ++d) {
+    const std::vector<uint64_t>& ad = d < a.by_depth_.size() ? a.by_depth_[d]
+                                                             : kEmpty;
+    const std::vector<uint64_t>& bd = d < b.by_depth_.size() ? b.by_depth_[d]
+                                                             : kEmpty;
+    if (!PaddedEqual(ad, bd)) return false;
+  }
+  return true;
 }
 
 std::string Census::ToString() const {

@@ -21,6 +21,10 @@ class Census {
   /// Records one leaf of the given occupancy at the given depth.
   void AddLeaf(size_t occupancy, size_t depth);
 
+  /// Records `count` leaves of the given occupancy at the given depth in
+  /// one step — the bulk form incremental (live) censuses are built from.
+  void AddLeaves(size_t occupancy, size_t depth, uint64_t count);
+
   /// Merges another census into this one (used to pool trials).
   void Merge(const Census& other);
 
@@ -70,6 +74,16 @@ class Census {
   /// Multi-line human-readable dump.
   std::string ToString() const;
 
+  /// Exact equality of the recorded populations: same leaf/item totals and
+  /// the same count for every (occupancy, depth) cell. Trailing all-zero
+  /// rows/columns are ignored, so censuses built leaf-by-leaf and censuses
+  /// built from a live histogram compare equal iff they describe the same
+  /// tree. This is the check behind the LiveCensus == TakeCensus contract.
+  friend bool operator==(const Census& a, const Census& b);
+  friend bool operator!=(const Census& a, const Census& b) {
+    return !(a == b);
+  }
+
  private:
   // count_by_occupancy_[i] = number of leaves holding exactly i items.
   std::vector<uint64_t> count_by_occupancy_;
@@ -90,6 +104,19 @@ Census TakeCensus(const Tree& tree) {
   tree.VisitLeaves([&census](const auto& /*box*/, size_t depth,
                              size_t occupancy) {
     census.AddLeaf(occupancy, depth);
+  });
+  return census;
+}
+
+/// Takes the census of a bucket structure exposing
+///   VisitBuckets(fn(local_depth, occupancy))
+/// (extendible hashing, EXCELL). The bucket's local depth plays the role
+/// of the tree depth.
+template <typename Table>
+Census TakeBucketCensus(const Table& table) {
+  Census census;
+  table.VisitBuckets([&census](size_t local_depth, size_t occupancy) {
+    census.AddLeaf(occupancy, local_depth);
   });
   return census;
 }

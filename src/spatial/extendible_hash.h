@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "spatial/census.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -72,6 +73,13 @@ class ExtendibleHash {
     }
   }
 
+  /// Snapshot of the live occupancy-by-local-depth histogram — the same
+  /// census TakeBucketCensus(table) walks the buckets for, but assembled
+  /// in O(depths x occupancies) independent of the number of buckets. The
+  /// histogram is maintained incrementally at every insert, erase, bucket
+  /// split, and buddy merge, so per-step censuses are O(1) bookkeeping.
+  Census LiveCensus() const;
+
   /// Average keys per bucket.
   double AverageOccupancy() const {
     if (buckets_.empty()) return 0.0;
@@ -102,11 +110,18 @@ class ExtendibleHash {
   void TryMerge(uint64_t pseudo);
   void TryShrinkDirectory();
 
+  // Live census bookkeeping: live_hist_[d][i] = number of buckets of local
+  // depth d holding exactly i keys, kept exact through every mutation.
+  void HistAdd(size_t local_depth, size_t occupancy);
+  void HistRemove(size_t local_depth, size_t occupancy);
+  Status CheckLiveHistogram() const;
+
   ExtendibleHashOptions options_;
   size_t global_depth_ = 0;
   std::vector<uint32_t> directory_;  // bucket index per slot
   std::vector<Bucket> buckets_;
   size_t size_ = 0;
+  std::vector<std::vector<uint64_t>> live_hist_;
 };
 
 }  // namespace popan::spatial

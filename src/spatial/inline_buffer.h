@@ -1,0 +1,100 @@
+#ifndef POPAN_SPATIAL_INLINE_BUFFER_H_
+#define POPAN_SPATIAL_INLINE_BUFFER_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace popan::spatial {
+
+/// Small-buffer storage for leaf contents: up to kInline elements live
+/// directly inside the owning node (no heap allocation, no pointer chase);
+/// larger contents spill to a heap vector. Sized for the paper's regime
+/// (node capacity m <= 8), spilling only happens for capacities above the
+/// threshold or for truncated leaves at max_depth that absorb overflow.
+///
+/// The storage mode is a function of size alone: elements are inline iff
+/// size() <= kInline. Crossing the threshold copies the (small) contents;
+/// the spill vector keeps its heap buffer across un-spills, so a leaf that
+/// oscillates around the threshold allocates at most once.
+///
+/// T must be default-constructible and copyable (tree points are).
+template <typename T, size_t kInline>
+class InlineBuffer {
+ public:
+  InlineBuffer() = default;
+
+  static constexpr size_t inline_capacity() { return kInline; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// True when the contents currently live on the heap.
+  bool spilled() const { return size_ > kInline; }
+
+  const T* data() const { return spilled() ? spill_.data() : inline_.data(); }
+  T* data() { return spilled() ? spill_.data() : inline_.data(); }
+
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  const T& operator[](size_t i) const {
+    POPAN_DCHECK(i < size_);
+    return data()[i];
+  }
+  T& operator[](size_t i) {
+    POPAN_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  void push_back(const T& v) {
+    if (size_ < kInline) {
+      inline_[size_] = v;
+    } else if (size_ == kInline) {
+      // Crossing the inline threshold: migrate to the heap.
+      spill_.clear();
+      spill_.reserve(kInline + 1);
+      spill_.insert(spill_.end(), inline_.begin(), inline_.end());
+      spill_.push_back(v);
+    } else {
+      spill_.push_back(v);
+    }
+    ++size_;
+  }
+
+  /// Removes element i by swapping the last element into its place (order
+  /// within a leaf is immaterial).
+  void SwapRemoveAt(size_t i) {
+    POPAN_DCHECK(i < size_);
+    if (spilled()) {
+      spill_[i] = spill_.back();
+      spill_.pop_back();
+      --size_;
+      if (size_ == kInline) {
+        // Back under the threshold: return to inline storage; spill_
+        // keeps its buffer for future crossings.
+        for (size_t j = 0; j < kInline; ++j) inline_[j] = spill_[j];
+        spill_.clear();
+      }
+    } else {
+      inline_[i] = inline_[size_ - 1];
+      --size_;
+    }
+  }
+
+  void clear() {
+    size_ = 0;
+    spill_.clear();
+  }
+
+ private:
+  size_t size_ = 0;
+  std::array<T, kInline> inline_{};
+  std::vector<T> spill_;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_INLINE_BUFFER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "util/check.h"
 
@@ -108,12 +109,11 @@ LinearPrQuadtree LinearPrQuadtree::FromTree(const PrTree<2>& tree) {
   // VisitLeavesPoints walks children in quadrant order, which is exactly
   // Z (code) order, so the array comes out sorted.
   tree.VisitLeavesPoints([&out, &tree](const geo::Box2& box, size_t depth,
-                                       const std::vector<geo::Point2>&
-                                           points) {
+                                       std::span<const geo::Point2> points) {
     Leaf leaf;
     leaf.code = CodeOfPoint(tree.bounds(), box.Center(),
                             static_cast<uint8_t>(depth));
-    leaf.points = points;
+    leaf.points.assign(points.begin(), points.end());
     out.leaves_.push_back(std::move(leaf));
   });
   return out;

@@ -57,6 +57,14 @@ class NodeArena {
     --live_count_;
   }
 
+  /// Pre-sizes the slab for `n` total slots so hot insertion loops do not
+  /// hit vector-growth reallocation storms mid-run. A hint: the arena still
+  /// grows on demand past it.
+  void Reserve(size_t n) { slots_.reserve(n); }
+
+  /// Total slots the slab can hold before reallocating.
+  size_t Capacity() const { return slots_.capacity(); }
+
   NodeT& Get(NodeIndex idx) {
     POPAN_DCHECK(idx < slots_.size()) << "index" << idx;
     return slots_[idx];

@@ -18,7 +18,7 @@ Status PmrQuadtree::Insert(const geo::Segment& segment) {
   }
   SegmentId id = static_cast<SegmentId>(segments_.size());
   segments_.push_back(segment);
-  InsertRec(root_, bounds_, 0, id);
+  InsertSegment(id);
   return Status::OK();
 }
 
@@ -27,26 +27,37 @@ const geo::Segment& PmrQuadtree::GetSegment(SegmentId id) const {
   return segments_[id];
 }
 
-void PmrQuadtree::InsertRec(NodeIndex idx, const BoxT& box, size_t depth,
-                            SegmentId id) {
+void PmrQuadtree::InsertSegment(SegmentId id) {
+  // Iterative walk over the blocks the segment intersects (a segment can
+  // cross arbitrarily many), preorder via an explicit stack — deep trees
+  // cannot overflow the call stack, and the scratch stack is reused across
+  // insertions so the hot path does not allocate after warm-up. Children
+  // are pushed in reverse so the visit order matches quadrant order.
   const geo::Segment& segment = segments_[id];
-  if (!segment.IntersectsBox(box)) return;
-  if (!arena_.Get(idx).is_leaf) {
-    // Copy the child indices: a recursive insert can split a descendant,
-    // growing the arena and invalidating references into it.
-    std::array<NodeIndex, 4> children = arena_.Get(idx).children;
-    for (size_t q = 0; q < 4; ++q) {
-      InsertRec(children[q], box.Quadrant(q), depth + 1, id);
+  insert_stack_.clear();
+  insert_stack_.push_back(WalkFrame{root_, bounds_, 0});
+  while (!insert_stack_.empty()) {
+    WalkFrame f = insert_stack_.back();
+    insert_stack_.pop_back();
+    if (!segment.IntersectsBox(f.box)) continue;
+    if (!arena_.Get(f.idx).is_leaf) {
+      // Copy the child indices: a split further along the walk grows the
+      // arena and would invalidate a reference into it.
+      std::array<NodeIndex, 4> children = arena_.Get(f.idx).children;
+      for (size_t q = 4; q-- > 0;) {
+        insert_stack_.push_back(
+            WalkFrame{children[q], f.box.Quadrant(q), f.depth + 1});
+      }
+      continue;
     }
-    return;
-  }
-  Node& node = arena_.Get(idx);
-  node.segment_ids.push_back(id);
-  // The PMR rule: split at most once per insertion, and only the leaf the
-  // insertion pushed over the threshold.
-  if (node.segment_ids.size() > options_.splitting_threshold &&
-      depth < options_.max_depth) {
-    SplitOnce(idx, box);
+    Node& node = arena_.Get(f.idx);
+    node.segment_ids.push_back(id);
+    // The PMR rule: split at most once per insertion, and only the leaf
+    // the insertion pushed over the threshold.
+    if (node.segment_ids.size() > options_.splitting_threshold &&
+        f.depth < options_.max_depth) {
+      SplitOnce(f.idx, f.box);
+    }
   }
 }
 

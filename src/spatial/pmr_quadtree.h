@@ -65,12 +65,27 @@ class PmrQuadtree {
   /// All distinct segments intersecting `query`.
   std::vector<SegmentId> RangeQuery(const BoxT& query) const;
 
-  /// Calls fn(box, depth, occupancy) for every leaf, where occupancy is
-  /// the number of segment fragments stored in the leaf — the quantity the
-  /// PMR population census counts.
+  /// Calls fn(box, depth, occupancy) for every leaf in preorder (children
+  /// in quadrant order), where occupancy is the number of segment fragments
+  /// stored in the leaf — the quantity the PMR population census counts.
+  /// Explicit-stack traversal: safe for trees of any depth.
   template <typename Fn>
   void VisitLeaves(Fn fn) const {
-    VisitLeavesRec(root_, bounds_, 0, fn);
+    std::vector<WalkFrame> stack;
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        fn(f.box, static_cast<size_t>(f.depth), node.segment_ids.size());
+        continue;
+      }
+      for (size_t q = 4; q-- > 0;) {
+        stack.push_back(
+            WalkFrame{node.children[q], f.box.Quadrant(q), f.depth + 1});
+      }
+    }
   }
 
   /// Verifies structural invariants: every leaf's stored segments actually
@@ -89,23 +104,17 @@ class PmrQuadtree {
     std::vector<SegmentId> segment_ids;
   };
 
-  void InsertRec(NodeIndex idx, const BoxT& box, size_t depth, SegmentId id);
+  /// Explicit-stack frame for the traversal and insertion loops.
+  struct WalkFrame {
+    NodeIndex idx;
+    BoxT box;
+    uint32_t depth;
+  };
+
+  void InsertSegment(SegmentId id);
   void SplitOnce(NodeIndex idx, const BoxT& box);
   void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
                 std::vector<SegmentId>* out) const;
-
-  template <typename Fn>
-  void VisitLeavesRec(NodeIndex idx, const BoxT& box, size_t depth,
-                      Fn& fn) const {
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      fn(box, depth, node.segment_ids.size());
-      return;
-    }
-    for (size_t q = 0; q < 4; ++q) {
-      VisitLeavesRec(node.children[q], box.Quadrant(q), depth + 1, fn);
-    }
-  }
 
   Status CheckRec(NodeIndex idx, const BoxT& box) const;
 
@@ -113,18 +122,20 @@ class PmrQuadtree {
   /// coverage invariant check).
   template <typename Fn>
   void VisitLeavesWithIds(Fn fn) const {
-    VisitLeavesWithIdsRec(root_, bounds_, fn);
-  }
-
-  template <typename Fn>
-  void VisitLeavesWithIdsRec(NodeIndex idx, const BoxT& box, Fn& fn) const {
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      fn(box, node.segment_ids);
-      return;
-    }
-    for (size_t q = 0; q < 4; ++q) {
-      VisitLeavesWithIdsRec(node.children[q], box.Quadrant(q), fn);
+    std::vector<WalkFrame> stack;
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        fn(f.box, node.segment_ids);
+        continue;
+      }
+      for (size_t q = 4; q-- > 0;) {
+        stack.push_back(
+            WalkFrame{node.children[q], f.box.Quadrant(q), f.depth + 1});
+      }
     }
   }
 
@@ -134,6 +145,8 @@ class PmrQuadtree {
   NodeIndex root_ = kNullNode;
   std::vector<geo::Segment> segments_;
   size_t leaf_count_ = 1;
+  // Reusable scratch for the iterative insertion walk.
+  std::vector<WalkFrame> insert_stack_;
 };
 
 }  // namespace popan::spatial

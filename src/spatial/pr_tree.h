@@ -4,12 +4,16 @@
 #include <algorithm>
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "spatial/census.h"
+#include "spatial/inline_buffer.h"
 #include "spatial/node_arena.h"
 #include "util/check.h"
 #include "util/status.h"
@@ -41,10 +45,18 @@ struct PrTreeOptions {
 /// real-valued random data duplicates are a measure-zero event; the PR
 /// splitting rule counts distinct points).
 ///
-/// The tree exposes exactly what the paper's experiments need —
-/// VisitLeaves for taking population censuses — plus the standard query
-/// operations (point lookup, orthogonal range query, nearest neighbour) a
-/// library user expects.
+/// Hot-path design (the simulation inner loop is insert/erase + census):
+///  - Leaves store their points in a fixed inline buffer (InlineBuffer,
+///    sized for the paper's m <= 8 regime), so inserts and splits do not
+///    allocate; contents spill to the heap only above the inline
+///    threshold (large capacities, or truncated leaves at max_depth).
+///  - Insert/Erase/Contains are iterative (explicit descent loops, the
+///    split cascade as a loop, collapse walking the recorded path), so
+///    deep trees cannot overflow the call stack.
+///  - The tree maintains a live occupancy-by-depth histogram, updated in
+///    O(1) at every insert/erase/split/collapse; LiveCensus() snapshots
+///    it without walking the tree. TakeCensus (a full walk) remains the
+///    independent cross-check, and CheckInvariants verifies both agree.
 template <size_t D>
 class PrTree {
  public:
@@ -52,11 +64,16 @@ class PrTree {
   using BoxT = geo::Box<D>;
   static constexpr size_t kFanout = size_t{1} << D;
 
+  /// Points stored inline per leaf before spilling to the heap; matches
+  /// the paper's largest studied capacity (m = 8).
+  static constexpr size_t kInlineLeafCapacity = 8;
+
   /// Creates an empty tree over the root block `bounds`.
   PrTree(const BoxT& bounds, const PrTreeOptions& options = {})
       : bounds_(bounds), options_(options) {
     POPAN_CHECK(options_.capacity >= 1) << "capacity must be at least 1";
     root_ = arena_.Allocate();
+    HistAdd(0, 0);
   }
 
   PrTree(const PrTree&) = default;
@@ -84,15 +101,113 @@ class PrTree {
   /// Total nodes including internal (gray) nodes.
   size_t NodeCount() const { return arena_.LiveCount(); }
 
+  /// Pre-sizes the arena slab (and the per-tree scratch buffers) for a
+  /// tree of roughly `expected_points` points, so bulk loads do not hit
+  /// slab-growth reallocation storms mid-run. The node estimate is
+  /// leaves ~ N / m scaled by 3x, which covers the steady-state occupancy
+  /// (~0.3–0.55 m) plus internal nodes for every fanout; it is a hint
+  /// only — the arena still grows on demand.
+  void ReserveForPoints(size_t expected_points) {
+    size_t nodes =
+        expected_points / std::max<size_t>(1, options_.capacity) * 3 +
+        kFanout + 1;
+    arena_.Reserve(nodes);
+    split_points_.reserve(options_.capacity + 1);
+    split_codes_.reserve(options_.capacity + 1);
+    erase_path_.reserve(std::min<size_t>(options_.max_depth + 1, 128));
+  }
+
   /// Inserts `p`. Returns OutOfRange if p is outside the root block and
   /// AlreadyExists if an equal point is already stored.
   Status Insert(const PointT& p) {
     if (!bounds_.Contains(p)) {
       return Status::OutOfRange("point outside the tree bounds");
     }
-    Status s = InsertRec(root_, bounds_, 0, p);
-    if (s.ok()) ++size_;
-    return s;
+    // Iterative descent to the leaf that owns p.
+    NodeIndex idx = root_;
+    BoxT box = bounds_;
+    size_t depth = 0;
+    while (!arena_.Get(idx).is_leaf) {
+      size_t q = box.QuadrantOf(p);
+      idx = arena_.Get(idx).children[q];
+      box = box.Quadrant(q);
+      ++depth;
+    }
+    {
+      Node& leaf = arena_.Get(idx);
+      const size_t n = leaf.points.size();
+      const PointT* pts = leaf.points.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (pts[i] == p) return Status::AlreadyExists("duplicate point");
+      }
+      if (n < options_.capacity || depth >= options_.max_depth) {
+        leaf.points.push_back(p);
+        HistRemove(depth, n);
+        HistAdd(depth, n + 1);
+        ++size_;
+        return Status::OK();
+      }
+      // The splitting rule fires: the block would exceed capacity. Stash
+      // the m+1 points in the reusable scratch buffer; the leaf becomes an
+      // internal node below.
+      split_points_.clear();
+      split_points_.insert(split_points_.end(), leaf.points.begin(),
+                           leaf.points.end());
+      split_points_.push_back(p);
+      HistRemove(depth, n);
+    }
+    // Split cascade, iteratively: convert the current leaf into an
+    // internal node with 2^D fresh empty leaves. A child can only exceed
+    // capacity if it receives ALL m+1 points (capacity is m), so at most
+    // one child cascades — when every point lands in the same quadrant
+    // (the paper's "perhaps several times" case with probability 4^-m) —
+    // and the cascade is a simple loop, not a recursion.
+    for (;;) {
+      std::array<NodeIndex, kFanout> ch;
+      for (size_t q = 0; q < kFanout; ++q) ch[q] = arena_.Allocate();
+      {
+        // Re-fetch: the allocations above may have moved the slab.
+        Node& node = arena_.Get(idx);
+        node.is_leaf = false;
+        node.points.clear();
+        node.children = ch;
+      }
+      leaf_count_ += kFanout - 1;
+      for (size_t q = 0; q < kFanout; ++q) HistAdd(depth + 1, 0);
+
+      std::array<size_t, kFanout> counts{};
+      split_codes_.clear();
+      for (const PointT& pt : split_points_) {
+        size_t q = box.QuadrantOf(pt);
+        split_codes_.push_back(static_cast<uint8_t>(q));
+        ++counts[q];
+      }
+      size_t sole = kFanout;  // the quadrant holding every point, if any
+      for (size_t q = 0; q < kFanout; ++q) {
+        if (counts[q] == split_points_.size()) sole = q;
+      }
+      if (sole != kFanout && depth + 1 < options_.max_depth) {
+        idx = ch[sole];
+        box = box.Quadrant(sole);
+        ++depth;
+        HistRemove(depth, 0);  // this fresh leaf becomes internal next turn
+        continue;
+      }
+      // The points scatter (or the children sit at max_depth and absorb
+      // everything): place them and settle the census.
+      for (size_t i = 0; i < split_points_.size(); ++i) {
+        arena_.Get(ch[split_codes_[i]]).points.push_back(split_points_[i]);
+      }
+      for (size_t q = 0; q < kFanout; ++q) {
+        if (counts[q] != 0) {
+          HistRemove(depth + 1, 0);
+          HistAdd(depth + 1, counts[q]);
+        }
+      }
+      break;
+    }
+    ++size_;
+    return Status::OK();
   }
 
   /// True iff an equal point is stored.
@@ -105,8 +220,12 @@ class PrTree {
       idx = arena_.Get(idx).children[q];
       box = box.Quadrant(q);
     }
-    const auto& pts = arena_.Get(idx).points;
-    return std::find(pts.begin(), pts.end(), p) != pts.end();
+    const Node& leaf = arena_.Get(idx);
+    const PointT* pts = leaf.points.data();
+    for (size_t i = 0, n = leaf.points.size(); i < n; ++i) {
+      if (pts[i] == p) return true;
+    }
+    return false;
   }
 
   /// Removes `p`. Returns NotFound if it is not stored. After a removal,
@@ -117,9 +236,39 @@ class PrTree {
     if (!bounds_.Contains(p)) {
       return Status::NotFound("point outside the tree bounds");
     }
-    Status s = EraseRec(root_, bounds_, p);
-    if (s.ok()) --size_;
-    return s;
+    // Iterative descent recording the path for the collapse walk-back.
+    erase_path_.clear();
+    NodeIndex idx = root_;
+    BoxT box = bounds_;
+    erase_path_.push_back(idx);
+    while (!arena_.Get(idx).is_leaf) {
+      size_t q = box.QuadrantOf(p);
+      idx = arena_.Get(idx).children[q];
+      box = box.Quadrant(q);
+      erase_path_.push_back(idx);
+    }
+    Node& leaf = arena_.Get(idx);
+    const size_t n = leaf.points.size();
+    size_t found = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (leaf.points[i] == p) {
+        found = i;
+        break;
+      }
+    }
+    if (found == n) return Status::NotFound("point not stored");
+    leaf.points.SwapRemoveAt(found);
+    const size_t depth = erase_path_.size() - 1;
+    HistRemove(depth, n);
+    HistAdd(depth, n - 1);
+    --size_;
+    // Collapse deepest-first along the recorded path. Once a level fails
+    // to collapse it stays internal, so no shallower ancestor can have
+    // all-leaf children either — stop there.
+    for (size_t level = depth; level-- > 0;) {
+      if (!TryCollapse(erase_path_[level], level)) break;
+    }
+    return Status::OK();
   }
 
   /// Returns all stored points inside `query` (half-open box semantics).
@@ -155,17 +304,48 @@ class PrTree {
     return out;
   }
 
-  /// Calls fn(box, depth, occupancy) for every leaf. Depth of the root
-  /// is 0; a leaf's block area is bounds.Volume() / 2^(D*depth).
+  /// Calls fn(box, depth, occupancy) for every leaf in preorder (children
+  /// in quadrant order). Depth of the root is 0; a leaf's block area is
+  /// bounds.Volume() / 2^(D*depth). Explicit-stack traversal: safe for
+  /// trees of any depth.
   template <typename Fn>
   void VisitLeaves(Fn fn) const {
-    VisitLeavesRec(root_, bounds_, 0, fn);
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        fn(f.box, static_cast<size_t>(f.depth), node.points.size());
+        continue;
+      }
+      for (size_t q = kFanout; q-- > 0;) {
+        stack.push_back(WalkFrame{node.children[q], f.box.Quadrant(q),
+                                  f.depth + 1});
+      }
+    }
   }
 
   /// Calls fn(box, depth, is_leaf, occupancy) for every node, preorder.
   template <typename Fn>
   void VisitAllNodes(Fn fn) const {
-    VisitAllRec(root_, bounds_, 0, fn);
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      const Node& node = arena_.Get(f.idx);
+      fn(f.box, static_cast<size_t>(f.depth), node.is_leaf,
+         node.points.size());
+      if (node.is_leaf) continue;
+      for (size_t q = kFanout; q-- > 0;) {
+        stack.push_back(WalkFrame{node.children[q], f.box.Quadrant(q),
+                                  f.depth + 1});
+      }
+    }
   }
 
   /// Returns every stored point (in no particular order).
@@ -173,16 +353,50 @@ class PrTree {
     std::vector<PointT> out;
     out.reserve(size_);
     VisitLeavesPoints(
-        [&out](const BoxT&, size_t, const std::vector<PointT>& pts) {
+        [&out](const BoxT&, size_t, std::span<const PointT> pts) {
           out.insert(out.end(), pts.begin(), pts.end());
         });
     return out;
   }
 
-  /// Calls fn(box, depth, points) for every leaf, exposing the points.
+  /// Calls fn(box, depth, std::span<const PointT>) for every leaf in
+  /// preorder (children in quadrant order — Z order), exposing the points.
   template <typename Fn>
   void VisitLeavesPoints(Fn fn) const {
-    VisitLeavesPointsRec(root_, bounds_, 0, fn);
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        fn(f.box, static_cast<size_t>(f.depth),
+           std::span<const PointT>(node.points.data(), node.points.size()));
+        continue;
+      }
+      for (size_t q = kFanout; q-- > 0;) {
+        stack.push_back(WalkFrame{node.children[q], f.box.Quadrant(q),
+                                  f.depth + 1});
+      }
+    }
+  }
+
+  /// Snapshot of the live occupancy-by-depth histogram — the same census
+  /// TakeCensus(tree) walks the tree for, but assembled in O(depths x
+  /// occupancies) independent of the number of points. The histogram is
+  /// maintained incrementally at every insert/erase/split/collapse, so
+  /// per-step censuses cost O(1) bookkeeping per operation instead of an
+  /// O(N) walk per snapshot.
+  Census LiveCensus() const {
+    Census census;
+    for (size_t d = 0; d < live_hist_.size(); ++d) {
+      const std::vector<uint64_t>& row = live_hist_[d];
+      for (size_t occ = 0; occ < row.size(); ++occ) {
+        if (row[occ] != 0) census.AddLeaves(occ, d, row[occ]);
+      }
+    }
+    return census;
   }
 
   /// Removes all points, leaving one empty root leaf.
@@ -191,6 +405,8 @@ class PrTree {
     root_ = arena_.Allocate();
     size_ = 0;
     leaf_count_ = 1;
+    live_hist_.clear();
+    HistAdd(0, 0);
   }
 
   /// Verifies structural invariants; returns Internal on violation. Used by
@@ -199,7 +415,8 @@ class PrTree {
   ///  - every internal node has 2^D children and holds no points;
   ///  - every point lies inside its leaf's block;
   ///  - no internal node's subtree fits within `capacity` (minimality);
-  ///  - cached size / leaf counts match reality.
+  ///  - cached size / leaf counts match reality;
+  ///  - the live census histogram matches a fresh walk of the tree.
   Status CheckInvariants() const {
     size_t points_seen = 0;
     size_t leaves_seen = 0;
@@ -213,7 +430,7 @@ class PrTree {
     if (leaves_seen != leaf_count_) {
       return Status::Internal("leaf count mismatch");
     }
-    return Status::OK();
+    return CheckLiveHistogram();
   }
 
  private:
@@ -222,7 +439,7 @@ class PrTree {
     // Otherwise `children` holds 2^D arena indices.
     bool is_leaf = true;
     std::array<NodeIndex, kFanout> children = InitChildren();
-    std::vector<PointT> points;
+    InlineBuffer<PointT, kInlineLeafCapacity> points;
 
     static constexpr std::array<NodeIndex, kFanout> InitChildren() {
       std::array<NodeIndex, kFanout> c{};
@@ -231,92 +448,92 @@ class PrTree {
     }
   };
 
-  Status InsertRec(NodeIndex idx, const BoxT& box, size_t depth,
-                   const PointT& p) {
-    Node& node = arena_.Get(idx);
-    if (!node.is_leaf) {
-      size_t q = box.QuadrantOf(p);
-      return InsertRec(node.children[q], box.Quadrant(q), depth + 1, p);
-    }
-    if (std::find(node.points.begin(), node.points.end(), p) !=
-        node.points.end()) {
-      return Status::AlreadyExists("duplicate point");
-    }
-    if (node.points.size() < options_.capacity ||
-        depth >= options_.max_depth) {
-      node.points.push_back(p);
-      return Status::OK();
-    }
-    // The splitting rule fires: the block would exceed capacity. Convert
-    // the leaf into an internal node with 2^D fresh empty leaves and
-    // reinsert its m points plus the new one; if they all land in one
-    // quadrant, that child splits again through the same recursion (the
-    // paper's "perhaps several times" case with probability 4^-m).
-    std::vector<PointT> to_place = std::move(node.points);
-    to_place.push_back(p);
-    // `node` is invalidated by the allocations below; go through the arena.
-    {
-      std::array<NodeIndex, kFanout> children;
-      for (size_t q = 0; q < kFanout; ++q) children[q] = arena_.Allocate();
-      Node& n = arena_.Get(idx);
-      n.is_leaf = false;
-      n.points.clear();
-      n.children = children;
-      leaf_count_ += kFanout - 1;
-    }
-    for (const PointT& pt : to_place) {
-      size_t q = box.QuadrantOf(pt);
-      Status s = InsertRec(arena_.Get(idx).children[q], box.Quadrant(q),
-                           depth + 1, pt);
-      POPAN_CHECK(s.ok()) << "redistribution failed:" << s.ToString();
-    }
-    return Status::OK();
+  /// Explicit-stack frame for the traversal methods.
+  struct WalkFrame {
+    NodeIndex idx;
+    BoxT box;
+    uint32_t depth;
+  };
+  static constexpr size_t kWalkStackHint = 64;
+
+  // ---- Live census bookkeeping -------------------------------------
+  // live_hist_[depth][occ] = number of leaves at `depth` holding exactly
+  // `occ` points, kept exact through every mutation. Rows/columns are
+  // grown on demand and may retain trailing zeros after collapses;
+  // LiveCensus() skips the zeros, so the snapshot matches TakeCensus.
+
+  void HistAdd(size_t depth, size_t occ) {
+    if (depth >= live_hist_.size()) live_hist_.resize(depth + 1);
+    std::vector<uint64_t>& row = live_hist_[depth];
+    if (occ >= row.size()) row.resize(occ + 1, 0);
+    ++row[occ];
   }
 
-  Status EraseRec(NodeIndex idx, const BoxT& box, const PointT& p) {
-    Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      auto it = std::find(node.points.begin(), node.points.end(), p);
-      if (it == node.points.end()) {
-        return Status::NotFound("point not stored");
+  void HistRemove(size_t depth, size_t occ) {
+    POPAN_DCHECK(depth < live_hist_.size() &&
+                 occ < live_hist_[depth].size() &&
+                 live_hist_[depth][occ] > 0)
+        << "live census underflow at depth" << depth;
+    --live_hist_[depth][occ];
+  }
+
+  Status CheckLiveHistogram() const {
+    std::vector<std::vector<uint64_t>> walked;
+    VisitLeaves([&walked](const BoxT&, size_t depth, size_t occ) {
+      if (depth >= walked.size()) walked.resize(depth + 1);
+      if (occ >= walked[depth].size()) walked[depth].resize(occ + 1, 0);
+      ++walked[depth][occ];
+    });
+    size_t depths = std::max(walked.size(), live_hist_.size());
+    for (size_t d = 0; d < depths; ++d) {
+      size_t occs = std::max(d < walked.size() ? walked[d].size() : 0,
+                             d < live_hist_.size() ? live_hist_[d].size()
+                                                   : 0);
+      for (size_t occ = 0; occ < occs; ++occ) {
+        uint64_t want = d < walked.size() && occ < walked[d].size()
+                            ? walked[d][occ]
+                            : 0;
+        uint64_t have = d < live_hist_.size() && occ < live_hist_[d].size()
+                            ? live_hist_[d][occ]
+                            : 0;
+        if (want != have) {
+          return Status::Internal(
+              "live census drift at depth " + std::to_string(d) +
+              " occupancy " + std::to_string(occ) + ": walked " +
+              std::to_string(want) + " live " + std::to_string(have));
+        }
       }
-      // Order within a leaf is immaterial: swap-and-pop.
-      *it = node.points.back();
-      node.points.pop_back();
-      return Status::OK();
     }
-    size_t q = box.QuadrantOf(p);
-    POPAN_RETURN_IF_ERROR(
-        EraseRec(node.children[q], box.Quadrant(q), p));
-    TryCollapse(idx);
     return Status::OK();
   }
 
-  /// If all children of internal node `idx` are leaves and their total
-  /// occupancy fits in one leaf, merge them back into `idx`.
-  void TryCollapse(NodeIndex idx) {
+  /// If all children of internal node `idx` (at `depth`) are leaves and
+  /// their total occupancy fits in one leaf, merge them back into `idx`.
+  /// Returns true iff the node collapsed.
+  bool TryCollapse(NodeIndex idx, size_t depth) {
     Node& node = arena_.Get(idx);
-    if (node.is_leaf) return;
+    POPAN_DCHECK(!node.is_leaf);
     size_t total = 0;
     for (size_t q = 0; q < kFanout; ++q) {
       const Node& child = arena_.Get(node.children[q]);
-      if (!child.is_leaf) return;
+      if (!child.is_leaf) return false;
       total += child.points.size();
     }
-    if (total > options_.capacity) return;
-    std::vector<PointT> merged;
-    merged.reserve(total);
+    if (total > options_.capacity) return false;
+    std::array<NodeIndex, kFanout> ch = node.children;
+    node.is_leaf = true;
+    node.points.clear();
+    for (size_t q = 0; q < kFanout; ++q) node.children[q] = kNullNode;
     for (size_t q = 0; q < kFanout; ++q) {
-      NodeIndex child_idx = node.children[q];
-      auto& child_points = arena_.Get(child_idx).points;
-      merged.insert(merged.end(), child_points.begin(), child_points.end());
-      arena_.Free(child_idx);
+      // Freeing a slot never moves the slab, so `node` stays valid.
+      Node& child = arena_.Get(ch[q]);
+      HistRemove(depth + 1, child.points.size());
+      for (const PointT& pt : child.points) node.points.push_back(pt);
+      arena_.Free(ch[q]);
     }
-    Node& parent = arena_.Get(idx);
-    parent.is_leaf = true;
-    parent.points = std::move(merged);
-    for (size_t q = 0; q < kFanout; ++q) parent.children[q] = kNullNode;
+    HistAdd(depth, total);
     leaf_count_ -= kFanout - 1;
+    return true;
   }
 
   void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
@@ -398,43 +615,6 @@ class PrTree {
     }
   }
 
-  template <typename Fn>
-  void VisitLeavesRec(NodeIndex idx, const BoxT& box, size_t depth,
-                      Fn& fn) const {
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      fn(box, depth, node.points.size());
-      return;
-    }
-    for (size_t q = 0; q < kFanout; ++q) {
-      VisitLeavesRec(node.children[q], box.Quadrant(q), depth + 1, fn);
-    }
-  }
-
-  template <typename Fn>
-  void VisitLeavesPointsRec(NodeIndex idx, const BoxT& box, size_t depth,
-                            Fn& fn) const {
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      fn(box, depth, node.points);
-      return;
-    }
-    for (size_t q = 0; q < kFanout; ++q) {
-      VisitLeavesPointsRec(node.children[q], box.Quadrant(q), depth + 1, fn);
-    }
-  }
-
-  template <typename Fn>
-  void VisitAllRec(NodeIndex idx, const BoxT& box, size_t depth,
-                   Fn& fn) const {
-    const Node& node = arena_.Get(idx);
-    fn(box, depth, node.is_leaf, node.points.size());
-    if (node.is_leaf) return;
-    for (size_t q = 0; q < kFanout; ++q) {
-      VisitAllRec(node.children[q], box.Quadrant(q), depth + 1, fn);
-    }
-  }
-
   Status CheckRec(NodeIndex idx, const BoxT& box, size_t depth,
                   size_t* points_seen, size_t* leaves_seen) const {
     const Node& node = arena_.Get(idx);
@@ -492,6 +672,12 @@ class PrTree {
   NodeIndex root_ = kNullNode;
   size_t size_ = 0;
   size_t leaf_count_ = 1;
+  std::vector<std::vector<uint64_t>> live_hist_;
+  // Reusable scratch buffers so the insert/erase hot paths are
+  // allocation-free after warm-up.
+  std::vector<PointT> split_points_;
+  std::vector<uint8_t> split_codes_;
+  std::vector<NodeIndex> erase_path_;
 };
 
 /// Convenience aliases for the common dimensions.

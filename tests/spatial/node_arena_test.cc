@@ -86,6 +86,23 @@ TEST(NodeArenaTest, CopySemantics) {
   EXPECT_EQ(copy.Get(idx).value, 99);
 }
 
+TEST(NodeArenaTest, ReservePresizesWithoutAllocating) {
+  NodeArena<TestNode> arena;
+  arena.Reserve(1000);
+  EXPECT_GE(arena.Capacity(), 1000u);
+  EXPECT_EQ(arena.LiveCount(), 0u);
+  EXPECT_EQ(arena.SlotCount(), 0u);
+  // Allocations up to the reservation keep the slab in place, so an index
+  // taken before them still resolves (stability is by index either way;
+  // this checks Reserve actually pre-sized the slab).
+  NodeIndex first = arena.Allocate(7);
+  size_t cap = arena.Capacity();
+  for (int i = 0; i < 999; ++i) arena.Allocate(i);
+  EXPECT_EQ(arena.Capacity(), cap);
+  EXPECT_EQ(arena.Get(first).value, 7);
+  EXPECT_EQ(arena.LiveCount(), 1000u);
+}
+
 TEST(NodeArenaTest, ManyFreesAndReuses) {
   NodeArena<TestNode> arena;
   std::vector<NodeIndex> indices;

@@ -1,6 +1,7 @@
 #include "spatial/pr_tree.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -335,6 +336,88 @@ TEST(PrTreeTest, CopyIsIndependent) {
   copy.Insert(Point2(0.9, 0.9)).ok();
   EXPECT_EQ(tree.size(), 1u);
   EXPECT_EQ(copy.size(), 2u);
+}
+
+TEST(PrTreeTest, DeepSplitCascadeNearDepthLimit) {
+  // Adversarially colliding points: (0,0) and (2^-990, 2^-990) share the
+  // same quadrant (quadrant 0) down to depth ~990, so inserting the second
+  // point triggers a ~990-level split cascade. The recursive formulation
+  // this regression test guards against would burn a stack frame per level
+  // (box + locals per frame) and could overflow on deep collisions; the
+  // iterative cascade runs in constant stack space.
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 1000;
+  PrQuadtree tree(geo::Box2::UnitCube(), options);
+  const double tiny = std::ldexp(1.0, -990);  // still a normal double
+  Point2 origin(0.0, 0.0);
+  Point2 close(tiny, tiny);
+  ASSERT_TRUE(tree.Insert(origin).ok());
+  ASSERT_TRUE(tree.Insert(close).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.Contains(origin));
+  EXPECT_TRUE(tree.Contains(close));
+
+  // The two points separate at depth ~990; the leaf census (taken via the
+  // iterative traversals) must agree with the live histogram.
+  Census walked = TakeCensus(tree);
+  EXPECT_EQ(tree.LiveCensus(), walked);
+  EXPECT_GE(walked.MaxDepth(), 980u);
+  EXPECT_EQ(walked.ItemCount(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+
+  // Erasing one point collapses the whole chain back to a single root
+  // leaf (minimality) — iteratively, along the recorded descent path.
+  ASSERT_TRUE(tree.Erase(close).ok());
+  EXPECT_EQ(tree.LeafCount(), 1u);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.LiveCensus(), TakeCensus(tree));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_TRUE(tree.Erase(origin).ok());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(PrTreeTest, TruncatedLeafSpillsPastInlineCapacity) {
+  // At max_depth the leaf absorbs unbounded overflow — more points than
+  // the inline buffer holds, forcing the heap-spill path and exercising
+  // erase back down through the un-spill threshold.
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 2;
+  PrQuadtree tree(geo::Box2::UnitCube(), options);
+  std::vector<Point2> points;
+  Pcg32 rng(42);
+  // All in one depth-2 quadrant: [0, 0.25) x [0, 0.25).
+  for (size_t i = 0; i < 24; ++i) {
+    Point2 p(rng.NextDouble() * 0.25, rng.NextDouble() * 0.25);
+    if (tree.Insert(p).ok()) points.push_back(p);
+  }
+  ASSERT_GT(points.size(), PrQuadtree::kInlineLeafCapacity);
+  Census census = TakeCensus(tree);
+  EXPECT_EQ(census.MaxOccupancy(), points.size());
+  EXPECT_EQ(tree.LiveCensus(), census);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (const Point2& p : points) {
+    EXPECT_TRUE(tree.Contains(p));
+  }
+  while (!points.empty()) {
+    ASSERT_TRUE(tree.Erase(points.back()).ok());
+    points.pop_back();
+    ASSERT_TRUE(tree.CheckInvariants().ok());
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.LeafCount(), 1u);
+}
+
+TEST(PrTreeTest, ReserveForPointsPresizesTheArena) {
+  PrQuadtree tree(geo::Box2::UnitCube());
+  tree.ReserveForPoints(10000);
+  Pcg32 rng(9);
+  for (size_t i = 0; i < 1000; ++i) {
+    (void)tree.Insert(Point2(rng.NextDouble(), rng.NextDouble()));
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
 }  // namespace
