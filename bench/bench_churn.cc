@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <vector>
 
 #include "core/steady_state.h"
@@ -14,7 +15,10 @@
 #include "sim/experiment.h"
 #include "sim/table.h"
 #include "spatial/census.h"
+#include "spatial/checkpoint.h"
 #include "spatial/pr_tree.h"
+#include "spatial/serialization.h"
+#include "spatial/wal.h"
 #include "util/random.h"
 
 namespace {
@@ -208,6 +212,92 @@ int main() {
     if (!path.empty()) std::printf("wrote %s\n", path.c_str());
     if (!equal) {
       std::fprintf(stderr, "FAIL: LiveCensus diverged from TakeCensus\n");
+      return 1;
+    }
+  }
+
+  // ---- Durability: checkpoint + WAL recovery timings -----------------
+  // Times the crash-recovery path end to end at N = 1e5: write the
+  // checksummed snapshot, replay a churn WAL on top of it, and gate on
+  // the recovered census matching the live tree exactly. Recorded in
+  // BENCH_recovery.json.
+  {
+    const size_t kPoints = EnvOr("POPAN_RECOVERY_POINTS", 100000);
+    const size_t kOps = EnvOr("POPAN_RECOVERY_OPS", 20000);
+    popan::spatial::PrTreeOptions options;
+    options.capacity = 4;
+    options.max_depth = 25;
+    popan::spatial::PrQuadtree tree(Box2::UnitCube(), options);
+    tree.ReserveForPoints(kPoints);
+    Pcg32 rng(popan::DeriveSeed(1987, 888));
+    std::vector<Point2> live;
+    live.reserve(kPoints);
+    while (tree.size() < kPoints) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (tree.Insert(p).ok()) live.push_back(p);
+    }
+
+    std::ostringstream snapshot, wal;
+    popan::sim::WallTimer timer;
+    auto writer =
+        popan::spatial::Checkpoint(tree, kPoints, &snapshot, &wal);
+    double checkpoint_s = timer.Seconds();
+    POPAN_CHECK(writer.ok()) << writer.status().ToString();
+
+    timer.Reset();
+    for (size_t op = 0; op < kOps; ++op) {
+      size_t victim = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      POPAN_CHECK(tree.Erase(live[victim]).ok());
+      POPAN_CHECK(writer->LogErase(live[victim]).ok());
+      for (;;) {
+        Point2 p(rng.NextDouble(), rng.NextDouble());
+        if (tree.Insert(p).ok()) {
+          POPAN_CHECK(writer->LogInsert(p).ok());
+          live[victim] = p;
+          break;
+        }
+      }
+    }
+    double log_s = timer.Seconds();
+
+    // Snapshot load alone (checksum + canonical-rebuild verification),
+    // then the full recovery including the WAL tail.
+    timer.Reset();
+    auto loaded = popan::spatial::ReadPrTreeSnapshot(snapshot.str());
+    double load_s = timer.Seconds();
+    POPAN_CHECK(loaded.ok()) << loaded.status().ToString();
+
+    timer.Reset();
+    auto recovered = popan::spatial::Recover(snapshot.str(), wal.str());
+    double recover_s = timer.Seconds();
+    POPAN_CHECK(recovered.ok()) << recovered.status().ToString();
+
+    bool census_equal = recovered->tree.LiveCensus() == tree.LiveCensus();
+    std::printf(
+        "\nRecovery (N=%zu, %zu logged ops): checkpoint %.3fs, logging "
+        "%.3fs,\nsnapshot load+verify %.3fs, full recover %.3fs; recovered "
+        "census == live: %s\n",
+        kPoints, 2 * kOps, checkpoint_s, log_s, load_s, recover_s,
+        census_equal ? "OK" : "MISMATCH");
+
+    popan::sim::BenchJson json("recovery");
+    json.Add("points", static_cast<uint64_t>(kPoints))
+        .Add("capacity", static_cast<uint64_t>(options.capacity))
+        .Add("logged_records", static_cast<uint64_t>(2 * kOps))
+        .Add("snapshot_bytes", static_cast<uint64_t>(snapshot.str().size()))
+        .Add("wal_bytes", static_cast<uint64_t>(wal.str().size()))
+        .Add("checkpoint_seconds", checkpoint_s)
+        .Add("logging_seconds", log_s)
+        .Add("snapshot_load_seconds", load_s)
+        .Add("recover_seconds", recover_s)
+        .Add("records_applied", recovered->records_applied)
+        .Add("census_equal",
+             std::string(census_equal ? "true" : "false"));
+    std::string path = json.WriteFile();
+    if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+    if (census_equal == false) {
+      std::fprintf(stderr,
+                   "FAIL: recovered census diverged from the live tree\n");
       return 1;
     }
   }

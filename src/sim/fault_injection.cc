@@ -1,0 +1,76 @@
+#include "sim/fault_injection.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace popan::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+  }
+  return "unknown";
+}
+
+FaultPlan DeriveFaultPlan(uint64_t seed, size_t stream_size) {
+  // Counter-based stream per seed (the experiment engine's idiom), so the
+  // plan depends only on (seed, stream_size).
+  Pcg32 rng(DeriveSeed(seed, 0xFA17ULL));
+  FaultPlan plan;
+  switch (rng.NextBounded(3)) {
+    case 0:
+      plan.kind = FaultKind::kTruncate;
+      break;
+    case 1:
+      plan.kind = FaultKind::kBitFlip;
+      break;
+    default:
+      plan.kind = FaultKind::kTornWrite;
+      break;
+  }
+  plan.offset =
+      stream_size == 0
+          ? 0
+          : static_cast<size_t>(
+                rng.NextBounded(static_cast<uint32_t>(stream_size)));
+  plan.bit = static_cast<uint8_t>(rng.NextBounded(8));
+  plan.garbage_seed = rng.Next64();
+  return plan;
+}
+
+std::string ApplyFault(const std::string& bytes, const FaultPlan& plan) {
+  size_t cut = std::min(plan.offset, bytes.size());
+  switch (plan.kind) {
+    case FaultKind::kTruncate:
+      return bytes.substr(0, cut);
+    case FaultKind::kBitFlip: {
+      std::string out = bytes;
+      if (plan.offset < out.size()) {
+        out[plan.offset] = static_cast<char>(
+            static_cast<unsigned char>(out[plan.offset]) ^
+            (1u << (plan.bit & 7)));
+      }
+      return out;
+    }
+    case FaultKind::kTornWrite: {
+      std::string out = bytes.substr(0, cut);
+      // A torn sector: the tail of the last write is gone and what
+      // follows is whatever the device left there.
+      Pcg32 garbage(plan.garbage_seed);
+      size_t junk = 1 + garbage.NextBounded(16);
+      for (size_t i = 0; i < junk; ++i) {
+        out.push_back(static_cast<char>(garbage.NextBounded(256)));
+      }
+      return out;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace popan::sim

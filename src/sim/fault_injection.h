@@ -1,0 +1,70 @@
+#ifndef POPAN_SIM_FAULT_INJECTION_H_
+#define POPAN_SIM_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace popan::sim {
+
+/// Deterministic crash/fault injection for the durability tests: a
+/// recovery storm replays the same workload, derives a seeded fault per
+/// trial, applies it to the bytes a crashed process would have left on
+/// disk, and asserts recovery is exact-or-clean. Everything here is a
+/// pure function of the seed, so failures reproduce bit-for-bit.
+
+/// What the simulated crash does to the byte stream.
+enum class FaultKind {
+  kTruncate,   ///< everything from `offset` on is lost
+  kBitFlip,    ///< one bit of the byte at `offset` flips (media corruption)
+  kTornWrite,  ///< truncated at `offset`, then garbage bytes (a torn
+               ///< sector: partially flushed write followed by junk)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// A concrete, reproducible fault.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kTruncate;
+  size_t offset = 0;        ///< byte offset the fault hits
+  uint8_t bit = 0;          ///< bit index for kBitFlip
+  uint64_t garbage_seed = 0;  ///< RNG stream for kTornWrite's junk bytes
+};
+
+/// Derives the fault for `seed` over a stream of `stream_size` bytes:
+/// kind, offset (uniform over the stream), bit and garbage stream all
+/// come from the seed's own counter-based RNG stream. Same seed + same
+/// size -> same plan, independent of call order.
+FaultPlan DeriveFaultPlan(uint64_t seed, size_t stream_size);
+
+/// Returns a copy of `bytes` as the fault would leave them. Offsets at or
+/// beyond the end make kBitFlip a no-op and kTruncate/kTornWrite act at
+/// the end of the stream.
+std::string ApplyFault(const std::string& bytes, const FaultPlan& plan);
+
+/// An output stream that records every byte written and can produce the
+/// "crash image": the bytes as a seeded fault would leave them. Writers
+/// under test (WalWriter, WriteSnapshot) write through stream() exactly
+/// as they would to a file; the test then crashes them retroactively at
+/// any injected point.
+class FaultingStream {
+ public:
+  std::ostream* stream() { return &out_; }
+
+  /// The clean bytes written so far.
+  std::string contents() const { return out_.str(); }
+  size_t bytes_written() const { return contents().size(); }
+
+  /// The bytes a crash with this fault would have left behind.
+  std::string CrashImage(const FaultPlan& plan) const {
+    return ApplyFault(contents(), plan);
+  }
+
+ private:
+  std::ostringstream out_;
+};
+
+}  // namespace popan::sim
+
+#endif  // POPAN_SIM_FAULT_INJECTION_H_

@@ -1,0 +1,63 @@
+#include "spatial/checkpoint.h"
+
+#include <sstream>
+#include <utility>
+
+namespace popan::spatial {
+
+StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
+                               std::ostream* snapshot_out,
+                               std::ostream* wal_out) {
+  POPAN_RETURN_IF_ERROR(WriteSnapshot(tree, last_sequence, snapshot_out));
+  PrTreeOptions options;
+  options.capacity = tree.capacity();
+  options.max_depth = tree.max_depth();
+  return WalWriter(wal_out, tree.bounds(), options, last_sequence);
+}
+
+StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
+                                std::istream* wal_in) {
+  POPAN_ASSIGN_OR_RETURN(PrTreeSnapshot snapshot,
+                         ReadPrTreeSnapshot(snapshot_in));
+  RecoverResult result{std::move(snapshot.tree), snapshot.sequence,
+                       snapshot.sequence, snapshot.sequence + 1,
+                       0, 0, false, ""};
+  StatusOr<WalRecovery> replay =
+      ReplayWal(wal_in, result.tree, snapshot.sequence);
+  if (replay.ok()) {
+    result.tree = std::move(replay.value().tree);
+    result.last_sequence = replay->last_sequence;
+    result.next_sequence = replay->next_sequence;
+    result.records_applied = replay->records_applied;
+    result.wal_valid_bytes = replay->valid_bytes;
+    result.truncated_tail = replay->truncated_tail;
+    result.truncation_reason = replay->truncation_reason;
+  } else if (replay.status().code() == StatusCode::kInvalidArgument) {
+    // The crash tore the log's header write: the snapshot alone is the
+    // recovered state, and the log must be rewritten from scratch.
+    result.truncated_tail = true;
+    result.truncation_reason =
+        "unusable WAL header: " + replay.status().ToString();
+  } else {
+    return replay.status();  // wrong snapshot/log pairing
+  }
+  // Cross-check before handing the tree back: CheckInvariants verifies
+  // the structure, the cached counters, and that the O(1)-maintained
+  // LiveCensus matches a fresh walk — a recovery must never return a
+  // silently wrong tree.
+  Status invariants = result.tree.CheckInvariants();
+  if (!invariants.ok()) {
+    return Status::Internal("recovered tree fails invariants: " +
+                            invariants.ToString());
+  }
+  return result;
+}
+
+StatusOr<RecoverResult> Recover(const std::string& snapshot,
+                                const std::string& wal) {
+  std::istringstream snapshot_in(snapshot);
+  std::istringstream wal_in(wal);
+  return Recover(&snapshot_in, &wal_in);
+}
+
+}  // namespace popan::spatial

@@ -1,0 +1,72 @@
+#ifndef POPAN_SPATIAL_CHECKPOINT_H_
+#define POPAN_SPATIAL_CHECKPOINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "spatial/pr_tree.h"
+#include "spatial/serialization.h"
+#include "spatial/wal.h"
+#include "util/statusor.h"
+
+namespace popan::spatial {
+
+/// Checkpointing and crash recovery for the PR quadtree: the glue that
+/// turns the snapshot format (serialization.h) and the WAL (wal.h) into
+/// the storage-engine durability loop —
+///
+///   log mutations -> Checkpoint() -> log to the fresh WAL -> crash
+///   -> Recover() -> truncate the log to valid_bytes -> resume logging.
+///
+/// Checkpoint writes a checksummed snapshot of `tree` (anchored at
+/// `last_sequence`, the sequence number of the last WAL record the tree
+/// reflects) to `snapshot_out`, then starts a fresh log on `wal_out`
+/// anchored at the same sequence and returns its writer. This is log
+/// compaction: once both streams are durably persisted the previous
+/// snapshot/log pair is dead and can be deleted. The snapshot is fully
+/// written (checksum trailer last) before the new log's header, so a
+/// crash between the two leaves a pair that recovery either accepts whole
+/// or rejects cleanly — never half-applies.
+StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
+                               std::ostream* snapshot_out,
+                               std::ostream* wal_out);
+
+/// The outcome of a crash recovery.
+struct RecoverResult {
+  PrTree<2> tree;                 ///< snapshot state + the intact log tail
+  uint64_t snapshot_sequence = 0; ///< the snapshot's WAL anchor
+  uint64_t last_sequence = 0;     ///< after replay (== anchor if no records)
+  uint64_t next_sequence = 1;     ///< sequence a resumed writer must use
+  uint64_t records_applied = 0;   ///< log records replayed over the snapshot
+  /// Byte length of the log's intact prefix; truncate the log file here
+  /// before resuming with WalWriter::ResumeAt{next_sequence}.
+  size_t wal_valid_bytes = 0;
+  /// True when the log tail (or its header) was torn/corrupt and
+  /// discarded; `truncation_reason` says why.
+  bool truncated_tail = false;
+  std::string truncation_reason;
+};
+
+/// Recovers the tree a crashed process was maintaining: loads and
+/// verifies the snapshot, then replays the log's intact records over it.
+/// The recovered tree is cross-checked (LiveCensus against a fresh walk,
+/// plus the full structural invariants) before it is returned.
+///
+/// Error contract:
+///  - snapshot unusable (torn, checksum mismatch, inconsistent leaves):
+///    InvalidArgument — nothing can be recovered from this pair;
+///  - log header unusable (the crash tore the header write): NOT an error;
+///    recovery returns the snapshot state with truncated_tail set;
+///  - log anchored elsewhere / geometry mismatch: FailedPrecondition —
+///    the caller paired the wrong snapshot and log;
+///  - recovered tree fails its invariants: Internal (a bug, not bad data).
+StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
+                                std::istream* wal_in);
+StatusOr<RecoverResult> Recover(const std::string& snapshot,
+                                const std::string& wal);
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_CHECKPOINT_H_

@@ -1,13 +1,14 @@
 #include "spatial/serialization.h"
 
-#include <charconv>
-#include <cmath>
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spatial/morton.h"
+#include "util/text_io.h"
 
 namespace popan::spatial {
 
@@ -15,40 +16,12 @@ namespace {
 
 constexpr char kLinearMagic[] = "popan-linear-quadtree v1";
 constexpr char kRegionMagic[] = "popan-region-quadtree v1";
-
-/// Reads one line and splits it on spaces.
-bool ReadTokens(std::istream* in, std::vector<std::string>* tokens) {
-  std::string line;
-  if (!std::getline(*in, line)) return false;
-  tokens->clear();
-  std::istringstream ls(line);
-  std::string token;
-  while (ls >> token) tokens->push_back(token);
-  return true;
-}
-
-StatusOr<uint64_t> ParseU64(const std::string& s) {
-  uint64_t value = 0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc() || ptr != s.data() + s.size()) {
-    return Status::InvalidArgument("not an integer: " + s);
-  }
-  return value;
-}
-
-StatusOr<double> ParseDouble(const std::string& s) {
-  double value = 0.0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc() || ptr != s.data() + s.size() ||
-      !std::isfinite(value)) {
-    return Status::InvalidArgument("bad real number: " + s);
-  }
-  return value;
-}
+constexpr char kSnapshotMagic[] = "popan-prtree-snapshot v1";
 
 }  // namespace
 
 void Serialize(const LinearPrQuadtree& tree, std::ostream* out) {
+  StreamFormatGuard guard(out);
   *out << kLinearMagic << "\n";
   *out << std::setprecision(17);
   *out << "bounds " << tree.bounds().lo().x() << " "
@@ -284,6 +257,204 @@ StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in) {
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text) {
   std::istringstream in(text);
   return DeserializeRegionQuadtree(&in);
+}
+
+Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
+                     std::ostream* out) {
+  size_t deepest = 0;
+  tree.VisitLeaves([&deepest](const geo::Box2&, size_t depth, size_t) {
+    deepest = std::max(deepest, depth);
+  });
+  if (deepest > MortonCode::kMaxDepth) {
+    return Status::InvalidArgument(
+        "tree too deep for snapshot locational codes (leaf at depth " +
+        std::to_string(deepest) + ")");
+  }
+  // Linearize into Morton order; the leaf array then doubles as the
+  // canonical form the reader re-derives and verifies.
+  LinearPrQuadtree linear = LinearPrQuadtree::FromTree(tree);
+  std::ostringstream body;
+  body << kSnapshotMagic << "\n";
+  body << "sequence " << sequence << "\n";
+  body << std::setprecision(17);
+  body << "bounds " << tree.bounds().lo().x() << " "
+       << tree.bounds().lo().y() << " " << tree.bounds().hi().x() << " "
+       << tree.bounds().hi().y() << "\n";
+  body << "options " << tree.capacity() << " " << tree.max_depth() << "\n";
+  body << "leaves " << linear.LeafCount() << " " << tree.size() << "\n";
+  for (const LinearPrQuadtree::Leaf& leaf : linear.leaves()) {
+    body << "leaf " << leaf.code.bits << " "
+         << static_cast<unsigned>(leaf.code.depth) << " "
+         << leaf.points.size();
+    for (const geo::Point2& p : leaf.points) {
+      body << " " << p.x() << " " << p.y();
+    }
+    body << "\n";
+  }
+  std::string bytes = body.str();
+  StreamFormatGuard guard(out);
+  *out << bytes << "checksum " << Fnv1a(bytes) << "\n";
+  out->flush();
+  return Status::OK();
+}
+
+StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
+                                       uint64_t sequence) {
+  std::ostringstream os;
+  POPAN_RETURN_IF_ERROR(WriteSnapshot(tree, sequence, &os));
+  return os.str();
+}
+
+StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in) {
+  // Phase 1: accumulate the body up to the checksum trailer and verify it
+  // before interpreting anything. Lines are normalized to LF so a CRLF
+  // round trip through another tool does not break the checksum.
+  std::string body;
+  std::string line;
+  bool saw_checksum = false;
+  uint64_t declared = 0;
+  while (std::getline(*in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("checksum ", 0) == 0) {
+      POPAN_ASSIGN_OR_RETURN(declared, ParseU64(line.substr(9)));
+      saw_checksum = true;
+      break;
+    }
+    body += line;
+    body += '\n';
+  }
+  if (!saw_checksum) {
+    return Status::InvalidArgument(
+        "snapshot missing its checksum trailer (truncated?)");
+  }
+  if (Fnv1a(body) != declared) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+
+  // Phase 2: parse the verified body.
+  std::istringstream bs(body);
+  std::vector<std::string> tokens;
+  if (!ReadTokens(&bs, &tokens) || tokens.size() != 2 ||
+      tokens[0] + " " + tokens[1] != kSnapshotMagic) {
+    return Status::InvalidArgument("missing snapshot magic line");
+  }
+  if (!ReadTokens(&bs, &tokens) || tokens.size() != 2 ||
+      tokens[0] != "sequence") {
+    return Status::InvalidArgument("missing sequence line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t sequence, ParseU64(tokens[1]));
+  if (!ReadTokens(&bs, &tokens) || tokens.size() != 5 ||
+      tokens[0] != "bounds") {
+    return Status::InvalidArgument("missing bounds line");
+  }
+  POPAN_ASSIGN_OR_RETURN(double lox, ParseDouble(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(double loy, ParseDouble(tokens[2]));
+  POPAN_ASSIGN_OR_RETURN(double hix, ParseDouble(tokens[3]));
+  POPAN_ASSIGN_OR_RETURN(double hiy, ParseDouble(tokens[4]));
+  if (!(lox < hix) || !(loy < hiy)) {
+    return Status::InvalidArgument("degenerate bounds");
+  }
+  geo::Box2 bounds(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+  if (!ReadTokens(&bs, &tokens) || tokens.size() != 3 ||
+      tokens[0] != "options") {
+    return Status::InvalidArgument("missing options line");
+  }
+  PrTreeOptions options;
+  POPAN_ASSIGN_OR_RETURN(uint64_t capacity, ParseU64(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(uint64_t max_depth, ParseU64(tokens[2]));
+  if (capacity == 0) return Status::InvalidArgument("capacity 0");
+  options.capacity = static_cast<size_t>(capacity);
+  options.max_depth = static_cast<size_t>(max_depth);
+  if (!ReadTokens(&bs, &tokens) || tokens.size() != 3 ||
+      tokens[0] != "leaves") {
+    return Status::InvalidArgument("missing leaves line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t leaf_count, ParseU64(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(uint64_t point_count, ParseU64(tokens[2]));
+
+  struct FileLeaf {
+    MortonCode code;
+    uint64_t npoints;
+  };
+  std::vector<FileLeaf> file_leaves;
+  file_leaves.reserve(static_cast<size_t>(leaf_count));
+  std::vector<geo::Point2> points;
+  points.reserve(static_cast<size_t>(point_count));
+  for (uint64_t l = 0; l < leaf_count; ++l) {
+    if (!ReadTokens(&bs, &tokens) || tokens.size() < 4 ||
+        tokens[0] != "leaf") {
+      return Status::InvalidArgument("bad leaf line " + std::to_string(l));
+    }
+    POPAN_ASSIGN_OR_RETURN(uint64_t bits, ParseU64(tokens[1]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t depth, ParseU64(tokens[2]));
+    POPAN_ASSIGN_OR_RETURN(uint64_t npoints, ParseU64(tokens[3]));
+    if (depth > MortonCode::kMaxDepth) {
+      return Status::InvalidArgument("leaf depth out of range");
+    }
+    if (tokens.size() != 4 + 2 * npoints) {
+      return Status::InvalidArgument("leaf point count mismatch");
+    }
+    MortonCode code;
+    code.bits = bits;
+    code.depth = static_cast<uint8_t>(depth);
+    geo::Box2 block = BlockOfCode(bounds, code);
+    for (uint64_t i = 0; i < npoints; ++i) {
+      POPAN_ASSIGN_OR_RETURN(double x, ParseDouble(tokens[4 + 2 * i]));
+      POPAN_ASSIGN_OR_RETURN(double y, ParseDouble(tokens[5 + 2 * i]));
+      geo::Point2 p(x, y);
+      if (!block.Contains(p)) {
+        return Status::InvalidArgument(
+            "point attributed to the wrong leaf block");
+      }
+      points.push_back(p);
+    }
+    file_leaves.push_back(FileLeaf{code, npoints});
+  }
+  if (points.size() != point_count) {
+    return Status::InvalidArgument("snapshot point count mismatch");
+  }
+
+  // Phase 3: rebuild canonically from the points (the PR decomposition is
+  // unique) and verify the file's leaves are exactly the decomposition's.
+  POPAN_ASSIGN_OR_RETURN(
+      LinearPrQuadtree linear,
+      LinearPrQuadtree::BulkLoad(bounds, points, options));
+  if (linear.LeafCount() != file_leaves.size()) {
+    return Status::InvalidArgument(
+        "leaf codes inconsistent with point data (count)");
+  }
+  for (size_t i = 0; i < file_leaves.size(); ++i) {
+    if (linear.leaves()[i].code != file_leaves[i].code ||
+        linear.leaves()[i].points.size() != file_leaves[i].npoints) {
+      return Status::InvalidArgument(
+          "leaf codes inconsistent with point data at index " +
+          std::to_string(i));
+    }
+  }
+
+  PrTree<2> tree(bounds, options);
+  tree.ReserveForPoints(points.size());
+  for (const geo::Point2& p : points) {
+    Status inserted = tree.Insert(p);
+    if (!inserted.ok()) {
+      return Status::InvalidArgument("snapshot point rejected: " +
+                                     inserted.ToString());
+    }
+  }
+  // The dynamic rebuild must agree with the linear one leaf-for-leaf; a
+  // divergence means the declared options cannot reproduce these leaves
+  // (e.g. a forged max_depth beyond what codes express).
+  if (tree.LeafCount() != linear.LeafCount() || tree.size() != linear.size()) {
+    return Status::InvalidArgument(
+        "snapshot inconsistent with its canonical decomposition");
+  }
+  POPAN_RETURN_IF_ERROR(tree.CheckInvariants());
+  return PrTreeSnapshot{std::move(tree), sequence};
+}
+
+StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(const std::string& text) {
+  std::istringstream in(text);
+  return ReadPrTreeSnapshot(&in);
 }
 
 }  // namespace popan::spatial

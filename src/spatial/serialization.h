@@ -1,20 +1,24 @@
 #ifndef POPAN_SPATIAL_SERIALIZATION_H_
 #define POPAN_SPATIAL_SERIALIZATION_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "spatial/linear_quadtree.h"
+#include "spatial/pr_tree.h"
 #include "spatial/region_quadtree.h"
 #include "util/statusor.h"
 
 namespace popan::spatial {
 
-/// Text serialization of the two static structures — the interchange
-/// format a GIS pipeline would archive its layers in. The formats are
-/// line-oriented, versioned and self-describing; readers validate
-/// structure (magic line, counts, code ordering/tiling, geometry) and
-/// return InvalidArgument on any corruption rather than guessing.
+/// Text serialization of the spatial structures — the interchange format
+/// a GIS pipeline would archive its layers in, and (for the dynamic PR
+/// tree) the snapshot half of the snapshot + WAL durability pair. The
+/// formats are line-oriented, versioned and self-describing; readers
+/// validate structure (magic line, counts, code ordering/tiling,
+/// geometry) and return InvalidArgument on any corruption rather than
+/// guessing.
 ///
 /// Linear PR quadtree format:
 ///   popan-linear-quadtree v1
@@ -30,6 +34,20 @@ namespace popan::spatial {
 ///   leaves <count>
 ///   leaf <bits> <depth> <0|1>
 ///   (leaves in Morton order; together they tile the image)
+///
+/// PR tree snapshot format (the durable checkpoint image):
+///   popan-prtree-snapshot v1
+///   sequence <anchor>
+///   bounds <lo.x> <lo.y> <hi.x> <hi.y>
+///   options <capacity> <max_depth>
+///   leaves <leaf_count> <point_count>
+///   leaf <bits> <depth> <npoints> [<x> <y>]...
+///   checksum <fnv1a>
+///   (leaves in Morton order; `sequence` anchors the snapshot in the WAL —
+///   it is the sequence number of the last log record the image reflects,
+///   so recovery replays the log from sequence+1. The trailer checksums
+///   every preceding byte; a torn or corrupted snapshot is rejected as a
+///   whole — unlike the WAL there is no meaningful prefix to salvage.)
 
 /// Writes `tree` to `out` in the format above.
 void Serialize(const LinearPrQuadtree& tree, std::ostream* out);
@@ -47,6 +65,32 @@ std::string SerializeToString(const RegionQuadtree& tree);
 /// Parses a region quadtree; validates that the leaves tile the image.
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in);
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text);
+
+/// Writes a checksummed snapshot of `tree`, anchored at WAL sequence
+/// `sequence` (the last record already reflected in the tree; 0 when the
+/// tree was never logged). Fails with InvalidArgument when a leaf is
+/// deeper than locational codes can express (MortonCode::kMaxDepth); the
+/// stream is untouched in that case.
+Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
+                     std::ostream* out);
+StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
+                                       uint64_t sequence);
+
+/// A loaded snapshot: the reconstructed tree plus its WAL anchor.
+struct PrTreeSnapshot {
+  PrTree<2> tree;
+  /// Replay resumes at sequence + 1 (checkpoint.h Recover does this).
+  uint64_t sequence = 0;
+};
+
+/// Parses a PR tree snapshot. The trailer checksum is verified first;
+/// then the tree is rebuilt canonically from the points and the file's
+/// Morton-ordered leaf records are verified against the rebuild (the PR
+/// decomposition is unique for a point set), so any corruption,
+/// duplication or loss that slipped past the checksum still surfaces as
+/// InvalidArgument rather than a silently wrong tree.
+StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in);
+StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(const std::string& text);
 
 }  // namespace popan::spatial
 

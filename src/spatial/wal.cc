@@ -1,6 +1,5 @@
 #include "spatial/wal.h"
 
-#include <charconv>
 #include <cmath>
 #include <cstring>
 #include <iomanip>
@@ -10,6 +9,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::spatial {
 
@@ -18,92 +18,20 @@ namespace {
 constexpr char kMagic[] = "popan-wal";
 constexpr char kVersion[] = "v1";
 
-/// FNV-1a over a byte buffer.
-uint64_t Fnv1a(const void* data, size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  uint64_t hash = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
+/// Everything ReplayWal learns from a header line.
+struct WalHeader {
+  PrTreeOptions options;
+  geo::Box2 bounds{geo::Point2(0, 0), geo::Point2(1, 1)};
+  uint64_t anchor = 0;
+  size_t bytes = 0;  ///< raw bytes the header line occupied
+};
 
-StatusOr<double> ParseDouble(const std::string& s) {
-  double value = 0.0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc() || ptr != s.data() + s.size() ||
-      !std::isfinite(value)) {
-    return Status::InvalidArgument("bad real number: " + s);
-  }
-  return value;
-}
-
-StatusOr<uint64_t> ParseU64(const std::string& s) {
-  uint64_t value = 0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc() || ptr != s.data() + s.size()) {
-    return Status::InvalidArgument("not an integer: " + s);
-  }
-  return value;
-}
-
-bool ReadTokens(std::istream* in, std::vector<std::string>* tokens) {
-  std::string line;
-  if (!std::getline(*in, line)) return false;
-  tokens->clear();
-  std::istringstream ls(line);
-  std::string token;
-  while (ls >> token) tokens->push_back(token);
-  return true;
-}
-
-}  // namespace
-
-uint64_t WalChecksum(uint64_t sequence, char op, double x, double y) {
-  // Hash the exact binary content, not the decimal rendering, so the
-  // checksum is immune to formatting differences.
-  unsigned char buffer[8 + 1 + 8 + 8];
-  std::memcpy(buffer, &sequence, 8);
-  buffer[8] = static_cast<unsigned char>(op);
-  std::memcpy(buffer + 9, &x, 8);
-  std::memcpy(buffer + 17, &y, 8);
-  return Fnv1a(buffer, sizeof(buffer));
-}
-
-WalWriter::WalWriter(std::ostream* out, const geo::Box2& bounds,
-                     const PrTreeOptions& options)
-    : out_(out) {
-  POPAN_CHECK(out_ != nullptr);
-  *out_ << kMagic << " " << kVersion << " " << options.capacity << " "
-        << options.max_depth << " " << std::setprecision(17)
-        << bounds.lo().x() << " " << bounds.lo().y() << " "
-        << bounds.hi().x() << " " << bounds.hi().y() << "\n";
-}
-
-void WalWriter::Append(char op, const geo::Point2& p) {
-  uint64_t seq = next_sequence_++;
-  *out_ << seq << " " << op << " " << std::setprecision(17) << p.x() << " "
-        << p.y() << " " << WalChecksum(seq, op, p.x(), p.y()) << "\n";
-  out_->flush();
-}
-
-uint64_t WalWriter::LogInsert(const geo::Point2& p) {
-  uint64_t seq = next_sequence_;
-  Append('I', p);
-  return seq;
-}
-
-uint64_t WalWriter::LogErase(const geo::Point2& p) {
-  uint64_t seq = next_sequence_;
-  Append('E', p);
-  return seq;
-}
-
-StatusOr<WalRecovery> ReplayWal(std::istream* in) {
+StatusOr<WalHeader> ParseHeader(std::istream* in) {
   std::vector<std::string> tokens;
-  if (!ReadTokens(in, &tokens) || tokens.size() != 8 ||
-      tokens[0] != kMagic || tokens[1] != kVersion) {
+  size_t consumed = 0;
+  if (!ReadTokens(in, &tokens, &consumed) || in->eof() ||
+      (tokens.size() != 8 && tokens.size() != 9) || tokens[0] != kMagic ||
+      tokens[1] != kVersion) {
     return Status::InvalidArgument("missing or malformed WAL header");
   }
   POPAN_ASSIGN_OR_RETURN(uint64_t capacity, ParseU64(tokens[2]));
@@ -115,19 +43,44 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in) {
   if (capacity == 0 || !(lox < hix) || !(loy < hiy)) {
     return Status::InvalidArgument("degenerate WAL header");
   }
-  PrTreeOptions options;
-  options.capacity = static_cast<size_t>(capacity);
-  options.max_depth = static_cast<size_t>(max_depth);
-  geo::Box2 bounds(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+  WalHeader header;
+  // Headers written before anchoring existed have 8 tokens; they are
+  // anchored at 0 by construction.
+  if (tokens.size() == 9) {
+    POPAN_ASSIGN_OR_RETURN(header.anchor, ParseU64(tokens[8]));
+  }
+  header.options.capacity = static_cast<size_t>(capacity);
+  header.options.max_depth = static_cast<size_t>(max_depth);
+  header.bounds =
+      geo::Box2(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+  header.bytes = consumed;
+  return header;
+}
 
-  WalRecovery recovery{PrTree<2>(bounds, options), 0, 0, false, ""};
-  uint64_t expected_seq = 1;
-  while (ReadTokens(in, &tokens)) {
-    auto truncate = [&recovery](std::string reason) {
-      recovery.truncated_tail = true;
-      recovery.truncation_reason = std::move(reason);
+/// The shared replay core: applies intact records on top of `recovery`'s
+/// tree, which the caller has seeded with the log's base state.
+void ReplayRecords(std::istream* in, WalRecovery* recovery) {
+  std::vector<std::string> tokens;
+  uint64_t expected_seq = recovery->anchor + 1;
+  size_t pending = 0;  // blank-line bytes awaiting the next intact record
+  for (;;) {
+    size_t consumed = 0;
+    if (!ReadTokens(in, &tokens, &consumed)) break;
+    auto truncate = [recovery](std::string reason) {
+      recovery->truncated_tail = true;
+      recovery->truncation_reason = std::move(reason);
     };
-    if (tokens.empty()) continue;  // blank line: harmless
+    if (tokens.empty()) {  // blank line: harmless
+      pending += consumed;
+      continue;
+    }
+    if (in->eof()) {
+      // The line was not newline-terminated: a record is only durable
+      // once its terminator hit the stream, however plausible the bytes
+      // look — the classic torn final write.
+      truncate("torn record (no terminator)");
+      break;
+    }
     if (tokens.size() != 5) {
       truncate("short record (torn write)");
       break;
@@ -156,22 +109,123 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in) {
       break;
     }
     geo::Point2 p(x.value(), y.value());
-    Status applied = op == 'I' ? recovery.tree.Insert(p)
-                               : recovery.tree.Erase(p);
+    Status applied = op == 'I' ? recovery->tree.Insert(p)
+                               : recovery->tree.Erase(p);
     if (!applied.ok()) {
       truncate("record does not apply: " + applied.ToString());
       break;
     }
-    recovery.last_sequence = seq.value();
-    ++recovery.records_applied;
+    recovery->last_sequence = seq.value();
+    ++recovery->records_applied;
     ++expected_seq;
+    recovery->valid_bytes += pending + consumed;
+    pending = 0;
   }
+  recovery->next_sequence = recovery->last_sequence + 1;
+}
+
+}  // namespace
+
+uint64_t WalChecksum(uint64_t sequence, char op, double x, double y) {
+  // Hash the exact binary content, not the decimal rendering, so the
+  // checksum is immune to formatting differences.
+  unsigned char buffer[8 + 1 + 8 + 8];
+  std::memcpy(buffer, &sequence, 8);
+  buffer[8] = static_cast<unsigned char>(op);
+  std::memcpy(buffer + 9, &x, 8);
+  std::memcpy(buffer + 17, &y, 8);
+  return Fnv1a(buffer, sizeof(buffer));
+}
+
+WalWriter::WalWriter(std::ostream* out, const geo::Box2& bounds,
+                     const PrTreeOptions& options, uint64_t anchor)
+    : out_(out), bounds_(bounds), next_sequence_(anchor + 1) {
+  POPAN_CHECK(out_ != nullptr);
+  StreamFormatGuard guard(out_);
+  *out_ << kMagic << " " << kVersion << " " << options.capacity << " "
+        << options.max_depth << " " << std::setprecision(17)
+        << bounds.lo().x() << " " << bounds.lo().y() << " "
+        << bounds.hi().x() << " " << bounds.hi().y() << " " << anchor
+        << "\n";
+}
+
+WalWriter::WalWriter(std::ostream* out, const geo::Box2& bounds,
+                     ResumeAt resume)
+    : out_(out), bounds_(bounds), next_sequence_(resume.next_sequence) {
+  POPAN_CHECK(out_ != nullptr);
+  POPAN_CHECK(resume.next_sequence >= 1);
+}
+
+StatusOr<uint64_t> WalWriter::Append(char op, const geo::Point2& p) {
+  // Validate at append time: a record the reader would reject must never
+  // reach the log, where it would silently truncate everything after it.
+  if (!std::isfinite(p.x()) || !std::isfinite(p.y())) {
+    return Status::InvalidArgument("non-finite coordinate in WAL record");
+  }
+  if (!bounds_.Contains(p)) {
+    return Status::OutOfRange("point " + p.ToString() +
+                              " outside the logged bounds");
+  }
+  uint64_t seq = next_sequence_++;
+  StreamFormatGuard guard(out_);
+  *out_ << seq << " " << op << " " << std::setprecision(17) << p.x() << " "
+        << p.y() << " " << WalChecksum(seq, op, p.x(), p.y()) << "\n";
+  out_->flush();
+  return seq;
+}
+
+StatusOr<uint64_t> WalWriter::LogInsert(const geo::Point2& p) {
+  return Append('I', p);
+}
+
+StatusOr<uint64_t> WalWriter::LogErase(const geo::Point2& p) {
+  return Append('E', p);
+}
+
+StatusOr<WalRecovery> ReplayWal(std::istream* in) {
+  POPAN_ASSIGN_OR_RETURN(WalHeader header, ParseHeader(in));
+  if (header.anchor != 0) {
+    return Status::InvalidArgument(
+        "log anchored at sequence " + std::to_string(header.anchor) +
+        " requires its snapshot; use the base-tree overload");
+  }
+  WalRecovery recovery{PrTree<2>(header.bounds, header.options),
+                       0, 0, 0, 1, header.bytes, false, ""};
+  ReplayRecords(in, &recovery);
   return recovery;
 }
 
 StatusOr<WalRecovery> ReplayWal(const std::string& text) {
   std::istringstream in(text);
   return ReplayWal(&in);
+}
+
+StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
+                                uint64_t base_sequence) {
+  POPAN_ASSIGN_OR_RETURN(WalHeader header, ParseHeader(in));
+  if (header.anchor != base_sequence) {
+    return Status::FailedPrecondition(
+        "log anchored at sequence " + std::to_string(header.anchor) +
+        " does not continue base state at sequence " +
+        std::to_string(base_sequence));
+  }
+  if (header.options.capacity != base.capacity() ||
+      header.options.max_depth != base.max_depth() ||
+      header.bounds != base.bounds()) {
+    return Status::FailedPrecondition(
+        "log geometry/options do not match the base tree");
+  }
+  WalRecovery recovery{base, header.anchor, 0, header.anchor,
+                       header.anchor + 1, header.bytes, false, ""};
+  ReplayRecords(in, &recovery);
+  return recovery;
+}
+
+StatusOr<WalRecovery> ReplayWal(const std::string& text,
+                                const PrTree<2>& base,
+                                uint64_t base_sequence) {
+  std::istringstream in(text);
+  return ReplayWal(&in, base, base_sequence);
 }
 
 }  // namespace popan::spatial

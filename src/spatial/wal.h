@@ -1,10 +1,12 @@
 #ifndef POPAN_SPATIAL_WAL_H_
 #define POPAN_SPATIAL_WAL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "geometry/box.h"
 #include "geometry/point.h"
 #include "spatial/pr_tree.h"
 #include "util/statusor.h"
@@ -14,56 +16,108 @@ namespace popan::spatial {
 /// A write-ahead log for a dynamic PR quadtree — the storage-engine idiom
 /// for durability: every mutation is appended (with a sequence number and
 /// a checksum) before it is applied, and a crashed process recovers by
-/// replaying the log over the last snapshot. Records are line-oriented:
+/// loading the last checksummed snapshot (serialization.h WriteSnapshot,
+/// checkpoint.h Recover) and replaying the log tail over it. Records are
+/// line-oriented:
 ///
-///   popan-wal v1 <capacity> <max_depth> <lo.x> <lo.y> <hi.x> <hi.y>
+///   popan-wal v1 <capacity> <max_depth> <lo.x> <lo.y> <hi.x> <hi.y> <anchor>
 ///   <seq> I <x> <y> <checksum>
 ///   <seq> E <x> <y> <checksum>
 ///
+/// `anchor` is the sequence number of the last record already reflected in
+/// the state the log starts from: 0 for a log over an empty tree, the
+/// snapshot's sequence for a log started by Checkpoint(). The first record
+/// carries sequence anchor + 1. (Headers without the anchor token are read
+/// as anchor 0, so pre-anchor logs stay replayable.)
+///
 /// The checksum covers the record's logical content, so torn or corrupted
 /// tail records are detected and recovery stops at the last intact one —
-/// replay never applies garbage.
+/// replay never applies garbage. The writer validates records at append
+/// time (finite, in-bounds coordinates), so it never logs a record the
+/// reader would reject.
 class WalWriter {
  public:
-  /// Starts a log for a tree with the given geometry/options, writing the
-  /// header immediately. The stream must outlive the writer.
+  /// Tag for the resume constructor below.
+  struct ResumeAt {
+    uint64_t next_sequence = 1;
+  };
+
+  /// Starts a fresh log for a tree with the given geometry/options,
+  /// writing the header immediately. `anchor` is the sequence the log is
+  /// anchored at (see above); the default 0 starts a log over an empty
+  /// tree. The stream must outlive the writer.
   WalWriter(std::ostream* out, const geo::Box2& bounds,
-            const PrTreeOptions& options);
+            const PrTreeOptions& options, uint64_t anchor = 0);
+
+  /// Resumes an existing log in place: writes no header and assigns
+  /// `resume.next_sequence` to the next record. Use after recovery, with
+  /// WalRecovery::next_sequence, once the log file has been truncated to
+  /// WalRecovery::valid_bytes (so the resumed records land right after the
+  /// last intact one instead of colliding with a discarded tail).
+  WalWriter(std::ostream* out, const geo::Box2& bounds, ResumeAt resume);
 
   /// Appends an insert record; returns the sequence number assigned.
-  uint64_t LogInsert(const geo::Point2& p);
+  /// Fails (InvalidArgument / OutOfRange) without writing anything when
+  /// the point is non-finite or outside the logged bounds — such a record
+  /// would truncate replay at recovery time.
+  StatusOr<uint64_t> LogInsert(const geo::Point2& p);
 
-  /// Appends an erase record.
-  uint64_t LogErase(const geo::Point2& p);
+  /// Appends an erase record, with the same append-time validation.
+  StatusOr<uint64_t> LogErase(const geo::Point2& p);
 
   /// Sequence number of the next record.
   uint64_t next_sequence() const { return next_sequence_; }
 
  private:
-  void Append(char op, const geo::Point2& p);
+  StatusOr<uint64_t> Append(char op, const geo::Point2& p);
 
   std::ostream* out_;
+  geo::Box2 bounds_;
   uint64_t next_sequence_ = 1;
 };
 
 /// The result of a recovery.
 struct WalRecovery {
   PrTree<2> tree;               ///< state after replaying intact records
+  uint64_t anchor = 0;          ///< sequence the log was anchored at
   uint64_t records_applied = 0;
-  uint64_t last_sequence = 0;
+  uint64_t last_sequence = 0;   ///< == anchor when no records applied
+  /// The sequence a resumed writer must use (last_sequence + 1) — the fix
+  /// for the resume/collision bug: appending with a fresh sequence-1
+  /// writer would collide with the existing records and replay would
+  /// discard everything after the old tail as a sequence gap.
+  uint64_t next_sequence = 1;
+  /// Byte length of the intact prefix of the log (header plus every
+  /// applied record). Truncate the file here before resuming with
+  /// WalWriter::ResumeAt so new records follow the last intact one.
+  size_t valid_bytes = 0;
   /// True when replay stopped early at a corrupt/torn record (everything
   /// before it was applied; the tail was discarded).
   bool truncated_tail = false;
   std::string truncation_reason;
 };
 
-/// Replays a log from the beginning. Fails (InvalidArgument) only for an
-/// unusable header; data-record corruption is not an error — it marks the
-/// end of the usable log, exactly like a torn write after a crash.
-/// Records that no longer apply cleanly (duplicate insert, erase of a
-/// missing point) also stop replay: they indicate a log/state mismatch.
+/// Replays a log from the beginning onto an empty tree. Fails
+/// (InvalidArgument) only for an unusable header — including a log
+/// anchored at a nonzero sequence, which needs its snapshot (use the
+/// base-tree overload or checkpoint.h Recover). Data-record corruption is
+/// not an error — it marks the end of the usable log, exactly like a torn
+/// write after a crash. Records that no longer apply cleanly (duplicate
+/// insert, erase of a missing point) also stop replay: they indicate a
+/// log/state mismatch.
 StatusOr<WalRecovery> ReplayWal(std::istream* in);
 StatusOr<WalRecovery> ReplayWal(const std::string& text);
+
+/// Replays a log anchored at `base_sequence` onto a copy of `base` (the
+/// state a snapshot restored). Fails with InvalidArgument for an unusable
+/// header and FailedPrecondition when the header's anchor or geometry do
+/// not match `base` — that pairing mismatch means the caller handed the
+/// wrong snapshot/log pair, not a torn tail.
+StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
+                                uint64_t base_sequence);
+StatusOr<WalRecovery> ReplayWal(const std::string& text,
+                                const PrTree<2>& base,
+                                uint64_t base_sequence);
 
 /// The checksum used for log records (FNV-1a over the formatted content);
 /// exposed so tests can craft valid and corrupt records.

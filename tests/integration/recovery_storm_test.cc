@@ -1,0 +1,205 @@
+/// The recovery storm: the durability acceptance test. For every seeded
+/// crash point — truncations, bit flips and torn writes injected into the
+/// snapshot or the WAL — Recover() must either produce a tree whose census
+/// exactly equals the census after the surviving log prefix, or fail with a
+/// clean Status. Never a crash, never a silently wrong tree.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/fault_injection.h"
+#include "spatial/checkpoint.h"
+#include "spatial/serialization.h"
+#include "spatial/wal.h"
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using sim::ApplyFault;
+using sim::DeriveFaultPlan;
+using sim::ExperimentRunner;
+using sim::FaultKind;
+using sim::FaultKindName;
+using sim::FaultPlan;
+
+constexpr size_t kBasePoints = 250;   // points in the checkpointed state
+constexpr size_t kChurnOps = 250;     // mixed ops logged after it
+constexpr uint64_t kSeedsPerConfig = 120;
+
+// One checkpointed workload: the snapshot, the WAL written after it, and
+// the census after every prefix of that WAL (index 0 = snapshot state).
+struct StormScenario {
+  std::string snapshot;
+  std::string wal;
+  uint64_t anchor = 0;
+  std::vector<Census> census_by_applied;
+};
+
+StormScenario BuildScenario(size_t capacity, uint64_t seed) {
+  PrTreeOptions options;
+  options.capacity = capacity;
+  options.max_depth = 25;
+  PrTree<2> tree(Box2::UnitCube(), options);
+  Pcg32 rng(DeriveSeed(seed, 0xB10CULL));
+  std::vector<Point2> live;
+  // Build the base state through the Table-3 churn pattern: inserts until
+  // kBasePoints, then a checkpoint, then a mixed insert/erase tail.
+  while (tree.size() < kBasePoints) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) live.push_back(p);
+  }
+  StormScenario scenario;
+  scenario.anchor = kBasePoints;
+  std::ostringstream snapshot_out, wal_out;
+  StatusOr<WalWriter> writer =
+      Checkpoint(tree, scenario.anchor, &snapshot_out, &wal_out);
+  POPAN_CHECK(writer.ok()) << writer.status().ToString();
+  scenario.census_by_applied.push_back(tree.LiveCensus());
+  size_t logged = 0;
+  while (logged < kChurnOps * 2) {
+    bool insert = live.empty() || rng.NextBounded(2) == 0;
+    if (insert) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (!tree.Insert(p).ok()) continue;
+      POPAN_CHECK(writer->LogInsert(p).ok());
+      live.push_back(p);
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      POPAN_CHECK(tree.Erase(live[idx]).ok());
+      POPAN_CHECK(writer->LogErase(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    scenario.census_by_applied.push_back(tree.LiveCensus());
+    ++logged;
+  }
+  scenario.snapshot = snapshot_out.str();
+  scenario.wal = wal_out.str();
+  return scenario;
+}
+
+// Runs one seeded crash against the scenario. Returns an empty string on
+// success, else a description of the violated guarantee. gtest assertions
+// are not thread-safe, so workers report and the main thread asserts.
+std::string RunOneCrash(const StormScenario& scenario, uint64_t seed) {
+  const bool fault_snapshot = seed % 4 == 3;
+  const std::string& target =
+      fault_snapshot ? scenario.snapshot : scenario.wal;
+  FaultPlan plan = DeriveFaultPlan(seed, target.size());
+  std::string image = ApplyFault(target, plan);
+  const std::string label =
+      std::string(fault_snapshot ? "snapshot" : "wal") + " seed " +
+      std::to_string(seed) + " " + FaultKindName(plan.kind) + " @" +
+      std::to_string(plan.offset);
+
+  StatusOr<RecoverResult> recovered =
+      fault_snapshot ? Recover(image, scenario.wal)
+                     : Recover(scenario.snapshot, image);
+  if (!recovered.ok()) {
+    // A clean error is within contract for any injected fault, except that
+    // a recovered-tree invariant failure would mean we built a bad tree.
+    if (recovered.status().code() == StatusCode::kInternal) {
+      return label + ": recovery reported a corrupt tree: " +
+             recovered.status().ToString();
+    }
+    return "";
+  }
+  // Recovery succeeded: the tree must match the census at the exact prefix
+  // it claims to have applied. A fault can leave a shorter-but-intact log
+  // (or, for the snapshot, only cosmetic damage), never a wrong tree.
+  if (recovered->last_sequence < scenario.anchor) {
+    return label + ": last_sequence below the snapshot anchor";
+  }
+  size_t applied =
+      static_cast<size_t>(recovered->last_sequence - scenario.anchor);
+  if (applied >= scenario.census_by_applied.size()) {
+    return label + ": recovery claims more records than were written";
+  }
+  if (applied != recovered->records_applied) {
+    return label + ": records_applied disagrees with last_sequence";
+  }
+  if (!(recovered->tree.LiveCensus() ==
+        scenario.census_by_applied[applied])) {
+    return label + ": census mismatch after " + std::to_string(applied) +
+           " records";
+  }
+  Status invariants = recovered->tree.CheckInvariants();
+  if (!invariants.ok()) {
+    return label + ": recovered tree fails invariants: " +
+           invariants.ToString();
+  }
+  if (fault_snapshot) return "";
+  if (recovered->wal_valid_bytes == 0) {
+    // The fault destroyed the WAL header itself; resuming the log is not
+    // possible (a fresh Checkpoint rewrites it) — nothing left to check.
+    return "";
+  }
+
+  // A WAL written after recovery must replay cleanly over the same
+  // snapshot: truncate to the intact prefix and resume at next_sequence.
+  std::string resumed = image.substr(0, recovered->wal_valid_bytes);
+  std::ostringstream tail;
+  WalWriter appender(&tail, recovered->tree.bounds(),
+                     WalWriter::ResumeAt{recovered->next_sequence});
+  PrTree<2> continued = recovered->tree;
+  Pcg32 rng(DeriveSeed(seed, 0x4E57ULL));
+  for (int extra = 0; extra < 8; ++extra) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (!continued.Insert(p).ok()) continue;
+    if (!appender.LogInsert(p).ok()) {
+      return label + ": resume append failed";
+    }
+  }
+  resumed += tail.str();
+  StatusOr<RecoverResult> replayed = Recover(scenario.snapshot, resumed);
+  if (!replayed.ok()) {
+    return label + ": post-recovery WAL does not replay: " +
+           replayed.status().ToString();
+  }
+  if (replayed->truncated_tail) {
+    return label + ": post-recovery WAL replays torn: " +
+           replayed->truncation_reason;
+  }
+  if (!(replayed->tree.LiveCensus() == continued.LiveCensus())) {
+    return label + ": post-recovery WAL replays to a different tree";
+  }
+  return "";
+}
+
+TEST(RecoveryStormTest, EveryCrashPointRecoversOrFailsCleanly) {
+  ExperimentRunner runner;
+  for (size_t capacity : {size_t{1}, size_t{4}}) {
+    StormScenario scenario = BuildScenario(capacity, 1000 + capacity);
+    std::vector<std::string> failures = runner.Map<std::string>(
+        kSeedsPerConfig,
+        [&scenario](size_t seed) {
+          return RunOneCrash(scenario, static_cast<uint64_t>(seed));
+        });
+    for (size_t seed = 0; seed < failures.size(); ++seed) {
+      EXPECT_EQ(failures[seed], "") << "capacity " << capacity;
+    }
+  }
+}
+
+TEST(RecoveryStormTest, UndamagedArtifactsRecoverTheFullState) {
+  // Control arm: with no fault injected, recovery lands exactly on the
+  // final census.
+  StormScenario scenario = BuildScenario(2, 77);
+  StatusOr<RecoverResult> recovered =
+      Recover(scenario.snapshot, scenario.wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->truncated_tail)
+      << recovered->truncation_reason;
+  EXPECT_EQ(recovered->tree.LiveCensus(),
+            scenario.census_by_applied.back());
+}
+
+}  // namespace
+}  // namespace popan::spatial

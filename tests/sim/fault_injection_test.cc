@@ -1,0 +1,116 @@
+#include "sim/fault_injection.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace popan::sim {
+namespace {
+
+TEST(FaultInjectionTest, PlansAreDeterministic) {
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FaultPlan a = DeriveFaultPlan(seed, 1000);
+    FaultPlan b = DeriveFaultPlan(seed, 1000);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(a.bit, b.bit);
+    EXPECT_EQ(a.garbage_seed, b.garbage_seed);
+  }
+}
+
+TEST(FaultInjectionTest, PlansVaryAcrossSeeds) {
+  bool saw[3] = {false, false, false};
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    FaultPlan plan = DeriveFaultPlan(seed, 1000);
+    saw[static_cast<int>(plan.kind)] = true;
+    EXPECT_LT(plan.offset, 1000u);
+    EXPECT_LT(plan.bit, 8);
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  EXPECT_TRUE(saw[2]);
+}
+
+TEST(FaultInjectionTest, TruncateCutsAtTheOffset) {
+  std::string bytes = "abcdefghij";
+  FaultPlan plan;
+  plan.kind = FaultKind::kTruncate;
+  plan.offset = 4;
+  EXPECT_EQ(ApplyFault(bytes, plan), "abcd");
+  plan.offset = 100;  // beyond the end: nothing to cut
+  EXPECT_EQ(ApplyFault(bytes, plan), bytes);
+}
+
+TEST(FaultInjectionTest, BitFlipTouchesExactlyOneBit) {
+  std::string bytes = "abcdefghij";
+  FaultPlan plan;
+  plan.kind = FaultKind::kBitFlip;
+  plan.offset = 3;
+  plan.bit = 5;
+  std::string flipped = ApplyFault(bytes, plan);
+  ASSERT_EQ(flipped.size(), bytes.size());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (i == 3) {
+      EXPECT_EQ(static_cast<unsigned char>(flipped[i]),
+                static_cast<unsigned char>(bytes[i]) ^ (1u << 5));
+    } else {
+      EXPECT_EQ(flipped[i], bytes[i]);
+    }
+  }
+  // Applying the same flip twice restores the original.
+  EXPECT_EQ(ApplyFault(flipped, plan), bytes);
+  plan.offset = 100;  // beyond the end: no-op
+  EXPECT_EQ(ApplyFault(bytes, plan), bytes);
+}
+
+TEST(FaultInjectionTest, TornWriteTruncatesThenAppendsGarbage) {
+  std::string bytes = "abcdefghij";
+  FaultPlan plan;
+  plan.kind = FaultKind::kTornWrite;
+  plan.offset = 6;
+  plan.garbage_seed = 42;
+  std::string torn = ApplyFault(bytes, plan);
+  EXPECT_EQ(torn.substr(0, 6), "abcdef");
+  EXPECT_GE(torn.size(), 7u);   // at least one garbage byte
+  EXPECT_LE(torn.size(), 22u);  // at most sixteen
+  // Same plan, same garbage.
+  EXPECT_EQ(ApplyFault(bytes, plan), torn);
+  // Different garbage seed, different garbage (with overwhelming
+  // probability — this pair differs).
+  plan.garbage_seed = 43;
+  EXPECT_NE(ApplyFault(bytes, plan), torn);
+}
+
+TEST(FaultInjectionTest, EmptyStreamIsSafe) {
+  for (FaultKind kind : {FaultKind::kTruncate, FaultKind::kBitFlip,
+                         FaultKind::kTornWrite}) {
+    FaultPlan plan = DeriveFaultPlan(7, 0);
+    plan.kind = kind;
+    std::string result = ApplyFault(std::string(), plan);
+    if (kind == FaultKind::kTornWrite) {
+      EXPECT_GE(result.size(), 1u);
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  }
+}
+
+TEST(FaultInjectionTest, FaultingStreamCapturesAndCorrupts) {
+  FaultingStream stream;
+  *stream.stream() << "hello " << 123 << "\n";
+  EXPECT_EQ(stream.contents(), "hello 123\n");
+  EXPECT_EQ(stream.bytes_written(), 10u);
+  FaultPlan plan;
+  plan.kind = FaultKind::kTruncate;
+  plan.offset = 5;
+  EXPECT_EQ(stream.CrashImage(plan), "hello");
+}
+
+TEST(FaultInjectionTest, KindNamesAreStable) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kTruncate), "truncate");
+  EXPECT_STREQ(FaultKindName(FaultKind::kBitFlip), "bit-flip");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTornWrite), "torn-write");
+}
+
+}  // namespace
+}  // namespace popan::sim

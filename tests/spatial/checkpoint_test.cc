@@ -1,0 +1,238 @@
+#include "spatial/checkpoint.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/serialization.h"
+#include "spatial/wal.h"
+#include "util/random.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+PrTreeOptions SmallOptions() {
+  PrTreeOptions options;
+  options.capacity = 4;
+  options.max_depth = 25;
+  return options;
+}
+
+// A live tree plus the WAL that produced it, for building scenarios.
+struct Scenario {
+  PrTree<2> tree;
+  std::vector<Point2> live;
+  uint64_t last_sequence = 0;
+};
+
+Scenario BuildScenario(size_t n, uint64_t seed) {
+  Scenario s{PrTree<2>(Box2::UnitCube(), SmallOptions()), {}, 0};
+  Pcg32 rng(seed);
+  while (s.tree.size() < n) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (s.tree.Insert(p).ok()) {
+      s.live.push_back(p);
+      ++s.last_sequence;
+    }
+  }
+  return s;
+}
+
+TEST(CheckpointTest, CheckpointThenLogThenRecover) {
+  Scenario s = BuildScenario(300, 17);
+  std::ostringstream snapshot, wal;
+  StatusOr<WalWriter> writer =
+      Checkpoint(s.tree, s.last_sequence, &snapshot, &wal);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ(writer->next_sequence(), s.last_sequence + 1);
+
+  // Churn on top of the checkpoint.
+  Pcg32 rng(99);
+  for (int op = 0; op < 200; ++op) {
+    if (s.live.empty() || rng.NextBounded(2) == 0) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      if (s.tree.Insert(p).ok()) {
+        ASSERT_TRUE(writer->LogInsert(p).ok());
+        s.live.push_back(p);
+      }
+    } else {
+      size_t idx = rng.NextBounded(static_cast<uint32_t>(s.live.size()));
+      ASSERT_TRUE(s.tree.Erase(s.live[idx]).ok());
+      ASSERT_TRUE(writer->LogErase(s.live[idx]).ok());
+      s.live[idx] = s.live.back();
+      s.live.pop_back();
+    }
+  }
+
+  StatusOr<RecoverResult> recovered =
+      Recover(snapshot.str(), wal.str());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_FALSE(recovered->truncated_tail)
+      << recovered->truncation_reason;
+  EXPECT_EQ(recovered->snapshot_sequence, 300u);
+  EXPECT_EQ(recovered->records_applied, 200u);
+  EXPECT_EQ(recovered->last_sequence, 500u);
+  EXPECT_EQ(recovered->next_sequence, 501u);
+  EXPECT_EQ(recovered->tree.size(), s.tree.size());
+  EXPECT_EQ(recovered->tree.LiveCensus(), s.tree.LiveCensus());
+  for (const Point2& p : s.live) {
+    EXPECT_TRUE(recovered->tree.Contains(p));
+  }
+}
+
+TEST(CheckpointTest, EmptyWalTailRecoversTheSnapshotExactly) {
+  Scenario s = BuildScenario(150, 4);
+  std::ostringstream snapshot, wal;
+  ASSERT_TRUE(Checkpoint(s.tree, s.last_sequence, &snapshot, &wal).ok());
+  StatusOr<RecoverResult> recovered = Recover(snapshot.str(), wal.str());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->records_applied, 0u);
+  EXPECT_EQ(recovered->last_sequence, s.last_sequence);
+  EXPECT_EQ(recovered->tree.LiveCensus(), s.tree.LiveCensus());
+}
+
+TEST(CheckpointTest, MismatchedSnapshotAndWalIsAPairingError) {
+  Scenario s = BuildScenario(50, 5);
+  std::ostringstream snapshot, wal;
+  ASSERT_TRUE(Checkpoint(s.tree, s.last_sequence, &snapshot, &wal).ok());
+  // A WAL anchored elsewhere: right geometry, wrong sequence.
+  std::ostringstream other;
+  WalWriter other_writer(&other, Box2::UnitCube(), SmallOptions(),
+                         s.last_sequence + 10);
+  StatusOr<RecoverResult> recovered =
+      Recover(snapshot.str(), other.str());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+
+  // And a WAL with the right anchor but different geometry.
+  PrTreeOptions narrow = SmallOptions();
+  narrow.capacity = 1;
+  std::ostringstream mismatched;
+  WalWriter mismatched_writer(&mismatched, Box2::UnitCube(), narrow,
+                              s.last_sequence);
+  recovered = Recover(snapshot.str(), mismatched.str());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, CorruptSnapshotIsFatal) {
+  Scenario s = BuildScenario(80, 6);
+  std::ostringstream snapshot, wal;
+  ASSERT_TRUE(Checkpoint(s.tree, s.last_sequence, &snapshot, &wal).ok());
+  std::string corrupt = snapshot.str();
+  corrupt[corrupt.size() / 3] ^= 0x10;
+  StatusOr<RecoverResult> recovered = Recover(corrupt, wal.str());
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, TornWalHeaderFallsBackToSnapshotOnly) {
+  // Losing the WAL loses the tail, not the checkpointed state: Recover
+  // degrades to the snapshot and reports the tail as truncated.
+  Scenario s = BuildScenario(120, 7);
+  std::ostringstream snapshot, wal;
+  StatusOr<WalWriter> writer =
+      Checkpoint(s.tree, s.last_sequence, &snapshot, &wal);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->LogInsert(Point2(0.123, 0.456)).ok());
+  std::string torn_wal = wal.str().substr(0, 10);  // mid-header crash
+  StatusOr<RecoverResult> recovered = Recover(snapshot.str(), torn_wal);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->truncated_tail);
+  EXPECT_NE(recovered->truncation_reason.find("WAL header"),
+            std::string::npos)
+      << recovered->truncation_reason;
+  EXPECT_EQ(recovered->records_applied, 0u);
+  EXPECT_EQ(recovered->tree.LiveCensus(), s.tree.LiveCensus());
+}
+
+TEST(CheckpointTest, TornWalTailRecoversThePrefix) {
+  Scenario s = BuildScenario(60, 8);
+  std::ostringstream snapshot, wal;
+  StatusOr<WalWriter> writer =
+      Checkpoint(s.tree, s.last_sequence, &snapshot, &wal);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->LogInsert(Point2(0.111, 0.222)).ok());
+  Census after_first = [&] {
+    PrTree<2> copy = s.tree;
+    EXPECT_TRUE(copy.Insert(Point2(0.111, 0.222)).ok());
+    return copy.LiveCensus();
+  }();
+  ASSERT_TRUE(writer->LogInsert(Point2(0.333, 0.444)).ok());
+  std::string torn = wal.str().substr(0, wal.str().size() - 7);
+  StatusOr<RecoverResult> recovered = Recover(snapshot.str(), torn);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->truncated_tail);
+  EXPECT_EQ(recovered->records_applied, 1u);
+  EXPECT_EQ(recovered->tree.LiveCensus(), after_first);
+}
+
+TEST(CheckpointTest, WalWrittenAfterRecoveryReplaysOverTheSameSnapshot) {
+  // The acceptance scenario: recover, resume logging at next_sequence on
+  // the truncated-to-valid prefix, and the result must replay cleanly on
+  // top of the same snapshot.
+  Scenario s = BuildScenario(100, 9);
+  std::ostringstream snapshot, wal;
+  StatusOr<WalWriter> writer =
+      Checkpoint(s.tree, s.last_sequence, &snapshot, &wal);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->LogInsert(Point2(0.101, 0.202)).ok());
+  ASSERT_TRUE(writer->LogInsert(Point2(0.303, 0.404)).ok());
+  std::string torn = wal.str().substr(0, wal.str().size() - 3);
+
+  StatusOr<RecoverResult> first = Recover(snapshot.str(), torn);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->truncated_tail);
+
+  std::string resumed_wal = torn.substr(0, first->wal_valid_bytes);
+  std::ostringstream tail;
+  WalWriter resumed(&tail, first->tree.bounds(),
+                    WalWriter::ResumeAt{first->next_sequence});
+  ASSERT_TRUE(resumed.LogInsert(Point2(0.505, 0.606)).ok());
+  ASSERT_TRUE(resumed.LogErase(Point2(0.101, 0.202)).ok());
+  resumed_wal += tail.str();
+
+  StatusOr<RecoverResult> second = Recover(snapshot.str(), resumed_wal);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_FALSE(second->truncated_tail) << second->truncation_reason;
+  EXPECT_EQ(second->records_applied, 3u);
+  EXPECT_TRUE(second->tree.Contains(Point2(0.505, 0.606)));
+  EXPECT_FALSE(second->tree.Contains(Point2(0.101, 0.202)));
+  EXPECT_TRUE(second->tree.CheckInvariants().ok());
+}
+
+TEST(CheckpointTest, CompactionDropsTheOldLog) {
+  // After a checkpoint the old WAL is never needed again: recovery from
+  // (new snapshot, new WAL) matches the live tree even though the old log
+  // is gone.
+  std::ostringstream wal0;
+  WalWriter writer0(&wal0, Box2::UnitCube(), SmallOptions());
+  PrTree<2> tree(Box2::UnitCube(), SmallOptions());
+  Pcg32 rng(12);
+  for (int i = 0; i < 100; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    if (tree.Insert(p).ok()) {
+      ASSERT_TRUE(writer0.LogInsert(p).ok());
+    }
+  }
+  uint64_t anchor = writer0.next_sequence() - 1;
+  std::ostringstream snapshot, wal1;
+  StatusOr<WalWriter> writer1 = Checkpoint(tree, anchor, &snapshot, &wal1);
+  ASSERT_TRUE(writer1.ok());
+  Point2 extra(0.987, 0.654);
+  ASSERT_TRUE(tree.Insert(extra).ok());
+  ASSERT_TRUE(writer1->LogInsert(extra).ok());
+  StatusOr<RecoverResult> recovered =
+      Recover(snapshot.str(), wal1.str());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->tree.LiveCensus(), tree.LiveCensus());
+  EXPECT_EQ(recovered->last_sequence, anchor + 1);
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,199 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "spatial/pr_tree.h"
+#include "spatial/serialization.h"
+#include "util/random.h"
+#include "util/text_io.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+// Strips the checksum trailer, applies `edit` to the body, and re-signs it
+// so the tampered snapshot passes the checksum phase and exercises the
+// semantic verification behind it.
+std::string TamperAndResign(const std::string& snapshot,
+                            const std::string& from,
+                            const std::string& to) {
+  size_t trailer = snapshot.rfind("checksum ");
+  EXPECT_NE(trailer, std::string::npos);
+  std::string body = snapshot.substr(0, trailer);
+  size_t pos = body.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  body.replace(pos, from.size(), to);
+  return body + "checksum " + std::to_string(Fnv1a(body)) + "\n";
+}
+
+PrTree<2> RandomTree(size_t n, size_t capacity, uint64_t seed) {
+  PrTreeOptions options;
+  options.capacity = capacity;
+  options.max_depth = 25;
+  PrTree<2> tree(Box2::UnitCube(), options);
+  Pcg32 rng(seed);
+  while (tree.size() < n) {
+    (void)tree.Insert(Point2(rng.NextDouble(), rng.NextDouble()));
+  }
+  return tree;
+}
+
+TEST(SnapshotTest, RoundTripsAcrossCapacities) {
+  for (size_t capacity : {1u, 4u, 16u}) {
+    PrTree<2> tree = RandomTree(400, capacity, 11 + capacity);
+    StatusOr<std::string> text = SnapshotToString(tree, 400);
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(text.value());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->sequence, 400u);
+    EXPECT_EQ(loaded->tree.size(), tree.size());
+    EXPECT_EQ(loaded->tree.LeafCount(), tree.LeafCount());
+    EXPECT_EQ(loaded->tree.LiveCensus(), tree.LiveCensus());
+    EXPECT_TRUE(loaded->tree.CheckInvariants().ok());
+  }
+}
+
+TEST(SnapshotTest, EmptyTreeRoundTripsWithItsAnchor) {
+  PrTreeOptions options;
+  options.capacity = 3;
+  options.max_depth = 12;
+  PrTree<2> tree(Box2::UnitCube(4.0), options);
+  StatusOr<std::string> text = SnapshotToString(tree, 77);
+  ASSERT_TRUE(text.ok());
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(text.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sequence, 77u);
+  EXPECT_EQ(loaded->tree.size(), 0u);
+  EXPECT_EQ(loaded->tree.bounds(), tree.bounds());
+  EXPECT_EQ(loaded->tree.capacity(), 3u);
+  EXPECT_EQ(loaded->tree.max_depth(), 12u);
+}
+
+TEST(SnapshotTest, PointsSurviveExactly) {
+  PrTree<2> tree = RandomTree(200, 2, 5);
+  std::vector<Point2> original = tree.AllPoints();
+  StatusOr<std::string> text = SnapshotToString(tree, 1);
+  ASSERT_TRUE(text.ok());
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(text.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const Point2& p : original) {
+    EXPECT_TRUE(loaded->tree.Contains(p)) << p.ToString();
+  }
+}
+
+TEST(SnapshotTest, CrlfTranslationDoesNotBreakTheChecksum) {
+  PrTree<2> tree = RandomTree(50, 2, 9);
+  StatusOr<std::string> text = SnapshotToString(tree, 50);
+  ASSERT_TRUE(text.ok());
+  std::string crlf;
+  for (char c : text.value()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(crlf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->tree.size(), tree.size());
+}
+
+TEST(SnapshotTest, BitFlipIsDetectedByTheChecksum) {
+  PrTree<2> tree = RandomTree(100, 2, 21);
+  StatusOr<std::string> text = SnapshotToString(tree, 100);
+  ASSERT_TRUE(text.ok());
+  std::string corrupt = text.value();
+  // Flip a bit in the middle of the leaf data.
+  corrupt[corrupt.size() / 2] ^= 0x04;
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("checksum"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, TruncationIsDetected) {
+  PrTree<2> tree = RandomTree(100, 2, 22);
+  StatusOr<std::string> text = SnapshotToString(tree, 100);
+  ASSERT_TRUE(text.ok());
+  for (size_t keep :
+       {size_t{0}, size_t{10}, text.value().size() / 2,
+        text.value().size() - 20}) {
+    StatusOr<PrTreeSnapshot> loaded =
+        ReadPrTreeSnapshot(text.value().substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(SnapshotTest, ResignedForgedOptionsFailCanonicalVerification) {
+  // A snapshot whose checksum has been recomputed after tampering must
+  // still fail: the leaf list no longer matches the unique PR
+  // decomposition for the declared options.
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 20;
+  PrTree<2> tree(Box2::UnitCube(), options);
+  ASSERT_TRUE(tree.Insert(Point2(0.25, 0.25)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.75, 0.75)).ok());
+  ASSERT_GT(tree.LeafCount(), 1u);
+  StatusOr<std::string> text = SnapshotToString(tree, 2);
+  ASSERT_TRUE(text.ok());
+  std::string forged = TamperAndResign(text.value(), "options 1 20",
+                                       "options 4 20");
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(forged);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("inconsistent"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SnapshotTest, ResignedMisattributedPointIsRejected) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 20;
+  PrTree<2> tree(Box2::UnitCube(), options);
+  ASSERT_TRUE(tree.Insert(Point2(0.25, 0.25)).ok());
+  ASSERT_TRUE(tree.Insert(Point2(0.75, 0.75)).ok());
+  StatusOr<std::string> text = SnapshotToString(tree, 2);
+  ASSERT_TRUE(text.ok());
+  // Move a point into another leaf's block without moving the leaf.
+  std::string forged =
+      TamperAndResign(text.value(), "0.25 0.25", "0.85 0.85");
+  StatusOr<PrTreeSnapshot> loaded = ReadPrTreeSnapshot(forged);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("wrong leaf block"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SnapshotTest, TreesTooDeepForLocationalCodesAreRejectedAtWrite) {
+  PrTreeOptions options;
+  options.capacity = 1;
+  options.max_depth = 50;
+  PrTree<2> tree(Box2::UnitCube(), options);
+  // Two points whose separation needs ~40 splits: beyond the 31-level
+  // locational codes the snapshot leaf records use.
+  ASSERT_TRUE(tree.Insert(Point2(0.5, 0.5)).ok());
+  ASSERT_TRUE(
+      tree.Insert(Point2(0.5 + 0x1p-40, 0.5 + 0x1p-40)).ok());
+  std::ostringstream out;
+  Status status = WriteSnapshot(tree, 2, &out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("too deep"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(SnapshotTest, SerializeNoLongerLeaksPrecision) {
+  // Regression: Serialize() used to leave setprecision(17) on the stream.
+  PrTree<2> tree = RandomTree(20, 2, 30);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSnapshot(tree, 20, &out).ok());
+  size_t before = out.str().size();
+  out << 1.0 / 3.0;
+  std::ostringstream expect;
+  expect << 1.0 / 3.0;
+  EXPECT_EQ(out.str().substr(before), expect.str());
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,5 +1,7 @@
 #include "spatial/wal.h"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +32,8 @@ TEST(WalTest, HeaderOnlyRecoversEmptyTree) {
   EXPECT_EQ(recovery->records_applied, 0u);
   EXPECT_FALSE(recovery->truncated_tail);
   EXPECT_EQ(recovery->tree.capacity(), 2u);
+  EXPECT_EQ(recovery->next_sequence, 1u);
+  EXPECT_EQ(recovery->valid_bytes, log.str().size());
 }
 
 TEST(WalTest, ReplayReconstructsTheTree) {
@@ -42,13 +46,13 @@ TEST(WalTest, ReplayReconstructsTheTree) {
     if (live.empty() || rng.NextBounded(3) != 0) {
       Point2 p(rng.NextDouble(), rng.NextDouble());
       if (reference.Insert(p).ok()) {
-        writer.LogInsert(p);
+        ASSERT_TRUE(writer.LogInsert(p).ok());
         live.push_back(p);
       }
     } else {
       size_t idx = rng.NextBounded(static_cast<uint32_t>(live.size()));
       ASSERT_TRUE(reference.Erase(live[idx]).ok());
-      writer.LogErase(live[idx]);
+      ASSERT_TRUE(writer.LogErase(live[idx]).ok());
       live[idx] = live.back();
       live.pop_back();
     }
@@ -62,23 +66,156 @@ TEST(WalTest, ReplayReconstructsTheTree) {
     EXPECT_TRUE(recovery->tree.Contains(p));
   }
   EXPECT_TRUE(recovery->tree.CheckInvariants().ok());
+  EXPECT_EQ(recovery->valid_bytes, log.str().size());
+  EXPECT_EQ(recovery->next_sequence, recovery->last_sequence + 1);
 }
 
 TEST(WalTest, SequenceNumbersAreConsecutive) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  EXPECT_EQ(writer.LogInsert(Point2(0.1, 0.1)), 1u);
-  EXPECT_EQ(writer.LogInsert(Point2(0.2, 0.2)), 2u);
-  EXPECT_EQ(writer.LogErase(Point2(0.1, 0.1)), 3u);
+  EXPECT_EQ(writer.LogInsert(Point2(0.1, 0.1)).value(), 1u);
+  EXPECT_EQ(writer.LogInsert(Point2(0.2, 0.2)).value(), 2u);
+  EXPECT_EQ(writer.LogErase(Point2(0.1, 0.1)).value(), 3u);
   EXPECT_EQ(writer.next_sequence(), 4u);
+}
+
+TEST(WalTest, AppendRejectsNonFiniteCoordinates) {
+  // The reader's ParseDouble rejects non-finite values, so logging one
+  // would silently truncate the rest of the log at recovery. The writer
+  // must refuse at append time, without consuming a sequence number or
+  // writing anything.
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  const std::string header = log.str();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(writer.LogInsert(Point2(nan, 0.5)).ok());
+  EXPECT_FALSE(writer.LogInsert(Point2(0.5, inf)).ok());
+  EXPECT_FALSE(writer.LogErase(Point2(-inf, nan)).ok());
+  EXPECT_EQ(writer.next_sequence(), 1u);
+  EXPECT_EQ(log.str(), header);
+  // A valid record after the rejections still gets sequence 1 and the
+  // whole log replays cleanly.
+  EXPECT_EQ(writer.LogInsert(Point2(0.5, 0.5)).value(), 1u);
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->records_applied, 1u);
+}
+
+TEST(WalTest, AppendRejectsOutOfBoundsPoints) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  const std::string header = log.str();
+  EXPECT_EQ(writer.LogInsert(Point2(1.5, 0.5)).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(writer.LogErase(Point2(-0.1, 0.5)).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(log.str(), header);
+}
+
+TEST(WalTest, ResumeConstructorContinuesARecoveredLog) {
+  // The resume/collision bug: a fresh writer starts at sequence 1, so
+  // appending to a recovered log makes replay discard everything after
+  // the old tail as a sequence gap. The fix: recover, truncate to
+  // valid_bytes, resume at next_sequence.
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.9, 0.9)).ok());
+
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok());
+  ASSERT_EQ(recovery->next_sequence, 3u);
+
+  std::string resumed = log.str().substr(0, recovery->valid_bytes);
+  std::ostringstream tail;
+  WalWriter appender(&tail, Box2::UnitCube(),
+                     WalWriter::ResumeAt{recovery->next_sequence});
+  EXPECT_EQ(appender.LogErase(Point2(0.1, 0.1)).value(), 3u);
+  EXPECT_EQ(appender.LogInsert(Point2(0.4, 0.6)).value(), 4u);
+  resumed += tail.str();
+
+  StatusOr<WalRecovery> replayed = ReplayWal(resumed);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_FALSE(replayed->truncated_tail) << replayed->truncation_reason;
+  EXPECT_EQ(replayed->records_applied, 4u);
+  EXPECT_EQ(replayed->tree.size(), 2u);
+  EXPECT_FALSE(replayed->tree.Contains(Point2(0.1, 0.1)));
+  EXPECT_TRUE(replayed->tree.Contains(Point2(0.4, 0.6)));
+}
+
+TEST(WalTest, FreshWriterCollidesWithoutResume) {
+  // Document the failure mode the resume constructor exists for.
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  std::ostringstream tail;
+  WalWriter collider(&tail, Box2::UnitCube(),
+                     WalWriter::ResumeAt{1});  // wrong: 1 already used
+  ASSERT_TRUE(collider.LogInsert(Point2(0.9, 0.9)).ok());
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str() + tail.str());
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->truncation_reason, "sequence gap");
+  EXPECT_EQ(recovery->records_applied, 1u);
+}
+
+TEST(WalTest, AnchoredLogRequiresItsSnapshot) {
+  PrTreeOptions options = SmallOptions();
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), options, /*anchor=*/7);
+  EXPECT_EQ(writer.next_sequence(), 8u);
+  EXPECT_FALSE(ReplayWal(log.str()).ok());
+}
+
+TEST(WalTest, ReplayOntoBaseContinuesFromTheAnchor) {
+  PrTreeOptions options = SmallOptions();
+  PrTree<2> base(Box2::UnitCube(), options);
+  ASSERT_TRUE(base.Insert(Point2(0.25, 0.25)).ok());
+  ASSERT_TRUE(base.Insert(Point2(0.75, 0.75)).ok());
+
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), options, /*anchor=*/2);
+  EXPECT_EQ(writer.LogErase(Point2(0.25, 0.25)).value(), 3u);
+  EXPECT_EQ(writer.LogInsert(Point2(0.5, 0.5)).value(), 4u);
+
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str(), base, 2);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->records_applied, 2u);
+  EXPECT_EQ(recovery->last_sequence, 4u);
+  EXPECT_EQ(recovery->next_sequence, 5u);
+  EXPECT_EQ(recovery->tree.size(), 2u);
+  EXPECT_TRUE(recovery->tree.Contains(Point2(0.5, 0.5)));
+  EXPECT_FALSE(recovery->tree.Contains(Point2(0.25, 0.25)));
+
+  // Mismatched anchor or geometry is a pairing error, not a torn tail.
+  EXPECT_EQ(ReplayWal(log.str(), base, 5).status().code(),
+            StatusCode::kFailedPrecondition);
+  PrTree<2> other(Box2::UnitCube(2.0), options);
+  EXPECT_EQ(ReplayWal(log.str(), other, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WalTest, PreAnchorHeadersStillReplay) {
+  // Headers written before the anchor token existed have 8 tokens and are
+  // implicitly anchored at 0.
+  std::string text = "popan-wal v1 2 20 0 0 1 1\n";
+  uint64_t checksum = WalChecksum(1, 'I', 0.5, 0.5);
+  text += "1 I 0.5 0.5 " + std::to_string(checksum) + "\n";
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_EQ(recovery->records_applied, 1u);
 }
 
 TEST(WalTest, TornTailIsDiscardedNotFatal) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  writer.LogInsert(Point2(0.1, 0.1));
-  writer.LogInsert(Point2(0.9, 0.9));
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.9, 0.9)).ok());
   std::string text = log.str();
+  size_t full = text.size();
   // Simulate a crash mid-write: drop the last 10 characters.
   text.resize(text.size() - 10);
   StatusOr<WalRecovery> recovery = ReplayWal(text);
@@ -87,13 +224,69 @@ TEST(WalTest, TornTailIsDiscardedNotFatal) {
   EXPECT_EQ(recovery->records_applied, 1u);
   EXPECT_TRUE(recovery->tree.Contains(Point2(0.1, 0.1)));
   EXPECT_FALSE(recovery->tree.Contains(Point2(0.9, 0.9)));
+  // The intact prefix ends exactly where the second record began.
+  EXPECT_LT(recovery->valid_bytes, full - 10);
+  StatusOr<WalRecovery> prefix =
+      ReplayWal(text.substr(0, recovery->valid_bytes));
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_FALSE(prefix->truncated_tail);
+  EXPECT_EQ(prefix->records_applied, 1u);
+}
+
+TEST(WalTest, UnterminatedFinalRecordIsTorn) {
+  // A record missing its newline is not durable even if every token is
+  // present — the terminator is the commit marker.
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  std::string text = log.str();
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->truncated_tail);
+  EXPECT_EQ(recovery->truncation_reason, "torn record (no terminator)");
+  EXPECT_EQ(recovery->records_applied, 0u);
+}
+
+TEST(WalTest, CrlfLineEndingsReplayIdentically) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.9, 0.9)).ok());
+  std::string crlf;
+  for (char c : log.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  StatusOr<WalRecovery> recovery = ReplayWal(crlf);
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->records_applied, 2u);
+  EXPECT_EQ(recovery->valid_bytes, crlf.size());
+}
+
+TEST(WalTest, BlankLinesMidLogAreHarmless) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  std::string text = log.str() + "\n\n";
+  std::ostringstream tail;
+  WalWriter appender(&tail, Box2::UnitCube(), WalWriter::ResumeAt{2});
+  ASSERT_TRUE(appender.LogInsert(Point2(0.9, 0.9)).ok());
+  text += tail.str();
+  StatusOr<WalRecovery> recovery = ReplayWal(text);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->records_applied, 2u);
+  EXPECT_EQ(recovery->valid_bytes, text.size());
 }
 
 TEST(WalTest, CorruptChecksumStopsReplay) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  writer.LogInsert(Point2(0.1, 0.1));
-  writer.LogInsert(Point2(0.9, 0.9));
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.9, 0.9)).ok());
   std::string text = log.str();
   // Flip a digit of the second record's x coordinate; its checksum no
   // longer matches.
@@ -110,7 +303,7 @@ TEST(WalTest, CorruptChecksumStopsReplay) {
 TEST(WalTest, SequenceGapStopsReplay) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  writer.LogInsert(Point2(0.1, 0.1));
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
   // Hand-craft a record with sequence 5 (valid checksum, wrong sequence).
   uint64_t checksum = WalChecksum(5, 'I', 0.5, 0.5);
   std::string text = log.str() + "5 I 0.5 0.5 " +
@@ -121,15 +314,22 @@ TEST(WalTest, SequenceGapStopsReplay) {
   EXPECT_EQ(recovery->truncation_reason, "sequence gap");
 }
 
-TEST(WalTest, InapplicableRecordStopsReplay) {
-  // An erase of a point that is not stored signals log/state divergence.
+TEST(WalTest, EraseOfMissingPointStopsReplayWithReason) {
+  // An erase of a point that is not stored signals log/state divergence;
+  // the truncation reason carries the underlying status.
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  writer.LogErase(Point2(0.5, 0.5));
+  ASSERT_TRUE(writer.LogErase(Point2(0.5, 0.5)).ok());
   StatusOr<WalRecovery> recovery = ReplayWal(log.str());
   ASSERT_TRUE(recovery.ok());
   EXPECT_TRUE(recovery->truncated_tail);
   EXPECT_EQ(recovery->records_applied, 0u);
+  EXPECT_NE(recovery->truncation_reason.find("record does not apply"),
+            std::string::npos)
+      << recovery->truncation_reason;
+  EXPECT_NE(recovery->truncation_reason.find("NotFound"),
+            std::string::npos)
+      << recovery->truncation_reason;
 }
 
 TEST(WalTest, BadHeaderIsFatal) {
@@ -139,6 +339,11 @@ TEST(WalTest, BadHeaderIsFatal) {
       ReplayWal(std::string("popan-wal v1 0 20 0 0 1 1\n")).ok());
   EXPECT_FALSE(
       ReplayWal(std::string("popan-wal v1 2 20 1 0 0 1\n")).ok());
+  // A header missing its newline is a torn header write, not a log.
+  EXPECT_FALSE(ReplayWal(std::string("popan-wal v1 2 20 0 0 1 1 0")).ok());
+  // Ten tokens is no known header shape.
+  EXPECT_FALSE(
+      ReplayWal(std::string("popan-wal v1 2 20 0 0 1 1 0 0\n")).ok());
 }
 
 TEST(WalTest, ChecksumIsContentSensitive) {
@@ -154,11 +359,54 @@ TEST(WalTest, FullPrecisionSurvivesTheRoundTrip) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
   Point2 p(0.12345678901234567, 0.98765432109876543);
-  writer.LogInsert(p);
+  ASSERT_TRUE(writer.LogInsert(p).ok());
   StatusOr<WalRecovery> recovery = ReplayWal(log.str());
   ASSERT_TRUE(recovery.ok());
   EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
   EXPECT_TRUE(recovery->tree.Contains(p));
+}
+
+TEST(WalTest, ExtremeCoordinatesRoundTrip) {
+  // Denormals, signed zero and 17-digit worst cases must survive the
+  // decimal round trip bit-for-bit (the checksum hashes the binary
+  // doubles, so any rounding would read back as corruption).
+  PrTreeOptions options;
+  options.capacity = 2;
+  options.max_depth = 40;
+  Box2 bounds(Point2(-1.0, -1.0), Point2(1.0, 1.0));
+  const std::vector<Point2> extremes = {
+      Point2(4.9406564584124654e-324, 0.5),    // smallest denormal
+      Point2(-4.9406564584124654e-324, -0.5),  // and its negation
+      Point2(2.2250738585072014e-308, 2.2250738585072009e-308),
+      Point2(0.0, -0.0),                       // signed zero pair
+      Point2(0.1000000000000000055511151231257827, 0.3),
+      Point2(0.99999999999999989, -0.99999999999999989),
+  };
+  std::ostringstream log;
+  WalWriter writer(&log, bounds, options);
+  for (const Point2& p : extremes) {
+    ASSERT_TRUE(writer.LogInsert(p).ok()) << p.ToString();
+  }
+  StatusOr<WalRecovery> recovery = ReplayWal(log.str());
+  ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();
+  EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
+  EXPECT_EQ(recovery->records_applied, extremes.size());
+  for (const Point2& p : extremes) {
+    EXPECT_TRUE(recovery->tree.Contains(p)) << p.ToString();
+  }
+}
+
+TEST(WalTest, WriterDoesNotLeakStreamFormatting) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  // The default 6-digit rendering must still be in force after the
+  // writer's precision-17 records.
+  size_t before = log.str().size();
+  log << 1.0 / 3.0;
+  std::ostringstream expect;
+  expect << 1.0 / 3.0;
+  EXPECT_EQ(log.str().substr(before), expect.str());
 }
 
 }  // namespace
