@@ -92,7 +92,13 @@ int main() {
 
   // §III inline result: the simple PR quadtree.
   PopulationModel m1(TreeModelParams{1, 4});
-  SteadyState theory = SolveSteadyState(m1).value();
+  popan::StatusOr<SteadyState> m1_theory = SolveSteadyState(m1);
+  if (!m1_theory.ok()) {
+    std::fprintf(stderr, "m=1 solver failure: %s\n",
+                 m1_theory.status().ToString().c_str());
+    return 1;
+  }
+  SteadyState theory = std::move(m1_theory).value();
   ExperimentSpec spec;
   spec.capacity = 1;
   spec.num_points = 1000;

@@ -33,7 +33,14 @@ int main() {
   for (int i = 0; i < 3000; ++i) {
     Point2 p(rng.NextDouble(), rng.NextDouble());
     if (live.Contains(p)) continue;
-    wal.LogInsert(p);
+    // Log-before-apply: a record that cannot be appended must abort the
+    // mutation, or the tree would hold state the log can never replay.
+    popan::StatusOr<uint64_t> logged = wal.LogInsert(p);
+    if (!logged.ok()) {
+      std::fprintf(stderr, "log append failed: %s\n",
+                   logged.status().ToString().c_str());
+      return 1;
+    }
     popan::Status s = live.Insert(p);
     if (!s.ok()) {
       std::fprintf(stderr, "apply failed: %s\n", s.ToString().c_str());
@@ -43,8 +50,17 @@ int main() {
   // Retire a region, logging each erase.
   auto retired = live.RangeQuery(Box2(Point2(0.0, 0.0), Point2(0.2, 0.2)));
   for (const Point2& p : retired) {
-    wal.LogErase(p);
-    live.Erase(p).ok();
+    popan::StatusOr<uint64_t> logged = wal.LogErase(p);
+    if (!logged.ok()) {
+      std::fprintf(stderr, "log append failed: %s\n",
+                   logged.status().ToString().c_str());
+      return 1;
+    }
+    popan::Status erased = live.Erase(p);
+    if (!erased.ok()) {
+      std::fprintf(stderr, "erase failed: %s\n", erased.ToString().c_str());
+      return 1;
+    }
   }
   std::printf("live index: %zu points in %zu leaves after %llu logged "
               "operations\n",

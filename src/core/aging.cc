@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::core {
 
@@ -37,6 +38,7 @@ AgingReport AnalyzeAging(const spatial::Census& census,
 
 std::string AgingReport::ToString() const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed;
   os << "depth   leaves    items    occupancy\n";
   for (const AgingDepthRow& row : rows) {

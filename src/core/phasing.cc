@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::core {
 
@@ -81,6 +82,7 @@ PhasingAnalysis AnalyzePhasing(const OccupancySeries& series) {
 
 std::string PhasingAnalysis::ToString() const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(3);
   os << "phasing: mean=" << mean << " stddev=" << stddev
      << " maxima=" << maxima.size() << " minima=" << minima.size()

@@ -34,6 +34,7 @@ double SpectralAnalysis::PredictedIterations(double tolerance) const {
   return std::log(tolerance) / std::log(contraction_rate);
 }
 
+[[nodiscard]]
 StatusOr<SpectralAnalysis> AnalyzeSpectrum(const PopulationModel& model) {
   SteadyStateOptions options;
   options.method = SolverMethod::kNewton;

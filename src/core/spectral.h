@@ -37,6 +37,7 @@ num::Matrix InsertionMapJacobian(const PopulationModel& model,
 
 /// Solves the steady state internally and analyzes the linearization.
 /// Returns NotConverged/NumericError from the underlying solvers.
+[[nodiscard]]
 StatusOr<SpectralAnalysis> AnalyzeSpectrum(const PopulationModel& model);
 
 }  // namespace popan::core

@@ -20,6 +20,7 @@ std::string_view SolverMethodToString(SolverMethod method) {
 
 namespace {
 
+[[nodiscard]]
 StatusOr<SteadyState> Finish(const PopulationModel& model, num::Vector e,
                              int iterations, SolverMethod method) {
   // The solution must be a positive probability vector; the model
@@ -45,6 +46,7 @@ StatusOr<SteadyState> Finish(const PopulationModel& model, num::Vector e,
 
 }  // namespace
 
+[[nodiscard]]
 StatusOr<SteadyState> SolveSteadyState(const PopulationModel& model,
                                        const SteadyStateOptions& options) {
   num::Vector start = model.UniformDistribution();

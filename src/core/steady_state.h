@@ -61,6 +61,7 @@ struct SteadyState {
 /// this library. Verifies positivity before returning; a non-positive
 /// result yields NumericError (it would indicate a transform matrix
 /// outside the model's assumptions).
+[[nodiscard]]
 StatusOr<SteadyState> SolveSteadyState(const PopulationModel& model,
                                        const SteadyStateOptions& options = {});
 

@@ -7,7 +7,7 @@
 
 namespace popan::core {
 
-Status ValidateParams(const TreeModelParams& params) {
+[[nodiscard]] Status ValidateParams(const TreeModelParams& params) {
   if (params.capacity < 1) {
     return Status::InvalidArgument("capacity must be >= 1");
   }
@@ -85,7 +85,7 @@ num::Vector RowSums(const TreeModelParams& params) {
   return sums;
 }
 
-StatusOr<num::Vector> SkewedSplitTransformRow(
+[[nodiscard]] StatusOr<num::Vector> SkewedSplitTransformRow(
     size_t capacity, const std::vector<double>& quadrant_probs) {
   if (capacity < 1 || capacity > 512) {
     return Status::InvalidArgument("capacity out of range");
@@ -127,7 +127,7 @@ StatusOr<num::Vector> SkewedSplitTransformRow(
   return row;
 }
 
-StatusOr<num::Matrix> BuildSkewedTransformMatrix(
+[[nodiscard]] StatusOr<num::Matrix> BuildSkewedTransformMatrix(
     size_t capacity, const std::vector<double>& quadrant_probs) {
   POPAN_ASSIGN_OR_RETURN(num::Vector split_row,
                          SkewedSplitTransformRow(capacity, quadrant_probs));

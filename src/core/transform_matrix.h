@@ -25,7 +25,7 @@ struct TreeModelParams {
 
 /// Validates params (capacity >= 1, fanout >= 2, sizes small enough for
 /// stable double arithmetic: capacity <= 512, fanout <= 1024).
-Status ValidateParams(const TreeModelParams& params);
+[[nodiscard]] Status ValidateParams(const TreeModelParams& params);
 
 /// The expected number of child blocks receiving exactly `i` of `n` items
 /// when a block of fanout `c` splits and the items scatter independently
@@ -73,11 +73,11 @@ double SplitRowSum(const TreeModelParams& params);
 /// the same skew. Models locally skewed data (e.g. the diagonal
 /// distribution) with the same steady-state machinery. All probabilities
 /// must be in (0, 1) and the fold mass P_{m+1} must stay below 1.
-StatusOr<num::Vector> SkewedSplitTransformRow(
+[[nodiscard]] StatusOr<num::Vector> SkewedSplitTransformRow(
     size_t capacity, const std::vector<double>& quadrant_probs);
 
 /// Full transform matrix with the skewed split row.
-StatusOr<num::Matrix> BuildSkewedTransformMatrix(
+[[nodiscard]] StatusOr<num::Matrix> BuildSkewedTransformMatrix(
     size_t capacity, const std::vector<double>& quadrant_probs);
 
 }  // namespace popan::core

@@ -7,7 +7,7 @@
 
 namespace popan::num {
 
-StatusOr<int64_t> BinomialExact(int n, int k) {
+[[nodiscard]] StatusOr<int64_t> BinomialExact(int n, int k) {
   if (n < 0 || k < 0 || k > n) {
     return Status::InvalidArgument("BinomialExact requires 0 <= k <= n");
   }
@@ -15,8 +15,11 @@ StatusOr<int64_t> BinomialExact(int n, int k) {
   // 128-bit intermediates: after step i the value is C(n-k+i, i), which is
   // at most C(n, k); the transient product before dividing by i can exceed
   // int64 even when the final coefficient fits.
-  unsigned __int128 result = 1;
-  const unsigned __int128 kMax = std::numeric_limits<int64_t>::max();
+  // __extension__ keeps -Wpedantic quiet about the GCC/Clang-specific
+  // 128-bit type; both toolchains this project builds with provide it.
+  __extension__ typedef unsigned __int128 uint128;
+  uint128 result = 1;
+  const uint128 kMax = std::numeric_limits<int64_t>::max();
   for (int i = 1; i <= k; ++i) {
     result = result * static_cast<unsigned>(n - k + i) /
              static_cast<unsigned>(i);

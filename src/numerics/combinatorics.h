@@ -11,7 +11,7 @@ namespace popan::num {
 /// NumericError on overflow (first overflow at C(67, 33) ≈ 1.4e19 > 2^63).
 /// The population models use n ≤ m+1 with m ≤ 64, which is safe for every
 /// capacity this library supports.
-StatusOr<int64_t> BinomialExact(int n, int k);
+[[nodiscard]] StatusOr<int64_t> BinomialExact(int n, int k);
 
 /// Binomial coefficient as a double via lgamma; exact to double precision
 /// for the small arguments used here and overflow-free for large ones.

@@ -10,7 +10,7 @@ namespace popan::num {
 namespace {
 
 /// Normalizes to unit L2 norm with a deterministic sign convention.
-Status NormalizeDirection(Vector* v) {
+[[nodiscard]] Status NormalizeDirection(Vector* v) {
   double norm = v->NormL2();
   if (!(norm > 0.0) || !std::isfinite(norm)) {
     return Status::NumericError("degenerate iterate in power iteration");
@@ -27,7 +27,7 @@ Status NormalizeDirection(Vector* v) {
 
 }  // namespace
 
-StatusOr<EigenPair> PowerIteration(const Matrix& a,
+[[nodiscard]] StatusOr<EigenPair> PowerIteration(const Matrix& a,
                                    const PowerIterationOptions& options) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("power iteration requires a square matrix");
@@ -76,7 +76,7 @@ StatusOr<EigenPair> PowerIteration(const Matrix& a,
                               " iterations");
 }
 
-StatusOr<EigenPair> ShiftedPowerIteration(
+[[nodiscard]] StatusOr<EigenPair> ShiftedPowerIteration(
     const Matrix& a, double shift, const PowerIterationOptions& options) {
   Matrix shifted = a;
   for (size_t i = 0; i < a.rows(); ++i) {
@@ -87,7 +87,7 @@ StatusOr<EigenPair> ShiftedPowerIteration(
   return pair;
 }
 
-StatusOr<double> SpectralRadius(const Matrix& a, int iterations) {
+[[nodiscard]] StatusOr<double> SpectralRadius(const Matrix& a, int iterations) {
   if (a.rows() != a.cols() || a.rows() == 0) {
     return Status::InvalidArgument("spectral radius needs a square matrix");
   }

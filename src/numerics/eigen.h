@@ -26,7 +26,7 @@ struct EigenPair {
 /// matrices (Perron–Frobenius) and the linearized insertion maps this
 /// library feeds it. Returns NotConverged when the gap is too small
 /// within the budget, NumericError if iterates degenerate.
-StatusOr<EigenPair> PowerIteration(const Matrix& a,
+[[nodiscard]] StatusOr<EigenPair> PowerIteration(const Matrix& a,
                                    const PowerIterationOptions& options = {});
 
 /// The dominant eigenvalue of `a - shift I`, shifted back — power
@@ -34,7 +34,7 @@ StatusOr<EigenPair> PowerIteration(const Matrix& a,
 /// eigenvalue of a stochastic-like map: call with shift = dominant value
 /// after deflating is not needed when the dominant eigenvector is known;
 /// see DeflateOnce.
-StatusOr<EigenPair> ShiftedPowerIteration(
+[[nodiscard]] StatusOr<EigenPair> ShiftedPowerIteration(
     const Matrix& a, double shift,
     const PowerIterationOptions& options = {});
 
@@ -44,6 +44,7 @@ StatusOr<EigenPair> ShiftedPowerIteration(
 /// geometric mean of the per-step norm growth over the tail of the run
 /// (||A^k v|| ~ rho^k up to a bounded oscillation). Returns 0 for
 /// nilpotent-like maps whose iterates vanish.
+[[nodiscard]]
 StatusOr<double> SpectralRadius(const Matrix& a, int iterations = 2000);
 
 /// Removes a known eigenpair by Hotelling deflation:

@@ -16,7 +16,7 @@ bool AllFinite(const Vector& v) {
 
 }  // namespace
 
-StatusOr<FixedPointResult> FixedPointIterate(
+[[nodiscard]] StatusOr<FixedPointResult> FixedPointIterate(
     const std::function<Vector(const Vector&)>& g, const Vector& x0,
     const FixedPointOptions& options) {
   if (options.damping <= 0.0 || options.damping > 1.0) {

@@ -33,7 +33,7 @@ struct FixedPointResult {
 ///
 /// Returns NotConverged if the iteration budget is exhausted, and
 /// NumericError if an iterate turns non-finite.
-StatusOr<FixedPointResult> FixedPointIterate(
+[[nodiscard]] StatusOr<FixedPointResult> FixedPointIterate(
     const std::function<Vector(const Vector&)>& g, const Vector& x0,
     const FixedPointOptions& options = {});
 

@@ -94,6 +94,7 @@ double LuDecomposition::Determinant() const {
   return det;
 }
 
+[[nodiscard]]
 StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
   POPAN_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Factor(a));
   return lu.Solve(b);

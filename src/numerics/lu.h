@@ -17,7 +17,7 @@ class LuDecomposition {
  public:
   /// Factors `a`, which must be square. Returns NumericError if the matrix
   /// is singular to working precision (a pivot below `pivot_tolerance`).
-  static StatusOr<LuDecomposition> Factor(const Matrix& a,
+  [[nodiscard]] static StatusOr<LuDecomposition> Factor(const Matrix& a,
                                           double pivot_tolerance = 1e-13);
 
   /// Solves A x = b for one right-hand side. `b.size()` must equal n.
@@ -45,6 +45,7 @@ class LuDecomposition {
 };
 
 /// One-shot convenience: factor `a` and solve A x = b.
+[[nodiscard]]
 StatusOr<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
 
 }  // namespace popan::num

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::num {
 
@@ -144,6 +145,7 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
 
 std::string Matrix::ToString(int precision) const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(precision);
   for (size_t r = 0; r < rows_; ++r) {
     os << "[";

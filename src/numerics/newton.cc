@@ -11,7 +11,7 @@ namespace {
 
 /// Shared driver: `make_jacobian` produces J(x) and reports how many extra
 /// function evaluations it spent (0 for analytic, n for forward-difference).
-StatusOr<NewtonResult> NewtonDriver(
+[[nodiscard]] StatusOr<NewtonResult> NewtonDriver(
     const VectorFunction& f,
     const std::function<Matrix(const Vector&, int*)>& make_jacobian,
     const Vector& x0, const NewtonOptions& options) {
@@ -99,7 +99,7 @@ Matrix NumericJacobian(const VectorFunction& f, const Vector& x, double h) {
   return jac;
 }
 
-StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
+[[nodiscard]] StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
                                    const JacobianFunction& jacobian,
                                    const Vector& x0,
                                    const NewtonOptions& options) {
@@ -109,6 +109,7 @@ StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
       x0, options);
 }
 
+[[nodiscard]]
 StatusOr<NewtonResult> NewtonSolveNumericJacobian(const VectorFunction& f,
                                                   const Vector& x0,
                                                   const NewtonOptions& options) {

@@ -42,13 +42,13 @@ using JacobianFunction = std::function<Matrix(const Vector&)>;
 /// Damped (backtracking line-search) Newton's method for F(x) = 0 starting
 /// from `x0`, with an analytic Jacobian. Returns NotConverged if the
 /// iteration budget is exhausted and NumericError if a Jacobian is singular.
-StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
+[[nodiscard]] StatusOr<NewtonResult> NewtonSolve(const VectorFunction& f,
                                    const JacobianFunction& jacobian,
                                    const Vector& x0,
                                    const NewtonOptions& options = {});
 
 /// As above, approximating the Jacobian by forward differences.
-StatusOr<NewtonResult> NewtonSolveNumericJacobian(
+[[nodiscard]] StatusOr<NewtonResult> NewtonSolveNumericJacobian(
     const VectorFunction& f, const Vector& x0,
     const NewtonOptions& options = {});
 

@@ -37,7 +37,7 @@ class Polynomial {
 
   /// Finds a real root in [lo, hi] by bisection. Requires a sign change
   /// over the bracket; returns InvalidArgument otherwise.
-  StatusOr<double> RootInBracket(double lo, double hi,
+  [[nodiscard]] StatusOr<double> RootInBracket(double lo, double hi,
                                  double tolerance = 1e-14) const;
 
   /// Finds all real roots in [lo, hi] by recursively bracketing between the

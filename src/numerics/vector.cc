@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::num {
 
@@ -105,6 +106,7 @@ double Vector::MaxAbsDiff(const Vector& other) const {
 
 std::string Vector::ToString(int precision) const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(precision) << "(";
   for (size_t i = 0; i < data_.size(); ++i) {
     if (i != 0) os << ", ";

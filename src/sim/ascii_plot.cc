@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::sim {
 
@@ -70,6 +71,7 @@ std::string AsciiPlot(const std::string& title, const std::vector<double>& xs,
   }
 
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << title << "\n";
   os << std::fixed << std::setprecision(2);
   for (size_t r = 0; r < h; ++r) {
@@ -87,6 +89,7 @@ std::string AsciiPlot(const std::string& title, const std::vector<double>& xs,
   labels << std::string(10, ' ');
   std::string left = options.log_x ? "log scale " : "";
   std::ostringstream lo_label, hi_label;
+  StreamFormatGuard lo_guard(&lo_label), hi_guard(&hi_label);
   lo_label << std::fixed << std::setprecision(0) << xs.front();
   hi_label << std::fixed << std::setprecision(0) << xs.back();
   labels << lo_label.str() << " " << left

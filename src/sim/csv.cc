@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include "util/text_io.h"
 
 namespace popan::sim {
 
@@ -26,6 +27,9 @@ void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  // buffer_ is a member stream: without the guard the precision would
+  // stick across rows and leak into non-numeric cells.
+  StreamFormatGuard guard(&buffer_);
   for (size_t i = 0; i < values.size(); ++i) {
     if (i != 0) buffer_ << ",";
     buffer_ << std::setprecision(17) << values[i];

@@ -26,7 +26,7 @@ class CsvWriter {
   std::string ToString() const { return buffer_.str(); }
 
   /// Writes the CSV to a file; Status on I/O failure.
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
  private:
   static std::string Escape(const std::string& cell);

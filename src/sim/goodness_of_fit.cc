@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/text_io.h"
 
 namespace popan::sim {
 
@@ -63,7 +64,7 @@ double ChiSquareSurvival(double x, size_t dof) {
   return RegularizedGammaQ(static_cast<double>(dof) / 2.0, x / 2.0);
 }
 
-StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
+[[nodiscard]] StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
     const std::vector<double>& observed,
     const num::Vector& expected_probabilities) {
   if (observed.empty()) {
@@ -136,6 +137,7 @@ StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
 
 std::string ChiSquareResult::ToString() const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(3) << "chi2=" << statistic
      << " dof=" << dof << " p=" << std::setprecision(4) << p_value
      << " bins=" << merged_bins;

@@ -31,7 +31,7 @@ struct ChiSquareResult {
 /// Adjacent bins are pooled until every expected count is >= 5 (the
 /// classical validity rule). InvalidArgument when fewer than two bins
 /// survive or inputs are degenerate.
-StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
+[[nodiscard]] StatusOr<ChiSquareResult> ChiSquareGoodnessOfFit(
     const std::vector<double>& observed,
     const num::Vector& expected_probabilities);
 

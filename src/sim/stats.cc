@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+#include "util/text_io.h"
 
 namespace popan::sim {
 
@@ -151,6 +152,7 @@ double Histogram::ProportionAt(size_t bin) const {
 
 std::string SampleSummary::ToString(int precision) const {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(precision) << mean << " +- "
      << (ci95_high - mean) << " (n=" << n << ")";
   return os.str();

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <iomanip>
 #include <sstream>
+#include "util/text_io.h"
 
 namespace popan::sim {
 
 std::string TextTable::Fmt(double value, int precision) {
   std::ostringstream os;
+  StreamFormatGuard guard(&os);
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();
 }

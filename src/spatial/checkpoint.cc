@@ -5,6 +5,7 @@
 
 namespace popan::spatial {
 
+[[nodiscard]]
 StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
                                std::ostream* snapshot_out,
                                std::ostream* wal_out) {
@@ -15,7 +16,7 @@ StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
   return WalWriter(wal_out, tree.bounds(), options, last_sequence);
 }
 
-StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
+[[nodiscard]] StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
                                 std::istream* wal_in) {
   POPAN_ASSIGN_OR_RETURN(PrTreeSnapshot snapshot,
                          ReadPrTreeSnapshot(snapshot_in));
@@ -53,7 +54,7 @@ StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
   return result;
 }
 
-StatusOr<RecoverResult> Recover(const std::string& snapshot,
+[[nodiscard]] StatusOr<RecoverResult> Recover(const std::string& snapshot,
                                 const std::string& wal) {
   std::istringstream snapshot_in(snapshot);
   std::istringstream wal_in(wal);

@@ -29,6 +29,7 @@ namespace popan::spatial {
 /// written (checksum trailer last) before the new log's header, so a
 /// crash between the two leaves a pair that recovery either accepts whole
 /// or rejects cleanly — never half-applies.
+[[nodiscard]]
 StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
                                std::ostream* snapshot_out,
                                std::ostream* wal_out);
@@ -62,9 +63,9 @@ struct RecoverResult {
 ///  - log anchored elsewhere / geometry mismatch: FailedPrecondition —
 ///    the caller paired the wrong snapshot and log;
 ///  - recovered tree fails its invariants: Internal (a bug, not bad data).
-StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
+[[nodiscard]] StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
                                 std::istream* wal_in);
-StatusOr<RecoverResult> Recover(const std::string& snapshot,
+[[nodiscard]] StatusOr<RecoverResult> Recover(const std::string& snapshot,
                                 const std::string& wal);
 
 }  // namespace popan::spatial

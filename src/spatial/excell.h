@@ -54,14 +54,14 @@ class Excell {
   /// Inserts a point. OutOfRange outside the domain; AlreadyExists for a
   /// duplicate; ResourceExhausted when separating the points would need a
   /// directory deeper than max_global_depth.
-  Status Insert(const PointT& p);
+  [[nodiscard]] Status Insert(const PointT& p);
 
   /// True iff an equal point is stored (one directory probe).
   bool Contains(const PointT& p) const;
 
   /// Removes a point; NotFound if absent. Buddy buckets whose combined
   /// contents fit are merged and the directory shrinks when possible.
-  Status Erase(const PointT& p);
+  [[nodiscard]] Status Erase(const PointT& p);
 
   /// All stored points inside `query` (half-open).
   std::vector<PointT> RangeQuery(const BoxT& query) const;
@@ -84,7 +84,7 @@ class Excell {
 
   /// Verifies directory/bucket invariants (pointer multiplicity and
   /// alignment, geometric placement of every point, size accounting).
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Bucket {

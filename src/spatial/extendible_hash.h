@@ -55,7 +55,7 @@ class ExtendibleHash {
   /// Inserts a key. Returns AlreadyExists for duplicates and
   /// ResourceExhausted if splitting would exceed max_global_depth (only
   /// possible with pathological key sets, e.g. many identical pseudokeys).
-  Status Insert(uint64_t key);
+  [[nodiscard]] Status Insert(uint64_t key);
 
   /// True iff the key is stored.
   bool Contains(uint64_t key) const;
@@ -63,7 +63,7 @@ class ExtendibleHash {
   /// Removes a key; NotFound if absent. After removal, buddy buckets whose
   /// combined contents fit one bucket are merged, and the directory halves
   /// when every bucket's local depth allows it.
-  Status Erase(uint64_t key);
+  [[nodiscard]] Status Erase(uint64_t key);
 
   /// Calls fn(local_depth, occupancy) for every bucket — the census hook.
   template <typename Fn>
@@ -88,7 +88,7 @@ class ExtendibleHash {
 
   /// Verifies directory/bucket invariants (prefix consistency, pointer
   /// multiplicity 2^(global-local), key placement).
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Bucket {
@@ -114,7 +114,7 @@ class ExtendibleHash {
   // depth d holding exactly i keys, kept exact through every mutation.
   void HistAdd(size_t local_depth, size_t occupancy);
   void HistRemove(size_t local_depth, size_t occupancy);
-  Status CheckLiveHistogram() const;
+  [[nodiscard]] Status CheckLiveHistogram() const;
 
   ExtendibleHashOptions options_;
   size_t global_depth_ = 0;

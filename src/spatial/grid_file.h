@@ -52,13 +52,13 @@ class GridFile {
 
   /// Inserts a point. OutOfRange outside the domain, AlreadyExists for a
   /// duplicate.
-  Status Insert(const PointT& p);
+  [[nodiscard]] Status Insert(const PointT& p);
 
   /// True iff an equal point is stored.
   bool Contains(const PointT& p) const;
 
   /// Removes a point; NotFound if absent.
-  Status Erase(const PointT& p);
+  [[nodiscard]] Status Erase(const PointT& p);
 
   /// All stored points inside `query` (half-open).
   std::vector<PointT> RangeQuery(const BoxT& query) const;
@@ -77,7 +77,7 @@ class GridFile {
   }
 
   /// Verifies directory/bucket invariants.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Bucket {

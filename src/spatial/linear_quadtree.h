@@ -36,7 +36,7 @@ class LinearPrQuadtree {
   /// points are rejected (AlreadyExists), out-of-bounds points are
   /// rejected (OutOfRange). options.max_depth is clamped to
   /// MortonCode::kMaxDepth.
-  static StatusOr<LinearPrQuadtree> BulkLoad(
+  [[nodiscard]] static StatusOr<LinearPrQuadtree> BulkLoad(
       const geo::Box2& bounds, std::vector<geo::Point2> points,
       const PrTreeOptions& options = {});
 
@@ -76,7 +76,7 @@ class LinearPrQuadtree {
   /// Verifies the linear-quadtree invariants: codes strictly ascending,
   /// descendant intervals exactly tiling the root interval, every point
   /// inside its leaf's block, occupancy <= capacity away from max_depth.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   LinearPrQuadtree(const geo::Box2& bounds, const PrTreeOptions& options)

@@ -38,14 +38,14 @@ class MxQuadtree {
 
   /// Inserts cell (x, y). OutOfRange outside the grid; AlreadyExists for
   /// an occupied cell.
-  Status Insert(uint32_t x, uint32_t y);
+  [[nodiscard]] Status Insert(uint32_t x, uint32_t y);
 
   /// True iff cell (x, y) is occupied.
   bool Contains(uint32_t x, uint32_t y) const;
 
   /// Removes a point; NotFound when the cell is empty. Emptied subtrees
   /// are pruned, so the node count shrinks back.
-  Status Erase(uint32_t x, uint32_t y);
+  [[nodiscard]] Status Erase(uint32_t x, uint32_t y);
 
   /// All occupied cells with x in [x0, x1) and y in [y0, y1), in Z order.
   std::vector<std::pair<uint32_t, uint32_t>> RangeQuery(uint32_t x0,
@@ -65,7 +65,7 @@ class MxQuadtree {
 
   /// Verifies: every materialized internal node has >= 1 child, leaves
   /// only at full depth, size accounting.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Node {
@@ -100,6 +100,7 @@ class MxQuadtree {
     }
   }
 
+  [[nodiscard]]
   Status CheckRec(NodeIndex idx, size_t block, size_t* points_seen) const;
 
   size_t bits_;

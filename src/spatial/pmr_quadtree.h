@@ -56,7 +56,7 @@ class PmrQuadtree {
 
   /// Inserts a segment; returns its id. The segment must intersect the
   /// root block (OutOfRange otherwise).
-  Status Insert(const geo::Segment& segment);
+  [[nodiscard]] Status Insert(const geo::Segment& segment);
 
   /// The segment with the given id. Ids are dense, assigned in insertion
   /// order starting at 0.
@@ -94,7 +94,7 @@ class PmrQuadtree {
   /// max depth or leaves whose split is pending by the once-per-insert
   /// rule... (the PMR invariant allows transient over-threshold leaves, so
   /// only containment/coverage are checked).
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Node {
@@ -116,7 +116,7 @@ class PmrQuadtree {
   void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
                 std::vector<SegmentId>* out) const;
 
-  Status CheckRec(NodeIndex idx, const BoxT& box) const;
+  [[nodiscard]] Status CheckRec(NodeIndex idx, const BoxT& box) const;
 
   /// Calls fn(box, segment_ids) for every leaf (internal helper for the
   /// coverage invariant check).

@@ -32,7 +32,7 @@ class PointQuadtree {
   bool empty() const { return size() == 0; }
 
   /// Inserts a point. Returns AlreadyExists for an exact duplicate.
-  Status Insert(const PointT& p);
+  [[nodiscard]] Status Insert(const PointT& p);
 
   /// True iff an equal point is stored.
   bool Contains(const PointT& p) const;
@@ -42,7 +42,7 @@ class PointQuadtree {
   std::vector<PointT> RangeQuery(const BoxT& query) const;
 
   /// The stored point nearest to `target`; NotFound when empty.
-  StatusOr<PointT> Nearest(const PointT& target) const;
+  [[nodiscard]] StatusOr<PointT> Nearest(const PointT& target) const;
 
   /// Maximum node depth (root = 0); 0 for an empty tree. The comparison
   /// statistic: point quadtrees built from random insertion orders have

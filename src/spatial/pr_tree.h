@@ -119,7 +119,7 @@ class PrTree {
 
   /// Inserts `p`. Returns OutOfRange if p is outside the root block and
   /// AlreadyExists if an equal point is already stored.
-  Status Insert(const PointT& p) {
+  [[nodiscard]] Status Insert(const PointT& p) {
     if (!bounds_.Contains(p)) {
       return Status::OutOfRange("point outside the tree bounds");
     }
@@ -232,7 +232,7 @@ class PrTree {
   /// any chain of internal nodes whose total occupancy fits in one leaf is
   /// collapsed, so the tree is always the minimal decomposition for its
   /// contents (insertion order independence — a defining PR property).
-  Status Erase(const PointT& p) {
+  [[nodiscard]] Status Erase(const PointT& p) {
     if (!bounds_.Contains(p)) {
       return Status::NotFound("point outside the tree bounds");
     }
@@ -280,7 +280,7 @@ class PrTree {
 
   /// Returns the stored point nearest to `target` (Euclidean metric), or
   /// NotFound on an empty tree. Ties broken arbitrarily.
-  StatusOr<PointT> Nearest(const PointT& target) const {
+  [[nodiscard]] StatusOr<PointT> Nearest(const PointT& target) const {
     if (size_ == 0) return Status::NotFound("tree is empty");
     PointT best;
     double best_d2 = std::numeric_limits<double>::infinity();
@@ -417,7 +417,7 @@ class PrTree {
   ///  - no internal node's subtree fits within `capacity` (minimality);
   ///  - cached size / leaf counts match reality;
   ///  - the live census histogram matches a fresh walk of the tree.
-  Status CheckInvariants() const {
+  [[nodiscard]] Status CheckInvariants() const {
     size_t points_seen = 0;
     size_t leaves_seen = 0;
     Status s = CheckRec(root_, bounds_, 0, &points_seen, &leaves_seen);
@@ -477,7 +477,7 @@ class PrTree {
     --live_hist_[depth][occ];
   }
 
-  Status CheckLiveHistogram() const {
+  [[nodiscard]] Status CheckLiveHistogram() const {
     std::vector<std::vector<uint64_t>> walked;
     VisitLeaves([&walked](const BoxT&, size_t depth, size_t occ) {
       if (depth >= walked.size()) walked.resize(depth + 1);
@@ -615,7 +615,7 @@ class PrTree {
     }
   }
 
-  Status CheckRec(NodeIndex idx, const BoxT& box, size_t depth,
+  [[nodiscard]] Status CheckRec(NodeIndex idx, const BoxT& box, size_t depth,
                   size_t* points_seen, size_t* leaves_seen) const {
     const Node& node = arena_.Get(idx);
     if (node.is_leaf) {

@@ -23,14 +23,14 @@ class RegionQuadtree {
  public:
   /// An all-white (false) image of the given side, which must be a power
   /// of two between 1 and 2^15.
-  static StatusOr<RegionQuadtree> Empty(size_t side);
+  [[nodiscard]] static StatusOr<RegionQuadtree> Empty(size_t side);
 
   /// An all-black (true) image.
-  static StatusOr<RegionQuadtree> Full(size_t side);
+  [[nodiscard]] static StatusOr<RegionQuadtree> Full(size_t side);
 
   /// Builds from a row-major raster (pixels[y * side + x] != 0 = black).
   /// `pixels.size()` must equal side * side.
-  static StatusOr<RegionQuadtree> FromRaster(
+  [[nodiscard]] static StatusOr<RegionQuadtree> FromRaster(
       const std::vector<uint8_t>& pixels, size_t side);
 
   /// Image side length in pixels.
@@ -84,7 +84,7 @@ class RegionQuadtree {
 
   /// Verifies normalization (no four same-color leaf siblings), shape and
   /// the cached census counters.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
  private:
   struct Node {
@@ -114,7 +114,7 @@ class RegionQuadtree {
   NodeIndex CopyRec(const RegionQuadtree& from, NodeIndex idx);
   static bool Equal(const RegionQuadtree& a, NodeIndex ai,
                     const RegionQuadtree& b, NodeIndex bi);
-  Status CheckRec(NodeIndex idx, size_t block) const;
+  [[nodiscard]] Status CheckRec(NodeIndex idx, size_t block) const;
 
   template <typename Fn>
   void VisitRec(NodeIndex idx, size_t x0, size_t y0, size_t block,

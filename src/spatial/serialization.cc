@@ -62,6 +62,7 @@ std::string SerializeToString(const LinearPrQuadtree& tree) {
   return os.str();
 }
 
+[[nodiscard]]
 StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(std::istream* in) {
   std::vector<std::string> tokens;
   if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
@@ -145,7 +146,7 @@ StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(std::istream* in) {
   return tree;
 }
 
-StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
+[[nodiscard]] StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
     const std::string& text) {
   std::istringstream in(text);
   return DeserializeLinearPrQuadtree(&in);
@@ -191,6 +192,7 @@ std::string SerializeToString(const RegionQuadtree& tree) {
   return os.str();
 }
 
+[[nodiscard]]
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in) {
   std::vector<std::string> tokens;
   if (!ReadTokens(in, &tokens) || tokens.size() != 2 ||
@@ -254,12 +256,13 @@ StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in) {
   return tree;
 }
 
+[[nodiscard]]
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text) {
   std::istringstream in(text);
   return DeserializeRegionQuadtree(&in);
 }
 
-Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
+[[nodiscard]] Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
                      std::ostream* out) {
   size_t deepest = 0;
   tree.VisitLeaves([&deepest](const geo::Box2&, size_t depth, size_t) {
@@ -274,6 +277,7 @@ Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
   // canonical form the reader re-derives and verifies.
   LinearPrQuadtree linear = LinearPrQuadtree::FromTree(tree);
   std::ostringstream body;
+  StreamFormatGuard body_guard(&body);
   body << kSnapshotMagic << "\n";
   body << "sequence " << sequence << "\n";
   body << std::setprecision(17);
@@ -298,14 +302,14 @@ Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
   return Status::OK();
 }
 
-StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
+[[nodiscard]] StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
                                        uint64_t sequence) {
   std::ostringstream os;
   POPAN_RETURN_IF_ERROR(WriteSnapshot(tree, sequence, &os));
   return os.str();
 }
 
-StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in) {
+[[nodiscard]] StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in) {
   // Phase 1: accumulate the body up to the checksum trailer and verify it
   // before interpreting anything. Lines are normalized to LF so a CRLF
   // round trip through another tool does not break the checksum.
@@ -452,6 +456,7 @@ StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in) {
   return PrTreeSnapshot{std::move(tree), sequence};
 }
 
+[[nodiscard]]
 StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(const std::string& text) {
   std::istringstream in(text);
   return ReadPrTreeSnapshot(&in);

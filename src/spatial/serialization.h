@@ -54,8 +54,9 @@ void Serialize(const LinearPrQuadtree& tree, std::ostream* out);
 std::string SerializeToString(const LinearPrQuadtree& tree);
 
 /// Parses a linear PR quadtree; validates invariants before returning.
+[[nodiscard]]
 StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(std::istream* in);
-StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
+[[nodiscard]] StatusOr<LinearPrQuadtree> DeserializeLinearPrQuadtree(
     const std::string& text);
 
 /// Writes `tree` to `out`.
@@ -63,7 +64,9 @@ void Serialize(const RegionQuadtree& tree, std::ostream* out);
 std::string SerializeToString(const RegionQuadtree& tree);
 
 /// Parses a region quadtree; validates that the leaves tile the image.
+[[nodiscard]]
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(std::istream* in);
+[[nodiscard]]
 StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text);
 
 /// Writes a checksummed snapshot of `tree`, anchored at WAL sequence
@@ -71,9 +74,9 @@ StatusOr<RegionQuadtree> DeserializeRegionQuadtree(const std::string& text);
 /// tree was never logged). Fails with InvalidArgument when a leaf is
 /// deeper than locational codes can express (MortonCode::kMaxDepth); the
 /// stream is untouched in that case.
-Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
+[[nodiscard]] Status WriteSnapshot(const PrTree<2>& tree, uint64_t sequence,
                      std::ostream* out);
-StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
+[[nodiscard]] StatusOr<std::string> SnapshotToString(const PrTree<2>& tree,
                                        uint64_t sequence);
 
 /// A loaded snapshot: the reconstructed tree plus its WAL anchor.
@@ -89,7 +92,8 @@ struct PrTreeSnapshot {
 /// decomposition is unique for a point set), so any corruption,
 /// duplication or loss that slipped past the checksum still surfaces as
 /// InvalidArgument rather than a silently wrong tree.
-StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in);
+[[nodiscard]] StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(std::istream* in);
+[[nodiscard]]
 StatusOr<PrTreeSnapshot> ReadPrTreeSnapshot(const std::string& text);
 
 }  // namespace popan::spatial

@@ -26,7 +26,7 @@ struct WalHeader {
   size_t bytes = 0;  ///< raw bytes the header line occupied
 };
 
-StatusOr<WalHeader> ParseHeader(std::istream* in) {
+[[nodiscard]] StatusOr<WalHeader> ParseHeader(std::istream* in) {
   std::vector<std::string> tokens;
   size_t consumed = 0;
   if (!ReadTokens(in, &tokens, &consumed) || in->eof() ||
@@ -182,7 +182,7 @@ StatusOr<uint64_t> WalWriter::LogErase(const geo::Point2& p) {
   return Append('E', p);
 }
 
-StatusOr<WalRecovery> ReplayWal(std::istream* in) {
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(std::istream* in) {
   POPAN_ASSIGN_OR_RETURN(WalHeader header, ParseHeader(in));
   if (header.anchor != 0) {
     return Status::InvalidArgument(
@@ -195,11 +195,12 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in) {
   return recovery;
 }
 
-StatusOr<WalRecovery> ReplayWal(const std::string& text) {
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(const std::string& text) {
   std::istringstream in(text);
   return ReplayWal(&in);
 }
 
+[[nodiscard]]
 StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
                                 uint64_t base_sequence) {
   POPAN_ASSIGN_OR_RETURN(WalHeader header, ParseHeader(in));
@@ -221,7 +222,7 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
   return recovery;
 }
 
-StatusOr<WalRecovery> ReplayWal(const std::string& text,
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(const std::string& text,
                                 const PrTree<2>& base,
                                 uint64_t base_sequence) {
   std::istringstream in(text);

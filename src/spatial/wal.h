@@ -60,16 +60,16 @@ class WalWriter {
   /// Fails (InvalidArgument / OutOfRange) without writing anything when
   /// the point is non-finite or outside the logged bounds — such a record
   /// would truncate replay at recovery time.
-  StatusOr<uint64_t> LogInsert(const geo::Point2& p);
+  [[nodiscard]] StatusOr<uint64_t> LogInsert(const geo::Point2& p);
 
   /// Appends an erase record, with the same append-time validation.
-  StatusOr<uint64_t> LogErase(const geo::Point2& p);
+  [[nodiscard]] StatusOr<uint64_t> LogErase(const geo::Point2& p);
 
   /// Sequence number of the next record.
   uint64_t next_sequence() const { return next_sequence_; }
 
  private:
-  StatusOr<uint64_t> Append(char op, const geo::Point2& p);
+  [[nodiscard]] StatusOr<uint64_t> Append(char op, const geo::Point2& p);
 
   std::ostream* out_;
   geo::Box2 bounds_;
@@ -105,17 +105,18 @@ struct WalRecovery {
 /// write after a crash. Records that no longer apply cleanly (duplicate
 /// insert, erase of a missing point) also stop replay: they indicate a
 /// log/state mismatch.
-StatusOr<WalRecovery> ReplayWal(std::istream* in);
-StatusOr<WalRecovery> ReplayWal(const std::string& text);
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(std::istream* in);
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(const std::string& text);
 
 /// Replays a log anchored at `base_sequence` onto a copy of `base` (the
 /// state a snapshot restored). Fails with InvalidArgument for an unusable
 /// header and FailedPrecondition when the header's anchor or geometry do
 /// not match `base` — that pairing mismatch means the caller handed the
 /// wrong snapshot/log pair, not a torn tail.
+[[nodiscard]]
 StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
                                 uint64_t base_sequence);
-StatusOr<WalRecovery> ReplayWal(const std::string& text,
+[[nodiscard]] StatusOr<WalRecovery> ReplayWal(const std::string& text,
                                 const PrTree<2>& base,
                                 uint64_t base_sequence);
 

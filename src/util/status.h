@@ -36,7 +36,12 @@ std::string_view StatusCodeToString(StatusCode code);
 ///   Status s = tree.Insert(p);
 ///   if (!s.ok()) return s;
 /// \endcode
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status and
+/// ignores it is a compile error under -Werror, not a latent silent
+/// failure. Intentional drops must be spelled (void)call() with a
+/// popan-lint suppression explaining why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -52,35 +57,35 @@ class Status {
   Status& operator=(Status&&) noexcept = default;
 
   /// Factory helpers, one per error code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status NotConverged(std::string msg) {
+  [[nodiscard]] static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
   }
-  static Status NumericError(std::string msg) {
+  [[nodiscard]] static Status NumericError(std::string msg) {
     return Status(StatusCode::kNumericError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 

@@ -17,8 +17,11 @@ namespace popan {
 ///   if (!result.ok()) return result.status();
 ///   Use(result.value());
 /// \endcode
+///
+/// Like Status, the class is [[nodiscard]]: discarding a returned
+/// StatusOr (result and error alike) is a compile error under -Werror.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. CHECK-fails if `status` is OK, since
   /// an OK StatusOr must carry a value.

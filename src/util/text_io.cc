@@ -23,7 +23,7 @@ bool ReadTokens(std::istream* in, std::vector<std::string>* tokens,
   return true;
 }
 
-StatusOr<uint64_t> ParseU64(const std::string& s) {
+[[nodiscard]] StatusOr<uint64_t> ParseU64(const std::string& s) {
   uint64_t value = 0;
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   if (ec != std::errc() || ptr != s.data() + s.size()) {
@@ -32,7 +32,7 @@ StatusOr<uint64_t> ParseU64(const std::string& s) {
   return value;
 }
 
-StatusOr<double> ParseDouble(const std::string& s) {
+[[nodiscard]] StatusOr<double> ParseDouble(const std::string& s) {
   double value = 0.0;
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   if (ec != std::errc() || ptr != s.data() + s.size() ||

@@ -28,11 +28,11 @@ bool ReadTokens(std::istream* in, std::vector<std::string>* tokens,
                 size_t* consumed = nullptr);
 
 /// Parses a whole-string base-10 unsigned integer.
-StatusOr<uint64_t> ParseU64(const std::string& s);
+[[nodiscard]] StatusOr<uint64_t> ParseU64(const std::string& s);
 
 /// Parses a whole-string real number; rejects NaN and infinities, which
 /// none of the on-disk formats admit.
-StatusOr<double> ParseDouble(const std::string& s);
+[[nodiscard]] StatusOr<double> ParseDouble(const std::string& s);
 
 /// FNV-1a over a byte buffer — the checksum primitive behind WAL records
 /// and snapshot trailers.

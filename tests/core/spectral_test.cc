@@ -7,6 +7,8 @@
 #include "core/steady_state.h"
 #include "numerics/newton.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan::core {
 namespace {
 
@@ -24,7 +26,7 @@ TEST(SpectralTest, JacobianMatchesNumericDifferentiation) {
 
 TEST(SpectralTest, JacobianAnnihilatesTheFixedPoint) {
   PopulationModel model(TreeModelParams{4, 4});
-  SteadyState steady = SolveSteadyState(model).value();
+  SteadyState steady = ValueOrDie(SolveSteadyState(model));
   num::Matrix jac = InsertionMapJacobian(model, steady.distribution);
   num::Vector image = jac.Apply(steady.distribution);
   EXPECT_LT(image.NormInf(), 1e-9);
@@ -32,7 +34,7 @@ TEST(SpectralTest, JacobianAnnihilatesTheFixedPoint) {
 
 TEST(SpectralTest, JacobianPreservesZeroSum) {
   PopulationModel model(TreeModelParams{5, 4});
-  SteadyState steady = SolveSteadyState(model).value();
+  SteadyState steady = ValueOrDie(SolveSteadyState(model));
   num::Matrix jac = InsertionMapJacobian(model, steady.distribution);
   // Column sums of the (column-acting) Jacobian must vanish so that
   // perturbation images stay on the zero-sum tangent space.
@@ -67,11 +69,11 @@ TEST(SpectralTest, PredictsFixedPointIterationCount) {
   // iterations ~ log(tol)/log(rate): compare against the actual solver.
   for (size_t m : {2u, 4u, 8u}) {
     PopulationModel model(TreeModelParams{m, 4});
-    SpectralAnalysis analysis = AnalyzeSpectrum(model).value();
+    SpectralAnalysis analysis = ValueOrDie(AnalyzeSpectrum(model));
     SteadyStateOptions options;
     options.method = SolverMethod::kFixedPoint;
     options.tolerance = 1e-13;
-    SteadyState solved = SolveSteadyState(model, options).value();
+    SteadyState solved = ValueOrDie(SolveSteadyState(model, options));
     double predicted = analysis.PredictedIterations(1e-13);
     // Same order of magnitude and within a factor ~2.5 (transient +
     // stopping-criterion differences).

@@ -8,6 +8,8 @@
 #include "core/steady_state.h"
 #include "numerics/combinatorics.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan::core {
 namespace {
 
@@ -199,7 +201,7 @@ TEST(SkewedSplitRowTest, SkewLowersSteadyOccupancy) {
   // locally skewed data.)
   const size_t m = 4;
   std::vector<double> skew = {0.7, 0.1, 0.1, 0.1};
-  num::Matrix skewed_t = BuildSkewedTransformMatrix(m, skew).value();
+  num::Matrix skewed_t = ValueOrDie(BuildSkewedTransformMatrix(m, skew));
   PopulationModel skewed_model{std::move(skewed_t)};
   PopulationModel uniform_model{TreeModelParams{m, 4}};
   double occ_skewed =

@@ -17,6 +17,8 @@
 #include "spatial/region_quadtree.h"
 #include "util/random.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan {
 namespace {
 
@@ -165,7 +167,7 @@ TEST_P(StressTest, MxAndRegionQuadtreesAsBitmaps) {
   const size_t side = 32;
   spatial::MxQuadtree mx(5);
   spatial::RegionQuadtree region =
-      spatial::RegionQuadtree::Empty(side).value();
+      ValueOrDie(spatial::RegionQuadtree::Empty(side));
   Pcg32 rng(GetParam() ^ 0xB1737);
   for (int op = 0; op < 120; ++op) {
     uint32_t x0 = rng.NextBounded(side), y0 = rng.NextBounded(side);

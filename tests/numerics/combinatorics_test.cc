@@ -4,22 +4,24 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/statusor_testing.h"
+
 namespace popan::num {
 namespace {
 
 TEST(BinomialExactTest, SmallValues) {
-  EXPECT_EQ(BinomialExact(0, 0).value(), 1);
-  EXPECT_EQ(BinomialExact(5, 0).value(), 1);
-  EXPECT_EQ(BinomialExact(5, 5).value(), 1);
-  EXPECT_EQ(BinomialExact(5, 2).value(), 10);
-  EXPECT_EQ(BinomialExact(10, 3).value(), 120);
-  EXPECT_EQ(BinomialExact(52, 5).value(), 2598960);
+  EXPECT_EQ(ValueOrDie(BinomialExact(0, 0)), 1);
+  EXPECT_EQ(ValueOrDie(BinomialExact(5, 0)), 1);
+  EXPECT_EQ(ValueOrDie(BinomialExact(5, 5)), 1);
+  EXPECT_EQ(ValueOrDie(BinomialExact(5, 2)), 10);
+  EXPECT_EQ(ValueOrDie(BinomialExact(10, 3)), 120);
+  EXPECT_EQ(ValueOrDie(BinomialExact(52, 5)), 2598960);
 }
 
 TEST(BinomialExactTest, SymmetryProperty) {
   for (int n = 0; n <= 30; ++n) {
     for (int k = 0; k <= n; ++k) {
-      EXPECT_EQ(BinomialExact(n, k).value(), BinomialExact(n, n - k).value())
+      EXPECT_EQ(ValueOrDie(BinomialExact(n, k)), ValueOrDie(BinomialExact(n, n - k)))
           << "n=" << n << " k=" << k;
     }
   }
@@ -28,9 +30,9 @@ TEST(BinomialExactTest, SymmetryProperty) {
 TEST(BinomialExactTest, PascalIdentity) {
   for (int n = 1; n <= 40; ++n) {
     for (int k = 1; k < n; ++k) {
-      EXPECT_EQ(BinomialExact(n, k).value(),
-                BinomialExact(n - 1, k - 1).value() +
-                    BinomialExact(n - 1, k).value());
+      EXPECT_EQ(ValueOrDie(BinomialExact(n, k)),
+                ValueOrDie(BinomialExact(n - 1, k - 1)) +
+                    ValueOrDie(BinomialExact(n - 1, k)));
     }
   }
 }
@@ -53,7 +55,7 @@ TEST(BinomialTest, MatchesExactInSmallRange) {
   for (int n = 0; n <= 40; ++n) {
     for (int k = 0; k <= n; ++k) {
       EXPECT_EQ(Binomial(n, k),
-                static_cast<double>(BinomialExact(n, k).value()));
+                static_cast<double>(ValueOrDie(BinomialExact(n, k))));
     }
   }
 }
@@ -72,7 +74,7 @@ TEST(LogBinomialTest, MatchesLogOfExact) {
   for (int n = 1; n <= 30; ++n) {
     for (int k = 0; k <= n; ++k) {
       double expected =
-          std::log(static_cast<double>(BinomialExact(n, k).value()));
+          std::log(static_cast<double>(ValueOrDie(BinomialExact(n, k))));
       EXPECT_NEAR(LogBinomial(n, k), expected, 1e-10);
     }
   }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/statusor_testing.h"
+
 namespace popan::num {
 namespace {
 
@@ -70,8 +72,8 @@ TEST(PolynomialTest, RootInBracket) {
 
 TEST(PolynomialTest, RootAtBracketEndpoints) {
   Polynomial p({0.0, 1.0});  // x
-  EXPECT_EQ(p.RootInBracket(0.0, 1.0).value(), 0.0);
-  EXPECT_EQ(p.RootInBracket(-1.0, 0.0).value(), 0.0);
+  EXPECT_EQ(ValueOrDie(p.RootInBracket(0.0, 1.0)), 0.0);
+  EXPECT_EQ(ValueOrDie(p.RootInBracket(-1.0, 0.0)), 0.0);
 }
 
 TEST(PolynomialTest, NoSignChangeRejected) {

@@ -6,6 +6,8 @@
 
 #include "util/random.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan::spatial {
 namespace {
 
@@ -18,8 +20,8 @@ std::vector<uint8_t> RandomRaster(size_t side, double density,
 }
 
 TEST(RegionQuadtreeTest, EmptyAndFull) {
-  RegionQuadtree empty = RegionQuadtree::Empty(8).value();
-  RegionQuadtree full = RegionQuadtree::Full(8).value();
+  RegionQuadtree empty = ValueOrDie(RegionQuadtree::Empty(8));
+  RegionQuadtree full = ValueOrDie(RegionQuadtree::Full(8));
   EXPECT_EQ(empty.Area(), 0u);
   EXPECT_EQ(full.Area(), 64u);
   EXPECT_EQ(empty.LeafCount(), 1u);
@@ -38,7 +40,7 @@ TEST(RegionQuadtreeTest, InvalidSides) {
 TEST(RegionQuadtreeTest, RasterRoundTrip) {
   for (uint64_t seed : {1u, 2u, 3u}) {
     std::vector<uint8_t> pixels = RandomRaster(16, 0.4, seed);
-    RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+    RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 16));
     EXPECT_EQ(tree.ToRaster(), pixels);
     EXPECT_TRUE(tree.CheckInvariants().ok());
   }
@@ -50,7 +52,7 @@ TEST(RegionQuadtreeTest, RasterSizeMismatchRejected) {
 
 TEST(RegionQuadtreeTest, AtMatchesRaster) {
   std::vector<uint8_t> pixels = RandomRaster(32, 0.5, 9);
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 32).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 32));
   for (size_t y = 0; y < 32; ++y) {
     for (size_t x = 0; x < 32; ++x) {
       EXPECT_EQ(tree.At(x, y), pixels[y * 32 + x] != 0)
@@ -63,14 +65,14 @@ TEST(RegionQuadtreeTest, AreaMatchesPixelCount) {
   std::vector<uint8_t> pixels = RandomRaster(64, 0.3, 17);
   uint64_t expected = 0;
   for (uint8_t px : pixels) expected += px;
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 64).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 64));
   EXPECT_EQ(tree.Area(), expected);
 }
 
 TEST(RegionQuadtreeTest, ConstructionNormalizes) {
   // A raster that is uniform must collapse to a single leaf.
   std::vector<uint8_t> black(16 * 16, 1);
-  RegionQuadtree tree = RegionQuadtree::FromRaster(black, 16).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(black, 16));
   EXPECT_EQ(tree.LeafCount(), 1u);
   EXPECT_EQ(tree.NodeCount(), 1u);
 }
@@ -80,13 +82,13 @@ TEST(RegionQuadtreeTest, CheckerboardIsMaximal) {
   for (size_t y = 0; y < 8; ++y) {
     for (size_t x = 0; x < 8; ++x) pixels[y * 8 + x] = (x + y) & 1;
   }
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 8).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 8));
   EXPECT_EQ(tree.LeafCount(), 64u);  // nothing merges
   EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
 TEST(RegionQuadtreeTest, SetPixelAndCollapse) {
-  RegionQuadtree tree = RegionQuadtree::Empty(8).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::Empty(8));
   tree.Set(5, 2, true);
   EXPECT_TRUE(tree.At(5, 2));
   EXPECT_EQ(tree.Area(), 1u);
@@ -99,7 +101,7 @@ TEST(RegionQuadtreeTest, SetPixelAndCollapse) {
 }
 
 TEST(RegionQuadtreeTest, SetRectPaintsExactly) {
-  RegionQuadtree tree = RegionQuadtree::Empty(16).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::Empty(16));
   tree.SetRect(3, 5, 11, 9, true);
   EXPECT_EQ(tree.Area(), (11u - 3u) * (9u - 5u));
   for (size_t y = 0; y < 16; ++y) {
@@ -111,14 +113,14 @@ TEST(RegionQuadtreeTest, SetRectPaintsExactly) {
 }
 
 TEST(RegionQuadtreeTest, SetRectAlignedBlockStaysSmall) {
-  RegionQuadtree tree = RegionQuadtree::Empty(16).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::Empty(16));
   tree.SetRect(8, 8, 16, 16, true);  // exactly the NE quadrant
   EXPECT_EQ(tree.LeafCount(), 4u);
   EXPECT_EQ(tree.Area(), 64u);
 }
 
 TEST(RegionQuadtreeTest, EmptyRectIsNoOp) {
-  RegionQuadtree tree = RegionQuadtree::Empty(8).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::Empty(8));
   tree.SetRect(3, 3, 3, 7, true);
   EXPECT_EQ(tree.Area(), 0u);
 }
@@ -126,8 +128,8 @@ TEST(RegionQuadtreeTest, EmptyRectIsNoOp) {
 TEST(RegionQuadtreeTest, UnionMatchesPixelwiseOr) {
   std::vector<uint8_t> pa = RandomRaster(32, 0.3, 21);
   std::vector<uint8_t> pb = RandomRaster(32, 0.3, 22);
-  RegionQuadtree a = RegionQuadtree::FromRaster(pa, 32).value();
-  RegionQuadtree b = RegionQuadtree::FromRaster(pb, 32).value();
+  RegionQuadtree a = ValueOrDie(RegionQuadtree::FromRaster(pa, 32));
+  RegionQuadtree b = ValueOrDie(RegionQuadtree::FromRaster(pb, 32));
   RegionQuadtree u = RegionQuadtree::Union(a, b);
   std::vector<uint8_t> expected(32 * 32);
   for (size_t i = 0; i < expected.size(); ++i) {
@@ -140,8 +142,8 @@ TEST(RegionQuadtreeTest, UnionMatchesPixelwiseOr) {
 TEST(RegionQuadtreeTest, IntersectMatchesPixelwiseAnd) {
   std::vector<uint8_t> pa = RandomRaster(32, 0.6, 23);
   std::vector<uint8_t> pb = RandomRaster(32, 0.6, 24);
-  RegionQuadtree a = RegionQuadtree::FromRaster(pa, 32).value();
-  RegionQuadtree b = RegionQuadtree::FromRaster(pb, 32).value();
+  RegionQuadtree a = ValueOrDie(RegionQuadtree::FromRaster(pa, 32));
+  RegionQuadtree b = ValueOrDie(RegionQuadtree::FromRaster(pb, 32));
   RegionQuadtree i = RegionQuadtree::Intersect(a, b);
   std::vector<uint8_t> expected(32 * 32);
   for (size_t k = 0; k < expected.size(); ++k) {
@@ -153,7 +155,7 @@ TEST(RegionQuadtreeTest, IntersectMatchesPixelwiseAnd) {
 
 TEST(RegionQuadtreeTest, ComplementInvolution) {
   std::vector<uint8_t> pixels = RandomRaster(16, 0.5, 25);
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 16));
   RegionQuadtree twice = tree.Complement().Complement();
   EXPECT_EQ(twice, tree);
   EXPECT_EQ(tree.Complement().Area(), 16u * 16u - tree.Area());
@@ -161,9 +163,9 @@ TEST(RegionQuadtreeTest, ComplementInvolution) {
 
 TEST(RegionQuadtreeTest, DeMorgan) {
   RegionQuadtree a =
-      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 26), 16).value();
+      ValueOrDie(RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 26), 16));
   RegionQuadtree b =
-      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 27), 16).value();
+      ValueOrDie(RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 27), 16));
   RegionQuadtree lhs = RegionQuadtree::Union(a, b).Complement();
   RegionQuadtree rhs =
       RegionQuadtree::Intersect(a.Complement(), b.Complement());
@@ -172,9 +174,9 @@ TEST(RegionQuadtreeTest, DeMorgan) {
 
 TEST(RegionQuadtreeTest, UnionIdentities) {
   RegionQuadtree a =
-      RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 28), 16).value();
-  RegionQuadtree empty = RegionQuadtree::Empty(16).value();
-  RegionQuadtree full = RegionQuadtree::Full(16).value();
+      ValueOrDie(RegionQuadtree::FromRaster(RandomRaster(16, 0.4, 28), 16));
+  RegionQuadtree empty = ValueOrDie(RegionQuadtree::Empty(16));
+  RegionQuadtree full = ValueOrDie(RegionQuadtree::Full(16));
   EXPECT_EQ(RegionQuadtree::Union(a, empty), a);
   EXPECT_EQ(RegionQuadtree::Union(a, full), full);
   EXPECT_EQ(RegionQuadtree::Intersect(a, full), a);
@@ -185,7 +187,7 @@ TEST(RegionQuadtreeTest, UnionIdentities) {
 
 TEST(RegionQuadtreeTest, VisitLeavesTilesImage) {
   std::vector<uint8_t> pixels = RandomRaster(16, 0.35, 29);
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 16).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 16));
   uint64_t covered = 0;
   tree.VisitLeaves([&](size_t, size_t, size_t block, bool) {
     covered += static_cast<uint64_t>(block) * block;
@@ -195,7 +197,7 @@ TEST(RegionQuadtreeTest, VisitLeavesTilesImage) {
 
 TEST(RegionQuadtreeTest, RandomEditsAgainstBitmapOracle) {
   const size_t side = 16;
-  RegionQuadtree tree = RegionQuadtree::Empty(side).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::Empty(side));
   std::vector<uint8_t> oracle(side * side, 0);
   Pcg32 rng(31);
   for (int op = 0; op < 400; ++op) {

@@ -7,6 +7,8 @@
 
 #include "util/random.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan::spatial {
 namespace {
 
@@ -21,13 +23,13 @@ LinearPrQuadtree RandomLinearTree(size_t n, size_t capacity, uint64_t seed) {
   }
   PrTreeOptions options;
   options.capacity = capacity;
-  return LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options)
-      .value();
+  return ValueOrDie(
+      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), points, options));
 }
 
 TEST(LinearSerializationTest, RoundTripEmpty) {
   LinearPrQuadtree tree =
-      LinearPrQuadtree::BulkLoad(Box2::UnitCube(), {}).value();
+      ValueOrDie(LinearPrQuadtree::BulkLoad(Box2::UnitCube(), {}));
   StatusOr<LinearPrQuadtree> loaded =
       DeserializeLinearPrQuadtree(SerializeToString(tree));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -60,7 +62,7 @@ TEST(LinearSerializationTest, RoundTripNonUnitBounds) {
   }
   Box2 bounds(Point2(-10.0, 5.0), Point2(30.0, 6.0));
   LinearPrQuadtree tree =
-      LinearPrQuadtree::BulkLoad(bounds, points).value();
+      ValueOrDie(LinearPrQuadtree::BulkLoad(bounds, points));
   StatusOr<LinearPrQuadtree> loaded =
       DeserializeLinearPrQuadtree(SerializeToString(tree));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -104,7 +106,7 @@ TEST(RegionSerializationTest, RoundTrip) {
   Pcg32 rng(7);
   std::vector<uint8_t> pixels(32 * 32);
   for (auto& px : pixels) px = rng.NextDouble() < 0.4 ? 1 : 0;
-  RegionQuadtree tree = RegionQuadtree::FromRaster(pixels, 32).value();
+  RegionQuadtree tree = ValueOrDie(RegionQuadtree::FromRaster(pixels, 32));
   StatusOr<RegionQuadtree> loaded =
       DeserializeRegionQuadtree(SerializeToString(tree));
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
@@ -113,7 +115,7 @@ TEST(RegionSerializationTest, RoundTrip) {
 }
 
 TEST(RegionSerializationTest, RoundTripUniformImages) {
-  RegionQuadtree full = RegionQuadtree::Full(16).value();
+  RegionQuadtree full = ValueOrDie(RegionQuadtree::Full(16));
   StatusOr<RegionQuadtree> loaded =
       DeserializeRegionQuadtree(SerializeToString(full));
   ASSERT_TRUE(loaded.ok());

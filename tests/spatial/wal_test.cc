@@ -10,6 +10,8 @@
 
 #include "util/random.h"
 
+#include "testing/statusor_testing.h"
+
 namespace popan::spatial {
 namespace {
 
@@ -73,9 +75,9 @@ TEST(WalTest, ReplayReconstructsTheTree) {
 TEST(WalTest, SequenceNumbersAreConsecutive) {
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
-  EXPECT_EQ(writer.LogInsert(Point2(0.1, 0.1)).value(), 1u);
-  EXPECT_EQ(writer.LogInsert(Point2(0.2, 0.2)).value(), 2u);
-  EXPECT_EQ(writer.LogErase(Point2(0.1, 0.1)).value(), 3u);
+  EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.1, 0.1))), 1u);
+  EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.2, 0.2))), 2u);
+  EXPECT_EQ(ValueOrDie(writer.LogErase(Point2(0.1, 0.1))), 3u);
   EXPECT_EQ(writer.next_sequence(), 4u);
 }
 
@@ -96,7 +98,7 @@ TEST(WalTest, AppendRejectsNonFiniteCoordinates) {
   EXPECT_EQ(log.str(), header);
   // A valid record after the rejections still gets sequence 1 and the
   // whole log replays cleanly.
-  EXPECT_EQ(writer.LogInsert(Point2(0.5, 0.5)).value(), 1u);
+  EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.5, 0.5))), 1u);
   StatusOr<WalRecovery> recovery = ReplayWal(log.str());
   ASSERT_TRUE(recovery.ok());
   EXPECT_FALSE(recovery->truncated_tail) << recovery->truncation_reason;
@@ -132,8 +134,8 @@ TEST(WalTest, ResumeConstructorContinuesARecoveredLog) {
   std::ostringstream tail;
   WalWriter appender(&tail, Box2::UnitCube(),
                      WalWriter::ResumeAt{recovery->next_sequence});
-  EXPECT_EQ(appender.LogErase(Point2(0.1, 0.1)).value(), 3u);
-  EXPECT_EQ(appender.LogInsert(Point2(0.4, 0.6)).value(), 4u);
+  EXPECT_EQ(ValueOrDie(appender.LogErase(Point2(0.1, 0.1))), 3u);
+  EXPECT_EQ(ValueOrDie(appender.LogInsert(Point2(0.4, 0.6))), 4u);
   resumed += tail.str();
 
   StatusOr<WalRecovery> replayed = ReplayWal(resumed);
@@ -177,8 +179,8 @@ TEST(WalTest, ReplayOntoBaseContinuesFromTheAnchor) {
 
   std::ostringstream log;
   WalWriter writer(&log, Box2::UnitCube(), options, /*anchor=*/2);
-  EXPECT_EQ(writer.LogErase(Point2(0.25, 0.25)).value(), 3u);
-  EXPECT_EQ(writer.LogInsert(Point2(0.5, 0.5)).value(), 4u);
+  EXPECT_EQ(ValueOrDie(writer.LogErase(Point2(0.25, 0.25))), 3u);
+  EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.5, 0.5))), 4u);
 
   StatusOr<WalRecovery> recovery = ReplayWal(log.str(), base, 2);
   ASSERT_TRUE(recovery.ok()) << recovery.status().ToString();

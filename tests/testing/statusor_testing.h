@@ -1,0 +1,31 @@
+#ifndef POPAN_TESTS_TESTING_STATUSOR_TESTING_H_
+#define POPAN_TESTS_TESTING_STATUSOR_TESTING_H_
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/statusor.h"
+
+namespace popan {
+
+/// Test-only unwrap of a StatusOr: CHECK-fails with the full status when
+/// the result is an error, otherwise moves the value out.
+///
+/// This is the sanctioned spelling for "this factory cannot fail here" in
+/// tests. A bare chained `Foo().value()` is banned by the
+/// status-unchecked-value lint rule even in tests, because it hides the
+/// Status contract at the call site; ValueOrDie names the intent and
+/// keeps the explicit ok() gate in one audited place.
+///
+/// Lives in namespace popan (not a nested testing namespace) so ADL on
+/// the StatusOr argument finds it unqualified from any test namespace.
+template <typename T>
+T ValueOrDie(StatusOr<T> result) {
+  POPAN_CHECK(result.ok()) << "ValueOrDie on error StatusOr: "
+                           << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace popan
+
+#endif  // POPAN_TESTS_TESTING_STATUSOR_TESTING_H_

@@ -1,0 +1,25 @@
+// Fixture: idiomatic code that every rule must accept untouched — the
+// zero-findings baseline for exit-code tests.
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "util/statusor.h"
+#include "util/text_io.h"
+
+namespace demo {
+
+[[nodiscard]] popan::StatusOr<double> Parse(const std::string& text);
+
+double ParseOrZero(const std::string& text) {
+  popan::StatusOr<double> parsed = Parse(text);
+  if (!parsed.ok()) return 0.0;
+  return parsed.value();
+}
+
+void Render(std::ostringstream* os, double v) {
+  popan::StreamFormatGuard guard(os);
+  *os << std::setprecision(17) << v;
+}
+
+}  // namespace demo

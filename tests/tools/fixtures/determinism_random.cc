@@ -1,0 +1,17 @@
+// Fixture: determinism-random positives. Never compiled; linted under a
+// synthetic logical path by popan_lint_test.cc.
+#include <cstdlib>
+#include <random>
+
+namespace demo {
+
+int Roll() {
+  std::random_device rd;  // line 9: hardware entropy
+  return static_cast<int>(rd() % 6);
+}
+
+int LegacyRoll() {
+  return rand() % 6;  // line 14: C library RNG
+}
+
+}  // namespace demo

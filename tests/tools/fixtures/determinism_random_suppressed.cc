@@ -1,0 +1,18 @@
+// Fixture: the same violations as determinism_random.cc, each silenced
+// by a suppression comment (trailing and standalone forms).
+#include <cstdlib>
+#include <random>
+
+namespace demo {
+
+int Roll() {
+  std::random_device rd;  // popan-lint: allow(determinism-random)
+  return static_cast<int>(rd() % 6);
+}
+
+int LegacyRoll() {
+  // popan-lint: allow(determinism-random)
+  return rand() % 6;
+}
+
+}  // namespace demo

@@ -1,0 +1,22 @@
+// Fixture: determinism-time positives. steady_clock is conditionally
+// allowed (bench/ paths); time() and system_clock never are.
+#include <chrono>
+#include <ctime>
+
+namespace demo {
+
+long Stamp() {
+  return time(nullptr);  // line 9: wall-clock everywhere
+}
+
+double WallNow() {
+  auto t = std::chrono::system_clock::now();  // line 13: banned everywhere
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double MonotonicNow() {
+  auto t = std::chrono::steady_clock::now();  // line 18: bench-only
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace demo

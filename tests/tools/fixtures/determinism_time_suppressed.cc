@@ -1,0 +1,23 @@
+// Fixture: determinism_time.cc with every violation suppressed.
+#include <chrono>
+#include <ctime>
+
+namespace demo {
+
+long Stamp() {
+  return time(nullptr);  // popan-lint: allow(determinism-time)
+}
+
+double WallNow() {
+  // popan-lint: allow(determinism-time)
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double MonotonicNow() {
+  // popan-lint: allow(determinism-time)
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace demo

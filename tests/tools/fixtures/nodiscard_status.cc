@@ -1,0 +1,17 @@
+// Fixture: nodiscard-status positive plus annotated negatives (same line
+// and line-above attribute placements).
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+popan::Status Flush();  // line 8: missing [[nodiscard]]
+
+popan::StatusOr<int> CountRows();  // line 10: missing [[nodiscard]]
+
+[[nodiscard]] popan::Status Sync();  // annotated inline: clean
+
+[[nodiscard]]
+popan::StatusOr<int> CountColumns();  // annotated on line above: clean
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Fixture: nodiscard_status.cc positives silenced by suppressions.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+popan::Status Flush();  // popan-lint: allow(nodiscard-status)
+
+// popan-lint: allow(nodiscard-status)
+popan::StatusOr<int> CountRows();
+
+}  // namespace demo

@@ -1,0 +1,30 @@
+// Fixture: status-unchecked-value positives (unchecked .value(), chained
+// .value(), .IgnoreError()) next to a properly checked negative.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+[[nodiscard]] popan::StatusOr<int> Compute();
+[[nodiscard]] popan::Status Persist();
+
+int UseUnchecked() {
+  popan::StatusOr<int> result = Compute();
+  return result.value();  // line 13: no ok() check in this function
+}
+
+int UseChained() {
+  return Compute().value();  // line 17: no variable to check at all
+}
+
+int UseChecked() {
+  popan::StatusOr<int> result = Compute();
+  if (!result.ok()) return -1;
+  return result.value();  // clean: guarded by ok() above
+}
+
+void DropError() {
+  Persist().IgnoreError();  // line 27: unconditional discard
+}
+
+}  // namespace demo

@@ -1,0 +1,25 @@
+// Fixture: status_unchecked_value.cc positives silenced by suppressions.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+[[nodiscard]] popan::StatusOr<int> Compute();
+[[nodiscard]] popan::Status Persist();
+
+int UseUnchecked() {
+  popan::StatusOr<int> result = Compute();
+  // popan-lint: allow(status-unchecked-value)
+  return result.value();
+}
+
+int UseChained() {
+  return Compute().value();  // popan-lint: allow(status-unchecked-value)
+}
+
+void DropError() {
+  // popan-lint: allow(status-unchecked-value)
+  Persist().IgnoreError();
+}
+
+}  // namespace demo

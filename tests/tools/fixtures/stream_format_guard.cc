@@ -1,0 +1,20 @@
+// Fixture: stream-format-guard positives (manipulators with no live
+// guard) next to a properly guarded negative.
+#include <iomanip>
+#include <sstream>
+
+#include "util/text_io.h"
+
+namespace demo {
+
+void WriteBare(std::ostringstream& os, double v) {
+  os << std::setprecision(17) << v;  // line 11: sticky precision
+  os << std::hex << 255;             // line 12: sticky base
+}
+
+void WriteGuarded(std::ostringstream& os, double v) {
+  popan::StreamFormatGuard guard(&os);
+  os << std::setprecision(17) << std::fixed << v;  // clean: guard live
+}
+
+}  // namespace demo

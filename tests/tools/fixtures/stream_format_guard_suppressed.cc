@@ -1,0 +1,13 @@
+// Fixture: stream_format_guard.cc positives silenced by suppressions.
+#include <iomanip>
+#include <sstream>
+
+namespace demo {
+
+void WriteBare(std::ostringstream& os, double v) {
+  // popan-lint: allow(stream-format-guard)
+  os << std::setprecision(17) << v;
+  os << std::hex << 255;  // popan-lint: allow(stream-format-guard)
+}
+
+}  // namespace demo

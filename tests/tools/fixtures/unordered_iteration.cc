@@ -1,0 +1,19 @@
+// Fixture: unordered-iteration positives. Only fires when linted under a
+// src/sim/ or src/spatial/ logical path.
+#include <unordered_map>
+
+namespace demo {
+
+int SumValues(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) {  // line 9: range-for in hash order
+    total += kv.second;
+  }
+  return total;
+}
+
+int FirstKey(const std::unordered_map<int, int>& counts) {
+  return counts.begin()->first;  // line 16: explicit iterator
+}
+
+}  // namespace demo

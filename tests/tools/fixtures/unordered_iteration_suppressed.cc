@@ -1,0 +1,20 @@
+// Fixture: unordered_iteration.cc with both iterations suppressed.
+#include <unordered_map>
+
+namespace demo {
+
+int SumValues(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // Order-insensitive reduction: a sum commutes.
+  // popan-lint: allow(unordered-iteration)
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int FirstKey(const std::unordered_map<int, int>& counts) {
+  return counts.begin()->first;  // popan-lint: allow(unordered-iteration)
+}
+
+}  // namespace demo

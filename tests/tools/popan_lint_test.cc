@@ -1,0 +1,241 @@
+// Tests for tools/popan_lint: every rule in the catalog has a positive
+// fixture (exact rule IDs and line numbers asserted) and a suppressed
+// twin that must lint clean. Fixtures live in tests/tools/fixtures/ --
+// a directory CollectFiles skips, so the deliberately-violating corpus
+// never fails the tree scan. Path-gated rules are exercised by linting
+// fixture text under synthetic logical paths via LintText.
+
+#include "lint.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace popan::lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(POPAN_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name), std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// (rule, line) pairs, in report order, for compact whole-file asserts.
+std::vector<std::pair<std::string, int>> RulesAndLines(
+    const std::vector<Finding>& findings) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& f : findings) out.emplace_back(f.rule, f.line);
+  return out;
+}
+
+using Expected = std::vector<std::pair<std::string, int>>;
+
+// --- determinism-random ------------------------------------------------
+
+TEST(PopanLintTest, DeterminismRandomFlagsRandAndRandomDevice) {
+  std::vector<Finding> findings =
+      LintText("src/core/demo.cc", ReadFixture("determinism_random.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"determinism-random", 9}, {"determinism-random", 14}}));
+}
+
+TEST(PopanLintTest, DeterminismRandomAllowedInRandomHeader) {
+  // The same content is legal inside the one blessed implementation file.
+  EXPECT_TRUE(
+      LintText("src/util/random.h", ReadFixture("determinism_random.cc"))
+          .empty());
+  EXPECT_TRUE(
+      LintText("src/util/random.cc", ReadFixture("determinism_random.cc"))
+          .empty());
+}
+
+TEST(PopanLintTest, DeterminismRandomSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/core/demo.cc",
+                       ReadFixture("determinism_random_suppressed.cc"))
+                  .empty());
+}
+
+// --- determinism-time --------------------------------------------------
+
+TEST(PopanLintTest, DeterminismTimeFlagsAllClocksOutsideBench) {
+  std::vector<Finding> findings =
+      LintText("src/sim/demo.cc", ReadFixture("determinism_time.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"determinism-time", 9},
+                      {"determinism-time", 13},
+                      {"determinism-time", 18}}));
+}
+
+TEST(PopanLintTest, DeterminismTimeAllowsSteadyClockInBench) {
+  // Under bench/ the steady_clock read (line 18) is a timing section;
+  // time() and system_clock stay banned.
+  std::vector<Finding> findings =
+      LintText("bench/demo.cc", ReadFixture("determinism_time.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"determinism-time", 9}, {"determinism-time", 13}}));
+}
+
+TEST(PopanLintTest, DeterminismTimeSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/sim/demo.cc",
+                       ReadFixture("determinism_time_suppressed.cc"))
+                  .empty());
+}
+
+// --- unordered-iteration -----------------------------------------------
+
+TEST(PopanLintTest, UnorderedIterationFlagsRangeForAndBegin) {
+  for (const char* path : {"src/sim/demo.cc", "src/spatial/demo.cc"}) {
+    std::vector<Finding> findings =
+        LintText(path, ReadFixture("unordered_iteration.cc"));
+    EXPECT_EQ(RulesAndLines(findings),
+              (Expected{{"unordered-iteration", 9},
+                        {"unordered-iteration", 16}}))
+        << path;
+  }
+}
+
+TEST(PopanLintTest, UnorderedIterationScopedToSimAndSpatial) {
+  // Hash-order iteration elsewhere (analysis helpers, tests) is fine.
+  EXPECT_TRUE(
+      LintText("src/core/demo.cc", ReadFixture("unordered_iteration.cc"))
+          .empty());
+}
+
+TEST(PopanLintTest, UnorderedIterationSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/sim/demo.cc",
+                       ReadFixture("unordered_iteration_suppressed.cc"))
+                  .empty());
+}
+
+// --- nodiscard-status --------------------------------------------------
+
+TEST(PopanLintTest, NodiscardStatusFlagsBareDeclarationsOnly) {
+  std::vector<Finding> findings =
+      LintText("src/spatial/demo.h", ReadFixture("nodiscard_status.cc"));
+  // The annotated declarations (inline and line-above) must not appear.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"nodiscard-status", 8}, {"nodiscard-status", 10}}));
+}
+
+TEST(PopanLintTest, NodiscardStatusSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/spatial/demo.h",
+                       ReadFixture("nodiscard_status_suppressed.cc"))
+                  .empty());
+}
+
+// --- status-unchecked-value --------------------------------------------
+
+TEST(PopanLintTest, UncheckedValueFlagsUncheckedChainedAndIgnoreError) {
+  std::vector<Finding> findings =
+      LintText("src/spatial/demo.cc", ReadFixture("status_unchecked_value.cc"));
+  // UseChecked's guarded .value() (line 23) must not appear.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"status-unchecked-value", 13},
+                      {"status-unchecked-value", 17},
+                      {"status-unchecked-value", 27}}));
+}
+
+TEST(PopanLintTest, UncheckedValueSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/spatial/demo.cc",
+                       ReadFixture("status_unchecked_value_suppressed.cc"))
+                  .empty());
+}
+
+// --- stream-format-guard -----------------------------------------------
+
+TEST(PopanLintTest, StreamFormatGuardFlagsBareManipulators) {
+  std::vector<Finding> findings =
+      LintText("src/sim/demo.cc", ReadFixture("stream_format_guard.cc"));
+  // WriteGuarded's manipulators (line 17) are under a live guard.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"stream-format-guard", 11},
+                      {"stream-format-guard", 12}}));
+}
+
+TEST(PopanLintTest, StreamFormatGuardSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/sim/demo.cc",
+                       ReadFixture("stream_format_guard_suppressed.cc"))
+                  .empty());
+}
+
+// --- output format and exit codes --------------------------------------
+
+TEST(PopanLintTest, FindingToStringIsPathLineRuleMessage) {
+  Finding f{"determinism-random", "src/core/demo.cc", 42, "boom"};
+  EXPECT_EQ(f.ToString(), "src/core/demo.cc:42: [determinism-random] boom");
+}
+
+TEST(PopanLintTest, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(
+      LintText("src/sim/demo.cc", ReadFixture("clean.cc")).empty());
+}
+
+TEST(PopanLintTest, RunLintExitsZeroOnCleanFile) {
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({FixturePath("clean.cc")}, out), 0);
+  EXPECT_NE(out.str().find("popan-lint: clean (1 files)"), std::string::npos)
+      << out.str();
+}
+
+TEST(PopanLintTest, RunLintExitsOneOnFindingsAndPrintsThem) {
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({FixturePath("stream_format_guard.cc")}, out), 1);
+  // Findings render as path:line: [rule] message, one per line.
+  EXPECT_NE(out.str().find(FixturePath("stream_format_guard.cc") +
+                           ":11: [stream-format-guard]"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("popan-lint: 2 finding(s) in 1 file(s)"),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(PopanLintTest, RunLintExitsTwoOnMissingFile) {
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({FixturePath("no_such_fixture.cc")}, out), 2);
+  EXPECT_NE(out.str().find("[io-error]"), std::string::npos) << out.str();
+}
+
+TEST(PopanLintTest, RunLintExitsTwoWhenRootHasNoLintableFiles) {
+  // The fixture directory itself contains no src/bench/tests/tools
+  // subtrees, so a walk rooted there finds nothing.
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({"--root", std::string(POPAN_LINT_FIXTURE_DIR)}, out), 2);
+}
+
+TEST(PopanLintTest, RunLintHelpExitsZero) {
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({"--help"}, out), 0);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(PopanLintTest, CollectFilesSkipsFixtureDirectories) {
+  // Walking the real repo root must not pick up this test's corpus of
+  // intentional violations.
+  std::vector<std::string> files = CollectFiles(POPAN_LINT_REPO_ROOT);
+  ASSERT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    EXPECT_EQ(f.find("fixtures"), std::string::npos) << f;
+  }
+}
+
+TEST(PopanLintTest, WholeTreeIsCleanAtHead) {
+  // The acceptance bar for the whole PR: the tree lints clean. Running it
+  // in-process here keeps CI honest even if the workflow forgets the
+  // dedicated lint job.
+  std::ostringstream out;
+  EXPECT_EQ(RunLint({"--root", std::string(POPAN_LINT_REPO_ROOT)}, out), 0)
+      << out.str();
+}
+
+}  // namespace
+}  // namespace popan::lint

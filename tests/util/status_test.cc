@@ -72,14 +72,14 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
 }
 
-Status Fails() { return Status::NotFound("inner"); }
+[[nodiscard]] Status Fails() { return Status::NotFound("inner"); }
 
-Status UsesReturnIfError() {
+[[nodiscard]] Status UsesReturnIfError() {
   POPAN_RETURN_IF_ERROR(Fails());
   return Status::Internal("unreachable");
 }
 
-Status UsesReturnIfErrorOkPath() {
+[[nodiscard]] Status UsesReturnIfErrorOkPath() {
   POPAN_RETURN_IF_ERROR(Status::OK());
   return Status::Internal("reached");
 }

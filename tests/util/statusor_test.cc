@@ -25,6 +25,9 @@ TEST(StatusOrTest, HoldsError) {
 
 TEST(StatusOrTest, ValueOnErrorDies) {
   StatusOr<int> result = Status::NotFound("missing");
+  // The unchecked access IS the subject under test: value() on an error
+  // must CHECK-fail.
+  // popan-lint: allow(status-unchecked-value)
   EXPECT_DEATH(result.value(), "value\\(\\) on error StatusOr");
 }
 
@@ -46,6 +49,7 @@ TEST(StatusOrTest, ArrowOperator) {
 
 TEST(StatusOrTest, MutableValue) {
   StatusOr<std::vector<int>> result = std::vector<int>{1, 2};
+  ASSERT_TRUE(result.ok());
   result->push_back(3);
   EXPECT_EQ(result.value().size(), 3u);
 }
@@ -62,12 +66,12 @@ TEST(StatusOrTest, CopyPreservesState) {
   EXPECT_EQ(err_copy.status().message(), "x");
 }
 
-StatusOr<int> ProduceValue(bool succeed) {
+[[nodiscard]] StatusOr<int> ProduceValue(bool succeed) {
   if (succeed) return 10;
   return Status::NumericError("nope");
 }
 
-StatusOr<int> UsesAssignOrReturn(bool succeed) {
+[[nodiscard]] StatusOr<int> UsesAssignOrReturn(bool succeed) {
   POPAN_ASSIGN_OR_RETURN(int v, ProduceValue(succeed));
   return v * 2;
 }

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "testing/statusor_testing.h"
+
 namespace popan {
 namespace {
 
@@ -57,8 +59,8 @@ TEST(ReadTokensTest, ConsumedCountsLineAndTerminator) {
 }
 
 TEST(ParseU64Test, AcceptsCanonicalIntegers) {
-  EXPECT_EQ(ParseU64("0").value(), 0u);
-  EXPECT_EQ(ParseU64("18446744073709551615").value(),
+  EXPECT_EQ(ValueOrDie(ParseU64("0")), 0u);
+  EXPECT_EQ(ValueOrDie(ParseU64("18446744073709551615")),
             std::numeric_limits<uint64_t>::max());
 }
 
@@ -83,6 +85,7 @@ TEST(ParseDoubleTest, RoundTripsExtremeValues) {
   };
   for (double v : values) {
     std::ostringstream os;
+    StreamFormatGuard guard(&os);
     os << std::setprecision(17) << v;
     StatusOr<double> parsed = ParseDouble(os.str());
     ASSERT_TRUE(parsed.ok()) << os.str();
@@ -131,6 +134,9 @@ TEST(StreamFormatGuardTest, RestoresFlagsAndPrecision) {
 
 TEST(StreamFormatGuardTest, WorksOnInputStreams) {
   std::istringstream in("ff 255");
+  // Deliberately dirty the stream outside any guard: the test verifies
+  // the guard restores exactly this state.
+  // popan-lint: allow(stream-format-guard)
   in >> std::hex;
   {
     StreamFormatGuard guard(&in);

@@ -1,0 +1,83 @@
+#ifndef POPAN_TOOLS_POPAN_LINT_LINT_H_
+#define POPAN_TOOLS_POPAN_LINT_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace popan::lint {
+
+/// popan-lint: the repo-specific static-analysis pass that machine-checks
+/// the two load-bearing guarantees of this codebase — determinism
+/// (bit-identical results for any thread count) and the typed Status
+/// error contract on the durability path — plus the stream-hygiene bug
+/// class fixed by hand in the durability PR. It is a tokenizing line
+/// scanner, not a compiler plugin: no libclang dependency, so it runs in
+/// milliseconds on every file of the tree and in every CI leg.
+///
+/// Rule catalog (IDs are stable; suppressions name them):
+///
+///   determinism-random     rand()/srand()/std::random_device anywhere but
+///                          src/util/random.{h,cc} — all randomness must
+///                          flow from seeded Pcg32/RngStreamFamily.
+///   determinism-time       time()/clock()/system_clock/high_resolution_
+///                          clock everywhere; steady_clock::now outside
+///                          bench/ and src/sim/bench_json.{h,cc} (wall
+///                          time may be *measured* in bench timing
+///                          sections, never fed into results).
+///   unordered-iteration    iterating an unordered_{map,set} in src/sim/
+///                          or src/spatial/ — hash-order leaks into
+///                          results or serialized output.
+///   nodiscard-status       a function declared to return Status/StatusOr
+///                          without [[nodiscard]] on the declaration (same
+///                          line or the line above).
+///   status-unchecked-value .value() on a Status-bearing expression with
+///                          no prior .ok()/.status() check of the same
+///                          variable in the enclosing function, or any
+///                          .IgnoreError().
+///   stream-format-guard    setprecision/hex/fixed/scientific/uppercase/
+///                          setbase applied to a stream outside a live
+///                          StreamFormatGuard scope — sticky format state
+///                          is how snapshot/WAL writers corrupt their
+///                          caller's stream.
+///
+/// Suppression syntax: `// popan-lint: allow(<rule>[, <rule>...])`.
+/// On a line with code it silences that line; on a line of its own it
+/// silences the next line. Every suppression should carry a reason in the
+/// surrounding comment.
+struct Finding {
+  std::string rule;     ///< stable rule ID from the catalog above
+  std::string path;     ///< logical path (classifies allowlists)
+  int line = 0;         ///< 1-based
+  std::string message;  ///< human-readable explanation
+
+  /// Renders "path:line: [rule] message" — the format CI and editors parse.
+  std::string ToString() const;
+};
+
+/// Lints `content` as if it lived at `logical_path`. The path string (not
+/// the filesystem) decides the per-directory allowlists, so tests can lint
+/// fixture text under any path they like.
+std::vector<Finding> LintText(const std::string& logical_path,
+                              const std::string& content);
+
+/// Reads and lints a file on disk; the path doubles as the logical path.
+/// I/O failure is reported as a single pseudo-finding with rule "io-error".
+std::vector<Finding> LintFile(const std::string& path);
+
+/// Recursively collects the lintable files (.h/.cc/.cpp) under `root`'s
+/// src/, bench/, tests/ and tools/ directories, skipping build output,
+/// VCS metadata, bench result archives, and lint fixture corpora
+/// (directories named build, .git, results, fixtures).
+std::vector<std::string> CollectFiles(const std::string& root);
+
+/// The whole tool as a function: lints the given explicit files, or walks
+/// `--root <dir>` (default ".") when none are given; prints findings and
+/// a summary to `out`. Returns the process exit code: 0 clean, 1 findings,
+/// 2 usage or I/O error. main() is a one-line wrapper around this so tests
+/// can assert exit codes and output verbatim.
+int RunLint(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace popan::lint
+
+#endif  // POPAN_TOOLS_POPAN_LINT_LINT_H_
