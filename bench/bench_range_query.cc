@@ -1,0 +1,208 @@
+// Range-search cost: predicted vs measured. Builds one PR quadtree over
+// N uniform points, censuses it, and sweeps wrapped (torus) range queries
+// across a square-extent grid. For each extent the per-query means of the
+// QueryCost counters are compared against core/query_model's closed-form
+// prediction Sum_d {T_d, L_d, items_d} (q + 2^-d)^2, which is exact in
+// expectation for wrapped workloads — so the observed relative error is
+// pure sampling noise and the bench hard-fails when any counter drifts
+// beyond the tolerance. A second table swaps the censused occupancies for
+// the steady-state prediction L_d x ebar(e), connecting the paper's
+// population model to query cost with no measured occupancy input.
+//
+//   POPAN_RANGE_QUERY_POINTS     N              (default 100000)
+//   POPAN_RANGE_QUERY_QUERIES    queries/extent (default 2000)
+//   POPAN_RANGE_QUERY_TOLERANCE  relative gate  (default 0.05)
+//
+// Deterministic: fixed seeds, counter-based query streams, and pure
+// counters make every number in the table (and the JSON) bit-identical
+// across machines and thread counts, so CI diffs the integer fields
+// against bench/results/BENCH_range_query.json exactly.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/query_model.h"
+#include "core/steady_state.h"
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/executor.h"
+#include "query/workload.h"
+#include "sim/bench_json.h"
+#include "sim/experiment.h"
+#include "sim/table.h"
+#include "spatial/census.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace {
+
+using popan::Pcg32;
+using popan::core::PopulationModel;
+using popan::core::QueryCostModel;
+using popan::core::QueryCostPrediction;
+using popan::core::SolveSteadyState;
+using popan::core::TreeModelParams;
+using popan::geo::Box2;
+using popan::geo::Point2;
+using popan::query::BatchOutcome;
+using popan::query::MakeWrappedRangeWorkload;
+using popan::query::QuerySpec;
+using popan::query::RunQueryBatch;
+using popan::sim::BenchJson;
+using popan::sim::ExperimentRunner;
+using popan::sim::TextTable;
+using popan::spatial::PrQuadtree;
+using popan::spatial::PrTreeOptions;
+using popan::spatial::TakeCensus;
+
+size_t EnvOr(const char* name, size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return fallback;
+}
+
+double EnvOrDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed > 0.0) return parsed;
+  }
+  return fallback;
+}
+
+double RelError(double measured, double predicted) {
+  return predicted == 0.0 ? 0.0 : std::fabs(measured - predicted) / predicted;
+}
+
+}  // namespace
+
+int main() {
+  const size_t kPoints = EnvOr("POPAN_RANGE_QUERY_POINTS", 100000);
+  const size_t kQueries = EnvOr("POPAN_RANGE_QUERY_QUERIES", 2000);
+  const double kTolerance = EnvOrDouble("POPAN_RANGE_QUERY_TOLERANCE", 0.05);
+  const size_t kCapacity = 4;
+  const uint64_t kSeed = 1987;
+  const std::vector<double> kExtents = {0.01, 0.02, 0.05, 0.1, 0.2};
+
+  std::printf("Range-query cost model: N=%zu, m=%zu, %zu wrapped queries "
+              "per extent, gate %.1f%%\n\n",
+              kPoints, kCapacity, kQueries, kTolerance * 100.0);
+
+  PrTreeOptions options;
+  options.capacity = kCapacity;
+  options.max_depth = 32;
+  PrQuadtree tree(Box2::UnitCube(), options);
+  tree.ReserveForPoints(kPoints);
+  {
+    Pcg32 rng(kSeed);
+    for (size_t i = 0; i < kPoints; ++i) {
+      (void)tree.Insert(Point2(rng.NextDouble(), rng.NextDouble()));
+    }
+  }
+
+  QueryCostModel model =
+      QueryCostModel::FromCensus(TakeCensus(tree), Box2::UnitCube());
+  QueryCostModel steady_model = model;
+  {
+    PopulationModel population(TreeModelParams{kCapacity, 4});
+    auto steady = SolveSteadyState(population);
+    if (steady.ok()) {
+      steady_model.SetOccupancyFromSteadyState(steady.value().distribution);
+    }
+  }
+
+  ExperimentRunner runner(popan::sim::DefaultThreadCount());
+  BenchJson json("range_query");
+  json.Add("points", static_cast<uint64_t>(kPoints))
+      .Add("queries_per_extent", static_cast<uint64_t>(kQueries));
+
+  TextTable table("Wrapped range queries: measured mean vs census model");
+  table.SetHeader({"extent", "nodes meas", "nodes pred", "err%",
+                   "leaves meas", "leaves pred", "err%", "points meas",
+                   "points pred", "err%"});
+  TextTable steady_table(
+      "Points scanned: census occupancy vs steady-state ebar x L_d");
+  steady_table.SetHeader(
+      {"extent", "points meas", "census pred", "steady pred", "steady err%"});
+
+  double worst_error = 0.0;
+  uint64_t checksum_all = popan::query::kChecksumSeed;
+  std::vector<std::string> gate_fields;
+  for (size_t e = 0; e < kExtents.size(); ++e) {
+    const double q = kExtents[e];
+    std::vector<QuerySpec> specs = MakeWrappedRangeWorkload(
+        Box2::UnitCube(), kQueries, q, q, kSeed + 101 + e);
+    BatchOutcome outcome = RunQueryBatch(tree, specs, runner);
+    const double inv = 1.0 / static_cast<double>(kQueries);
+    const double nodes = static_cast<double>(outcome.total_cost.nodes_visited) * inv;
+    const double leaves =
+        static_cast<double>(outcome.total_cost.leaves_touched) * inv;
+    const double points =
+        static_cast<double>(outcome.total_cost.points_scanned) * inv;
+    QueryCostPrediction pred = model.PredictRange(q, q);
+    QueryCostPrediction steady_pred = steady_model.PredictRange(q, q);
+    const double err_nodes = RelError(nodes, pred.nodes);
+    const double err_leaves = RelError(leaves, pred.leaves);
+    const double err_points = RelError(points, pred.points);
+    worst_error = std::max({worst_error, err_nodes, err_leaves, err_points});
+    table.AddRow({TextTable::Fmt(q, 2), TextTable::Fmt(nodes, 2),
+                  TextTable::Fmt(pred.nodes, 2),
+                  TextTable::Fmt(err_nodes * 100.0, 2),
+                  TextTable::Fmt(leaves, 2), TextTable::Fmt(pred.leaves, 2),
+                  TextTable::Fmt(err_leaves * 100.0, 2),
+                  TextTable::Fmt(points, 2), TextTable::Fmt(pred.points, 2),
+                  TextTable::Fmt(err_points * 100.0, 2)});
+    steady_table.AddRow({TextTable::Fmt(q, 2), TextTable::Fmt(points, 2),
+                         TextTable::Fmt(pred.points, 2),
+                         TextTable::Fmt(steady_pred.points, 2),
+                         TextTable::Fmt(
+                             RelError(points, steady_pred.points) * 100.0,
+                             2)});
+    std::string tag = "e" + std::to_string(e);
+    json.Add("extent_" + tag, q)
+        .Add("nodes_" + tag, outcome.total_cost.nodes_visited)
+        .Add("leaves_" + tag, outcome.total_cost.leaves_touched)
+        .Add("points_" + tag, outcome.total_cost.points_scanned)
+        .Add("items_" + tag, outcome.total_items)
+        .Add("pred_nodes_" + tag, pred.nodes)
+        .Add("pred_points_" + tag, pred.points);
+    gate_fields.push_back("nodes_" + tag);
+    gate_fields.push_back("leaves_" + tag);
+    gate_fields.push_back("points_" + tag);
+    gate_fields.push_back("items_" + tag);
+    // Chain the per-extent batch checksums into one witness.
+    checksum_all ^= outcome.checksum + 0x9e3779b97f4a7c15ULL * (e + 1);
+  }
+
+  std::printf("%s\n%s\n", table.Render().c_str(),
+              steady_table.Render().c_str());
+  std::printf("worst relative error: %.3f%% (gate %.1f%%)\n",
+              worst_error * 100.0, kTolerance * 100.0);
+
+  json.Add("checksum", checksum_all)
+      .Add("worst_rel_error", worst_error)
+      .Add("tolerance", kTolerance);
+  gate_fields.push_back("checksum");
+  json.WriteFile();
+
+  popan::Status gate = GateAgainstReference(json, gate_fields);
+  if (!gate.ok()) {
+    std::fprintf(stderr, "reference gate FAILED: %s\n",
+                 gate.message().c_str());
+    return 1;
+  }
+  if (worst_error > kTolerance) {
+    std::fprintf(stderr, "model gate FAILED: worst error %.3f%% > %.1f%%\n",
+                 worst_error * 100.0, kTolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "core/query_model.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace popan::core {
+
+std::string QueryCostPrediction::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << nodes << " leaves=" << leaves << " points=" << points;
+  return os.str();
+}
+
+QueryCostModel QueryCostModel::FromCensus(const spatial::Census& census,
+                                          const geo::Box2& bounds) {
+  QueryCostModel model;
+  model.ex_ = bounds.Extent(0);
+  model.ey_ = bounds.Extent(1);
+  POPAN_CHECK(model.ex_ > 0.0 && model.ey_ > 0.0);
+  const size_t depths = census.MaxDepth() + 1;
+  model.leaves_d_.assign(depths, 0.0);
+  model.items_d_.assign(depths, 0.0);
+  model.total_d_.assign(depths, 0.0);
+  for (size_t d = 0; d < depths; ++d) {
+    model.leaves_d_[d] = static_cast<double>(census.LeavesAtDepth(d));
+    model.items_d_[d] = static_cast<double>(census.ItemsAtDepth(d));
+  }
+  // Internal counts from the fanout-4 identity, deepest depth first:
+  // I_d = (L_{d+1} + I_{d+1}) / 4 with I_{deepest} = 0 (every node at
+  // depth d+1 is one of exactly four children of an internal node at
+  // depth d).
+  std::vector<double> internal(depths, 0.0);
+  for (size_t d = depths - 1; d-- > 0;) {
+    internal[d] = (model.leaves_d_[d + 1] + internal[d + 1]) / 4.0;
+  }
+  for (size_t d = 0; d < depths; ++d) {
+    model.total_d_[d] = model.leaves_d_[d] + internal[d];
+  }
+  return model;
+}
+
+void QueryCostModel::SetOccupancyFromSteadyState(
+    const num::Vector& distribution) {
+  double ebar = 0.0;
+  for (size_t i = 0; i < distribution.size(); ++i) {
+    ebar += static_cast<double>(i) * distribution[i];
+  }
+  for (size_t d = 0; d < items_d_.size(); ++d) {
+    items_d_[d] = leaves_d_[d] * ebar;
+  }
+}
+
+QueryCostPrediction QueryCostModel::PredictRange(double qx, double qy) const {
+  POPAN_CHECK(qx >= 0.0 && qx <= ex_);
+  POPAN_CHECK(qy >= 0.0 && qy <= ey_);
+  QueryCostPrediction out;
+  const double fx = qx / ex_;
+  const double fy = qy / ey_;
+  for (size_t d = 0; d < total_d_.size(); ++d) {
+    const double block = std::pow(2.0, -static_cast<double>(d));
+    const double incidence = (fx + block) * (fy + block);
+    out.nodes += total_d_[d] * incidence;
+    out.leaves += leaves_d_[d] * incidence;
+    out.points += items_d_[d] * incidence;
+  }
+  return out;
+}
+
+QueryCostPrediction QueryCostModel::PredictPartialMatch() const {
+  QueryCostPrediction out;
+  for (size_t d = 0; d < total_d_.size(); ++d) {
+    const double hit = std::pow(2.0, -static_cast<double>(d));
+    out.nodes += total_d_[d] * hit;
+    out.leaves += leaves_d_[d] * hit;
+    out.points += items_d_[d] * hit;
+  }
+  return out;
+}
+
+double QueryCostModel::TotalNodes() const {
+  double total = 0.0;
+  for (double t : total_d_) total += t;
+  return total;
+}
+
+}  // namespace popan::core

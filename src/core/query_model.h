@@ -1,0 +1,87 @@
+#ifndef POPAN_CORE_QUERY_MODEL_H_
+#define POPAN_CORE_QUERY_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "numerics/vector.h"
+#include "spatial/census.h"
+
+namespace popan::core {
+
+/// One predicted query cost, in the units spatial::QueryCost measures:
+/// blocks whose region meets the query, leaves among them, and points
+/// scanned inside those leaves.
+struct QueryCostPrediction {
+  double nodes = 0.0;
+  double leaves = 0.0;
+  double points = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Expected-cost model for range and partial-match search over a regular
+/// fanout-4 decomposition (PR quadtree), driven by the same population
+/// census the paper's steady-state analysis predicts.
+///
+/// The geometric core: a depth-d block is an (Ex 2^-d) x (Ey 2^-d)
+/// rectangle. For a WRAPPED (torus) range query of size qx x qy with a
+/// uniform origin, the expected number of query pieces meeting any fixed
+/// depth-d block is exactly
+///     (qx/Ex + 2^-d)(qy/Ey + 2^-d)
+/// — no boundary terms, no clamping (it is an expected incidence count,
+/// not a probability, and may exceed 1). Summing over the tree's per-depth
+/// node counts T_d gives the expected nodes visited; restricting to leaf
+/// counts L_d gives leaves touched; weighting by per-depth item counts
+/// gives points scanned. A partial-match query (one coordinate fixed to a
+/// uniform value) meets a depth-d block with probability 2^-d on either
+/// axis, so the same sums with that factor predict its cost.
+///
+/// The per-depth profile comes from a census of the structure. Leaf and
+/// item counts are read off directly; internal-node counts follow from
+/// the fanout-4 identity I_d = (L_{d+1} + I_{d+1}) / 4 (every node at
+/// depth d+1 has exactly one parent, and every internal node exactly four
+/// children), evaluated deepest-first.
+///
+/// Alternatively, SetOccupancyFromSteadyState replaces the censused item
+/// counts with L_d x ebar, where ebar is the average occupancy of the
+/// steady-state distribution e — the paper's population prediction — so
+/// the points row of the table is derived from the model rather than
+/// measured data.
+class QueryCostModel {
+ public:
+  /// Builds the model from a leaf census of a fanout-4 structure over
+  /// `bounds`.
+  static QueryCostModel FromCensus(const spatial::Census& census,
+                                   const geo::Box2& bounds);
+
+  /// Replaces per-depth item counts with LeavesAtDepth(d) x ebar(e), the
+  /// steady-state expected occupancy. `distribution` is the solved e
+  /// vector (proportions of leaves by occupancy, summing to 1).
+  void SetOccupancyFromSteadyState(const num::Vector& distribution);
+
+  /// Expected cost of one wrapped range query of size qx x qy with a
+  /// uniform origin. Exact in expectation for the censused tree.
+  QueryCostPrediction PredictRange(double qx, double qy) const;
+
+  /// Expected cost of one partial-match query with a uniform value (either
+  /// axis; the regular decomposition makes the prediction axis-free).
+  QueryCostPrediction PredictPartialMatch() const;
+
+  /// Total nodes (internal + leaves) the model believes the tree has.
+  double TotalNodes() const;
+
+ private:
+  double ex_ = 1.0;
+  double ey_ = 1.0;
+  // Indexed by depth d: all nodes, leaves only, and items in leaves.
+  std::vector<double> total_d_;
+  std::vector<double> leaves_d_;
+  std::vector<double> items_d_;
+};
+
+}  // namespace popan::core
+
+#endif  // POPAN_CORE_QUERY_MODEL_H_

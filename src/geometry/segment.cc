@@ -62,6 +62,19 @@ bool Segment::IntersectsBox(const Box2& box) const {
          IntersectsSegment(Segment(c01, c00));
 }
 
+double Segment::DistanceSquaredToPoint(const Point2& p) const {
+  const double dx = b_.x() - a_.x();
+  const double dy = b_.y() - a_.y();
+  const double len2 = dx * dx + dy * dy;
+  if (len2 == 0) return p.DistanceSquared(a_);  // degenerate: a point
+  // Project p onto the supporting line and clamp the parameter into the
+  // segment.
+  double t = ((p.x() - a_.x()) * dx + (p.y() - a_.y()) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const Point2 nearest(a_.x() + t * dx, a_.y() + t * dy);
+  return p.DistanceSquared(nearest);
+}
+
 std::string Segment::ToString() const {
   std::ostringstream os;
   os << a_.ToString() << "-" << b_.ToString();

@@ -33,6 +33,11 @@ class Segment {
   /// including endpoint touching and collinear overlap).
   bool IntersectsSegment(const Segment& other) const;
 
+  /// Squared Euclidean distance from `p` to the closest point of the
+  /// (closed) segment — the predicate k-nearest-neighbor search over PMR
+  /// quadtrees ranks candidates by. Zero iff p lies on the segment.
+  double DistanceSquaredToPoint(const Point2& p) const;
+
   friend bool operator==(const Segment& s, const Segment& t) {
     return s.a_ == t.a_ && s.b_ == t.b_;
   }

@@ -1,0 +1,62 @@
+#ifndef POPAN_QUERY_EXECUTOR_H_
+#define POPAN_QUERY_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "query/query.h"
+#include "sim/experiment.h"
+#include "spatial/query_cost.h"
+
+namespace popan::query {
+
+/// The reduced outcome of one query batch.
+struct BatchOutcome {
+  /// Per-query results, in query order.
+  std::vector<QueryResult> results;
+
+  /// All per-query costs summed in query order.
+  spatial::QueryCost total_cost;
+
+  /// Total matches across the batch.
+  uint64_t total_items = 0;
+
+  /// Order-sensitive checksum over every result and cost (see
+  /// ChecksumResult) — the bit-exactness witness the determinism tests
+  /// compare across thread counts.
+  uint64_t checksum = 0;
+};
+
+/// Fans `queries` across `runner`'s thread pool and reduces in query
+/// order. Deterministic by construction: query i always computes the same
+/// QueryResult (the backend visitors are pure const traversals), each
+/// result lands in slot i, and the reduction walks slots serially — so the
+/// outcome (results, totals, checksum) is bit-identical for every thread
+/// count, exactly like the PR 1 experiment engine this rides on.
+///
+/// The backend must outlive the call and is shared read-only across
+/// threads; every Execute overload in query.h is safe for that (iterative
+/// traversals over local stacks, no mutable scratch in the structures).
+template <typename Backend>
+BatchOutcome RunQueryBatch(const Backend& backend,
+                           const std::vector<QuerySpec>& queries,
+                           sim::ExperimentRunner& runner, size_t grain = 8) {
+  BatchOutcome outcome;
+  outcome.results = runner.Map<QueryResult>(
+      queries.size(),
+      [&backend, &queries](size_t i) { return Execute(backend, queries[i]); },
+      grain);
+  uint64_t h = kChecksumSeed;
+  for (const QueryResult& r : outcome.results) {
+    outcome.total_cost.Add(r.cost);
+    outcome.total_items += r.ItemCount();
+    h = ChecksumResult(h, r);
+  }
+  outcome.checksum = h;
+  return outcome;
+}
+
+}  // namespace popan::query
+
+#endif  // POPAN_QUERY_EXECUTOR_H_

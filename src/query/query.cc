@@ -1,0 +1,431 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace popan::query {
+
+namespace {
+
+/// Canonical order for range / partial-match point results: by (x, y).
+void SortCanonical(std::vector<geo::Point2>* points) {
+  std::sort(points->begin(), points->end(),
+            [](const geo::Point2& a, const geo::Point2& b) {
+              if (a.x() != b.x()) return a.x() < b.x();
+              return a.y() < b.y();
+            });
+}
+
+/// Shared dispatch for the five backends whose visitors speak domain
+/// points directly (PR quadtree, point quadtree, linear PR quadtree, grid
+/// file, EXCELL) — they expose the same RangeQueryVisit / PartialMatchVisit
+/// / NearestK shape.
+template <typename Backend>
+QueryResult ExecutePointBackend(const Backend& backend,
+                                const QuerySpec& spec) {
+  QueryResult result;
+  switch (spec.kind) {
+    case QueryKind::kRange:
+      backend.RangeQueryVisit(spec.range, &result.cost,
+                              [&result](const geo::Point2& p) {
+                                result.points.push_back(p);
+                              });
+      SortCanonical(&result.points);
+      break;
+    case QueryKind::kPartialMatch:
+      backend.PartialMatchVisit(spec.axis, spec.value, &result.cost,
+                                [&result](const geo::Point2& p) {
+                                  result.points.push_back(p);
+                                });
+      SortCanonical(&result.points);
+      break;
+    case QueryKind::kNearestK:
+      result.points = backend.NearestK(spec.target, spec.k, &result.cost);
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string QueryKindToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRange:
+      return "range";
+    case QueryKind::kPartialMatch:
+      return "partial-match";
+    case QueryKind::kNearestK:
+      return "nearest-k";
+  }
+  return "unknown";
+}
+
+QuerySpec QuerySpec::Range(const geo::Box2& box) {
+  QuerySpec spec;
+  spec.kind = QueryKind::kRange;
+  spec.range = box;
+  return spec;
+}
+
+QuerySpec QuerySpec::PartialMatch(size_t axis, double value) {
+  POPAN_CHECK(axis < 2);
+  QuerySpec spec;
+  spec.kind = QueryKind::kPartialMatch;
+  spec.axis = axis;
+  spec.value = value;
+  return spec;
+}
+
+QuerySpec QuerySpec::NearestK(const geo::Point2& target, size_t k) {
+  POPAN_CHECK(k >= 1);
+  QuerySpec spec;
+  spec.kind = QueryKind::kNearestK;
+  spec.target = target;
+  spec.k = k;
+  return spec;
+}
+
+std::string QuerySpec::ToString() const {
+  std::ostringstream os;
+  os << QueryKindToString(kind);
+  switch (kind) {
+    case QueryKind::kRange:
+      os << " " << range.ToString();
+      break;
+    case QueryKind::kPartialMatch:
+      os << " axis=" << axis << " value=" << value;
+      break;
+    case QueryKind::kNearestK:
+      os << " target=" << target.ToString() << " k=" << k;
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// One FNV-1a step over the 8 bytes of `v`, low byte first.
+uint64_t FoldU64(uint64_t h, uint64_t v) {
+  for (size_t i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t FoldDouble(uint64_t h, double v) {
+  return FoldU64(h, std::bit_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+uint64_t ChecksumResult(uint64_t h, const QueryResult& r) {
+  h = FoldU64(h, r.points.size());
+  for (const geo::Point2& p : r.points) {
+    h = FoldDouble(h, p.x());
+    h = FoldDouble(h, p.y());
+  }
+  h = FoldU64(h, r.ids.size());
+  for (uint32_t id : r.ids) h = FoldU64(h, id);
+  h = FoldU64(h, r.cost.nodes_visited);
+  h = FoldU64(h, r.cost.leaves_touched);
+  h = FoldU64(h, r.cost.points_scanned);
+  h = FoldU64(h, r.cost.pruned_subtrees);
+  return h;
+}
+
+uint64_t HashPointCodec::Encode(const geo::Point2& p) const {
+  // Normalize to [0, 1) and quantize each axis to kBitsPerAxis bits —
+  // identical arithmetic to Excell::PseudoKey, so the two structures
+  // decompose the domain the same way.
+  double fx = (p.x() - domain.lo().x()) / domain.Extent(0);
+  double fy = (p.y() - domain.lo().y()) / domain.Extent(1);
+  auto quantize = [](double f) {
+    double scaled = f * static_cast<double>(uint64_t{1} << kBitsPerAxis);
+    uint64_t q = scaled <= 0.0 ? 0 : static_cast<uint64_t>(scaled);
+    return std::min(q, (uint64_t{1} << kBitsPerAxis) - 1);
+  };
+  uint64_t xq = quantize(fx);
+  uint64_t yq = quantize(fy);
+  uint64_t key = 0;
+  for (size_t level = 0; level < kBitsPerAxis; ++level) {
+    uint64_t ybit = (yq >> (kBitsPerAxis - 1 - level)) & 1;
+    uint64_t xbit = (xq >> (kBitsPerAxis - 1 - level)) & 1;
+    key = (key << 2) | (ybit << 1) | xbit;
+  }
+  return key << (64 - 2 * kBitsPerAxis);
+}
+
+geo::Point2 HashPointCodec::Decode(uint64_t key) const {
+  uint64_t bits = key >> (64 - 2 * kBitsPerAxis);
+  uint64_t xq = 0;
+  uint64_t yq = 0;
+  for (size_t level = 0; level < kBitsPerAxis; ++level) {
+    uint64_t pair = (bits >> (2 * (kBitsPerAxis - 1 - level))) & 3u;
+    yq = (yq << 1) | (pair >> 1);
+    xq = (xq << 1) | (pair & 1);
+  }
+  // xq * 2^-31 is exact in a double, so lattice points round-trip.
+  const double scale =
+      1.0 / static_cast<double>(uint64_t{1} << kBitsPerAxis);
+  return geo::Point2(
+      domain.lo().x() + domain.Extent(0) * (static_cast<double>(xq) * scale),
+      domain.lo().y() + domain.Extent(1) * (static_cast<double>(yq) * scale));
+}
+
+geo::Box2 HashPointCodec::BlockOfPrefix(uint64_t prefix_bits,
+                                        size_t depth_bits) const {
+  // Even bit positions split y, odd split x — the mirror of Encode's
+  // y-first interleave (and of Excell::BlockOfPrefix).
+  geo::Box2 box = domain;
+  for (size_t level = 0; level < depth_bits; ++level) {
+    uint64_t bit = (prefix_bits >> (depth_bits - 1 - level)) & 1;
+    geo::Point2 lo = box.lo();
+    geo::Point2 hi = box.hi();
+    size_t axis = (level % 2 == 0) ? 1 : 0;
+    double mid = 0.5 * (lo[axis] + hi[axis]);
+    if (bit) {
+      lo[axis] = mid;
+    } else {
+      hi[axis] = mid;
+    }
+    box = geo::Box2(lo, hi);
+  }
+  return box;
+}
+
+QueryResult Execute(const spatial::PrQuadtree& tree, const QuerySpec& spec) {
+  return ExecutePointBackend(tree, spec);
+}
+
+QueryResult Execute(const spatial::PointQuadtree& tree,
+                    const QuerySpec& spec) {
+  return ExecutePointBackend(tree, spec);
+}
+
+QueryResult Execute(const spatial::LinearPrQuadtree& tree,
+                    const QuerySpec& spec) {
+  return ExecutePointBackend(tree, spec);
+}
+
+QueryResult Execute(const spatial::GridFile& grid, const QuerySpec& spec) {
+  return ExecutePointBackend(grid, spec);
+}
+
+QueryResult Execute(const spatial::Excell& excell, const QuerySpec& spec) {
+  return ExecutePointBackend(excell, spec);
+}
+
+QueryResult Execute(const spatial::PmrQuadtree& tree, const QuerySpec& spec) {
+  QueryResult result;
+  switch (spec.kind) {
+    case QueryKind::kRange:
+      tree.RangeQueryVisit(spec.range, &result.cost, [&result](uint32_t id) {
+        result.ids.push_back(id);
+      });
+      std::sort(result.ids.begin(), result.ids.end());
+      break;
+    case QueryKind::kPartialMatch:
+      tree.PartialMatchVisit(spec.axis, spec.value, &result.cost,
+                             [&result](uint32_t id) {
+                               result.ids.push_back(id);
+                             });
+      std::sort(result.ids.begin(), result.ids.end());
+      break;
+    case QueryKind::kNearestK:
+      result.ids = tree.NearestK(spec.target, spec.k, &result.cost);
+      break;
+  }
+  return result;
+}
+
+QueryResult Execute(const MxBackend& backend, const QuerySpec& spec) {
+  POPAN_CHECK(backend.tree != nullptr);
+  const spatial::MxQuadtree& tree = *backend.tree;
+  const geo::Box2& domain = backend.domain;
+  const double wx = backend.CellWidthX();
+  const double wy = backend.CellWidthY();
+  const uint32_t side = static_cast<uint32_t>(tree.side());
+  QueryResult result;
+  switch (spec.kind) {
+    case QueryKind::kRange: {
+      // Cell (ix, iy) matches iff its representative point lies in the
+      // half-open query box: ix >= (lo - domain.lo)/w and ix < (hi -
+      // domain.lo)/w, i.e. the ceil of each bound.
+      auto lower_cell = [side](double f) {
+        if (f <= 0.0) return uint32_t{0};
+        double c = std::ceil(f);
+        if (c >= static_cast<double>(side)) return side;
+        return static_cast<uint32_t>(c);
+      };
+      uint32_t x0 = lower_cell((spec.range.lo().x() - domain.lo().x()) / wx);
+      uint32_t y0 = lower_cell((spec.range.lo().y() - domain.lo().y()) / wy);
+      uint32_t x1 = lower_cell((spec.range.hi().x() - domain.lo().x()) / wx);
+      uint32_t y1 = lower_cell((spec.range.hi().y() - domain.lo().y()) / wy);
+      if (x0 >= x1 || y0 >= y1) {
+        ++result.cost.pruned_subtrees;
+        break;
+      }
+      tree.RangeQueryVisit(x0, y0, x1, y1, &result.cost,
+                           [&result, &backend](uint32_t x, uint32_t y) {
+                             result.points.push_back(
+                                 backend.PointOfCell(x, y));
+                           });
+      SortCanonical(&result.points);
+      break;
+    }
+    case QueryKind::kPartialMatch: {
+      const double w = spec.axis == 0 ? wx : wy;
+      const double f = (spec.value - domain.lo()[spec.axis]) / w;
+      // Stored points all sit on the lattice, so an off-lattice value (or
+      // one outside the domain) matches nothing and touches nothing.
+      if (f < 0.0 || f >= static_cast<double>(side) || f != std::floor(f)) {
+        ++result.cost.pruned_subtrees;
+        break;
+      }
+      tree.PartialMatchVisit(spec.axis, static_cast<uint32_t>(f),
+                             &result.cost,
+                             [&result, &backend](uint32_t x, uint32_t y) {
+                               result.points.push_back(
+                                   backend.PointOfCell(x, y));
+                             });
+      SortCanonical(&result.points);
+      break;
+    }
+    case QueryKind::kNearestK: {
+      const double tx = (spec.target.x() - domain.lo().x()) / wx;
+      const double ty = (spec.target.y() - domain.lo().y()) / wy;
+      std::vector<std::pair<uint32_t, uint32_t>> cells =
+          tree.NearestK(tx, ty, spec.k, &result.cost);
+      result.points.reserve(cells.size());
+      for (const auto& [x, y] : cells) {
+        result.points.push_back(backend.PointOfCell(x, y));
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
+  POPAN_CHECK(backend.table != nullptr);
+  const spatial::ExtendibleHash& table = *backend.table;
+  const HashPointCodec& codec = backend.codec;
+  QueryResult result;
+  switch (spec.kind) {
+    case QueryKind::kRange: {
+      table.VisitBucketsWithPrefix(
+          [&](size_t /*bi*/, uint64_t prefix, size_t depth,
+              const std::vector<uint64_t>& keys) {
+            if (!codec.BlockOfPrefix(prefix, depth).Intersects(spec.range)) {
+              ++result.cost.pruned_subtrees;
+              return;
+            }
+            ++result.cost.nodes_visited;
+            ++result.cost.leaves_touched;
+            for (uint64_t key : keys) {
+              ++result.cost.points_scanned;
+              geo::Point2 p = codec.Decode(key);
+              if (spec.range.Contains(p)) result.points.push_back(p);
+            }
+          });
+      SortCanonical(&result.points);
+      break;
+    }
+    case QueryKind::kPartialMatch: {
+      const size_t axis = spec.axis;
+      const double value = spec.value;
+      if (value < codec.domain.lo()[axis] ||
+          value >= codec.domain.hi()[axis]) {
+        ++result.cost.pruned_subtrees;
+        break;
+      }
+      table.VisitBucketsWithPrefix(
+          [&](size_t /*bi*/, uint64_t prefix, size_t depth,
+              const std::vector<uint64_t>& keys) {
+            geo::Box2 block = codec.BlockOfPrefix(prefix, depth);
+            if (!(block.lo()[axis] <= value && value < block.hi()[axis])) {
+              ++result.cost.pruned_subtrees;
+              return;
+            }
+            ++result.cost.nodes_visited;
+            ++result.cost.leaves_touched;
+            for (uint64_t key : keys) {
+              ++result.cost.points_scanned;
+              geo::Point2 p = codec.Decode(key);
+              if (p[axis] == value) result.points.push_back(p);
+            }
+          });
+      SortCanonical(&result.points);
+      break;
+    }
+    case QueryKind::kNearestK: {
+      POPAN_CHECK(spec.k >= 1);
+      if (table.empty()) break;
+      // Rank all buckets by (block distance, index); the directory is
+      // flat, so the "traversal" is one sorted scan with the best-first
+      // cutoff. Bucket key vectors stay valid while the table is const.
+      struct Ref {
+        double d2;
+        uint32_t bi;
+        const std::vector<uint64_t>* keys;
+      };
+      std::vector<Ref> order;
+      order.reserve(table.BucketCount());
+      table.VisitBucketsWithPrefix(
+          [&](size_t bi, uint64_t prefix, size_t depth,
+              const std::vector<uint64_t>& keys) {
+            ++result.cost.nodes_visited;
+            order.push_back(Ref{codec.BlockOfPrefix(prefix, depth)
+                                    .DistanceSquaredTo(spec.target),
+                                static_cast<uint32_t>(bi), &keys});
+          });
+      std::sort(order.begin(), order.end(), [](const Ref& a, const Ref& b) {
+        if (a.d2 != b.d2) return a.d2 < b.d2;
+        return a.bi < b.bi;
+      });
+      std::vector<std::pair<double, geo::Point2>> heap;
+      heap.reserve(spec.k);
+      auto heap_less = [](const std::pair<double, geo::Point2>& a,
+                          const std::pair<double, geo::Point2>& b) {
+        return a.first < b.first;
+      };
+      auto radius2 = [&heap, &spec]() {
+        return heap.size() < spec.k
+                   ? std::numeric_limits<double>::infinity()
+                   : heap.front().first;
+      };
+      for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i].d2 >= radius2()) {
+          result.cost.pruned_subtrees += order.size() - i;
+          break;
+        }
+        ++result.cost.leaves_touched;
+        for (uint64_t key : *order[i].keys) {
+          ++result.cost.points_scanned;
+          geo::Point2 p = codec.Decode(key);
+          double d2 = p.DistanceSquared(spec.target);
+          if (d2 < radius2()) {
+            if (heap.size() == spec.k) {
+              std::pop_heap(heap.begin(), heap.end(), heap_less);
+              heap.pop_back();
+            }
+            heap.emplace_back(d2, p);
+            std::push_heap(heap.begin(), heap.end(), heap_less);
+          }
+        }
+      }
+      std::sort(heap.begin(), heap.end(), heap_less);
+      result.points.reserve(heap.size());
+      for (const auto& [d2, p] : heap) result.points.push_back(p);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace popan::query

@@ -1,0 +1,131 @@
+#include "query/workload.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace popan::query {
+
+void AppendWrappedRangeSpecs(const geo::Box2& domain, double ox, double oy,
+                             double qx, double qy,
+                             std::vector<QuerySpec>* out) {
+  POPAN_CHECK(out != nullptr);
+  POPAN_CHECK(qx > 0.0 && qx <= domain.Extent(0));
+  POPAN_CHECK(qy > 0.0 && qy <= domain.Extent(1));
+  POPAN_CHECK(domain.lo().x() <= ox && ox < domain.hi().x());
+  POPAN_CHECK(domain.lo().y() <= oy && oy < domain.hi().y());
+  // Per axis: the arc [o, o+q) on the circle of circumference E, cut at
+  // the domain boundary, is one segment when it fits and two when it
+  // wraps.
+  struct Segment {
+    double lo, hi;
+  };
+  auto split = [](double o, double q, double dom_lo, double dom_hi,
+                  Segment segs[2]) {
+    if (o + q <= dom_hi) {
+      segs[0] = {o, o + q};
+      return size_t{1};
+    }
+    segs[0] = {o, dom_hi};
+    segs[1] = {dom_lo, dom_lo + (o + q - dom_hi)};
+    return size_t{2};
+  };
+  Segment xs[2];
+  Segment ys[2];
+  size_t nx = split(ox, qx, domain.lo().x(), domain.hi().x(), xs);
+  size_t ny = split(oy, qy, domain.lo().y(), domain.hi().y(), ys);
+  for (size_t i = 0; i < nx; ++i) {
+    for (size_t j = 0; j < ny; ++j) {
+      out->push_back(QuerySpec::Range(
+          geo::Box2(geo::Point2(xs[i].lo, ys[j].lo),
+                    geo::Point2(xs[i].hi, ys[j].hi))));
+    }
+  }
+}
+
+std::vector<QuerySpec> MakeWrappedRangeWorkload(const geo::Box2& domain,
+                                                size_t count, double qx,
+                                                double qy, uint64_t seed) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  RngStreamFamily family(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Pcg32 rng = family.MakeStream(i);
+    double ox = rng.NextDouble(domain.lo().x(), domain.hi().x());
+    double oy = rng.NextDouble(domain.lo().y(), domain.hi().y());
+    AppendWrappedRangeSpecs(domain, ox, oy, qx, qy, &specs);
+  }
+  return specs;
+}
+
+std::vector<QuerySpec> MakePartialMatchWorkload(const geo::Box2& domain,
+                                                size_t axis, size_t count,
+                                                uint64_t seed) {
+  POPAN_CHECK(axis < 2);
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  RngStreamFamily family(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Pcg32 rng = family.MakeStream(i);
+    double value = rng.NextDouble(domain.lo()[axis], domain.hi()[axis]);
+    specs.push_back(QuerySpec::PartialMatch(axis, value));
+  }
+  return specs;
+}
+
+std::vector<QuerySpec> MakeNearestKWorkload(const geo::Box2& domain,
+                                            size_t count, size_t k,
+                                            uint64_t seed) {
+  POPAN_CHECK(k >= 1);
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  RngStreamFamily family(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Pcg32 rng = family.MakeStream(i);
+    geo::Point2 target(rng.NextDouble(domain.lo().x(), domain.hi().x()),
+                       rng.NextDouble(domain.lo().y(), domain.hi().y()));
+    specs.push_back(QuerySpec::NearestK(target, k));
+  }
+  return specs;
+}
+
+std::vector<QuerySpec> MakeMixedWorkload(const geo::Box2& domain,
+                                         size_t count, size_t k,
+                                         uint64_t seed) {
+  POPAN_CHECK(k >= 1);
+  std::vector<QuerySpec> specs;
+  specs.reserve(count);
+  RngStreamFamily family(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Pcg32 rng = family.MakeStream(i);
+    switch (i % 3) {
+      case 0: {
+        double qx = rng.NextDouble() * 0.25 * domain.Extent(0);
+        double qy = rng.NextDouble() * 0.25 * domain.Extent(1);
+        double ox = rng.NextDouble(domain.lo().x(), domain.hi().x());
+        double oy = rng.NextDouble(domain.lo().y(), domain.hi().y());
+        geo::Point2 lo(ox, oy);
+        geo::Point2 hi(std::min(ox + qx, domain.hi().x()),
+                       std::min(oy + qy, domain.hi().y()));
+        specs.push_back(QuerySpec::Range(geo::Box2(lo, hi)));
+        break;
+      }
+      case 1: {
+        size_t axis = rng.Next32() & 1;
+        specs.push_back(QuerySpec::PartialMatch(
+            axis, rng.NextDouble(domain.lo()[axis], domain.hi()[axis])));
+        break;
+      }
+      default: {
+        geo::Point2 target(rng.NextDouble(domain.lo().x(), domain.hi().x()),
+                           rng.NextDouble(domain.lo().y(), domain.hi().y()));
+        specs.push_back(QuerySpec::NearestK(target, 1 + (i % k)));
+        break;
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace popan::query

@@ -1,0 +1,56 @@
+#ifndef POPAN_QUERY_WORKLOAD_H_
+#define POPAN_QUERY_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "query/query.h"
+
+namespace popan::query {
+
+/// Appends the sub-boxes of the torus ("wrapped") range query of size
+/// (qx, qy) anchored at (ox, oy): the box wraps around the domain
+/// boundary, splitting into up to four axis-aligned pieces, each emitted
+/// as one kRange spec. Summed over the pieces, the expected per-depth
+/// block incidences are EXACTLY (qx/Ex + 2^-d)(qy/Ey + 2^-d) per block
+/// with a uniform origin — the closed form core/query_model predicts —
+/// because the wrap removes all boundary effects. Requires qx <= Ex,
+/// qy <= Ey, and (ox, oy) inside the domain.
+void AppendWrappedRangeSpecs(const geo::Box2& domain, double ox, double oy,
+                             double qx, double qy,
+                             std::vector<QuerySpec>* out);
+
+/// `count` wrapped range queries of size (qx, qy) with origins drawn
+/// uniformly from `domain`. Query i draws from the counter-based stream
+/// DeriveSeed(seed, i), so the workload is a pure function of (seed, i) —
+/// the same list on any machine, in any build, for any thread count. The
+/// returned specs are the concatenated sub-boxes (up to 4 per query);
+/// divide batch totals by `count` for per-query means.
+std::vector<QuerySpec> MakeWrappedRangeWorkload(const geo::Box2& domain,
+                                                size_t count, double qx,
+                                                double qy, uint64_t seed);
+
+/// `count` partial-match queries on `axis` with values uniform over the
+/// domain's axis interval; stream-per-index like the range workload.
+std::vector<QuerySpec> MakePartialMatchWorkload(const geo::Box2& domain,
+                                                size_t axis, size_t count,
+                                                uint64_t seed);
+
+/// `count` k-NN queries with targets uniform over the domain.
+std::vector<QuerySpec> MakeNearestKWorkload(const geo::Box2& domain,
+                                            size_t count, size_t k,
+                                            uint64_t seed);
+
+/// `count` queries cycling through the three kinds (range, partial-match,
+/// k-NN) with per-index random parameters — the storm input of the
+/// executor determinism tests. Range extents are up to a quarter of the
+/// domain per axis, clipped (not wrapped) so each query is one spec.
+std::vector<QuerySpec> MakeMixedWorkload(const geo::Box2& domain,
+                                         size_t count, size_t k,
+                                         uint64_t seed);
+
+}  // namespace popan::query
+
+#endif  // POPAN_QUERY_WORKLOAD_H_

@@ -1,7 +1,11 @@
 #include "sim/bench_json.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace popan::sim {
 
@@ -75,6 +79,181 @@ std::string BenchJson::WriteFile() const {
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
   return path;
+}
+
+namespace {
+
+// Cursor over the flat-JSON text; only whitespace handling is shared.
+struct Scanner {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+};
+
+[[nodiscard]] StatusOr<std::string> ScanQuoted(Scanner& s) {
+  s.SkipSpace();
+  if (s.pos >= s.text.size() || s.text[s.pos] != '"') {
+    return Status::InvalidArgument("expected '\"' at offset " +
+                                         std::to_string(s.pos));
+  }
+  std::string out = "\"";
+  for (++s.pos; s.pos < s.text.size(); ++s.pos) {
+    char c = s.text[s.pos];
+    out += c;
+    if (c == '\\') {
+      if (s.pos + 1 >= s.text.size()) break;
+      out += s.text[++s.pos];
+    } else if (c == '"') {
+      ++s.pos;
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unterminated string");
+}
+
+[[nodiscard]] StatusOr<std::string> ScanValueToken(Scanner& s) {
+  s.SkipSpace();
+  if (s.pos < s.text.size() && s.text[s.pos] == '"') return ScanQuoted(s);
+  size_t start = s.pos;
+  while (s.pos < s.text.size()) {
+    char c = s.text[s.pos];
+    if (c == ',' || c == '}' ||
+        std::isspace(static_cast<unsigned char>(c)) != 0) {
+      break;
+    }
+    ++s.pos;
+  }
+  if (s.pos == start) {
+    return Status::InvalidArgument("expected value at offset " +
+                                         std::to_string(start));
+  }
+  return s.text.substr(start, s.pos - start);
+}
+
+}  // namespace
+
+StatusOr<BenchRecord> BenchRecord::Parse(const std::string& text) {
+  Scanner s{text};
+  if (!s.Eat('{')) {
+    return Status::InvalidArgument("expected '{'");
+  }
+  BenchRecord record;
+  s.SkipSpace();
+  if (s.Eat('}')) return record;
+  while (true) {
+    StatusOr<std::string> key = ScanQuoted(s);
+    if (!key.ok()) return key.status();
+    if (!s.Eat(':')) {
+      return Status::InvalidArgument("expected ':' after " +
+                                           key.value());
+    }
+    StatusOr<std::string> value = ScanValueToken(s);
+    if (!value.ok()) return value.status();
+    // Strip the quotes from the key; the value keeps its raw token form.
+    std::string bare = key.value().substr(1, key.value().size() - 2);
+    record.fields_.emplace_back(bare, value.value());
+    if (s.Eat(',')) continue;
+    if (s.Eat('}')) break;
+    return Status::InvalidArgument("expected ',' or '}' at offset " +
+                                         std::to_string(s.pos));
+  }
+  return record;
+}
+
+StatusOr<BenchRecord> BenchRecord::Load(const std::string& dir,
+                                              const std::string& name) {
+  std::string path = dir + "/BENCH_" + name + ".json";
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot read " + path);
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  return Parse(body.str());
+}
+
+bool BenchRecord::Has(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> BenchRecord::Raw(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return Status::NotFound("no field \"" + key + "\"");
+}
+
+StatusOr<int64_t> BenchRecord::Integer(const std::string& key) const {
+  StatusOr<std::string> raw = Raw(key);
+  if (!raw.ok()) return raw.status();
+  const std::string& token = raw.value();
+  char* end = nullptr;
+  errno = 0;
+  // Unsigned 64-bit counters (checksums) exceed INT64_MAX; parse the
+  // magnitude as unsigned and carry it bit-cast, which keeps equality
+  // comparisons exact across the whole uint64 range.
+  int64_t value;
+  if (!token.empty() && token[0] == '-') {
+    value = static_cast<int64_t>(std::strtoll(token.c_str(), &end, 10));
+  } else {
+    value = static_cast<int64_t>(std::strtoull(token.c_str(), &end, 10));
+  }
+  if (end == token.c_str() || *end != '\0' || errno != 0) {
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" is not an integer: " + token);
+  }
+  return value;
+}
+
+[[nodiscard]] Status DiffIntegerFields(
+    const BenchRecord& current, const BenchRecord& reference,
+    const std::vector<std::string>& fields) {
+  std::string mismatches;
+  for (const std::string& field : fields) {
+    StatusOr<int64_t> got = current.Integer(field);
+    if (!got.ok()) return got.status();
+    StatusOr<int64_t> want = reference.Integer(field);
+    if (!want.ok()) return want.status();
+    if (got.value() != want.value()) {
+      if (!mismatches.empty()) mismatches += "; ";
+      mismatches += field + ": " + std::to_string(got.value()) +
+                    " != reference " + std::to_string(want.value());
+    }
+  }
+  if (!mismatches.empty()) {
+    return Status::FailedPrecondition(mismatches);
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] Status GateAgainstReference(
+    const BenchJson& current, const std::vector<std::string>& fields) {
+  const char* dir = std::getenv("POPAN_BENCH_REFERENCE_DIR");
+  if (dir == nullptr || dir[0] == '\0') return Status::OK();
+  StatusOr<BenchRecord> reference = BenchRecord::Load(dir,
+                                                            current.name());
+  if (!reference.ok()) return reference.status();
+  StatusOr<BenchRecord> self = BenchRecord::Parse(current.ToJson());
+  if (!self.ok()) return self.status();
+  return DiffIntegerFields(self.value(), reference.value(), fields);
 }
 
 }  // namespace popan::sim

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+#include "util/statusor.h"
+
 namespace popan::sim {
 
 /// Simple wall-clock timer for benchmark sections.
@@ -38,6 +41,8 @@ class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
+  const std::string& name() const { return name_; }
+
   BenchJson& Add(const std::string& key, double value);
   BenchJson& Add(const std::string& key, uint64_t value);
   BenchJson& Add(const std::string& key, const std::string& value);
@@ -59,6 +64,52 @@ class BenchJson {
   std::string name_;
   std::vector<Entry> entries_;
 };
+
+/// A parsed flat BENCH_*.json record: key -> raw value token in file
+/// order. Only the flat subset BenchJson emits is accepted (one object,
+/// string or numeric values, no nesting).
+class BenchRecord {
+ public:
+  /// Parses the flat-JSON text of one benchmark record.
+  [[nodiscard]] static StatusOr<BenchRecord> Parse(
+      const std::string& text);
+
+  /// Reads and parses BENCH_<name>.json from `dir`.
+  [[nodiscard]] static StatusOr<BenchRecord> Load(
+      const std::string& dir, const std::string& name);
+
+  bool Has(const std::string& key) const;
+
+  /// The raw value token ("42", "0.5", "\"true\"") for `key`; NotFound if
+  /// the record has no such field.
+  [[nodiscard]] StatusOr<std::string> Raw(const std::string& key) const;
+
+  /// The value of an integer-valued field; InvalidArgument if the field
+  /// is not a plain base-10 integer.
+  [[nodiscard]] StatusOr<int64_t> Integer(const std::string& key) const;
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Compares the named integer fields of `current` against `reference`,
+/// exactly. Deterministic benchmarks (counters, checksums, result sizes)
+/// gate on this: any drift is a behavior change, not noise. Returns
+/// FailedPrecondition naming every differing field.
+[[nodiscard]] Status DiffIntegerFields(
+    const BenchRecord& current, const BenchRecord& reference,
+    const std::vector<std::string>& fields);
+
+/// Self-gate for deterministic benches: when POPAN_BENCH_REFERENCE_DIR is
+/// set, loads BENCH_<name>.json from it and DiffIntegerFields the named
+/// fields of `current` against it; with the variable unset this is a
+/// no-op OK (local runs and reference regeneration stay unconstrained).
+[[nodiscard]] Status GateAgainstReference(
+    const BenchJson& current, const std::vector<std::string>& fields);
 
 }  // namespace popan::sim
 

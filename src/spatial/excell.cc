@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -202,28 +204,62 @@ Excell::BoxT Excell::BlockOfPrefix(uint64_t prefix_bits,
 
 std::vector<Excell::PointT> Excell::RangeQuery(const BoxT& query) const {
   std::vector<PointT> out;
-  // Scan buckets; each bucket covers one dyadic block. For the directory
-  // sizes in this library a linear scan with a geometric reject is fine.
-  for (size_t bi = 0; bi < buckets_.size(); ++bi) {
-    const Bucket& b = buckets_[bi];
-    // Recover the bucket's prefix from any directory slot pointing to it.
-    // (Slots of one bucket are contiguous and aligned; find the first.)
-    size_t first_slot = directory_.size();
-    for (size_t j = 0; j < directory_.size(); ++j) {
-      if (directory_[j] == bi) {
-        first_slot = j;
-        break;
+  QueryCost cost;
+  RangeQueryVisit(query, &cost, [&out](const PointT& p) { out.push_back(p); });
+  return out;
+}
+
+std::vector<Excell::PointT> Excell::NearestK(const PointT& target, size_t k,
+                                             QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<PointT> out;
+  if (size_ == 0) return out;
+  // Rank all buckets by (block distance, index) — the directory is flat,
+  // so the "traversal" is one sorted scan with the best-first cutoff.
+  std::vector<std::pair<double, uint32_t>> order;
+  order.reserve(buckets_.size());
+  VisitBucketsWithPrefix(
+      [this, &target, cost, &order](size_t bi, uint64_t prefix, size_t depth) {
+        ++cost->nodes_visited;
+        order.emplace_back(
+            BlockOfPrefix(prefix, depth).DistanceSquaredTo(target),
+            static_cast<uint32_t>(bi));
+      });
+  std::sort(order.begin(), order.end());
+  std::vector<std::pair<double, PointT>> heap;
+  heap.reserve(k);
+  auto heap_less = [](const std::pair<double, PointT>& a,
+                      const std::pair<double, PointT>& b) {
+    return a.first < b.first;
+  };
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i].first >= radius2()) {
+      // Sorted: every remaining bucket is at least this far.
+      cost->pruned_subtrees += order.size() - i;
+      break;
+    }
+    ++cost->leaves_touched;
+    for (const PointT& p : buckets_[order[i].second].points) {
+      ++cost->points_scanned;
+      double d2 = p.DistanceSquared(target);
+      if (d2 < radius2()) {
+        if (heap.size() == k) {
+          std::pop_heap(heap.begin(), heap.end(), heap_less);
+          heap.pop_back();
+        }
+        heap.emplace_back(d2, p);
+        std::push_heap(heap.begin(), heap.end(), heap_less);
       }
     }
-    if (first_slot == directory_.size()) continue;
-    uint64_t prefix = static_cast<uint64_t>(first_slot) >>
-                      (global_depth_ - b.local_depth);
-    BoxT block = BlockOfPrefix(prefix, b.local_depth);
-    if (!block.Intersects(query)) continue;
-    for (const PointT& p : b.points) {
-      if (query.Contains(p)) out.push_back(p);
-    }
   }
+  std::sort(heap.begin(), heap.end(), heap_less);
+  out.reserve(heap.size());
+  for (const auto& [d2, p] : heap) out.push_back(p);
   return out;
 }
 

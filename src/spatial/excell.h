@@ -1,11 +1,14 @@
 #ifndef POPAN_SPATIAL_EXCELL_H_
 #define POPAN_SPATIAL_EXCELL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -65,6 +68,84 @@ class Excell {
 
   /// All stored points inside `query` (half-open).
   std::vector<PointT> RangeQuery(const BoxT& query) const;
+
+  /// Calls fn(bucket_index, prefix_bits, local_depth) for every bucket,
+  /// in bucket-index order. The prefix identifies the bucket's aligned
+  /// dyadic block (pass it to BlockOfPrefix). One directory pass recovers
+  /// all prefixes — O(directory + buckets), not O(buckets x directory).
+  template <typename Fn>
+  void VisitBucketsWithPrefix(Fn fn) const {
+    // Walk the directory backwards so each bucket ends up with its FIRST
+    // (lowest) slot, whose index right-shifted by the unused depth bits is
+    // the bucket's prefix.
+    std::vector<size_t> first(buckets_.size(), 0);
+    for (size_t j = directory_.size(); j-- > 0;) first[directory_[j]] = j;
+    for (size_t bi = 0; bi < buckets_.size(); ++bi) {
+      const size_t local_depth = buckets_[bi].local_depth;
+      const uint64_t prefix =
+          static_cast<uint64_t>(first[bi]) >> (global_depth_ - local_depth);
+      fn(bi, prefix, local_depth);
+    }
+  }
+
+  /// Cost-counted orthogonal range search: fn(p) for every stored point in
+  /// `query` (half-open). Flat structure: every bucket's dyadic block is
+  /// tested; intersecting buckets count as visited and scanned, rejected
+  /// ones as pruned.
+  template <typename Fn>
+  void RangeQueryVisit(const BoxT& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    VisitBucketsWithPrefix(
+        [this, &query, cost, &fn](size_t bi, uint64_t prefix, size_t depth) {
+          if (!BlockOfPrefix(prefix, depth).Intersects(query)) {
+            ++cost->pruned_subtrees;
+            return;
+          }
+          ++cost->nodes_visited;
+          ++cost->leaves_touched;
+          for (const PointT& p : buckets_[bi].points) {
+            ++cost->points_scanned;
+            if (query.Contains(p)) fn(p);
+          }
+        });
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to `value` and calls fn(p) for every stored point with that
+  /// exact coordinate. Only buckets whose block's half-open axis interval
+  /// contains the value are scanned.
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    POPAN_DCHECK(cost != nullptr);
+    if (value < domain_.lo()[axis] || value >= domain_.hi()[axis]) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    VisitBucketsWithPrefix(
+        [this, axis, value, cost, &fn](size_t bi, uint64_t prefix,
+                                       size_t depth) {
+          const BoxT block = BlockOfPrefix(prefix, depth);
+          if (!(block.lo()[axis] <= value && value < block.hi()[axis])) {
+            ++cost->pruned_subtrees;
+            return;
+          }
+          ++cost->nodes_visited;
+          ++cost->leaves_touched;
+          for (const PointT& p : buckets_[bi].points) {
+            ++cost->points_scanned;
+            if (p[axis] == value) fn(p);
+          }
+        });
+  }
+
+  /// Cost-counted k-nearest-neighbor search: up to k stored points
+  /// ascending by distance to `target`. Ranks buckets by distance to their
+  /// dyadic block and scans in that order until the next block cannot
+  /// improve the k-th best. k >= 1.
+  std::vector<PointT> NearestK(const PointT& target, size_t k,
+                               QueryCost* cost) const;
 
   /// Census hook: fn(local_depth, occupancy) per bucket.
   template <typename Fn>

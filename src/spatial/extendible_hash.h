@@ -73,6 +73,28 @@ class ExtendibleHash {
     }
   }
 
+  /// Calls fn(bucket_index, prefix_bits, local_depth, keys) for every
+  /// bucket in bucket-index order, where prefix_bits is the local_depth-bit
+  /// pseudokey prefix all of the bucket's keys share. One directory pass
+  /// recovers all prefixes — O(directory + buckets). With identity_hash,
+  /// the prefix locates the bucket's block of key space directly, which is
+  /// how the query layer runs spatial scans over interleaved-coordinate
+  /// keys.
+  template <typename Fn>
+  void VisitBucketsWithPrefix(Fn fn) const {
+    // Walk the directory backwards so each bucket ends up with its FIRST
+    // (lowest) slot; that index right-shifted by the unused depth bits is
+    // the bucket's prefix.
+    std::vector<size_t> first(buckets_.size(), 0);
+    for (size_t j = directory_.size(); j-- > 0;) first[directory_[j]] = j;
+    for (size_t bi = 0; bi < buckets_.size(); ++bi) {
+      const Bucket& b = buckets_[bi];
+      const uint64_t prefix =
+          static_cast<uint64_t>(first[bi]) >> (global_depth_ - b.local_depth);
+      fn(bi, prefix, b.local_depth, b.keys);
+    }
+  }
+
   /// Snapshot of the live occupancy-by-local-depth histogram — the same
   /// census TakeBucketCensus(table) walks the buckets for, but assembled
   /// in O(depths x occupancies) independent of the number of buckets. The

@@ -1,6 +1,8 @@
 #include "spatial/grid_file.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -219,20 +221,77 @@ Status GridFile::Erase(const PointT& p) {
 
 std::vector<GridFile::PointT> GridFile::RangeQuery(const BoxT& query) const {
   std::vector<PointT> out;
-  // Visit each bucket at most once: scan buckets and test block overlap.
-  for (const Bucket& b : buckets_) {
-    double bx0 = XBoundary(b.ix0);
-    double bx1 = XBoundary(b.ix1);
-    double by0 = YBoundary(b.iy0);
-    double by1 = YBoundary(b.iy1);
-    if (bx1 <= query.lo().x() || bx0 >= query.hi().x() ||
-        by1 <= query.lo().y() || by0 >= query.hi().y()) {
-      continue;
+  QueryCost cost;
+  RangeQueryVisit(query, &cost, [&out](const PointT& p) { out.push_back(p); });
+  return out;
+}
+
+std::vector<GridFile::PointT> GridFile::NearestK(const PointT& target,
+                                                 size_t k,
+                                                 QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<PointT> out;
+  if (size_ == 0) return out;
+  // Distance from the target to a bucket's closed region.
+  auto bucket_d2 = [this, &target](const Bucket& b) {
+    double dx = 0.0, dy = 0.0;
+    if (target.x() < XBoundary(b.ix0)) {
+      dx = XBoundary(b.ix0) - target.x();
+    } else if (target.x() > XBoundary(b.ix1)) {
+      dx = target.x() - XBoundary(b.ix1);
     }
+    if (target.y() < YBoundary(b.iy0)) {
+      dy = YBoundary(b.iy0) - target.y();
+    } else if (target.y() > YBoundary(b.iy1)) {
+      dy = target.y() - YBoundary(b.iy1);
+    }
+    return dx * dx + dy * dy;
+  };
+  // Rank all buckets by (region distance, index) — the grid file has no
+  // hierarchy to descend, so the "traversal" is one sorted scan with the
+  // standard best-first cutoff.
+  std::vector<std::pair<double, uint32_t>> order;
+  order.reserve(buckets_.size());
+  for (uint32_t bi = 0; bi < buckets_.size(); ++bi) {
+    ++cost->nodes_visited;
+    order.emplace_back(bucket_d2(buckets_[bi]), bi);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::pair<double, PointT>> heap;
+  heap.reserve(k);
+  auto heap_less = [](const std::pair<double, PointT>& a,
+                      const std::pair<double, PointT>& b) {
+    return a.first < b.first;
+  };
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i].first >= radius2()) {
+      // Sorted: every remaining bucket is at least this far.
+      cost->pruned_subtrees += order.size() - i;
+      break;
+    }
+    const Bucket& b = buckets_[order[i].second];
+    ++cost->leaves_touched;
     for (const PointT& p : b.points) {
-      if (query.Contains(p)) out.push_back(p);
+      ++cost->points_scanned;
+      double d2 = p.DistanceSquared(target);
+      if (d2 < radius2()) {
+        if (heap.size() == k) {
+          std::pop_heap(heap.begin(), heap.end(), heap_less);
+          heap.pop_back();
+        }
+        heap.emplace_back(d2, p);
+        std::push_heap(heap.begin(), heap.end(), heap_less);
+      }
     }
   }
+  std::sort(heap.begin(), heap.end(), heap_less);
+  out.reserve(heap.size());
+  for (const auto& [d2, p] : heap) out.push_back(p);
   return out;
 }
 

@@ -1,11 +1,15 @@
 #ifndef POPAN_SPATIAL_GRID_FILE_H_
 #define POPAN_SPATIAL_GRID_FILE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -62,6 +66,75 @@ class GridFile {
 
   /// All stored points inside `query` (half-open).
   std::vector<PointT> RangeQuery(const BoxT& query) const;
+
+  /// Cost-counted orthogonal range search: fn(p) for every stored point in
+  /// `query` (half-open). Walks exactly the directory cells the query
+  /// overlaps (nodes_visited counts them) and scans each distinct bucket
+  /// once (leaves_touched). The directory is exact — no block examined can
+  /// miss — so pruned_subtrees stays 0 except when the query misses the
+  /// domain entirely.
+  template <typename Fn>
+  void RangeQueryVisit(const BoxT& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    if (!domain_.Intersects(query)) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    const size_t ix0 = CellX(std::max(query.lo().x(), domain_.lo().x()));
+    const size_t iy0 = CellY(std::max(query.lo().y(), domain_.lo().y()));
+    std::vector<uint8_t> seen(buckets_.size(), 0);
+    for (size_t iy = iy0; iy < CellsY() && YBoundary(iy) < query.hi().y();
+         ++iy) {
+      for (size_t ix = ix0; ix < CellsX() && XBoundary(ix) < query.hi().x();
+           ++ix) {
+        ++cost->nodes_visited;
+        const uint32_t bi = Dir(ix, iy);
+        if (seen[bi]) continue;
+        seen[bi] = 1;
+        ++cost->leaves_touched;
+        for (const PointT& p : buckets_[bi].points) {
+          ++cost->points_scanned;
+          if (query.Contains(p)) fn(p);
+        }
+      }
+    }
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to `value` and calls fn(p) for every stored point with that
+  /// exact coordinate. Walks the single row/column of directory cells
+  /// whose half-open axis interval contains the value.
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    POPAN_DCHECK(cost != nullptr);
+    if (value < domain_.lo()[axis] || value >= domain_.hi()[axis]) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    const size_t fixed = axis == 0 ? CellX(value) : CellY(value);
+    const size_t span = axis == 0 ? CellsY() : CellsX();
+    std::vector<uint8_t> seen(buckets_.size(), 0);
+    for (size_t i = 0; i < span; ++i) {
+      ++cost->nodes_visited;
+      const uint32_t bi = axis == 0 ? Dir(fixed, i) : Dir(i, fixed);
+      if (seen[bi]) continue;
+      seen[bi] = 1;
+      ++cost->leaves_touched;
+      for (const PointT& p : buckets_[bi].points) {
+        ++cost->points_scanned;
+        if (p[axis] == value) fn(p);
+      }
+    }
+  }
+
+  /// Cost-counted k-nearest-neighbor search: up to k stored points
+  /// ascending by distance to `target`. Ranks buckets by distance to their
+  /// (closed) region and scans in that order until the next bucket cannot
+  /// improve the k-th best. k >= 1.
+  std::vector<PointT> NearestK(const PointT& target, size_t k,
+                               QueryCost* cost) const;
 
   /// Calls fn(occupancy) for every bucket — the census hook (grid-file
   /// buckets have no depth; census callers record depth 0).

@@ -1,8 +1,10 @@
 #include "spatial/linear_quadtree.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <span>
+#include <utility>
 
 #include "util/check.h"
 
@@ -146,34 +148,104 @@ bool LinearPrQuadtree::Contains(const geo::Point2& p) const {
 std::vector<geo::Point2> LinearPrQuadtree::RangeQuery(
     const geo::Box2& query) const {
   std::vector<geo::Point2> out;
-  RangeRec(RootCode(), 0, leaves_.size(), query, &out);
+  QueryCost cost;
+  RangeQueryVisit(query, &cost, [&out](const geo::Point2& p) {
+    out.push_back(p);
+  });
   return out;
 }
 
-void LinearPrQuadtree::RangeRec(const MortonCode& block, size_t begin,
-                                size_t end, const geo::Box2& query,
-                                std::vector<geo::Point2>* out) const {
-  if (begin >= end) return;
-  geo::Box2 box = BlockOfCode(bounds_, block);
-  if (!box.Intersects(query)) return;
-  if (end - begin == 1 && leaves_[begin].code == block) {
-    for (const geo::Point2& p : leaves_[begin].points) {
-      if (query.Contains(p)) out->push_back(p);
+std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
+                                                    size_t k,
+                                                    QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<geo::Point2> out;
+  if (leaves_.empty() || size_ == 0) return out;
+  // Max-heap of the k best (distance², point); the top is the pruning
+  // radius. Best-first descent over (block, span) frames, nearest child
+  // popped first.
+  std::vector<std::pair<double, geo::Point2>> heap;
+  heap.reserve(k);
+  auto heap_less = [](const std::pair<double, geo::Point2>& a,
+                      const std::pair<double, geo::Point2>& b) {
+    return a.first < b.first;
+  };
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  struct Frame {
+    MortonCode block;
+    size_t begin, end;
+    double d2;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  stack.push_back(Frame{RootCode(), 0, leaves_.size(),
+                        bounds_.DistanceSquaredTo(target)});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.d2 >= radius2()) {
+      ++cost->pruned_subtrees;
+      continue;
     }
-    return;
-  }
-  size_t cursor = begin;
-  for (size_t q = 0; q < 4; ++q) {
-    MortonCode child = ChildCode(block, q);
-    uint64_t lo, hi;
-    DescendantRange(child, &lo, &hi);
-    size_t child_end = cursor;
-    while (child_end < end && leaves_[child_end].code.bits < hi) {
-      ++child_end;
+    ++cost->nodes_visited;
+    if (f.end - f.begin == 1 && leaves_[f.begin].code == f.block) {
+      ++cost->leaves_touched;
+      for (const geo::Point2& p : leaves_[f.begin].points) {
+        ++cost->points_scanned;
+        double d2 = p.DistanceSquared(target);
+        if (d2 < radius2()) {
+          if (heap.size() == k) {
+            std::pop_heap(heap.begin(), heap.end(), heap_less);
+            heap.pop_back();
+          }
+          heap.emplace_back(d2, p);
+          std::push_heap(heap.begin(), heap.end(), heap_less);
+        }
+      }
+      continue;
     }
-    RangeRec(child, cursor, child_end, query, out);
-    cursor = child_end;
+    // Split the span into child code intervals and order near-to-far.
+    std::array<MortonCode, 4> children;
+    std::array<std::pair<size_t, size_t>, 4> spans;
+    std::array<std::pair<double, size_t>, 4> order;
+    size_t cursor = f.begin;
+    for (size_t q = 0; q < 4; ++q) {
+      children[q] = ChildCode(f.block, q);
+      uint64_t lo, hi;
+      DescendantRange(children[q], &lo, &hi);
+      size_t child_end = cursor;
+      while (child_end < f.end && leaves_[child_end].code.bits < hi) {
+        ++child_end;
+      }
+      spans[q] = {cursor, child_end};
+      cursor = child_end;
+      order[q] = {cursor > spans[q].first
+                      ? BlockOfCode(bounds_, children[q])
+                            .DistanceSquaredTo(target)
+                      : std::numeric_limits<double>::infinity(),
+                  q};
+    }
+    std::sort(order.begin(), order.end());
+    // Far-to-near onto the LIFO stack; the nearest child pops first.
+    for (size_t i = 4; i-- > 0;) {
+      const auto& [d2, q] = order[i];
+      if (spans[q].first >= spans[q].second) continue;
+      if (d2 >= radius2()) {
+        ++cost->pruned_subtrees;
+        continue;
+      }
+      stack.push_back(Frame{children[q], spans[q].first, spans[q].second,
+                            d2});
+    }
   }
+  std::sort(heap.begin(), heap.end(), heap_less);
+  out.reserve(heap.size());
+  for (const auto& [d2, p] : heap) out.push_back(p);
+  return out;
 }
 
 Status LinearPrQuadtree::CheckInvariants() const {

@@ -1,13 +1,18 @@
 #ifndef POPAN_SPATIAL_LINEAR_QUADTREE_H_
 #define POPAN_SPATIAL_LINEAR_QUADTREE_H_
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "spatial/morton.h"
 #include "spatial/pr_tree.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -64,6 +69,54 @@ class LinearPrQuadtree {
   /// descent over the sorted array.
   std::vector<geo::Point2> RangeQuery(const geo::Box2& query) const;
 
+  /// Cost-counted orthogonal range search: fn(point) for every stored
+  /// point inside `query` (half-open), in Z order. The traversal walks
+  /// the virtual pointer tree as (block, span) frames over the sorted
+  /// leaf array — iterative, explicit stack, no recursion — so
+  /// nodes_visited is directly comparable with the pointer-based
+  /// PrTree's. Safe to call concurrently on a shared const structure.
+  template <typename Fn>
+  void RangeQueryVisit(const geo::Box2& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    if (leaves_.empty()) return;
+    if (!bounds_.Intersects(query)) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    SpanWalk(
+        cost,
+        [&query](const geo::Box2& block) { return block.Intersects(query); },
+        [&query](const geo::Point2& p) { return query.Contains(p); }, fn);
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to `value` and calls fn(point) for every stored point with
+  /// point[axis] == value, descending only into blocks whose half-open
+  /// axis interval contains the value.
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    POPAN_DCHECK(cost != nullptr);
+    if (leaves_.empty()) return;
+    if (value < bounds_.lo()[axis] || value >= bounds_.hi()[axis]) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    SpanWalk(
+        cost,
+        [axis, value](const geo::Box2& block) {
+          return block.lo()[axis] <= value && value < block.hi()[axis];
+        },
+        [axis, value](const geo::Point2& p) { return p[axis] == value; },
+        fn);
+  }
+
+  /// Cost-counted k-nearest-neighbor search: up to k stored points
+  /// ascending by distance to `target`. k >= 1.
+  std::vector<geo::Point2> NearestK(const geo::Point2& target, size_t k,
+                                    QueryCost* cost) const;
+
   /// Census hook: fn(box, depth, occupancy) per leaf, in Z order.
   template <typename Fn>
   void VisitLeaves(Fn fn) const {
@@ -90,9 +143,61 @@ class LinearPrQuadtree {
   /// Index of the leaf whose code interval contains `point_bits`.
   size_t LeafIndexFor(uint64_t point_bits) const;
 
-  void RangeRec(const MortonCode& block, size_t begin, size_t end,
-                const geo::Box2& query,
-                std::vector<geo::Point2>* out) const;
+  static constexpr size_t kWalkStackHint = 64;
+
+  /// Shared iterative walk over (block, span) frames of the virtual
+  /// pointer tree: descends into children whose block passes `block_ok`,
+  /// scans leaf contents through `point_ok`, and calls fn(point) on
+  /// matches. The caller has already accepted the root block.
+  template <typename BlockPred, typename PointPred, typename Fn>
+  void SpanWalk(QueryCost* cost, BlockPred block_ok, PointPred point_ok,
+                Fn fn) const {
+    struct Frame {
+      MortonCode block;
+      size_t begin, end;
+    };
+    std::vector<Frame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(Frame{RootCode(), 0, leaves_.size()});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      if (f.end - f.begin == 1 && leaves_[f.begin].code == f.block) {
+        ++cost->leaves_touched;
+        for (const geo::Point2& p : leaves_[f.begin].points) {
+          ++cost->points_scanned;
+          if (point_ok(p)) fn(p);
+        }
+        continue;
+      }
+      // Split the sorted span into the four child code intervals, then
+      // push surviving children in reverse so quadrant 0 pops first
+      // (Z order, matching the pointer tree's preorder).
+      std::array<MortonCode, 4> children;
+      std::array<std::pair<size_t, size_t>, 4> spans;
+      size_t cursor = f.begin;
+      for (size_t q = 0; q < 4; ++q) {
+        children[q] = ChildCode(f.block, q);
+        uint64_t lo, hi;
+        DescendantRange(children[q], &lo, &hi);
+        size_t child_end = cursor;
+        while (child_end < f.end && leaves_[child_end].code.bits < hi) {
+          ++child_end;
+        }
+        spans[q] = {cursor, child_end};
+        cursor = child_end;
+      }
+      for (size_t q = 4; q-- > 0;) {
+        if (spans[q].first >= spans[q].second) continue;
+        if (!block_ok(BlockOfCode(bounds_, children[q]))) {
+          ++cost->pruned_subtrees;
+          continue;
+        }
+        stack.push_back(Frame{children[q], spans[q].first, spans[q].second});
+      }
+    }
+  }
 
   geo::Box2 bounds_;
   PrTreeOptions options_;

@@ -1,5 +1,7 @@
 #include "spatial/mx_quadtree.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "util/check.h"
@@ -99,32 +101,110 @@ Status MxQuadtree::Erase(uint32_t x, uint32_t y) {
   return Status::OK();
 }
 
-void MxQuadtree::RangeRec(
-    NodeIndex idx, uint32_t bx, uint32_t by, size_t block, uint32_t x0,
-    uint32_t y0, uint32_t x1, uint32_t y1,
-    std::vector<std::pair<uint32_t, uint32_t>>* out) const {
-  if (bx >= x1 || by >= y1 || bx + block <= x0 || by + block <= y0) return;
-  if (block == 1) {
-    out->emplace_back(bx, by);
-    return;
-  }
-  const Node& node = arena_.Get(idx);
-  size_t half = block / 2;
-  for (size_t q = 0; q < 4; ++q) {
-    if (node.children[q] == kNullNode) continue;
-    RangeRec(node.children[q],
-             bx + static_cast<uint32_t>((q & 1) ? half : 0),
-             by + static_cast<uint32_t>((q & 2) ? half : 0), half, x0, y0,
-             x1, y1, out);
-  }
-}
-
 std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::RangeQuery(
     uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1) const {
   std::vector<std::pair<uint32_t, uint32_t>> out;
-  if (root_ != kNullNode) {
-    RangeRec(root_, 0, 0, side(), x0, y0, x1, y1, &out);
+  QueryCost cost;
+  RangeQueryVisit(x0, y0, x1, y1, &cost, [&out](uint32_t x, uint32_t y) {
+    out.emplace_back(x, y);
+  });
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
+    double tx, double ty, size_t k, QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  if (root_ == kNullNode) return out;
+  // Cells of block (bx, by, block), viewed as lattice points, fill the
+  // closed box [bx, bx + block - 1] x [by, by + block - 1].
+  auto block_d2 = [tx, ty](uint32_t bx, uint32_t by, uint32_t block) {
+    double dx = 0.0;
+    double dy = 0.0;
+    const double x_hi = static_cast<double>(bx) + (block - 1);
+    const double y_hi = static_cast<double>(by) + (block - 1);
+    if (tx < bx) {
+      dx = bx - tx;
+    } else if (tx > x_hi) {
+      dx = tx - x_hi;
+    }
+    if (ty < by) {
+      dy = by - ty;
+    } else if (ty > y_hi) {
+      dy = ty - y_hi;
+    }
+    return dx * dx + dy * dy;
+  };
+  // Max-heap of the k best (distance², (x, y)); the top is the pruning
+  // radius.
+  using Entry = std::pair<double, std::pair<uint32_t, uint32_t>>;
+  std::vector<Entry> heap;
+  heap.reserve(k);
+  auto heap_less = [](const Entry& a, const Entry& b) {
+    return a.first < b.first;
+  };
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  struct Frame {
+    NodeIndex idx;
+    uint32_t bx, by, block;
+    double d2;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(kWalkStackHint);
+  const uint32_t root_block = static_cast<uint32_t>(side());
+  stack.push_back(Frame{root_, 0, 0, root_block, block_d2(0, 0, root_block)});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.d2 >= radius2()) {
+      ++cost->pruned_subtrees;
+      continue;
+    }
+    ++cost->nodes_visited;
+    if (f.block == 1) {
+      ++cost->leaves_touched;
+      ++cost->points_scanned;
+      if (heap.size() == k) {
+        std::pop_heap(heap.begin(), heap.end(), heap_less);
+        heap.pop_back();
+      }
+      heap.emplace_back(f.d2, std::make_pair(f.bx, f.by));
+      std::push_heap(heap.begin(), heap.end(), heap_less);
+      continue;
+    }
+    const Node& node = arena_.Get(f.idx);
+    uint32_t half = f.block / 2;
+    std::array<std::pair<double, size_t>, 4> order;
+    for (size_t q = 0; q < 4; ++q) {
+      uint32_t cx = f.bx + ((q & 1) ? half : 0);
+      uint32_t cy = f.by + ((q & 2) ? half : 0);
+      order[q] = {node.children[q] == kNullNode
+                      ? std::numeric_limits<double>::infinity()
+                      : block_d2(cx, cy, half),
+                  q};
+    }
+    std::sort(order.begin(), order.end());
+    // Far-to-near onto the LIFO stack; the nearest child pops first.
+    for (size_t i = 4; i-- > 0;) {
+      const auto& [d2, q] = order[i];
+      if (node.children[q] == kNullNode) continue;
+      if (d2 >= radius2()) {
+        ++cost->pruned_subtrees;
+        continue;
+      }
+      uint32_t cx = f.bx + ((q & 1) ? half : 0);
+      uint32_t cy = f.by + ((q & 2) ? half : 0);
+      stack.push_back(Frame{node.children[q], cx, cy, half, d2});
+    }
   }
+  // Ascending by distance, ties by (x, y) for a canonical result order.
+  std::sort(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& [d2, cell] : heap) out.push_back(cell);
   return out;
 }
 

@@ -2,10 +2,14 @@
 #define POPAN_SPATIAL_MX_QUADTREE_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "spatial/node_arena.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -53,6 +57,78 @@ class MxQuadtree {
                                                         uint32_t x1,
                                                         uint32_t y1) const;
 
+  /// Cost-counted orthogonal range search: fn(x, y) for every occupied
+  /// cell with x in [x0, x1) and y in [y0, y1), in Z order. Iterative
+  /// (explicit stack); safe to call concurrently on a shared const tree.
+  /// An occupied cell is both a leaf touched and a point scanned; a
+  /// materialized child block outside the query counts in
+  /// pruned_subtrees.
+  template <typename Fn>
+  void RangeQueryVisit(uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
+                       QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    if (root_ == kNullNode) return;
+    const uint32_t root_block = static_cast<uint32_t>(side());
+    if (x1 == 0 || y1 == 0 || x0 >= root_block || y0 >= root_block) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    struct Frame {
+      NodeIndex idx;
+      uint32_t bx, by, block;
+    };
+    std::vector<Frame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(Frame{root_, 0, 0, root_block});
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      if (f.block == 1) {
+        ++cost->leaves_touched;
+        ++cost->points_scanned;
+        fn(f.bx, f.by);
+        continue;
+      }
+      const Node& node = arena_.Get(f.idx);
+      uint32_t half = f.block / 2;
+      for (size_t q = 4; q-- > 0;) {
+        if (node.children[q] == kNullNode) continue;
+        uint32_t cx = f.bx + ((q & 1) ? half : 0);
+        uint32_t cy = f.by + ((q & 2) ? half : 0);
+        if (cx >= x1 || cy >= y1 || cx + half <= x0 || cy + half <= y0) {
+          ++cost->pruned_subtrees;
+          continue;
+        }
+        stack.push_back(Frame{node.children[q], cx, cy, half});
+      }
+    }
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to cell coordinate `value` and calls fn(x, y) for every
+  /// occupied cell on that grid line — the degenerate range
+  /// [value, value + 1) on the fixed axis.
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, uint32_t value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    const uint32_t s = static_cast<uint32_t>(side());
+    if (axis == 0) {
+      RangeQueryVisit(value, 0, value + 1, s, cost, fn);
+    } else {
+      RangeQueryVisit(0, value, s, value + 1, cost, fn);
+    }
+  }
+
+  /// Cost-counted k-nearest-neighbor search over occupied cells, with the
+  /// target and distances expressed in cell (lattice) units: the cell
+  /// (x, y) is the point (x, y). Returns up to k cells ascending by
+  /// distance to (tx, ty), ties broken by (x, y). k >= 1.
+  std::vector<std::pair<uint32_t, uint32_t>> NearestK(double tx, double ty,
+                                                      size_t k,
+                                                      QueryCost* cost) const;
+
   /// Depth of every stored point (they all live at resolution_bits — the
   /// defining MX property; exposed for tests).
   size_t PointDepth() const { return bits_; }
@@ -80,9 +156,7 @@ class MxQuadtree {
   /// Returns true when the subtree became empty and was freed.
   bool EraseRec(NodeIndex idx, uint32_t x, uint32_t y, size_t block);
 
-  void RangeRec(NodeIndex idx, uint32_t bx, uint32_t by, size_t block,
-                uint32_t x0, uint32_t y0, uint32_t x1, uint32_t y1,
-                std::vector<std::pair<uint32_t, uint32_t>>* out) const;
+  static constexpr size_t kWalkStackHint = 64;
 
   template <typename Fn>
   void VisitRec(NodeIndex idx, uint32_t bx, uint32_t by, size_t block,

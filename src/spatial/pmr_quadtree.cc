@@ -1,6 +1,8 @@
 #include "spatial/pmr_quadtree.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "util/check.h"
 
@@ -87,30 +89,86 @@ void PmrQuadtree::SplitOnce(NodeIndex idx, const BoxT& box) {
 std::vector<PmrQuadtree::SegmentId> PmrQuadtree::RangeQuery(
     const BoxT& query) const {
   std::vector<SegmentId> out;
-  RangeRec(root_, bounds_, query, &out);
+  QueryCost cost;
+  RangeQueryVisit(query, &cost, [&out](SegmentId id) { out.push_back(id); });
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  // Fragments only prove block overlap; confirm actual intersection with
-  // the query box.
-  std::vector<SegmentId> confirmed;
-  confirmed.reserve(out.size());
-  for (SegmentId id : out) {
-    if (segments_[id].IntersectsBox(query)) confirmed.push_back(id);
-  }
-  return confirmed;
+  return out;
 }
 
-void PmrQuadtree::RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
-                           std::vector<SegmentId>* out) const {
-  if (!box.Intersects(query)) return;
-  const Node& node = arena_.Get(idx);
-  if (node.is_leaf) {
-    out->insert(out->end(), node.segment_ids.begin(), node.segment_ids.end());
-    return;
+std::vector<PmrQuadtree::SegmentId> PmrQuadtree::NearestK(
+    const geo::Point2& target, size_t k, QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<SegmentId> out;
+  if (segments_.empty()) return out;
+  // Max-heap of the k best (distance², id), ordered lexicographically so
+  // distance ties evict the larger id — a canonical result for any
+  // traversal order. The top is the pruning radius.
+  using Entry = std::pair<double, SegmentId>;
+  std::vector<Entry> heap;
+  heap.reserve(k);
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  // A segment is stored once per intersected leaf: evaluate its exact
+  // distance only at the first encounter.
+  std::vector<uint8_t> seen(segments_.size(), 0);
+  struct Frame {
+    NodeIndex idx;
+    BoxT box;
+    double d2;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+  stack.push_back(Frame{root_, bounds_, bounds_.DistanceSquaredTo(target)});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.d2 >= radius2()) {
+      ++cost->pruned_subtrees;
+      continue;
+    }
+    ++cost->nodes_visited;
+    const Node& node = arena_.Get(f.idx);
+    if (node.is_leaf) {
+      ++cost->leaves_touched;
+      for (SegmentId id : node.segment_ids) {
+        ++cost->points_scanned;
+        if (seen[id]) continue;
+        seen[id] = 1;
+        double d2 = segments_[id].DistanceSquaredToPoint(target);
+        Entry entry{d2, id};
+        if (heap.size() < k) {
+          heap.push_back(entry);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (entry < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = entry;
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+      continue;
+    }
+    std::array<std::pair<double, size_t>, 4> order;
+    for (size_t q = 0; q < 4; ++q) {
+      order[q] = {f.box.Quadrant(q).DistanceSquaredTo(target), q};
+    }
+    std::sort(order.begin(), order.end());
+    // Far-to-near onto the LIFO stack; the nearest child pops first.
+    for (size_t i = 4; i-- > 0;) {
+      const auto& [d2, q] = order[i];
+      if (d2 >= radius2()) {
+        ++cost->pruned_subtrees;
+        continue;
+      }
+      stack.push_back(Frame{node.children[q], f.box.Quadrant(q), d2});
+    }
   }
-  for (size_t q = 0; q < 4; ++q) {
-    RangeRec(node.children[q], box.Quadrant(q), query, out);
-  }
+  std::sort(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const auto& [d2, id] : heap) out.push_back(id);
+  return out;
 }
 
 Status PmrQuadtree::CheckInvariants() const {

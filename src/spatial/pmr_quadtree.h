@@ -1,13 +1,18 @@
 #ifndef POPAN_SPATIAL_PMR_QUADTREE_H_
 #define POPAN_SPATIAL_PMR_QUADTREE_H_
 
+#include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "geometry/box.h"
+#include "geometry/point.h"
 #include "geometry/segment.h"
 #include "spatial/node_arena.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -65,6 +70,58 @@ class PmrQuadtree {
   /// All distinct segments intersecting `query`.
   std::vector<SegmentId> RangeQuery(const BoxT& query) const;
 
+  /// Cost-counted orthogonal range search: fn(id) once per distinct
+  /// segment intersecting `query` (closed segment–box semantics, matching
+  /// Segment::IntersectsBox), in first-encounter order of the Z-order
+  /// walk. points_scanned counts fragment encounters, so the PMR
+  /// duplication factor is visible in the cost. Iterative with a local
+  /// stack; safe to call concurrently on a shared const tree.
+  template <typename Fn>
+  void RangeQueryVisit(const BoxT& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    GeomWalk(
+        cost,
+        [&query](const BoxT& block) { return block.Intersects(query); },
+        [this, &query](SegmentId id) {
+          return segments_[id].IntersectsBox(query);
+        },
+        fn);
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to `value` and calls fn(id) once per distinct segment
+  /// crossing the line axis == value (closed: touching the line counts,
+  /// consistent with the closed segment–box convention). Only blocks
+  /// whose half-open axis interval contains the value are entered.
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    POPAN_DCHECK(cost != nullptr);
+    if (value < bounds_.lo()[axis] || value >= bounds_.hi()[axis]) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    GeomWalk(
+        cost,
+        [axis, value](const BoxT& block) {
+          return block.lo()[axis] <= value && value < block.hi()[axis];
+        },
+        [this, axis, value](SegmentId id) {
+          const geo::Segment& s = segments_[id];
+          const double c0 = axis == 0 ? s.a().x() : s.a().y();
+          const double c1 = axis == 0 ? s.b().x() : s.b().y();
+          return std::min(c0, c1) <= value && value <= std::max(c0, c1);
+        },
+        fn);
+  }
+
+  /// Cost-counted k-nearest-neighbor search: up to k distinct segment ids
+  /// ascending by point-to-segment distance to `target` (ties by id).
+  /// k >= 1.
+  std::vector<SegmentId> NearestK(const geo::Point2& target, size_t k,
+                                  QueryCost* cost) const;
+
   /// Calls fn(box, depth, occupancy) for every leaf in preorder (children
   /// in quadrant order), where occupancy is the number of segment fragments
   /// stored in the leaf — the quantity the PMR population census counts.
@@ -113,8 +170,50 @@ class PmrQuadtree {
 
   void InsertSegment(SegmentId id);
   void SplitOnce(NodeIndex idx, const BoxT& box);
-  void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
-                std::vector<SegmentId>* out) const;
+
+  static constexpr size_t kWalkStackHint = 64;
+
+  /// Shared iterative geometric walk for the range / partial-match
+  /// visitors: descends into children whose block passes `block_ok`,
+  /// deduplicates fragments (a segment is stored once per intersected
+  /// leaf), confirms first encounters with `segment_ok`, and calls
+  /// fn(id) for matches.
+  template <typename BlockPred, typename SegPred, typename Fn>
+  void GeomWalk(QueryCost* cost, BlockPred block_ok, SegPred segment_ok,
+                Fn fn) const {
+    if (!block_ok(bounds_)) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    std::vector<uint8_t> seen(segments_.size(), 0);
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        ++cost->leaves_touched;
+        for (SegmentId id : node.segment_ids) {
+          ++cost->points_scanned;
+          if (seen[id]) continue;
+          seen[id] = 1;
+          if (segment_ok(id)) fn(id);
+        }
+        continue;
+      }
+      for (size_t q = 4; q-- > 0;) {
+        BoxT child = f.box.Quadrant(q);
+        if (!block_ok(child)) {
+          ++cost->pruned_subtrees;
+          continue;
+        }
+        stack.push_back(WalkFrame{node.children[q], child, f.depth + 1});
+      }
+    }
+  }
 
   [[nodiscard]] Status CheckRec(NodeIndex idx, const BoxT& box) const;
 

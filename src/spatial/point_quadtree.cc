@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace popan::spatial {
 
@@ -42,79 +43,109 @@ bool PointQuadtree::Contains(const PointT& p) const {
 std::vector<PointQuadtree::PointT> PointQuadtree::RangeQuery(
     const BoxT& query) const {
   std::vector<PointT> out;
-  RangeRec(root_, query, &out);
+  QueryCost cost;
+  RangeQueryVisit(query, &cost, [&out](const PointT& p) {
+    out.push_back(p);
+  });
   return out;
-}
-
-void PointQuadtree::RangeRec(NodeIndex idx, const BoxT& query,
-                             std::vector<PointT>* out) const {
-  if (idx == kNullNode) return;
-  const Node& node = arena_.Get(idx);
-  const PointT& p = node.point;
-  if (query.Contains(p)) out->push_back(p);
-  // Prune: a child quadrant q of pivot p can contain query points only if
-  // the query extends to that side of p on each axis.
-  // Quadrant q holds points with x < p.x (bit 0 clear) or x >= p.x (bit 0
-  // set), and likewise for y. With the half-open query [lo, hi), the left
-  // side is reachable iff lo < p.x and the right side iff hi > p.x.
-  bool lo_x = query.lo().x() < p.x();
-  bool hi_x = query.hi().x() > p.x();
-  bool lo_y = query.lo().y() < p.y();
-  bool hi_y = query.hi().y() > p.y();
-  for (size_t q = 0; q < 4; ++q) {
-    bool x_ok = (q & 1) ? hi_x : lo_x;
-    bool y_ok = (q & 2) ? hi_y : lo_y;
-    if (x_ok && y_ok) RangeRec(node.children[q], query, out);
-  }
 }
 
 StatusOr<PointQuadtree::PointT> PointQuadtree::Nearest(
     const PointT& target) const {
   if (root_ == kNullNode) return Status::NotFound("tree is empty");
-  PointT best;
-  double best_d2 = std::numeric_limits<double>::infinity();
-  double inf = std::numeric_limits<double>::infinity();
-  BoxT everything(PointT(-inf, -inf), PointT(inf, inf));
-  NearestRec(root_, everything, target, &best, &best_d2);
-  return best;
+  QueryCost cost;
+  std::vector<PointT> best = NearestK(target, 1, &cost);
+  POPAN_CHECK(!best.empty());
+  return best[0];
 }
 
-void PointQuadtree::NearestRec(NodeIndex idx, const BoxT& cell,
-                               const PointT& target, PointT* best,
-                               double* best_d2) const {
-  if (idx == kNullNode) return;
-  if (cell.DistanceSquaredTo(target) >= *best_d2) return;
-  const Node& node = arena_.Get(idx);
-  double d2 = node.point.DistanceSquared(target);
-  if (d2 < *best_d2) {
-    *best_d2 = d2;
-    *best = node.point;
-  }
-  // Children cells are the four quadrants of `cell` cut at the pivot point.
-  const PointT& p = node.point;
-  std::array<std::pair<double, size_t>, 4> order;
-  std::array<BoxT, 4> cells;
-  for (size_t q = 0; q < 4; ++q) {
-    PointT lo = cell.lo();
-    PointT hi = cell.hi();
-    if (q & 1) {
-      lo[0] = p.x();
-    } else {
-      hi[0] = p.x();
+std::vector<PointQuadtree::PointT> PointQuadtree::NearestK(
+    const PointT& target, size_t k, QueryCost* cost) const {
+  POPAN_CHECK(k >= 1);
+  POPAN_DCHECK(cost != nullptr);
+  std::vector<PointT> out;
+  if (root_ == kNullNode) return out;
+  // Max-heap of the k best (distance², point) candidates; the heap top is
+  // the current k-th distance, the pruning radius.
+  std::vector<std::pair<double, PointT>> heap;
+  heap.reserve(k);
+  auto heap_less = [](const std::pair<double, PointT>& a,
+                      const std::pair<double, PointT>& b) {
+    return a.first < b.first;
+  };
+  auto radius2 = [&heap, k]() {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().first;
+  };
+  // Iterative best-first descent. A node's cell is the quadrant of its
+  // parent's cell cut at the parent's pivot; the root cell is the whole
+  // plane. The cell distance² is computed at push time and re-checked at
+  // pop time, because the radius may have shrunk in between.
+  struct Frame {
+    NodeIndex idx;
+    BoxT cell;
+    double d2;
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Frame> stack;
+  stack.reserve(kWalkStackHint);
+  stack.push_back(Frame{root_, BoxT(PointT(-inf, -inf), PointT(inf, inf)),
+                        0.0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.d2 >= radius2()) {
+      ++cost->pruned_subtrees;
+      continue;
     }
-    if (q & 2) {
-      lo[1] = p.y();
-    } else {
-      hi[1] = p.y();
+    ++cost->nodes_visited;
+    const Node& node = arena_.Get(f.idx);
+    ++cost->points_scanned;
+    double d2 = node.point.DistanceSquared(target);
+    if (d2 < radius2()) {
+      if (heap.size() == k) {
+        std::pop_heap(heap.begin(), heap.end(), heap_less);
+        heap.pop_back();
+      }
+      heap.emplace_back(d2, node.point);
+      std::push_heap(heap.begin(), heap.end(), heap_less);
     }
-    cells[q] = BoxT(lo, hi);
-    order[q] = {cells[q].DistanceSquaredTo(target), q};
+    // Children cells are the quadrants of `cell` cut at the pivot.
+    const PointT& p = node.point;
+    std::array<std::pair<double, size_t>, 4> order;
+    std::array<BoxT, 4> cells;
+    for (size_t q = 0; q < 4; ++q) {
+      PointT lo = f.cell.lo();
+      PointT hi = f.cell.hi();
+      if (q & 1) {
+        lo[0] = p.x();
+      } else {
+        hi[0] = p.x();
+      }
+      if (q & 2) {
+        lo[1] = p.y();
+      } else {
+        hi[1] = p.y();
+      }
+      cells[q] = BoxT(lo, hi);
+      order[q] = {cells[q].DistanceSquaredTo(target), q};
+    }
+    std::sort(order.begin(), order.end());
+    // Far-to-near onto the LIFO stack; the nearest child pops first.
+    for (size_t i = 4; i-- > 0;) {
+      const auto& [dist2, q] = order[i];
+      if (node.children[q] == kNullNode) continue;
+      if (dist2 >= radius2()) {
+        ++cost->pruned_subtrees;
+        continue;
+      }
+      stack.push_back(Frame{node.children[q], cells[q], dist2});
+    }
   }
-  std::sort(order.begin(), order.end());
-  for (const auto& [dist2, q] : order) {
-    if (dist2 >= *best_d2) break;
-    NearestRec(node.children[q], cells[q], target, best, best_d2);
-  }
+  std::sort(heap.begin(), heap.end(), heap_less);
+  out.reserve(heap.size());
+  for (const auto& [d2, p] : heap) out.push_back(p);
+  return out;
 }
 
 size_t PointQuadtree::Height() const {

@@ -8,6 +8,8 @@
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "spatial/node_arena.h"
+#include "spatial/query_cost.h"
+#include "util/check.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -20,6 +22,13 @@ namespace popan::spatial {
 /// scheme (§II) with the regular decomposition of the PR quadtree; this
 /// implementation exists so experiments can compare the two families'
 /// shape statistics under identical workloads.
+///
+/// Query cost accounting: a point quadtree has no leaves in the PR sense —
+/// every node holds exactly one point — so leaves_touched stays 0 and
+/// points_scanned counts pivot comparisons (== nodes_visited). The
+/// partial-match traversal (one child pair per node) is the structure the
+/// classical N^((sqrt(17)-3)/2) cost law is stated for, which
+/// bench_partial_match regenerates.
 class PointQuadtree {
  public:
   using PointT = geo::Point<2>;
@@ -41,8 +50,91 @@ class PointQuadtree {
   /// y (half-open, matching the PR tree's convention).
   std::vector<PointT> RangeQuery(const BoxT& query) const;
 
+  /// Cost-counted orthogonal range search: fn(point) for every stored
+  /// point inside `query` (half-open). Iterative with an explicit stack;
+  /// concurrent calls on a shared const tree are safe. An existing child
+  /// on a side of the pivot the query does not reach counts in
+  /// pruned_subtrees.
+  template <typename Fn>
+  void RangeQueryVisit(const BoxT& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    std::vector<NodeIndex> stack;
+    stack.reserve(kWalkStackHint);
+    if (root_ != kNullNode) stack.push_back(root_);
+    while (!stack.empty()) {
+      NodeIndex idx = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(idx);
+      const PointT& p = node.point;
+      ++cost->points_scanned;
+      if (query.Contains(p)) fn(p);
+      // A child quadrant q of pivot p can hold query points only if the
+      // query extends to that side of p on each axis: the left/low side
+      // (bit clear) is reachable iff lo < p, the right/high side (bit
+      // set) iff hi > p, under the half-open [lo, hi) rule.
+      bool lo_x = query.lo().x() < p.x();
+      bool hi_x = query.hi().x() > p.x();
+      bool lo_y = query.lo().y() < p.y();
+      bool hi_y = query.hi().y() > p.y();
+      for (size_t q = 4; q-- > 0;) {
+        if (node.children[q] == kNullNode) continue;
+        bool x_ok = (q & 1) ? hi_x : lo_x;
+        bool y_ok = (q & 2) ? hi_y : lo_y;
+        if (x_ok && y_ok) {
+          stack.push_back(node.children[q]);
+        } else {
+          ++cost->pruned_subtrees;
+        }
+      }
+    }
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
+  /// 1 = y) to `value` and calls fn(point) for every stored point with
+  /// point[axis] == value. Each node forwards the walk into exactly one
+  /// child pair (the side of the pivot that can hold the fixed value,
+  /// with value == pivot going to the >= side), which is the recursion
+  /// whose expected node count grows as N^((sqrt(17)-3)/2).
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < 2);
+    POPAN_DCHECK(cost != nullptr);
+    std::vector<NodeIndex> stack;
+    stack.reserve(kWalkStackHint);
+    if (root_ != kNullNode) stack.push_back(root_);
+    // Children with this bit set lie on the >= side of the pivot along
+    // the fixed axis.
+    const size_t bit = axis == 0 ? 1 : 2;
+    while (!stack.empty()) {
+      NodeIndex idx = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(idx);
+      ++cost->points_scanned;
+      if (node.point[axis] == value) fn(node.point);
+      // Points with coordinate == pivot live on the >= side, so the two
+      // children to follow are the >= pair iff value >= pivot.
+      const bool high_side = value >= node.point[axis];
+      for (size_t q = 4; q-- > 0;) {
+        if (node.children[q] == kNullNode) continue;
+        if (((q & bit) != 0) == high_side) {
+          stack.push_back(node.children[q]);
+        } else {
+          ++cost->pruned_subtrees;
+        }
+      }
+    }
+  }
+
   /// The stored point nearest to `target`; NotFound when empty.
   [[nodiscard]] StatusOr<PointT> Nearest(const PointT& target) const;
+
+  /// Cost-counted k-nearest-neighbor search: the k stored points nearest
+  /// to `target`, ascending by distance (fewer if size() < k). k >= 1.
+  std::vector<PointT> NearestK(const PointT& target, size_t k,
+                               QueryCost* cost) const;
 
   /// Maximum node depth (root = 0); 0 for an empty tree. The comparison
   /// statistic: point quadtrees built from random insertion orders have
@@ -73,17 +165,14 @@ class PointQuadtree {
                                          kNullNode};
   };
 
+  static constexpr size_t kWalkStackHint = 64;
+
   static size_t QuadrantOf(const PointT& pivot, const PointT& p) {
     size_t q = 0;
     if (p.x() >= pivot.x()) q |= 1;
     if (p.y() >= pivot.y()) q |= 2;
     return q;
   }
-
-  void RangeRec(NodeIndex idx, const BoxT& query,
-                std::vector<PointT>* out) const;
-  void NearestRec(NodeIndex idx, const BoxT& cell, const PointT& target,
-                  PointT* best, double* best_d2) const;
 
   template <typename Fn>
   void VisitRec(NodeIndex idx, size_t depth, Fn& fn) const {

@@ -15,6 +15,7 @@
 #include "spatial/census.h"
 #include "spatial/inline_buffer.h"
 #include "spatial/node_arena.h"
+#include "spatial/query_cost.h"
 #include "util/check.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -274,30 +275,184 @@ class PrTree {
   /// Returns all stored points inside `query` (half-open box semantics).
   std::vector<PointT> RangeQuery(const BoxT& query) const {
     std::vector<PointT> out;
-    RangeRec(root_, bounds_, query, &out);
+    QueryCost cost;
+    RangeQueryVisit(query, &cost, [&out](const PointT& p) {
+      out.push_back(p);
+    });
     return out;
+  }
+
+  /// Cost-counted orthogonal range search: calls fn(point) for every
+  /// stored point inside `query` (half-open box semantics), in preorder
+  /// quadrant order. Iterative (explicit stack, no recursion) and
+  /// allocation-local: concurrent calls on a shared const tree are safe.
+  /// A node is counted in nodes_visited iff its block intersects the
+  /// query; rejected children count in pruned_subtrees.
+  template <typename Fn>
+  void RangeQueryVisit(const BoxT& query, QueryCost* cost, Fn fn) const {
+    POPAN_DCHECK(cost != nullptr);
+    if (!bounds_.Intersects(query)) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        ++cost->leaves_touched;
+        const PointT* pts = node.points.data();
+        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
+          ++cost->points_scanned;
+          if (query.Contains(pts[i])) fn(pts[i]);
+        }
+        continue;
+      }
+      // Push children in reverse so quadrant 0 pops first (preorder).
+      for (size_t q = kFanout; q-- > 0;) {
+        BoxT child = f.box.Quadrant(q);
+        if (child.Intersects(query)) {
+          stack.push_back(WalkFrame{node.children[q], child, f.depth + 1});
+        } else {
+          ++cost->pruned_subtrees;
+        }
+      }
+    }
+  }
+
+  /// Cost-counted partial-match search: fixes coordinate `axis` to
+  /// `value` and calls fn(point) for every stored point with
+  /// point[axis] == value. Traverses exactly the blocks whose axis
+  /// interval contains `value` under the half-open rule
+  /// (lo[axis] <= value < hi[axis]); with random real-valued data the
+  /// result set is almost surely empty and the traversal cost IS the
+  /// measurement (the paper-adjacent N^((sqrt(17)-3)/2) law).
+  template <typename Fn>
+  void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
+                         Fn fn) const {
+    POPAN_CHECK(axis < D);
+    POPAN_DCHECK(cost != nullptr);
+    if (value < bounds_.lo()[axis] || value >= bounds_.hi()[axis]) {
+      ++cost->pruned_subtrees;
+      return;
+    }
+    std::vector<WalkFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(WalkFrame{root_, bounds_, 0});
+    while (!stack.empty()) {
+      WalkFrame f = stack.back();
+      stack.pop_back();
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        ++cost->leaves_touched;
+        const PointT* pts = node.points.data();
+        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
+          ++cost->points_scanned;
+          if (pts[i][axis] == value) fn(pts[i]);
+        }
+        continue;
+      }
+      for (size_t q = kFanout; q-- > 0;) {
+        BoxT child = f.box.Quadrant(q);
+        if (child.lo()[axis] <= value && value < child.hi()[axis]) {
+          stack.push_back(WalkFrame{node.children[q], child, f.depth + 1});
+        } else {
+          ++cost->pruned_subtrees;
+        }
+      }
+    }
   }
 
   /// Returns the stored point nearest to `target` (Euclidean metric), or
   /// NotFound on an empty tree. Ties broken arbitrarily.
   [[nodiscard]] StatusOr<PointT> Nearest(const PointT& target) const {
     if (size_ == 0) return Status::NotFound("tree is empty");
-    PointT best;
-    double best_d2 = std::numeric_limits<double>::infinity();
-    NearestRec(root_, bounds_, target, &best, &best_d2);
-    return best;
+    QueryCost cost;
+    std::vector<PointT> best = NearestK(target, 1, &cost);
+    POPAN_CHECK(!best.empty());
+    return best[0];
   }
 
   /// Returns the k stored points nearest to `target`, ascending by
   /// distance (fewer if the tree holds fewer than k). k must be >= 1.
   std::vector<PointT> NearestK(const PointT& target, size_t k) const {
+    QueryCost cost;
+    return NearestK(target, k, &cost);
+  }
+
+  /// Cost-counted k-nearest-neighbor search. Iterative depth-first
+  /// descent with children pushed far-to-near, so the nearest subtree is
+  /// explored first and the pruning radius (the current k-th best
+  /// distance) tightens as early as possible. Subtrees cut off by the
+  /// radius test — at push or at pop, as the radius shrinks between the
+  /// two — count in pruned_subtrees.
+  std::vector<PointT> NearestK(const PointT& target, size_t k,
+                               QueryCost* cost) const {
     POPAN_CHECK(k >= 1);
+    POPAN_DCHECK(cost != nullptr);
     // Max-heap of the k best (distance², point) candidates so far; the
     // heap top is the current k-th distance, the pruning radius.
     std::vector<std::pair<double, PointT>> heap;
-    NearestKRec(root_, bounds_, target, k, &heap);
-    std::sort(heap.begin(), heap.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    heap.reserve(k);
+    auto heap_less = [](const std::pair<double, PointT>& a,
+                        const std::pair<double, PointT>& b) {
+      return a.first < b.first;
+    };
+    auto radius2 = [&heap, k]() {
+      return heap.size() < k ? std::numeric_limits<double>::infinity()
+                             : heap.front().first;
+    };
+    std::vector<DistFrame> stack;
+    stack.reserve(kWalkStackHint);
+    stack.push_back(DistFrame{root_, bounds_,
+                              bounds_.DistanceSquaredTo(target)});
+    while (!stack.empty()) {
+      DistFrame f = stack.back();
+      stack.pop_back();
+      if (f.d2 >= radius2()) {
+        ++cost->pruned_subtrees;
+        continue;
+      }
+      ++cost->nodes_visited;
+      const Node& node = arena_.Get(f.idx);
+      if (node.is_leaf) {
+        ++cost->leaves_touched;
+        const PointT* pts = node.points.data();
+        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
+          ++cost->points_scanned;
+          double d2 = pts[i].DistanceSquared(target);
+          if (d2 < radius2()) {
+            if (heap.size() == k) {
+              std::pop_heap(heap.begin(), heap.end(), heap_less);
+              heap.pop_back();
+            }
+            heap.emplace_back(d2, pts[i]);
+            std::push_heap(heap.begin(), heap.end(), heap_less);
+          }
+        }
+        continue;
+      }
+      std::array<std::pair<double, size_t>, kFanout> order;
+      for (size_t q = 0; q < kFanout; ++q) {
+        order[q] = {f.box.Quadrant(q).DistanceSquaredTo(target), q};
+      }
+      std::sort(order.begin(), order.end());
+      // Far-to-near onto the LIFO stack; the nearest child pops first.
+      for (size_t i = kFanout; i-- > 0;) {
+        const auto& [d2, q] = order[i];
+        if (d2 >= radius2()) {
+          ++cost->pruned_subtrees;
+          continue;
+        }
+        stack.push_back(DistFrame{node.children[q], f.box.Quadrant(q), d2});
+      }
+    }
+    std::sort(heap.begin(), heap.end(), heap_less);
     std::vector<PointT> out;
     out.reserve(heap.size());
     for (const auto& [d2, p] : heap) out.push_back(p);
@@ -454,6 +609,14 @@ class PrTree {
     BoxT box;
     uint32_t depth;
   };
+  /// Frame for the best-first k-NN descent: the block's distance² to the
+  /// target is computed at push time and re-checked at pop time, because
+  /// the pruning radius may have shrunk in between.
+  struct DistFrame {
+    NodeIndex idx;
+    BoxT box;
+    double d2;
+  };
   static constexpr size_t kWalkStackHint = 64;
 
   // ---- Live census bookkeeping -------------------------------------
@@ -534,85 +697,6 @@ class PrTree {
     HistAdd(depth, total);
     leaf_count_ -= kFanout - 1;
     return true;
-  }
-
-  void RangeRec(NodeIndex idx, const BoxT& box, const BoxT& query,
-                std::vector<PointT>* out) const {
-    if (!box.Intersects(query)) return;
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      for (const PointT& p : node.points) {
-        if (query.Contains(p)) out->push_back(p);
-      }
-      return;
-    }
-    for (size_t q = 0; q < kFanout; ++q) {
-      RangeRec(node.children[q], box.Quadrant(q), query, out);
-    }
-  }
-
-  void NearestRec(NodeIndex idx, const BoxT& box, const PointT& target,
-                  PointT* best, double* best_d2) const {
-    if (box.DistanceSquaredTo(target) >= *best_d2) return;
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      for (const PointT& p : node.points) {
-        double d2 = p.DistanceSquared(target);
-        if (d2 < *best_d2) {
-          *best_d2 = d2;
-          *best = p;
-        }
-      }
-      return;
-    }
-    // Visit children nearest-first so pruning kicks in early.
-    std::array<std::pair<double, size_t>, kFanout> order;
-    for (size_t q = 0; q < kFanout; ++q) {
-      order[q] = {box.Quadrant(q).DistanceSquaredTo(target), q};
-    }
-    std::sort(order.begin(), order.end());
-    for (const auto& [d2, q] : order) {
-      if (d2 >= *best_d2) break;
-      NearestRec(node.children[q], box.Quadrant(q), target, best, best_d2);
-    }
-  }
-
-  void NearestKRec(NodeIndex idx, const BoxT& box, const PointT& target,
-                   size_t k,
-                   std::vector<std::pair<double, PointT>>* heap) const {
-    auto radius2 = [&]() {
-      return heap->size() < k ? std::numeric_limits<double>::infinity()
-                              : heap->front().first;
-    };
-    auto heap_less = [](const std::pair<double, PointT>& a,
-                        const std::pair<double, PointT>& b) {
-      return a.first < b.first;
-    };
-    if (box.DistanceSquaredTo(target) >= radius2()) return;
-    const Node& node = arena_.Get(idx);
-    if (node.is_leaf) {
-      for (const PointT& p : node.points) {
-        double d2 = p.DistanceSquared(target);
-        if (d2 < radius2()) {
-          if (heap->size() == k) {
-            std::pop_heap(heap->begin(), heap->end(), heap_less);
-            heap->pop_back();
-          }
-          heap->emplace_back(d2, p);
-          std::push_heap(heap->begin(), heap->end(), heap_less);
-        }
-      }
-      return;
-    }
-    std::array<std::pair<double, size_t>, kFanout> order;
-    for (size_t q = 0; q < kFanout; ++q) {
-      order[q] = {box.Quadrant(q).DistanceSquaredTo(target), q};
-    }
-    std::sort(order.begin(), order.end());
-    for (const auto& [d2, q] : order) {
-      if (d2 >= radius2()) break;
-      NearestKRec(node.children[q], box.Quadrant(q), target, k, heap);
-    }
   }
 
   [[nodiscard]] Status CheckRec(NodeIndex idx, const BoxT& box, size_t depth,

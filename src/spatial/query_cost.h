@@ -1,0 +1,57 @@
+#ifndef POPAN_SPATIAL_QUERY_COST_H_
+#define POPAN_SPATIAL_QUERY_COST_H_
+
+#include <cstdint>
+#include <string>
+
+namespace popan::spatial {
+
+/// Work counters carried by every query primitive in the spatial layer.
+/// The counters are pure functions of the structure contents and the
+/// query — no clocks, no allocation sizes — so a query's cost is
+/// bit-identical across runs, thread counts, and machines, which is what
+/// lets the bench reference JSONs gate on them exactly.
+///
+/// The four counters map onto each backend as follows:
+///   nodes_visited   — tree nodes / directory cells / buckets examined
+///                     (the geometric test was actually performed).
+///   leaves_touched  — leaves or buckets whose *contents* were scanned.
+///   points_scanned  — stored items compared against the query predicate.
+///                     For the PMR quadtree this counts fragment
+///                     encounters, so it exposes the duplication factor.
+///   pruned_subtrees — children, spans, or buckets rejected by a
+///                     geometric or distance test without being entered.
+struct QueryCost {
+  uint64_t nodes_visited = 0;
+  uint64_t leaves_touched = 0;
+  uint64_t points_scanned = 0;
+  uint64_t pruned_subtrees = 0;
+
+  void Add(const QueryCost& other) {
+    nodes_visited += other.nodes_visited;
+    leaves_touched += other.leaves_touched;
+    points_scanned += other.points_scanned;
+    pruned_subtrees += other.pruned_subtrees;
+  }
+
+  friend bool operator==(const QueryCost& a, const QueryCost& b) {
+    return a.nodes_visited == b.nodes_visited &&
+           a.leaves_touched == b.leaves_touched &&
+           a.points_scanned == b.points_scanned &&
+           a.pruned_subtrees == b.pruned_subtrees;
+  }
+  friend bool operator!=(const QueryCost& a, const QueryCost& b) {
+    return !(a == b);
+  }
+
+  std::string ToString() const {
+    return "nodes=" + std::to_string(nodes_visited) +
+           " leaves=" + std::to_string(leaves_touched) +
+           " points=" + std::to_string(points_scanned) +
+           " pruned=" + std::to_string(pruned_subtrees);
+  }
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_QUERY_COST_H_

@@ -123,5 +123,32 @@ TEST(SegmentTest, ToStringAndEquality) {
   EXPECT_NE(s, Segment(Point2(1.0, 2.0), Point2(0.0, 0.0)));
 }
 
+TEST(SegmentTest, DistanceSquaredToPointProjectsOntoInterior) {
+  Segment s(Point2(0.0, 0.0), Point2(2.0, 0.0));
+  // Directly above the middle: perpendicular distance.
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(1.0, 3.0)), 9.0);
+  // On the segment itself: zero.
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(0.5, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(0.0, 0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(2.0, 0.0)), 0.0);
+}
+
+TEST(SegmentTest, DistanceSquaredToPointClampsToEndpoints) {
+  Segment s(Point2(0.0, 0.0), Point2(2.0, 0.0));
+  // Beyond either endpoint the projection clamps there.
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(-3.0, 4.0)), 25.0);
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(5.0, -4.0)), 25.0);
+  // A diagonal segment: point closest to the upper endpoint.
+  Segment d(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(d.DistanceSquaredToPoint(Point2(2.0, 2.0)), 2.0);
+}
+
+TEST(SegmentTest, DistanceSquaredToPointDegenerateSegment) {
+  // Zero-length segment: plain point-to-point distance, no 0/0 blowup.
+  Segment s(Point2(1.0, 1.0), Point2(1.0, 1.0));
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(4.0, 5.0)), 25.0);
+  EXPECT_DOUBLE_EQ(s.DistanceSquaredToPoint(Point2(1.0, 1.0)), 0.0);
+}
+
 }  // namespace
 }  // namespace popan::geo

@@ -1,0 +1,205 @@
+// Boundary regression suite: points sitting exactly ON quadrant split
+// lines, bucket boundaries, and query edges. Every point backend must
+// apply the same half-open convention — a query box [lo, hi) includes its
+// lo edges and excludes its hi edges, and a point on a split line belongs
+// to the higher block — so a boundary point is reported exactly once,
+// by every backend, never zero or twice.
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/query.h"
+#include "util/statusor.h"
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/mx_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+
+namespace popan::query {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+// Data chosen to sit on every interesting boundary of the unit square's
+// regular decomposition: the half/quarter split lines, the domain lo
+// corner, and points adjacent to split lines on either side.
+std::vector<Point2> BoundaryPoints() {
+  return {
+      Point2(0.0, 0.0),        // domain lo corner (always inside)
+      Point2(0.5, 0.5),        // root split point
+      Point2(0.5, 0.0),        // x split line
+      Point2(0.0, 0.5),        // y split line
+      Point2(0.25, 0.25),      // depth-2 split point
+      Point2(0.75, 0.25),      //
+      Point2(0.25, 0.75),      //
+      Point2(0.75, 0.75),      //
+      Point2(0.5, 0.25),       // mixed: x on root split, y on depth-2
+      Point2(0.484375, 0.5),   // just left of the split (31/64)
+      Point2(0.515625, 0.5),   // just right of the split (33/64)
+      Point2(0.984375, 0.984375),  // near the (excluded) hi corner
+  };
+}
+
+struct Backends {
+  explicit Backends(const std::vector<Point2>& data)
+      : pr_tree(Box2::UnitCube()),
+        grid(Box2::UnitCube()),
+        excell(Box2::UnitCube()),
+        mx_tree(6),
+        hash_table([] {
+          spatial::ExtendibleHashOptions options;
+          options.identity_hash = true;
+          return options;
+        }()) {
+    for (const Point2& p : data) {
+      EXPECT_TRUE(pr_tree.Insert(p).ok());
+      EXPECT_TRUE(point_tree.Insert(p).ok());
+      EXPECT_TRUE(grid.Insert(p).ok());
+      EXPECT_TRUE(excell.Insert(p).ok());
+      EXPECT_TRUE(
+          mx_tree
+              .Insert(static_cast<uint32_t>(p.x() * 64),
+                      static_cast<uint32_t>(p.y() * 64))
+              .ok());
+      EXPECT_TRUE(hash_table.Insert(hash_backend.codec.Encode(p)).ok());
+    }
+    StatusOr<spatial::LinearPrQuadtree> loaded =
+        spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), data);
+    EXPECT_TRUE(loaded.ok());
+    linear_tree = std::make_unique<spatial::LinearPrQuadtree>(
+        std::move(loaded).value());
+    mx_backend.tree = &mx_tree;
+    hash_backend.table = &hash_table;
+  }
+
+  spatial::PrQuadtree pr_tree;
+  spatial::PointQuadtree point_tree;
+  std::unique_ptr<spatial::LinearPrQuadtree> linear_tree;
+  spatial::GridFile grid;
+  spatial::Excell excell;
+  spatial::MxQuadtree mx_tree;
+  spatial::ExtendibleHash hash_table;
+  MxBackend mx_backend;
+  HashBackend hash_backend;
+};
+
+// Runs `spec` on all seven backends and checks each returns exactly
+// `expected` (already in canonical (x, y) order).
+void ExpectAll(Backends& b, const QuerySpec& spec,
+               const std::vector<Point2>& expected) {
+  auto check = [&](const QueryResult& result, const char* name) {
+    ASSERT_EQ(expected.size(), result.points.size())
+        << name << " on " << spec.ToString();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].x(), result.points[i].x())
+          << name << " item " << i << " on " << spec.ToString();
+      EXPECT_EQ(expected[i].y(), result.points[i].y())
+          << name << " item " << i << " on " << spec.ToString();
+    }
+  };
+  check(Execute(b.pr_tree, spec), "pr_tree");
+  check(Execute(b.point_tree, spec), "point_quadtree");
+  check(Execute(*b.linear_tree, spec), "linear_quadtree");
+  check(Execute(b.grid, spec), "grid_file");
+  check(Execute(b.excell, spec), "excell");
+  check(Execute(b.mx_backend, spec), "mx_quadtree");
+  check(Execute(b.hash_backend, spec), "extendible_hash");
+}
+
+std::vector<Point2> Sorted(std::vector<Point2> points) {
+  std::sort(points.begin(), points.end(),
+            [](const Point2& a, const Point2& b) {
+              return a.x() != b.x() ? a.x() < b.x() : a.y() < b.y();
+            });
+  return points;
+}
+
+TEST(BoundarySemanticsTest, QueryLoEdgeIncludesPointsOnIt) {
+  Backends b(BoundaryPoints());
+  // lo edge at x = 0.5: the three points with x == 0.5 are all inside.
+  ExpectAll(b, QuerySpec::Range(Box2(Point2(0.5, 0.0), Point2(0.6, 1.0))),
+            Sorted({Point2(0.5, 0.5), Point2(0.5, 0.0), Point2(0.5, 0.25),
+                    Point2(0.515625, 0.5)}));
+}
+
+TEST(BoundarySemanticsTest, QueryHiEdgeExcludesPointsOnIt) {
+  Backends b(BoundaryPoints());
+  // hi edge at x = 0.5: every x == 0.5 point is OUTSIDE [0, 0.5).
+  ExpectAll(b, QuerySpec::Range(Box2(Point2(0.0, 0.0), Point2(0.5, 1.0))),
+            Sorted({Point2(0.0, 0.0), Point2(0.0, 0.5), Point2(0.25, 0.25),
+                    Point2(0.25, 0.75), Point2(0.484375, 0.5)}));
+}
+
+TEST(BoundarySemanticsTest, SplitPointQueryReturnsItExactlyOnce) {
+  Backends b(BoundaryPoints());
+  // A tiny box whose lo corner IS the root split point: must contain
+  // exactly the split point — once, from every backend.
+  ExpectAll(b,
+            QuerySpec::Range(
+                Box2(Point2(0.5, 0.5), Point2(0.5078125, 0.5078125))),
+            {Point2(0.5, 0.5)});
+}
+
+TEST(BoundarySemanticsTest, DegenerateQueryBoxIsEmpty) {
+  Backends b(BoundaryPoints());
+  // [p, p) is empty under half-open semantics even with a stored point
+  // at p.
+  ExpectAll(b,
+            QuerySpec::Range(Box2(Point2(0.5, 0.5), Point2(0.5, 0.5))), {});
+}
+
+TEST(BoundarySemanticsTest, PartialMatchOnSplitLineFindsAllPointsOnIt) {
+  Backends b(BoundaryPoints());
+  ExpectAll(b, QuerySpec::PartialMatch(0, 0.5),
+            Sorted({Point2(0.5, 0.5), Point2(0.5, 0.0), Point2(0.5, 0.25)}));
+  ExpectAll(b, QuerySpec::PartialMatch(1, 0.5),
+            Sorted({Point2(0.5, 0.5), Point2(0.0, 0.5),
+                    Point2(0.484375, 0.5), Point2(0.515625, 0.5)}));
+  ExpectAll(b, QuerySpec::PartialMatch(1, 0.25),
+            Sorted({Point2(0.25, 0.25), Point2(0.75, 0.25),
+                    Point2(0.5, 0.25)}));
+}
+
+TEST(BoundarySemanticsTest, DomainLoCornerIsQueryable) {
+  Backends b(BoundaryPoints());
+  ExpectAll(b,
+            QuerySpec::Range(Box2(Point2(0.0, 0.0), Point2(0.015625, 1.0))),
+            Sorted({Point2(0.0, 0.0), Point2(0.0, 0.5)}));
+  ExpectAll(b, QuerySpec::PartialMatch(0, 0.0),
+            Sorted({Point2(0.0, 0.0), Point2(0.0, 0.5)}));
+}
+
+TEST(BoundarySemanticsTest, WholeDomainQueryReturnsEverything) {
+  std::vector<Point2> data = BoundaryPoints();
+  Backends b(data);
+  ExpectAll(b, QuerySpec::Range(Box2::UnitCube()), Sorted(data));
+}
+
+TEST(BoundarySemanticsTest, NearestKToSplitPointIncludesStoredTwin) {
+  Backends b(BoundaryPoints());
+  // The target coincides with a stored split-line point: distance 0 must
+  // surface it first on every backend.
+  QuerySpec spec = QuerySpec::NearestK(Point2(0.5, 0.5), 1);
+  for (const QueryResult& result :
+       {Execute(b.pr_tree, spec), Execute(b.point_tree, spec),
+        Execute(*b.linear_tree, spec), Execute(b.grid, spec),
+        Execute(b.excell, spec), Execute(b.mx_backend, spec),
+        Execute(b.hash_backend, spec)}) {
+    ASSERT_EQ(1u, result.points.size());
+    EXPECT_EQ(0.5, result.points[0].x());
+    EXPECT_EQ(0.5, result.points[0].y());
+  }
+}
+
+}  // namespace
+}  // namespace popan::query

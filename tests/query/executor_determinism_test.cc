@@ -1,0 +1,115 @@
+// Determinism contract for the batched query executor: for ANY thread
+// count, RunQueryBatch must produce bit-identical results — same
+// per-query outputs, same QueryCost totals, same order-sensitive
+// checksum. Exercised across >= 64 workload seeds on mixed batches
+// (range + partial-match + k-NN) at POPAN's interesting thread counts
+// 1, 2, and 8. Also the suite the TSan CI leg runs to probe the
+// executor's concurrent read path over a shared backend.
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/executor.h"
+#include "query/workload.h"
+#include "sim/experiment.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+
+namespace popan::query {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+constexpr size_t kSeeds = 64;
+constexpr size_t kQueriesPerBatch = 48;
+
+spatial::PrQuadtree MakeTree(size_t n, uint64_t seed) {
+  spatial::PrQuadtree tree(Box2::UnitCube());
+  Pcg32 rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    (void)tree.Insert(Point2(rng.NextDouble(), rng.NextDouble()));
+  }
+  return tree;
+}
+
+TEST(ExecutorDeterminismTest, IdenticalAcrossThreadCountsForManySeeds) {
+  spatial::PrQuadtree tree = MakeTree(3000, 7);
+  sim::ExperimentRunner runner1(1);
+  sim::ExperimentRunner runner2(2);
+  sim::ExperimentRunner runner8(8);
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    std::vector<QuerySpec> batch = MakeMixedWorkload(
+        Box2::UnitCube(), kQueriesPerBatch, /*k=*/6, 1000 + seed);
+    BatchOutcome a = RunQueryBatch(tree, batch, runner1);
+    BatchOutcome b = RunQueryBatch(tree, batch, runner2);
+    BatchOutcome c = RunQueryBatch(tree, batch, runner8, /*grain=*/3);
+    ASSERT_EQ(a.checksum, b.checksum) << "seed " << seed;
+    ASSERT_EQ(a.checksum, c.checksum) << "seed " << seed;
+    ASSERT_EQ(a.total_items, b.total_items) << "seed " << seed;
+    ASSERT_EQ(a.total_items, c.total_items) << "seed " << seed;
+    ASSERT_TRUE(a.total_cost == b.total_cost) << "seed " << seed;
+    ASSERT_TRUE(a.total_cost == c.total_cost) << "seed " << seed;
+    // The checksum is the fast witness; spot-check the full results too.
+    ASSERT_EQ(a.results.size(), c.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+      ASSERT_EQ(a.results[i].points.size(), c.results[i].points.size())
+          << "seed " << seed << " query " << i;
+      for (size_t j = 0; j < a.results[i].points.size(); ++j) {
+        ASSERT_EQ(a.results[i].points[j].x(), c.results[i].points[j].x());
+        ASSERT_EQ(a.results[i].points[j].y(), c.results[i].points[j].y());
+      }
+      ASSERT_TRUE(a.results[i].cost == c.results[i].cost)
+          << "seed " << seed << " query " << i;
+    }
+  }
+}
+
+TEST(ExecutorDeterminismTest, RepeatedRunsAreBitIdentical) {
+  spatial::PrQuadtree tree = MakeTree(2000, 11);
+  sim::ExperimentRunner runner(8);
+  std::vector<QuerySpec> batch =
+      MakeMixedWorkload(Box2::UnitCube(), 200, /*k=*/4, 42);
+  BatchOutcome first = RunQueryBatch(tree, batch, runner);
+  for (int run = 0; run < 5; ++run) {
+    BatchOutcome again = RunQueryBatch(tree, batch, runner);
+    ASSERT_EQ(first.checksum, again.checksum) << "run " << run;
+    ASSERT_TRUE(first.total_cost == again.total_cost) << "run " << run;
+  }
+}
+
+TEST(ExecutorDeterminismTest, TotalsMatchSerialReduction) {
+  spatial::PrQuadtree tree = MakeTree(1500, 13);
+  sim::ExperimentRunner runner(4);
+  std::vector<QuerySpec> batch =
+      MakeMixedWorkload(Box2::UnitCube(), 90, /*k=*/3, 99);
+  BatchOutcome outcome = RunQueryBatch(tree, batch, runner);
+  spatial::QueryCost serial_cost;
+  uint64_t serial_items = 0;
+  uint64_t h = kChecksumSeed;
+  for (const QuerySpec& spec : batch) {
+    QueryResult r = Execute(tree, spec);
+    serial_cost.Add(r.cost);
+    serial_items += r.ItemCount();
+    h = ChecksumResult(h, r);
+  }
+  EXPECT_TRUE(serial_cost == outcome.total_cost);
+  EXPECT_EQ(serial_items, outcome.total_items);
+  EXPECT_EQ(h, outcome.checksum);
+}
+
+TEST(ExecutorDeterminismTest, EmptyBatchIsWellDefined) {
+  spatial::PrQuadtree tree = MakeTree(100, 17);
+  sim::ExperimentRunner runner(2);
+  BatchOutcome outcome = RunQueryBatch(tree, {}, runner);
+  EXPECT_TRUE(outcome.results.empty());
+  EXPECT_EQ(0u, outcome.total_items);
+  EXPECT_EQ(kChecksumSeed, outcome.checksum);
+}
+
+}  // namespace
+}  // namespace popan::query

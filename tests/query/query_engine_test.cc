@@ -1,0 +1,366 @@
+// Cross-backend correctness for the query engine: every point backend
+// must return the exact same canonical results as a brute-force scan for
+// range, partial-match, and k-NN queries — on the same data. The data
+// lives on the 1/64 lattice so the two non-double backends (the MX cell
+// grid at resolution 6 and the 31-bit hash codec) represent every point
+// exactly and the comparison is bitwise, not approximate.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/segment.h"
+#include "query/query.h"
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/mx_quadtree.h"
+#include "spatial/pmr_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace popan::query {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using geo::Segment;
+
+constexpr size_t kLattice = 64;  // data lives on multiples of 1/64
+constexpr uint64_t kSeed = 20260805;
+
+std::vector<Point2> MakeLatticePoints(size_t count) {
+  std::vector<Point2> points;
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  Pcg32 rng(kSeed);
+  while (points.size() < count) {
+    uint32_t ix = rng.NextBounded(kLattice);
+    uint32_t iy = rng.NextBounded(kLattice);
+    if (!used.insert({ix, iy}).second) continue;
+    points.emplace_back(static_cast<double>(ix) / kLattice,
+                        static_cast<double>(iy) / kLattice);
+  }
+  return points;
+}
+
+std::vector<Point2> BruteRange(const std::vector<Point2>& data,
+                               const Box2& query) {
+  std::vector<Point2> out;
+  for (const Point2& p : data) {
+    if (query.Contains(p)) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const Point2& a, const Point2& b) {
+    return a.x() != b.x() ? a.x() < b.x() : a.y() < b.y();
+  });
+  return out;
+}
+
+std::vector<Point2> BrutePartialMatch(const std::vector<Point2>& data,
+                                      size_t axis, double value) {
+  std::vector<Point2> out;
+  for (const Point2& p : data) {
+    if (p[axis] == value) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const Point2& a, const Point2& b) {
+    return a.x() != b.x() ? a.x() < b.x() : a.y() < b.y();
+  });
+  return out;
+}
+
+// k smallest squared distances (the tie-free comparison for k-NN: result
+// POINTS can differ across backends when distances tie, distances can't).
+std::vector<double> BruteNearestDistances(const std::vector<Point2>& data,
+                                          const Point2& target, size_t k) {
+  std::vector<double> d2;
+  d2.reserve(data.size());
+  for (const Point2& p : data) {
+    double dx = p.x() - target.x();
+    double dy = p.y() - target.y();
+    d2.push_back(dx * dx + dy * dy);
+  }
+  std::sort(d2.begin(), d2.end());
+  if (d2.size() > k) d2.resize(k);
+  return d2;
+}
+
+std::vector<double> ResultDistances(const QueryResult& result,
+                                    const Point2& target) {
+  std::vector<double> d2;
+  for (const Point2& p : result.points) {
+    double dx = p.x() - target.x();
+    double dy = p.y() - target.y();
+    d2.push_back(dx * dx + dy * dy);
+  }
+  return d2;
+}
+
+// All seven point-capable backends built over the same lattice data set.
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest()
+      : data_(MakeLatticePoints(400)),
+        pr_tree_(Box2::UnitCube()),
+        point_tree_(),
+        grid_(Box2::UnitCube()),
+        excell_(Box2::UnitCube()),
+        mx_tree_(6),
+        hash_table_([] {
+          spatial::ExtendibleHashOptions options;
+          options.identity_hash = true;
+          return options;
+        }()) {
+    for (const Point2& p : data_) {
+      EXPECT_TRUE(pr_tree_.Insert(p).ok());
+      EXPECT_TRUE(point_tree_.Insert(p).ok());
+      EXPECT_TRUE(grid_.Insert(p).ok());
+      EXPECT_TRUE(excell_.Insert(p).ok());
+      EXPECT_TRUE(mx_tree_
+                      .Insert(static_cast<uint32_t>(p.x() * kLattice),
+                              static_cast<uint32_t>(p.y() * kLattice))
+                      .ok());
+      EXPECT_TRUE(hash_table_.Insert(hash_backend_.codec.Encode(p)).ok());
+    }
+    StatusOr<spatial::LinearPrQuadtree> loaded =
+        spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), data_);
+    EXPECT_TRUE(loaded.ok());
+    linear_tree_ = std::make_unique<spatial::LinearPrQuadtree>(
+        std::move(loaded).value());
+    mx_backend_.tree = &mx_tree_;
+    hash_backend_.table = &hash_table_;
+  }
+
+  // Runs `spec` on every point backend and EXPECTs identical results.
+  // Returns the PR-tree result for further checks.
+  QueryResult RunAll(const QuerySpec& spec) {
+    QueryResult reference = Execute(pr_tree_, spec);
+    auto check = [&](const QueryResult& other, const char* name) {
+      EXPECT_EQ(reference.points.size(), other.points.size())
+          << name << " on " << spec.ToString();
+      if (reference.points.size() != other.points.size()) return;
+      for (size_t i = 0; i < reference.points.size(); ++i) {
+        if (spec.kind == QueryKind::kNearestK) continue;  // ties: below
+        EXPECT_EQ(reference.points[i].x(), other.points[i].x())
+            << name << " item " << i << " on " << spec.ToString();
+        EXPECT_EQ(reference.points[i].y(), other.points[i].y())
+            << name << " item " << i << " on " << spec.ToString();
+      }
+    };
+    check(Execute(point_tree_, spec), "point_quadtree");
+    check(Execute(*linear_tree_, spec), "linear_quadtree");
+    check(Execute(grid_, spec), "grid_file");
+    check(Execute(excell_, spec), "excell");
+    check(Execute(mx_backend_, spec), "mx_quadtree");
+    check(Execute(hash_backend_, spec), "extendible_hash");
+    return reference;
+  }
+
+  std::vector<Point2> data_;
+  spatial::PrQuadtree pr_tree_;
+  spatial::PointQuadtree point_tree_;
+  std::unique_ptr<spatial::LinearPrQuadtree> linear_tree_;
+  spatial::GridFile grid_;
+  spatial::Excell excell_;
+  spatial::MxQuadtree mx_tree_;
+  spatial::ExtendibleHash hash_table_;
+  MxBackend mx_backend_;
+  HashBackend hash_backend_;
+};
+
+TEST_F(QueryEngineTest, RangeMatchesBruteForceOnAllBackends) {
+  const std::vector<Box2> queries = {
+      Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)),
+      Box2(Point2(0.25, 0.25), Point2(0.75, 0.75)),
+      Box2(Point2(0.5, 0.0), Point2(0.515625, 1.0)),  // one lattice column
+      Box2(Point2(0.1, 0.7), Point2(0.10001, 0.70001)),
+      Box2(Point2(0.33, 0.41), Point2(0.87, 0.52)),  // unaligned bounds
+      Box2(Point2(0.9, 0.9), Point2(0.90001, 0.90001)),  // likely empty
+  };
+  for (const Box2& query : queries) {
+    QueryResult result = RunAll(QuerySpec::Range(query));
+    std::vector<Point2> expected = BruteRange(data_, query);
+    ASSERT_EQ(expected.size(), result.points.size()) << query.ToString();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].x(), result.points[i].x());
+      EXPECT_EQ(expected[i].y(), result.points[i].y());
+    }
+    EXPECT_GE(result.cost.points_scanned, result.points.size());
+  }
+}
+
+TEST_F(QueryEngineTest, PartialMatchMatchesBruteForceOnAllBackends) {
+  // Values on the lattice hit stored coordinates; the offset value must
+  // match nothing on any backend.
+  const std::vector<std::pair<size_t, double>> queries = {
+      {0, 10.0 / kLattice}, {0, 63.0 / kLattice}, {1, 10.0 / kLattice},
+      {1, 0.0},             {0, 0.123456789},
+  };
+  for (const auto& [axis, value] : queries) {
+    QueryResult result = RunAll(QuerySpec::PartialMatch(axis, value));
+    std::vector<Point2> expected = BrutePartialMatch(data_, axis, value);
+    ASSERT_EQ(expected.size(), result.points.size())
+        << "axis " << axis << " value " << value;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].x(), result.points[i].x());
+      EXPECT_EQ(expected[i].y(), result.points[i].y());
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, NearestKMatchesBruteForceDistancesOnAllBackends) {
+  const std::vector<Point2> targets = {
+      Point2(0.5, 0.5), Point2(0.01, 0.99), Point2(0.33, 0.41),
+      Point2(0.0, 0.0)};
+  for (const Point2& target : targets) {
+    for (size_t k : {size_t{1}, size_t{5}, size_t{17}}) {
+      QuerySpec spec = QuerySpec::NearestK(target, k);
+      std::vector<double> expected = BruteNearestDistances(data_, target, k);
+      QueryResult reference = RunAll(spec);
+      auto check_distances = [&](const QueryResult& result,
+                                 const char* name) {
+        std::vector<double> got = ResultDistances(result, target);
+        ASSERT_EQ(expected.size(), got.size()) << name;
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_DOUBLE_EQ(expected[i], got[i])
+              << name << " neighbor " << i << " of " << target.ToString();
+        }
+        // Ascending-distance order is part of the contract.
+        EXPECT_TRUE(std::is_sorted(got.begin(), got.end())) << name;
+      };
+      check_distances(reference, "pr_tree");
+      check_distances(Execute(point_tree_, spec), "point_quadtree");
+      check_distances(Execute(*linear_tree_, spec), "linear_quadtree");
+      check_distances(Execute(grid_, spec), "grid_file");
+      check_distances(Execute(excell_, spec), "excell");
+      check_distances(Execute(mx_backend_, spec), "mx_quadtree");
+      check_distances(Execute(hash_backend_, spec), "extendible_hash");
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, NearestKClampsToPopulation) {
+  QuerySpec spec = QuerySpec::NearestK(Point2(0.5, 0.5), data_.size() + 50);
+  QueryResult result = RunAll(spec);
+  EXPECT_EQ(data_.size(), result.points.size());
+}
+
+TEST_F(QueryEngineTest, CursorDrainsResultWithCost) {
+  QuerySpec spec =
+      QuerySpec::Range(Box2(Point2(0.25, 0.25), Point2(0.75, 0.75)));
+  QueryCursor cursor(pr_tree_, spec);
+  std::vector<Point2> expected = BruteRange(data_, spec.range);
+  EXPECT_EQ(expected.size(), cursor.Remaining());
+  EXPECT_GT(cursor.cost().nodes_visited, 0u);
+  size_t pulled = 0;
+  while (!cursor.Done()) {
+    const Point2& p = cursor.NextPoint();
+    EXPECT_EQ(expected[pulled].x(), p.x());
+    EXPECT_EQ(expected[pulled].y(), p.y());
+    ++pulled;
+  }
+  EXPECT_EQ(expected.size(), pulled);
+}
+
+TEST_F(QueryEngineTest, ChecksumIsOrderAndCostSensitive) {
+  QuerySpec spec =
+      QuerySpec::Range(Box2(Point2(0.1, 0.1), Point2(0.9, 0.9)));
+  QueryResult a = Execute(pr_tree_, spec);
+  QueryResult b = a;
+  EXPECT_EQ(ChecksumResult(kChecksumSeed, a),
+            ChecksumResult(kChecksumSeed, b));
+  b.cost.nodes_visited++;
+  EXPECT_NE(ChecksumResult(kChecksumSeed, a),
+            ChecksumResult(kChecksumSeed, b));
+  QueryResult c = a;
+  ASSERT_GE(c.points.size(), 2u);
+  std::swap(c.points[0], c.points[1]);
+  EXPECT_NE(ChecksumResult(kChecksumSeed, a),
+            ChecksumResult(kChecksumSeed, c));
+}
+
+// ---------------------------------------------------------------------
+// PMR quadtree: the segment backend, checked against brute force over
+// the stored segments.
+
+class PmrQueryTest : public ::testing::Test {
+ protected:
+  PmrQueryTest() : tree_(Box2::UnitCube()) {
+    Pcg32 rng(kSeed + 1);
+    for (size_t i = 0; i < 60; ++i) {
+      Point2 a(rng.NextDouble(), rng.NextDouble());
+      Point2 b(std::min(a.x() + rng.NextDouble() * 0.2, 0.999),
+               std::min(a.y() + rng.NextDouble() * 0.2, 0.999));
+      segments_.emplace_back(a, b);
+      EXPECT_TRUE(tree_.Insert(segments_.back()).ok());
+    }
+  }
+
+  spatial::PmrQuadtree tree_;
+  std::vector<Segment> segments_;
+};
+
+TEST_F(PmrQueryTest, RangeMatchesBruteForce) {
+  const std::vector<Box2> queries = {
+      Box2(Point2(0.2, 0.2), Point2(0.6, 0.6)),
+      Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)),
+      Box2(Point2(0.77, 0.13), Point2(0.78, 0.14)),
+  };
+  for (const Box2& query : queries) {
+    QueryResult result = Execute(tree_, QuerySpec::Range(query));
+    std::vector<uint32_t> expected;
+    for (uint32_t id = 0; id < segments_.size(); ++id) {
+      if (segments_[id].IntersectsBox(query)) expected.push_back(id);
+    }
+    EXPECT_EQ(expected, result.ids) << query.ToString();
+  }
+}
+
+TEST_F(PmrQueryTest, PartialMatchMatchesBruteForce) {
+  for (double value : {0.1, 0.5, 0.9}) {
+    for (size_t axis : {size_t{0}, size_t{1}}) {
+      QueryResult result =
+          Execute(tree_, QuerySpec::PartialMatch(axis, value));
+      std::vector<uint32_t> expected;
+      for (uint32_t id = 0; id < segments_.size(); ++id) {
+        double c0 = axis == 0 ? segments_[id].a().x() : segments_[id].a().y();
+        double c1 = axis == 0 ? segments_[id].b().x() : segments_[id].b().y();
+        if (std::min(c0, c1) <= value && value <= std::max(c0, c1)) {
+          expected.push_back(id);
+        }
+      }
+      EXPECT_EQ(expected, result.ids) << "axis " << axis << " v " << value;
+    }
+  }
+}
+
+TEST_F(PmrQueryTest, NearestKMatchesBruteForceDistances) {
+  const Point2 target(0.42, 0.58);
+  for (size_t k : {size_t{1}, size_t{7}, size_t{25}}) {
+    QueryResult result = Execute(tree_, QuerySpec::NearestK(target, k));
+    std::vector<double> expected;
+    for (const Segment& s : segments_) {
+      expected.push_back(s.DistanceSquaredToPoint(target));
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.resize(std::min(k, expected.size()));
+    ASSERT_EQ(expected.size(), result.ids.size()) << "k=" << k;
+    for (size_t i = 0; i < result.ids.size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          expected[i],
+          segments_[result.ids[i]].DistanceSquaredToPoint(target))
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popan::query

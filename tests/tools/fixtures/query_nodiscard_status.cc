@@ -1,0 +1,17 @@
+// Fixture: nodiscard-status positives shaped like query-layer APIs, plus
+// annotated negatives.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+popan::Status ValidateSpec();  // line 8: missing [[nodiscard]]
+
+popan::StatusOr<int> ExecuteBatch();  // line 10: missing [[nodiscard]]
+
+[[nodiscard]] popan::Status CancelBatch();  // annotated inline: clean
+
+[[nodiscard]]
+popan::StatusOr<int> CountResults();  // annotated on line above: clean
+
+}  // namespace demo

@@ -1,0 +1,12 @@
+// Fixture: query_nodiscard_status.cc positives silenced by suppressions.
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace demo {
+
+popan::Status ValidateSpec();  // popan-lint: allow(nodiscard-status)
+
+// popan-lint: allow(nodiscard-status)
+popan::StatusOr<int> ExecuteBatch();
+
+}  // namespace demo

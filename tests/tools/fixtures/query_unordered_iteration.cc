@@ -1,0 +1,21 @@
+// Fixture: unordered-iteration positives for the query layer — batch
+// result reductions must not run in hash order. Fires only when linted
+// under a src/query/ logical path (or the other scanned layers).
+#include <cstdint>
+#include <unordered_map>
+
+namespace demo {
+
+uint64_t FoldCosts(const std::unordered_map<uint32_t, uint64_t>& costs) {
+  uint64_t checksum = 0;
+  for (const auto& kv : costs) {  // line 11: checksum in hash order
+    checksum = checksum * 31 + kv.second;
+  }
+  return checksum;
+}
+
+uint32_t AnyQueryId(const std::unordered_map<uint32_t, uint64_t>& costs) {
+  return costs.begin()->first;  // line 18: explicit iterator
+}
+
+}  // namespace demo

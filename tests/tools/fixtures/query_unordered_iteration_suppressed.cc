@@ -1,0 +1,21 @@
+// Fixture: query_unordered_iteration.cc with both iterations suppressed.
+#include <cstdint>
+#include <unordered_map>
+
+namespace demo {
+
+uint64_t FoldCosts(const std::unordered_map<uint32_t, uint64_t>& costs) {
+  uint64_t total = 0;
+  // Order-insensitive reduction: addition commutes.
+  // popan-lint: allow(unordered-iteration)
+  for (const auto& kv : costs) {
+    total += kv.second;
+  }
+  return total;
+}
+
+uint32_t AnyQueryId(const std::unordered_map<uint32_t, uint64_t>& costs) {
+  return costs.begin()->first;  // popan-lint: allow(unordered-iteration)
+}
+
+}  // namespace demo

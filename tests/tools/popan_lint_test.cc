@@ -93,7 +93,8 @@ TEST(PopanLintTest, DeterminismTimeSuppressionsSilence) {
 // --- unordered-iteration -----------------------------------------------
 
 TEST(PopanLintTest, UnorderedIterationFlagsRangeForAndBegin) {
-  for (const char* path : {"src/sim/demo.cc", "src/spatial/demo.cc"}) {
+  for (const char* path :
+       {"src/sim/demo.cc", "src/spatial/demo.cc", "src/query/demo.cc"}) {
     std::vector<Finding> findings =
         LintText(path, ReadFixture("unordered_iteration.cc"));
     EXPECT_EQ(RulesAndLines(findings),
@@ -103,7 +104,7 @@ TEST(PopanLintTest, UnorderedIterationFlagsRangeForAndBegin) {
   }
 }
 
-TEST(PopanLintTest, UnorderedIterationScopedToSimAndSpatial) {
+TEST(PopanLintTest, UnorderedIterationScopedToSimSpatialAndQuery) {
   // Hash-order iteration elsewhere (analysis helpers, tests) is fine.
   EXPECT_TRUE(
       LintText("src/core/demo.cc", ReadFixture("unordered_iteration.cc"))
@@ -116,6 +117,21 @@ TEST(PopanLintTest, UnorderedIterationSuppressionsSilence) {
                   .empty());
 }
 
+TEST(PopanLintTest, QueryUnorderedIterationFixtureFlags) {
+  std::vector<Finding> findings = LintText(
+      "src/query/demo.cc", ReadFixture("query_unordered_iteration.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"unordered-iteration", 11},
+                      {"unordered-iteration", 18}}));
+}
+
+TEST(PopanLintTest, QueryUnorderedIterationSuppressionsSilence) {
+  EXPECT_TRUE(
+      LintText("src/query/demo.cc",
+               ReadFixture("query_unordered_iteration_suppressed.cc"))
+          .empty());
+}
+
 // --- nodiscard-status --------------------------------------------------
 
 TEST(PopanLintTest, NodiscardStatusFlagsBareDeclarationsOnly) {
@@ -124,6 +140,19 @@ TEST(PopanLintTest, NodiscardStatusFlagsBareDeclarationsOnly) {
   // The annotated declarations (inline and line-above) must not appear.
   EXPECT_EQ(RulesAndLines(findings),
             (Expected{{"nodiscard-status", 8}, {"nodiscard-status", 10}}));
+}
+
+TEST(PopanLintTest, QueryNodiscardStatusFixtureFlags) {
+  std::vector<Finding> findings =
+      LintText("src/query/demo.h", ReadFixture("query_nodiscard_status.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"nodiscard-status", 8}, {"nodiscard-status", 10}}));
+}
+
+TEST(PopanLintTest, QueryNodiscardStatusSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/query/demo.h",
+                       ReadFixture("query_nodiscard_status_suppressed.cc"))
+                  .empty());
 }
 
 TEST(PopanLintTest, NodiscardStatusSuppressionsSilence) {

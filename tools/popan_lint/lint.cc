@@ -367,7 +367,8 @@ class Linter {
   // --- unordered-iteration --------------------------------------------
   void CheckUnorderedIteration() {
     if (!PathContains(path_, "src/sim/") &&
-        !PathContains(path_, "src/spatial/")) {
+        !PathContains(path_, "src/spatial/") &&
+        !PathContains(path_, "src/query/")) {
       return;
     }
     // Pass 1: names declared with an unordered container type.
