@@ -57,6 +57,20 @@ BatchOutcome RunQueryBatch(const Backend& backend,
   return outcome;
 }
 
+/// Concurrent form: pins ONE epoch snapshot of `tree` and runs the whole
+/// batch against it, so every worker thread sees the same frozen version
+/// no matter how far the writer has advanced by the time a given query is
+/// scheduled. The pin is held until the batch reduces; the outcome is the
+/// one RunQueryBatch(snapshot_of_sequence_s, ...) would produce, bitwise,
+/// for the version current at entry.
+inline BatchOutcome RunQueryBatch(const spatial::CowPrQuadtree& tree,
+                                  const std::vector<QuerySpec>& queries,
+                                  sim::ExperimentRunner& runner,
+                                  size_t grain = 8) {
+  spatial::SnapshotView2 snapshot = tree.Snapshot();
+  return RunQueryBatch(snapshot, queries, runner, grain);
+}
+
 }  // namespace popan::query
 
 #endif  // POPAN_QUERY_EXECUTOR_H_

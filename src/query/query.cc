@@ -212,6 +212,11 @@ QueryResult Execute(const spatial::LinearPrQuadtree& tree,
   return ExecutePointBackend(tree, spec);
 }
 
+QueryResult Execute(const spatial::SnapshotView2& snapshot,
+                    const QuerySpec& spec) {
+  return ExecutePointBackend(snapshot, spec);
+}
+
 QueryResult Execute(const spatial::GridFile& grid, const QuerySpec& spec) {
   return ExecutePointBackend(grid, spec);
 }

@@ -17,6 +17,7 @@
 #include "spatial/point_quadtree.h"
 #include "spatial/pr_tree.h"
 #include "spatial/query_cost.h"
+#include "spatial/snapshot_view.h"
 #include "util/check.h"
 
 namespace popan::query {
@@ -154,6 +155,14 @@ QueryResult Execute(const spatial::Excell& excell, const QuerySpec& spec);
 QueryResult Execute(const MxBackend& backend, const QuerySpec& spec);
 QueryResult Execute(const HashBackend& backend, const QuerySpec& spec);
 
+/// Epoch-pinned snapshot of a CowPrQuadtree (snapshot_view.h): the same
+/// traversals as the PrQuadtree overload, executed against a frozen
+/// version while the writer keeps mutating. Results and cost counters are
+/// bitwise identical to querying a stop-the-world tree holding the same
+/// operation prefix.
+QueryResult Execute(const spatial::SnapshotView2& snapshot,
+                    const QuerySpec& spec);
+
 /// A pull-style view over one executed query. The constructor runs the
 /// query eagerly (all backends materialize results anyway); the cursor
 /// then hands out items one at a time with the cost attached.
@@ -162,6 +171,12 @@ class QueryCursor {
   template <typename Backend>
   QueryCursor(const Backend& backend, const QuerySpec& spec)
       : result_(Execute(backend, spec)) {}
+
+  /// Concurrent form: pins an epoch snapshot of `tree` for exactly the
+  /// duration of the query, so the cursor works against a consistent
+  /// version even while the writer thread keeps inserting and erasing.
+  QueryCursor(const spatial::CowPrQuadtree& tree, const QuerySpec& spec)
+      : result_(Execute(tree.Snapshot(), spec)) {}
 
   /// Matches not yet pulled.
   size_t Remaining() const { return result_.ItemCount() - pos_; }

@@ -16,6 +16,27 @@ StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
   return WalWriter(wal_out, tree.bounds(), options, last_sequence);
 }
 
+[[nodiscard]]
+StatusOr<WalWriter> Checkpoint(const SnapshotView<2>& snapshot,
+                               std::ostream* snapshot_out,
+                               std::ostream* wal_out) {
+  PrTreeOptions options;
+  options.capacity = snapshot.capacity();
+  options.max_depth = snapshot.max_depth();
+  // Materialize the frozen version as a plain PrTree: the PR splitting
+  // rule makes the decomposition a function of the point set alone, so
+  // re-inserting the snapshot's points reproduces the exact structure.
+  PrTree<2> tree(snapshot.bounds(), options);
+  for (const geo::Point2& p : snapshot.AllPoints()) {
+    POPAN_RETURN_IF_ERROR(tree.Insert(p));
+  }
+  if (!(tree.LiveCensus() == snapshot.LiveCensus())) {
+    return Status::Internal(
+        "materialized checkpoint census diverges from the pinned snapshot");
+  }
+  return Checkpoint(tree, snapshot.sequence(), snapshot_out, wal_out);
+}
+
 [[nodiscard]] StatusOr<RecoverResult> Recover(std::istream* snapshot_in,
                                 std::istream* wal_in) {
   POPAN_ASSIGN_OR_RETURN(PrTreeSnapshot snapshot,

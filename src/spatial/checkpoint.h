@@ -8,6 +8,7 @@
 
 #include "spatial/pr_tree.h"
 #include "spatial/serialization.h"
+#include "spatial/snapshot_view.h"
 #include "spatial/wal.h"
 #include "util/statusor.h"
 
@@ -31,6 +32,18 @@ namespace popan::spatial {
 /// or rejects cleanly — never half-applies.
 [[nodiscard]]
 StatusOr<WalWriter> Checkpoint(const PrTree<2>& tree, uint64_t last_sequence,
+                               std::ostream* snapshot_out,
+                               std::ostream* wal_out);
+
+/// Checkpoints a pinned epoch snapshot (snapshot_view.h) without stopping
+/// the writer: the snapshot's own sequence number is the WAL anchor, so
+/// the epoch boundary a reader pinned IS the durability boundary the
+/// fresh log resumes from. The PR decomposition is canonical (a function
+/// of the point set, not of insertion order), so the materialized tree is
+/// byte-identical to a stop-the-world checkpoint of the same prefix of
+/// operations — verified against LiveCensus before anything is written.
+[[nodiscard]]
+StatusOr<WalWriter> Checkpoint(const SnapshotView<2>& snapshot,
                                std::ostream* snapshot_out,
                                std::ostream* wal_out);
 

@@ -1,0 +1,35 @@
+// Fixture: raw-mutex-lock positives (direct lock()/unlock() calls on a
+// mutex, by value and through a pointer) next to the RAII forms and the
+// deferred unique_lock, all of which must stay clean.
+#include <mutex>
+
+namespace demo {
+
+std::mutex g_mu;
+
+void RawLock() {
+  g_mu.lock();    // line 11: raw lock, leaks on any exception below
+  g_mu.unlock();  // line 12: raw unlock, skipped by an early return
+}
+
+void RawThroughPointer(std::mutex* mu) {
+  mu->lock();    // line 16
+  mu->unlock();  // line 17
+}
+
+void RaiiIsClean() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  std::scoped_lock both(g_mu);  // CTAD form, also tracked
+}
+
+void DeferredUniqueLockIsClean() {
+  std::unique_lock<std::mutex> lk(g_mu, std::defer_lock);
+  lk.lock();    // clean: lk is a unique_lock, releases on unwind
+  lk.unlock();  // clean: explicit early release through the wrapper
+}
+
+void TryLockThenRawUnlock() {
+  if (g_mu.try_lock()) g_mu.unlock();  // line 32: only the unlock flags
+}
+
+}  // namespace demo

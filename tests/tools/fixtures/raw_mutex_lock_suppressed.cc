@@ -1,0 +1,26 @@
+// Fixture: raw_mutex_lock.cc with every violation suppressed — both the
+// trailing-comment and line-above suppression forms must silence the rule.
+#include <mutex>
+
+namespace demo {
+
+std::mutex g_mu;
+
+void RawLock() {
+  g_mu.lock();    // popan-lint: allow(raw-mutex-lock)
+  g_mu.unlock();  // popan-lint: allow(raw-mutex-lock)
+}
+
+void RawThroughPointer(std::mutex* mu) {
+  // Handing the locked mutex across an ABI boundary; RAII cannot span it.
+  // popan-lint: allow(raw-mutex-lock)
+  mu->lock();
+  // popan-lint: allow(raw-mutex-lock)
+  mu->unlock();
+}
+
+void TryLockThenRawUnlock() {
+  if (g_mu.try_lock()) g_mu.unlock();  // popan-lint: allow(raw-mutex-lock)
+}
+
+}  // namespace demo

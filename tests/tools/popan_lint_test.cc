@@ -196,6 +196,34 @@ TEST(PopanLintTest, StreamFormatGuardSuppressionsSilence) {
                   .empty());
 }
 
+// --- raw-mutex-lock ----------------------------------------------------
+
+TEST(PopanLintTest, RawMutexLockFlagsDirectLockCallsOnly) {
+  std::vector<Finding> findings =
+      LintText("src/sim/demo.cc", ReadFixture("raw_mutex_lock.cc"));
+  // The lock_guard/scoped_lock declarations and the deferred unique_lock's
+  // own .lock()/.unlock() (lines 27-28) must not appear; try_lock never
+  // matches the rule's word boundaries.
+  EXPECT_EQ(RulesAndLines(findings), (Expected{{"raw-mutex-lock", 11},
+                                               {"raw-mutex-lock", 12},
+                                               {"raw-mutex-lock", 16},
+                                               {"raw-mutex-lock", 17},
+                                               {"raw-mutex-lock", 32}}));
+}
+
+TEST(PopanLintTest, RawMutexLockAppliesOnAnyPath) {
+  // Unlike the path-gated rules, mutex discipline holds tree-wide.
+  std::vector<Finding> findings =
+      LintText("tests/demo.cc", ReadFixture("raw_mutex_lock.cc"));
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(PopanLintTest, RawMutexLockSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/sim/demo.cc",
+                       ReadFixture("raw_mutex_lock_suppressed.cc"))
+                  .empty());
+}
+
 // --- output format and exit codes --------------------------------------
 
 TEST(PopanLintTest, FindingToStringIsPathLineRuleMessage) {

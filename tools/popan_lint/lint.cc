@@ -299,6 +299,7 @@ class Linter {
     CheckNodiscardStatus();
     CheckUncheckedValue();
     CheckStreamFormatGuard();
+    CheckRawMutexLock();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -701,6 +702,70 @@ class Linter {
                          "StreamFormatGuard guard(&os); first");
             }
             break;
+        }
+      }
+    }
+  }
+
+  // --- raw-mutex-lock ---------------------------------------------------
+  void CheckRawMutexLock() {
+    // Pass 1: names declared as RAII lock wrappers. A deferred
+    // unique_lock/shared_lock legitimately calls .lock()/.unlock() itself
+    // (condition-variable waits); the wrapper still releases on unwind.
+    std::set<std::string> wrappers;
+    for (const Line& line : model_.lines) {
+      const std::string& code = line.code;
+      for (const char* type :
+           {"lock_guard", "scoped_lock", "unique_lock", "shared_lock"}) {
+        size_t pos = 0;
+        while ((pos = FindWord(code, type, pos)) != std::string::npos) {
+          size_t p = SkipSpaces(code, pos + std::string(type).size());
+          // Explicit template arguments, or CTAD with none.
+          if (p < code.size() && code[p] == '<') {
+            p = SkipAngles(code, p);
+            if (p == std::string::npos) break;
+            p = SkipSpaces(code, p);
+          }
+          std::string name;
+          while (p < code.size() && IsIdentChar(code[p])) {
+            name.push_back(code[p++]);
+          }
+          if (!name.empty()) wrappers.insert(name);
+          pos += std::string(type).size();
+        }
+      }
+    }
+    // Pass 2: .lock()/.unlock() (or ->) on anything that is not a tracked
+    // wrapper is a raw mutex operation. try_lock and *_lock identifiers
+    // fail the word-boundary test and are not this rule's business.
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      const std::string& code = model_.lines[li].code;
+      for (const char* method : {"lock", "unlock"}) {
+        size_t pos = 0;
+        while ((pos = FindWord(code, method, pos)) != std::string::npos) {
+          size_t start = pos;
+          pos += std::string(method).size();
+          size_t after = SkipSpaces(code, pos);
+          if (after >= code.size() || code[after] != '(') continue;
+          size_t recv_end;
+          if (start >= 1 && code[start - 1] == '.') {
+            recv_end = start - 1;
+          } else if (start >= 2 && code[start - 2] == '-' &&
+                     code[start - 1] == '>') {
+            recv_end = start - 2;
+          } else {
+            continue;  // free function or member definition, not a call
+          }
+          size_t b = recv_end;
+          while (b > 0 && IsIdentChar(code[b - 1])) --b;
+          std::string receiver = code.substr(b, recv_end - b);
+          if (!receiver.empty() && wrappers.count(receiver) != 0) continue;
+          Report("raw-mutex-lock", li,
+                 "direct ." + std::string(method) + "() on '" +
+                     (receiver.empty() ? std::string("<expr>") : receiver) +
+                     "' bypasses RAII; hold the mutex with std::lock_guard/"
+                     "std::scoped_lock (std::unique_lock for deferred or "
+                     "condition-variable use)");
         }
       }
     }

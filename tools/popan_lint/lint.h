@@ -40,6 +40,12 @@ namespace popan::lint {
 ///                          StreamFormatGuard scope — sticky format state
 ///                          is how snapshot/WAL writers corrupt their
 ///                          caller's stream.
+///   raw-mutex-lock         .lock()/.unlock() (also via ->) on any receiver
+///                          not declared as a std::lock_guard/scoped_lock/
+///                          unique_lock/shared_lock wrapper. RAII guards
+///                          are the only sanctioned locking form: a raw
+///                          unlock skipped by an early return or exception
+///                          is how the concurrency layer deadlocks.
 ///
 /// Suppression syntax: `// popan-lint: allow(<rule>[, <rule>...])`.
 /// On a line with code it silences that line; on a line of its own it
