@@ -8,9 +8,19 @@
 //
 // Emits BENCH_hotpath.json (see sim/bench_json.h) for machine tracking.
 //
+// The batch sections time the SoA + SIMD bulk hot path against the naive
+// per-point client loop it replaces: the 8-key Morton batch codec vs the
+// scalar descent, and InsertBatch vs a plain Insert loop. Checksums and
+// censuses must match bit for bit (hard gates, any build); the speedup
+// ratios are enforced only when POPAN_BENCH_ENFORCE_SPEEDUP is set (the
+// Release bench-perf job), so debug/sanitizer runs still check parity.
+//
 // Env knobs: POPAN_HOTPATH_POINTS (default 100000),
-//            POPAN_HOTPATH_WALK_SNAPSHOTS (default 200).
+//            POPAN_HOTPATH_WALK_SNAPSHOTS (default 200),
+//            POPAN_BENCH_ENFORCE_SPEEDUP (set = gate batch speedups),
+//            POPAN_BENCH_REFERENCE_DIR (set = diff deterministic fields).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -19,8 +29,10 @@
 #include "sim/table.h"
 #include "spatial/census.h"
 #include "spatial/extendible_hash.h"
+#include "spatial/morton.h"
 #include "spatial/pr_tree.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -28,11 +40,16 @@ using popan::Pcg32;
 using popan::geo::Box2;
 using popan::geo::Point2;
 using popan::sim::BenchJson;
+using popan::sim::GateAgainstReference;
 using popan::sim::TextTable;
 using popan::sim::WallTimer;
+using popan::spatial::BatchInsertStats;
 using popan::spatial::Census;
+using popan::spatial::CodeBitsBatch;
+using popan::spatial::CodeOfPoint;
 using popan::spatial::ExtendibleHash;
 using popan::spatial::ExtendibleHashOptions;
+using popan::spatial::MortonCode;
 using popan::spatial::PrQuadtree;
 using popan::spatial::PrTreeOptions;
 using popan::spatial::TakeBucketCensus;
@@ -185,6 +202,77 @@ int main() {
     equal = equal && table.LiveCensus() == TakeBucketCensus(table);
   }
 
+  // ---- Batch hot path: Morton codec --------------------------------
+  // The 8-key interleave/bisection batch codec against the scalar
+  // per-point quadrant descent, full depth, same points, same fold order.
+  // The FNV folds must agree bit for bit on every dispatch path — that
+  // parity is a hard gate here; the speedup is enforced by bench-perf.
+  std::vector<Point2> batch_points;
+  batch_points.reserve(kPoints);
+  {
+    Pcg32 rng(kSeed + 4);
+    while (batch_points.size() < kPoints) {
+      batch_points.emplace_back(rng.NextDouble(), rng.NextDouble());
+    }
+  }
+  const uint8_t kCodecDepth = MortonCode::kMaxDepth;
+  double codec_scalar_s = 1e300;
+  double codec_batch_s = 1e300;
+  uint64_t morton_scalar_sum = 0;
+  std::vector<uint64_t> batch_codes(kPoints);
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    timer.Reset();
+    for (const Point2& p : batch_points) {
+      h = (h ^ CodeOfPoint(Box2::UnitCube(), p, kCodecDepth).bits) *
+          0x100000001b3ULL;
+    }
+    codec_scalar_s = std::min(codec_scalar_s, timer.Seconds());
+    morton_scalar_sum = h;
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    timer.Reset();
+    CodeBitsBatch(Box2::UnitCube(), batch_points, kCodecDepth,
+                  batch_codes.data());
+    codec_batch_s = std::min(codec_batch_s, timer.Seconds());
+  }
+  uint64_t morton_batch_sum = 0xcbf29ce484222325ULL;
+  for (uint64_t c : batch_codes) {
+    morton_batch_sum = (morton_batch_sum ^ c) * 0x100000001b3ULL;
+  }
+  const bool codec_parity = morton_scalar_sum == morton_batch_sum;
+  const double codec_speedup =
+      codec_batch_s > 0.0 ? codec_scalar_s / codec_batch_s : 0.0;
+
+  // ---- Batch hot path: Morton-sorted bulk insert --------------------
+  // InsertBatch (sort once, descend once per leaf run, arena pre-sized
+  // from the run structure) against the naive per-point Insert loop a
+  // client without the batch API would write — no manual reserve, one
+  // root-to-leaf descent per point. The two trees must take identical
+  // censuses (hard gate: same structure, not just same size).
+  double seq_insert_s = 1e300;
+  double batch_insert_s = 1e300;
+  BatchInsertStats batch_stats;
+  Census seq_census;
+  Census batch_census;
+  for (int rep = 0; rep < 3; ++rep) {
+    PrQuadtree seq_tree(Box2::UnitCube(), options);
+    timer.Reset();
+    for (const Point2& p : batch_points) (void)seq_tree.Insert(p);
+    seq_insert_s = std::min(seq_insert_s, timer.Seconds());
+    seq_census = seq_tree.LiveCensus();
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    PrQuadtree batch_tree(Box2::UnitCube(), options);
+    timer.Reset();
+    batch_stats = batch_tree.InsertBatch(batch_points);
+    batch_insert_s = std::min(batch_insert_s, timer.Seconds());
+    batch_census = batch_tree.LiveCensus();
+  }
+  const bool batch_parity = seq_census == batch_census;
+  const double batch_speedup =
+      batch_insert_s > 0.0 ? seq_insert_s / batch_insert_s : 0.0;
+
   TextTable out("Hot-path throughput");
   out.SetHeader({"section", "ops", "seconds", "ops/sec"});
   out.AddRow({"pr insert", TextTable::Fmt(inserted),
@@ -205,11 +293,29 @@ int main() {
   out.AddRow({"hash churn + live census", TextTable::Fmt(kChurnOps),
               TextTable::Fmt(hash_churn_live_s, 4),
               TextTable::Fmt(OpsPerSec(kChurnOps, hash_churn_live_s), 0)});
+  out.AddRow({"morton codec (scalar)", TextTable::Fmt(kPoints),
+              TextTable::Fmt(codec_scalar_s, 4),
+              TextTable::Fmt(OpsPerSec(kPoints, codec_scalar_s), 0)});
+  out.AddRow({"morton codec (batch)", TextTable::Fmt(kPoints),
+              TextTable::Fmt(codec_batch_s, 4),
+              TextTable::Fmt(OpsPerSec(kPoints, codec_batch_s), 0)});
+  out.AddRow({"pr insert (per-point)", TextTable::Fmt(kPoints),
+              TextTable::Fmt(seq_insert_s, 4),
+              TextTable::Fmt(OpsPerSec(kPoints, seq_insert_s), 0)});
+  out.AddRow({"pr insert (batch)", TextTable::Fmt(batch_stats.inserted),
+              TextTable::Fmt(batch_insert_s, 4),
+              TextTable::Fmt(OpsPerSec(batch_stats.inserted, batch_insert_s),
+                             0)});
   std::printf("%s\n", out.Render().c_str());
   std::printf("per-step census: live %.3g s, walked %.3g s -> %.1fx\n",
               live_per_step, walk_per_step, census_speedup);
   std::printf("census equivalence (live == walked): %s\n",
               equal ? "OK" : "MISMATCH");
+  std::printf("batch hot path [%s]: codec %.1fx (parity %s), "
+              "insert %.1fx (census %s)\n",
+              popan::simd::IsaName(), codec_speedup,
+              codec_parity ? "OK" : "MISMATCH", batch_speedup,
+              batch_parity ? "OK" : "MISMATCH");
   std::printf("(checksums: %.6g / %.6g / %.6g)\n", checksum, walk_checksum,
               hash_checksum);
 
@@ -226,13 +332,57 @@ int main() {
       .Add("erase_ops_per_sec", OpsPerSec(erased, erase_s))
       .Add("hash_insert_seconds", hash_insert_s)
       .Add("hash_churn_live_census_seconds", hash_churn_live_s)
-      .Add("census_equal", std::string(equal ? "true" : "false"));
+      .Add("census_equal", std::string(equal ? "true" : "false"))
+      .Add("simd_isa", std::string(popan::simd::IsaName()))
+      .Add("morton_checksum", morton_batch_sum)
+      .Add("morton_codec_scalar_seconds", codec_scalar_s)
+      .Add("morton_codec_batch_seconds", codec_batch_s)
+      .Add("morton_codec_speedup", codec_speedup)
+      .Add("batch_inserted", static_cast<uint64_t>(batch_stats.inserted))
+      .Add("batch_duplicates", static_cast<uint64_t>(batch_stats.duplicates))
+      .Add("insert_per_point_seconds", seq_insert_s)
+      .Add("insert_batch_seconds", batch_insert_s)
+      .Add("insert_batch_speedup", batch_speedup);
   std::string path = json.WriteFile();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
 
   if (!equal) {
     std::fprintf(stderr, "FAIL: LiveCensus diverged from TakeCensus\n");
     return 1;
+  }
+  if (!codec_parity) {
+    std::fprintf(stderr,
+                 "FAIL: batch Morton codec diverged from CodeOfPoint\n");
+    return 1;
+  }
+  if (!batch_parity) {
+    std::fprintf(stderr,
+                 "FAIL: InsertBatch census diverged from per-point Insert\n");
+    return 1;
+  }
+  popan::Status gate = GateAgainstReference(
+      json, {"morton_checksum", "batch_inserted", "batch_duplicates"});
+  if (!gate.ok()) {
+    std::fprintf(stderr, "reference gate FAILED: %s\n",
+                 gate.message().c_str());
+    return 1;
+  }
+  if (std::getenv("POPAN_BENCH_ENFORCE_SPEEDUP") != nullptr) {
+    // The Release bench-perf gate. The codec is pure kernel (>=4x); the
+    // end-to-end bulk insert amortizes sort + descent against allocator
+    // and tree work, so its floor is 2x with the ratio tracked in JSON.
+    if (codec_speedup < 4.0) {
+      std::fprintf(stderr,
+                   "speedup gate FAILED: morton codec %.2fx < 4x\n",
+                   codec_speedup);
+      return 1;
+    }
+    if (batch_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "speedup gate FAILED: insert batch %.2fx < 2x\n",
+                   batch_speedup);
+      return 1;
+    }
   }
   return 0;
 }

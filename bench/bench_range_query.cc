@@ -12,12 +12,16 @@
 //   POPAN_RANGE_QUERY_POINTS     N              (default 100000)
 //   POPAN_RANGE_QUERY_QUERIES    queries/extent (default 2000)
 //   POPAN_RANGE_QUERY_TOLERANCE  relative gate  (default 0.05)
+//   POPAN_BENCH_ENFORCE_SPEEDUP  set = gate the SoA SIMD filter >= 4x
+//                                over the scalar per-point scan
 //
 // Deterministic: fixed seeds, counter-based query streams, and pure
 // counters make every number in the table (and the JSON) bit-identical
 // across machines and thread counts, so CI diffs the integer fields
 // against bench/results/BENCH_range_query.json exactly.
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +39,9 @@
 #include "sim/table.h"
 #include "spatial/census.h"
 #include "spatial/pr_tree.h"
+#include "spatial/soa_buffer.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -166,7 +172,8 @@ int main() {
                          TextTable::Fmt(
                              RelError(points, steady_pred.points) * 100.0,
                              2)});
-    std::string tag = "e" + std::to_string(e);
+    std::string tag = "e";
+    tag += std::to_string(e);
     json.Add("extent_" + tag, q)
         .Add("nodes_" + tag, outcome.total_cost.nodes_visited)
         .Add("leaves_" + tag, outcome.total_cost.leaves_touched)
@@ -182,15 +189,99 @@ int main() {
     checksum_all ^= outcome.checksum + 0x9e3779b97f4a7c15ULL * (e + 1);
   }
 
+  // ---- SoA full-scan filter: SIMD mask kernel vs scalar Contains ----
+  // The leaf filter in isolation: the same N points laid out as SoA
+  // lanes, swept by the dispatched MaskInHalfOpen kernel (the machinery
+  // under every tree backend's leaf scan) against the naive per-point
+  // Box::Contains loop. Same visit order, same fold — match counts and
+  // checksums must be identical bit for bit (hard gate, any build); the
+  // speedup is enforced only under POPAN_BENCH_ENFORCE_SPEEDUP.
+  std::vector<double> lane_x(kPoints);
+  std::vector<double> lane_y(kPoints);
+  std::vector<Point2> scan_pts(kPoints);
+  {
+    // Same stream as the tree build: this is the tree's point set.
+    Pcg32 rng(kSeed);
+    for (size_t i = 0; i < kPoints; ++i) {
+      const double x = rng.NextDouble();
+      const double y = rng.NextDouble();
+      lane_x[i] = x;
+      lane_y[i] = y;
+      scan_pts[i] = Point2(x, y);
+    }
+  }
+  const Box2 scan_box(Point2(0.2, 0.3), Point2(0.7, 0.9));
+  constexpr int kScanReps = 20;
+  popan::sim::WallTimer timer;
+  double scan_scalar_s = 1e300;
+  double scan_simd_s = 1e300;
+  uint64_t scan_scalar_sum = 0;
+  uint64_t scan_simd_sum = 0;
+  uint64_t scan_scalar_hits = 0;
+  uint64_t scan_simd_hits = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t h = 0;
+    uint64_t hits = 0;
+    timer.Reset();
+    for (int r = 0; r < kScanReps; ++r) {
+      h = popan::query::kChecksumSeed;
+      hits = 0;
+      for (size_t i = 0; i < kPoints; ++i) {
+        if (scan_box.Contains(scan_pts[i])) {
+          h = (h ^ i) * 0x100000001b3ULL;
+          ++hits;
+        }
+      }
+    }
+    scan_scalar_s = std::min(scan_scalar_s, timer.Seconds());
+    scan_scalar_sum = h;
+    scan_scalar_hits = hits;
+  }
+  const std::array<const double*, 2> lanes{lane_x.data(), lane_y.data()};
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t h = 0;
+    uint64_t hits = 0;
+    timer.Reset();
+    for (int r = 0; r < kScanReps; ++r) {
+      h = popan::query::kChecksumSeed;
+      hits = 0;
+      popan::spatial::ForEachInBoxLanes<2>(lanes, kPoints, scan_box,
+                                           [&](size_t i) {
+                                             h = (h ^ i) * 0x100000001b3ULL;
+                                             ++hits;
+                                           });
+    }
+    scan_simd_s = std::min(scan_simd_s, timer.Seconds());
+    scan_simd_sum = h;
+    scan_simd_hits = hits;
+  }
+  const bool scan_parity =
+      scan_scalar_sum == scan_simd_sum && scan_scalar_hits == scan_simd_hits;
+  const double scan_speedup =
+      scan_simd_s > 0.0 ? scan_scalar_s / scan_simd_s : 0.0;
+
   std::printf("%s\n%s\n", table.Render().c_str(),
               steady_table.Render().c_str());
   std::printf("worst relative error: %.3f%% (gate %.1f%%)\n",
               worst_error * 100.0, kTolerance * 100.0);
+  std::printf("soa filter [%s]: scalar %.4fs, simd %.4fs -> %.1fx "
+              "(parity %s, %llu hits)\n",
+              popan::simd::IsaName(), scan_scalar_s, scan_simd_s,
+              scan_speedup, scan_parity ? "OK" : "MISMATCH",
+              static_cast<unsigned long long>(scan_simd_hits));
 
   json.Add("checksum", checksum_all)
       .Add("worst_rel_error", worst_error)
-      .Add("tolerance", kTolerance);
+      .Add("tolerance", kTolerance)
+      .Add("simd_isa", std::string(popan::simd::IsaName()))
+      .Add("soa_filter_matches", scan_simd_hits)
+      .Add("soa_filter_checksum", scan_simd_sum)
+      .Add("soa_filter_scalar_seconds", scan_scalar_s)
+      .Add("soa_filter_simd_seconds", scan_simd_s)
+      .Add("soa_filter_speedup", scan_speedup);
   gate_fields.push_back("checksum");
+  gate_fields.push_back("soa_filter_matches");
+  gate_fields.push_back("soa_filter_checksum");
   json.WriteFile();
 
   popan::Status gate = GateAgainstReference(json, gate_fields);
@@ -202,6 +293,17 @@ int main() {
   if (worst_error > kTolerance) {
     std::fprintf(stderr, "model gate FAILED: worst error %.3f%% > %.1f%%\n",
                  worst_error * 100.0, kTolerance * 100.0);
+    return 1;
+  }
+  if (!scan_parity) {
+    std::fprintf(stderr,
+                 "FAIL: SoA SIMD filter diverged from scalar Contains\n");
+    return 1;
+  }
+  if (std::getenv("POPAN_BENCH_ENFORCE_SPEEDUP") != nullptr &&
+      scan_speedup < 4.0) {
+    std::fprintf(stderr, "speedup gate FAILED: soa filter %.2fx < 4x\n",
+                 scan_speedup);
     return 1;
   }
   return 0;

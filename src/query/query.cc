@@ -1,11 +1,16 @@
 #include "query/query.h"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <utility>
+
+#include "spatial/morton.h"
+#include "spatial/soa_buffer.h"
+#include "util/simd.h"
 
 namespace popan::query {
 
@@ -138,6 +143,25 @@ uint64_t ChecksumResult(uint64_t h, const QueryResult& r) {
   return h;
 }
 
+namespace {
+
+/// Final lattice-to-domain step shared by Decode and DecodeBatchLanes.
+/// Its a + b * c shape is exactly the kind the SIMD parity policy keeps
+/// off the vector paths (contraction to FMA would change results), so it
+/// is compiled once, never inlined, and called from both the scalar and
+/// the batched decoder — bitwise-identical outputs by construction.
+[[gnu::noinline]] geo::Point2 LatticeToDomain(const geo::Box2& domain,
+                                              uint64_t xq, uint64_t yq) {
+  // xq * 2^-31 is exact in a double, so lattice points round-trip.
+  const double scale =
+      1.0 / static_cast<double>(uint64_t{1} << HashPointCodec::kBitsPerAxis);
+  return geo::Point2(
+      domain.lo().x() + domain.Extent(0) * (static_cast<double>(xq) * scale),
+      domain.lo().y() + domain.Extent(1) * (static_cast<double>(yq) * scale));
+}
+
+}  // namespace
+
 uint64_t HashPointCodec::Encode(const geo::Point2& p) const {
   // Normalize to [0, 1) and quantize each axis to kBitsPerAxis bits —
   // identical arithmetic to Excell::PseudoKey, so the two structures
@@ -169,12 +193,66 @@ geo::Point2 HashPointCodec::Decode(uint64_t key) const {
     yq = (yq << 1) | (pair >> 1);
     xq = (xq << 1) | (pair & 1);
   }
-  // xq * 2^-31 is exact in a double, so lattice points round-trip.
-  const double scale =
-      1.0 / static_cast<double>(uint64_t{1} << kBitsPerAxis);
-  return geo::Point2(
-      domain.lo().x() + domain.Extent(0) * (static_cast<double>(xq) * scale),
-      domain.lo().y() + domain.Extent(1) * (static_cast<double>(yq) * scale));
+  return LatticeToDomain(domain, xq, yq);
+}
+
+void HashPointCodec::EncodeBatch(std::span<const geo::Point2> pts,
+                                 uint64_t* out) const {
+  const size_t n = pts.size();
+  if (n == 0) return;
+  POPAN_CHECK(out != nullptr);
+  const double scale = static_cast<double>(uint64_t{1} << kBitsPerAxis);
+  const uint32_t max_q = (uint32_t{1} << kBitsPerAxis) - 1;
+  const int left_align = 64 - 2 * static_cast<int>(kBitsPerAxis);
+  for (size_t base = 0; base < n; base += 8) {
+    const size_t c = n - base < 8 ? n - base : 8;
+    double fx[8];
+    double fy[8];
+    // Normalization (subtract, divide) stays scalar: cheap next to the
+    // quantize + interleave, and trivially identical to Encode's.
+    for (size_t i = 0; i < c; ++i) {
+      const geo::Point2& p = pts[base + i];
+      fx[i] = (p.x() - domain.lo().x()) / domain.Extent(0);
+      fy[i] = (p.y() - domain.lo().y()) / domain.Extent(1);
+    }
+    uint32_t xq[8];
+    uint32_t yq[8];
+    uint64_t keys[8];
+    simd::QuantizeClamped(fx, c, scale, max_q, xq);
+    simd::QuantizeClamped(fy, c, scale, max_q, yq);
+    if (c == 8) {
+      spatial::InterleaveBatch8(xq, yq, keys);
+    } else {
+      for (size_t i = 0; i < c; ++i) {
+        keys[i] = simd::InterleaveBits(xq[i], yq[i]);
+      }
+    }
+    for (size_t i = 0; i < c; ++i) out[base + i] = keys[i] << left_align;
+  }
+}
+
+void HashPointCodec::DecodeBatchLanes(const uint64_t* keys, size_t n,
+                                      double* xs, double* ys) const {
+  if (n == 0) return;
+  POPAN_CHECK(keys != nullptr && xs != nullptr && ys != nullptr);
+  const int right_align = 64 - 2 * static_cast<int>(kBitsPerAxis);
+  for (size_t base = 0; base < n; base += 8) {
+    const size_t c = n - base < 8 ? n - base : 8;
+    uint64_t bits[8];
+    uint32_t xq[8];
+    uint32_t yq[8];
+    for (size_t i = 0; i < c; ++i) bits[i] = keys[base + i] >> right_align;
+    if (c == 8) {
+      spatial::DeinterleaveBatch8(bits, xq, yq);
+    } else {
+      for (size_t i = 0; i < c; ++i) simd::DeinterleaveBits(bits[i], &xq[i], &yq[i]);
+    }
+    for (size_t i = 0; i < c; ++i) {
+      const geo::Point2 p = LatticeToDomain(domain, xq[i], yq[i]);
+      xs[base + i] = p.x();
+      ys[base + i] = p.y();
+    }
+  }
 }
 
 geo::Box2 HashPointCodec::BlockOfPrefix(uint64_t prefix_bits,
@@ -323,6 +401,11 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
   QueryResult result;
   switch (spec.kind) {
     case QueryKind::kRange: {
+      // Batch-decode each surviving bucket into coordinate lanes, then
+      // filter with the SIMD in-box kernel; decoded values, visit order,
+      // and counters match the per-key Decode + Contains loop exactly.
+      std::vector<double> xs;
+      std::vector<double> ys;
       table.VisitBucketsWithPrefix(
           [&](size_t /*bi*/, uint64_t prefix, size_t depth,
               const std::vector<uint64_t>& keys) {
@@ -332,11 +415,15 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
             }
             ++result.cost.nodes_visited;
             ++result.cost.leaves_touched;
-            for (uint64_t key : keys) {
-              ++result.cost.points_scanned;
-              geo::Point2 p = codec.Decode(key);
-              if (spec.range.Contains(p)) result.points.push_back(p);
-            }
+            const size_t n = keys.size();
+            result.cost.points_scanned += n;
+            xs.resize(n);
+            ys.resize(n);
+            codec.DecodeBatchLanes(keys.data(), n, xs.data(), ys.data());
+            const std::array<const double*, 2> lanes = {xs.data(), ys.data()};
+            spatial::ForEachInBoxLanes<2>(lanes, n, spec.range, [&](size_t i) {
+              result.points.push_back(geo::Point2{xs[i], ys[i]});
+            });
           });
       SortCanonical(&result.points);
       break;
@@ -349,6 +436,8 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
         ++result.cost.pruned_subtrees;
         break;
       }
+      std::vector<double> xs;
+      std::vector<double> ys;
       table.VisitBucketsWithPrefix(
           [&](size_t /*bi*/, uint64_t prefix, size_t depth,
               const std::vector<uint64_t>& keys) {
@@ -359,11 +448,15 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
             }
             ++result.cost.nodes_visited;
             ++result.cost.leaves_touched;
-            for (uint64_t key : keys) {
-              ++result.cost.points_scanned;
-              geo::Point2 p = codec.Decode(key);
-              if (p[axis] == value) result.points.push_back(p);
-            }
+            const size_t n = keys.size();
+            result.cost.points_scanned += n;
+            xs.resize(n);
+            ys.resize(n);
+            codec.DecodeBatchLanes(keys.data(), n, xs.data(), ys.data());
+            const double* lane = axis == 0 ? xs.data() : ys.data();
+            spatial::ForEachEqualLane(lane, n, value, [&](size_t i) {
+              result.points.push_back(geo::Point2{xs[i], ys[i]});
+            });
           });
       SortCanonical(&result.points);
       break;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -125,6 +126,19 @@ struct HashPointCodec {
 
   uint64_t Encode(const geo::Point2& p) const;
   geo::Point2 Decode(uint64_t key) const;
+
+  /// Batched Encode: out[i] = Encode(pts[i]), bit for bit, through the
+  /// QuantizeClamped + InterleaveBatch8 kernels. out holds pts.size()
+  /// entries.
+  void EncodeBatch(std::span<const geo::Point2> pts, uint64_t* out) const;
+
+  /// Batched Decode into coordinate lanes: (xs[i], ys[i]) = Decode(keys[i])
+  /// bit for bit. The bit de-interleave is batched; the final
+  /// lattice-to-domain arithmetic runs through the same scalar helper as
+  /// Decode (its a + b * c shape must not be vectorized or fused). The
+  /// lane output feeds the SIMD bucket filters directly.
+  void DecodeBatchLanes(const uint64_t* keys, size_t n, double* xs,
+                        double* ys) const;
 
   /// The dyadic block of the domain shared by all keys whose pseudokey
   /// starts with the depth_bits-bit prefix (the geometry of one hash

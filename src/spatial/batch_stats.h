@@ -1,0 +1,24 @@
+#ifndef POPAN_SPATIAL_BATCH_STATS_H_
+#define POPAN_SPATIAL_BATCH_STATS_H_
+
+#include <cstddef>
+
+namespace popan::spatial {
+
+/// Outcome counters of a bulk insert (InsertBatch on the tree backends).
+/// A batch reports per-point dispositions in aggregate instead of one
+/// Status per point: the bulk path exists to amortize per-point work, so
+/// its API cannot reintroduce it.
+struct BatchInsertStats {
+  /// Points actually added to the structure.
+  size_t inserted = 0;
+  /// Points equal to an already-stored point (or to an earlier point of
+  /// the same batch) — the AlreadyExists outcome of the scalar insert.
+  size_t duplicates = 0;
+  /// Points outside the root block — the OutOfRange outcome.
+  size_t out_of_bounds = 0;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_BATCH_STATS_H_

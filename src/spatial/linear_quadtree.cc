@@ -28,11 +28,10 @@ StatusOr<LinearPrQuadtree> LinearPrQuadtree::BulkLoad(
   }
   // Sort by full-resolution Morton code; children of any block are then
   // contiguous sub-spans, so the decomposition falls out of a top-down
-  // span walk.
+  // span walk. The batched codec is bitwise-identical to per-point
+  // CodeOfPoint, so the decomposition is unchanged.
   std::vector<uint64_t> codes(points.size());
-  for (size_t i = 0; i < points.size(); ++i) {
-    codes[i] = CodeOfPoint(bounds, points[i], MortonCode::kMaxDepth).bits;
-  }
+  CodeBitsBatch(bounds, points, MortonCode::kMaxDepth, codes.data());
   std::vector<size_t> order(points.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -59,7 +58,29 @@ StatusOr<LinearPrQuadtree> LinearPrQuadtree::BulkLoad(
   tree.size_ = sorted_points.size();
   tree.BuildSpan(sorted_codes, sorted_points, 0, sorted_points.size(),
                  RootCode());
+  tree.BuildLanes();
   return tree;
+}
+
+void LinearPrQuadtree::BuildLanes() {
+  lane_offsets_.clear();
+  lane_offsets_.reserve(leaves_.size() + 1);
+  lane_offsets_.push_back(0);
+  size_t total = 0;
+  for (const Leaf& leaf : leaves_) {
+    total += leaf.points.size();
+    lane_offsets_.push_back(total);
+  }
+  for (auto& lane : lanes_) {
+    lane.clear();
+    lane.reserve(total);
+  }
+  for (const Leaf& leaf : leaves_) {
+    for (const geo::Point2& p : leaf.points) {
+      lanes_[0].push_back(p.x());
+      lanes_[1].push_back(p.y());
+    }
+  }
 }
 
 void LinearPrQuadtree::BuildSpan(const std::vector<uint64_t>& codes,
@@ -118,6 +139,7 @@ LinearPrQuadtree LinearPrQuadtree::FromTree(const PrTree<2>& tree) {
     leaf.points.assign(points.begin(), points.end());
     out.leaves_.push_back(std::move(leaf));
   });
+  out.BuildLanes();
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "spatial/morton.h"
 #include "spatial/pr_tree.h"
 #include "spatial/query_cost.h"
+#include "spatial/soa_buffer.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -86,7 +87,18 @@ class LinearPrQuadtree {
     SpanWalk(
         cost,
         [&query](const geo::Box2& block) { return block.Intersects(query); },
-        [&query](const geo::Point2& p) { return query.Contains(p); }, fn);
+        [this, &query, cost, &fn](size_t li) {
+          // SIMD leaf filter over the flat coordinate lanes; visit order
+          // and QueryCost increments match the scalar per-point loop.
+          const size_t b = lane_offsets_[li];
+          const size_t n = lane_offsets_[li + 1] - b;
+          cost->points_scanned += n;
+          const std::array<const double*, 2> lanes = {lanes_[0].data() + b,
+                                                      lanes_[1].data() + b};
+          ForEachInBoxLanes<2>(lanes, n, query, [&](size_t i) {
+            fn(geo::Point2{lanes[0][i], lanes[1][i]});
+          });
+        });
   }
 
   /// Cost-counted partial-match search: fixes coordinate `axis` (0 = x,
@@ -108,8 +120,16 @@ class LinearPrQuadtree {
         [axis, value](const geo::Box2& block) {
           return block.lo()[axis] <= value && value < block.hi()[axis];
         },
-        [axis, value](const geo::Point2& p) { return p[axis] == value; },
-        fn);
+        [this, axis, value, cost, &fn](size_t li) {
+          const size_t b = lane_offsets_[li];
+          const size_t n = lane_offsets_[li + 1] - b;
+          cost->points_scanned += n;
+          const std::array<const double*, 2> lanes = {lanes_[0].data() + b,
+                                                      lanes_[1].data() + b};
+          ForEachEqualLane(lanes[axis], n, value, [&](size_t i) {
+            fn(geo::Point2{lanes[0][i], lanes[1][i]});
+          });
+        });
   }
 
   /// Cost-counted k-nearest-neighbor search: up to k stored points
@@ -140,18 +160,23 @@ class LinearPrQuadtree {
                  const std::vector<geo::Point2>& points, size_t begin,
                  size_t end, const MortonCode& block);
 
+  /// Fills the flat coordinate lanes and per-leaf offsets from the leaf
+  /// array; called by both factories once the leaves exist.
+  void BuildLanes();
+
   /// Index of the leaf whose code interval contains `point_bits`.
   size_t LeafIndexFor(uint64_t point_bits) const;
 
   static constexpr size_t kWalkStackHint = 64;
 
   /// Shared iterative walk over (block, span) frames of the virtual
-  /// pointer tree: descends into children whose block passes `block_ok`,
-  /// scans leaf contents through `point_ok`, and calls fn(point) on
-  /// matches. The caller has already accepted the root block.
-  template <typename BlockPred, typename PointPred, typename Fn>
-  void SpanWalk(QueryCost* cost, BlockPred block_ok, PointPred point_ok,
-                Fn fn) const {
+  /// pointer tree: descends into children whose block passes `block_ok`
+  /// and hands each reached leaf's index to `scan_leaf`, which filters
+  /// its lane contents (and accounts points_scanned). The caller has
+  /// already accepted the root block.
+  template <typename BlockPred, typename LeafScan>
+  void SpanWalk(QueryCost* cost, BlockPred block_ok,
+                LeafScan scan_leaf) const {
     struct Frame {
       MortonCode block;
       size_t begin, end;
@@ -165,10 +190,7 @@ class LinearPrQuadtree {
       ++cost->nodes_visited;
       if (f.end - f.begin == 1 && leaves_[f.begin].code == f.block) {
         ++cost->leaves_touched;
-        for (const geo::Point2& p : leaves_[f.begin].points) {
-          ++cost->points_scanned;
-          if (point_ok(p)) fn(p);
-        }
+        scan_leaf(f.begin);
         continue;
       }
       // Split the sorted span into the four child code intervals, then
@@ -202,6 +224,13 @@ class LinearPrQuadtree {
   geo::Box2 bounds_;
   PrTreeOptions options_;
   std::vector<Leaf> leaves_;
+  /// Flat SoA mirror of every leaf's points, concatenated in leaf order:
+  /// leaf i's coordinates live at [lane_offsets_[i], lane_offsets_[i+1])
+  /// of each lane. The query hot loops filter these lanes with the SIMD
+  /// kernels; Leaf::points stays the structure of record for
+  /// serialization and the leaf-level API.
+  std::array<std::vector<double>, 2> lanes_;
+  std::vector<size_t> lane_offsets_;
   size_t size_ = 0;
 };
 

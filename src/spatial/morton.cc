@@ -1,6 +1,10 @@
 #include "spatial/morton.h"
 
+#include <cmath>
+#include <cstddef>
+
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace popan::spatial {
 
@@ -9,6 +13,20 @@ namespace {
 /// Bit position (from 0 = least significant) of the 2-bit field holding
 /// the quadrant choice at path position `level` (0-based from the root).
 int FieldShift(int level) { return 2 * (MortonCode::kMaxDepth - 1 - level); }
+
+/// True iff the axis interval [lo, hi) is anchored at zero with an exact
+/// power-of-two extent 2^k (k may be negative). On such an axis every
+/// midpoint the descent visits is a dyadic rational that doubles
+/// represent exactly, and scaling by 2^(depth-k) is an exact exponent
+/// shift — the two facts that make floor-quantization bitwise equal to
+/// the midpoint descent.
+bool IsDyadicAxis(double lo, double hi, int* log2_extent) {
+  if (lo != 0.0 || !(hi > 0.0)) return false;
+  int e = 0;
+  if (std::frexp(hi, &e) != 0.5) return false;
+  *log2_extent = e - 1;
+  return true;
+}
 
 }  // namespace
 
@@ -75,6 +93,109 @@ void DescendantRange(const MortonCode& code, uint64_t* lo, uint64_t* hi) {
   uint64_t span = uint64_t{1}
                   << (2 * (MortonCode::kMaxDepth - code.depth));
   *hi = code.bits + span;
+}
+
+void CodeBitsBatch(const geo::Box2& root, std::span<const geo::Point2> pts,
+                   uint8_t depth, uint64_t* out) {
+  POPAN_CHECK(depth <= MortonCode::kMaxDepth);
+  const size_t n = pts.size();
+  if (n == 0) return;
+  POPAN_CHECK(out != nullptr);
+  if (depth == 0) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  int kx = 0;
+  int ky = 0;
+  const bool dyadic = IsDyadicAxis(root.lo()[0], root.hi()[0], &kx) &&
+                      IsDyadicAxis(root.lo()[1], root.hi()[1], &ky);
+  const int left_align = 2 * (MortonCode::kMaxDepth - depth);
+  const double sx = dyadic ? std::ldexp(1.0, depth - kx) : 0.0;
+  const double sy = dyadic ? std::ldexp(1.0, depth - ky) : 0.0;
+  const uint32_t max_q = (uint32_t{1} << depth) - 1;
+  for (size_t base = 0; base < n; base += 8) {
+    const size_t c = n - base < 8 ? n - base : 8;
+    double px[8];
+    double py[8];
+    for (size_t i = 0; i < c; ++i) {
+      px[i] = pts[base + i][0];
+      py[i] = pts[base + i][1];
+    }
+    // Same precondition CodeOfPoint CHECKs per point, tested lane-wide.
+    const uint64_t full = c == 64 ? ~uint64_t{0}
+                                  : ((uint64_t{1} << c) - 1);
+    POPAN_CHECK(simd::MaskInHalfOpen(px, c, root.lo()[0], root.hi()[0]) ==
+                    full &&
+                simd::MaskInHalfOpen(py, c, root.lo()[1], root.hi()[1]) ==
+                    full)
+        << "point outside root";
+    if (dyadic) {
+      uint32_t xq[8];
+      uint32_t yq[8];
+      uint64_t codes[8];
+      simd::QuantizeClamped(px, c, sx, max_q, xq);
+      simd::QuantizeClamped(py, c, sy, max_q, yq);
+      if (c == 8) {
+        simd::InterleaveBits8(xq, yq, codes);
+      } else {
+        for (size_t i = 0; i < c; ++i) {
+          codes[i] = simd::InterleaveBits(xq[i], yq[i]);
+        }
+      }
+      for (size_t i = 0; i < c; ++i) {
+        out[base + i] = codes[i] << left_align;
+      }
+    } else {
+      double lx[8];
+      double hx[8];
+      double ly[8];
+      double hy[8];
+      uint64_t bits[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (size_t i = 0; i < c; ++i) {
+        lx[i] = root.lo()[0];
+        hx[i] = root.hi()[0];
+        ly[i] = root.lo()[1];
+        hy[i] = root.hi()[1];
+      }
+      for (uint8_t level = 0; level < depth; ++level) {
+        const uint32_t xm = simd::BisectStep(px, lx, hx, c);
+        const uint32_t ym = simd::BisectStep(py, ly, hy, c);
+        const int fs = FieldShift(level);
+        for (size_t i = 0; i < c; ++i) {
+          const uint64_t q =
+              ((xm >> i) & 1u) | (((ym >> i) & 1u) << 1);
+          bits[i] |= q << fs;
+        }
+      }
+      for (size_t i = 0; i < c; ++i) out[base + i] = bits[i];
+    }
+  }
+}
+
+void CodeOfPointBatch(const geo::Box2& root, std::span<const geo::Point2> pts,
+                      uint8_t depth, MortonCode* out) {
+  const size_t n = pts.size();
+  if (n == 0) return;
+  POPAN_CHECK(out != nullptr);
+  // Write bits into the MortonCode array in place via a small stripe
+  // buffer, then stamp depths.
+  uint64_t bits[64];
+  for (size_t base = 0; base < n; base += 64) {
+    const size_t c = n - base < 64 ? n - base : 64;
+    CodeBitsBatch(root, pts.subspan(base, c), depth, bits);
+    for (size_t i = 0; i < c; ++i) {
+      out[base + i].bits = bits[i];
+      out[base + i].depth = depth;
+    }
+  }
+}
+
+void InterleaveBatch8(const uint32_t* xs, const uint32_t* ys, uint64_t* out) {
+  simd::InterleaveBits8(xs, ys, out);
+}
+
+void DeinterleaveBatch8(const uint64_t* codes, uint32_t* xs, uint32_t* ys) {
+  simd::DeinterleaveBits8(codes, xs, ys);
 }
 
 std::string MortonCodeToString(const MortonCode& code) {

@@ -2,6 +2,7 @@
 #define POPAN_SPATIAL_MORTON_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "geometry/box.h"
@@ -69,6 +70,30 @@ void DescendantRange(const MortonCode& code, uint64_t* lo, uint64_t* hi);
 
 /// Human-readable quadrant path like "0.3.1" ("" for the root).
 std::string MortonCodeToString(const MortonCode& code);
+
+/// Batched CodeOfPoint, bits only: out[i] = CodeOfPoint(root, pts[i],
+/// depth).bits, bit for bit, for every point. Roots anchored at zero with
+/// power-of-two extents (the experiments' unit cube) take a quantize +
+/// 8-key bit-interleave fast path; any other root uses a lane-parallel
+/// bisection whose per-level arithmetic is elementwise identical to the
+/// scalar QuadrantOf/Quadrant descent, so the results match the scalar
+/// codec on both paths. Every point must lie inside `root`;
+/// depth <= MortonCode::kMaxDepth; out must hold pts.size() entries.
+void CodeBitsBatch(const geo::Box2& root, std::span<const geo::Point2> pts,
+                   uint8_t depth, uint64_t* out);
+
+/// Batched CodeOfPoint: the MortonCode form of CodeBitsBatch.
+void CodeOfPointBatch(const geo::Box2& root, std::span<const geo::Point2> pts,
+                      uint8_t depth, MortonCode* out);
+
+/// Interleaves 8 quantized (x, y) pairs per call into raw Morton bit
+/// patterns (bit 2k of out[i] = bit k of xs[i], bit 2k+1 = bit k of
+/// ys[i]) — the batched kernel behind the linear/MX codecs and the
+/// extendible-hash query codec. Integer-exact on every dispatch path.
+void InterleaveBatch8(const uint32_t* xs, const uint32_t* ys, uint64_t* out);
+
+/// Inverse of InterleaveBatch8: splits 8 codes back into coordinate pairs.
+void DeinterleaveBatch8(const uint64_t* codes, uint32_t* xs, uint32_t* ys);
 
 }  // namespace popan::spatial
 

@@ -1,10 +1,14 @@
 #include "spatial/mx_quadtree.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
+#include <numeric>
 #include <utility>
 
+#include "spatial/morton.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace popan::spatial {
 
@@ -44,6 +48,99 @@ Status MxQuadtree::Insert(uint32_t x, uint32_t y) {
   }
   // side() == 1 is excluded by the constructor.
   return Status::Internal("unreachable");
+}
+
+BatchInsertStats MxQuadtree::InsertBatch(
+    std::span<const std::pair<uint32_t, uint32_t>> cells) {
+  BatchInsertStats stats;
+  const uint32_t s = static_cast<uint32_t>(side());
+  std::vector<uint32_t> xs;
+  std::vector<uint32_t> ys;
+  xs.reserve(cells.size());
+  ys.reserve(cells.size());
+  for (const auto& [x, y] : cells) {
+    if (x >= s || y >= s) {
+      ++stats.out_of_bounds;
+    } else {
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+  }
+  const size_t n = xs.size();
+  if (n == 0) return stats;
+  // Batched bit-interleave; the tail under 8 keys goes through the scalar
+  // SWAR form, which is integer-exact on every dispatch path anyway.
+  std::vector<uint64_t> codes(n);
+  size_t base = 0;
+  for (; base + 8 <= n; base += 8) {
+    InterleaveBatch8(&xs[base], &ys[base], &codes[base]);
+  }
+  for (; base < n; ++base) {
+    codes[base] = simd::InterleaveBits(xs[base], ys[base]);
+  }
+  std::sort(codes.begin(), codes.end());
+  // Shared leading quadrant fields between consecutive codes, within the
+  // 2 * bits_ wide field the grid uses.
+  const int field_bits = 2 * static_cast<int>(bits_);
+  auto shared_levels = [field_bits](uint64_t a, uint64_t b) {
+    const uint64_t diff = a ^ b;
+    return static_cast<size_t>(
+               std::countl_zero(diff) - (64 - field_bits)) /
+           2;
+  };
+  // Pre-size the arena: an insert of a sorted code allocates one node per
+  // level below its divergence from the previous code — exact on an empty
+  // tree, an upper bound otherwise.
+  size_t estimate = bits_ + 1;
+  for (size_t j = 1; j < n; ++j) {
+    if (codes[j] != codes[j - 1]) {
+      estimate += bits_ - shared_levels(codes[j], codes[j - 1]);
+    }
+  }
+  arena_.ReserveAdditional(estimate);
+  if (root_ == kNullNode) root_ = arena_.Allocate();
+  // Z-order walk reusing the path prefix shared with the previous code.
+  std::vector<NodeIndex> path;  // path[l] = node at depth l
+  path.reserve(bits_);
+  path.push_back(root_);
+  uint64_t prev = 0;
+  bool have_prev = false;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t c = codes[j];
+    size_t start = 0;
+    if (have_prev) {
+      if (c == prev) {
+        ++stats.duplicates;  // same cell earlier in this batch
+        continue;
+      }
+      start = shared_levels(c, prev);
+      path.resize(start + 1);
+    }
+    NodeIndex idx = path[start];
+    for (size_t l = start; l < bits_; ++l) {
+      const size_t q = (c >> (2 * (bits_ - 1 - l))) & 3;
+      NodeIndex child = arena_.Get(idx).children[q];
+      if (l + 1 == bits_) {
+        if (child != kNullNode) {
+          ++stats.duplicates;  // cell already occupied
+        } else {
+          arena_.Get(idx).children[q] = arena_.Allocate();
+          ++size_;
+          ++stats.inserted;
+        }
+        break;
+      }
+      if (child == kNullNode) {
+        child = arena_.Allocate();
+        arena_.Get(idx).children[q] = child;
+      }
+      idx = child;
+      path.push_back(idx);
+    }
+    prev = c;
+    have_prev = true;
+  }
+  return stats;
 }
 
 bool MxQuadtree::Contains(uint32_t x, uint32_t y) const {

@@ -4,12 +4,15 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "spatial/batch_stats.h"
 #include "spatial/node_arena.h"
 #include "spatial/query_cost.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -44,6 +47,21 @@ class MxQuadtree {
   /// an occupied cell.
   [[nodiscard]] Status Insert(uint32_t x, uint32_t y);
 
+  /// Bulk insert: interleaves the cell coordinates into Morton codes with
+  /// the batched codec, sorts, and inserts in Z order reusing the shared
+  /// path prefix between consecutive codes — each insert then descends
+  /// only the levels below the divergence point instead of all
+  /// resolution_bits of them. The arena is pre-sized from the sorted
+  /// codes' prefix structure so the slab does not grow mid-batch. The
+  /// resulting tree is identical to one built by per-cell Insert calls
+  /// (an MX tree is a function of the cell set alone).
+  BatchInsertStats InsertBatch(
+      std::span<const std::pair<uint32_t, uint32_t>> cells);
+
+  /// Slab reallocations of the node arena to date (see
+  /// NodeArena::GrowthCount); flat across a well-reserved InsertBatch.
+  size_t ArenaGrowthCount() const { return arena_.GrowthCount(); }
+
   /// True iff cell (x, y) is occupied.
   bool Contains(uint32_t x, uint32_t y) const;
 
@@ -73,6 +91,11 @@ class MxQuadtree {
       ++cost->pruned_subtrees;
       return;
     }
+    // Clamped copies for the vector kernel: cells never reach root_block,
+    // so clamping cannot change any containment answer, and it keeps the
+    // bounds inside the range MaskCellsInRect's compares are exact for.
+    const uint32_t cx1 = x1 < root_block ? x1 : root_block;
+    const uint32_t cy1 = y1 < root_block ? y1 : root_block;
     struct Frame {
       NodeIndex idx;
       uint32_t bx, by, block;
@@ -91,6 +114,29 @@ class MxQuadtree {
         continue;
       }
       const Node& node = arena_.Get(f.idx);
+      if (f.block == 2) {
+        // The four children are cells: evaluate them inline with one
+        // SIMD in-rect test instead of four push/pop round trips.
+        // Ascending q matches the LIFO pop order of the generic branch
+        // (children are pushed q = 3..0), and the per-cell counter
+        // increments are identical, so results, order, and QueryCost all
+        // stay bitwise equal to the frame-at-a-time walk.
+        const uint32_t qx[4] = {f.bx, f.bx + 1, f.bx, f.bx + 1};
+        const uint32_t qy[4] = {f.by, f.by, f.by + 1, f.by + 1};
+        const uint32_t in = simd::MaskCellsInRect(qx, qy, 4, x0, y0, cx1, cy1);
+        for (size_t q = 0; q < 4; ++q) {
+          if (node.children[q] == kNullNode) continue;
+          if ((in >> q) & 1u) {
+            ++cost->nodes_visited;
+            ++cost->leaves_touched;
+            ++cost->points_scanned;
+            fn(qx[q], qy[q]);
+          } else {
+            ++cost->pruned_subtrees;
+          }
+        }
+        continue;
+      }
       uint32_t half = f.block / 2;
       for (size_t q = 4; q-- > 0;) {
         if (node.children[q] == kNullNode) continue;

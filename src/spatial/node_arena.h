@@ -42,6 +42,12 @@ class NodeArena {
       return idx;
     }
     POPAN_CHECK(slots_.size() < kNullNode) << "arena exhausted";
+    if (slots_.size() == slots_.capacity() && slots_.capacity() != 0) {
+      // The slab is about to reallocate and move every node. Counted so
+      // bulk-load sizing (ReserveAdditional from the Morton run-length
+      // estimate) can be tested to never grow mid-batch.
+      ++growth_count_;
+    }
     slots_.emplace_back(std::forward<Args>(args)...);
     ++live_count_;
     return static_cast<NodeIndex>(slots_.size() - 1);
@@ -62,8 +68,21 @@ class NodeArena {
   /// grows on demand past it.
   void Reserve(size_t n) { slots_.reserve(n); }
 
+  /// Ensures `n` further Allocate() calls succeed without a slab
+  /// reallocation, counting recycled free-list slots toward the budget.
+  /// This is the batch-insert form of Reserve: callers size `n` from their
+  /// sorted-run estimate, not from a worst-case per-point bound.
+  void ReserveAdditional(size_t n) {
+    size_t recycled = free_list_.size();
+    if (n > recycled) slots_.reserve(slots_.size() + (n - recycled));
+  }
+
   /// Total slots the slab can hold before reallocating.
   size_t Capacity() const { return slots_.capacity(); }
+
+  /// Number of times Allocate() had to grow (reallocate and move) a
+  /// non-empty slab. Stays flat across a well-reserved bulk insert.
+  size_t GrowthCount() const { return growth_count_; }
 
   NodeT& Get(NodeIndex idx) {
     POPAN_DCHECK(idx < slots_.size()) << "index" << idx;
@@ -94,6 +113,7 @@ class NodeArena {
   std::vector<NodeT> slots_;
   std::vector<NodeIndex> free_list_;
   size_t live_count_ = 0;
+  size_t growth_count_ = 0;
 };
 
 }  // namespace popan::spatial

@@ -6,16 +6,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <numeric>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "geometry/box.h"
 #include "geometry/point.h"
+#include "spatial/batch_stats.h"
 #include "spatial/census.h"
-#include "spatial/inline_buffer.h"
+#include "spatial/morton.h"
 #include "spatial/node_arena.h"
 #include "spatial/query_cost.h"
+#include "spatial/soa_buffer.h"
 #include "util/check.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -47,10 +50,13 @@ struct PrTreeOptions {
 /// splitting rule counts distinct points).
 ///
 /// Hot-path design (the simulation inner loop is insert/erase + census):
-///  - Leaves store their points in a fixed inline buffer (InlineBuffer,
-///    sized for the paper's m <= 8 regime), so inserts and splits do not
-///    allocate; contents spill to the heap only above the inline
-///    threshold (large capacities, or truncated leaves at max_depth).
+///  - Leaves store their points structure-of-arrays (SoaBuffer): each
+///    coordinate axis in its own contiguous lane, up to kInlineLeafCapacity
+///    elements inline in the node, spilling to the heap only above the
+///    threshold (large capacities, or truncated leaves at max_depth). The
+///    lane layout lets the range/partial-match visitors filter a whole
+///    leaf with the SIMD point-in-box kernels of util/simd.h — bitwise
+///    identical to the scalar test on every dispatch path.
 ///  - Insert/Erase/Contains are iterative (explicit descent loops, the
 ///    split cascade as a loop, collapse walking the recorded path), so
 ///    deep trees cannot overflow the call stack.
@@ -137,9 +143,10 @@ class PrTree {
     {
       Node& leaf = arena_.Get(idx);
       const size_t n = leaf.points.size();
-      const PointT* pts = leaf.points.data();
       for (size_t i = 0; i < n; ++i) {
-        if (pts[i] == p) return Status::AlreadyExists("duplicate point");
+        if (leaf.points.Matches(i, p)) {
+          return Status::AlreadyExists("duplicate point");
+        }
       }
       if (n < options_.capacity || depth >= options_.max_depth) {
         leaf.points.push_back(p);
@@ -152,8 +159,7 @@ class PrTree {
       // the m+1 points in the reusable scratch buffer; the leaf becomes an
       // internal node below.
       split_points_.clear();
-      split_points_.insert(split_points_.end(), leaf.points.begin(),
-                           leaf.points.end());
+      for (size_t i = 0; i < n; ++i) split_points_.push_back(leaf.points.Get(i));
       split_points_.push_back(p);
       HistRemove(depth, n);
     }
@@ -211,6 +217,35 @@ class PrTree {
     return Status::OK();
   }
 
+  /// Bulk insert (the batch hot path). For D = 2 the batch is encoded
+  /// with the batched Morton codec, sorted by (code, x, y), and placed
+  /// one leaf-run at a time: phase one descends by code fields straight
+  /// to each owning leaf (no per-point box arithmetic), phase two
+  /// finalises any overflowing leaf by rebuilding its subtree from the
+  /// merged sorted span — so traversal and split cascades are paid once
+  /// per leaf, not once per point. Other dimensions fall back to the
+  /// scalar insert loop.
+  ///
+  /// The resulting tree is the canonical PR decomposition of the final
+  /// point set (identical shape and censuses to inserting one-by-one, in
+  /// any order); only the order of points within a leaf may differ.
+  /// Duplicates (against stored points or within the batch) and
+  /// out-of-bounds points are counted, not inserted — the same
+  /// dispositions the scalar insert reports as Status codes.
+  BatchInsertStats InsertBatch(std::span<const PointT> batch) {
+    BatchInsertStats stats;
+    if constexpr (D == 2) {
+      InsertBatchSorted(batch, &stats);
+    } else {
+      for (const PointT& p : batch) AbsorbSingle(Insert(p), &stats);
+    }
+    return stats;
+  }
+
+  /// Times the node arena's slab grew mid-allocation (see
+  /// NodeArena::GrowthCount) — zero across a well-reserved InsertBatch.
+  size_t ArenaGrowthCount() const { return arena_.GrowthCount(); }
+
   /// True iff an equal point is stored.
   bool Contains(const PointT& p) const {
     if (!bounds_.Contains(p)) return false;
@@ -222,9 +257,8 @@ class PrTree {
       box = box.Quadrant(q);
     }
     const Node& leaf = arena_.Get(idx);
-    const PointT* pts = leaf.points.data();
     for (size_t i = 0, n = leaf.points.size(); i < n; ++i) {
-      if (pts[i] == p) return true;
+      if (leaf.points.Matches(i, p)) return true;
     }
     return false;
   }
@@ -252,7 +286,7 @@ class PrTree {
     const size_t n = leaf.points.size();
     size_t found = n;
     for (size_t i = 0; i < n; ++i) {
-      if (leaf.points[i] == p) {
+      if (leaf.points.Matches(i, p)) {
         found = i;
         break;
       }
@@ -305,11 +339,12 @@ class PrTree {
       const Node& node = arena_.Get(f.idx);
       if (node.is_leaf) {
         ++cost->leaves_touched;
-        const PointT* pts = node.points.data();
-        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
-          ++cost->points_scanned;
-          if (query.Contains(pts[i])) fn(pts[i]);
-        }
+        // SIMD point-in-box filter over the leaf's coordinate lanes;
+        // match order and counter arithmetic are identical to the scalar
+        // per-point loop on every dispatch path.
+        cost->points_scanned += node.points.size();
+        ForEachInBox(node.points, query,
+                     [&node, &fn](size_t i) { fn(node.points.Get(i)); });
         continue;
       }
       // Push children in reverse so quadrant 0 pops first (preorder).
@@ -350,11 +385,12 @@ class PrTree {
       const Node& node = arena_.Get(f.idx);
       if (node.is_leaf) {
         ++cost->leaves_touched;
-        const PointT* pts = node.points.data();
-        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
-          ++cost->points_scanned;
-          if (pts[i][axis] == value) fn(pts[i]);
-        }
+        // SIMD equality filter on the fixed axis lane (same order and
+        // counters as the scalar loop; IEEE == either way).
+        cost->points_scanned += node.points.size();
+        ForEachEqualOnAxis(node.points, axis, value, [&node, &fn](size_t i) {
+          fn(node.points.Get(i));
+        });
         continue;
       }
       for (size_t q = kFanout; q-- > 0;) {
@@ -422,16 +458,18 @@ class PrTree {
       const Node& node = arena_.Get(f.idx);
       if (node.is_leaf) {
         ++cost->leaves_touched;
-        const PointT* pts = node.points.data();
+        // Deliberately scalar: the distance accumulation a*a + acc is a
+        // fusable shape the compiler may contract to FMA, so a hand-SIMD
+        // version could not stay bitwise identical (see util/simd.h).
         for (size_t i = 0, n = node.points.size(); i < n; ++i) {
           ++cost->points_scanned;
-          double d2 = pts[i].DistanceSquared(target);
+          double d2 = node.points.Get(i).DistanceSquared(target);
           if (d2 < radius2()) {
             if (heap.size() == k) {
               std::pop_heap(heap.begin(), heap.end(), heap_less);
               heap.pop_back();
             }
-            heap.emplace_back(d2, pts[i]);
+            heap.emplace_back(d2, node.points.Get(i));
             std::push_heap(heap.begin(), heap.end(), heap_less);
           }
         }
@@ -516,18 +554,27 @@ class PrTree {
 
   /// Calls fn(box, depth, std::span<const PointT>) for every leaf in
   /// preorder (children in quadrant order — Z order), exposing the points.
+  /// The span is assembled from the leaf's coordinate lanes into a
+  /// traversal-local scratch buffer and is valid only for the duration of
+  /// the callback.
   template <typename Fn>
   void VisitLeavesPoints(Fn fn) const {
     std::vector<WalkFrame> stack;
     stack.reserve(kWalkStackHint);
     stack.push_back(WalkFrame{root_, bounds_, 0});
+    std::vector<PointT> scratch;
+    scratch.reserve(kInlineLeafCapacity);
     while (!stack.empty()) {
       WalkFrame f = stack.back();
       stack.pop_back();
       const Node& node = arena_.Get(f.idx);
       if (node.is_leaf) {
+        scratch.clear();
+        for (size_t i = 0, n = node.points.size(); i < n; ++i) {
+          scratch.push_back(node.points.Get(i));
+        }
         fn(f.box, static_cast<size_t>(f.depth),
-           std::span<const PointT>(node.points.data(), node.points.size()));
+           std::span<const PointT>(scratch.data(), scratch.size()));
         continue;
       }
       for (size_t q = kFanout; q-- > 0;) {
@@ -594,7 +641,7 @@ class PrTree {
     // Otherwise `children` holds 2^D arena indices.
     bool is_leaf = true;
     std::array<NodeIndex, kFanout> children = InitChildren();
-    InlineBuffer<PointT, kInlineLeafCapacity> points;
+    SoaBuffer<D, kInlineLeafCapacity> points;
 
     static constexpr std::array<NodeIndex, kFanout> InitChildren() {
       std::array<NodeIndex, kFanout> c{};
@@ -670,6 +717,315 @@ class PrTree {
     return Status::OK();
   }
 
+  // ---- Bulk insert (see InsertBatch) -------------------------------
+
+  /// One batch record: a point with its Morton code, sorted and merged
+  /// as a unit so the hot path never re-gathers parallel arrays.
+  struct BatchRec {
+    uint64_t code;
+    PointT pt;
+  };
+
+  static void AbsorbSingle(const Status& s, BatchInsertStats* stats) {
+    if (s.ok()) {
+      ++stats->inserted;
+    } else if (s.code() == StatusCode::kAlreadyExists) {
+      ++stats->duplicates;
+    } else {
+      ++stats->out_of_bounds;
+    }
+  }
+
+  /// Sizes the arena from the sorted batch's run structure instead of a
+  /// worst-case per-point bound: distinct code prefixes at the depth d*
+  /// where mean block occupancy is ~capacity/2 (4^d* >= 2n/m) approximate
+  /// the final leaf partition, and a quadtree with L leaves has (4L-1)/3
+  /// nodes; 2x slack covers clusters that split past d*.
+  void ReserveForBatch(const std::vector<BatchRec>& sorted) {
+    const size_t n = sorted.size();
+    const size_t m = std::max<size_t>(1, options_.capacity);
+    size_t d_star = 0;
+    while (d_star < MortonCode::kMaxDepth &&
+           (size_t{1} << (2 * d_star)) < (2 * n + m - 1) / m) {
+      ++d_star;
+    }
+    const int shift = 2 * (MortonCode::kMaxDepth - d_star);
+    size_t runs = 1;
+    for (size_t j = 1; j < n; ++j) {
+      if ((sorted[j].code >> shift) != (sorted[j - 1].code >> shift)) {
+        ++runs;
+      }
+    }
+    arena_.ReserveAdditional(runs * 8 / 3 + kFanout + 8);
+  }
+
+  /// The D = 2 bulk path. Every structural decision is driven by the
+  /// (parity-exact) batch codes and raw coordinate comparisons, so the
+  /// built tree is bitwise identical under scalar and SIMD dispatch.
+  void InsertBatchSorted(std::span<const PointT> batch,
+                         BatchInsertStats* stats) {
+    const uint8_t cd = static_cast<uint8_t>(
+        std::min<size_t>(options_.max_depth, MortonCode::kMaxDepth));
+    std::vector<PointT> pts;
+    pts.reserve(batch.size());
+    for (const PointT& p : batch) {
+      if (bounds_.Contains(p)) {
+        pts.push_back(p);
+      } else {
+        ++stats->out_of_bounds;
+      }
+    }
+    if (pts.empty()) return;
+    const size_t n = pts.size();
+    std::vector<uint64_t> raw(n);
+    CodeBitsBatch(bounds_, pts, cd, raw.data());
+    // Sort records (code, point) by (code, x, y). Large batches go
+    // through one MSD bucket pass on the top 16 code bits (uniform data
+    // lands ~n/65536 records per bucket) followed by tiny per-bucket
+    // comparison sorts — a single scatter instead of O(n log n) indirect
+    // comparisons, which dominates the whole batch otherwise. Skewed
+    // data degrades gracefully: an overfull bucket is just std::sort'ed.
+    const auto rec_less = [](const BatchRec& a, const BatchRec& b) {
+      if (a.code != b.code) return a.code < b.code;
+      if (a.pt[0] != b.pt[0]) return a.pt[0] < b.pt[0];
+      return a.pt[1] < b.pt[1];
+    };
+    std::vector<BatchRec> recs(n);
+    for (size_t j = 0; j < n; ++j) recs[j] = BatchRec{raw[j], pts[j]};
+    if (n >= 4096) {
+      // Codes occupy bits [0, 62); the top 16 are bits [46, 62).
+      constexpr int kBucketShift = 2 * MortonCode::kMaxDepth - 16;
+      constexpr size_t kBuckets = size_t{1} << 16;
+      std::vector<uint32_t> offsets(kBuckets + 1, 0);
+      for (const BatchRec& r : recs) ++offsets[(r.code >> kBucketShift) + 1];
+      for (size_t k = 1; k <= kBuckets; ++k) offsets[k] += offsets[k - 1];
+      std::vector<BatchRec> tmp(n);
+      std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+      for (const BatchRec& r : recs) tmp[cursor[r.code >> kBucketShift]++] = r;
+      recs.swap(tmp);
+      for (size_t k = 0; k < kBuckets; ++k) {
+        const size_t lo = offsets[k];
+        const size_t hi = offsets[k + 1];
+        if (hi - lo > 1) {
+          std::sort(recs.begin() + static_cast<ptrdiff_t>(lo),
+                    recs.begin() + static_cast<ptrdiff_t>(hi), rec_less);
+        }
+      }
+    } else {
+      std::sort(recs.begin(), recs.end(), rec_less);
+    }
+    // In-batch duplicates are adjacent now; drop them in place, up front,
+    // so the per-run merge below only resolves batch-vs-stored ties.
+    {
+      size_t w = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (w != 0 && recs[w - 1].code == recs[j].code &&
+            recs[w - 1].pt == recs[j].pt) {
+          ++stats->duplicates;
+          continue;
+        }
+        recs[w++] = recs[j];
+      }
+      recs.resize(w);
+    }
+    ReserveForBatch(recs);
+    const size_t sn = recs.size();
+
+    const size_t size_before = size_;
+    std::vector<PointT> fallback;
+    std::vector<PointT> ex_pts;
+    std::vector<uint64_t> ex_codes;
+    std::vector<uint32_t> ex_order;
+    std::vector<BatchRec> merged;
+    size_t i = 0;
+    while (i < sn) {
+      // Descend by code fields straight to the leaf owning recs[i].
+      NodeIndex idx = root_;
+      size_t depth = 0;
+      for (;;) {
+        const Node& node = arena_.Get(idx);
+        if (node.is_leaf) break;
+        if (depth >= cd) {
+          idx = kNullNode;
+          break;
+        }
+        const size_t q =
+            (recs[i].code >> (2 * (MortonCode::kMaxDepth - 1 - depth))) & 3;
+        idx = node.children[q];
+        ++depth;
+      }
+      if (idx == kNullNode) {
+        // Structure deeper than the code depth (an identical-code cluster
+        // under max_depth > kMaxDepth): the scalar path, which splits on
+        // real coordinates, handles these points.
+        const uint64_t c = recs[i].code;
+        while (i < sn && recs[i].code == c) fallback.push_back(recs[i++].pt);
+        continue;
+      }
+      // The run: every batch point inside this leaf's code interval.
+      size_t e = sn;
+      if (depth > 0) {
+        const uint64_t span = uint64_t{1}
+                              << (2 * (MortonCode::kMaxDepth - depth));
+        const uint64_t hi = (recs[i].code & ~(span - 1)) + span;
+        e = i + 1;
+        while (e < sn && recs[e].code < hi) ++e;
+      }
+      Node& leaf = arena_.Get(idx);
+      const size_t old_occ = leaf.points.size();
+      if (old_occ == 0) {
+        // Empty leaf: the deduplicated run IS the merged span — fill or
+        // finalise straight from the sorted records, no copies.
+        const size_t total = e - i;
+        if (total <= options_.capacity || depth >= options_.max_depth) {
+          for (size_t j = i; j < e; ++j) leaf.points.push_back(recs[j].pt);
+          HistRemove(depth, 0);
+          HistAdd(depth, total);
+          size_ += total;
+        } else {
+          HistRemove(depth, 0);
+          const size_t placed =
+              BuildSubtreeFromRun(idx, depth, cd, i, e, recs, &fallback);
+          size_ += placed;
+        }
+        i = e;
+        continue;
+      }
+      // Merge the leaf's existing points (encoded and sorted the same
+      // way) with the run, dropping batch copies of stored points.
+      ex_pts.clear();
+      for (size_t j = 0; j < old_occ; ++j) ex_pts.push_back(leaf.points.Get(j));
+      ex_codes.resize(old_occ);
+      CodeBitsBatch(bounds_, ex_pts, cd, ex_codes.data());
+      ex_order.resize(old_occ);
+      std::iota(ex_order.begin(), ex_order.end(), 0u);
+      std::sort(ex_order.begin(), ex_order.end(),
+                [&](uint32_t a, uint32_t b) {
+                  if (ex_codes[a] != ex_codes[b]) {
+                    return ex_codes[a] < ex_codes[b];
+                  }
+                  if (ex_pts[a][0] != ex_pts[b][0]) {
+                    return ex_pts[a][0] < ex_pts[b][0];
+                  }
+                  return ex_pts[a][1] < ex_pts[b][1];
+                });
+      merged.clear();
+      size_t a = 0;
+      size_t b = i;
+      while (a < old_occ || b < e) {
+        bool take_existing;
+        if (a >= old_occ) {
+          take_existing = false;
+        } else if (b >= e) {
+          take_existing = true;
+        } else {
+          const uint64_t ca = ex_codes[ex_order[a]];
+          if (ca != recs[b].code) {
+            take_existing = ca < recs[b].code;
+          } else {
+            const PointT& pa = ex_pts[ex_order[a]];
+            if (pa[0] != recs[b].pt[0]) {
+              take_existing = pa[0] < recs[b].pt[0];
+            } else {
+              // On full ties the stored point wins; the batch copy is
+              // then dropped as a duplicate below.
+              take_existing = pa[1] <= recs[b].pt[1];
+            }
+          }
+        }
+        if (take_existing) {
+          merged.push_back(BatchRec{ex_codes[ex_order[a]], ex_pts[ex_order[a]]});
+          ++a;
+        } else {
+          if (!merged.empty() && merged.back().pt == recs[b].pt) {
+            ++stats->duplicates;
+          } else {
+            merged.push_back(recs[b]);
+          }
+          ++b;
+        }
+      }
+      const size_t total = merged.size();
+      if (total == old_occ) {
+        i = e;
+        continue;  // every batch point in the run was a duplicate
+      }
+      if (total <= options_.capacity || depth >= options_.max_depth) {
+        leaf.points.clear();
+        for (size_t j = 0; j < total; ++j) leaf.points.push_back(merged[j].pt);
+        HistRemove(depth, old_occ);
+        HistAdd(depth, total);
+        size_ += total - old_occ;
+      } else {
+        // Finalise: rebuild this leaf's subtree from the merged span.
+        HistRemove(depth, old_occ);
+        leaf.points.clear();
+        const size_t placed = BuildSubtreeFromRun(
+            idx, depth, cd, 0, total, merged, &fallback);
+        size_ -= old_occ;
+        size_ += placed;
+      }
+      i = e;
+    }
+    // Deep identical-code clusters (a measure-zero event for real-valued
+    // data) finish on the scalar path.
+    for (const PointT& p : fallback) {
+      const Status s = Insert(p);
+      if (!s.ok()) ++stats->duplicates;
+    }
+    stats->inserted += size_ - size_before;
+  }
+
+  /// Builds the minimal subtree for merged[b, e) under `idx`, which must
+  /// be an empty leaf whose census entry has been removed. Splits exactly
+  /// when a block holds more than `capacity` points (the PR rule), using
+  /// the sorted codes to partition spans without touching coordinates.
+  /// Returns the number of points placed; points of an identical-code
+  /// cluster that must split past the code depth join `fallback` instead.
+  size_t BuildSubtreeFromRun(NodeIndex idx, size_t depth, uint8_t cd,
+                             size_t b, size_t e,
+                             const std::vector<BatchRec>& recs,
+                             std::vector<PointT>* fallback) {
+    const size_t count = e - b;
+    if (count <= options_.capacity || depth >= options_.max_depth) {
+      Node& node = arena_.Get(idx);
+      for (size_t j = b; j < e; ++j) node.points.push_back(recs[j].pt);
+      HistAdd(depth, count);
+      return count;
+    }
+    if (depth >= cd) {
+      HistAdd(depth, 0);
+      for (size_t j = b; j < e; ++j) fallback->push_back(recs[j].pt);
+      return 0;
+    }
+    std::array<NodeIndex, kFanout> ch;
+    for (size_t q = 0; q < kFanout; ++q) ch[q] = arena_.Allocate();
+    {
+      // Re-fetch: the allocations above may have moved the slab.
+      Node& node = arena_.Get(idx);
+      node.is_leaf = false;
+      node.points.clear();
+      node.children = ch;
+    }
+    leaf_count_ += kFanout - 1;
+    const int shift =
+        2 * (static_cast<int>(MortonCode::kMaxDepth) - 1 -
+             static_cast<int>(depth));
+    size_t placed = 0;
+    size_t s = b;
+    for (size_t q = 0; q < kFanout; ++q) {
+      size_t t = s;
+      while (t < e &&
+             ((recs[t].code >> shift) & 3) == static_cast<uint64_t>(q)) {
+        ++t;
+      }
+      placed += BuildSubtreeFromRun(ch[q], depth + 1, cd, s, t, recs, fallback);
+      s = t;
+    }
+    POPAN_DCHECK(s == e);
+    return placed;
+  }
+
   /// If all children of internal node `idx` (at `depth`) are leaves and
   /// their total occupancy fits in one leaf, merge them back into `idx`.
   /// Returns true iff the node collapsed.
@@ -691,7 +1047,9 @@ class PrTree {
       // Freeing a slot never moves the slab, so `node` stays valid.
       Node& child = arena_.Get(ch[q]);
       HistRemove(depth + 1, child.points.size());
-      for (const PointT& pt : child.points) node.points.push_back(pt);
+      for (size_t i = 0, n = child.points.size(); i < n; ++i) {
+        node.points.push_back(child.points.Get(i));
+      }
       arena_.Free(ch[q]);
     }
     HistAdd(depth, total);
@@ -709,7 +1067,8 @@ class PrTree {
           depth < options_.max_depth) {
         return Status::Internal("leaf over capacity below max depth");
       }
-      for (const PointT& p : node.points) {
+      for (size_t i = 0, n = node.points.size(); i < n; ++i) {
+        PointT p = node.points.Get(i);
         if (!box.Contains(p)) {
           return Status::Internal("point " + p.ToString() +
                                   " outside its leaf block " +

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -19,6 +20,7 @@
 #include "spatial/pr_tree.h"
 #include "spatial/query_cost.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace popan::spatial {
@@ -581,9 +583,30 @@ class SnapshotView {
       if (f.node->is_leaf) {
         ++cost->leaves_touched;
         const PointT* pts = f.node->points.data();
-        for (size_t i = 0, n = f.node->points.size(); i < n; ++i) {
-          ++cost->points_scanned;
-          if (query.Contains(pts[i])) fn(pts[i]);
+        const size_t n = f.node->points.size();
+        cost->points_scanned += n;
+        if constexpr (D == 2) {
+          // Snapshot leaves are AoS (immutable InlineBuffer), so the leaf
+          // filter goes through the stride-2 SIMD in-box kernel; matches,
+          // visit order, and counters are identical to the scalar
+          // Contains loop on every dispatch path.
+          static_assert(sizeof(PointT) == 2 * sizeof(double));
+          const double* xy = n != 0 ? pts[0].coords().data() : nullptr;
+          for (size_t base = 0; base < n; base += 64) {
+            const size_t chunk = n - base < 64 ? n - base : 64;
+            uint64_t mask = simd::MaskPointsInBoxAos(
+                xy + 2 * base, chunk, query.lo()[0], query.lo()[1],
+                query.hi()[0], query.hi()[1]);
+            while (mask != 0) {
+              const size_t i = static_cast<size_t>(std::countr_zero(mask));
+              mask &= mask - 1;
+              fn(pts[base + i]);
+            }
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            if (query.Contains(pts[i])) fn(pts[i]);
+          }
         }
         continue;
       }
@@ -599,6 +622,9 @@ class SnapshotView {
   }
 
   /// Cost-counted partial-match search; mirrors PrTree::PartialMatchVisit.
+  /// The leaf scan stays scalar: the AoS layout has no contiguous axis
+  /// lane, and a degenerate-box reformulation of the equality test would
+  /// diverge from `p[axis] == value` on NaN coordinates.
   template <typename Fn>
   void PartialMatchVisit(size_t axis, double value, QueryCost* cost,
                          Fn fn) const {

@@ -1,0 +1,258 @@
+// SIMD/scalar parity storm: 64 seeded workloads, every batch-accelerated
+// backend, both dispatch modes. The vectorized kernels (util/simd.h) are
+// required to be BITWISE identical to their scalar fallbacks — same
+// results, same canonical ordering, same QueryCost counters, same census
+// histograms — so each trial runs the identical workload under
+// simd::SetForceScalar(false) and (true) and compares the FNV checksum
+// chains (query::ChecksumResult folds coordinate bit patterns and all four
+// cost counters). The CI force-scalar leg additionally runs the whole
+// suite with POPAN_FORCE_SCALAR=1 so every other test exercises the
+// fallback path too.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/query.h"
+#include "spatial/census.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/mx_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "spatial/snapshot_view.h"
+#include "util/random.h"
+#include "util/simd.h"
+#include "util/statusor.h"
+
+namespace popan {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using query::ChecksumResult;
+using query::Execute;
+using query::QueryResult;
+using query::QuerySpec;
+
+/// Restores the dispatch mode even when a test fails mid-way.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool on) : prev_(simd::ForceScalar()) {
+    simd::SetForceScalar(on);
+  }
+  ~ScopedForceScalar() { simd::SetForceScalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+constexpr uint32_t kLattice = 32;
+
+/// Seeded points on the kLattice grid (duplicates likely), so partial
+/// match queries have real matches and the MX cell mapping is exact.
+std::vector<Point2> MakePoints(uint64_t seed, size_t n) {
+  Pcg32 rng(seed);
+  std::vector<Point2> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point2(rng.NextBounded(kLattice) / double{kLattice},
+                         rng.NextBounded(kLattice) / double{kLattice}));
+  }
+  return pts;
+}
+
+/// The per-seed query mix: ranges of varied selectivity, partial matches
+/// on both axes at lattice values, and a few k-NN probes.
+std::vector<QuerySpec> MakeSpecs(uint64_t seed) {
+  Pcg32 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<QuerySpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    const Point2 lo(rng.NextDouble(0.0, 0.8), rng.NextDouble(0.0, 0.8));
+    const Point2 hi(lo.x() + rng.NextDouble(0.05, 0.2 + 0.2 * i),
+                    lo.y() + rng.NextDouble(0.05, 0.2 + 0.2 * i));
+    specs.push_back(QuerySpec::Range(Box2(lo, hi)));
+  }
+  specs.push_back(QuerySpec::Range(Box2::UnitCube()));  // everything
+  for (size_t axis = 0; axis < 2; ++axis) {
+    specs.push_back(QuerySpec::PartialMatch(
+        axis, rng.NextBounded(kLattice) / double{kLattice}));
+  }
+  for (int i = 0; i < 2; ++i) {
+    specs.push_back(QuerySpec::NearestK(
+        Point2(rng.NextDouble(), rng.NextDouble()), 1 + 4 * i));
+  }
+  return specs;
+}
+
+/// Runs every spec against `backend` and folds results into one checksum.
+template <typename Backend>
+uint64_t ChecksumAll(const Backend& backend,
+                     const std::vector<QuerySpec>& specs) {
+  uint64_t h = query::kChecksumSeed;
+  for (const QuerySpec& spec : specs) {
+    h = ChecksumResult(h, Execute(backend, spec));
+  }
+  return h;
+}
+
+class SimdParityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimdParityTest, PrTreeBatchBuildAndQueries) {
+  const uint64_t seed = GetParam();
+  const std::vector<Point2> pts = MakePoints(seed, 700);
+  const std::vector<QuerySpec> specs = MakeSpecs(seed);
+
+  spatial::PrQuadtree simd_tree((Box2::UnitCube()));
+  spatial::PrQuadtree scalar_tree((Box2::UnitCube()));
+  spatial::BatchInsertStats simd_stats, scalar_stats;
+  uint64_t simd_sum = 0, scalar_sum = 0;
+  {
+    ScopedForceScalar scoped(false);
+    simd_stats = simd_tree.InsertBatch(pts);
+    simd_sum = ChecksumAll(simd_tree, specs);
+  }
+  {
+    ScopedForceScalar scoped(true);
+    scalar_stats = scalar_tree.InsertBatch(pts);
+    scalar_sum = ChecksumAll(scalar_tree, specs);
+  }
+  EXPECT_EQ(simd_stats.inserted, scalar_stats.inserted);
+  EXPECT_EQ(simd_stats.duplicates, scalar_stats.duplicates);
+  EXPECT_EQ(simd_tree.size(), scalar_tree.size());
+  EXPECT_EQ(simd_tree.LiveCensus(), scalar_tree.LiveCensus());
+  EXPECT_TRUE(simd_tree.CheckInvariants().ok());
+  EXPECT_EQ(simd_sum, scalar_sum) << "seed " << seed;
+  // Cross-mode: queries on the SIMD-built tree answered by the scalar
+  // kernels (and vice versa) must also agree.
+  {
+    ScopedForceScalar scoped(true);
+    EXPECT_EQ(ChecksumAll(simd_tree, specs), simd_sum);
+  }
+}
+
+TEST_P(SimdParityTest, LinearQuadtreeBulkLoadAndQueries) {
+  const uint64_t seed = GetParam();
+  std::vector<Point2> pts = MakePoints(seed, 500);
+  // BulkLoad rejects duplicates; the lattice data is full of them.
+  std::sort(pts.begin(), pts.end(), [](const Point2& a, const Point2& b) {
+    return a.x() != b.x() ? a.x() < b.x() : a.y() < b.y();
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::vector<QuerySpec> specs = MakeSpecs(seed);
+
+  uint64_t sums[2];
+  for (int scalar = 0; scalar < 2; ++scalar) {
+    ScopedForceScalar scoped(scalar == 1);
+    StatusOr<spatial::LinearPrQuadtree> loaded =
+        spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), pts);
+    ASSERT_TRUE(loaded.ok());
+    sums[scalar] = ChecksumAll(loaded.value(), specs);
+  }
+  EXPECT_EQ(sums[0], sums[1]) << "seed " << seed;
+}
+
+TEST_P(SimdParityTest, MxQuadtreeBatchBuildAndQueries) {
+  const uint64_t seed = GetParam();
+  Pcg32 rng(seed);
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  for (int i = 0; i < 600; ++i) {
+    cells.emplace_back(rng.NextBounded(kLattice), rng.NextBounded(kLattice));
+  }
+  const std::vector<QuerySpec> specs = MakeSpecs(seed);
+
+  spatial::MxQuadtree simd_tree(5);  // side == kLattice
+  spatial::MxQuadtree scalar_tree(5);
+  uint64_t sums[2];
+  {
+    ScopedForceScalar scoped(false);
+    (void)simd_tree.InsertBatch(cells);
+    query::MxBackend backend;
+    backend.tree = &simd_tree;
+    sums[0] = ChecksumAll(backend, specs);
+  }
+  {
+    ScopedForceScalar scoped(true);
+    (void)scalar_tree.InsertBatch(cells);
+    query::MxBackend backend;
+    backend.tree = &scalar_tree;
+    sums[1] = ChecksumAll(backend, specs);
+  }
+  EXPECT_EQ(simd_tree.size(), scalar_tree.size());
+  EXPECT_EQ(simd_tree.NodeCount(), scalar_tree.NodeCount());
+  EXPECT_EQ(sums[0], sums[1]) << "seed " << seed;
+}
+
+TEST_P(SimdParityTest, HashCodecAndBucketFilters) {
+  const uint64_t seed = GetParam();
+  const std::vector<Point2> pts = MakePoints(seed, 400);
+  const std::vector<QuerySpec> specs = MakeSpecs(seed);
+
+  query::HashBackend backend;
+  // Batched encode must match scalar Encode key-for-key on both paths.
+  std::vector<uint64_t> keys(pts.size());
+  std::vector<uint64_t> scalar_keys(pts.size());
+  {
+    ScopedForceScalar scoped(false);
+    backend.codec.EncodeBatch(pts, keys.data());
+  }
+  {
+    ScopedForceScalar scoped(true);
+    backend.codec.EncodeBatch(pts, scalar_keys.data());
+  }
+  std::vector<double> xs(pts.size()), ys(pts.size());
+  backend.codec.DecodeBatchLanes(keys.data(), keys.size(), xs.data(),
+                                 ys.data());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(keys[i], backend.codec.Encode(pts[i])) << "key " << i;
+    ASSERT_EQ(keys[i], scalar_keys[i]) << "key " << i;
+    const Point2 decoded = backend.codec.Decode(keys[i]);
+    ASSERT_EQ(xs[i], decoded.x());
+    ASSERT_EQ(ys[i], decoded.y());
+  }
+
+  spatial::ExtendibleHashOptions options;
+  options.identity_hash = true;
+  spatial::ExtendibleHash table(options);
+  for (uint64_t key : keys) {
+    (void)table.Insert(key);  // duplicates rejected, fine
+  }
+  backend.table = &table;
+  uint64_t sums[2];
+  for (int scalar = 0; scalar < 2; ++scalar) {
+    ScopedForceScalar scoped(scalar == 1);
+    sums[scalar] = ChecksumAll(backend, specs);
+  }
+  EXPECT_EQ(sums[0], sums[1]) << "seed " << seed;
+}
+
+TEST_P(SimdParityTest, SnapshotViewQueries) {
+  const uint64_t seed = GetParam();
+  const std::vector<Point2> pts = MakePoints(seed, 400);
+  const std::vector<QuerySpec> specs = MakeSpecs(seed);
+
+  spatial::CowPrQuadtree tree(Box2::UnitCube());
+  for (const Point2& p : pts) {
+    (void)tree.Insert(p);  // duplicates rejected, fine
+  }
+  const spatial::SnapshotView2 snapshot = tree.Snapshot();
+  uint64_t sums[2];
+  spatial::Census censuses[2];
+  for (int scalar = 0; scalar < 2; ++scalar) {
+    ScopedForceScalar scoped(scalar == 1);
+    sums[scalar] = ChecksumAll(snapshot, specs);
+    censuses[scalar] = snapshot.LiveCensus();
+  }
+  EXPECT_EQ(sums[0], sums[1]) << "seed " << seed;
+  EXPECT_EQ(censuses[0], censuses[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storm, SimdParityTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{65}));
+
+}  // namespace
+}  // namespace popan

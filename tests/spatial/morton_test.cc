@@ -1,8 +1,12 @@
 #include "spatial/morton.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace popan::spatial {
 namespace {
@@ -124,6 +128,113 @@ TEST(MortonTest, MaxDepthCodesDistinct) {
   MortonCode b = CodeOfPoint(root, Point2(0.5 + 1e-9, 0.5),
                              MortonCode::kMaxDepth);
   EXPECT_NE(a, b);
+}
+
+// ---- Batched codec -----------------------------------------------------
+
+TEST(MortonBatchTest, MatchesScalarAtEveryDepth) {
+  // Round-trip through CodeOfPointBatch at every representable depth on
+  // both the dyadic fast path (unit cube) and the generic bisection path.
+  const Box2 roots[] = {Box2::UnitCube(),
+                        Box2(Point2(-1.25, 0.3), Point2(2.75, 1.9))};
+  Pcg32 rng(41);
+  for (const Box2& root : roots) {
+    std::vector<Point2> pts;
+    for (int i = 0; i < 37; ++i) {
+      pts.push_back(Point2(rng.NextDouble(root.lo().x(), root.hi().x()),
+                           rng.NextDouble(root.lo().y(), root.hi().y())));
+    }
+    for (uint8_t depth = 0; depth <= MortonCode::kMaxDepth; ++depth) {
+      std::vector<MortonCode> batch(pts.size());
+      CodeOfPointBatch(root, pts, depth, batch.data());
+      for (size_t i = 0; i < pts.size(); ++i) {
+        const MortonCode expected = CodeOfPoint(root, pts[i], depth);
+        ASSERT_EQ(batch[i].bits, expected.bits)
+            << "depth " << int{depth} << " point " << i;
+        ASSERT_EQ(batch[i].depth, expected.depth);
+      }
+    }
+  }
+}
+
+TEST(MortonBatchTest, DomainBoundaryAndMaxCoordinatePoints) {
+  // Points on block seams and vanishingly close to the open upper edge —
+  // the cases where quantization and midpoint descent could disagree.
+  const Box2 root = Box2::UnitCube();
+  const double below_one = std::nextafter(1.0, 0.0);
+  const std::vector<Point2> pts = {
+      Point2(0.0, 0.0),          Point2(below_one, below_one),
+      Point2(0.5, 0.5),          Point2(std::nextafter(0.5, 0.0), 0.5),
+      Point2(0.25, 0.75),        Point2(below_one, 0.0),
+      Point2(0.0, below_one),    Point2(5e-324, 5e-324),  // subnormal
+      Point2(0.5, below_one),    Point2(below_one, 0.5),
+  };
+  for (uint8_t depth : {uint8_t{1}, uint8_t{7}, MortonCode::kMaxDepth}) {
+    std::vector<uint64_t> bits(pts.size());
+    CodeBitsBatch(root, pts, depth, bits.data());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(bits[i], CodeOfPoint(root, pts[i], depth).bits)
+          << "depth " << int{depth} << " point " << i;
+    }
+  }
+  // The maximum-coordinate corner maps to the last block at every depth.
+  std::vector<uint64_t> corner(1);
+  CodeBitsBatch(root, {{Point2(below_one, below_one)}}, MortonCode::kMaxDepth,
+                corner.data());
+  EXPECT_EQ(corner[0], (uint64_t{1} << (2 * MortonCode::kMaxDepth)) - 1);
+}
+
+TEST(MortonBatchTest, BatchedEqualsScalarOn64SeededSets) {
+  // The satellite regression: 64 seeded point sets, batch vs scalar,
+  // under both dispatch modes.
+  const Box2 roots[] = {Box2::UnitCube(),
+                        Box2(Point2(0.0, 0.0), Point2(4.0, 0.5)),  // dyadic
+                        Box2(Point2(-3.0, -7.0), Point2(11.0, 13.0))};
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    Pcg32 rng(seed);
+    const Box2& root = roots[seed % 3];
+    const uint8_t depth =
+        static_cast<uint8_t>(1 + seed % MortonCode::kMaxDepth);
+    std::vector<Point2> pts;
+    const size_t n = 1 + static_cast<size_t>(rng.NextDouble() * 100.0);
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(Point2(rng.NextDouble(root.lo().x(), root.hi().x()),
+                           rng.NextDouble(root.lo().y(), root.hi().y())));
+    }
+    std::vector<uint64_t> simd_bits(n);
+    std::vector<uint64_t> scalar_bits(n);
+    simd::SetForceScalar(false);
+    CodeBitsBatch(root, pts, depth, simd_bits.data());
+    simd::SetForceScalar(true);
+    CodeBitsBatch(root, pts, depth, scalar_bits.data());
+    simd::SetForceScalar(false);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t expected = CodeOfPoint(root, pts[i], depth).bits;
+      ASSERT_EQ(simd_bits[i], expected) << "seed " << seed << " point " << i;
+      ASSERT_EQ(scalar_bits[i], expected) << "seed " << seed << " point " << i;
+    }
+  }
+}
+
+TEST(MortonBatchTest, InterleaveBatchRoundTrip) {
+  Pcg32 rng(43);
+  uint32_t xs[8];
+  uint32_t ys[8];
+  uint64_t codes[8];
+  uint32_t rx[8];
+  uint32_t ry[8];
+  for (int trial = 0; trial < 100; ++trial) {
+    for (size_t i = 0; i < 8; ++i) {
+      xs[i] = static_cast<uint32_t>(rng.NextDouble() * 4294967296.0);
+      ys[i] = static_cast<uint32_t>(rng.NextDouble() * 4294967296.0);
+    }
+    InterleaveBatch8(xs, ys, codes);
+    DeinterleaveBatch8(codes, rx, ry);
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_EQ(rx[i], xs[i]);
+      ASSERT_EQ(ry[i], ys[i]);
+    }
+  }
 }
 
 }  // namespace

@@ -163,5 +163,81 @@ TEST(MxQuadtreeTest, DenseCornerSharesPath) {
   EXPECT_EQ(tree.NodeCount(), one + 3);  // shared spine, 3 more cells
 }
 
+// ---- InsertBatch -------------------------------------------------------
+
+TEST(MxQuadtreeBatchTest, MatchesSequentialBuild) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Pcg32 rng(seed);
+    const size_t bits = 3 + seed % 9;
+    const uint32_t side = uint32_t{1} << bits;
+    MxQuadtree seq(bits);
+    MxQuadtree bat(bits);
+    std::vector<std::pair<uint32_t, uint32_t>> cells;
+    for (size_t i = 0; i < 2000; ++i) {
+      cells.emplace_back(static_cast<uint32_t>(rng.NextDouble() * side),
+                         static_cast<uint32_t>(rng.NextDouble() * side));
+    }
+    size_t inserted = 0;
+    size_t duplicates = 0;
+    for (const auto& [x, y] : cells) {
+      Status s = seq.Insert(x, y);
+      if (s.ok()) {
+        ++inserted;
+      } else {
+        ++duplicates;
+      }
+    }
+    BatchInsertStats stats = bat.InsertBatch(cells);
+    EXPECT_EQ(stats.inserted, inserted) << "seed " << seed;
+    EXPECT_EQ(stats.duplicates, duplicates) << "seed " << seed;
+    EXPECT_EQ(stats.out_of_bounds, 0u);
+    EXPECT_EQ(bat.size(), seq.size());
+    EXPECT_EQ(bat.NodeCount(), seq.NodeCount()) << "seed " << seed;
+    EXPECT_TRUE(bat.CheckInvariants().ok());
+    // Identical cell sets, Z order.
+    std::vector<std::pair<uint32_t, uint32_t>> from_seq;
+    std::vector<std::pair<uint32_t, uint32_t>> from_bat;
+    seq.VisitPoints([&](uint32_t x, uint32_t y) { from_seq.emplace_back(x, y); });
+    bat.VisitPoints([&](uint32_t x, uint32_t y) { from_bat.emplace_back(x, y); });
+    EXPECT_EQ(from_seq, from_bat) << "seed " << seed;
+  }
+}
+
+TEST(MxQuadtreeBatchTest, CountsOutOfBoundsCells) {
+  MxQuadtree tree(4);
+  const std::vector<std::pair<uint32_t, uint32_t>> cells = {
+      {3, 3}, {16, 0}, {0, 200}, {3, 3}};
+  BatchInsertStats stats = tree.InsertBatch(cells);
+  EXPECT_EQ(stats.inserted, 1u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(stats.out_of_bounds, 2u);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(MxQuadtreeBatchTest, IncrementalBatchSeesExistingCells) {
+  MxQuadtree tree(5);
+  ASSERT_TRUE(tree.Insert(7, 9).ok());
+  const std::vector<std::pair<uint32_t, uint32_t>> cells = {{7, 9}, {8, 9}};
+  BatchInsertStats stats = tree.InsertBatch(cells);
+  EXPECT_EQ(stats.inserted, 1u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_TRUE(tree.Contains(8, 9));
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(MxQuadtreeBatchTest, NoMidBatchArenaGrowth) {
+  Pcg32 rng(55);
+  MxQuadtree tree(10);
+  std::vector<std::pair<uint32_t, uint32_t>> cells;
+  for (size_t i = 0; i < 50000; ++i) {
+    cells.emplace_back(static_cast<uint32_t>(rng.NextDouble() * 1024),
+                       static_cast<uint32_t>(rng.NextDouble() * 1024));
+  }
+  const size_t growths_before = tree.ArenaGrowthCount();
+  (void)tree.InsertBatch(cells);
+  EXPECT_EQ(tree.ArenaGrowthCount(), growths_before);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
 }  // namespace
 }  // namespace popan::spatial

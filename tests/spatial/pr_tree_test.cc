@@ -420,5 +420,97 @@ TEST(PrTreeTest, ReserveForPointsPresizesTheArena) {
   EXPECT_TRUE(tree.CheckInvariants().ok());
 }
 
+// ---- InsertBatch -------------------------------------------------------
+
+TEST(PrTreeBatchTest, MatchesSequentialBuild) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Pcg32 rng(seed);
+    PrQuadtree seq = MakeTree(1 + seed % 8);
+    PrQuadtree bat = MakeTree(1 + seed % 8);
+    std::vector<Point2> pts;
+    for (size_t i = 0; i < 2000; ++i) {
+      pts.push_back(Point2(rng.NextDouble(), rng.NextDouble()));
+    }
+    size_t inserted = 0;
+    for (const Point2& p : pts) {
+      if (seq.Insert(p).ok()) ++inserted;
+    }
+    BatchInsertStats stats = bat.InsertBatch(pts);
+    EXPECT_EQ(stats.inserted, inserted);
+    EXPECT_EQ(stats.duplicates, 0u);
+    EXPECT_EQ(stats.out_of_bounds, 0u);
+    EXPECT_EQ(bat.size(), seq.size());
+    EXPECT_EQ(bat.LeafCount(), seq.LeafCount());
+    EXPECT_TRUE(bat.CheckInvariants().ok()) << "seed " << seed;
+    // Canonical decomposition: identical census.
+    EXPECT_EQ(bat.LiveCensus(), seq.LiveCensus()) << "seed " << seed;
+  }
+}
+
+TEST(PrTreeBatchTest, CountsDuplicatesAndOutOfBounds) {
+  PrQuadtree tree = MakeTree(4);
+  ASSERT_TRUE(tree.Insert(Point2(0.5, 0.5)).ok());
+  const std::vector<Point2> batch = {
+      Point2(0.1, 0.1), Point2(0.5, 0.5),   // duplicate of stored point
+      Point2(0.1, 0.1),                     // duplicate within the batch
+      Point2(1.5, 0.5), Point2(-0.1, 0.2),  // out of bounds
+  };
+  BatchInsertStats stats = tree.InsertBatch(batch);
+  EXPECT_EQ(stats.inserted, 1u);
+  EXPECT_EQ(stats.duplicates, 2u);
+  EXPECT_EQ(stats.out_of_bounds, 2u);
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeBatchTest, IncrementalBatchOntoExistingTree) {
+  Pcg32 rng(77);
+  PrQuadtree seq = MakeTree(4);
+  PrQuadtree mix = MakeTree(4);
+  std::vector<Point2> pts;
+  for (size_t i = 0; i < 3000; ++i) {
+    pts.push_back(Point2(rng.NextDouble(), rng.NextDouble()));
+  }
+  for (const Point2& p : pts) (void)seq.Insert(p);
+  for (size_t i = 0; i < 1500; ++i) (void)mix.Insert(pts[i]);
+  std::vector<Point2> rest(pts.begin() + 1500, pts.end());
+  (void)mix.InsertBatch(rest);
+  EXPECT_EQ(mix.size(), seq.size());
+  EXPECT_EQ(mix.LiveCensus(), seq.LiveCensus());
+  EXPECT_TRUE(mix.CheckInvariants().ok());
+}
+
+TEST(PrTreeBatchTest, EmptyAndAllRejectedBatches) {
+  PrQuadtree tree = MakeTree(2);
+  EXPECT_EQ(tree.InsertBatch({}).inserted, 0u);
+  const std::vector<Point2> oob = {Point2(2.0, 2.0), Point2(-1.0, 0.0)};
+  BatchInsertStats stats = tree.InsertBatch(oob);
+  EXPECT_EQ(stats.inserted, 0u);
+  EXPECT_EQ(stats.out_of_bounds, 2u);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(PrTreeBatchTest, NoMidBatchArenaGrowthAt1e5) {
+  // The satellite acceptance test: the run-length reserve estimate must
+  // absorb a 100k bulk load without a single mid-batch slab reallocation.
+  Pcg32 rng(123);
+  PrTreeOptions options;
+  options.capacity = 8;
+  PrQuadtree tree(Box2::UnitCube(), options);
+  std::vector<Point2> pts;
+  pts.reserve(100000);
+  for (size_t i = 0; i < 100000; ++i) {
+    pts.push_back(Point2(rng.NextDouble(), rng.NextDouble()));
+  }
+  const size_t growths_before = tree.ArenaGrowthCount();
+  BatchInsertStats stats = tree.InsertBatch(pts);
+  EXPECT_EQ(tree.ArenaGrowthCount(), growths_before)
+      << "arena grew mid-batch";
+  EXPECT_EQ(stats.inserted + stats.duplicates, pts.size());
+  EXPECT_EQ(tree.size(), stats.inserted);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
 }  // namespace
 }  // namespace popan::spatial

@@ -1,0 +1,144 @@
+#include "spatial/soa_buffer.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace popan::spatial {
+namespace {
+
+using Buffer = SoaBuffer<2, 4>;
+
+geo::Point2 P(double x, double y) { return geo::Point2{x, y}; }
+
+TEST(SoaBufferTest, StartsEmptyAndInline) {
+  Buffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.spilled());
+  EXPECT_EQ(Buffer::inline_capacity(), 4u);
+}
+
+TEST(SoaBufferTest, PushBackAndGetRoundTrip) {
+  Buffer b;
+  b.push_back(P(1.0, 2.0));
+  b.push_back(P(3.0, 4.0));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Get(0), P(1.0, 2.0));
+  EXPECT_EQ(b.Get(1), P(3.0, 4.0));
+  EXPECT_EQ(b.At(0, 1), 3.0);
+  EXPECT_EQ(b.At(1, 1), 4.0);
+}
+
+TEST(SoaBufferTest, LanesAreContiguousPerAxis) {
+  Buffer b;
+  for (int i = 0; i < 3; ++i) b.push_back(P(i, 10 + i));
+  const double* xs = b.lane(0);
+  const double* ys = b.lane(1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(xs[i], i);
+    EXPECT_EQ(ys[i], 10 + i);
+  }
+}
+
+TEST(SoaBufferTest, SpillsPastInlineCapacityAndUnspills) {
+  Buffer b;
+  for (int i = 0; i < 5; ++i) b.push_back(P(i, -i));
+  EXPECT_TRUE(b.spilled());
+  EXPECT_EQ(b.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(b.Get(i), P(i, -i));
+  b.SwapRemoveAt(4);
+  EXPECT_FALSE(b.spilled());
+  EXPECT_EQ(b.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(b.Get(i), P(i, -i));
+}
+
+TEST(SoaBufferTest, SwapRemoveMovesLastIntoHole) {
+  Buffer b;
+  b.push_back(P(0.0, 0.0));
+  b.push_back(P(1.0, 1.0));
+  b.push_back(P(2.0, 2.0));
+  b.SwapRemoveAt(0);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.Get(0), P(2.0, 2.0));
+  EXPECT_EQ(b.Get(1), P(1.0, 1.0));
+}
+
+TEST(SoaBufferTest, MatchesUsesIeeeEquality) {
+  Buffer b;
+  b.push_back(P(0.0, 1.0));
+  EXPECT_TRUE(b.Matches(0, P(-0.0, 1.0)));  // -0.0 == 0.0
+  EXPECT_FALSE(b.Matches(0, P(0.0, 1.5)));
+}
+
+TEST(SoaBufferTest, ClearResetsSize) {
+  Buffer b;
+  for (int i = 0; i < 6; ++i) b.push_back(P(i, i));
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.spilled());
+  b.push_back(P(9.0, 9.0));
+  EXPECT_EQ(b.Get(0), P(9.0, 9.0));
+}
+
+TEST(SoaBufferTest, ForEachInBoxMatchesScalarContainsOnBothPaths) {
+  Pcg32 rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    SoaBuffer<2, 8> b;
+    const size_t n = static_cast<size_t>(rng.NextDouble() * 150.0);
+    std::vector<geo::Point2> pts;
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(P(rng.NextDouble(), rng.NextDouble()));
+      b.push_back(pts.back());
+    }
+    const geo::Box2 box(P(rng.NextDouble(0.0, 0.5), rng.NextDouble(0.0, 0.5)),
+                        P(rng.NextDouble(0.5, 1.0), rng.NextDouble(0.5, 1.0)));
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < n; ++i) {
+      if (box.Contains(pts[i])) expected.push_back(i);
+    }
+    for (int scalar = 0; scalar < 2; ++scalar) {
+      simd::SetForceScalar(scalar == 1);
+      std::vector<size_t> got;
+      ForEachInBox(b, box, [&got](size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, expected) << "trial " << trial << " scalar " << scalar;
+    }
+    simd::SetForceScalar(false);
+  }
+}
+
+TEST(SoaBufferTest, ForEachEqualOnAxisMatchesScalarOnBothPaths) {
+  Pcg32 rng(6);
+  SoaBuffer<2, 8> b;
+  std::vector<geo::Point2> pts;
+  for (size_t i = 0; i < 100; ++i) {
+    // Coarse lattice so equal values actually occur.
+    pts.push_back(P(std::floor(rng.NextDouble() * 8.0) / 8.0,
+                    std::floor(rng.NextDouble() * 8.0) / 8.0));
+    b.push_back(pts.back());
+  }
+  for (size_t axis = 0; axis < 2; ++axis) {
+    const double value = 3.0 / 8.0;
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (pts[i][axis] == value) expected.push_back(i);
+    }
+    for (int scalar = 0; scalar < 2; ++scalar) {
+      simd::SetForceScalar(scalar == 1);
+      std::vector<size_t> got;
+      ForEachEqualOnAxis(b, axis, value,
+                         [&got](size_t i) { got.push_back(i); });
+      EXPECT_EQ(got, expected) << "axis " << axis << " scalar " << scalar;
+    }
+    simd::SetForceScalar(false);
+  }
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,30 @@
+// Fixture: raw-simd-intrinsic positives (x86 and NEON spellings used
+// directly in tree code) next to identifiers that merely resemble
+// intrinsic names, which must stay clean.
+
+namespace demo {
+
+void RawSse(const double* v, double* out) {
+  __m128d a = _mm_loadu_pd(v);  // line 8: SSE load outside simd.h
+  _mm_storeu_pd(out, a);        // line 9: SSE store
+}
+
+void RawAvx(const double* v) {
+  __m256d b = _mm256_loadu_pd(v);     // line 13: AVX load
+  (void)_mm256_movemask_pd(b);        // line 14: AVX movemask
+  (void)_mm512_set1_pd(0.0);          // line 15: AVX-512
+}
+
+void RawNeon(const double* v) {
+  float64x2_t c = vld1q_f64(v);  // line 19: NEON load
+  (void)vceqq_f64(c, c);         // line 20: NEON compare
+}
+
+void LookalikesAreClean() {
+  int popan_mm_bridge = 0;  // prefix not at identifier start
+  (void)popan_mm_bridge;
+  int _mm_ = 1;  // bare prefix with no suffix is not an intrinsic
+  (void)_mm_;
+}
+
+}  // namespace demo

@@ -1,0 +1,24 @@
+// Fixture: raw_simd_intrinsic.cc's violations with every one suppressed —
+// both the trailing-comment and line-above suppression forms must silence
+// the rule.
+
+namespace demo {
+
+void RawSse(const double* v, double* out) {
+  __m128d a = _mm_loadu_pd(v);  // popan-lint: allow(raw-simd-intrinsic)
+  _mm_storeu_pd(out, a);        // popan-lint: allow(raw-simd-intrinsic)
+}
+
+void RawAvx(const double* v) {
+  // Profiling scratch that never ships; keep out of the kernel catalog.
+  // popan-lint: allow(raw-simd-intrinsic)
+  __m256d b = _mm256_loadu_pd(v);
+  (void)_mm256_movemask_pd(b);  // popan-lint: allow(raw-simd-intrinsic)
+}
+
+void RawNeon(const double* v) {
+  float64x2_t c = vld1q_f64(v);  // popan-lint: allow(raw-simd-intrinsic)
+  (void)vceqq_f64(c, c);         // popan-lint: allow(raw-simd-intrinsic)
+}
+
+}  // namespace demo

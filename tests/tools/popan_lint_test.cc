@@ -224,6 +224,39 @@ TEST(PopanLintTest, RawMutexLockSuppressionsSilence) {
                   .empty());
 }
 
+// --- raw-simd-intrinsic ------------------------------------------------
+
+TEST(PopanLintTest, RawSimdIntrinsicFlagsX86AndNeonSpellings) {
+  std::vector<Finding> findings =
+      LintText("src/spatial/demo.cc", ReadFixture("raw_simd_intrinsic.cc"));
+  // One finding per offending line; the lookalike identifiers (prefix not
+  // at an identifier start, bare prefix with no suffix) stay clean.
+  EXPECT_EQ(RulesAndLines(findings), (Expected{{"raw-simd-intrinsic", 8},
+                                               {"raw-simd-intrinsic", 9},
+                                               {"raw-simd-intrinsic", 13},
+                                               {"raw-simd-intrinsic", 14},
+                                               {"raw-simd-intrinsic", 15},
+                                               {"raw-simd-intrinsic", 19},
+                                               {"raw-simd-intrinsic", 20}}));
+}
+
+TEST(PopanLintTest, RawSimdIntrinsicAllowedOnlyInSimdHeader) {
+  // The dispatch wrapper is the one blessed home; everywhere else —
+  // including tests and bench code — the rule applies.
+  EXPECT_TRUE(
+      LintText("src/util/simd.h", ReadFixture("raw_simd_intrinsic.cc"))
+          .empty());
+  EXPECT_EQ(
+      LintText("bench/demo.cc", ReadFixture("raw_simd_intrinsic.cc")).size(),
+      7u);
+}
+
+TEST(PopanLintTest, RawSimdIntrinsicSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/spatial/demo.cc",
+                       ReadFixture("raw_simd_intrinsic_suppressed.cc"))
+                  .empty());
+}
+
 // --- output format and exit codes --------------------------------------
 
 TEST(PopanLintTest, FindingToStringIsPathLineRuleMessage) {

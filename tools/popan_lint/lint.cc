@@ -300,6 +300,7 @@ class Linter {
     CheckUncheckedValue();
     CheckStreamFormatGuard();
     CheckRawMutexLock();
+    CheckRawSimdIntrinsic();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -766,6 +767,50 @@ class Linter {
                      "' bypasses RAII; hold the mutex with std::lock_guard/"
                      "std::scoped_lock (std::unique_lock for deferred or "
                      "condition-variable use)");
+        }
+      }
+    }
+  }
+
+  // --- raw-simd-intrinsic -----------------------------------------------
+  void CheckRawSimdIntrinsic() {
+    // The one blessed home for vendor intrinsics: the dispatch wrapper.
+    // Everything else must go through its kernels, so the scalar fallback
+    // and the bitwise-parity tests cover every call site by construction.
+    if (EndsWith(path_, "src/util/simd.h")) return;
+    // x86 SSE/AVX/AVX-512 families, plus the NEON load/store/compare
+    // spellings a 2-D point kernel would actually reach for. Prefix
+    // match on identifier starts — _mm_loadu_pd, vld1q_f64, ... — with
+    // the left boundary checked so e.g. popan_mm_bridge stays clean.
+    static const char* const kPrefixes[] = {
+        "_mm_",    "_mm256_",   "_mm512_",  "vld1q_",  "vst1q_",
+        "vceqq_",  "vcltq_",    "vcgeq_",   "vdupq_",  "vandq_",
+        "vorrq_",  "vaddq_",    "vmulq_",   "vcvtq_",  "vminq_",
+        "vmaxq_",  "vgetq_",    "vreinterpretq_"};
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      const std::string& code = model_.lines[li].code;
+      bool reported = false;
+      for (const char* prefix : kPrefixes) {
+        if (reported) break;
+        const std::string p(prefix);
+        size_t pos = code.find(p);
+        while (pos != std::string::npos) {
+          const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+          const size_t end = pos + p.size();
+          // A real intrinsic continues with its type/op suffix.
+          const bool right_ok = end < code.size() && IsIdentChar(code[end]);
+          if (left_ok && right_ok) {
+            size_t e = end;
+            while (e < code.size() && IsIdentChar(code[e])) ++e;
+            Report("raw-simd-intrinsic", li,
+                   "vendor intrinsic '" + code.substr(pos, e - pos) +
+                       "' outside src/util/simd.h; add or reuse a "
+                       "dispatched kernel there so the scalar fallback and "
+                       "the SIMD parity storm cover this code path");
+            reported = true;  // one finding per line is enough signal
+            break;
+          }
+          pos = code.find(p, pos + 1);
         }
       }
     }

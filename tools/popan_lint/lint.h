@@ -46,6 +46,14 @@ namespace popan::lint {
 ///                          are the only sanctioned locking form: a raw
 ///                          unlock skipped by an early return or exception
 ///                          is how the concurrency layer deadlocks.
+///   raw-simd-intrinsic     vendor SIMD intrinsics (_mm_*/_mm256_*/
+///                          _mm512_*, NEON vld1q_*/vceqq_*/... spellings)
+///                          anywhere but src/util/simd.h. All vector code
+///                          must go through the dispatched kernels there,
+///                          so POPAN_FORCE_SCALAR and the parity storm
+///                          exercise a scalar twin of every SIMD path —
+///                          an inline intrinsic has no fallback and no
+///                          bitwise-parity coverage.
 ///
 /// Suppression syntax: `// popan-lint: allow(<rule>[, <rule>...])`.
 /// On a line with code it silences that line; on a line of its own it
