@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "spatial/knn_heap.h"
 #include "spatial/morton.h"
 #include "spatial/soa_buffer.h"
 #include "util/simd.h"
@@ -486,19 +487,12 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
         if (a.d2 != b.d2) return a.d2 < b.d2;
         return a.bi < b.bi;
       });
-      std::vector<std::pair<double, geo::Point2>> heap;
-      heap.reserve(spec.k);
-      auto heap_less = [](const std::pair<double, geo::Point2>& a,
-                          const std::pair<double, geo::Point2>& b) {
-        return a.first < b.first;
-      };
-      auto radius2 = [&heap, &spec]() {
-        return heap.size() < spec.k
-                   ? std::numeric_limits<double>::infinity()
-                   : heap.front().first;
-      };
+      // Canonical (distance², x, y) accumulator (knn_heap.h): ties
+      // resolve by coordinate order, and a bucket at exactly the k-th
+      // distance is still scanned — it may hold a tie-winning point.
+      spatial::KnnHeap<geo::Point2, spatial::PointTieLess> heap(spec.k);
       for (size_t i = 0; i < order.size(); ++i) {
-        if (order[i].d2 >= radius2()) {
+        if (heap.ShouldPrune(order[i].d2)) {
           result.cost.pruned_subtrees += order.size() - i;
           break;
         }
@@ -506,20 +500,10 @@ QueryResult Execute(const HashBackend& backend, const QuerySpec& spec) {
         for (uint64_t key : *order[i].keys) {
           ++result.cost.points_scanned;
           geo::Point2 p = codec.Decode(key);
-          double d2 = p.DistanceSquared(spec.target);
-          if (d2 < radius2()) {
-            if (heap.size() == spec.k) {
-              std::pop_heap(heap.begin(), heap.end(), heap_less);
-              heap.pop_back();
-            }
-            heap.emplace_back(d2, p);
-            std::push_heap(heap.begin(), heap.end(), heap_less);
-          }
+          heap.Offer(p.DistanceSquared(spec.target), p);
         }
       }
-      std::sort(heap.begin(), heap.end(), heap_less);
-      result.points.reserve(heap.size());
-      for (const auto& [d2, p] : heap) result.points.push_back(p);
+      result.points = heap.TakeSorted();
       break;
     }
   }

@@ -17,7 +17,12 @@ void AppendWrappedRangeSpecs(const geo::Box2& domain, double ox, double oy,
   POPAN_CHECK(domain.lo().y() <= oy && oy < domain.hi().y());
   // Per axis: the arc [o, o+q) on the circle of circumference E, cut at
   // the domain boundary, is one segment when it fits and two when it
-  // wraps.
+  // wraps. The wrap segment's end is clamped to the arc's own origin:
+  // when q equals the full extent, dom_lo + (o + q - dom_hi) should land
+  // exactly on o, but the floating-point round trip can carry it past o,
+  // overlapping the primary segment [o, dom_hi) and double-reporting
+  // every point in the overlap. A degenerate clamped segment (the arc
+  // covers the whole circle) is emitted as the full domain instead.
   struct Segment {
     double lo, hi;
   };
@@ -27,8 +32,16 @@ void AppendWrappedRangeSpecs(const geo::Box2& domain, double ox, double oy,
       segs[0] = {o, o + q};
       return size_t{1};
     }
+    double wrap_hi = std::min(dom_lo + (o + q - dom_hi), o);
+    if (wrap_hi >= o) {  // full-circle arc: one segment, no overlap
+      segs[0] = {dom_lo, dom_hi};
+      return size_t{1};
+    }
     segs[0] = {o, dom_hi};
-    segs[1] = {dom_lo, dom_lo + (o + q - dom_hi)};
+    if (wrap_hi <= dom_lo) {  // wrap part rounds to empty
+      return size_t{1};
+    }
+    segs[1] = {dom_lo, wrap_hi};
     return size_t{2};
   };
   Segment xs[2];

@@ -1,0 +1,149 @@
+// popan_server: serves the spatial store over TCP (see
+// server/protocol.h for the wire format, DESIGN.md section 7 for the
+// architecture). With --wal the store is durable: on boot an existing log
+// is replayed, truncated to its intact prefix, and resumed in place.
+//
+//   popan_server [--port N] [--side S] [--capacity C] [--max-depth D]
+//                [--wal PATH]
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/server_core.h"
+#include "server/socket_server.h"
+#include "spatial/wal.h"
+#include "util/status.h"
+
+namespace {
+
+struct Flags {
+  uint16_t port = 0;
+  double side = 1.0;
+  size_t capacity = 4;
+  size_t max_depth = 16;
+  std::string wal_path;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--port" && (value = next()) != nullptr) {
+      flags->port = static_cast<uint16_t>(std::atoi(value));
+    } else if (arg == "--side" && (value = next()) != nullptr) {
+      flags->side = std::atof(value);
+    } else if (arg == "--capacity" && (value = next()) != nullptr) {
+      flags->capacity = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--max-depth" && (value = next()) != nullptr) {
+      flags->max_depth = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--wal" && (value = next()) != nullptr) {
+      flags->wal_path = value;
+    } else {
+      std::cerr << "unknown or incomplete flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return flags->side > 0.0 && flags->capacity > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using popan::Status;
+  using popan::StatusOr;
+  namespace geo = popan::geo;
+  namespace server = popan::server;
+  namespace spatial = popan::spatial;
+
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  geo::Box2 bounds = geo::Box2::UnitCube(flags.side);
+  spatial::PrTreeOptions options;
+  options.capacity = flags.capacity;
+  options.max_depth = flags.max_depth;
+
+  // Durability plumbing. Kept alive for the server's whole life.
+  std::unique_ptr<std::ofstream> wal_stream;
+  std::optional<spatial::WalWriter> wal;
+  uint64_t initial_sequence = 0;
+  std::vector<geo::Point2> seed_points;
+
+  if (!flags.wal_path.empty()) {
+    std::ifstream existing(flags.wal_path, std::ios::binary);
+    if (existing.is_open()) {
+      std::ostringstream text;
+      text << existing.rdbuf();
+      existing.close();
+      StatusOr<spatial::WalRecovery> recovery = spatial::ReplayWal(
+          text.str());
+      if (!recovery.ok()) {
+        std::cerr << "WAL replay failed: " << recovery.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      const spatial::WalRecovery& recovered = recovery.value();
+      if (recovered.truncated_tail) {
+        std::cerr << "note: discarded torn WAL tail ("
+                  << recovered.truncation_reason << ")\n";
+      }
+      if (recovered.tree.bounds() != bounds ||
+          recovered.tree.capacity() != options.capacity ||
+          recovered.tree.max_depth() != options.max_depth) {
+        std::cerr << "WAL geometry/options do not match the flags\n";
+        return 1;
+      }
+      StatusOr<std::ofstream> resumed = spatial::ResumeWalFile(
+          flags.wal_path, recovered.valid_bytes);
+      if (!resumed.ok()) {
+        std::cerr << "cannot resume WAL: " << resumed.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      wal_stream = std::make_unique<std::ofstream>(
+          std::move(resumed).value());
+      initial_sequence = recovered.last_sequence;
+      seed_points = recovered.tree.RangeQuery(bounds);
+      spatial::WalWriter::ResumeAt resume_at{recovered.next_sequence};
+      wal.emplace(wal_stream.get(), bounds, resume_at);
+      std::cerr << "recovered " << seed_points.size() << " points at WAL "
+                << "sequence " << initial_sequence << "\n";
+    } else {
+      wal_stream = std::make_unique<std::ofstream>(flags.wal_path,
+                                                   std::ios::binary);
+      if (!wal_stream->is_open()) {
+        std::cerr << "cannot create WAL at " << flags.wal_path << "\n";
+        return 1;
+      }
+      wal.emplace(wal_stream.get(), bounds, options);
+    }
+  }
+
+  server::ServerCore core(bounds, options,
+                          wal.has_value() ? &*wal : nullptr,
+                          initial_sequence, seed_points);
+  server::SocketServer transport(&core);
+  StatusOr<uint16_t> port = transport.Listen(flags.port);
+  if (!port.ok()) {
+    std::cerr << "listen failed: " << port.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "popan_server listening on 127.0.0.1:" << port.value()
+            << std::endl;
+  Status served = transport.Serve();
+  if (!served.ok()) {
+    std::cerr << "serve failed: " << served.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,397 @@
+#include "server/protocol.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace popan::server {
+
+namespace {
+
+[[nodiscard]] Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated payload: ") + what);
+}
+
+[[nodiscard]] StatusOr<geo::Point2> ReadPoint(PayloadReader* reader) {
+  POPAN_ASSIGN_OR_RETURN(double x, reader->ReadF64());
+  POPAN_ASSIGN_OR_RETURN(double y, reader->ReadF64());
+  if (!std::isfinite(x) || !std::isfinite(y)) {
+    return Status::InvalidArgument("non-finite coordinate on the wire");
+  }
+  return geo::Point2(x, y);
+}
+
+[[nodiscard]] StatusOr<geo::Box2> ReadBox(PayloadReader* reader) {
+  // Validate lo <= hi before constructing the Box: its constructor
+  // DCHECKs the invariant, and wire bytes must never reach a CHECK.
+  POPAN_ASSIGN_OR_RETURN(double lox, reader->ReadF64());
+  POPAN_ASSIGN_OR_RETURN(double loy, reader->ReadF64());
+  POPAN_ASSIGN_OR_RETURN(double hix, reader->ReadF64());
+  POPAN_ASSIGN_OR_RETURN(double hiy, reader->ReadF64());
+  if (!std::isfinite(lox) || !std::isfinite(loy) || !std::isfinite(hix) ||
+      !std::isfinite(hiy) || lox > hix || loy > hiy) {
+    return Status::InvalidArgument("inverted or non-finite box");
+  }
+  return geo::Box2(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+}
+
+void AppendPoint(std::string* out, const geo::Point2& p) {
+  AppendF64(out, p.x());
+  AppendF64(out, p.y());
+}
+
+void AppendBox(std::string* out, const geo::Box2& b) {
+  AppendF64(out, b.lo().x());
+  AppendF64(out, b.lo().y());
+  AppendF64(out, b.hi().x());
+  AppendF64(out, b.hi().y());
+}
+
+/// Wraps a finished payload in its length prefix.
+std::string FinishFrame(std::string payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendF64(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+StatusOr<uint8_t> PayloadReader::ReadU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+StatusOr<uint32_t> PayloadReader::ReadU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> PayloadReader::ReadU64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<double> PayloadReader::ReadF64() {
+  POPAN_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return std::bit_cast<double>(bits);
+}
+
+std::string EncodeRequestFrame(const Request& request) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(request.type));
+  switch (request.type) {
+    case MsgType::kInsert:
+    case MsgType::kErase:
+      AppendPoint(&payload, request.point);
+      break;
+    case MsgType::kInsertBatch:
+      AppendU32(&payload, static_cast<uint32_t>(request.batch.size()));
+      for (const geo::Point2& p : request.batch) AppendPoint(&payload, p);
+      break;
+    case MsgType::kRange:
+    case MsgType::kSubscribe:
+      AppendBox(&payload, request.box);
+      break;
+    case MsgType::kPartialMatch:
+      AppendU8(&payload, request.axis);
+      AppendF64(&payload, request.value);
+      break;
+    case MsgType::kNearestK:
+      AppendPoint(&payload, request.point);
+      AppendU32(&payload, request.k);
+      break;
+    case MsgType::kUnsubscribe:
+      AppendU64(&payload, request.sub_id);
+      break;
+    case MsgType::kCensus:
+    case MsgType::kPing:
+      break;
+    case MsgType::kNotification:
+      break;  // never encoded as a request; caught by the decoder
+  }
+  return FinishFrame(std::move(payload));
+}
+
+[[nodiscard]] StatusOr<Request> DecodeRequestPayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  POPAN_ASSIGN_OR_RETURN(uint8_t type_byte, reader.ReadU8());
+  Request request;
+  switch (static_cast<MsgType>(type_byte)) {
+    case MsgType::kInsert:
+    case MsgType::kErase: {
+      request.type = static_cast<MsgType>(type_byte);
+      POPAN_ASSIGN_OR_RETURN(request.point, ReadPoint(&reader));
+      break;
+    }
+    case MsgType::kInsertBatch: {
+      request.type = MsgType::kInsertBatch;
+      POPAN_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+      if (n > kMaxBatchPoints) {
+        return Status::InvalidArgument("batch of " + std::to_string(n) +
+                                       " points exceeds the protocol cap");
+      }
+      // The count must agree with the bytes actually present, so a lying
+      // prefix cannot make the reserve below allocate beyond the payload.
+      if (reader.remaining() != size_t{n} * 16) {
+        return Truncated("insert-batch body");
+      }
+      request.batch.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        POPAN_ASSIGN_OR_RETURN(geo::Point2 p, ReadPoint(&reader));
+        request.batch.push_back(p);
+      }
+      break;
+    }
+    case MsgType::kRange:
+    case MsgType::kSubscribe: {
+      request.type = static_cast<MsgType>(type_byte);
+      POPAN_ASSIGN_OR_RETURN(request.box, ReadBox(&reader));
+      break;
+    }
+    case MsgType::kPartialMatch: {
+      request.type = MsgType::kPartialMatch;
+      POPAN_ASSIGN_OR_RETURN(request.axis, reader.ReadU8());
+      POPAN_ASSIGN_OR_RETURN(request.value, reader.ReadF64());
+      if (request.axis > 1 || !std::isfinite(request.value)) {
+        return Status::InvalidArgument("bad partial-match axis or value");
+      }
+      break;
+    }
+    case MsgType::kNearestK: {
+      request.type = MsgType::kNearestK;
+      POPAN_ASSIGN_OR_RETURN(request.point, ReadPoint(&reader));
+      POPAN_ASSIGN_OR_RETURN(request.k, reader.ReadU32());
+      if (request.k == 0 || request.k > kMaxKnnK) {
+        return Status::InvalidArgument("k-NN k must be in [1, " +
+                                       std::to_string(kMaxKnnK) + "]");
+      }
+      break;
+    }
+    case MsgType::kUnsubscribe: {
+      request.type = MsgType::kUnsubscribe;
+      POPAN_ASSIGN_OR_RETURN(request.sub_id, reader.ReadU64());
+      break;
+    }
+    case MsgType::kCensus:
+    case MsgType::kPing: {
+      request.type = static_cast<MsgType>(type_byte);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type_byte));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request body");
+  }
+  return request;
+}
+
+std::string EncodeResponseFrame(const Response& response) {
+  std::string payload;
+  AppendU8(&payload, response.type);
+  AppendU8(&payload, response.status);
+  if (response.status != 0) {
+    AppendU32(&payload, static_cast<uint32_t>(response.message.size()));
+    payload += response.message;
+    return FinishFrame(std::move(payload));
+  }
+  switch (response.type & 0x7fu) {
+    case static_cast<uint8_t>(MsgType::kInsert):
+    case static_cast<uint8_t>(MsgType::kErase):
+      AppendU64(&payload, response.sequence);
+      break;
+    case static_cast<uint8_t>(MsgType::kInsertBatch):
+      AppendU32(&payload, response.inserted);
+      AppendU32(&payload, response.duplicates);
+      AppendU32(&payload, response.rejected);
+      AppendU64(&payload, response.sequence);
+      break;
+    case static_cast<uint8_t>(MsgType::kRange):
+    case static_cast<uint8_t>(MsgType::kPartialMatch):
+    case static_cast<uint8_t>(MsgType::kNearestK):
+      AppendU64(&payload, response.cost.nodes_visited);
+      AppendU64(&payload, response.cost.leaves_touched);
+      AppendU64(&payload, response.cost.points_scanned);
+      AppendU64(&payload, response.cost.pruned_subtrees);
+      AppendF64(&payload, response.predicted_nodes);
+      AppendU32(&payload, static_cast<uint32_t>(response.points.size()));
+      for (const geo::Point2& p : response.points) AppendPoint(&payload, p);
+      break;
+    case static_cast<uint8_t>(MsgType::kCensus):
+      AppendU64(&payload, response.sequence);
+      AppendU64(&payload, response.size);
+      AppendU64(&payload, response.leaf_count);
+      AppendU32(&payload, response.max_depth);
+      AppendF64(&payload, response.average_occupancy);
+      break;
+    case static_cast<uint8_t>(MsgType::kSubscribe):
+      AppendU64(&payload, response.sub_id);
+      break;
+    default:  // unsubscribe / ping: empty body
+      break;
+  }
+  return FinishFrame(std::move(payload));
+}
+
+std::string EncodeNotificationFrame(const Notification& notification) {
+  std::string payload;
+  AppendU8(&payload, static_cast<uint8_t>(MsgType::kNotification));
+  AppendU64(&payload, notification.sub_id);
+  AppendU8(&payload, static_cast<uint8_t>(notification.op));
+  AppendPoint(&payload, notification.point);
+  AppendU64(&payload, notification.sequence);
+  return FinishFrame(std::move(payload));
+}
+
+[[nodiscard]] StatusOr<Response> DecodeResponsePayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  Response response;
+  POPAN_ASSIGN_OR_RETURN(response.type, reader.ReadU8());
+  if ((response.type & 0x80u) == 0 ||
+      response.type == static_cast<uint8_t>(MsgType::kNotification)) {
+    return Status::InvalidArgument("not a response frame");
+  }
+  POPAN_ASSIGN_OR_RETURN(response.status, reader.ReadU8());
+  if (response.status != 0) {
+    POPAN_ASSIGN_OR_RETURN(uint32_t len, reader.ReadU32());
+    if (reader.remaining() != len) return Truncated("error message");
+    response.message = std::string(payload.substr(payload.size() - len));
+    return response;
+  }
+  switch (response.type & 0x7fu) {
+    case static_cast<uint8_t>(MsgType::kInsert):
+    case static_cast<uint8_t>(MsgType::kErase): {
+      POPAN_ASSIGN_OR_RETURN(response.sequence, reader.ReadU64());
+      break;
+    }
+    case static_cast<uint8_t>(MsgType::kInsertBatch): {
+      POPAN_ASSIGN_OR_RETURN(response.inserted, reader.ReadU32());
+      POPAN_ASSIGN_OR_RETURN(response.duplicates, reader.ReadU32());
+      POPAN_ASSIGN_OR_RETURN(response.rejected, reader.ReadU32());
+      POPAN_ASSIGN_OR_RETURN(response.sequence, reader.ReadU64());
+      break;
+    }
+    case static_cast<uint8_t>(MsgType::kRange):
+    case static_cast<uint8_t>(MsgType::kPartialMatch):
+    case static_cast<uint8_t>(MsgType::kNearestK): {
+      POPAN_ASSIGN_OR_RETURN(response.cost.nodes_visited, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.cost.leaves_touched, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.cost.points_scanned, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.cost.pruned_subtrees,
+                             reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.predicted_nodes, reader.ReadF64());
+      POPAN_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+      if (reader.remaining() != size_t{n} * 16) {
+        return Truncated("result points");
+      }
+      response.points.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        POPAN_ASSIGN_OR_RETURN(double x, reader.ReadF64());
+        POPAN_ASSIGN_OR_RETURN(double y, reader.ReadF64());
+        response.points.emplace_back(x, y);
+      }
+      break;
+    }
+    case static_cast<uint8_t>(MsgType::kCensus): {
+      POPAN_ASSIGN_OR_RETURN(response.sequence, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.size, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.leaf_count, reader.ReadU64());
+      POPAN_ASSIGN_OR_RETURN(response.max_depth, reader.ReadU32());
+      POPAN_ASSIGN_OR_RETURN(response.average_occupancy, reader.ReadF64());
+      break;
+    }
+    case static_cast<uint8_t>(MsgType::kSubscribe): {
+      POPAN_ASSIGN_OR_RETURN(response.sub_id, reader.ReadU64());
+      break;
+    }
+    default:
+      break;
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after response body");
+  }
+  return response;
+}
+
+[[nodiscard]] StatusOr<Notification> DecodeNotificationPayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  POPAN_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+  if (type != static_cast<uint8_t>(MsgType::kNotification)) {
+    return Status::InvalidArgument("not a notification frame");
+  }
+  Notification notification;
+  POPAN_ASSIGN_OR_RETURN(notification.sub_id, reader.ReadU64());
+  POPAN_ASSIGN_OR_RETURN(uint8_t op, reader.ReadU8());
+  if (op != 'I' && op != 'E') {
+    return Status::InvalidArgument("unknown notification op");
+  }
+  notification.op = static_cast<char>(op);
+  POPAN_ASSIGN_OR_RETURN(notification.point, ReadPoint(&reader));
+  POPAN_ASSIGN_OR_RETURN(notification.sequence, reader.ReadU64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after notification");
+  }
+  return notification;
+}
+
+bool NextFrame(std::string_view buffer, size_t* offset,
+               std::string_view* payload, Status* error) {
+  *error = Status::OK();
+  if (buffer.size() - *offset < 4) return false;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(buffer[*offset + i]))
+              << (8 * i);
+  }
+  if (length > kMaxPayloadBytes) {
+    *error = Status::InvalidArgument(
+        "frame length " + std::to_string(length) +
+        " exceeds the protocol cap; stream cannot be resynchronized");
+    return false;
+  }
+  if (buffer.size() - *offset - 4 < length) return false;
+  *payload = buffer.substr(*offset + 4, length);
+  *offset += 4 + size_t{length};
+  return true;
+}
+
+}  // namespace popan::server

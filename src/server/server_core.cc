@@ -1,0 +1,331 @@
+#include "server/server_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/query_model.h"
+#include "query/query.h"
+#include "spatial/census.h"
+#include "util/check.h"
+
+namespace popan::server {
+
+namespace {
+
+Response ErrorResponse(MsgType type, const Status& status) {
+  Response response;
+  response.type = ResponseTypeFor(type);
+  response.status = static_cast<uint8_t>(status.code());
+  response.message = status.message();
+  return response;
+}
+
+bool IsReadKind(MsgType type) {
+  return type == MsgType::kRange || type == MsgType::kPartialMatch ||
+         type == MsgType::kNearestK || type == MsgType::kCensus;
+}
+
+bool FinitePoint(const geo::Point2& p) {
+  // Box::Contains is comparison-based, so a NaN coordinate slips through
+  // every bound check; reject it explicitly before it reaches the tree.
+  return std::isfinite(p.x()) && std::isfinite(p.y());
+}
+
+}  // namespace
+
+ServerCore::ServerCore(const geo::Box2& bounds,
+                       const spatial::PrTreeOptions& options,
+                       spatial::WalWriter* wal, uint64_t initial_sequence,
+                       const std::vector<geo::Point2>& seed_points)
+    : tree_(bounds, options, initial_sequence - seed_points.size()),
+      wal_(wal),
+      subs_(bounds) {
+  POPAN_CHECK(initial_sequence >= seed_points.size())
+      << "recovered sequence smaller than the recovered point count";
+  for (const geo::Point2& p : seed_points) {
+    Status applied = tree_.Insert(p);
+    POPAN_CHECK(applied.ok())
+        << "seed point rejected: " << applied.ToString();
+  }
+  POPAN_CHECK(tree_.sequence() == initial_sequence);
+  if (wal_ != nullptr) {
+    POPAN_CHECK(wal_->next_sequence() == initial_sequence + 1)
+        << "WAL and tree sequences out of step at startup";
+  }
+}
+
+uint64_t ServerCore::OpenClient() {
+  uint64_t id = next_client_id_++;
+  clients_.emplace(id, ClientState{});
+  return id;
+}
+
+Status ServerCore::CloseClient(uint64_t client_id) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    return Status::NotFound("unknown client " + std::to_string(client_id));
+  }
+  for (uint64_t sub_id : it->second.sub_ids) {
+    Status dropped = subs_.Unsubscribe(sub_id);
+    POPAN_CHECK(dropped.ok()) << dropped.ToString();
+    sub_owner_.erase(sub_id);
+  }
+  clients_.erase(it);
+  return Status::OK();
+}
+
+Status ServerCore::ConsumeBytes(uint64_t client_id, std::string_view bytes) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    return Status::NotFound("unknown client " + std::to_string(client_id));
+  }
+  it->second.inbox.append(bytes.data(), bytes.size());
+  size_t offset = 0;
+  Status frame_error;
+  std::string_view payload;
+  // Drain every complete frame already buffered — this is what makes
+  // pipelining work: a burst of N requests is answered with N responses
+  // from one ConsumeBytes call, no transport round-trips in between.
+  while (NextFrame(it->second.inbox, &offset, &payload, &frame_error)) {
+    StatusOr<Request> request = DecodeRequestPayload(payload);
+    if (request.ok()) {
+      HandleRequest(client_id, request.value());
+    } else {
+      // Framing is intact, the payload is not: answer and carry on.
+      MsgType type = payload.empty() ? MsgType::kPing
+                                     : static_cast<MsgType>(
+                                           static_cast<uint8_t>(payload[0]));
+      it->second.outbox +=
+          EncodeResponseFrame(ErrorResponse(type, request.status()));
+    }
+  }
+  it->second.inbox.erase(0, offset);
+  return frame_error;
+}
+
+void ServerCore::HandleRequest(uint64_t client_id, const Request& request) {
+  auto it = clients_.find(client_id);
+  POPAN_CHECK(it != clients_.end()) << "request from unopened client";
+  if (IsReadKind(request.type)) {
+    StatusOr<PreparedRead> prepared = PrepareRead(request);
+    if (!prepared.ok()) {
+      SubmitResponse(client_id,
+                     ErrorResponse(request.type, prepared.status()));
+      return;
+    }
+    SubmitResponse(client_id, CompleteRead(prepared.value()));
+    return;
+  }
+  switch (request.type) {
+    case MsgType::kInsert:
+    case MsgType::kErase:
+    case MsgType::kInsertBatch:
+      SubmitResponse(client_id, HandleWrite(client_id, request));
+      return;
+    case MsgType::kSubscribe:
+      SubmitResponse(client_id, HandleSubscribe(client_id, request));
+      return;
+    case MsgType::kUnsubscribe: {
+      Response response;
+      response.type = ResponseTypeFor(request.type);
+      auto owner = sub_owner_.find(request.sub_id);
+      if (owner == sub_owner_.end() || owner->second != client_id) {
+        // A client can only drop its own subscriptions; an id owned by
+        // another connection is indistinguishable from a dead one.
+        SubmitResponse(
+            client_id,
+            ErrorResponse(request.type,
+                          Status::NotFound(
+                              "subscription " +
+                              std::to_string(request.sub_id) +
+                              " is not registered to this client")));
+        return;
+      }
+      Status dropped = subs_.Unsubscribe(request.sub_id);
+      POPAN_CHECK(dropped.ok()) << dropped.ToString();
+      sub_owner_.erase(owner);
+      std::vector<uint64_t>& owned = it->second.sub_ids;
+      owned.erase(std::find(owned.begin(), owned.end(), request.sub_id));
+      SubmitResponse(client_id, response);
+      return;
+    }
+    case MsgType::kPing: {
+      Response response;
+      response.type = ResponseTypeFor(request.type);
+      SubmitResponse(client_id, response);
+      return;
+    }
+    default:
+      SubmitResponse(client_id,
+                     ErrorResponse(request.type,
+                                   Status::InvalidArgument(
+                                       "type is not a request")));
+      return;
+  }
+}
+
+StatusOr<PreparedRead> ServerCore::PrepareRead(const Request& request) {
+  if (!IsReadKind(request.type)) {
+    return Status::InvalidArgument("not a read-kind request");
+  }
+  StatusOr<spatial::SnapshotView2> snapshot = tree_.TrySnapshot();
+  POPAN_RETURN_IF_ERROR(snapshot.status());
+  return PreparedRead{request, std::move(snapshot).value()};
+}
+
+Response ServerCore::CompleteRead(const PreparedRead& prepared) {
+  const Request& request = prepared.request;
+  const spatial::SnapshotView2& snapshot = prepared.snapshot;
+  Response response;
+  response.type = ResponseTypeFor(request.type);
+  response.sequence = snapshot.sequence();
+  if (request.type == MsgType::kCensus) {
+    spatial::Census census = snapshot.LiveCensus();
+    response.size = snapshot.size();
+    response.leaf_count = snapshot.LeafCount();
+    response.max_depth = static_cast<uint32_t>(census.MaxDepth());
+    response.average_occupancy = census.AverageOccupancy();
+    return response;
+  }
+  query::QuerySpec spec;
+  switch (request.type) {
+    case MsgType::kRange:
+      spec = query::QuerySpec::Range(request.box);
+      break;
+    case MsgType::kPartialMatch:
+      spec = query::QuerySpec::PartialMatch(request.axis, request.value);
+      break;
+    default:
+      spec = query::QuerySpec::NearestK(request.point, request.k);
+      break;
+  }
+  query::QueryResult result = query::Execute(snapshot, spec);
+  response.cost = result.cost;
+  response.points = std::move(result.points);
+  // The serving-time cost estimate rides along with every query answer:
+  // the same census-driven model the offline analysis uses, evaluated on
+  // the pinned version, so a client can compare predicted against
+  // measured work per request.
+  if (request.type != MsgType::kNearestK && snapshot.size() > 0) {
+    core::QueryCostModel model = core::QueryCostModel::FromCensus(
+        snapshot.LiveCensus(), snapshot.bounds());
+    if (request.type == MsgType::kRange) {
+      double qx = std::min(request.box.Extent(0), snapshot.bounds().Extent(0));
+      double qy = std::min(request.box.Extent(1), snapshot.bounds().Extent(1));
+      response.predicted_nodes = model.PredictRange(qx, qy).nodes;
+    } else {
+      response.predicted_nodes = model.PredictPartialMatch().nodes;
+    }
+  }
+  return response;
+}
+
+void ServerCore::SubmitResponse(uint64_t client_id,
+                                const Response& response) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return;  // client vanished mid-flight
+  it->second.outbox += EncodeResponseFrame(response);
+}
+
+std::string ServerCore::TakeOutput(uint64_t client_id) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return std::string();
+  return std::exchange(it->second.outbox, std::string());
+}
+
+std::vector<uint64_t> ServerCore::ClientsWithOutput() const {
+  std::vector<uint64_t> ids;
+  for (const auto& [id, state] : clients_) {
+    if (!state.outbox.empty()) ids.push_back(id);
+  }
+  return ids;
+}
+
+Response ServerCore::HandleWrite(uint64_t client_id,
+                                 const Request& request) {
+  (void)client_id;
+  Response response;
+  response.type = ResponseTypeFor(request.type);
+  if (request.type == MsgType::kInsertBatch) {
+    for (const geo::Point2& p : request.batch) {
+      if (!FinitePoint(p)) {
+        ++response.rejected;
+        continue;
+      }
+      Status applied = tree_.Insert(p);
+      if (applied.ok()) {
+        uint64_t seq = tree_.sequence();
+        if (wal_ != nullptr) {
+          StatusOr<uint64_t> logged = wal_->LogInsert(p);
+          POPAN_CHECK(logged.ok() && logged.value() == seq)
+              << "WAL fell out of step with the tree";
+        }
+        NotifyWrite('I', p, seq);
+        ++response.inserted;
+      } else if (applied.code() == StatusCode::kAlreadyExists) {
+        ++response.duplicates;
+      } else {
+        ++response.rejected;
+      }
+    }
+    response.sequence = tree_.sequence();
+    return response;
+  }
+  const geo::Point2& p = request.point;
+  if (!FinitePoint(p)) {
+    return ErrorResponse(request.type, Status::InvalidArgument(
+                                           "non-finite coordinate"));
+  }
+  Status applied = request.type == MsgType::kInsert ? tree_.Insert(p)
+                                                    : tree_.Erase(p);
+  if (!applied.ok()) {
+    return ErrorResponse(request.type, applied);
+  }
+  char op = request.type == MsgType::kInsert ? 'I' : 'E';
+  uint64_t seq = tree_.sequence();
+  if (wal_ != nullptr) {
+    StatusOr<uint64_t> logged =
+        op == 'I' ? wal_->LogInsert(p) : wal_->LogErase(p);
+    POPAN_CHECK(logged.ok() && logged.value() == seq)
+        << "WAL fell out of step with the tree";
+  }
+  NotifyWrite(op, p, seq);
+  response.sequence = seq;
+  return response;
+}
+
+Response ServerCore::HandleSubscribe(uint64_t client_id,
+                                     const Request& request) {
+  StatusOr<uint64_t> sub_id = subs_.Subscribe(request.box);
+  if (!sub_id.ok()) {
+    return ErrorResponse(request.type, sub_id.status());
+  }
+  sub_owner_.emplace(sub_id.value(), client_id);
+  clients_.find(client_id)->second.sub_ids.push_back(sub_id.value());
+  Response response;
+  response.type = ResponseTypeFor(request.type);
+  response.sub_id = sub_id.value();
+  return response;
+}
+
+void ServerCore::NotifyWrite(char op, const geo::Point2& p,
+                             uint64_t sequence) {
+  match_scratch_.clear();
+  subs_.Match(p, &match_scratch_);
+  for (uint64_t sub_id : match_scratch_) {
+    auto owner = sub_owner_.find(sub_id);
+    POPAN_CHECK(owner != sub_owner_.end());
+    auto client = clients_.find(owner->second);
+    if (client == clients_.end()) continue;
+    Notification notification;
+    notification.sub_id = sub_id;
+    notification.op = op;
+    notification.point = p;
+    notification.sequence = sequence;
+    client->second.outbox += EncodeNotificationFrame(notification);
+    ++notifications_sent_;
+  }
+}
+
+}  // namespace popan::server

@@ -1,0 +1,141 @@
+#ifndef POPAN_SERVER_SERVER_CORE_H_
+#define POPAN_SERVER_SERVER_CORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "server/protocol.h"
+#include "server/subscriptions.h"
+#include "spatial/pr_tree.h"
+#include "spatial/snapshot_view.h"
+#include "spatial/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::server {
+
+/// A read request paired with the epoch-pinned snapshot it executes
+/// against. Produced serially by ServerCore::PrepareRead; completed by
+/// CompleteRead on any thread — the completion touches only the pinned
+/// version, so reads overlap writes without locks, and the response is a
+/// pure function of (snapshot, request): bit-identical at any thread
+/// count.
+struct PreparedRead {
+  Request request;
+  spatial::SnapshotView2 snapshot;
+};
+
+/// The transport-agnostic query server: one CowPrQuadtree, an optional
+/// write-ahead log, a SubscriptionIndex, and per-client frame outboxes.
+///
+/// Threading contract: every member function runs on the single command
+/// thread (the socket poll loop, or the simulator's issuing loop) EXCEPT
+/// the static CompleteRead, which is safe on any thread because a
+/// PreparedRead's snapshot is already pinned. This mirrors the
+/// storage-engine split: serial command log, parallel reads.
+///
+/// Write path ordering: validate -> apply to the tree -> append to the
+/// WAL -> match subscriptions -> enqueue notifications. Validation
+/// (finite, in-bounds) happens before apply so the WAL append cannot fail
+/// after the tree changed; the WAL and tree sequence numbers advance in
+/// lockstep and the response carries the shared sequence.
+class ServerCore {
+ public:
+  /// `wal` may be null (no durability); when provided it must already be
+  /// positioned (fresh header or ResumeAt after recovery) and its
+  /// next_sequence must equal `initial_sequence` + 1.
+  ///
+  /// `seed_points` pre-loads recovered state (WAL replay / checkpoint)
+  /// without logging or notifying: the tree is constructed so that its
+  /// sequence lands exactly on `initial_sequence` after seeding, keeping
+  /// snapshot sequence numbers aligned with log sequence numbers across
+  /// restarts. `initial_sequence` must be >= seed_points.size() (the
+  /// recovered op count can only exceed the surviving point count).
+  ServerCore(const geo::Box2& bounds, const spatial::PrTreeOptions& options,
+             spatial::WalWriter* wal = nullptr,
+             uint64_t initial_sequence = 0,
+             const std::vector<geo::Point2>& seed_points = {});
+
+  ServerCore(const ServerCore&) = delete;
+  ServerCore& operator=(const ServerCore&) = delete;
+
+  /// Registers a connection; returns its client id (monotone from 1).
+  uint64_t OpenClient();
+
+  /// Drops a connection and every subscription it owns.
+  [[nodiscard]] Status CloseClient(uint64_t client_id);
+
+  /// Feeds raw transport bytes from a client. Every complete frame in the
+  /// stream is decoded and handled (pipelining: a burst of frames is
+  /// answered in order); a trailing partial frame is buffered. Returns an
+  /// error only for unrecoverable stream corruption (oversized length
+  /// prefix, unknown client) — the caller must drop the connection.
+  /// Malformed request *payloads* stay recoverable: they produce an error
+  /// response and the stream continues.
+  [[nodiscard]] Status ConsumeBytes(uint64_t client_id,
+                                    std::string_view bytes);
+
+  /// Handles one decoded request, appending the response frame (and any
+  /// notification frames triggered by a write) to client outboxes.
+  void HandleRequest(uint64_t client_id, const Request& request);
+
+  /// Pins a snapshot for a read-kind request (range / partial-match /
+  /// k-NN / census). ResourceExhausted when all epoch reader slots are
+  /// taken — the caller sheds load with an error response instead of
+  /// crashing (the bug this API replaced).
+  [[nodiscard]] StatusOr<PreparedRead> PrepareRead(const Request& request);
+
+  /// Executes a prepared read. Pure and thread-safe (see above).
+  static Response CompleteRead(const PreparedRead& prepared);
+
+  /// Encodes `response` into `client_id`'s outbox. Used by callers that
+  /// complete reads off-thread and re-submit in request order.
+  void SubmitResponse(uint64_t client_id, const Response& response);
+
+  /// Moves out everything queued for `client_id` (responses and
+  /// notifications, in enqueue order). Empty string when nothing pending
+  /// or the client is unknown.
+  std::string TakeOutput(uint64_t client_id);
+
+  /// Clients with bytes queued, ascending. The poll loop uses this to
+  /// arm POLLOUT only where needed.
+  std::vector<uint64_t> ClientsWithOutput() const;
+
+  uint64_t sequence() const { return tree_.sequence(); }
+  size_t size() const { return tree_.size(); }
+  const spatial::CowPrQuadtree& tree() const { return tree_; }
+  const SubscriptionIndex& subscriptions() const { return subs_; }
+  uint64_t notifications_sent() const { return notifications_sent_; }
+
+ private:
+  struct ClientState {
+    std::string inbox;    ///< undecoded transport bytes (partial frame)
+    std::string outbox;   ///< encoded frames awaiting the transport
+    std::vector<uint64_t> sub_ids;  ///< subscriptions this client owns
+  };
+
+  Response HandleWrite(uint64_t client_id, const Request& request);
+  Response HandleSubscribe(uint64_t client_id, const Request& request);
+  /// Appends one notification frame per subscription matching `p` (in
+  /// ascending subscription-id order) to the owning clients' outboxes.
+  void NotifyWrite(char op, const geo::Point2& p, uint64_t sequence);
+
+  spatial::CowPrQuadtree tree_;
+  spatial::WalWriter* wal_;
+  SubscriptionIndex subs_;
+  std::map<uint64_t, ClientState> clients_;  // ordered: deterministic scans
+  std::map<uint64_t, uint64_t> sub_owner_;   // subscription id -> client id
+  uint64_t next_client_id_ = 1;
+  uint64_t notifications_sent_ = 0;
+  std::vector<uint64_t> match_scratch_;
+};
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_SERVER_CORE_H_

@@ -1,0 +1,68 @@
+#ifndef POPAN_SERVER_SOCKET_SERVER_H_
+#define POPAN_SERVER_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "server/server_core.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::server {
+
+/// TCP transport for ServerCore: a single-threaded poll() loop on
+/// loopback. One thread keeps the command path serial (the ServerCore
+/// contract); concurrency comes from snapshot reads inside the core, not
+/// from the transport. Connections map 1:1 to ServerCore clients; a
+/// framing violation or peer hangup closes the connection and drops its
+/// subscriptions.
+class SocketServer {
+ public:
+  /// `core` must outlive the server.
+  explicit SocketServer(ServerCore* core);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral); returns the
+  /// actual port.
+  [[nodiscard]] StatusOr<uint16_t> Listen(uint16_t port);
+
+  /// Runs the poll loop until RequestStop() is called (from any thread)
+  /// or an unrecoverable listener error occurs.
+  [[nodiscard]] Status Serve();
+
+  /// Wakes the poll loop and makes Serve() return. Safe from any thread
+  /// and from signal-free contexts (writes one byte to a self-pipe).
+  void RequestStop();
+
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t client_id = 0;
+    std::string pending_out;  ///< bytes the socket would not yet take
+  };
+
+  void AcceptNew();
+  /// Reads what is available; returns false when the connection is done
+  /// (EOF, error, or protocol poison) and must be closed.
+  bool ReadFrom(Connection* conn);
+  /// Flushes queued output; returns false on a dead socket.
+  bool FlushTo(Connection* conn);
+  void CloseConnection(int fd);
+
+  ServerCore* core_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_requested_{false};
+  std::map<int, Connection> connections_;  // keyed by fd; ordered scans
+};
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_SOCKET_SERVER_H_

@@ -1,0 +1,224 @@
+#include "server/subscriptions.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+
+namespace popan::server {
+
+namespace {
+
+/// The part of `box` inside `domain`; callers guarantee intersection.
+geo::Box2 ClipToDomain(const geo::Box2& box, const geo::Box2& domain) {
+  return geo::Box2(
+      geo::Point2(std::max(box.lo().x(), domain.lo().x()),
+                  std::max(box.lo().y(), domain.lo().y())),
+      geo::Point2(std::min(box.hi().x(), domain.hi().x()),
+                  std::min(box.hi().y(), domain.hi().y())));
+}
+
+void EraseId(std::vector<uint64_t>* ids, uint64_t id) {
+  auto it = std::find(ids->begin(), ids->end(), id);
+  if (it != ids->end()) ids->erase(it);
+}
+
+}  // namespace
+
+SubscriptionIndex::SubscriptionIndex(const geo::Box2& domain,
+                                     size_t max_depth)
+    : domain_(domain), max_depth_(max_depth) {
+  POPAN_CHECK(domain.Extent(0) > 0.0 && domain.Extent(1) > 0.0);
+}
+
+StatusOr<uint64_t> SubscriptionIndex::Subscribe(const geo::Box2& box) {
+  if (!box.Intersects(domain_)) {
+    return Status::InvalidArgument("subscription box " + box.ToString() +
+                                   " does not intersect the domain");
+  }
+  geo::Box2 clipped = ClipToDomain(box, domain_);
+  uint64_t id = next_id_++;
+  boxes_.emplace(id, clipped);
+  InsertMarkers(&root_, domain_, 0, id, clipped);
+  return id;
+}
+
+Status SubscriptionIndex::Unsubscribe(uint64_t id) {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " is not registered");
+  }
+  RemoveMarkers(&root_, domain_, 0, id, it->second);
+  boxes_.erase(it);
+  return Status::OK();
+}
+
+void SubscriptionIndex::Match(const geo::Point2& p,
+                              std::vector<uint64_t>* out) const {
+  size_t first = out->size();
+  if (!domain_.Contains(p)) return;
+  const Node* node = &root_;
+  geo::Box2 block = domain_;
+  for (;;) {
+    out->insert(out->end(), node->full.begin(), node->full.end());
+    for (uint64_t id : node->partial) {
+      // Floor-node entries still carry boxes smaller than the block.
+      auto it = boxes_.find(id);
+      if (it != boxes_.end() && it->second.Contains(p)) {
+        out->push_back(id);
+      }
+    }
+    size_t q = block.QuadrantOf(p);
+    if (node->children[q] == nullptr) break;
+    node = node->children[q].get();
+    block = block.Quadrant(q);
+  }
+  // Each marker holds an id at most once along a root-to-leaf path (a
+  // `full` entry stops the descent that created it), so the walk yields
+  // distinct ids; only the order needs fixing for determinism.
+  std::sort(out->begin() + static_cast<ptrdiff_t>(first), out->end());
+}
+
+StatusOr<geo::Box2> SubscriptionIndex::BoxOf(uint64_t id) const {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " is not registered");
+  }
+  return it->second;
+}
+
+void SubscriptionIndex::InsertMarkers(Node* node, const geo::Box2& block,
+                                      size_t depth, uint64_t id,
+                                      const geo::Box2& box) {
+  if (box.ContainsBox(block)) {
+    node->full.push_back(id);
+    return;
+  }
+  if (depth == max_depth_) {
+    node->partial.push_back(id);
+    return;
+  }
+  for (size_t q = 0; q < 4; ++q) {
+    geo::Box2 child = block.Quadrant(q);
+    if (!box.Intersects(child)) continue;
+    if (node->children[q] == nullptr) {
+      node->children[q] = std::make_unique<Node>();
+    }
+    InsertMarkers(node->children[q].get(), child, depth + 1, id, box);
+  }
+}
+
+bool SubscriptionIndex::RemoveMarkers(Node* node, const geo::Box2& block,
+                                      size_t depth, uint64_t id,
+                                      const geo::Box2& box) {
+  if (box.ContainsBox(block)) {
+    EraseId(&node->full, id);
+  } else if (depth == max_depth_) {
+    EraseId(&node->partial, id);
+  } else {
+    for (size_t q = 0; q < 4; ++q) {
+      if (node->children[q] == nullptr) continue;
+      geo::Box2 child = block.Quadrant(q);
+      if (!box.Intersects(child)) continue;
+      if (RemoveMarkers(node->children[q].get(), child, depth + 1, id,
+                        box)) {
+        node->children[q].reset();
+      }
+    }
+  }
+  if (!node->full.empty() || !node->partial.empty()) return false;
+  for (size_t q = 0; q < 4; ++q) {
+    if (node->children[q] != nullptr) return false;
+  }
+  return node != &root_;  // the root itself is never pruned
+}
+
+SubscriptionIndex::Stats SubscriptionIndex::ComputeStats() const {
+  Stats stats;
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{&root_, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    ++stats.nodes;
+    stats.full_entries += f.node->full.size();
+    stats.partial_entries += f.node->partial.size();
+    stats.max_depth_seen = std::max(stats.max_depth_seen, f.depth);
+    for (size_t q = 0; q < 4; ++q) {
+      if (f.node->children[q] != nullptr) {
+        stack.push_back({f.node->children[q].get(), f.depth + 1});
+      }
+    }
+  }
+  return stats;
+}
+
+Status SubscriptionIndex::CheckInvariants() const {
+  struct Frame {
+    const Node* node;
+    geo::Box2 block;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{&root_, domain_, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    for (uint64_t id : f.node->full) {
+      auto it = boxes_.find(id);
+      if (it == boxes_.end()) {
+        return Status::Internal("dead id " + std::to_string(id) +
+                                " in a full set");
+      }
+      if (!it->second.ContainsBox(f.block)) {
+        return Status::Internal("full marker " + std::to_string(id) +
+                                " does not cover block " +
+                                f.block.ToString());
+      }
+    }
+    for (uint64_t id : f.node->partial) {
+      if (f.depth != max_depth_) {
+        return Status::Internal("partial marker above the depth floor");
+      }
+      auto it = boxes_.find(id);
+      if (it == boxes_.end()) {
+        return Status::Internal("dead id " + std::to_string(id) +
+                                " in a partial set");
+      }
+      if (!it->second.Intersects(f.block) ||
+          it->second.ContainsBox(f.block)) {
+        return Status::Internal(
+            "partial marker " + std::to_string(id) +
+            " should be absent or full at block " + f.block.ToString());
+      }
+    }
+    for (size_t q = 0; q < 4; ++q) {
+      if (f.node->children[q] != nullptr) {
+        if (f.depth == max_depth_) {
+          return Status::Internal("node below the depth floor");
+        }
+        stack.push_back(
+            {f.node->children[q].get(), f.block.Quadrant(q), f.depth + 1});
+      }
+    }
+  }
+  // Every live subscription must have left at least one marker (its box
+  // intersects the domain by the Subscribe contract).
+  for (const auto& [id, box] : boxes_) {
+    std::vector<uint64_t> probe;
+    Match(geo::Point2(std::max(box.lo().x(), domain_.lo().x()),
+                      std::max(box.lo().y(), domain_.lo().y())),
+          &probe);
+    if (std::find(probe.begin(), probe.end(), id) == probe.end()) {
+      return Status::Internal("subscription " + std::to_string(id) +
+                              " unmatchable at its own low corner");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace popan::server

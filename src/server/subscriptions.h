@@ -1,0 +1,103 @@
+#ifndef POPAN_SERVER_SUBSCRIPTIONS_H_
+#define POPAN_SERVER_SUBSCRIPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::server {
+
+/// Region-subscription index: clients register axis-aligned boxes and the
+/// server asks, for every write, which subscriptions the written point
+/// touches. The naive answer scans all S boxes per write; this index makes
+/// the per-write cost O(depth + matches) by propagating subscription
+/// markers down a regular quadtree decomposition of the domain — the same
+/// PR decomposition the paper's population analysis is about, reused as a
+/// publish/subscribe filter.
+///
+/// Marker discipline, per node of the (lazily materialized) quadtree:
+///
+///   full    — subscriptions whose box fully covers this node's block.
+///             A point inside the block matches them unconditionally; the
+///             subscription is recorded here and NOT pushed further down.
+///   partial — subscriptions whose box partially overlaps a node at
+///             kMaxMarkerDepth (the refinement floor). These still need
+///             the exact box test per point.
+///
+/// A box is inserted by descending from the root: at each node, a child
+/// block fully inside the box gets the id in `full` (descent stops); a
+/// child block merely overlapping it descends, until the depth floor
+/// converts the remainder into `partial` entries. Matching a point walks
+/// the single root-to-leaf path containing it — O(depth) nodes — collects
+/// every `full` set on the way and exact-tests the floor node's
+/// `partial` set. Matches are returned in ascending id order, which is
+/// what makes notification order deterministic.
+class SubscriptionIndex {
+ public:
+  /// `max_depth` is the refinement floor (kMaxMarkerDepth above); 8 gives
+  /// 256x256 finest blocks, plenty for the box sizes the simulator uses.
+  explicit SubscriptionIndex(const geo::Box2& domain, size_t max_depth = 8);
+
+  /// Registers `box` (clipped to the domain) and returns its id. Ids are
+  /// assigned monotonically from 1 and never reused, so a notification can
+  /// never be misattributed to a later subscription. Fails with
+  /// InvalidArgument when the box does not intersect the domain at all.
+  [[nodiscard]] StatusOr<uint64_t> Subscribe(const geo::Box2& box);
+
+  /// Removes subscription `id`; NotFound when it is not registered.
+  [[nodiscard]] Status Unsubscribe(uint64_t id);
+
+  /// Appends the ids of every live subscription whose box contains `p`,
+  /// in ascending id order. `p` outside the domain matches nothing.
+  void Match(const geo::Point2& p, std::vector<uint64_t>* out) const;
+
+  /// The registered box for `id`; NotFound when it is not registered.
+  [[nodiscard]] StatusOr<geo::Box2> BoxOf(uint64_t id) const;
+
+  size_t live_count() const { return boxes_.size(); }
+
+  struct Stats {
+    size_t nodes = 0;          ///< materialized marker nodes
+    size_t full_entries = 0;   ///< total ids across `full` sets
+    size_t partial_entries = 0;///< total ids across `partial` sets
+    size_t max_depth_seen = 0;
+  };
+  Stats ComputeStats() const;
+
+  /// Structural invariants, for tests: every marker entry's subscription
+  /// is live, a `full` entry's box covers its node block, a `partial`
+  /// entry overlaps (but does not cover) its floor-node block, and every
+  /// live subscription is reachable from the root. Internal on violation.
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    std::vector<uint64_t> full;
+    std::vector<uint64_t> partial;
+    std::unique_ptr<Node> children[4];
+  };
+
+  void InsertMarkers(Node* node, const geo::Box2& block, size_t depth,
+                     uint64_t id, const geo::Box2& box);
+  /// Removes `id`'s markers along the same descent Insert took; prunes
+  /// nodes that end up empty so the tree shrinks with unsubscribes.
+  bool RemoveMarkers(Node* node, const geo::Box2& block, size_t depth,
+                     uint64_t id, const geo::Box2& box);
+
+  geo::Box2 domain_;
+  size_t max_depth_;
+  uint64_t next_id_ = 1;
+  Node root_;
+  std::map<uint64_t, geo::Box2> boxes_;  // ordered: deterministic audits
+};
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_SUBSCRIPTIONS_H_

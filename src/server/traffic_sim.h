@@ -1,0 +1,71 @@
+#ifndef POPAN_SERVER_TRAFFIC_SIM_H_
+#define POPAN_SERVER_TRAFFIC_SIM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geometry/box.h"
+
+namespace popan::server {
+
+/// Multi-client traffic generator for the query server, built on the same
+/// two determinism pillars as the rest of the repo: counter-based RNG
+/// streams (client c's operation stream depends only on (seed, c), never
+/// on interleaving) and snapshot reads (a read's answer is a pure function
+/// of the version it pinned). Writes and subscription bookkeeping run on
+/// the single issuing thread; read completions fan out to
+/// `reader_threads` real threads through epoch-pinned PreparedReads —
+/// real concurrency for TSan, with per-client transcripts that stay
+/// bit-identical at ANY thread count, including 0 (fully inline).
+struct TrafficConfig {
+  geo::Box2 bounds = geo::Box2::UnitCube();
+  size_t clients = 4;
+  size_t steps = 64;        ///< requests issued per client
+  size_t capacity = 4;      ///< tree leaf capacity
+  size_t max_depth = 16;    ///< tree depth limit
+  size_t k_max = 8;         ///< k-NN draws k in [1, k_max]
+  size_t max_subs_per_client = 4;
+  size_t reader_threads = 0;  ///< 0 = complete reads inline
+  uint64_t seed = 0;
+};
+
+/// One client's account of its session, as chained FNV-1a checksums over
+/// raw frame bytes: requests in issue order, responses in request order,
+/// notifications in delivery order. Equal transcripts mean equal wire
+/// traffic, byte for byte.
+struct ClientTranscript {
+  uint64_t request_checksum = 0;
+  uint64_t response_checksum = 0;
+  uint64_t notification_checksum = 0;
+  uint64_t requests = 0;
+  uint64_t responses_ok = 0;
+  uint64_t responses_error = 0;
+  uint64_t notifications = 0;
+};
+
+struct TrafficResult {
+  std::vector<ClientTranscript> transcripts;
+  /// Folds every transcript plus the final tree state — the single
+  /// integer the CI job compares across thread counts and the bench
+  /// reference gates on.
+  uint64_t combined_checksum = 0;
+  uint64_t total_requests = 0;
+  uint64_t total_notifications = 0;
+  uint64_t final_size = 0;
+  uint64_t final_sequence = 0;
+};
+
+/// Chained FNV-1a folds (seed the chain with query::kChecksumSeed).
+uint64_t FoldBytes(uint64_t h, std::string_view bytes);
+uint64_t FoldU64(uint64_t h, uint64_t v);
+
+/// Runs the simulated session. Deterministic: two runs with the same
+/// config (including across different reader_threads values) produce
+/// identical TrafficResults.
+TrafficResult RunTraffic(const TrafficConfig& config);
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_TRAFFIC_SIM_H_

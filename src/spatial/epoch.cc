@@ -1,5 +1,8 @@
 #include "spatial/epoch.h"
 
+#include <string>
+#include <utility>
+
 #include "util/check.h"
 
 namespace popan::spatial {
@@ -12,7 +15,7 @@ void EpochManager::Pin::Release() {
   manager_ = nullptr;
 }
 
-EpochManager::Pin EpochManager::PinReader() {
+StatusOr<EpochManager::Pin> EpochManager::TryPinReader() {
   // Claim a free slot. Readers race on `claimed` only; a claimed slot is
   // touched by exactly one reader until it is released.
   size_t slot = kMaxReaders;
@@ -24,8 +27,11 @@ EpochManager::Pin EpochManager::PinReader() {
       break;
     }
   }
-  POPAN_CHECK(slot < kMaxReaders)
-      << "more than" << kMaxReaders << "concurrent epoch pins";
+  if (slot >= kMaxReaders) {
+    return Status::ResourceExhausted(
+        "all " + std::to_string(kMaxReaders) +
+        " epoch reader slots are pinned");
+  }
   // Publish the pin, then confirm the global epoch did not move past it;
   // on a move, republish the newer value. After this loop the pinned
   // value equals the global epoch as observed after the pin became
@@ -38,6 +44,12 @@ EpochManager::Pin EpochManager::PinReader() {
     epoch = now;
   }
   return Pin(this, slot, epoch);
+}
+
+EpochManager::Pin EpochManager::PinReader() {
+  StatusOr<Pin> pin = TryPinReader();
+  POPAN_CHECK(pin.ok()) << pin.status().ToString();
+  return std::move(pin).value();
 }
 
 void EpochManager::ReleaseSlot(size_t slot) {

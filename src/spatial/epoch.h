@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "util/statusor.h"
+
 namespace popan::spatial {
 
 /// Epoch-based memory reclamation for single-writer / multi-reader
@@ -105,9 +107,15 @@ class EpochManager {
   };
 
   /// Enters a read-side critical section: claims a free reader slot and
-  /// pins the current epoch into it. Aborts (CHECK) if more than
-  /// kMaxReaders pins are simultaneously live — a structural bug, not a
-  /// runtime condition to handle.
+  /// pins the current epoch into it. Returns ResourceExhausted when all
+  /// kMaxReaders slots are simultaneously live — a runtime condition a
+  /// server with many connections must handle by shedding the request,
+  /// not by crashing.
+  [[nodiscard]] StatusOr<Pin> TryPinReader();
+
+  /// CHECK-ing form of TryPinReader for callers with a bounded reader
+  /// count (benches, storm harnesses): aborts on slot exhaustion, which
+  /// for them is a structural bug, not load.
   [[nodiscard]] Pin PinReader();
 
   /// Writer: places `ptr` in limbo, tagged with the current epoch, to be

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "spatial/knn_heap.h"
 #include "util/check.h"
 
 namespace popan::spatial {
@@ -227,18 +228,12 @@ std::vector<Excell::PointT> Excell::NearestK(const PointT& target, size_t k,
             static_cast<uint32_t>(bi));
       });
   std::sort(order.begin(), order.end());
-  std::vector<std::pair<double, PointT>> heap;
-  heap.reserve(k);
-  auto heap_less = [](const std::pair<double, PointT>& a,
-                      const std::pair<double, PointT>& b) {
-    return a.first < b.first;
-  };
-  auto radius2 = [&heap, k]() {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().first;
-  };
+  // Canonical (distance², x, y) accumulator (knn_heap.h): equal-distance
+  // ties resolve by coordinate order, and a bucket at exactly the k-th
+  // distance is still scanned — it may hold a tie-winning point.
+  KnnHeap<PointT, PointTieLess> heap(k);
   for (size_t i = 0; i < order.size(); ++i) {
-    if (order[i].first >= radius2()) {
+    if (heap.ShouldPrune(order[i].first)) {
       // Sorted: every remaining bucket is at least this far.
       cost->pruned_subtrees += order.size() - i;
       break;
@@ -246,20 +241,10 @@ std::vector<Excell::PointT> Excell::NearestK(const PointT& target, size_t k,
     ++cost->leaves_touched;
     for (const PointT& p : buckets_[order[i].second].points) {
       ++cost->points_scanned;
-      double d2 = p.DistanceSquared(target);
-      if (d2 < radius2()) {
-        if (heap.size() == k) {
-          std::pop_heap(heap.begin(), heap.end(), heap_less);
-          heap.pop_back();
-        }
-        heap.emplace_back(d2, p);
-        std::push_heap(heap.begin(), heap.end(), heap_less);
-      }
+      heap.Offer(p.DistanceSquared(target), p);
     }
   }
-  std::sort(heap.begin(), heap.end(), heap_less);
-  out.reserve(heap.size());
-  for (const auto& [d2, p] : heap) out.push_back(p);
+  out = heap.TakeSorted();
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <span>
 #include <utility>
 
+#include "spatial/knn_heap.h"
 #include "util/check.h"
 
 namespace popan::spatial {
@@ -184,19 +185,9 @@ std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
   POPAN_DCHECK(cost != nullptr);
   std::vector<geo::Point2> out;
   if (leaves_.empty() || size_ == 0) return out;
-  // Max-heap of the k best (distance², point); the top is the pruning
-  // radius. Best-first descent over (block, span) frames, nearest child
-  // popped first.
-  std::vector<std::pair<double, geo::Point2>> heap;
-  heap.reserve(k);
-  auto heap_less = [](const std::pair<double, geo::Point2>& a,
-                      const std::pair<double, geo::Point2>& b) {
-    return a.first < b.first;
-  };
-  auto radius2 = [&heap, k]() {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().first;
-  };
+  // Canonical (distance², x, y) accumulator (knn_heap.h); best-first
+  // descent over (block, span) frames, nearest child popped first.
+  KnnHeap<geo::Point2, PointTieLess> heap(k);
   struct Frame {
     MortonCode block;
     size_t begin, end;
@@ -209,7 +200,7 @@ std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    if (f.d2 >= radius2()) {
+    if (heap.ShouldPrune(f.d2)) {
       ++cost->pruned_subtrees;
       continue;
     }
@@ -218,15 +209,7 @@ std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
       ++cost->leaves_touched;
       for (const geo::Point2& p : leaves_[f.begin].points) {
         ++cost->points_scanned;
-        double d2 = p.DistanceSquared(target);
-        if (d2 < radius2()) {
-          if (heap.size() == k) {
-            std::pop_heap(heap.begin(), heap.end(), heap_less);
-            heap.pop_back();
-          }
-          heap.emplace_back(d2, p);
-          std::push_heap(heap.begin(), heap.end(), heap_less);
-        }
+        heap.Offer(p.DistanceSquared(target), p);
       }
       continue;
     }
@@ -256,7 +239,7 @@ std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
     for (size_t i = 4; i-- > 0;) {
       const auto& [d2, q] = order[i];
       if (spans[q].first >= spans[q].second) continue;
-      if (d2 >= radius2()) {
+      if (heap.ShouldPrune(d2)) {
         ++cost->pruned_subtrees;
         continue;
       }
@@ -264,9 +247,7 @@ std::vector<geo::Point2> LinearPrQuadtree::NearestK(const geo::Point2& target,
                             d2});
     }
   }
-  std::sort(heap.begin(), heap.end(), heap_less);
-  out.reserve(heap.size());
-  for (const auto& [d2, p] : heap) out.push_back(p);
+  out = heap.TakeSorted();
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "spatial/morton.h"
+#include "spatial/knn_heap.h"
 #include "util/check.h"
 #include "util/simd.h"
 
@@ -233,18 +234,9 @@ std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
     }
     return dx * dx + dy * dy;
   };
-  // Max-heap of the k best (distance², (x, y)); the top is the pruning
-  // radius.
-  using Entry = std::pair<double, std::pair<uint32_t, uint32_t>>;
-  std::vector<Entry> heap;
-  heap.reserve(k);
-  auto heap_less = [](const Entry& a, const Entry& b) {
-    return a.first < b.first;
-  };
-  auto radius2 = [&heap, k]() {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().first;
-  };
+  // Canonical (distance², (x, y)) accumulator (knn_heap.h); lattice
+  // cells tie-break by their (x, y) pair.
+  KnnHeap<std::pair<uint32_t, uint32_t>> heap(k);
   struct Frame {
     NodeIndex idx;
     uint32_t bx, by, block;
@@ -257,7 +249,7 @@ std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    if (f.d2 >= radius2()) {
+    if (heap.ShouldPrune(f.d2)) {
       ++cost->pruned_subtrees;
       continue;
     }
@@ -265,12 +257,7 @@ std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
     if (f.block == 1) {
       ++cost->leaves_touched;
       ++cost->points_scanned;
-      if (heap.size() == k) {
-        std::pop_heap(heap.begin(), heap.end(), heap_less);
-        heap.pop_back();
-      }
-      heap.emplace_back(f.d2, std::make_pair(f.bx, f.by));
-      std::push_heap(heap.begin(), heap.end(), heap_less);
+      heap.Offer(f.d2, std::make_pair(f.bx, f.by));
       continue;
     }
     const Node& node = arena_.Get(f.idx);
@@ -289,7 +276,7 @@ std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
     for (size_t i = 4; i-- > 0;) {
       const auto& [d2, q] = order[i];
       if (node.children[q] == kNullNode) continue;
-      if (d2 >= radius2()) {
+      if (heap.ShouldPrune(d2)) {
         ++cost->pruned_subtrees;
         continue;
       }
@@ -298,10 +285,7 @@ std::vector<std::pair<uint32_t, uint32_t>> MxQuadtree::NearestK(
       stack.push_back(Frame{node.children[q], cx, cy, half, d2});
     }
   }
-  // Ascending by distance, ties by (x, y) for a canonical result order.
-  std::sort(heap.begin(), heap.end());
-  out.reserve(heap.size());
-  for (const auto& [d2, cell] : heap) out.push_back(cell);
+  out = heap.TakeSorted();
   return out;
 }
 

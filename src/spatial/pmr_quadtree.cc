@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "spatial/knn_heap.h"
 #include "util/check.h"
 
 namespace popan::spatial {
@@ -101,16 +102,10 @@ std::vector<PmrQuadtree::SegmentId> PmrQuadtree::NearestK(
   POPAN_DCHECK(cost != nullptr);
   std::vector<SegmentId> out;
   if (segments_.empty()) return out;
-  // Max-heap of the k best (distance², id), ordered lexicographically so
-  // distance ties evict the larger id — a canonical result for any
-  // traversal order. The top is the pruning radius.
-  using Entry = std::pair<double, SegmentId>;
-  std::vector<Entry> heap;
-  heap.reserve(k);
-  auto radius2 = [&heap, k]() {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().first;
-  };
+  // Canonical (distance², id) accumulator (knn_heap.h): distance ties
+  // resolve to the smaller id for any traversal order, and pruning is
+  // strict so a subtree at exactly the k-th distance is still descended.
+  KnnHeap<SegmentId> heap(k);
   // A segment is stored once per intersected leaf: evaluate its exact
   // distance only at the first encounter.
   std::vector<uint8_t> seen(segments_.size(), 0);
@@ -125,7 +120,7 @@ std::vector<PmrQuadtree::SegmentId> PmrQuadtree::NearestK(
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    if (f.d2 >= radius2()) {
+    if (heap.ShouldPrune(f.d2)) {
       ++cost->pruned_subtrees;
       continue;
     }
@@ -137,16 +132,7 @@ std::vector<PmrQuadtree::SegmentId> PmrQuadtree::NearestK(
         ++cost->points_scanned;
         if (seen[id]) continue;
         seen[id] = 1;
-        double d2 = segments_[id].DistanceSquaredToPoint(target);
-        Entry entry{d2, id};
-        if (heap.size() < k) {
-          heap.push_back(entry);
-          std::push_heap(heap.begin(), heap.end());
-        } else if (entry < heap.front()) {
-          std::pop_heap(heap.begin(), heap.end());
-          heap.back() = entry;
-          std::push_heap(heap.begin(), heap.end());
-        }
+        heap.Offer(segments_[id].DistanceSquaredToPoint(target), id);
       }
       continue;
     }
@@ -158,16 +144,14 @@ std::vector<PmrQuadtree::SegmentId> PmrQuadtree::NearestK(
     // Far-to-near onto the LIFO stack; the nearest child pops first.
     for (size_t i = 4; i-- > 0;) {
       const auto& [d2, q] = order[i];
-      if (d2 >= radius2()) {
+      if (heap.ShouldPrune(d2)) {
         ++cost->pruned_subtrees;
         continue;
       }
       stack.push_back(Frame{node.children[q], f.box.Quadrant(q), d2});
     }
   }
-  std::sort(heap.begin(), heap.end());
-  out.reserve(heap.size());
-  for (const auto& [d2, id] : heap) out.push_back(id);
+  out = heap.TakeSorted();
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "spatial/knn_heap.h"
+
 namespace popan::spatial {
 
 Status PointQuadtree::Insert(const PointT& p) {
@@ -65,18 +67,9 @@ std::vector<PointQuadtree::PointT> PointQuadtree::NearestK(
   POPAN_DCHECK(cost != nullptr);
   std::vector<PointT> out;
   if (root_ == kNullNode) return out;
-  // Max-heap of the k best (distance², point) candidates; the heap top is
-  // the current k-th distance, the pruning radius.
-  std::vector<std::pair<double, PointT>> heap;
-  heap.reserve(k);
-  auto heap_less = [](const std::pair<double, PointT>& a,
-                      const std::pair<double, PointT>& b) {
-    return a.first < b.first;
-  };
-  auto radius2 = [&heap, k]() {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().first;
-  };
+  // Canonical (distance², x, y) accumulator (knn_heap.h); ties resolve
+  // identically across backends and traversal orders.
+  KnnHeap<PointT, PointTieLess> heap(k);
   // Iterative best-first descent. A node's cell is the quadrant of its
   // parent's cell cut at the parent's pivot; the root cell is the whole
   // plane. The cell distance² is computed at push time and re-checked at
@@ -94,22 +87,14 @@ std::vector<PointQuadtree::PointT> PointQuadtree::NearestK(
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    if (f.d2 >= radius2()) {
+    if (heap.ShouldPrune(f.d2)) {
       ++cost->pruned_subtrees;
       continue;
     }
     ++cost->nodes_visited;
     const Node& node = arena_.Get(f.idx);
     ++cost->points_scanned;
-    double d2 = node.point.DistanceSquared(target);
-    if (d2 < radius2()) {
-      if (heap.size() == k) {
-        std::pop_heap(heap.begin(), heap.end(), heap_less);
-        heap.pop_back();
-      }
-      heap.emplace_back(d2, node.point);
-      std::push_heap(heap.begin(), heap.end(), heap_less);
-    }
+    heap.Offer(node.point.DistanceSquared(target), node.point);
     // Children cells are the quadrants of `cell` cut at the pivot.
     const PointT& p = node.point;
     std::array<std::pair<double, size_t>, 4> order;
@@ -135,16 +120,14 @@ std::vector<PointQuadtree::PointT> PointQuadtree::NearestK(
     for (size_t i = 4; i-- > 0;) {
       const auto& [dist2, q] = order[i];
       if (node.children[q] == kNullNode) continue;
-      if (dist2 >= radius2()) {
+      if (heap.ShouldPrune(dist2)) {
         ++cost->pruned_subtrees;
         continue;
       }
       stack.push_back(Frame{node.children[q], cells[q], dist2});
     }
   }
-  std::sort(heap.begin(), heap.end(), heap_less);
-  out.reserve(heap.size());
-  for (const auto& [d2, p] : heap) out.push_back(p);
+  out = heap.TakeSorted();
   return out;
 }
 

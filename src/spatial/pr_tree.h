@@ -15,6 +15,7 @@
 #include "geometry/point.h"
 #include "spatial/batch_stats.h"
 #include "spatial/census.h"
+#include "spatial/knn_heap.h"
 #include "spatial/morton.h"
 #include "spatial/node_arena.h"
 #include "spatial/query_cost.h"
@@ -414,8 +415,9 @@ class PrTree {
     return best[0];
   }
 
-  /// Returns the k stored points nearest to `target`, ascending by
-  /// distance (fewer if the tree holds fewer than k). k must be >= 1.
+  /// Returns the k stored points nearest to `target`, ascending by the
+  /// canonical (distance, x, y) key (fewer if the tree holds fewer than
+  /// k). k must be >= 1.
   std::vector<PointT> NearestK(const PointT& target, size_t k) const {
     QueryCost cost;
     return NearestK(target, k, &cost);
@@ -426,23 +428,14 @@ class PrTree {
   /// explored first and the pruning radius (the current k-th best
   /// distance) tightens as early as possible. Subtrees cut off by the
   /// radius test — at push or at pop, as the radius shrinks between the
-  /// two — count in pruned_subtrees.
+  /// two — count in pruned_subtrees. Equal-distance ties resolve by the
+  /// canonical coordinate order (knn_heap.h), so the result is
+  /// independent of traversal order and identical across backends.
   std::vector<PointT> NearestK(const PointT& target, size_t k,
                                QueryCost* cost) const {
     POPAN_CHECK(k >= 1);
     POPAN_DCHECK(cost != nullptr);
-    // Max-heap of the k best (distance², point) candidates so far; the
-    // heap top is the current k-th distance, the pruning radius.
-    std::vector<std::pair<double, PointT>> heap;
-    heap.reserve(k);
-    auto heap_less = [](const std::pair<double, PointT>& a,
-                        const std::pair<double, PointT>& b) {
-      return a.first < b.first;
-    };
-    auto radius2 = [&heap, k]() {
-      return heap.size() < k ? std::numeric_limits<double>::infinity()
-                             : heap.front().first;
-    };
+    KnnHeap<PointT, PointTieLess> heap(k);
     std::vector<DistFrame> stack;
     stack.reserve(kWalkStackHint);
     stack.push_back(DistFrame{root_, bounds_,
@@ -450,7 +443,7 @@ class PrTree {
     while (!stack.empty()) {
       DistFrame f = stack.back();
       stack.pop_back();
-      if (f.d2 >= radius2()) {
+      if (heap.ShouldPrune(f.d2)) {
         ++cost->pruned_subtrees;
         continue;
       }
@@ -463,15 +456,8 @@ class PrTree {
         // version could not stay bitwise identical (see util/simd.h).
         for (size_t i = 0, n = node.points.size(); i < n; ++i) {
           ++cost->points_scanned;
-          double d2 = node.points.Get(i).DistanceSquared(target);
-          if (d2 < radius2()) {
-            if (heap.size() == k) {
-              std::pop_heap(heap.begin(), heap.end(), heap_less);
-              heap.pop_back();
-            }
-            heap.emplace_back(d2, node.points.Get(i));
-            std::push_heap(heap.begin(), heap.end(), heap_less);
-          }
+          heap.Offer(node.points.Get(i).DistanceSquared(target),
+                     node.points.Get(i));
         }
         continue;
       }
@@ -483,18 +469,14 @@ class PrTree {
       // Far-to-near onto the LIFO stack; the nearest child pops first.
       for (size_t i = kFanout; i-- > 0;) {
         const auto& [d2, q] = order[i];
-        if (d2 >= radius2()) {
+        if (heap.ShouldPrune(d2)) {
           ++cost->pruned_subtrees;
           continue;
         }
         stack.push_back(DistFrame{node.children[q], f.box.Quadrant(q), d2});
       }
     }
-    std::sort(heap.begin(), heap.end(), heap_less);
-    std::vector<PointT> out;
-    out.reserve(heap.size());
-    for (const auto& [d2, p] : heap) out.push_back(p);
-    return out;
+    return heap.TakeSorted();
   }
 
   /// Calls fn(box, depth, occupancy) for every leaf in preorder (children

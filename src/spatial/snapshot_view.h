@@ -17,6 +17,7 @@
 #include "spatial/census.h"
 #include "spatial/epoch.h"
 #include "spatial/inline_buffer.h"
+#include "spatial/knn_heap.h"
 #include "spatial/pr_tree.h"
 #include "spatial/query_cost.h"
 #include "util/check.h"
@@ -109,7 +110,14 @@ class CowPrTree {
   /// Pins the current epoch and returns a frozen view of the newest
   /// published version. Any thread; the view holds its pin until
   /// destroyed, which is what keeps its nodes out of reclamation.
+  /// Aborts when all reader slots are taken — use TrySnapshot where slot
+  /// exhaustion is load, not a bug.
   [[nodiscard]] SnapshotView<D> Snapshot() const;
+
+  /// Like Snapshot, but returns ResourceExhausted instead of aborting
+  /// when every EpochManager reader slot is pinned — the form server
+  /// connection handlers must use, shedding the request on error.
+  [[nodiscard]] StatusOr<SnapshotView<D>> TrySnapshot() const;
 
   /// Inserts `p`, publishing a new version (sequence + 1) on success.
   /// OutOfRange outside the root block, AlreadyExists for a duplicate;
@@ -661,21 +669,13 @@ class SnapshotView {
     }
   }
 
-  /// k nearest neighbors, ascending by distance; mirrors PrTree::NearestK.
+  /// k nearest neighbors, ascending by the canonical (distance, x, y)
+  /// key; mirrors PrTree::NearestK (same KnnHeap, same counters).
   std::vector<PointT> NearestK(const PointT& target, size_t k,
                                QueryCost* cost) const {
     POPAN_CHECK(k >= 1);
     POPAN_DCHECK(cost != nullptr);
-    std::vector<std::pair<double, PointT>> heap;
-    heap.reserve(k);
-    auto heap_less = [](const std::pair<double, PointT>& a,
-                        const std::pair<double, PointT>& b) {
-      return a.first < b.first;
-    };
-    auto radius2 = [&heap, k]() {
-      return heap.size() < k ? std::numeric_limits<double>::infinity()
-                             : heap.front().first;
-    };
+    KnnHeap<PointT, PointTieLess> heap(k);
     std::vector<DistFrame> stack;
     stack.reserve(kWalkStackHint);
     stack.push_back(DistFrame{version_->root, bounds(),
@@ -683,7 +683,7 @@ class SnapshotView {
     while (!stack.empty()) {
       DistFrame f = stack.back();
       stack.pop_back();
-      if (f.d2 >= radius2()) {
+      if (heap.ShouldPrune(f.d2)) {
         ++cost->pruned_subtrees;
         continue;
       }
@@ -693,15 +693,7 @@ class SnapshotView {
         const PointT* pts = f.node->points.data();
         for (size_t i = 0, n = f.node->points.size(); i < n; ++i) {
           ++cost->points_scanned;
-          double d2 = pts[i].DistanceSquared(target);
-          if (d2 < radius2()) {
-            if (heap.size() == k) {
-              std::pop_heap(heap.begin(), heap.end(), heap_less);
-              heap.pop_back();
-            }
-            heap.emplace_back(d2, pts[i]);
-            std::push_heap(heap.begin(), heap.end(), heap_less);
-          }
+          heap.Offer(pts[i].DistanceSquared(target), pts[i]);
         }
         continue;
       }
@@ -712,7 +704,7 @@ class SnapshotView {
       std::sort(order.begin(), order.end());
       for (size_t i = kFanout; i-- > 0;) {
         const auto& [d2, q] = order[i];
-        if (d2 >= radius2()) {
+        if (heap.ShouldPrune(d2)) {
           ++cost->pruned_subtrees;
           continue;
         }
@@ -720,11 +712,7 @@ class SnapshotView {
             DistFrame{f.node->children[q], f.box.Quadrant(q), d2});
       }
     }
-    std::sort(heap.begin(), heap.end(), heap_less);
-    std::vector<PointT> out;
-    out.reserve(heap.size());
-    for (const auto& [d2, p] : heap) out.push_back(p);
-    return out;
+    return heap.TakeSorted();
   }
 
   std::vector<PointT> NearestK(const PointT& target, size_t k) const {
@@ -820,6 +808,14 @@ SnapshotView<D> CowPrTree<D>::Snapshot() const {
   return SnapshotView<D>(this, v, std::move(pin));
 }
 
+template <size_t D>
+StatusOr<SnapshotView<D>> CowPrTree<D>::TrySnapshot() const {
+  StatusOr<EpochManager::Pin> pin = epochs_.TryPinReader();
+  POPAN_RETURN_IF_ERROR(pin.status());
+  const Version* v = head_.load(std::memory_order_seq_cst);
+  return SnapshotView<D>(this, v, std::move(pin).value());
+}
+
 /// Convenience aliases matching PrTree's.
 using CowPrQuadtree = CowPrTree<2>;
 using SnapshotView2 = SnapshotView<2>;
@@ -878,11 +874,21 @@ class VersionedObject {
     epochs_.Reclaim();
   }
 
-  /// Pins the current revision. Any thread.
+  /// Pins the current revision. Any thread. Aborts on reader-slot
+  /// exhaustion; TrySnapshot below returns it as a typed error instead.
   [[nodiscard]] View Snapshot() const {
     EpochManager::Pin pin = epochs_.PinReader();
     const Revision* r = head_.load(std::memory_order_seq_cst);
     return View(r, std::move(pin));
+  }
+
+  /// Like Snapshot, but sheds load with ResourceExhausted when all
+  /// reader slots are pinned.
+  [[nodiscard]] StatusOr<View> TrySnapshot() const {
+    StatusOr<EpochManager::Pin> pin = epochs_.TryPinReader();
+    POPAN_RETURN_IF_ERROR(pin.status());
+    const Revision* r = head_.load(std::memory_order_seq_cst);
+    return View(r, std::move(pin).value());
   }
 
   /// Writer-side sequence of the newest revision.

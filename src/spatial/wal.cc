@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <system_error>
 #include <vector>
 
 #include "util/check.h"
@@ -227,6 +229,37 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
                                 uint64_t base_sequence) {
   std::istringstream in(text);
   return ReplayWal(&in, base, base_sequence);
+}
+
+[[nodiscard]] StatusOr<std::ofstream> ResumeWalFile(const std::string& path,
+                                                    size_t valid_bytes) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound("WAL file not readable: " + path + ": " +
+                            ec.message());
+  }
+  if (valid_bytes > size) {
+    return Status::InvalidArgument(
+        "valid_bytes " + std::to_string(valid_bytes) +
+        " exceeds WAL file size " + std::to_string(size) +
+        " — recovery result from a different file?");
+  }
+  // Cut the torn tail off BEFORE the first append: a torn record has no
+  // trailing newline, so appending into the untruncated file would glue
+  // the first resumed record onto the partial line.
+  if (valid_bytes < size) {
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate WAL file to its intact " +
+                              std::string("prefix: ") + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) {
+    return Status::Internal("cannot reopen WAL file for append: " + path);
+  }
+  return out;
 }
 
 }  // namespace popan::spatial

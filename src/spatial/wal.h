@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
 #include <string>
 
@@ -119,6 +120,25 @@ StatusOr<WalRecovery> ReplayWal(std::istream* in, const PrTree<2>& base,
 [[nodiscard]] StatusOr<WalRecovery> ReplayWal(const std::string& text,
                                 const PrTree<2>& base,
                                 uint64_t base_sequence);
+
+/// Prepares a crashed log file for resumed appends: truncates it to
+/// `valid_bytes` (the intact prefix recovery measured) and opens it for
+/// appending, ready to hand to WalWriter::ResumeAt.
+///
+/// The truncation is NOT optional. A torn tail record has no trailing
+/// newline, so a writer that simply opens the file in append mode glues
+/// its first record onto the partial line — producing a hybrid line whose
+/// checksum cannot match, which silently discards that record (and
+/// everything after it) at the next recovery. Cutting the file back to
+/// the intact prefix first is what makes the resumed records land on a
+/// record boundary.
+///
+/// Errors: NotFound when the file does not exist, InvalidArgument when
+/// `valid_bytes` exceeds the file size (the recovery result belongs to a
+/// different file), Internal when the filesystem refuses the truncation
+/// or the append-mode open fails.
+[[nodiscard]] StatusOr<std::ofstream> ResumeWalFile(const std::string& path,
+                                                    size_t valid_bytes);
 
 /// The checksum used for log records (FNV-1a over the formatted content);
 /// exposed so tests can craft valid and corrupt records.

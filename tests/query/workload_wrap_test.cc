@@ -1,0 +1,260 @@
+// Regression tests for AppendWrappedRangeSpecs double-counting. A
+// full-extent wrapped query with a non-dyadic origin used to emit two
+// sub-boxes that overlapped by one ulp: dom_lo + (o + q - dom_hi) rounds
+// past o, so the wrap segment re-covered the primary segment's first
+// sliver and any point exactly at the origin was reported twice. The fix
+// clamps the wrap segment at the arc's own origin and collapses
+// full-circle arcs to a single full-domain box.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/query.h"
+#include "query/workload.h"
+#include "spatial/excell.h"
+#include "spatial/extendible_hash.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/mx_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "testing/statusor_testing.h"
+#include "util/random.h"
+
+namespace popan::query {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+bool Overlaps(const Box2& a, const Box2& b) {
+  return a.lo().x() < b.hi().x() && b.lo().x() < a.hi().x() &&
+         a.lo().y() < b.hi().y() && b.lo().y() < a.hi().y();
+}
+
+double Area(const Box2& box) {
+  return box.Extent(0) * box.Extent(1);
+}
+
+TEST(WorkloadWrapTest, FullExtentNonDyadicOriginIsOneFullDomainBox) {
+  // THE regression shape: q == extent, origin not representable as a sum
+  // that round-trips exactly. Pre-fix this emitted two boxes overlapping
+  // in [0.1, 0.1 + 1ulp) x [0.3, 0.3 + 1ulp).
+  std::vector<QuerySpec> specs;
+  AppendWrappedRangeSpecs(Box2::UnitCube(), 0.1, 0.3, 1.0, 1.0, &specs);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].range, Box2::UnitCube());
+}
+
+TEST(WorkloadWrapTest, SubBoxesNeverOverlapAndPreserveArea) {
+  Pcg32 rng = RngStreamFamily(87).MakeStream(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    double ox = rng.NextDouble();
+    double oy = rng.NextDouble();
+    // Bias sizes toward the hostile end: exactly the extent, and within
+    // a few ulps of it.
+    double qx, qy;
+    switch (trial % 4) {
+      case 0: qx = 1.0; qy = 1.0; break;
+      case 1: qx = std::nextafter(1.0, 0.0); qy = 1.0; break;
+      case 2: qx = rng.NextDouble(0.5, 1.0); qy = std::nextafter(1.0, 0.0);
+              break;
+      default: qx = rng.NextDouble(0.0, 1.0) + 1e-9;
+               qy = rng.NextDouble(0.0, 1.0) + 1e-9; break;
+    }
+    qx = std::min(qx, 1.0);
+    qy = std::min(qy, 1.0);
+    std::vector<QuerySpec> specs;
+    AppendWrappedRangeSpecs(Box2::UnitCube(), ox, oy, qx, qy, &specs);
+    ASSERT_GE(specs.size(), 1u);
+    ASSERT_LE(specs.size(), 4u);
+    double total_area = 0.0;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      EXPECT_TRUE(Box2::UnitCube().ContainsBox(specs[i].range));
+      total_area += Area(specs[i].range);
+      for (size_t j = i + 1; j < specs.size(); ++j) {
+        EXPECT_FALSE(Overlaps(specs[i].range, specs[j].range))
+            << "trial " << trial << ": " << specs[i].range.ToString()
+            << " vs " << specs[j].range.ToString();
+      }
+    }
+    // Disjoint + area preserved == every point counted exactly once.
+    EXPECT_NEAR(total_area, qx * qy, 1e-9) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Match counts across all seven point-capable backends.
+
+constexpr uint32_t kLattice = 64;
+
+/// Deterministic scatter on the 1/64 lattice (exact for the MX cell map
+/// and the 31-bit hash codec).
+std::vector<Point2> LatticeData() {
+  std::vector<Point2> points;
+  Pcg32 rng = RngStreamFamily(11).MakeStream(0);
+  for (int i = 0; i < 300; ++i) {
+    uint32_t ix = rng.NextBounded(kLattice);
+    uint32_t iy = rng.NextBounded(kLattice);
+    Point2 p(static_cast<double>(ix) / kLattice,
+             static_cast<double>(iy) / kLattice);
+    bool duplicate = false;
+    for (const Point2& q : points) {
+      if (q.x() == p.x() && q.y() == p.y()) duplicate = true;
+    }
+    if (!duplicate) points.push_back(p);
+  }
+  return points;
+}
+
+/// Torus membership, exact for lattice points and dyadic origins/sizes.
+bool InWrappedQuery(const Point2& p, double ox, double oy, double qx,
+                    double qy) {
+  double dx = p.x() - ox;
+  if (dx < 0.0) dx += 1.0;
+  double dy = p.y() - oy;
+  if (dy < 0.0) dy += 1.0;
+  return dx < qx && dy < qy;
+}
+
+class WorkloadWrapBackendTest : public ::testing::Test {
+ protected:
+  WorkloadWrapBackendTest()
+      : data_(LatticeData()),
+        pr_tree_(Box2::UnitCube()),
+        grid_(Box2::UnitCube()),
+        excell_(Box2::UnitCube()),
+        mx_tree_(6),
+        hash_table_([] {
+          spatial::ExtendibleHashOptions options;
+          options.identity_hash = true;
+          return options;
+        }()) {
+    for (const Point2& p : data_) {
+      EXPECT_TRUE(pr_tree_.Insert(p).ok());
+      EXPECT_TRUE(point_tree_.Insert(p).ok());
+      EXPECT_TRUE(grid_.Insert(p).ok());
+      EXPECT_TRUE(excell_.Insert(p).ok());
+      EXPECT_TRUE(mx_tree_
+                      .Insert(static_cast<uint32_t>(p.x() * kLattice),
+                              static_cast<uint32_t>(p.y() * kLattice))
+                      .ok());
+      EXPECT_TRUE(hash_table_.Insert(hash_backend_.codec.Encode(p)).ok());
+    }
+    linear_tree_ = std::make_unique<spatial::LinearPrQuadtree>(ValueOrDie(
+        spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), data_)));
+    mx_backend_.tree = &mx_tree_;
+    hash_backend_.table = &hash_table_;
+  }
+
+  /// Sum of match counts over the wrapped query's sub-boxes, per backend;
+  /// EXPECTs all seven agree and returns the count.
+  size_t WrappedCount(double ox, double oy, double qx, double qy) {
+    std::vector<QuerySpec> specs;
+    AppendWrappedRangeSpecs(Box2::UnitCube(), ox, oy, qx, qy, &specs);
+    size_t reference = 0;
+    for (const QuerySpec& spec : specs) {
+      reference += Execute(pr_tree_, spec).ItemCount();
+    }
+    size_t counts[6] = {0, 0, 0, 0, 0, 0};
+    for (const QuerySpec& spec : specs) {
+      counts[0] += Execute(point_tree_, spec).ItemCount();
+      counts[1] += Execute(*linear_tree_, spec).ItemCount();
+      counts[2] += Execute(grid_, spec).ItemCount();
+      counts[3] += Execute(excell_, spec).ItemCount();
+      counts[4] += Execute(mx_backend_, spec).ItemCount();
+      counts[5] += Execute(hash_backend_, spec).ItemCount();
+    }
+    const char* names[6] = {"point", "linear", "grid", "excell", "mx",
+                            "hash"};
+    for (int b = 0; b < 6; ++b) {
+      EXPECT_EQ(counts[b], reference) << names[b];
+    }
+    return reference;
+  }
+
+  std::vector<Point2> data_;
+  spatial::PrQuadtree pr_tree_;
+  spatial::PointQuadtree point_tree_;
+  std::unique_ptr<spatial::LinearPrQuadtree> linear_tree_;
+  spatial::GridFile grid_;
+  spatial::Excell excell_;
+  spatial::MxQuadtree mx_tree_;
+  spatial::ExtendibleHash hash_table_;
+  MxBackend mx_backend_;
+  HashBackend hash_backend_;
+};
+
+TEST_F(WorkloadWrapBackendTest, FullExtentCountsEveryPointExactlyOnce) {
+  // Full-circle arcs from assorted origins, dyadic and not: every stored
+  // point must be counted exactly once on all seven backends.
+  for (double ox : {0.0, 0.1, 0.25, 1.0 / 3.0, 0.734375}) {
+    for (double oy : {0.0, 0.3, 0.515625}) {
+      EXPECT_EQ(WrappedCount(ox, oy, 1.0, 1.0), data_.size())
+          << "origin (" << ox << ", " << oy << ")";
+    }
+  }
+}
+
+TEST_F(WorkloadWrapBackendTest, WrappingQueriesMatchTorusMembership) {
+  // Dyadic origins and sizes (exact on the lattice): the sub-box sum
+  // must equal brute-force torus membership — no double counts at the
+  // seam, no gaps.
+  struct Case {
+    double ox, oy, qx, qy;
+  };
+  for (const Case& c :
+       {Case{0.75, 0.75, 0.5, 0.5}, Case{0.875, 0.25, 0.25, 0.9375},
+        Case{0.5, 0.984375, 0.515625, 0.03125},
+        Case{0.015625, 0.953125, 1.0, 0.25}}) {
+    size_t expected = 0;
+    for (const Point2& p : data_) {
+      if (InWrappedQuery(p, c.ox, c.oy, c.qx, c.qy)) ++expected;
+    }
+    EXPECT_EQ(WrappedCount(c.ox, c.oy, c.qx, c.qy), expected)
+        << "query (" << c.ox << ", " << c.oy << ", " << c.qx << ", "
+        << c.qy << ")";
+  }
+}
+
+TEST_F(WorkloadWrapBackendTest, OriginPointIsNotDoubleCounted) {
+  // The sharpest count-level repro: a point sitting EXACTLY at a
+  // non-dyadic origin. Pre-fix, the overlapping wrap sliver contained
+  // exactly that point, so the full-extent query counted it twice on
+  // every exact-coordinate backend.
+  Point2 origin_point(0.1, 0.3);
+  ASSERT_TRUE(pr_tree_.Insert(origin_point).ok());
+  ASSERT_TRUE(point_tree_.Insert(origin_point).ok());
+  ASSERT_TRUE(grid_.Insert(origin_point).ok());
+  ASSERT_TRUE(excell_.Insert(origin_point).ok());
+  std::vector<Point2> with_origin = data_;
+  with_origin.push_back(origin_point);
+  linear_tree_ = std::make_unique<spatial::LinearPrQuadtree>(ValueOrDie(
+      spatial::LinearPrQuadtree::BulkLoad(Box2::UnitCube(), with_origin)));
+
+  std::vector<QuerySpec> specs;
+  AppendWrappedRangeSpecs(Box2::UnitCube(), 0.1, 0.3, 1.0, 1.0, &specs);
+  size_t pr = 0, point = 0, linear = 0, grid = 0, excell = 0;
+  for (const QuerySpec& spec : specs) {
+    pr += Execute(pr_tree_, spec).ItemCount();
+    point += Execute(point_tree_, spec).ItemCount();
+    linear += Execute(*linear_tree_, spec).ItemCount();
+    grid += Execute(grid_, spec).ItemCount();
+    excell += Execute(excell_, spec).ItemCount();
+  }
+  size_t expected = with_origin.size();
+  EXPECT_EQ(pr, expected);
+  EXPECT_EQ(point, expected);
+  EXPECT_EQ(linear, expected);
+  EXPECT_EQ(grid, expected);
+  EXPECT_EQ(excell, expected);
+}
+
+}  // namespace
+}  // namespace popan::query

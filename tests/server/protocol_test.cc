@@ -1,0 +1,276 @@
+// Wire-format round trips and adversarial payloads for the query-server
+// protocol. Every request/response/notification shape must survive
+// encode -> frame split -> decode bit-for-bit, and every malformed byte
+// string must come back as a typed error, never a crash or a bogus
+// message.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "server/protocol.h"
+#include "testing/statusor_testing.h"
+#include "util/status.h"
+
+namespace popan::server {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+/// Splits one complete frame and checks nothing is left over.
+std::string_view OnlyPayload(const std::string& frame) {
+  size_t offset = 0;
+  std::string_view payload;
+  Status error;
+  EXPECT_TRUE(NextFrame(frame, &offset, &payload, &error));
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(offset, frame.size());
+  return payload;
+}
+
+TEST(ProtocolTest, InsertRoundTrip) {
+  Request request;
+  request.type = MsgType::kInsert;
+  request.point = Point2(0.125, 0.875);
+  std::string frame = EncodeRequestFrame(request);
+  Request decoded = ValueOrDie(DecodeRequestPayload(OnlyPayload(frame)));
+  EXPECT_EQ(decoded.type, MsgType::kInsert);
+  EXPECT_EQ(decoded.point.x(), 0.125);
+  EXPECT_EQ(decoded.point.y(), 0.875);
+}
+
+TEST(ProtocolTest, EveryRequestTypeRoundTrips) {
+  std::vector<Request> requests;
+  Request r;
+  r.type = MsgType::kErase;
+  r.point = Point2(0.5, 0.25);
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kInsertBatch;
+  r.batch = {Point2(0.1, 0.2), Point2(0.3, 0.4), Point2(0.5, 0.6)};
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kRange;
+  r.box = Box2(Point2(0.1, 0.2), Point2(0.7, 0.9));
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kPartialMatch;
+  r.axis = 1;
+  r.value = 0.625;
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kNearestK;
+  r.point = Point2(0.9, 0.1);
+  r.k = 7;
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kCensus;
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kSubscribe;
+  r.box = Box2(Point2(0.0, 0.0), Point2(0.5, 0.5));
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kUnsubscribe;
+  r.sub_id = 0xdeadbeefcafeULL;
+  requests.push_back(r);
+  r = Request();
+  r.type = MsgType::kPing;
+  requests.push_back(r);
+
+  for (const Request& request : requests) {
+    std::string frame = EncodeRequestFrame(request);
+    Request decoded = ValueOrDie(DecodeRequestPayload(OnlyPayload(frame)));
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.point.x(), request.point.x());
+    EXPECT_EQ(decoded.point.y(), request.point.y());
+    EXPECT_EQ(decoded.batch.size(), request.batch.size());
+    EXPECT_EQ(decoded.box, request.box);
+    EXPECT_EQ(decoded.axis, request.axis);
+    EXPECT_EQ(decoded.value, request.value);
+    EXPECT_EQ(decoded.k, request.k);
+    EXPECT_EQ(decoded.sub_id, request.sub_id);
+  }
+}
+
+TEST(ProtocolTest, ResponseShapesRoundTrip) {
+  Response response;
+  response.type = ResponseTypeFor(MsgType::kRange);
+  response.sequence = 42;
+  response.cost.nodes_visited = 10;
+  response.cost.leaves_touched = 4;
+  response.cost.points_scanned = 17;
+  response.cost.pruned_subtrees = 3;
+  response.predicted_nodes = 9.25;
+  response.points = {Point2(0.25, 0.75), Point2(0.5, 0.5)};
+  Response decoded = ValueOrDie(
+      DecodeResponsePayload(OnlyPayload(EncodeResponseFrame(response))));
+  EXPECT_EQ(decoded.type, response.type);
+  EXPECT_EQ(decoded.status, 0);
+  EXPECT_EQ(decoded.cost, response.cost);
+  EXPECT_EQ(decoded.predicted_nodes, 9.25);
+  ASSERT_EQ(decoded.points.size(), 2u);
+  EXPECT_EQ(decoded.points[1].x(), 0.5);
+
+  Response census;
+  census.type = ResponseTypeFor(MsgType::kCensus);
+  census.sequence = 9;
+  census.size = 100;
+  census.leaf_count = 31;
+  census.max_depth = 5;
+  census.average_occupancy = 3.25;
+  decoded = ValueOrDie(
+      DecodeResponsePayload(OnlyPayload(EncodeResponseFrame(census))));
+  EXPECT_EQ(decoded.sequence, 9u);
+  EXPECT_EQ(decoded.size, 100u);
+  EXPECT_EQ(decoded.leaf_count, 31u);
+  EXPECT_EQ(decoded.max_depth, 5u);
+  EXPECT_EQ(decoded.average_occupancy, 3.25);
+
+  Response error;
+  error.type = ResponseTypeFor(MsgType::kInsert);
+  error.status = static_cast<uint8_t>(StatusCode::kOutOfRange);
+  error.message = "outside the domain";
+  decoded = ValueOrDie(
+      DecodeResponsePayload(OnlyPayload(EncodeResponseFrame(error))));
+  EXPECT_EQ(decoded.status, static_cast<uint8_t>(StatusCode::kOutOfRange));
+  EXPECT_EQ(decoded.message, "outside the domain");
+}
+
+TEST(ProtocolTest, NotificationRoundTrip) {
+  Notification notification;
+  notification.sub_id = 77;
+  notification.op = 'E';
+  notification.point = Point2(0.375, 0.625);
+  notification.sequence = 1234;
+  Notification decoded = ValueOrDie(DecodeNotificationPayload(
+      OnlyPayload(EncodeNotificationFrame(notification))));
+  EXPECT_EQ(decoded.sub_id, 77u);
+  EXPECT_EQ(decoded.op, 'E');
+  EXPECT_EQ(decoded.point.x(), 0.375);
+  EXPECT_EQ(decoded.sequence, 1234u);
+}
+
+TEST(ProtocolTest, PartialFramesWaitForMoreBytes) {
+  Request request;
+  request.type = MsgType::kInsert;
+  request.point = Point2(0.5, 0.5);
+  std::string frame = EncodeRequestFrame(request);
+  // Every proper prefix must report "need more", never an error.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string_view partial(frame.data(), cut);
+    size_t offset = 0;
+    std::string_view payload;
+    Status error;
+    EXPECT_FALSE(NextFrame(partial, &offset, &payload, &error));
+    EXPECT_TRUE(error.ok()) << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(ProtocolTest, PipelinedFramesSplitInOrder) {
+  Request a;
+  a.type = MsgType::kPing;
+  Request b;
+  b.type = MsgType::kCensus;
+  Request c;
+  c.type = MsgType::kNearestK;
+  c.point = Point2(0.1, 0.9);
+  c.k = 3;
+  std::string stream = EncodeRequestFrame(a) + EncodeRequestFrame(b) +
+                       EncodeRequestFrame(c);
+  size_t offset = 0;
+  std::string_view payload;
+  Status error;
+  ASSERT_TRUE(NextFrame(stream, &offset, &payload, &error));
+  EXPECT_EQ(ValueOrDie(DecodeRequestPayload(payload)).type, MsgType::kPing);
+  ASSERT_TRUE(NextFrame(stream, &offset, &payload, &error));
+  EXPECT_EQ(ValueOrDie(DecodeRequestPayload(payload)).type,
+            MsgType::kCensus);
+  ASSERT_TRUE(NextFrame(stream, &offset, &payload, &error));
+  EXPECT_EQ(ValueOrDie(DecodeRequestPayload(payload)).k, 3u);
+  EXPECT_FALSE(NextFrame(stream, &offset, &payload, &error));
+  EXPECT_TRUE(error.ok());
+  EXPECT_EQ(offset, stream.size());
+}
+
+TEST(ProtocolTest, OversizedLengthPoisonsTheStream) {
+  std::string frame;
+  AppendU32(&frame, kMaxPayloadBytes + 1);
+  frame += std::string(16, 'x');
+  size_t offset = 0;
+  std::string_view payload;
+  Status error;
+  EXPECT_FALSE(NextFrame(frame, &offset, &payload, &error));
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, MalformedPayloadsAreTypedErrors) {
+  // Unknown type byte.
+  EXPECT_EQ(DecodeRequestPayload("\x7f").status().code(),
+            StatusCode::kInvalidArgument);
+  // Empty payload.
+  EXPECT_EQ(DecodeRequestPayload("").status().code(),
+            StatusCode::kInvalidArgument);
+  // Truncated insert body.
+  std::string insert;
+  AppendU8(&insert, static_cast<uint8_t>(MsgType::kInsert));
+  AppendF64(&insert, 0.5);
+  EXPECT_EQ(DecodeRequestPayload(insert).status().code(),
+            StatusCode::kInvalidArgument);
+  // Trailing garbage after a valid body.
+  Request ping;
+  ping.type = MsgType::kPing;
+  std::string frame = EncodeRequestFrame(ping);
+  std::string payload(OnlyPayload(frame));
+  payload += 'x';
+  EXPECT_EQ(DecodeRequestPayload(payload).status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-finite coordinates.
+  std::string nan_insert;
+  AppendU8(&nan_insert, static_cast<uint8_t>(MsgType::kInsert));
+  AppendF64(&nan_insert, std::numeric_limits<double>::quiet_NaN());
+  AppendF64(&nan_insert, 0.5);
+  EXPECT_EQ(DecodeRequestPayload(nan_insert).status().code(),
+            StatusCode::kInvalidArgument);
+  // Inverted box (would DCHECK inside geo::Box2 if it got through).
+  std::string bad_box;
+  AppendU8(&bad_box, static_cast<uint8_t>(MsgType::kRange));
+  AppendF64(&bad_box, 0.9);
+  AppendF64(&bad_box, 0.9);
+  AppendF64(&bad_box, 0.1);
+  AppendF64(&bad_box, 0.1);
+  EXPECT_EQ(DecodeRequestPayload(bad_box).status().code(),
+            StatusCode::kInvalidArgument);
+  // Batch whose count disagrees with the bytes present.
+  std::string lying_batch;
+  AppendU8(&lying_batch, static_cast<uint8_t>(MsgType::kInsertBatch));
+  AppendU32(&lying_batch, 1000);
+  AppendF64(&lying_batch, 0.5);
+  AppendF64(&lying_batch, 0.5);
+  EXPECT_EQ(DecodeRequestPayload(lying_batch).status().code(),
+            StatusCode::kInvalidArgument);
+  // k outside [1, kMaxKnnK].
+  std::string huge_k;
+  AppendU8(&huge_k, static_cast<uint8_t>(MsgType::kNearestK));
+  AppendF64(&huge_k, 0.5);
+  AppendF64(&huge_k, 0.5);
+  AppendU32(&huge_k, kMaxKnnK + 1);
+  EXPECT_EQ(DecodeRequestPayload(huge_k).status().code(),
+            StatusCode::kInvalidArgument);
+  // A notification type byte is not a request.
+  std::string notif;
+  AppendU8(&notif, static_cast<uint8_t>(MsgType::kNotification));
+  EXPECT_EQ(DecodeRequestPayload(notif).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace popan::server

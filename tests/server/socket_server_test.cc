@@ -1,0 +1,198 @@
+// End-to-end loopback test: real sockets, real poll loop, two clients,
+// cross-connection notification delivery, clean shutdown.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "server/protocol.h"
+#include "server/server_core.h"
+#include "server/socket_server.h"
+#include "spatial/pr_tree.h"
+#include "testing/statusor_testing.h"
+#include "util/status.h"
+
+namespace popan::server {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using popan::ValueOrDie;
+
+/// Minimal blocking client for the test: connect, send frames, read
+/// payloads one at a time.
+class TestClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReceivePayload(std::string* payload) {
+    for (;;) {
+      size_t offset = 0;
+      std::string_view view;
+      Status error;
+      if (NextFrame(buffer_, &offset, &view, &error)) {
+        *payload = std::string(view);
+        buffer_.erase(0, offset);
+        return true;
+      }
+      if (!error.ok()) return false;
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  Response ReceiveResponse() {
+    std::string payload;
+    EXPECT_TRUE(ReceivePayload(&payload));
+    return ValueOrDie(DecodeResponsePayload(payload));
+  }
+
+  Notification ReceiveNotification() {
+    std::string payload;
+    EXPECT_TRUE(ReceivePayload(&payload));
+    return ValueOrDie(DecodeNotificationPayload(payload));
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(SocketServerTest, EndToEndWithNotificationsAndShutdown) {
+  spatial::PrTreeOptions options;
+  options.capacity = 4;
+  options.max_depth = 12;
+  ServerCore core(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)), options);
+  SocketServer server(&core);
+  uint16_t port = ValueOrDie(server.Listen(0));
+  ASSERT_GT(port, 0);
+  std::thread serve_thread([&server] {
+    Status status = server.Serve();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+
+  TestClient watcher;
+  TestClient writer;
+  ASSERT_TRUE(watcher.Connect(port));
+  ASSERT_TRUE(writer.Connect(port));
+
+  // Watcher subscribes to the lower-left quadrant.
+  Request subscribe;
+  subscribe.type = MsgType::kSubscribe;
+  subscribe.box = Box2(Point2(0.0, 0.0), Point2(0.5, 0.5));
+  ASSERT_TRUE(watcher.Send(EncodeRequestFrame(subscribe)));
+  Response sub_response = watcher.ReceiveResponse();
+  ASSERT_EQ(sub_response.status, 0);
+  uint64_t sub_id = sub_response.sub_id;
+
+  // Writer pipelines two inserts in a single send: one inside the
+  // watched box, one outside.
+  Request in_box;
+  in_box.type = MsgType::kInsert;
+  in_box.point = Point2(0.25, 0.25);
+  Request out_of_box;
+  out_of_box.type = MsgType::kInsert;
+  out_of_box.point = Point2(0.75, 0.75);
+  ASSERT_TRUE(writer.Send(EncodeRequestFrame(in_box) +
+                          EncodeRequestFrame(out_of_box)));
+  EXPECT_EQ(writer.ReceiveResponse().sequence, 1u);
+  EXPECT_EQ(writer.ReceiveResponse().sequence, 2u);
+
+  // The notification crosses connections without the watcher sending
+  // anything.
+  Notification notification = watcher.ReceiveNotification();
+  EXPECT_EQ(notification.sub_id, sub_id);
+  EXPECT_EQ(notification.op, 'I');
+  EXPECT_EQ(notification.point.x(), 0.25);
+  EXPECT_EQ(notification.sequence, 1u);
+
+  // The watcher's own queries work over the new state.
+  Request range;
+  range.type = MsgType::kRange;
+  range.box = Box2(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  ASSERT_TRUE(watcher.Send(EncodeRequestFrame(range)));
+  EXPECT_EQ(watcher.ReceiveResponse().points.size(), 2u);
+
+  // A client that disconnects takes its subscription with it.
+  watcher.Close();
+  ASSERT_TRUE(writer.Send(EncodeRequestFrame(in_box)));  // duplicate
+  EXPECT_EQ(writer.ReceiveResponse().status,
+            static_cast<uint8_t>(StatusCode::kAlreadyExists));
+
+  server.RequestStop();
+  serve_thread.join();
+  EXPECT_EQ(core.notifications_sent(), 1u);
+}
+
+TEST(SocketServerTest, PoisonedStreamClosesOnlyThatConnection) {
+  spatial::PrTreeOptions options;
+  options.capacity = 4;
+  ServerCore core(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)), options);
+  SocketServer server(&core);
+  uint16_t port = ValueOrDie(server.Listen(0));
+  std::thread serve_thread([&server] { (void)server.Serve(); });
+
+  TestClient good;
+  TestClient evil;
+  ASSERT_TRUE(good.Connect(port));
+  ASSERT_TRUE(evil.Connect(port));
+
+  // The evil client sends an oversized length prefix; the server must
+  // hang up on it.
+  std::string poison;
+  AppendU32(&poison, kMaxPayloadBytes + 1);
+  ASSERT_TRUE(evil.Send(poison));
+  std::string dead;
+  EXPECT_FALSE(evil.ReceivePayload(&dead));  // EOF from the server
+
+  // The good client is unaffected.
+  Request ping;
+  ping.type = MsgType::kPing;
+  ASSERT_TRUE(good.Send(EncodeRequestFrame(ping)));
+  EXPECT_EQ(good.ReceiveResponse().type, ResponseTypeFor(MsgType::kPing));
+
+  server.RequestStop();
+  serve_thread.join();
+}
+
+}  // namespace
+}  // namespace popan::server

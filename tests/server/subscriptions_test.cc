@@ -1,0 +1,163 @@
+// SubscriptionIndex: marker propagation, O(depth) matching, unsubscribe
+// pruning, and the structural invariants that keep notification routing
+// honest.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "server/subscriptions.h"
+#include "testing/statusor_testing.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace popan::server {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using popan::ValueOrDie;
+
+Box2 UnitDomain() { return Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)); }
+
+std::vector<uint64_t> MatchIds(const SubscriptionIndex& index,
+                               const Point2& p) {
+  std::vector<uint64_t> out;
+  index.Match(p, &out);
+  return out;
+}
+
+TEST(SubscriptionIndexTest, IdsAreMonotoneFromOne) {
+  SubscriptionIndex index(UnitDomain());
+  uint64_t a = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(0.5, 0.5))));
+  uint64_t b = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.5, 0.5), Point2(1.0, 1.0))));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  ASSERT_TRUE(index.Unsubscribe(a).ok());
+  // Freed ids are never reused.
+  uint64_t c = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(0.1, 0.1))));
+  EXPECT_EQ(c, 3u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(SubscriptionIndexTest, MatchRespectsBoxesAndOrdering) {
+  SubscriptionIndex index(UnitDomain());
+  // Overlapping boxes; point in the intersection must match all of them,
+  // in ascending id order regardless of insertion geometry.
+  uint64_t big = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0))));
+  uint64_t left = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(0.5, 1.0))));
+  uint64_t spot = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.2, 0.2), Point2(0.3, 0.3))));
+  EXPECT_EQ(MatchIds(index, Point2(0.25, 0.25)),
+            (std::vector<uint64_t>{big, left, spot}));
+  EXPECT_EQ(MatchIds(index, Point2(0.4, 0.4)),
+            (std::vector<uint64_t>{big, left}));
+  EXPECT_EQ(MatchIds(index, Point2(0.75, 0.75)),
+            (std::vector<uint64_t>{big}));
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(SubscriptionIndexTest, HalfOpenEdgesMatchLikeBoxContains) {
+  SubscriptionIndex index(UnitDomain());
+  Box2 box(Point2(0.25, 0.25), Point2(0.5, 0.5));
+  uint64_t id = ValueOrDie(index.Subscribe(box));
+  // Low edges are inside, high edges are outside: [lo, hi).
+  EXPECT_EQ(MatchIds(index, Point2(0.25, 0.25)),
+            (std::vector<uint64_t>{id}));
+  EXPECT_TRUE(MatchIds(index, Point2(0.5, 0.5)).empty());
+  EXPECT_TRUE(MatchIds(index, Point2(0.25, 0.5)).empty());
+  EXPECT_TRUE(MatchIds(index, Point2(0.49999, 0.49999)).size() == 1);
+}
+
+TEST(SubscriptionIndexTest, PointOutsideDomainMatchesNothing) {
+  SubscriptionIndex index(UnitDomain());
+  ASSERT_TRUE(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0))).ok());
+  EXPECT_TRUE(MatchIds(index, Point2(1.5, 0.5)).empty());
+  EXPECT_TRUE(MatchIds(index, Point2(-0.1, 0.5)).empty());
+}
+
+TEST(SubscriptionIndexTest, BoxOutsideDomainIsRejected) {
+  SubscriptionIndex index(UnitDomain());
+  EXPECT_EQ(
+      index.Subscribe(Box2(Point2(2.0, 2.0), Point2(3.0, 3.0))).status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  // Straddling boxes are clipped, not rejected.
+  uint64_t id = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.9, 0.9), Point2(2.0, 2.0))));
+  EXPECT_EQ(MatchIds(index, Point2(0.95, 0.95)),
+            (std::vector<uint64_t>{id}));
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(SubscriptionIndexTest, UnsubscribeRemovesAndPrunes) {
+  SubscriptionIndex index(UnitDomain());
+  // A tiny box forces refinement down to the depth floor; unsubscribing
+  // must prune the whole materialized spine back out.
+  uint64_t id = ValueOrDie(
+      index.Subscribe(Box2(Point2(0.111, 0.111), Point2(0.112, 0.112))));
+  SubscriptionIndex::Stats with = index.ComputeStats();
+  EXPECT_GT(with.nodes, 1u);
+  ASSERT_TRUE(index.Unsubscribe(id).ok());
+  EXPECT_TRUE(MatchIds(index, Point2(0.1115, 0.1115)).empty());
+  SubscriptionIndex::Stats without = index.ComputeStats();
+  EXPECT_EQ(without.nodes, 1u);  // only the root survives
+  EXPECT_EQ(without.full_entries + without.partial_entries, 0u);
+  EXPECT_EQ(index.live_count(), 0u);
+  EXPECT_EQ(index.Unsubscribe(id).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(SubscriptionIndexTest, DomainCoveringBoxStaysAtRoot) {
+  SubscriptionIndex index(UnitDomain());
+  ASSERT_TRUE(
+      index.Subscribe(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0))).ok());
+  SubscriptionIndex::Stats stats = index.ComputeStats();
+  // Full coverage is recorded once at the root; no refinement.
+  EXPECT_EQ(stats.nodes, 1u);
+  EXPECT_EQ(stats.full_entries, 1u);
+  EXPECT_EQ(stats.partial_entries, 0u);
+}
+
+TEST(SubscriptionIndexTest, RandomizedAgainstBruteForce) {
+  Pcg32 rng = RngStreamFamily(20260807).MakeStream(0);
+  SubscriptionIndex index(UnitDomain(), /*max_depth=*/6);
+  std::vector<std::pair<uint64_t, Box2>> live;
+  for (int round = 0; round < 200; ++round) {
+    double action = rng.NextDouble();
+    if (action < 0.6 || live.empty()) {
+      double lox = rng.NextDouble() * 0.9;
+      double loy = rng.NextDouble() * 0.9;
+      double w = rng.NextDouble() * (1.0 - lox);
+      double h = rng.NextDouble() * (1.0 - loy);
+      Box2 box(Point2(lox, loy), Point2(lox + w, loy + h));
+      StatusOr<uint64_t> id = index.Subscribe(box);
+      if (id.ok()) live.emplace_back(ValueOrDie(std::move(id)), box);
+    } else {
+      size_t victim = rng.NextBounded(static_cast<uint32_t>(live.size()));
+      ASSERT_TRUE(index.Unsubscribe(live[victim].first).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    Point2 probe(rng.NextDouble(), rng.NextDouble());
+    std::vector<uint64_t> expected;
+    for (const auto& [id, box] : live) {
+      if (box.Contains(probe)) expected.push_back(id);
+    }
+    // `live` grows by appending fresh (larger) ids, so it is already in
+    // ascending id order — exactly what Match promises.
+    EXPECT_EQ(MatchIds(index, probe), expected) << "round " << round;
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace popan::server

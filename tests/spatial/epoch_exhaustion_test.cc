@@ -1,0 +1,92 @@
+// Regression test for reader-slot exhaustion. The 65th concurrent pin
+// used to hit a POPAN_CHECK and abort the process — acceptable for a
+// bench harness with a bounded reader count, fatal for a server where
+// the pin count tracks open connections. TryPinReader / TrySnapshot now
+// surface ResourceExhausted so the caller sheds load instead.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/epoch.h"
+#include "spatial/pr_tree.h"
+#include "spatial/snapshot_view.h"
+#include "testing/statusor_testing.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+TEST(EpochExhaustionTest, SixtyFifthPinIsAnErrorNotACrash) {
+  EpochManager manager;
+  std::vector<EpochManager::Pin> pins;
+  pins.reserve(EpochManager::kMaxReaders);
+  for (size_t i = 0; i < EpochManager::kMaxReaders; ++i) {
+    StatusOr<EpochManager::Pin> pin = manager.TryPinReader();
+    ASSERT_TRUE(pin.ok()) << "pin " << i << ": "
+                          << pin.status().ToString();
+    pins.push_back(ValueOrDie(std::move(pin)));
+  }
+  // Every slot is live; the next pin must fail gracefully.
+  StatusOr<EpochManager::Pin> overflow = manager.TryPinReader();
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+
+  // Releasing ONE slot is enough to pin again.
+  pins.pop_back();
+  StatusOr<EpochManager::Pin> retry = manager.TryPinReader();
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  // And the recovered slot behaves like any other.
+  EXPECT_TRUE(ValueOrDie(std::move(retry)).active());
+}
+
+TEST(EpochExhaustionTest, ExhaustionDoesNotPoisonTheManager) {
+  EpochManager manager;
+  // Fill, overflow, drain completely, then verify all slots come back.
+  {
+    std::vector<EpochManager::Pin> pins;
+    for (size_t i = 0; i < EpochManager::kMaxReaders; ++i) {
+      pins.push_back(ValueOrDie(manager.TryPinReader()));
+    }
+    EXPECT_EQ(manager.TryPinReader().status().code(),
+              StatusCode::kResourceExhausted);
+  }  // all pins released here
+  std::vector<EpochManager::Pin> pins;
+  for (size_t i = 0; i < EpochManager::kMaxReaders; ++i) {
+    StatusOr<EpochManager::Pin> pin = manager.TryPinReader();
+    ASSERT_TRUE(pin.ok()) << "slot " << i << " not recovered: "
+                          << pin.status().ToString();
+    pins.push_back(ValueOrDie(std::move(pin)));
+  }
+}
+
+TEST(EpochExhaustionTest, TrySnapshotSurfacesExhaustion) {
+  CowPrQuadtree tree(Box2::UnitCube(), PrTreeOptions());
+  ASSERT_TRUE(tree.Insert(Point2(0.25, 0.75)).ok());
+  std::vector<SnapshotView2> snapshots;
+  for (size_t i = 0; i < EpochManager::kMaxReaders; ++i) {
+    StatusOr<SnapshotView2> snapshot = tree.TrySnapshot();
+    ASSERT_TRUE(snapshot.ok()) << "snapshot " << i << ": "
+                               << snapshot.status().ToString();
+    snapshots.push_back(ValueOrDie(std::move(snapshot)));
+  }
+  EXPECT_EQ(tree.TrySnapshot().status().code(),
+            StatusCode::kResourceExhausted);
+
+  // The held snapshots still read correctly while the table is full.
+  EXPECT_EQ(snapshots.front().RangeQuery(Box2::UnitCube()).size(), 1u);
+
+  // Dropping one snapshot frees its slot.
+  snapshots.pop_back();
+  StatusOr<SnapshotView2> retry = tree.TrySnapshot();
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+}  // namespace
+}  // namespace popan::spatial

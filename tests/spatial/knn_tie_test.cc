@@ -1,0 +1,149 @@
+// Regression test for k-NN tie ordering. Equal-distance neighbors used
+// to come back in backend-dependent (traversal) order, so the same query
+// returned different point sets on different structures whenever k cut
+// through a tie group. The fix routes every backend through the shared
+// KnnHeap with the canonical (distance², x, y) key; this test pins that
+// order with ties that are EXACT in binary floating point.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/excell.h"
+#include "spatial/grid_file.h"
+#include "spatial/linear_quadtree.h"
+#include "spatial/point_quadtree.h"
+#include "spatial/pr_tree.h"
+#include "spatial/query_cost.h"
+#include "spatial/snapshot_view.h"
+#include "testing/statusor_testing.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+/// Distances of 0.125 and 0.125*sqrt(2) from the center: every
+/// coordinate and every squared distance is an exact dyadic rational, so
+/// "equidistant" means bitwise-equal doubles, not almost-equal.
+std::vector<Point2> TiePoints() {
+  return {
+      Point2(0.5, 0.5),      // d² = 0
+      Point2(0.625, 0.5),    // axis ring, d² = 0.015625
+      Point2(0.5, 0.625),    //
+      Point2(0.375, 0.5),    //
+      Point2(0.5, 0.375),    //
+      Point2(0.625, 0.625),  // diagonal ring, d² = 0.03125
+      Point2(0.375, 0.625),  //
+      Point2(0.625, 0.375),  //
+      Point2(0.375, 0.375),  //
+  };
+}
+
+double Dist2(const Point2& a, const Point2& b) {
+  double dx = a.x() - b.x();
+  double dy = a.y() - b.y();
+  return dx * dx + dy * dy;
+}
+
+/// The canonical answer: ascending (d², x, y), first k.
+std::vector<Point2> CanonicalNearest(const Point2& target, size_t k) {
+  std::vector<Point2> all = TiePoints();
+  std::sort(all.begin(), all.end(),
+            [&](const Point2& a, const Point2& b) {
+              double da = Dist2(a, target);
+              double db = Dist2(b, target);
+              if (da != db) return da < db;
+              if (a.x() != b.x()) return a.x() < b.x();
+              return a.y() < b.y();
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+void ExpectSamePoints(const std::vector<Point2>& got,
+                      const std::vector<Point2>& want,
+                      const char* backend) {
+  ASSERT_EQ(got.size(), want.size()) << backend;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].x(), want[i].x()) << backend << " rank " << i;
+    EXPECT_EQ(got[i].y(), want[i].y()) << backend << " rank " << i;
+  }
+}
+
+class KnnTieTest : public ::testing::Test {
+ protected:
+  KnnTieTest()
+      : pr_tree_(Box2::UnitCube()),
+        cow_tree_(Box2::UnitCube(), PrTreeOptions()),
+        grid_(Box2::UnitCube()),
+        excell_(Box2::UnitCube()) {
+    // Scrambled insertion order: if any backend fell back to traversal
+    // or insertion order for ties, the canonical expectation would fail.
+    std::vector<Point2> data = TiePoints();
+    std::reverse(data.begin() + 1, data.end());
+    std::swap(data[1], data[4]);
+    for (const Point2& p : data) {
+      EXPECT_TRUE(pr_tree_.Insert(p).ok());
+      EXPECT_TRUE(cow_tree_.Insert(p).ok());
+      EXPECT_TRUE(point_tree_.Insert(p).ok());
+      EXPECT_TRUE(grid_.Insert(p).ok());
+      EXPECT_TRUE(excell_.Insert(p).ok());
+    }
+    linear_tree_ = std::make_unique<LinearPrQuadtree>(
+        ValueOrDie(LinearPrQuadtree::BulkLoad(Box2::UnitCube(), data)));
+  }
+
+  void RunAll(const Point2& target, size_t k) {
+    std::vector<Point2> want = CanonicalNearest(target, k);
+    QueryCost cost;
+    ExpectSamePoints(pr_tree_.NearestK(target, k, &cost), want, "pr_tree");
+    ExpectSamePoints(point_tree_.NearestK(target, k, &cost), want,
+                     "point_quadtree");
+    ExpectSamePoints(linear_tree_->NearestK(target, k, &cost), want,
+                     "linear_pr");
+    ExpectSamePoints(grid_.NearestK(target, k, &cost), want, "grid_file");
+    ExpectSamePoints(excell_.NearestK(target, k, &cost), want, "excell");
+    SnapshotView2 snapshot = ValueOrDie(cow_tree_.TrySnapshot());
+    ExpectSamePoints(snapshot.NearestK(target, k, &cost), want,
+                     "cow_snapshot");
+  }
+
+  PrQuadtree pr_tree_;
+  CowPrQuadtree cow_tree_;
+  PointQuadtree point_tree_;
+  std::unique_ptr<LinearPrQuadtree> linear_tree_;
+  GridFile grid_;
+  Excell excell_;
+};
+
+TEST_F(KnnTieTest, KCutsThroughTheAxisRing) {
+  // k = 3 keeps the center plus TWO of the four equidistant axis points:
+  // exactly the case where the tiebreak decides membership, not just
+  // order. Canonically those are the two smallest (x, y) pairs.
+  RunAll(Point2(0.5, 0.5), 3);
+}
+
+TEST_F(KnnTieTest, FullRingsComeBackInCoordinateOrder) {
+  RunAll(Point2(0.5, 0.5), 5);  // center + whole axis ring
+  RunAll(Point2(0.5, 0.5), 9);  // everything, both rings
+}
+
+TEST_F(KnnTieTest, KCutsThroughTheDiagonalRing) {
+  RunAll(Point2(0.5, 0.5), 7);  // center + axis ring + 2 of 4 diagonals
+}
+
+TEST_F(KnnTieTest, OffCenterTargetStillCanonical) {
+  // From an off-center target the colinear pair (0.375, 0.5) and
+  // (0.625, 0.5) is equidistant; x breaks the tie.
+  RunAll(Point2(0.5, 0.0), 4);
+  RunAll(Point2(0.0, 0.5), 4);
+}
+
+}  // namespace
+}  // namespace popan::spatial

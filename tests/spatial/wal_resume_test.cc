@@ -1,0 +1,149 @@
+// Regression test for resuming a write-ahead log after a torn tail.
+//
+// The failure this pins down: a crash mid-append leaves the log's last
+// line incomplete (no trailing newline). A writer that reopens the file
+// in plain append mode glues its first record onto that partial line,
+// producing a hybrid line whose checksum cannot match — so the NEXT
+// recovery silently discards that record and, because of the resulting
+// sequence gap, everything after it. Durable writes evaporate without
+// any error at write time.
+//
+// The fix is ResumeWalFile: truncate to the intact prefix recovery
+// measured (WalRecovery::valid_bytes) before appending, so resumed
+// records land on a record boundary. This test exercises both paths
+// against a real file.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/wal.h"
+#include "testing/statusor_testing.h"
+#include "util/status.h"
+
+namespace popan::spatial {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+PrTreeOptions SmallOptions() {
+  PrTreeOptions options;
+  options.capacity = 2;
+  options.max_depth = 20;
+  return options;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Writes a 5-record log to `path`, then tears the last record: the file
+/// ends mid-line, exactly like a crash between write() and the newline
+/// reaching disk.
+void WriteTornLog(const std::string& path) {
+  std::ostringstream log;
+  WalWriter writer(&log, Box2::UnitCube(), SmallOptions());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.1, 0.1)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.2, 0.2)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.3, 0.3)).ok());
+  ASSERT_TRUE(writer.LogErase(Point2(0.2, 0.2)).ok());
+  ASSERT_TRUE(writer.LogInsert(Point2(0.4, 0.4)).ok());
+  std::string text = log.str();
+  WriteAll(path, text.substr(0, text.size() - 7));
+}
+
+TEST(WalResumeTest, TornTailIsDetectedAndMeasured) {
+  std::string path = testing::TempDir() + "/popan_wal_torn.log";
+  WriteTornLog(path);
+  WalRecovery recovery = ValueOrDie(ReplayWal(ReadAll(path)));
+  EXPECT_TRUE(recovery.truncated_tail);
+  EXPECT_EQ(recovery.records_applied, 4u);   // record 5 was torn
+  EXPECT_EQ(recovery.last_sequence, 4u);
+  EXPECT_EQ(recovery.next_sequence, 5u);
+  EXPECT_EQ(recovery.tree.size(), 2u);       // 3 inserts - 1 erase
+  EXPECT_LT(recovery.valid_bytes, ReadAll(path).size());
+}
+
+TEST(WalResumeTest, NaiveAppendAfterTearLosesTheResumedRecords) {
+  // The failing-before shape, kept as documentation of WHY ResumeWalFile
+  // truncates: append without truncation and watch the resumed records
+  // vanish at the next recovery.
+  std::string path = testing::TempDir() + "/popan_wal_naive.log";
+  WriteTornLog(path);
+  WalRecovery recovery = ValueOrDie(ReplayWal(ReadAll(path)));
+  {
+    std::ofstream naive(path, std::ios::binary | std::ios::app);
+    WalWriter writer(&naive, Box2::UnitCube(),
+                     WalWriter::ResumeAt{recovery.next_sequence});
+    ASSERT_TRUE(writer.LogInsert(Point2(0.5, 0.5)).ok());
+    ASSERT_TRUE(writer.LogInsert(Point2(0.6, 0.6)).ok());
+  }
+  WalRecovery after = ValueOrDie(ReplayWal(ReadAll(path)));
+  // Record 5 fused with the torn line; record 6 then looks like a
+  // sequence gap. Both "durable" writes are gone.
+  EXPECT_TRUE(after.truncated_tail);
+  EXPECT_EQ(after.records_applied, 4u);
+  EXPECT_EQ(after.tree.size(), 2u);
+}
+
+TEST(WalResumeTest, ResumeWalFileTruncatesThenAppendsCleanly) {
+  std::string path = testing::TempDir() + "/popan_wal_resume.log";
+  WriteTornLog(path);
+  WalRecovery recovery = ValueOrDie(ReplayWal(ReadAll(path)));
+  {
+    std::ofstream resumed =
+        ValueOrDie(ResumeWalFile(path, recovery.valid_bytes));
+    WalWriter writer(&resumed, Box2::UnitCube(),
+                     WalWriter::ResumeAt{recovery.next_sequence});
+    EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.5, 0.5))), 5u);
+    EXPECT_EQ(ValueOrDie(writer.LogInsert(Point2(0.6, 0.6))), 6u);
+  }
+  WalRecovery after = ValueOrDie(ReplayWal(ReadAll(path)));
+  EXPECT_FALSE(after.truncated_tail);
+  EXPECT_EQ(after.records_applied, 6u);
+  EXPECT_EQ(after.last_sequence, 6u);
+  EXPECT_EQ(after.tree.size(), 4u);
+  // A second crash/resume cycle over the SAME file also works: resume is
+  // idempotent over intact logs (valid_bytes == file size, truncation is
+  // a no-op).
+  {
+    std::ofstream resumed =
+        ValueOrDie(ResumeWalFile(path, after.valid_bytes));
+    WalWriter writer(&resumed, Box2::UnitCube(),
+                     WalWriter::ResumeAt{after.next_sequence});
+    EXPECT_EQ(ValueOrDie(writer.LogErase(Point2(0.5, 0.5))), 7u);
+  }
+  WalRecovery final_state = ValueOrDie(ReplayWal(ReadAll(path)));
+  EXPECT_EQ(final_state.records_applied, 7u);
+  EXPECT_EQ(final_state.tree.size(), 3u);
+}
+
+TEST(WalResumeTest, ResumeWalFileRejectsBadArguments) {
+  EXPECT_EQ(ResumeWalFile(testing::TempDir() + "/popan_wal_missing.log", 0)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  std::string path = testing::TempDir() + "/popan_wal_short.log";
+  WriteAll(path, "popan-wal v1\n");
+  // valid_bytes beyond EOF: the recovery result belongs to another file.
+  EXPECT_EQ(ResumeWalFile(path, 1u << 20).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace popan::spatial

@@ -1,0 +1,273 @@
+// popan_client: interactive / scriptable client for popan_server.
+// Reads one command per line from stdin, sends the encoded request, and
+// prints the decoded response (and any subscription notifications that
+// arrive before it). Commands:
+//
+//   insert X Y          erase X Y           batch N X1 Y1 ... XN YN
+//   range LOX LOY HIX HIY               pm AXIS VALUE
+//   knn X Y K           census              ping
+//   subscribe LOX LOY HIX HIY           unsubscribe ID
+//   watch               (block printing notifications until EOF/error)
+//   quit
+//
+//   popan_client HOST PORT
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace {
+
+namespace server = popan::server;
+namespace geo = popan::geo;
+
+class Connection {
+ public:
+  bool Connect(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return false;
+    }
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& frame) {
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t n = ::write(fd_, frame.data() + sent, frame.size() - sent);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocks until one full frame is buffered; returns its payload.
+  bool ReceivePayload(std::string* payload) {
+    for (;;) {
+      size_t offset = 0;
+      std::string_view view;
+      popan::Status error;
+      if (server::NextFrame(buffer_, &offset, &view, &error)) {
+        *payload = std::string(view);
+        buffer_.erase(0, offset);
+        return true;
+      }
+      if (!error.ok()) {
+        std::cerr << "stream error: " << error.ToString() << "\n";
+        return false;
+      }
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+void PrintResponse(const server::Response& response) {
+  if (response.status != 0) {
+    std::cout << "error " << static_cast<int>(response.status) << ": "
+              << response.message << "\n";
+    return;
+  }
+  switch (response.type & 0x7fu) {
+    case static_cast<uint8_t>(server::MsgType::kInsert):
+    case static_cast<uint8_t>(server::MsgType::kErase):
+      std::cout << "ok seq=" << response.sequence << "\n";
+      break;
+    case static_cast<uint8_t>(server::MsgType::kInsertBatch):
+      std::cout << "ok inserted=" << response.inserted
+                << " duplicates=" << response.duplicates
+                << " rejected=" << response.rejected
+                << " seq=" << response.sequence << "\n";
+      break;
+    case static_cast<uint8_t>(server::MsgType::kRange):
+    case static_cast<uint8_t>(server::MsgType::kPartialMatch):
+    case static_cast<uint8_t>(server::MsgType::kNearestK):
+      std::cout << "ok n=" << response.points.size() << " cost["
+                << response.cost.ToString() << "] predicted_nodes="
+                << response.predicted_nodes << "\n";
+      for (const geo::Point2& p : response.points) {
+        std::cout << "  " << p.x() << " " << p.y() << "\n";
+      }
+      break;
+    case static_cast<uint8_t>(server::MsgType::kCensus):
+      std::cout << "ok seq=" << response.sequence
+                << " size=" << response.size
+                << " leaves=" << response.leaf_count
+                << " max_depth=" << response.max_depth
+                << " avg_occupancy=" << response.average_occupancy << "\n";
+      break;
+    case static_cast<uint8_t>(server::MsgType::kSubscribe):
+      std::cout << "ok sub=" << response.sub_id << "\n";
+      break;
+    default:
+      std::cout << "ok\n";
+      break;
+  }
+}
+
+bool PrintOnePayload(const std::string& payload, bool* was_notification) {
+  *was_notification = false;
+  if (!payload.empty() &&
+      static_cast<uint8_t>(payload[0]) ==
+          static_cast<uint8_t>(server::MsgType::kNotification)) {
+    popan::StatusOr<server::Notification> notification =
+        server::DecodeNotificationPayload(payload);
+    if (!notification.ok()) {
+      std::cerr << "bad notification: "
+                << notification.status().ToString() << "\n";
+      return false;
+    }
+    std::cout << "notify sub=" << notification.value().sub_id << " "
+              << notification.value().op << " "
+              << notification.value().point.x() << " "
+              << notification.value().point.y()
+              << " seq=" << notification.value().sequence << "\n";
+    *was_notification = true;
+    return true;
+  }
+  popan::StatusOr<server::Response> response =
+      server::DecodeResponsePayload(payload);
+  if (!response.ok()) {
+    std::cerr << "bad response: " << response.status().ToString() << "\n";
+    return false;
+  }
+  PrintResponse(response.value());
+  return true;
+}
+
+/// Sends `request` and prints frames until its response shows up.
+bool RoundTrip(Connection* conn, const server::Request& request) {
+  if (!conn->Send(server::EncodeRequestFrame(request))) return false;
+  for (;;) {
+    std::string payload;
+    if (!conn->ReceivePayload(&payload)) return false;
+    bool was_notification = false;
+    if (!PrintOnePayload(payload, &was_notification)) return false;
+    if (!was_notification) return true;
+  }
+}
+
+bool ParseCommand(std::istringstream* line, const std::string& verb,
+                  server::Request* request) {
+  using server::MsgType;
+  double a, b, c, d;
+  if (verb == "insert" || verb == "erase") {
+    if (!(*line >> a >> b)) return false;
+    request->type = verb == "insert" ? MsgType::kInsert : MsgType::kErase;
+    request->point = geo::Point2(a, b);
+    return true;
+  }
+  if (verb == "batch") {
+    size_t n = 0;
+    if (!(*line >> n)) return false;
+    request->type = MsgType::kInsertBatch;
+    for (size_t i = 0; i < n; ++i) {
+      if (!(*line >> a >> b)) return false;
+      request->batch.emplace_back(a, b);
+    }
+    return true;
+  }
+  if (verb == "range" || verb == "subscribe") {
+    if (!(*line >> a >> b >> c >> d) || a > c || b > d) return false;
+    request->type =
+        verb == "range" ? MsgType::kRange : MsgType::kSubscribe;
+    request->box = geo::Box2(geo::Point2(a, b), geo::Point2(c, d));
+    return true;
+  }
+  if (verb == "pm") {
+    unsigned axis = 0;
+    if (!(*line >> axis >> a) || axis > 1) return false;
+    request->type = MsgType::kPartialMatch;
+    request->axis = static_cast<uint8_t>(axis);
+    request->value = a;
+    return true;
+  }
+  if (verb == "knn") {
+    uint32_t k = 0;
+    if (!(*line >> a >> b >> k) || k == 0) return false;
+    request->type = MsgType::kNearestK;
+    request->point = geo::Point2(a, b);
+    request->k = k;
+    return true;
+  }
+  if (verb == "unsubscribe") {
+    if (!(*line >> request->sub_id)) return false;
+    request->type = MsgType::kUnsubscribe;
+    return true;
+  }
+  if (verb == "census") {
+    request->type = MsgType::kCensus;
+    return true;
+  }
+  if (verb == "ping") {
+    request->type = MsgType::kPing;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: popan_client HOST PORT\n";
+    return 2;
+  }
+  Connection conn;
+  if (!conn.Connect(argv[1], static_cast<uint16_t>(std::atoi(argv[2])))) {
+    std::cerr << "cannot connect to " << argv[1] << ":" << argv[2] << "\n";
+    return 1;
+  }
+  std::string text;
+  while (std::getline(std::cin, text)) {
+    std::istringstream line(text);
+    std::string verb;
+    if (!(line >> verb) || verb[0] == '#') continue;
+    if (verb == "quit") break;
+    if (verb == "watch") {
+      std::string payload;
+      bool was_notification = false;
+      while (conn.ReceivePayload(&payload) &&
+             PrintOnePayload(payload, &was_notification)) {
+      }
+      continue;
+    }
+    server::Request request;
+    if (!ParseCommand(&line, verb, &request)) {
+      std::cerr << "bad command: " << text << "\n";
+      continue;
+    }
+    if (!RoundTrip(&conn, request)) {
+      std::cerr << "connection lost\n";
+      return 1;
+    }
+  }
+  return 0;
+}
