@@ -170,6 +170,8 @@ int main() {
     for (size_t r = 0; r < readers; ++r) pins.push_back(tree.Snapshot());
 
     std::vector<uint64_t> checksums(readers, 0);
+    // Scaling bench: one raw thread per reader so the measured curve is
+    // thread count, not pool scheduling. popan-lint: allow(raw-thread-spawn)
     std::vector<std::thread> reader_threads;
     reader_threads.reserve(readers);
     std::atomic<uint64_t> queries_done{0};

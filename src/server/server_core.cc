@@ -56,12 +56,14 @@ ServerCore::ServerCore(const geo::Box2& bounds,
 }
 
 uint64_t ServerCore::OpenClient() {
+  popan::AssumeRole command(command_role_);
   uint64_t id = next_client_id_++;
   clients_.emplace(id, ClientState{});
   return id;
 }
 
 Status ServerCore::CloseClient(uint64_t client_id) {
+  popan::AssumeRole command(command_role_);
   auto it = clients_.find(client_id);
   if (it == clients_.end()) {
     return Status::NotFound("unknown client " + std::to_string(client_id));
@@ -76,6 +78,7 @@ Status ServerCore::CloseClient(uint64_t client_id) {
 }
 
 Status ServerCore::ConsumeBytes(uint64_t client_id, std::string_view bytes) {
+  popan::AssumeRole command(command_role_);
   auto it = clients_.find(client_id);
   if (it == clients_.end()) {
     return Status::NotFound("unknown client " + std::to_string(client_id));
@@ -90,7 +93,7 @@ Status ServerCore::ConsumeBytes(uint64_t client_id, std::string_view bytes) {
   while (NextFrame(it->second.inbox, &offset, &payload, &frame_error)) {
     StatusOr<Request> request = DecodeRequestPayload(payload);
     if (request.ok()) {
-      HandleRequest(client_id, request.value());
+      HandleRequestLocked(client_id, request.value());
     } else {
       // Framing is intact, the payload is not: answer and carry on.
       MsgType type = payload.empty() ? MsgType::kPing
@@ -105,26 +108,32 @@ Status ServerCore::ConsumeBytes(uint64_t client_id, std::string_view bytes) {
 }
 
 void ServerCore::HandleRequest(uint64_t client_id, const Request& request) {
+  popan::AssumeRole command(command_role_);
+  HandleRequestLocked(client_id, request);
+}
+
+void ServerCore::HandleRequestLocked(uint64_t client_id,
+                                     const Request& request) {
   auto it = clients_.find(client_id);
   POPAN_CHECK(it != clients_.end()) << "request from unopened client";
   if (IsReadKind(request.type)) {
-    StatusOr<PreparedRead> prepared = PrepareRead(request);
+    StatusOr<PreparedRead> prepared = PrepareReadLocked(request);
     if (!prepared.ok()) {
-      SubmitResponse(client_id,
-                     ErrorResponse(request.type, prepared.status()));
+      SubmitResponseLocked(client_id,
+                           ErrorResponse(request.type, prepared.status()));
       return;
     }
-    SubmitResponse(client_id, CompleteRead(prepared.value()));
+    SubmitResponseLocked(client_id, CompleteRead(prepared.value()));
     return;
   }
   switch (request.type) {
     case MsgType::kInsert:
     case MsgType::kErase:
     case MsgType::kInsertBatch:
-      SubmitResponse(client_id, HandleWrite(client_id, request));
+      SubmitResponseLocked(client_id, HandleWrite(client_id, request));
       return;
     case MsgType::kSubscribe:
-      SubmitResponse(client_id, HandleSubscribe(client_id, request));
+      SubmitResponseLocked(client_id, HandleSubscribe(client_id, request));
       return;
     case MsgType::kUnsubscribe: {
       Response response;
@@ -133,7 +142,7 @@ void ServerCore::HandleRequest(uint64_t client_id, const Request& request) {
       if (owner == sub_owner_.end() || owner->second != client_id) {
         // A client can only drop its own subscriptions; an id owned by
         // another connection is indistinguishable from a dead one.
-        SubmitResponse(
+        SubmitResponseLocked(
             client_id,
             ErrorResponse(request.type,
                           Status::NotFound(
@@ -147,25 +156,30 @@ void ServerCore::HandleRequest(uint64_t client_id, const Request& request) {
       sub_owner_.erase(owner);
       std::vector<uint64_t>& owned = it->second.sub_ids;
       owned.erase(std::find(owned.begin(), owned.end(), request.sub_id));
-      SubmitResponse(client_id, response);
+      SubmitResponseLocked(client_id, response);
       return;
     }
     case MsgType::kPing: {
       Response response;
       response.type = ResponseTypeFor(request.type);
-      SubmitResponse(client_id, response);
+      SubmitResponseLocked(client_id, response);
       return;
     }
     default:
-      SubmitResponse(client_id,
-                     ErrorResponse(request.type,
-                                   Status::InvalidArgument(
-                                       "type is not a request")));
+      SubmitResponseLocked(client_id,
+                           ErrorResponse(request.type,
+                                         Status::InvalidArgument(
+                                             "type is not a request")));
       return;
   }
 }
 
 StatusOr<PreparedRead> ServerCore::PrepareRead(const Request& request) {
+  popan::AssumeRole command(command_role_);
+  return PrepareReadLocked(request);
+}
+
+StatusOr<PreparedRead> ServerCore::PrepareReadLocked(const Request& request) {
   if (!IsReadKind(request.type)) {
     return Status::InvalidArgument("not a read-kind request");
   }
@@ -223,18 +237,26 @@ Response ServerCore::CompleteRead(const PreparedRead& prepared) {
 
 void ServerCore::SubmitResponse(uint64_t client_id,
                                 const Response& response) {
+  popan::AssumeRole command(command_role_);
+  SubmitResponseLocked(client_id, response);
+}
+
+void ServerCore::SubmitResponseLocked(uint64_t client_id,
+                                      const Response& response) {
   auto it = clients_.find(client_id);
   if (it == clients_.end()) return;  // client vanished mid-flight
   it->second.outbox += EncodeResponseFrame(response);
 }
 
 std::string ServerCore::TakeOutput(uint64_t client_id) {
+  popan::AssumeRole command(command_role_);
   auto it = clients_.find(client_id);
   if (it == clients_.end()) return std::string();
   return std::exchange(it->second.outbox, std::string());
 }
 
 std::vector<uint64_t> ServerCore::ClientsWithOutput() const {
+  popan::AssumeRole command(command_role_);
   std::vector<uint64_t> ids;
   for (const auto& [id, state] : clients_) {
     if (!state.outbox.empty()) ids.push_back(id);

@@ -15,8 +15,10 @@
 #include "spatial/pr_tree.h"
 #include "spatial/snapshot_view.h"
 #include "spatial/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace popan::server {
 
@@ -38,7 +40,12 @@ struct PreparedRead {
 /// thread (the socket poll loop, or the simulator's issuing loop) EXCEPT
 /// the static CompleteRead, which is safe on any thread because a
 /// PreparedRead's snapshot is already pinned. This mirrors the
-/// storage-engine split: serial command log, parallel reads.
+/// storage-engine split: serial command log, parallel reads. The contract
+/// is expressed as a ThreadRole capability: all mutable state is
+/// GUARDED_BY(command_role_), every entry point opens an AssumeRole
+/// scope, and internal helpers carry REQUIRES(command_role_) — so under
+/// clang -Wthread-safety a new code path that touches server state
+/// without declaring its affinity fails the build.
 ///
 /// Write path ordering: validate -> apply to the tree -> append to the
 /// WAL -> match subscriptions -> enqueue notifications. Validation
@@ -107,11 +114,26 @@ class ServerCore {
   /// arm POLLOUT only where needed.
   std::vector<uint64_t> ClientsWithOutput() const;
 
-  uint64_t sequence() const { return tree_.sequence(); }
-  size_t size() const { return tree_.size(); }
-  const spatial::CowPrQuadtree& tree() const { return tree_; }
-  const SubscriptionIndex& subscriptions() const { return subs_; }
-  uint64_t notifications_sent() const { return notifications_sent_; }
+  uint64_t sequence() const {
+    popan::AssumeRole command(command_role_);
+    return tree_.sequence();
+  }
+  size_t size() const {
+    popan::AssumeRole command(command_role_);
+    return tree_.size();
+  }
+  const spatial::CowPrQuadtree& tree() const {
+    popan::AssumeRole command(command_role_);
+    return tree_;
+  }
+  const SubscriptionIndex& subscriptions() const {
+    popan::AssumeRole command(command_role_);
+    return subs_;
+  }
+  uint64_t notifications_sent() const {
+    popan::AssumeRole command(command_role_);
+    return notifications_sent_;
+  }
 
  private:
   struct ClientState {
@@ -120,20 +142,37 @@ class ServerCore {
     std::vector<uint64_t> sub_ids;  ///< subscriptions this client owns
   };
 
-  Response HandleWrite(uint64_t client_id, const Request& request);
-  Response HandleSubscribe(uint64_t client_id, const Request& request);
+  // REQUIRES bodies behind the public entry points above: public methods
+  // call each other (ConsumeBytes -> HandleRequest -> SubmitResponse), so
+  // the AssumeRole scope opens once at the outermost entry and the inner
+  // hops stay annotation-checked without re-acquiring the capability.
+  void HandleRequestLocked(uint64_t client_id, const Request& request)
+      REQUIRES(command_role_);
+  [[nodiscard]] StatusOr<PreparedRead> PrepareReadLocked(
+      const Request& request) REQUIRES(command_role_);
+  void SubmitResponseLocked(uint64_t client_id, const Response& response)
+      REQUIRES(command_role_);
+  Response HandleWrite(uint64_t client_id, const Request& request)
+      REQUIRES(command_role_);
+  Response HandleSubscribe(uint64_t client_id, const Request& request)
+      REQUIRES(command_role_);
   /// Appends one notification frame per subscription matching `p` (in
   /// ascending subscription-id order) to the owning clients' outboxes.
-  void NotifyWrite(char op, const geo::Point2& p, uint64_t sequence);
+  void NotifyWrite(char op, const geo::Point2& p, uint64_t sequence)
+      REQUIRES(command_role_);
 
-  spatial::CowPrQuadtree tree_;
-  spatial::WalWriter* wal_;
-  SubscriptionIndex subs_;
-  std::map<uint64_t, ClientState> clients_;  // ordered: deterministic scans
-  std::map<uint64_t, uint64_t> sub_owner_;   // subscription id -> client id
-  uint64_t next_client_id_ = 1;
-  uint64_t notifications_sent_ = 0;
-  std::vector<uint64_t> match_scratch_;
+  /// The command thread's affinity capability (see threading contract).
+  popan::ThreadRole command_role_;
+  spatial::CowPrQuadtree tree_ GUARDED_BY(command_role_);
+  spatial::WalWriter* wal_ PT_GUARDED_BY(command_role_);
+  SubscriptionIndex subs_ GUARDED_BY(command_role_);
+  // Ordered: deterministic scans.
+  std::map<uint64_t, ClientState> clients_ GUARDED_BY(command_role_);
+  // Subscription id -> client id.
+  std::map<uint64_t, uint64_t> sub_owner_ GUARDED_BY(command_role_);
+  uint64_t next_client_id_ GUARDED_BY(command_role_) = 1;
+  uint64_t notifications_sent_ GUARDED_BY(command_role_) = 0;
+  std::vector<uint64_t> match_scratch_ GUARDED_BY(command_role_);
 };
 
 }  // namespace popan::server

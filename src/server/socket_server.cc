@@ -31,11 +31,15 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
-SocketServer::SocketServer(ServerCore* core) : core_(core) {
+SocketServer::SocketServer(ServerCore* core, size_t max_pending_out)
+    : core_(core), max_pending_out_(max_pending_out) {
   POPAN_CHECK(core != nullptr);
+  POPAN_CHECK(max_pending_out > 0);
 }
 
 SocketServer::~SocketServer() {
+  // Destruction implies Serve() has returned; the command role is free.
+  popan::AssumeRole command(command_role_);
   for (auto& [fd, conn] : connections_) {
     ::close(fd);
     (void)conn;
@@ -46,6 +50,7 @@ SocketServer::~SocketServer() {
 }
 
 StatusOr<uint16_t> SocketServer::Listen(uint16_t port) {
+  popan::AssumeRole command(command_role_);
   POPAN_CHECK(listen_fd_ < 0) << "Listen called twice";
   if (::pipe(wake_pipe_) != 0) return ErrnoStatus("pipe");
   if (!SetNonBlocking(wake_pipe_[0])) return ErrnoStatus("pipe fcntl");
@@ -72,6 +77,7 @@ StatusOr<uint16_t> SocketServer::Listen(uint16_t port) {
 }
 
 Status SocketServer::Serve() {
+  popan::AssumeRole command(command_role_);
   POPAN_CHECK(listen_fd_ >= 0) << "Serve before Listen";
   while (!stop_requested_.load(std::memory_order_acquire)) {
     std::vector<pollfd> fds;
@@ -165,9 +171,14 @@ bool SocketServer::ReadFrom(Connection* conn) {
 }
 
 bool SocketServer::FlushTo(Connection* conn) {
+  // Backpressure: a consumer that let this much queue up is not draining;
+  // drop it rather than buffer without bound.
+  if (conn->pending_out.size() > max_pending_out_) return false;
   while (!conn->pending_out.empty()) {
-    ssize_t n = ::write(conn->fd, conn->pending_out.data(),
-                        conn->pending_out.size());
+    // MSG_NOSIGNAL: a peer that disconnected mid-flush must surface as
+    // EPIPE on this connection, not as a process-killing SIGPIPE.
+    ssize_t n = ::send(conn->fd, conn->pending_out.data(),
+                       conn->pending_out.size(), MSG_NOSIGNAL);
     if (n > 0) {
       conn->pending_out.erase(0, static_cast<size_t>(n));
       continue;

@@ -7,8 +7,10 @@
 #include <string>
 
 #include "server/server_core.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace popan::server {
 
@@ -18,28 +20,47 @@ namespace popan::server {
 /// from the transport. Connections map 1:1 to ServerCore clients; a
 /// framing violation or peer hangup closes the connection and drops its
 /// subscriptions.
+///
+/// Thread affinity is expressed as a capability: everything the command
+/// thread owns is GUARDED_BY(command_role_), so under clang
+/// -Wthread-safety a new method touching the connection table without
+/// declaring the affinity fails the build. The only any-thread entry
+/// points are RequestStop() (atomic flag + self-pipe) and the destructor
+/// of an already-stopped server.
 class SocketServer {
  public:
-  /// `core` must outlive the server.
-  explicit SocketServer(ServerCore* core);
+  /// Queued-output ceiling per connection. A subscriber that never drains
+  /// its socket would otherwise grow pending_out without bound; past the
+  /// cap the connection is dropped (and its subscriptions with it), which
+  /// is the backpressure policy a slow consumer signed up for.
+  static constexpr size_t kDefaultMaxPendingOut = 4 * 1024 * 1024;
+
+  /// `core` must outlive the server. `max_pending_out` overrides the
+  /// per-connection output cap (tests use a small one).
+  explicit SocketServer(ServerCore* core,
+                        size_t max_pending_out = kDefaultMaxPendingOut);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
   /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral); returns the
-  /// actual port.
+  /// actual port. Command thread.
   [[nodiscard]] StatusOr<uint16_t> Listen(uint16_t port);
 
   /// Runs the poll loop until RequestStop() is called (from any thread)
-  /// or an unrecoverable listener error occurs.
+  /// or an unrecoverable listener error occurs. Command thread.
   [[nodiscard]] Status Serve();
 
   /// Wakes the poll loop and makes Serve() return. Safe from any thread
   /// and from signal-free contexts (writes one byte to a self-pipe).
   void RequestStop();
 
-  size_t connection_count() const { return connections_.size(); }
+  /// Command thread (reads the connection table).
+  size_t connection_count() const {
+    popan::AssumeRole command(command_role_);
+    return connections_.size();
+  }
 
  private:
   struct Connection {
@@ -48,19 +69,28 @@ class SocketServer {
     std::string pending_out;  ///< bytes the socket would not yet take
   };
 
-  void AcceptNew();
+  void AcceptNew() REQUIRES(command_role_);
   /// Reads what is available; returns false when the connection is done
   /// (EOF, error, or protocol poison) and must be closed.
-  bool ReadFrom(Connection* conn);
-  /// Flushes queued output; returns false on a dead socket.
-  bool FlushTo(Connection* conn);
-  void CloseConnection(int fd);
+  bool ReadFrom(Connection* conn) REQUIRES(command_role_);
+  /// Flushes queued output; returns false on a dead socket or when the
+  /// queue exceeded max_pending_out_.
+  bool FlushTo(Connection* conn) REQUIRES(command_role_);
+  void CloseConnection(int fd) REQUIRES(command_role_);
 
-  ServerCore* core_;
-  int listen_fd_ = -1;
+  ServerCore* core_;  // set once in the ctor, never reseated
+  const size_t max_pending_out_;
+  /// The poll-loop thread's affinity capability (see class comment).
+  popan::ThreadRole command_role_;
+  int listen_fd_ GUARDED_BY(command_role_) = -1;
+  /// [0] is drained by the command thread; [1] is written by RequestStop
+  /// from any thread. Both ends are set once in Listen (before Serve can
+  /// run) and closed only in the destructor, so the fds themselves need
+  /// no guard.
   int wake_pipe_[2] = {-1, -1};
-  std::atomic<bool> stop_requested_{false};
-  std::map<int, Connection> connections_;  // keyed by fd; ordered scans
+  std::atomic<bool> stop_requested_{false};  // any thread, explicit orders
+  // Keyed by fd; ordered scans.
+  std::map<int, Connection> connections_ GUARDED_BY(command_role_);
 };
 
 }  // namespace popan::server

@@ -1,9 +1,7 @@
 #include "server/traffic_sim.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,7 +11,9 @@
 #include "server/protocol.h"
 #include "server/server_core.h"
 #include "util/check.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace popan::server {
 
@@ -29,7 +29,10 @@ constexpr size_t kMaxOutstandingReads = 32;
 
 /// One deferred read: prepared serially, completed by any worker. The
 /// worker releases the snapshot pin (prepared.reset()) before raising
-/// `done`, so "done" implies "epoch slot free".
+/// `done`, so "done" implies "epoch slot free". `frame` and `done` are
+/// guarded by the owning ReadPool's mu_ (GUARDED_BY cannot name another
+/// object's capability, so the contract is enforced at the pool's
+/// annotated access sites instead).
 struct ReadSlot {
   std::optional<PreparedRead> prepared;
   std::string frame;
@@ -49,28 +52,28 @@ class ReadPool {
   ~ReadPool() { Drain(); }
 
   /// Hands a slot to the pool (or completes it inline with no workers).
-  void Submit(ReadSlot* slot) {
+  void Submit(ReadSlot* slot) EXCLUDES(mu_) {
     if (workers_.empty()) {
       Complete(slot);
       return;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    popan::MutexLock lock(mu_);
     jobs_.push_back(slot);
-    jobs_cv_.notify_one();
+    jobs_cv_.NotifyOne();
   }
 
   /// Blocks until `slot` is completed and its pin released.
-  void WaitFor(ReadSlot* slot) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [slot] { return slot->done; });
+  void WaitFor(ReadSlot* slot) EXCLUDES(mu_) {
+    popan::MutexLock lock(mu_);
+    while (!slot->done) done_cv_.Wait(lock);
   }
 
   /// Stops the workers after the queue empties and joins them.
-  void Drain() {
+  void Drain() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      popan::MutexLock lock(mu_);
       stopping_ = true;
-      jobs_cv_.notify_all();
+      jobs_cv_.NotifyAll();
     }
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
@@ -79,13 +82,12 @@ class ReadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     for (;;) {
       ReadSlot* slot = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        jobs_cv_.wait(lock,
-                      [this] { return stopping_ || !jobs_.empty(); });
+        popan::MutexLock lock(mu_);
+        while (!stopping_ && jobs_.empty()) jobs_cv_.Wait(lock);
         if (jobs_.empty()) return;  // stopping and drained
         slot = jobs_.front();
         jobs_.pop_front();
@@ -94,22 +96,22 @@ class ReadPool {
     }
   }
 
-  void Complete(ReadSlot* slot) {
+  void Complete(ReadSlot* slot) EXCLUDES(mu_) {
     Response response = ServerCore::CompleteRead(*slot->prepared);
     std::string frame = EncodeResponseFrame(response);
-    std::lock_guard<std::mutex> lock(mu_);
+    popan::MutexLock lock(mu_);
     slot->frame = std::move(frame);
     slot->prepared.reset();  // release the epoch pin before signaling
     slot->done = true;
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 
-  std::mutex mu_;
-  std::condition_variable jobs_cv_;
-  std::condition_variable done_cv_;
-  std::deque<ReadSlot*> jobs_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  popan::Mutex mu_;
+  popan::CondVar jobs_cv_;
+  popan::CondVar done_cv_;
+  std::deque<ReadSlot*> jobs_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // spawned in ctor, joined in Drain
 };
 
 /// Per-client issuing state, all touched only by the serial loop.

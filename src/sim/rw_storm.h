@@ -26,6 +26,14 @@ namespace popan::sim {
 ///
 /// The storm is the TSan target in CI: every head publication, epoch pin,
 /// and limbo reclamation runs here under maximal reader pressure.
+///
+/// Concurrency discipline: the harness owns no mutexes — cross-thread
+/// state is exactly one atomic progress counter (explicitly-ordered, see
+/// the atomic-implicit-ordering lint rule) plus per-reader record slots
+/// that only their owning thread touches before the join. This file is an
+/// allowlisted raw-thread-spawn site (popan_lint's raw-thread-spawn
+/// rule): the storm needs real unpooled threads so TSan observes the
+/// exact pin/publish interleavings the epoch proof talks about.
 
 /// One operation of a storm trace.
 struct StormOp {

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    popan::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -29,33 +29,33 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    popan::MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  popan::MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      popan::MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) work_cv_.Wait(lock);
       if (tasks_.empty()) return;  // stop_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      popan::MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) idle_cv_.notify_all();
+      if (in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -76,25 +76,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   // chunk is still executing. Chunks are coarse units of work (a full
   // simulation trial or more), so the claim lock is not a bottleneck.
   struct LoopState {
-    std::function<void(size_t)> fn;
-    size_t n = 0;
-    size_t grain = 1;
-    std::mutex mu;
-    std::condition_variable done;
-    size_t next = 0;     // first unclaimed index
-    size_t running = 0;  // participants currently executing a chunk
-    std::exception_ptr error;
+    std::function<void(size_t)> fn;  // set before sharing, then read-only
+    popan::Mutex mu;
+    popan::CondVar done;
+    size_t n GUARDED_BY(mu) = 0;
+    size_t grain GUARDED_BY(mu) = 1;
+    size_t next GUARDED_BY(mu) = 0;     // first unclaimed index
+    size_t running GUARDED_BY(mu) = 0;  // participants executing a chunk
+    std::exception_ptr error GUARDED_BY(mu);
   };
   auto state = std::make_shared<LoopState>();
   state->fn = fn;
-  state->n = n;
-  state->grain = grain;
+  {
+    // Not yet shared, but the annotations don't know that: take the
+    // (uncontended) lock so the guarded writes are visibly disciplined.
+    popan::MutexLock lock(state->mu);
+    state->n = n;
+    state->grain = grain;
+  }
 
   auto body = [](const std::shared_ptr<LoopState>& s) {
     for (;;) {
       size_t begin, end;
       {
-        std::lock_guard<std::mutex> lock(s->mu);
+        popan::MutexLock lock(s->mu);
         if (s->next >= s->n) break;
         begin = s->next;
         end = std::min(s->n, begin + s->grain);
@@ -104,15 +109,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       try {
         for (size_t i = begin; i < end; ++i) s->fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mu);
+        popan::MutexLock lock(s->mu);
         if (!s->error) s->error = std::current_exception();
         s->next = s->n;  // cancel the unclaimed chunks
       }
       {
-        std::lock_guard<std::mutex> lock(s->mu);
+        popan::MutexLock lock(s->mu);
         --s->running;
       }
-      s->done.notify_all();
+      s->done.NotifyAll();
     }
   };
 
@@ -123,10 +128,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   }
   body(state);  // the calling thread participates
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock,
-                   [&] { return state->next >= state->n && state->running == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  std::exception_ptr error;
+  {
+    popan::MutexLock lock(state->mu);
+    while (state->next < state->n || state->running != 0) {
+      state->done.Wait(lock);
+    }
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace popan::sim

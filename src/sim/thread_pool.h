@@ -1,13 +1,14 @@
 #ifndef POPAN_SIM_THREAD_POOL_H_
 #define POPAN_SIM_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace popan::sim {
 
@@ -34,10 +35,10 @@ class ThreadPool {
 
   /// Enqueues one task. With zero workers the task runs inline before
   /// Submit returns.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Runs fn(i) for every i in [0, n), handing out chunks of `grain`
   /// consecutive indices to the workers and to the calling thread, and
@@ -45,18 +46,18 @@ class ThreadPool {
   /// remaining indices are abandoned and the first exception observed is
   /// rethrown on the calling thread.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   size_t grain = 1);
+                   size_t grain = 1) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers: task ready / stop
-  std::condition_variable idle_cv_;  // signals Wait(): pool went quiescent
-  std::queue<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // set in ctor, joined in dtor only
+  popan::Mutex mu_;
+  popan::CondVar work_cv_;  // signals workers: task ready / stop
+  popan::CondVar idle_cv_;  // signals Wait(): pool went quiescent
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace popan::sim

@@ -58,6 +58,7 @@ void EpochManager::ReleaseSlot(size_t slot) {
 }
 
 void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  popan::AssumeRole writer(writer_role_);
   limbo_.push_back(LimboEntry{current_epoch(), ptr, deleter});
   objects_retired_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -78,6 +79,7 @@ uint64_t EpochManager::MinPinnedEpoch(uint64_t fallback) const {
 }
 
 size_t EpochManager::Reclaim() {
+  popan::AssumeRole writer(writer_role_);
   uint64_t bound = MinPinnedEpoch(current_epoch());
   size_t freed = 0;
   while (!limbo_.empty() && limbo_.front().epoch < bound) {
@@ -93,6 +95,7 @@ size_t EpochManager::Reclaim() {
 }
 
 size_t EpochManager::ReclaimAll() {
+  popan::AssumeRole writer(writer_role_);
   size_t freed = 0;
   while (!limbo_.empty()) {
     LimboEntry entry = limbo_.front();

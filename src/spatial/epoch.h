@@ -7,7 +7,9 @@
 #include <cstdint>
 #include <deque>
 
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace popan::spatial {
 
@@ -43,7 +45,10 @@ namespace popan::spatial {
 ///
 /// Threading contract:
 ///  - Retire / AdvanceEpoch / Reclaim / ReclaimAll: the single writer
-///    thread only (the limbo list is deliberately unsynchronized).
+///    thread only (the limbo list is deliberately unsynchronized). The
+///    limbo list is GUARDED_BY(writer_role_), a ThreadRole capability:
+///    under clang -Wthread-safety any method that touches it without
+///    opening an AssumeRole scope fails the build.
 ///  - Pin / unpin (Pin destructor): any thread, any number up to
 ///    kMaxReaders concurrent pins.
 ///  - Counters (current_epoch, epochs_advanced, ...): any thread.
@@ -165,7 +170,10 @@ class EpochManager {
 
   /// Retired-but-not-yet-freed objects. Writer thread only (reads the
   /// unsynchronized limbo list).
-  size_t limbo_size() const { return limbo_.size(); }
+  size_t limbo_size() const {
+    popan::AssumeRole writer(writer_role_);
+    return limbo_.size();
+  }
 
   /// The smallest epoch any active reader has pinned, or `fallback` when
   /// no reader is pinned. Any-thread safe; the writer's reclamation bound.
@@ -189,9 +197,13 @@ class EpochManager {
 
   std::atomic<uint64_t> global_epoch_{1};
   std::array<ReaderSlot, kMaxReaders> slots_;
-  // Writer-only. Tags are nondecreasing (the epoch is monotone), so the
-  // reclaimable entries are always a prefix.
-  std::deque<LimboEntry> limbo_;
+  /// The single-writer affinity contract, as a checkable capability: every
+  /// access to limbo_ must sit inside a popan::AssumeRole scope naming
+  /// this role. See the threading contract above.
+  popan::ThreadRole writer_role_;
+  // Tags are nondecreasing (the epoch is monotone), so the reclaimable
+  // entries are always a prefix.
+  std::deque<LimboEntry> limbo_ GUARDED_BY(writer_role_);
   std::atomic<uint64_t> epochs_advanced_{0};
   std::atomic<uint64_t> objects_retired_{0};
   std::atomic<uint64_t> objects_reclaimed_{0};

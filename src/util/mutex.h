@@ -1,0 +1,114 @@
+#ifndef POPAN_UTIL_MUTEX_H_
+#define POPAN_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace popan {
+
+/// Capability-annotated wrappers over std::mutex / std::condition_variable.
+///
+/// libstdc++'s std::mutex carries no capability attributes, so clang's
+/// -Wthread-safety cannot see a std::lock_guard acquire it and GUARDED_BY
+/// declarations against a bare std::mutex go unenforced. These thin
+/// wrappers restore the analysis: Mutex is a CAPABILITY, MutexLock is the
+/// SCOPED_CAPABILITY RAII guard, and CondVar::Wait keeps the capability
+/// held across the wakeup (as condition_variable::wait does in reality).
+///
+/// Usage mirrors the std types:
+///
+///   popan::Mutex mu_;
+///   int value_ GUARDED_BY(mu_);
+///   ...
+///   popan::MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(lock);   // explicit predicate loop
+///   ++value_;
+///
+/// Predicate-lambda waits (cv.wait(lock, [&]{...})) are deliberately not
+/// offered: clang analyzes the lambda body as a separate function with no
+/// capability context, so guarded reads inside it would need annotation
+/// escape hatches. An explicit while-loop keeps the predicate inside the
+/// locked scope the analysis already understands.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // The wrapper is the one place that may touch the raw mutex directly.
+  void Lock() ACQUIRE() { mu_.lock(); }      // popan-lint: allow(raw-mutex-lock)
+  void Unlock() RELEASE() { mu_.unlock(); }  // popan-lint: allow(raw-mutex-lock)
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII guard over popan::Mutex; the annotated analogue of
+/// std::unique_lock<std::mutex> (and usable with CondVar::Wait).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to popan::MutexLock. Wait atomically releases
+/// and reacquires the lock; from the analysis's point of view the
+/// capability stays held across the call, which matches the invariant the
+/// caller relies on (guarded state may only be examined after Wait
+/// returns, when the lock is held again).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime lock behind it: a compile-time marker for
+/// thread-affinity contracts ("writer thread only", "command thread
+/// only"). State tagged GUARDED_BY(some ThreadRole) may only be touched
+/// inside an AssumeRole scope, turning a prose contract into a checked
+/// declaration — any new method that reaches the guarded state without
+/// explicitly assuming the role fails the -Wthread-safety build. The
+/// single-thread property itself is still the caller's obligation (and
+/// what the TSan storm matrix exercises); the annotation makes the
+/// obligation visible and greppable at every access site.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// RAII declaration that the current scope runs on the thread owning
+/// `role`. Zero-cost: both constructor and destructor are empty; only the
+/// analysis sees the acquire/release.
+class SCOPED_CAPABILITY AssumeRole {
+ public:
+  explicit AssumeRole([[maybe_unused]] const ThreadRole& role)
+      ACQUIRE(role) {}
+  ~AssumeRole() RELEASE() {}
+
+  AssumeRole(const AssumeRole&) = delete;
+  AssumeRole& operator=(const AssumeRole&) = delete;
+};
+
+}  // namespace popan
+
+#endif  // POPAN_UTIL_MUTEX_H_

@@ -34,15 +34,30 @@ using popan::ValueOrDie;
 /// payloads one at a time.
 class TestClient {
  public:
-  bool Connect(uint16_t port) {
+  bool Connect(uint16_t port, int rcvbuf_bytes = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
+    if (rcvbuf_bytes > 0) {
+      // Shrink the receive window (before connect, so the handshake
+      // advertises it): a non-draining peer then backs the server up into
+      // its userspace pending_out queue within a few kilobytes.
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
     return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
                      sizeof(addr)) == 0;
+  }
+
+  /// Close with SO_LINGER zero: the kernel sends RST instead of FIN, so
+  /// the server's next send() hits a hard-dead socket.
+  void HardClose() {
+    struct linger hard {1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    Close();
   }
 
   ~TestClient() { Close(); }
@@ -105,6 +120,9 @@ TEST(SocketServerTest, EndToEndWithNotificationsAndShutdown) {
   SocketServer server(&core);
   uint16_t port = ValueOrDie(server.Listen(0));
   ASSERT_GT(port, 0);
+  // The transport needs a real dedicated thread: Serve() blocks in poll()
+  // until RequestStop(), which a pooled task must never do.
+  // popan-lint: allow(raw-thread-spawn)
   std::thread serve_thread([&server] {
     Status status = server.Serve();
     EXPECT_TRUE(status.ok()) << status.ToString();
@@ -169,6 +187,8 @@ TEST(SocketServerTest, PoisonedStreamClosesOnlyThatConnection) {
   ServerCore core(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)), options);
   SocketServer server(&core);
   uint16_t port = ValueOrDie(server.Listen(0));
+  // Dedicated transport thread (blocks in poll; see above).
+  // popan-lint: allow(raw-thread-spawn)
   std::thread serve_thread([&server] { (void)server.Serve(); });
 
   TestClient good;
@@ -185,6 +205,124 @@ TEST(SocketServerTest, PoisonedStreamClosesOnlyThatConnection) {
   EXPECT_FALSE(evil.ReceivePayload(&dead));  // EOF from the server
 
   // The good client is unaffected.
+  Request ping;
+  ping.type = MsgType::kPing;
+  ASSERT_TRUE(good.Send(EncodeRequestFrame(ping)));
+  EXPECT_EQ(good.ReceiveResponse().type, ResponseTypeFor(MsgType::kPing));
+
+  server.RequestStop();
+  serve_thread.join();
+}
+
+/// Pipelines `count` inserts on distinct points and drains the
+/// responses, leaving `count` points in the tree for fat range replies.
+void InsertGrid(TestClient* writer, int count) {
+  std::string batch;
+  for (int i = 0; i < count; ++i) {
+    Request insert;
+    insert.type = MsgType::kInsert;
+    insert.point = Point2(0.001 + (i % 30) * 0.033,
+                          0.001 + (i / 30) * 0.033);
+    batch += EncodeRequestFrame(insert);
+  }
+  ASSERT_TRUE(writer->Send(batch));
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(writer->ReceiveResponse().status, 0) << i;
+  }
+}
+
+TEST(SocketServerTest, DeadPeerWithQueuedOutputIsDroppedNotFatal) {
+  spatial::PrTreeOptions options;
+  options.capacity = 4;
+  ServerCore core(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)), options);
+  SocketServer server(&core);
+  uint16_t port = ValueOrDie(server.Listen(0));
+  // Dedicated transport thread (blocks in poll; see above).
+  // popan-lint: allow(raw-thread-spawn)
+  std::thread serve_thread([&server] {
+    Status status = server.Serve();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+
+  TestClient good;
+  TestClient writer;
+  ASSERT_TRUE(good.Connect(port));
+  ASSERT_TRUE(writer.Connect(port));
+  InsertGrid(&writer, 300);
+
+  // A hog with a tiny receive window pipelines 200 whole-box range
+  // queries (~1 MB of replies) and never reads: the kernel absorbs a few
+  // dozen KB, the rest parks in the server's pending_out for this
+  // connection.
+  TestClient hog;
+  ASSERT_TRUE(hog.Connect(port, /*rcvbuf_bytes=*/4096));
+  Request range;
+  range.type = MsgType::kRange;
+  range.box = Box2(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  std::string burst;
+  for (int i = 0; i < 200; ++i) burst += EncodeRequestFrame(range);
+  ASSERT_TRUE(hog.Send(burst));
+
+  // Two round trips on another connection guarantee the server has been
+  // through its poll loop and consumed the hog's burst.
+  Request ping;
+  ping.type = MsgType::kPing;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(good.Send(EncodeRequestFrame(ping)));
+    EXPECT_EQ(good.ReceiveResponse().type, ResponseTypeFor(MsgType::kPing));
+  }
+
+  // The hog dies hard (RST) with output still queued. The server's next
+  // flush send()s into the dead socket; without MSG_NOSIGNAL that raises
+  // SIGPIPE and kills the whole process instead of one connection.
+  hog.HardClose();
+
+  // The server survives, drops only the hog, and keeps serving others.
+  ASSERT_TRUE(good.Send(EncodeRequestFrame(ping)));
+  EXPECT_EQ(good.ReceiveResponse().type, ResponseTypeFor(MsgType::kPing));
+  ASSERT_TRUE(writer.Send(EncodeRequestFrame(range)));
+  EXPECT_EQ(writer.ReceiveResponse().points.size(), 300u);
+
+  server.RequestStop();
+  serve_thread.join();
+}
+
+TEST(SocketServerTest, PendingOutputCapDropsNonDrainingConsumer) {
+  spatial::PrTreeOptions options;
+  options.capacity = 4;
+  ServerCore core(Box2(Point2(0.0, 0.0), Point2(1.0, 1.0)), options);
+  // A deliberately small cap so the test backs it up in milliseconds.
+  SocketServer server(&core, /*max_pending_out=*/32 * 1024);
+  uint16_t port = ValueOrDie(server.Listen(0));
+  // Dedicated transport thread (blocks in poll; see above).
+  // popan-lint: allow(raw-thread-spawn)
+  std::thread serve_thread([&server] { (void)server.Serve(); });
+
+  TestClient good;
+  TestClient writer;
+  ASSERT_TRUE(good.Connect(port));
+  ASSERT_TRUE(writer.Connect(port));
+  InsertGrid(&writer, 300);
+
+  // ~1 MB of replies against a 32 KB cap: far more than the cap plus
+  // anything the kernel can buffer on a 4 KB receive window.
+  TestClient hog;
+  ASSERT_TRUE(hog.Connect(port, /*rcvbuf_bytes=*/4096));
+  Request range;
+  range.type = MsgType::kRange;
+  range.box = Box2(Point2(0.0, 0.0), Point2(1.0, 1.0));
+  std::string burst;
+  for (int i = 0; i < 200; ++i) burst += EncodeRequestFrame(range);
+  ASSERT_TRUE(hog.Send(burst));
+
+  // The server must hang up on the hog rather than queue the megabyte:
+  // the hog's read stream ends (EOF or reset) long before 200 replies.
+  std::string payload;
+  int received = 0;
+  while (received < 200 && hog.ReceivePayload(&payload)) ++received;
+  EXPECT_LT(received, 200);
+
+  // Everyone else is unaffected.
   Request ping;
   ping.type = MsgType::kPing;
   ASSERT_TRUE(good.Send(EncodeRequestFrame(ping)));

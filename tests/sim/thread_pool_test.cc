@@ -20,7 +20,7 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
     visits[i].fetch_add(1, std::memory_order_relaxed);
   });
   for (size_t i = 0; i < kN; ++i) {
-    EXPECT_EQ(visits[i].load(), 1) << i;
+    EXPECT_EQ(visits[i].load(std::memory_order_relaxed), 1) << i;
   }
 }
 
@@ -33,7 +33,7 @@ TEST(ThreadPoolTest, ParallelForWithCoarseGrain) {
       [&](size_t i) { visits[i].fetch_add(1, std::memory_order_relaxed); },
       /*grain=*/64);
   for (size_t i = 0; i < kN; ++i) {
-    EXPECT_EQ(visits[i].load(), 1) << i;
+    EXPECT_EQ(visits[i].load(std::memory_order_relaxed), 1) << i;
   }
 }
 
@@ -61,7 +61,7 @@ TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
     pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
   }
   pool.Wait();
-  EXPECT_EQ(counter.load(), 100);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 100);
 }
 
 TEST(ThreadPoolTest, WaitWithNothingSubmittedReturnsImmediately) {
@@ -108,7 +108,7 @@ TEST(ThreadPoolTest, UsableAcrossSequentialLoops) {
     pool.ParallelFor(50, [&](size_t i) {
       sum.fetch_add(i, std::memory_order_relaxed);
     });
-    EXPECT_EQ(sum.load(), 1225u);
+    EXPECT_EQ(sum.load(std::memory_order_relaxed), 1225u);
   }
 }
 
@@ -118,7 +118,7 @@ TEST(ThreadPoolTest, MoreWorkersThanWork) {
   pool.ParallelFor(3, [&](size_t) {
     counter.fetch_add(1, std::memory_order_relaxed);
   });
-  EXPECT_EQ(counter.load(), 3);
+  EXPECT_EQ(counter.load(std::memory_order_relaxed), 3);
 }
 
 }  // namespace

@@ -125,6 +125,9 @@ TEST_F(EpochTest, ConcurrentPinUnpinWhileWriterReclaims) {
   EpochManager epochs;
   std::atomic<bool> stop{false};
   constexpr int kReaders = 8;
+  // The point of this test is unpooled readers hammering pin/unpin
+  // against a live writer; ThreadPool's join barrier would serialize it.
+  // popan-lint: allow(raw-thread-spawn)
   std::vector<std::thread> readers;
   readers.reserve(kReaders);
   for (int r = 0; r < kReaders; ++r) {

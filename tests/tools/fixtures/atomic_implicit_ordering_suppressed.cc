@@ -1,0 +1,14 @@
+// Suppressed twin of atomic_implicit_ordering.cc: trailing and
+// line-above allow forms both silence the rule.
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int Silenced() {
+  int v = counter.load();  // popan-lint: allow(atomic-implicit-ordering)
+  // Ordering irrelevant: single-threaded setup phase.
+  // popan-lint: allow(atomic-implicit-ordering)
+  counter.store(1);
+  counter.fetch_add(2);  // popan-lint: allow(atomic-implicit-ordering)
+  return v;
+}

@@ -1,0 +1,19 @@
+// Fixture: std::thread construction / .detach() outside the pool and
+// harness allowlist (raw-thread-spawn).
+#include <thread>
+#include <vector>
+
+void Spawn() {
+  std::thread worker([] {});      // line 7: construction
+  std::vector<std::thread> pool;  // line 8: container of raw threads
+  worker.detach();                // line 9: detach severs the join
+}
+
+unsigned Cores() {
+  // Clean: a static member access, not a spawn.
+  return std::thread::hardware_concurrency();
+}
+
+void Join(std::thread& t) {  // clean: reference parameter
+  t.join();
+}

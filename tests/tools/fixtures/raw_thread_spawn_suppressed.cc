@@ -1,0 +1,12 @@
+// Suppressed twin of raw_thread_spawn.cc: each spawn carries a reasoned
+// popan-lint allow.
+#include <thread>
+#include <vector>
+
+void Spawn() {
+  // Blocks in poll(); must not occupy a pool worker.
+  // popan-lint: allow(raw-thread-spawn)
+  std::thread worker([] {});
+  std::vector<std::thread> pool;  // popan-lint: allow(raw-thread-spawn)
+  worker.detach();                // popan-lint: allow(raw-thread-spawn)
+}

@@ -1,0 +1,24 @@
+// Fixture: suppression edge cases — several rules in one allow list, an
+// unknown rule name in the list, and the line-above form's reach.
+#include <atomic>
+#include <mutex>
+
+std::mutex g_mu;
+std::atomic<int> g_count{0};
+
+void MultiRuleAllow() {
+  // Two different findings on one line, silenced by one comment:
+  g_mu.lock(); (void)g_count.load();  // popan-lint: allow(raw-mutex-lock, atomic-implicit-ordering)
+}
+
+void UnknownRuleName() {
+  // An unknown name in the list is inert; the known one still silences:
+  g_mu.unlock();  // popan-lint: allow(no-such-rule, raw-mutex-lock)
+  g_count.store(1);  // line 17: allow(no-such-rule) silences nothing real
+}
+
+void LineAboveForm() {
+  // popan-lint: allow(raw-mutex-lock)
+  g_mu.lock();
+  g_mu.unlock();  // line 23: the line-above allow covers only line 22
+}

@@ -1,0 +1,46 @@
+// Positive twin of thread_safety_violation.cc: the same shape with the
+// lock held, plus a ThreadRole capability exercised through AssumeRole
+// and a REQUIRES method. Must compile clean under clang -Wthread-safety
+// -Werror (the thread_safety_discipline_compiles ctest), proving the
+// annotation macros expand correctly when the analysis is live.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Increment() {
+    popan::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() {
+    popan::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  popan::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Affine {
+ public:
+  void Touch() {
+    popan::AssumeRole owner(role_);
+    TouchLocked();
+  }
+
+ private:
+  void TouchLocked() REQUIRES(role_) { ++state_; }
+
+  popan::ThreadRole role_;
+  int state_ GUARDED_BY(role_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  Affine a;
+  a.Touch();
+  return c.Read();
+}

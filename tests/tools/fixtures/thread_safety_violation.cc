@@ -1,0 +1,29 @@
+// Deliberate capability violation: increments a GUARDED_BY member
+// without holding its mutex. The thread_safety_violation_fails_build
+// ctest compiles this with clang -fsyntax-only -Wthread-safety -Werror
+// and asserts the compile FAILS (WILL_FAIL). If this file ever compiles
+// clean under that configuration, the analysis has stopped working.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG (intentional): touches value_ without holding mu_
+  }
+
+  int Read() {
+    popan::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  popan::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

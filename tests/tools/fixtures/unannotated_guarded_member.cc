@@ -1,0 +1,31 @@
+// Fixture: a class that declares a mutex must GUARDED_BY-annotate its
+// sibling data members (unannotated-guarded-member). Linted under a
+// src/sim/ logical path by popan_lint_test.
+#include <mutex>
+
+class BadPool {
+ public:
+  void Work();
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;                    // line 12: unannotated member
+  std::vector<int> items_;           // line 13: unannotated member
+  std::condition_variable work_cv_;  // clean: sync primitive
+  std::atomic<int> hits_{0};         // clean: atomic (ordering rule owns it)
+  // Thread handles are exempt here; popan-lint: allow(raw-thread-spawn)
+  std::vector<std::thread> workers_;
+  static int shared_;                // clean: static
+  int tagged_ GUARDED_BY(mu_);       // clean: annotated
+};
+
+struct NoMutex {
+  int free_member_ = 0;  // clean: no mutex in this class
+};
+
+class AnnotatedPool {
+ private:
+  popan::Mutex mu_;            // the wrapper counts as a mutex too
+  int value_ GUARDED_BY(mu_);  // clean: annotated
+  bool flag_ = false;          // line 30: unannotated member
+};

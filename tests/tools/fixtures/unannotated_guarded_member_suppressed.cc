@@ -1,0 +1,18 @@
+// Suppressed twin of unannotated_guarded_member.cc: every finding
+// carries a popan-lint allow, so the file lints clean.
+#include <mutex>
+
+class BadPool {
+ private:
+  std::mutex mu_;
+  // Immutable after construction; no lock needed.
+  // popan-lint: allow(unannotated-guarded-member)
+  int count_ = 0;
+  std::vector<int> items_;  // popan-lint: allow(unannotated-guarded-member)
+};
+
+class AnnotatedPool {
+ private:
+  popan::Mutex mu_;
+  bool flag_ = false;  // popan-lint: allow(unannotated-guarded-member)
+};

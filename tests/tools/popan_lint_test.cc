@@ -7,6 +7,7 @@
 
 #include "lint.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -255,6 +256,135 @@ TEST(PopanLintTest, RawSimdIntrinsicSuppressionsSilence) {
   EXPECT_TRUE(LintText("src/spatial/demo.cc",
                        ReadFixture("raw_simd_intrinsic_suppressed.cc"))
                   .empty());
+}
+
+// --- unannotated-guarded-member ----------------------------------------
+
+TEST(PopanLintTest, UnannotatedGuardedMemberFlagsMembersOfMutexClasses) {
+  std::vector<Finding> findings = LintText(
+      "src/sim/demo.cc", ReadFixture("unannotated_guarded_member.cc"));
+  // Sync primitives, atomics, thread handles, statics, and annotated
+  // members stay clean; the mutex-free struct is skipped entirely.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"unannotated-guarded-member", 12},
+                      {"unannotated-guarded-member", 13},
+                      {"unannotated-guarded-member", 30}}));
+}
+
+TEST(PopanLintTest, UnannotatedGuardedMemberScopedToConcurrentSubtrees) {
+  // Only src/sim, src/server, and src/spatial carry the annotation
+  // discipline; analysis helpers and tests are exempt.
+  for (const char* path :
+       {"src/sim/demo.cc", "src/server/demo.cc", "src/spatial/demo.cc"}) {
+    EXPECT_EQ(
+        LintText(path, ReadFixture("unannotated_guarded_member.cc")).size(),
+        3u)
+        << path;
+  }
+  for (const char* path : {"src/core/demo.cc", "tests/demo.cc", "bench/demo.cc"}) {
+    EXPECT_TRUE(
+        LintText(path, ReadFixture("unannotated_guarded_member.cc")).empty())
+        << path;
+  }
+}
+
+TEST(PopanLintTest, UnannotatedGuardedMemberSuppressionsSilence) {
+  EXPECT_TRUE(
+      LintText("src/sim/demo.cc",
+               ReadFixture("unannotated_guarded_member_suppressed.cc"))
+          .empty());
+}
+
+// --- atomic-implicit-ordering ------------------------------------------
+
+TEST(PopanLintTest, AtomicImplicitOrderingFlagsBareAccessors) {
+  std::vector<Finding> findings = LintText(
+      "src/spatial/demo.cc", ReadFixture("atomic_implicit_ordering.cc"));
+  // The explicitly-ordered calls — including the one whose memory_order
+  // sits on a continuation line — and std::exchange stay clean.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"atomic-implicit-ordering", 10},
+                      {"atomic-implicit-ordering", 11},
+                      {"atomic-implicit-ordering", 12},
+                      {"atomic-implicit-ordering", 14}}));
+}
+
+TEST(PopanLintTest, AtomicImplicitOrderingAppliesOnAnyPath) {
+  // Ordering discipline holds tree-wide, tests and bench included.
+  EXPECT_EQ(
+      LintText("tests/demo.cc", ReadFixture("atomic_implicit_ordering.cc"))
+          .size(),
+      4u);
+}
+
+TEST(PopanLintTest, AtomicImplicitOrderingSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/spatial/demo.cc",
+                       ReadFixture("atomic_implicit_ordering_suppressed.cc"))
+                  .empty());
+}
+
+// --- raw-thread-spawn --------------------------------------------------
+
+TEST(PopanLintTest, RawThreadSpawnFlagsConstructionContainerAndDetach) {
+  std::vector<Finding> findings =
+      LintText("src/spatial/demo.cc", ReadFixture("raw_thread_spawn.cc"));
+  // hardware_concurrency() (static member) and the reference parameter
+  // stay clean.
+  EXPECT_EQ(RulesAndLines(findings), (Expected{{"raw-thread-spawn", 7},
+                                               {"raw-thread-spawn", 8},
+                                               {"raw-thread-spawn", 9}}));
+}
+
+TEST(PopanLintTest, RawThreadSpawnAllowedInPoolAndHarnessFiles) {
+  // The pool, the storm harness, and the traffic-sim read pool are the
+  // sanctioned homes for raw threads.
+  for (const char* path :
+       {"src/sim/thread_pool.cc", "src/sim/thread_pool.h",
+        "src/sim/rw_storm.cc", "src/server/traffic_sim.cc"}) {
+    EXPECT_TRUE(LintText(path, ReadFixture("raw_thread_spawn.cc")).empty())
+        << path;
+  }
+}
+
+TEST(PopanLintTest, RawThreadSpawnSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/spatial/demo.cc",
+                       ReadFixture("raw_thread_spawn_suppressed.cc"))
+                  .empty());
+}
+
+// --- suppression edge cases --------------------------------------------
+
+TEST(PopanLintTest, SuppressionAllowListCoversMultipleRules) {
+  // Line 11 violates raw-mutex-lock AND atomic-implicit-ordering; one
+  // allow(a, b) comment silences both.
+  std::vector<Finding> findings = LintText(
+      "src/core/demo.cc", ReadFixture("suppression_edge_cases.cc"));
+  for (const auto& [rule, line] : RulesAndLines(findings)) {
+    EXPECT_NE(line, 11) << rule;
+  }
+}
+
+TEST(PopanLintTest, SuppressionUnknownRuleNameIsInert) {
+  // allow(no-such-rule, raw-mutex-lock) still silences the known rule
+  // (line 16), while allow(no-such-rule) alone silences nothing (line 17).
+  std::vector<Finding> findings = LintText(
+      "src/core/demo.cc", ReadFixture("suppression_edge_cases.cc"));
+  std::vector<std::pair<std::string, int>> got = RulesAndLines(findings);
+  EXPECT_NE(std::find(got.begin(), got.end(),
+                      std::make_pair(std::string("atomic-implicit-ordering"),
+                                     17)),
+            got.end());
+  for (const auto& [rule, line] : got) EXPECT_NE(line, 16) << rule;
+}
+
+TEST(PopanLintTest, SuppressionOnLineAboveCoversOnlyNextLine) {
+  // The standalone allow on line 21 covers the lock on line 22 but not
+  // the unlock on line 23.
+  std::vector<Finding> findings = LintText(
+      "src/core/demo.cc", ReadFixture("suppression_edge_cases.cc"));
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"atomic-implicit-ordering", 17},
+                      {"raw-mutex-lock", 23}}));
 }
 
 // --- output format and exit codes --------------------------------------

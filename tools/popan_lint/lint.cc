@@ -301,6 +301,9 @@ class Linter {
     CheckStreamFormatGuard();
     CheckRawMutexLock();
     CheckRawSimdIntrinsic();
+    CheckUnannotatedGuardedMember();
+    CheckAtomicImplicitOrdering();
+    CheckRawThreadSpawn();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -768,6 +771,232 @@ class Linter {
                      "std::scoped_lock (std::unique_lock for deferred or "
                      "condition-variable use)");
         }
+      }
+    }
+  }
+
+  // --- unannotated-guarded-member ---------------------------------------
+  void CheckUnannotatedGuardedMember() {
+    // Only the concurrent subsystems carry the capability discipline; the
+    // rest of the tree (tests, benches, tools) may use ad-hoc mutexes.
+    if (!PathContains(path_, "src/sim/") &&
+        !PathContains(path_, "src/server/") &&
+        !PathContains(path_, "src/spatial/")) {
+      return;
+    }
+    // Walk the brace structure recording, per line, the opening line of
+    // the class/struct block the line sits *directly* inside (-1 when the
+    // innermost block is a function, namespace, enum, or initializer).
+    // This is the ComputeScopes walk with a class-vs-function verdict.
+    std::vector<int> class_open(model_.lines.size(), -1);
+    {
+      struct Open {
+        int line;
+        bool class_like;
+      };
+      std::vector<Open> stack;
+      std::string statement;
+      for (size_t li = 0; li < model_.lines.size(); ++li) {
+        if (!stack.empty() && stack.back().class_like) {
+          class_open[li] = stack.back().line;
+        }
+        for (char c : model_.lines[li].code) {
+          if (c == '{') {
+            bool cls = (FindWord(statement, "class") != std::string::npos ||
+                        FindWord(statement, "struct") != std::string::npos) &&
+                       FindWord(statement, "enum") == std::string::npos;
+            stack.push_back({static_cast<int>(li), cls});
+            statement.clear();
+          } else if (c == '}') {
+            if (!stack.empty()) stack.pop_back();
+            statement.clear();
+          } else if (c == ';') {
+            statement.clear();
+          } else {
+            statement.push_back(c);
+          }
+        }
+      }
+    }
+    // A mutex member declaration: "std::mutex name_;" / "popan::Mutex
+    // name_;" at class scope. MutexLock/lock_guard locals fail the word
+    // boundary or the class-scope test.
+    auto is_mutex_decl = [](const std::string& code) {
+      for (const char* word : {"mutex", "Mutex"}) {
+        size_t pos = FindWord(code, word);
+        if (pos == std::string::npos) continue;
+        size_t p = SkipSpaces(code, pos + std::string(word).size());
+        if (p < code.size() && IsIdentChar(code[p])) return true;
+      }
+      return false;
+    };
+    // Group member lines by their class block and check classes that
+    // declare a mutex.
+    std::set<int> classes_with_mutex;
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      if (class_open[li] >= 0 && is_mutex_decl(model_.lines[li].code)) {
+        classes_with_mutex.insert(class_open[li]);
+      }
+    }
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      if (class_open[li] < 0 ||
+          classes_with_mutex.count(class_open[li]) == 0) {
+        continue;
+      }
+      const std::string& code = model_.lines[li].code;
+      // Candidate data member: a one-line declaration ending in ';'.
+      size_t last = code.find_last_not_of(" \t");
+      if (last == std::string::npos || code[last] != ';') continue;
+      if (code.find("GUARDED_BY") != std::string::npos) continue;
+      if (is_mutex_decl(code)) continue;  // the capability itself
+      // Exempt other synchronization primitives and thread handles: they
+      // are the machinery, not the guarded state.
+      bool exempt = false;
+      for (const char* word :
+           {"condition_variable", "CondVar", "ThreadRole", "atomic",
+            "thread", "static", "constexpr", "using", "typedef", "friend"}) {
+        if (FindWord(code, word) != std::string::npos) {
+          exempt = true;
+          break;
+        }
+      }
+      if (exempt) continue;
+      // A '(' here means a member function declaration (or a member whose
+      // type spells parentheses, e.g. std::function — those stay out of
+      // the rule's reach; annotate them by hand where it matters).
+      if (code.find('(') != std::string::npos) continue;
+      // Needs at least a type token and a name token.
+      size_t first = code.find_first_not_of(" \t");
+      size_t ident_tokens = 0;
+      for (size_t i = first; i < last;) {
+        if (IsIdentChar(code[i])) {
+          ++ident_tokens;
+          while (i < last && IsIdentChar(code[i])) ++i;
+        } else {
+          ++i;
+        }
+      }
+      if (ident_tokens < 2) continue;
+      Report("unannotated-guarded-member", li,
+             "class declares a mutex but this data member has no "
+             "GUARDED_BY/PT_GUARDED_BY annotation "
+             "(util/thread_annotations.h); tag it with the mutex that "
+             "protects it so clang -Wthread-safety can check the lock "
+             "discipline");
+    }
+  }
+
+  // --- atomic-implicit-ordering -----------------------------------------
+  void CheckAtomicImplicitOrdering() {
+    // Every std::atomic operation spells its memory_order. The argument
+    // list may span lines (compare_exchange_strong usually does), so scan
+    // forward to the balanced ')' before deciding.
+    static const char* const kOps[] = {
+        "load",        "store",
+        "exchange",    "fetch_add",
+        "fetch_sub",   "fetch_and",
+        "fetch_or",    "fetch_xor",
+        "compare_exchange_weak", "compare_exchange_strong"};
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      const std::string& code = model_.lines[li].code;
+      for (const char* op : kOps) {
+        size_t pos = 0;
+        while ((pos = FindWord(code, op, pos)) != std::string::npos) {
+          size_t start = pos;
+          pos += std::string(op).size();
+          size_t open = SkipSpaces(code, pos);
+          if (open >= code.size() || code[open] != '(') continue;
+          // Member call only: ".op(" or "->op(". A free function or the
+          // definition of an unrelated load()/store() is not an atomic.
+          if (!(start >= 1 && code[start - 1] == '.') &&
+              !(start >= 2 && code[start - 2] == '-' &&
+                code[start - 1] == '>')) {
+            continue;
+          }
+          if (ArgsContain(li, open, "memory_order")) continue;
+          Report("atomic-implicit-ordering", li,
+                 "atomic ." + std::string(op) +
+                     "() without an explicit std::memory_order; implicit "
+                     "seq_cst hides intent — spell the ordering (and the "
+                     "reason it suffices) at every atomic access");
+        }
+      }
+    }
+  }
+
+  /// Scans the argument list opening at (line, col of '(') across lines
+  /// to the balanced ')', returning true when `token` occurs inside.
+  bool ArgsContain(size_t li, size_t open, const std::string& token) {
+    int depth = 0;
+    std::string args;
+    // 32 lines bounds the scan on unbalanced input (macro soup).
+    for (size_t l = li; l < model_.lines.size() && l < li + 32; ++l) {
+      const std::string& code = model_.lines[l].code;
+      for (size_t i = l == li ? open : 0; i < code.size(); ++i) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')') {
+          --depth;
+          if (depth == 0) return args.find(token) != std::string::npos;
+        }
+        args.push_back(code[i]);
+      }
+      args.push_back(' ');
+    }
+    return args.find(token) != std::string::npos;
+  }
+
+  // --- raw-thread-spawn -------------------------------------------------
+  void CheckRawThreadSpawn() {
+    // The sanctioned homes for raw threads: the pool that everyone else
+    // must use, and the harnesses whose whole point is unpooled threads
+    // under TSan.
+    for (const char* allowed :
+         {"src/sim/thread_pool.h", "src/sim/thread_pool.cc",
+          "src/sim/rw_storm.h", "src/sim/rw_storm.cc",
+          "src/server/traffic_sim.h", "src/server/traffic_sim.cc"}) {
+      if (EndsWith(path_, allowed)) return;
+    }
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      const std::string& code = model_.lines[li].code;
+      // std::thread used as a type (declaration, temporary, or container
+      // element) spawns or owns a raw thread. "std::thread::..." (static
+      // members like hardware_concurrency) and "std::thread&" (join loops,
+      // parameters) do not.
+      size_t pos = 0;
+      while ((pos = code.find("std::thread", pos)) != std::string::npos) {
+        bool left_ok = pos == 0 || (!IsIdentChar(code[pos - 1]) &&
+                                    code[pos - 1] != ':');
+        size_t end = pos + std::string("std::thread").size();
+        pos = end;
+        if (!left_ok) continue;
+        if (end < code.size() && IsIdentChar(code[end])) continue;  // jthread
+        size_t after = SkipSpaces(code, end);
+        if (after >= code.size()) continue;
+        char c = code[after];
+        if (c == ':' || c == '&') continue;  // static member / reference
+        if (IsIdentChar(c) || c == '(' || c == '{' || c == '>') {
+          Report("raw-thread-spawn", li,
+                 "std::thread outside the thread-pool/storm-harness "
+                 "allowlist; route the work through sim::ThreadPool (or "
+                 "suppress with a reason if this harness genuinely needs "
+                 "an unpooled thread)");
+        }
+      }
+      // .detach() severs the join discipline anywhere it appears.
+      size_t dpos = 0;
+      while ((dpos = FindWord(code, "detach", dpos)) != std::string::npos) {
+        size_t start = dpos;
+        dpos += std::string("detach").size();
+        size_t open = SkipSpaces(code, dpos);
+        if (open >= code.size() || code[open] != '(') continue;
+        if (!(start >= 1 && code[start - 1] == '.') &&
+            !(start >= 2 && code[start - 2] == '-' &&
+              code[start - 1] == '>')) {
+          continue;
+        }
+        Report("raw-thread-spawn", li,
+               ".detach() abandons the thread join discipline; threads "
+               "must be joined (the pool does this structurally)");
       }
     }
   }

@@ -54,6 +54,33 @@ namespace popan::lint {
 ///                          exercise a scalar twin of every SIMD path —
 ///                          an inline intrinsic has no fallback and no
 ///                          bitwise-parity coverage.
+///   unannotated-guarded-member
+///                          in src/sim/, src/server/ and src/spatial/: a
+///                          class that declares a mutex member (std::mutex
+///                          or popan::Mutex) must GUARDED_BY/PT_GUARDED_BY-
+///                          annotate its sibling data members, so clang
+///                          -Wthread-safety can prove the lock discipline.
+///                          Synchronization primitives themselves (mutexes,
+///                          condition variables, ThreadRole), atomics,
+///                          thread handles, and static/constexpr members
+///                          are exempt.
+///   atomic-implicit-ordering
+///                          a std::atomic load/store/exchange/fetch_*/
+///                          compare_exchange_* call whose argument list
+///                          does not spell a std::memory_order. Implicit
+///                          seq_cst hides intent: the epoch pin-confirm
+///                          loop's orderings are load-bearing, and a
+///                          reader must be able to tell deliberate seq_cst
+///                          from an accidental default.
+///   raw-thread-spawn       std::thread construction (including
+///                          vector<std::thread> pools) or .detach()
+///                          outside the sanctioned homes: the ThreadPool
+///                          implementation (src/sim/thread_pool.*) and the
+///                          storm/traffic harnesses (src/sim/rw_storm.*,
+///                          src/server/traffic_sim.*). Everything else
+///                          routes work through sim::ThreadPool so shutdown
+///                          joins are structural, or carries a reasoned
+///                          suppression (e.g. a test's server thread).
 ///
 /// Suppression syntax: `// popan-lint: allow(<rule>[, <rule>...])`.
 /// On a line with code it silences that line; on a line of its own it
