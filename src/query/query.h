@@ -12,6 +12,7 @@
 #include "spatial/excell.h"
 #include "spatial/extendible_hash.h"
 #include "spatial/grid_file.h"
+#include "spatial/hash_codec.h"
 #include "spatial/linear_quadtree.h"
 #include "spatial/mx_quadtree.h"
 #include "spatial/pmr_quadtree.h"
@@ -83,6 +84,12 @@ struct QueryResult {
 inline constexpr uint64_t kChecksumSeed = 0xcbf29ce484222325ULL;
 uint64_t ChecksumResult(uint64_t h, const QueryResult& r);
 
+/// Sorts `points` into the canonical (x, y) order range and partial-match
+/// results use. Exposed so result mergers (the shard router concatenating
+/// per-shard answers) land on bitwise the same order a single backend
+/// produces.
+void CanonicalizePointOrder(std::vector<geo::Point2>* points);
+
 // ---------------------------------------------------------------------
 // Adapters. Two backends do not speak domain coordinates natively; these
 // wrappers carry the coordinate mapping so Execute() can treat all seven
@@ -111,40 +118,11 @@ struct MxBackend {
   }
 };
 
-/// Coordinate codec for running spatial queries over an extendible hash
-/// table: a point maps to the EXCELL-style pseudokey — each coordinate
-/// normalized to [0, 1) and quantized to 31 bits, bits interleaved y
-/// first, the 62-bit result left-aligned in 64 bits so the table's
-/// directory (which indexes by top bits) sees a y/x-alternating regular
-/// decomposition of the domain. Use identity_hash = true on the table so
-/// keys are placed by these bits, not remixed. Decode is the exact inverse
-/// for points on the per-axis 2^-31 lattice of the domain.
-struct HashPointCodec {
-  geo::Box2 domain = geo::Box2::UnitCube();
-
-  static constexpr size_t kBitsPerAxis = 31;
-
-  uint64_t Encode(const geo::Point2& p) const;
-  geo::Point2 Decode(uint64_t key) const;
-
-  /// Batched Encode: out[i] = Encode(pts[i]), bit for bit, through the
-  /// QuantizeClamped + InterleaveBatch8 kernels. out holds pts.size()
-  /// entries.
-  void EncodeBatch(std::span<const geo::Point2> pts, uint64_t* out) const;
-
-  /// Batched Decode into coordinate lanes: (xs[i], ys[i]) = Decode(keys[i])
-  /// bit for bit. The bit de-interleave is batched; the final
-  /// lattice-to-domain arithmetic runs through the same scalar helper as
-  /// Decode (its a + b * c shape must not be vectorized or fused). The
-  /// lane output feeds the SIMD bucket filters directly.
-  void DecodeBatchLanes(const uint64_t* keys, size_t n, double* xs,
-                        double* ys) const;
-
-  /// The dyadic block of the domain shared by all keys whose pseudokey
-  /// starts with the depth_bits-bit prefix (the geometry of one hash
-  /// bucket; matches Excell::BlockOfPrefix).
-  geo::Box2 BlockOfPrefix(uint64_t prefix_bits, size_t depth_bits) const;
-};
+/// Coordinate codec for the extendible-hash backend. The implementation
+/// (raw pseudokey bit arithmetic) lives with the other key codecs in
+/// spatial/hash_codec.h so all boundary math stays in one audited place;
+/// the alias keeps the historical query-layer spelling working.
+using HashPointCodec = spatial::HashPointCodec;
 
 /// Extendible hash adapter: the table stores codec-encoded points. The
 /// spatial interpretation (bucket blocks, point decoding) lives entirely

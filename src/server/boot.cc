@@ -1,0 +1,71 @@
+#include "server/boot.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/status.h"
+
+namespace popan::server {
+
+namespace {
+
+/// Starts a brand-new log at `path` (truncating whatever zero-record
+/// husk may be there) and writes the fresh header.
+[[nodiscard]] StatusOr<BootResult> FreshBoot(
+    const std::string& path, const geo::Box2& bounds,
+    const spatial::PrTreeOptions& options) {
+  BootResult result;
+  result.fresh = true;
+  result.wal_stream =
+      std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!result.wal_stream->is_open()) {
+    return Status::Internal("cannot create WAL at " + path);
+  }
+  result.wal.emplace(result.wal_stream.get(), bounds, options);
+  return result;
+}
+
+}  // namespace
+
+[[nodiscard]] StatusOr<BootResult> BootWithWal(
+    const std::string& path, const geo::Box2& bounds,
+    const spatial::PrTreeOptions& options) {
+  std::string text;
+  {
+    std::ifstream existing(path, std::ios::binary);
+    if (!existing.is_open()) {
+      return FreshBoot(path, bounds, options);
+    }
+    std::ostringstream buffered;
+    buffered << existing.rdbuf();
+    text = buffered.str();
+  }
+  if (text.empty()) {
+    // A log with zero bytes has zero records: first boot, not
+    // corruption (see header comment).
+    return FreshBoot(path, bounds, options);
+  }
+  POPAN_ASSIGN_OR_RETURN(spatial::WalRecovery recovered,
+                         spatial::ReplayWal(text));
+  if (recovered.tree.bounds() != bounds ||
+      recovered.tree.capacity() != options.capacity ||
+      recovered.tree.max_depth() != options.max_depth) {
+    return Status::FailedPrecondition(
+        "WAL geometry/options do not match the requested store shape");
+  }
+  POPAN_ASSIGN_OR_RETURN(std::ofstream resumed,
+                         spatial::ResumeWalFile(path,
+                                                recovered.valid_bytes));
+  BootResult result;
+  result.wal_stream =
+      std::make_unique<std::ofstream>(std::move(resumed));
+  result.initial_sequence = recovered.last_sequence;
+  result.seed_points = recovered.tree.RangeQuery(bounds);
+  result.truncated_tail = recovered.truncated_tail;
+  result.truncation_reason = recovered.truncation_reason;
+  spatial::WalWriter::ResumeAt resume_at{recovered.next_sequence};
+  result.wal.emplace(result.wal_stream.get(), bounds, resume_at);
+  return result;
+}
+
+}  // namespace popan::server

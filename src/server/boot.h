@@ -1,0 +1,58 @@
+#ifndef POPAN_SERVER_BOOT_H_
+#define POPAN_SERVER_BOOT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/pr_tree.h"
+#include "spatial/wal.h"
+#include "util/statusor.h"
+
+namespace popan::server {
+
+/// Everything a durable single-tree server needs at startup, produced by
+/// BootWithWal below. The stream outlives the writer (the writer holds a
+/// pointer into it), so both ride in the result and must stay alive for
+/// the server's whole life.
+struct BootResult {
+  std::unique_ptr<std::ofstream> wal_stream;
+  std::optional<spatial::WalWriter> wal;
+  /// Sequence of the last recovered record (0 on a fresh boot) — feeds
+  /// ServerCore's `initial_sequence`.
+  uint64_t initial_sequence = 0;
+  /// Surviving points to seed the tree with (empty on a fresh boot).
+  std::vector<geo::Point2> seed_points;
+  /// True when this boot started a brand-new log (file missing OR
+  /// empty) rather than resuming an existing one.
+  bool fresh = false;
+  /// True when an existing log's torn tail was discarded during replay.
+  bool truncated_tail = false;
+  std::string truncation_reason;
+};
+
+/// Opens (or creates) the write-ahead log at `path` and prepares the
+/// server's recovered state. Extracted from the server binary's main so
+/// the boot matrix is testable; the cases are:
+///
+///  - missing file: created, fresh header written — first boot.
+///  - existing but EMPTY file: same as missing. (This is the first-boot
+///    crash window: the process died after creating the log but before
+///    the header flushed. Feeding the empty file to ReplayWal would
+///    refuse with "unusable header" and brick the store; an empty log
+///    provably contains zero records, so it IS a fresh boot.)
+///  - existing log: replayed (torn tail truncated to the intact
+///    prefix), geometry verified against `bounds`/`options`
+///    (FailedPrecondition on mismatch), and resumed in place.
+[[nodiscard]] StatusOr<BootResult> BootWithWal(
+    const std::string& path, const geo::Box2& bounds,
+    const spatial::PrTreeOptions& options);
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_BOOT_H_

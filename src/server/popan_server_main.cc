@@ -1,24 +1,34 @@
 // popan_server: serves the spatial store over TCP (see
-// server/protocol.h for the wire format, DESIGN.md section 7 for the
-// architecture). With --wal the store is durable: on boot an existing log
-// is replayed, truncated to its intact prefix, and resumed in place.
+// server/protocol.h for the wire format, DESIGN.md sections 7-8 for the
+// architecture). Two storage engines behind the same wire protocol:
+//
+//   default        one copy-on-write PR quadtree; with --wal the store
+//                  is durable (boot.h: existing logs are replayed,
+//                  truncated to the intact prefix, and resumed; a
+//                  missing or empty log file is a fresh boot).
+//   --shards N     Morton-range sharded store with the census-predicted
+//                  load balancer capped at N shards; --shard-dir makes
+//                  it durable (per-shard WALs + manifest in DIR, which
+//                  must exist).
 //
 //   popan_server [--port N] [--side S] [--capacity C] [--max-depth D]
 //                [--wal PATH]
+//                [--shards N] [--shard-dir DIR]
+//                [--split-cost X] [--merge-cost X]
 
 #include <cstdint>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <memory>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
+#include <utility>
 
+#include "server/boot.h"
+#include "server/cow_store.h"
 #include "server/server_core.h"
+#include "server/shard_store.h"
 #include "server/socket_server.h"
-#include "spatial/wal.h"
+#include "shard/router.h"
 #include "util/status.h"
 
 namespace {
@@ -29,6 +39,10 @@ struct Flags {
   size_t capacity = 4;
   size_t max_depth = 16;
   std::string wal_path;
+  size_t shards = 0;  ///< 0 = single-tree backend
+  std::string shard_dir;
+  double split_cost = 0.0;  ///< 0 = RebalanceConfig default
+  double merge_cost = 0.0;
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -48,10 +62,24 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->max_depth = static_cast<size_t>(std::atoll(value));
     } else if (arg == "--wal" && (value = next()) != nullptr) {
       flags->wal_path = value;
+    } else if (arg == "--shards" && (value = next()) != nullptr) {
+      flags->shards = static_cast<size_t>(std::atoll(value));
+    } else if (arg == "--shard-dir" && (value = next()) != nullptr) {
+      flags->shard_dir = value;
+    } else if (arg == "--split-cost" && (value = next()) != nullptr) {
+      flags->split_cost = std::atof(value);
+    } else if (arg == "--merge-cost" && (value = next()) != nullptr) {
+      flags->merge_cost = std::atof(value);
     } else {
       std::cerr << "unknown or incomplete flag: " << arg << "\n";
       return false;
     }
+  }
+  if (!flags->wal_path.empty() &&
+      (flags->shards > 0 || !flags->shard_dir.empty())) {
+    std::cerr << "--wal is the single-tree log; a sharded store logs "
+                 "per shard under --shard-dir\n";
+    return false;
   }
   return flags->side > 0.0 && flags->capacity > 0;
 }
@@ -63,6 +91,7 @@ int main(int argc, char** argv) {
   using popan::StatusOr;
   namespace geo = popan::geo;
   namespace server = popan::server;
+  namespace shard = popan::shard;
   namespace spatial = popan::spatial;
 
   Flags flags;
@@ -73,66 +102,69 @@ int main(int argc, char** argv) {
   options.capacity = flags.capacity;
   options.max_depth = flags.max_depth;
 
-  // Durability plumbing. Kept alive for the server's whole life.
-  std::unique_ptr<std::ofstream> wal_stream;
-  std::optional<spatial::WalWriter> wal;
-  uint64_t initial_sequence = 0;
-  std::vector<geo::Point2> seed_points;
+  // Boot state kept alive for the server's whole life (the WAL writer
+  // holds a pointer into its stream).
+  std::unique_ptr<server::ServerCore> core;
+  server::BootResult boot;
 
-  if (!flags.wal_path.empty()) {
-    std::ifstream existing(flags.wal_path, std::ios::binary);
-    if (existing.is_open()) {
-      std::ostringstream text;
-      text << existing.rdbuf();
-      existing.close();
-      StatusOr<spatial::WalRecovery> recovery = spatial::ReplayWal(
-          text.str());
-      if (!recovery.ok()) {
-        std::cerr << "WAL replay failed: " << recovery.status().ToString()
-                  << "\n";
-        return 1;
-      }
-      const spatial::WalRecovery& recovered = recovery.value();
-      if (recovered.truncated_tail) {
-        std::cerr << "note: discarded torn WAL tail ("
-                  << recovered.truncation_reason << ")\n";
-      }
-      if (recovered.tree.bounds() != bounds ||
-          recovered.tree.capacity() != options.capacity ||
-          recovered.tree.max_depth() != options.max_depth) {
-        std::cerr << "WAL geometry/options do not match the flags\n";
-        return 1;
-      }
-      StatusOr<std::ofstream> resumed = spatial::ResumeWalFile(
-          flags.wal_path, recovered.valid_bytes);
-      if (!resumed.ok()) {
-        std::cerr << "cannot resume WAL: " << resumed.status().ToString()
-                  << "\n";
-        return 1;
-      }
-      wal_stream = std::make_unique<std::ofstream>(
-          std::move(resumed).value());
-      initial_sequence = recovered.last_sequence;
-      seed_points = recovered.tree.RangeQuery(bounds);
-      spatial::WalWriter::ResumeAt resume_at{recovered.next_sequence};
-      wal.emplace(wal_stream.get(), bounds, resume_at);
-      std::cerr << "recovered " << seed_points.size() << " points at WAL "
-                << "sequence " << initial_sequence << "\n";
-    } else {
-      wal_stream = std::make_unique<std::ofstream>(flags.wal_path,
-                                                   std::ios::binary);
-      if (!wal_stream->is_open()) {
-        std::cerr << "cannot create WAL at " << flags.wal_path << "\n";
-        return 1;
-      }
-      wal.emplace(wal_stream.get(), bounds, options);
+  if (flags.shards > 0 || !flags.shard_dir.empty()) {
+    shard::RouterOptions router_options;
+    router_options.tree = options;
+    router_options.rebalance.enabled = true;
+    if (flags.shards > 0) {
+      router_options.rebalance.max_shards = flags.shards;
     }
+    if (flags.split_cost > 0.0) {
+      router_options.rebalance.split_cost = flags.split_cost;
+    }
+    if (flags.merge_cost > 0.0) {
+      router_options.rebalance.merge_cost = flags.merge_cost;
+    }
+    std::unique_ptr<shard::ShardRouter> router;
+    if (!flags.shard_dir.empty()) {
+      StatusOr<std::unique_ptr<shard::ShardRouter>> opened =
+          shard::ShardRouter::Open(flags.shard_dir, bounds, router_options);
+      if (!opened.ok()) {
+        std::cerr << "cannot open shard store: "
+                  << opened.status().ToString() << "\n";
+        return 1;
+      }
+      router = std::move(opened).value();
+      std::cerr << "recovered " << router->size() << " points across "
+                << router->shard_count() << " shards at sequence "
+                << router->sequence() << "\n";
+    } else {
+      router =
+          std::make_unique<shard::ShardRouter>(bounds, router_options);
+    }
+    core = std::make_unique<server::ServerCore>(
+        std::make_unique<server::ShardStoreBackend>(std::move(router)));
+  } else {
+    if (!flags.wal_path.empty()) {
+      StatusOr<server::BootResult> booted =
+          server::BootWithWal(flags.wal_path, bounds, options);
+      if (!booted.ok()) {
+        std::cerr << "WAL boot failed: " << booted.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      boot = std::move(booted).value();
+      if (boot.truncated_tail) {
+        std::cerr << "note: discarded torn WAL tail ("
+                  << boot.truncation_reason << ")\n";
+      }
+      if (!boot.fresh) {
+        std::cerr << "recovered " << boot.seed_points.size()
+                  << " points at WAL sequence " << boot.initial_sequence
+                  << "\n";
+      }
+    }
+    core = std::make_unique<server::ServerCore>(
+        bounds, options, boot.wal.has_value() ? &*boot.wal : nullptr,
+        boot.initial_sequence, boot.seed_points);
   }
 
-  server::ServerCore core(bounds, options,
-                          wal.has_value() ? &*wal : nullptr,
-                          initial_sequence, seed_points);
-  server::SocketServer transport(&core);
+  server::SocketServer transport(core.get());
   StatusOr<uint16_t> port = transport.Listen(flags.port);
   if (!port.ok()) {
     std::cerr << "listen failed: " << port.status().ToString() << "\n";

@@ -4,9 +4,7 @@
 #include <cmath>
 #include <utility>
 
-#include "core/query_model.h"
-#include "query/query.h"
-#include "spatial/census.h"
+#include "server/cow_store.h"
 #include "util/check.h"
 
 namespace popan::server {
@@ -34,26 +32,17 @@ bool FinitePoint(const geo::Point2& p) {
 
 }  // namespace
 
+ServerCore::ServerCore(std::unique_ptr<StoreBackend> store)
+    : store_(std::move(store)), subs_(store_->bounds()) {
+  POPAN_CHECK(store_ != nullptr);
+}
+
 ServerCore::ServerCore(const geo::Box2& bounds,
                        const spatial::PrTreeOptions& options,
                        spatial::WalWriter* wal, uint64_t initial_sequence,
                        const std::vector<geo::Point2>& seed_points)
-    : tree_(bounds, options, initial_sequence - seed_points.size()),
-      wal_(wal),
-      subs_(bounds) {
-  POPAN_CHECK(initial_sequence >= seed_points.size())
-      << "recovered sequence smaller than the recovered point count";
-  for (const geo::Point2& p : seed_points) {
-    Status applied = tree_.Insert(p);
-    POPAN_CHECK(applied.ok())
-        << "seed point rejected: " << applied.ToString();
-  }
-  POPAN_CHECK(tree_.sequence() == initial_sequence);
-  if (wal_ != nullptr) {
-    POPAN_CHECK(wal_->next_sequence() == initial_sequence + 1)
-        << "WAL and tree sequences out of step at startup";
-  }
-}
+    : ServerCore(std::make_unique<CowTreeBackend>(
+          bounds, options, wal, initial_sequence, seed_points)) {}
 
 uint64_t ServerCore::OpenClient() {
   popan::AssumeRole command(command_role_);
@@ -183,56 +172,16 @@ StatusOr<PreparedRead> ServerCore::PrepareReadLocked(const Request& request) {
   if (!IsReadKind(request.type)) {
     return Status::InvalidArgument("not a read-kind request");
   }
-  StatusOr<spatial::SnapshotView2> snapshot = tree_.TrySnapshot();
-  POPAN_RETURN_IF_ERROR(snapshot.status());
-  return PreparedRead{request, std::move(snapshot).value()};
+  POPAN_ASSIGN_OR_RETURN(std::unique_ptr<const ReadView> view,
+                         store_->PrepareRead());
+  return PreparedRead{request, std::move(view)};
 }
 
 Response ServerCore::CompleteRead(const PreparedRead& prepared) {
-  const Request& request = prepared.request;
-  const spatial::SnapshotView2& snapshot = prepared.snapshot;
-  Response response;
-  response.type = ResponseTypeFor(request.type);
-  response.sequence = snapshot.sequence();
-  if (request.type == MsgType::kCensus) {
-    spatial::Census census = snapshot.LiveCensus();
-    response.size = snapshot.size();
-    response.leaf_count = snapshot.LeafCount();
-    response.max_depth = static_cast<uint32_t>(census.MaxDepth());
-    response.average_occupancy = census.AverageOccupancy();
-    return response;
-  }
-  query::QuerySpec spec;
-  switch (request.type) {
-    case MsgType::kRange:
-      spec = query::QuerySpec::Range(request.box);
-      break;
-    case MsgType::kPartialMatch:
-      spec = query::QuerySpec::PartialMatch(request.axis, request.value);
-      break;
-    default:
-      spec = query::QuerySpec::NearestK(request.point, request.k);
-      break;
-  }
-  query::QueryResult result = query::Execute(snapshot, spec);
-  response.cost = result.cost;
-  response.points = std::move(result.points);
-  // The serving-time cost estimate rides along with every query answer:
-  // the same census-driven model the offline analysis uses, evaluated on
-  // the pinned version, so a client can compare predicted against
-  // measured work per request.
-  if (request.type != MsgType::kNearestK && snapshot.size() > 0) {
-    core::QueryCostModel model = core::QueryCostModel::FromCensus(
-        snapshot.LiveCensus(), snapshot.bounds());
-    if (request.type == MsgType::kRange) {
-      double qx = std::min(request.box.Extent(0), snapshot.bounds().Extent(0));
-      double qy = std::min(request.box.Extent(1), snapshot.bounds().Extent(1));
-      response.predicted_nodes = model.PredictRange(qx, qy).nodes;
-    } else {
-      response.predicted_nodes = model.PredictPartialMatch().nodes;
-    }
-  }
-  return response;
+  // Pure delegation: the view was pinned at prepare time and the
+  // backend's Complete is a pure function of (view, request), so this is
+  // safe on any thread.
+  return prepared.view->Complete(prepared.request);
 }
 
 void ServerCore::SubmitResponse(uint64_t client_id,
@@ -275,23 +224,17 @@ Response ServerCore::HandleWrite(uint64_t client_id,
         ++response.rejected;
         continue;
       }
-      Status applied = tree_.Insert(p);
+      StatusOr<uint64_t> applied = store_->ApplyInsert(p);
       if (applied.ok()) {
-        uint64_t seq = tree_.sequence();
-        if (wal_ != nullptr) {
-          StatusOr<uint64_t> logged = wal_->LogInsert(p);
-          POPAN_CHECK(logged.ok() && logged.value() == seq)
-              << "WAL fell out of step with the tree";
-        }
-        NotifyWrite('I', p, seq);
+        NotifyWrite('I', p, applied.value());
         ++response.inserted;
-      } else if (applied.code() == StatusCode::kAlreadyExists) {
+      } else if (applied.status().code() == StatusCode::kAlreadyExists) {
         ++response.duplicates;
       } else {
         ++response.rejected;
       }
     }
-    response.sequence = tree_.sequence();
+    response.sequence = store_->sequence();
     return response;
   }
   const geo::Point2& p = request.point;
@@ -299,21 +242,15 @@ Response ServerCore::HandleWrite(uint64_t client_id,
     return ErrorResponse(request.type, Status::InvalidArgument(
                                            "non-finite coordinate"));
   }
-  Status applied = request.type == MsgType::kInsert ? tree_.Insert(p)
-                                                    : tree_.Erase(p);
+  StatusOr<uint64_t> applied = request.type == MsgType::kInsert
+                                   ? store_->ApplyInsert(p)
+                                   : store_->ApplyErase(p);
   if (!applied.ok()) {
-    return ErrorResponse(request.type, applied);
+    return ErrorResponse(request.type, applied.status());
   }
   char op = request.type == MsgType::kInsert ? 'I' : 'E';
-  uint64_t seq = tree_.sequence();
-  if (wal_ != nullptr) {
-    StatusOr<uint64_t> logged =
-        op == 'I' ? wal_->LogInsert(p) : wal_->LogErase(p);
-    POPAN_CHECK(logged.ok() && logged.value() == seq)
-        << "WAL fell out of step with the tree";
-  }
-  NotifyWrite(op, p, seq);
-  response.sequence = seq;
+  NotifyWrite(op, p, applied.value());
+  response.sequence = applied.value();
   return response;
 }
 

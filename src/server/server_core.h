@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,9 +12,9 @@
 #include "geometry/box.h"
 #include "geometry/point.h"
 #include "server/protocol.h"
+#include "server/store.h"
 #include "server/subscriptions.h"
 #include "spatial/pr_tree.h"
-#include "spatial/snapshot_view.h"
 #include "spatial/wal.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -22,19 +23,20 @@
 
 namespace popan::server {
 
-/// A read request paired with the epoch-pinned snapshot it executes
+/// A read request paired with the epoch-pinned store view it executes
 /// against. Produced serially by ServerCore::PrepareRead; completed by
 /// CompleteRead on any thread — the completion touches only the pinned
-/// version, so reads overlap writes without locks, and the response is a
-/// pure function of (snapshot, request): bit-identical at any thread
-/// count.
+/// view, so reads overlap writes without locks, and the response is a
+/// pure function of (view, request): bit-identical at any thread
+/// count. Move-only (the view owns its epoch pin).
 struct PreparedRead {
   Request request;
-  spatial::SnapshotView2 snapshot;
+  std::unique_ptr<const ReadView> view;
 };
 
-/// The transport-agnostic query server: one CowPrQuadtree, an optional
-/// write-ahead log, a SubscriptionIndex, and per-client frame outboxes.
+/// The transport-agnostic query server: a StoreBackend (single
+/// CowPrQuadtree or Morton-range sharded map — see store.h), a
+/// SubscriptionIndex, and per-client frame outboxes.
 ///
 /// Threading contract: every member function runs on the single command
 /// thread (the socket poll loop, or the simulator's issuing loop) EXCEPT
@@ -47,16 +49,21 @@ struct PreparedRead {
 /// clang -Wthread-safety a new code path that touches server state
 /// without declaring its affinity fails the build.
 ///
-/// Write path ordering: validate -> apply to the tree -> append to the
-/// WAL -> match subscriptions -> enqueue notifications. Validation
-/// (finite, in-bounds) happens before apply so the WAL append cannot fail
-/// after the tree changed; the WAL and tree sequence numbers advance in
-/// lockstep and the response carries the shared sequence.
+/// Write path ordering: validate -> apply to the backend (structure,
+/// then its WAL in lockstep) -> match subscriptions -> enqueue
+/// notifications. Validation (finite, in-bounds) happens before apply so
+/// a durability append cannot fail after the structure changed; the
+/// response carries the backend's shared sequence.
 class ServerCore {
  public:
-  /// `wal` may be null (no durability); when provided it must already be
-  /// positioned (fresh header or ResumeAt after recovery) and its
-  /// next_sequence must equal `initial_sequence` + 1.
+  /// Serves an externally constructed storage engine (see store.h).
+  explicit ServerCore(std::unique_ptr<StoreBackend> store);
+
+  /// Single-tree convenience form (the original API): constructs a
+  /// CowTreeBackend internally. `wal` may be null (no durability); when
+  /// provided it must already be positioned (fresh header or ResumeAt
+  /// after recovery) and its next_sequence must equal
+  /// `initial_sequence` + 1.
   ///
   /// `seed_points` pre-loads recovered state (WAL replay / checkpoint)
   /// without logging or notifying: the tree is constructed so that its
@@ -116,15 +123,15 @@ class ServerCore {
 
   uint64_t sequence() const {
     popan::AssumeRole command(command_role_);
-    return tree_.sequence();
+    return store_->sequence();
   }
   size_t size() const {
     popan::AssumeRole command(command_role_);
-    return tree_.size();
+    return store_->size();
   }
-  const spatial::CowPrQuadtree& tree() const {
+  const StoreBackend& store() const {
     popan::AssumeRole command(command_role_);
-    return tree_;
+    return *store_;
   }
   const SubscriptionIndex& subscriptions() const {
     popan::AssumeRole command(command_role_);
@@ -163,8 +170,9 @@ class ServerCore {
 
   /// The command thread's affinity capability (see threading contract).
   popan::ThreadRole command_role_;
-  spatial::CowPrQuadtree tree_ GUARDED_BY(command_role_);
-  spatial::WalWriter* wal_ PT_GUARDED_BY(command_role_);
+  /// Declared before subs_: the subscription index is constructed from
+  /// the backend's bounds.
+  std::unique_ptr<StoreBackend> store_ GUARDED_BY(command_role_);
   SubscriptionIndex subs_ GUARDED_BY(command_role_);
   // Ordered: deterministic scans.
   std::map<uint64_t, ClientState> clients_ GUARDED_BY(command_role_);

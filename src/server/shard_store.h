@@ -1,0 +1,52 @@
+#ifndef POPAN_SERVER_SHARD_STORE_H_
+#define POPAN_SERVER_SHARD_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "server/store.h"
+#include "shard/router.h"
+#include "util/statusor.h"
+
+namespace popan::server {
+
+/// The sharded storage engine: a Morton-range ShardRouter behind the
+/// same StoreBackend interface the single-tree backend implements, so
+/// the protocol layer serves a sharded store unchanged. Reads pin a
+/// MultiSnapshot (one epoch slot per shard) and fan out through
+/// shard::Execute, which merges through the canonical ordering layer —
+/// response POINTS are bitwise identical to the single-tree backend;
+/// cost counters legitimately differ (they sum per-shard traversals).
+/// The census response and predicted_nodes evaluate on the MERGED
+/// census, the same aggregate a single tree over the union would
+/// produce.
+class ShardStoreBackend final : public StoreBackend {
+ public:
+  /// Takes ownership of a constructed router (in-memory or opened from
+  /// a durable store directory via shard::ShardRouter::Open).
+  explicit ShardStoreBackend(std::unique_ptr<shard::ShardRouter> router);
+
+  const geo::Box2& bounds() const override { return router_->domain(); }
+  uint64_t sequence() const override { return router_->sequence(); }
+  size_t size() const override { return router_->size(); }
+
+  [[nodiscard]] StatusOr<uint64_t> ApplyInsert(
+      const geo::Point2& p) override;
+  [[nodiscard]] StatusOr<uint64_t> ApplyErase(
+      const geo::Point2& p) override;
+  [[nodiscard]] StatusOr<std::unique_ptr<const ReadView>> PrepareRead()
+      const override;
+
+  shard::ShardRouter& router() { return *router_; }
+  const shard::ShardRouter& router() const { return *router_; }
+
+ private:
+  std::unique_ptr<shard::ShardRouter> router_;
+};
+
+}  // namespace popan::server
+
+#endif  // POPAN_SERVER_SHARD_STORE_H_

@@ -1,0 +1,91 @@
+#include "shard/key_range.h"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/text_io.h"
+
+namespace popan::shard {
+
+using spatial::MortonCode;
+
+uint64_t ShardKeyOfPoint(const geo::Box2& domain, const geo::Point2& p) {
+  return spatial::CodeOfPoint(domain, p, MortonCode::kMaxDepth).bits;
+}
+
+std::string KeyRange::ToString() const {
+  std::ostringstream os;
+  StreamFormatGuard guard(&os);
+  os << "[0x" << std::hex << lo << ", 0x" << hi << ")";
+  return os.str();
+}
+
+std::vector<MortonCode> CoverBlocks(const KeyRange& range) {
+  POPAN_CHECK(range.lo < range.hi && range.hi <= kShardKeyEnd)
+      << "malformed key range " << range.ToString();
+  std::vector<MortonCode> blocks;
+  uint64_t pos = range.lo;
+  while (pos < range.hi) {
+    // The largest block starting at pos is limited by two things: pos's
+    // alignment (a depth-d block's key interval starts on a multiple of
+    // its own span 4^(kMaxDepth - d)) and the remaining budget hi - pos.
+    // Taking the larger depth (smaller span) of the two limits yields
+    // the greedy canonical decomposition.
+    int align_pairs = pos == 0 ? MortonCode::kMaxDepth
+                               : std::countr_zero(pos) / 2;
+    if (align_pairs > MortonCode::kMaxDepth) {
+      align_pairs = MortonCode::kMaxDepth;
+    }
+    uint64_t budget = range.hi - pos;
+    // Largest k with 4^k <= budget (budget >= 1 so k >= 0).
+    int budget_pairs = (std::bit_width(budget) - 1) / 2;
+    int k = align_pairs < budget_pairs ? align_pairs : budget_pairs;
+    MortonCode code;
+    code.bits = pos;
+    code.depth = static_cast<uint8_t>(MortonCode::kMaxDepth - k);
+    blocks.push_back(code);
+    pos += uint64_t{1} << (2 * k);
+  }
+  return blocks;
+}
+
+std::vector<geo::Box2> CoverBoxes(const geo::Box2& domain,
+                                  const KeyRange& range) {
+  std::vector<MortonCode> blocks = CoverBlocks(range);
+  std::vector<geo::Box2> boxes;
+  boxes.reserve(blocks.size());
+  for (const MortonCode& code : blocks) {
+    boxes.push_back(spatial::BlockOfCode(domain, code));
+  }
+  return boxes;
+}
+
+bool RangeTouchesBox(const geo::Box2& domain, const KeyRange& range,
+                     const geo::Box2& box) {
+  for (const geo::Box2& block : CoverBoxes(domain, range)) {
+    if (block.Intersects(box)) return true;
+  }
+  return false;
+}
+
+bool RangeTouchesAxisValue(const geo::Box2& domain, const KeyRange& range,
+                           size_t axis, double value) {
+  for (const geo::Box2& block : CoverBoxes(domain, range)) {
+    if (block.lo()[axis] <= value && value < block.hi()[axis]) return true;
+  }
+  return false;
+}
+
+double RangeDistanceSquaredTo(const geo::Box2& domain, const KeyRange& range,
+                              const geo::Point2& p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const geo::Box2& block : CoverBoxes(domain, range)) {
+    double d2 = block.DistanceSquaredTo(p);
+    if (d2 < best) best = d2;
+  }
+  return best;
+}
+
+}  // namespace popan::shard

@@ -1,0 +1,98 @@
+#ifndef POPAN_SHARD_KEY_RANGE_H_
+#define POPAN_SHARD_KEY_RANGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/morton.h"
+
+namespace popan::shard {
+
+/// Shard keys and contiguous Morton-key ranges — the partitioning algebra
+/// of the sharded store.
+///
+/// A shard key is the 62-bit locational code of the deepest
+/// (kMaxDepth-level) Morton block containing a point, computed against
+/// the SHARED domain bounds every shard uses. The key space is the
+/// half-open integer interval [0, kShardKeyEnd); a shard owns one
+/// contiguous sub-interval, and because descendant codes form contiguous
+/// intervals (morton.h), a key range is simultaneously a set of points, a
+/// set of quadtree blocks, and a geometric region.
+///
+/// This header (with the spatial/ codecs) is the one sanctioned home for
+/// raw shift/mask arithmetic on shard keys — the shard-key-arithmetic
+/// lint rule bans it everywhere else, so range-boundary math stays in one
+/// audited place. Everything downstream (router, balancer, manifest)
+/// speaks KeyRange and MortonCode.
+
+/// One past the largest shard key: 4^kMaxDepth.
+inline constexpr uint64_t kShardKeyEnd =
+    uint64_t{1} << (2 * spatial::MortonCode::kMaxDepth);
+
+/// The shard key of `p` within `domain` (p must lie inside `domain`).
+/// Identical descent arithmetic to the tree's own placement
+/// (QuadrantOf), so a point routes to the shard whose blocks its leaf
+/// path lies in.
+uint64_t ShardKeyOfPoint(const geo::Box2& domain, const geo::Point2& p);
+
+/// A half-open, nonempty interval [lo, hi) of shard keys.
+struct KeyRange {
+  uint64_t lo = 0;
+  uint64_t hi = kShardKeyEnd;
+
+  bool Contains(uint64_t key) const { return key >= lo && key < hi; }
+  uint64_t Width() const { return hi - lo; }
+
+  /// True for the full key space (the single-shard range).
+  bool IsFullDomain() const { return lo == 0 && hi == kShardKeyEnd; }
+
+  friend bool operator==(const KeyRange& a, const KeyRange& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const KeyRange& a, const KeyRange& b) {
+    return !(a == b);
+  }
+  /// Orders disjoint ranges by position in the key space.
+  friend bool operator<(const KeyRange& a, const KeyRange& b) {
+    return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+  }
+
+  std::string ToString() const;  ///< "[0x..., 0x...)"
+};
+
+/// The canonical block cover of `range`: the unique minimal sequence of
+/// maximal Morton blocks whose descendant key intervals tile [lo, hi)
+/// exactly, in ascending key order. Like a base-4 digit expansion, each
+/// side of the range needs at most three sibling blocks per depth level,
+/// so O(kMaxDepth) blocks for any range. This is what
+/// turns a key interval back into geometry: the blocks' boxes are the
+/// shard's exact spatial footprint, used to prune query fan-out.
+std::vector<spatial::MortonCode> CoverBlocks(const KeyRange& range);
+
+/// The boxes of CoverBlocks(range) within `domain`, same order.
+std::vector<geo::Box2> CoverBoxes(const geo::Box2& domain,
+                                  const KeyRange& range);
+
+/// True iff `range`'s spatial footprint intersects `box` (conservative
+/// only in the sense of being exact on the block cover: a true result
+/// means some covered block overlaps `box`).
+bool RangeTouchesBox(const geo::Box2& domain, const KeyRange& range,
+                     const geo::Box2& box);
+
+/// True iff some covered block's `axis` interval contains `value`
+/// (half-open) — the partial-match fan-out test.
+bool RangeTouchesAxisValue(const geo::Box2& domain, const KeyRange& range,
+                           size_t axis, double value);
+
+/// min over covered blocks of DistanceSquaredTo(p): the k-NN fan-out
+/// lower bound (0 when `p` lies inside the footprint).
+double RangeDistanceSquaredTo(const geo::Box2& domain, const KeyRange& range,
+                              const geo::Point2& p);
+
+}  // namespace popan::shard
+
+#endif  // POPAN_SHARD_KEY_RANGE_H_

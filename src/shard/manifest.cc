@@ -1,0 +1,207 @@
+#include "shard/manifest.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/text_io.h"
+
+namespace popan::shard {
+
+namespace {
+
+constexpr char kMagic[] = "popan-shard-manifest";
+constexpr char kVersion[] = "v1";
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string DirPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+/// One filename token: relative, no whitespace, no path separators — the
+/// manifest stays a flat directory listing.
+bool ValidFileToken(const std::string& name) {
+  if (name.empty() || name == "-") return false;
+  for (char c : name) {
+    if (c == '/' || c == '\\' || std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string WalFileName(uint64_t file_id) {
+  std::ostringstream os;
+  os << "wal-" << std::setw(8) << std::setfill('0') << file_id << ".log";
+  return os.str();
+}
+
+std::string SnapshotFileName(uint64_t file_id) {
+  std::ostringstream os;
+  os << "snap-" << std::setw(8) << std::setfill('0') << file_id << ".dat";
+  return os.str();
+}
+
+std::string EncodeManifest(const Manifest& m) {
+  std::ostringstream os;
+  StreamFormatGuard guard(&os);
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << " " << kVersion << "\n";
+  os << "domain " << m.domain.lo().x() << " " << m.domain.lo().y() << " "
+     << m.domain.hi().x() << " " << m.domain.hi().y() << "\n";
+  os << "options " << m.options.capacity << " " << m.options.max_depth
+     << "\n";
+  os << "next-file-id " << m.next_file_id << "\n";
+  os << "shards " << m.shards.size() << "\n";
+  for (const ManifestShard& s : m.shards) {
+    os << "shard " << s.range.lo << " " << s.range.hi << " " << s.wal_file
+       << " " << (s.snapshot_file.empty() ? "-" : s.snapshot_file) << "\n";
+  }
+  std::string body = os.str();
+  std::ostringstream tail;
+  tail << "checksum " << Fnv1a(body) << "\n";
+  return body + tail.str();
+}
+
+[[nodiscard]] StatusOr<Manifest> DecodeManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  size_t consumed = 0;
+  size_t offset = 0;
+
+  auto malformed = [](const std::string& what) {
+    return Status::InvalidArgument("shard manifest: " + what);
+  };
+
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 2 ||
+      tokens[0] != kMagic || tokens[1] != kVersion) {
+    return malformed("bad magic/version line");
+  }
+  offset += consumed;
+
+  Manifest m;
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 5 ||
+      tokens[0] != "domain") {
+    return malformed("bad domain line");
+  }
+  offset += consumed;
+  POPAN_ASSIGN_OR_RETURN(double lox, ParseDouble(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(double loy, ParseDouble(tokens[2]));
+  POPAN_ASSIGN_OR_RETURN(double hix, ParseDouble(tokens[3]));
+  POPAN_ASSIGN_OR_RETURN(double hiy, ParseDouble(tokens[4]));
+  if (!(lox < hix) || !(loy < hiy)) return malformed("inverted domain");
+  m.domain = geo::Box2(geo::Point2(lox, loy), geo::Point2(hix, hiy));
+
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 3 ||
+      tokens[0] != "options") {
+    return malformed("bad options line");
+  }
+  offset += consumed;
+  POPAN_ASSIGN_OR_RETURN(uint64_t capacity, ParseU64(tokens[1]));
+  POPAN_ASSIGN_OR_RETURN(uint64_t max_depth, ParseU64(tokens[2]));
+  if (capacity == 0) return malformed("zero capacity");
+  m.options.capacity = static_cast<size_t>(capacity);
+  m.options.max_depth = static_cast<size_t>(max_depth);
+
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 2 ||
+      tokens[0] != "next-file-id") {
+    return malformed("bad next-file-id line");
+  }
+  offset += consumed;
+  POPAN_ASSIGN_OR_RETURN(m.next_file_id, ParseU64(tokens[1]));
+
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 2 ||
+      tokens[0] != "shards") {
+    return malformed("bad shards line");
+  }
+  offset += consumed;
+  POPAN_ASSIGN_OR_RETURN(uint64_t count, ParseU64(tokens[1]));
+  if (count == 0) return malformed("empty shard list");
+
+  m.shards.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 5 ||
+        tokens[0] != "shard") {
+      return malformed("bad shard line");
+    }
+    offset += consumed;
+    ManifestShard s;
+    POPAN_ASSIGN_OR_RETURN(s.range.lo, ParseU64(tokens[1]));
+    POPAN_ASSIGN_OR_RETURN(s.range.hi, ParseU64(tokens[2]));
+    if (!ValidFileToken(tokens[3])) return malformed("bad wal filename");
+    s.wal_file = tokens[3];
+    if (tokens[4] != "-") {
+      if (!ValidFileToken(tokens[4])) {
+        return malformed("bad snapshot filename");
+      }
+      s.snapshot_file = tokens[4];
+    }
+    m.shards.push_back(std::move(s));
+  }
+
+  // The checksum line covers every byte before it.
+  if (!ReadTokens(&in, &tokens, &consumed) || tokens.size() != 2 ||
+      tokens[0] != "checksum") {
+    return malformed("missing checksum line");
+  }
+  POPAN_ASSIGN_OR_RETURN(uint64_t want, ParseU64(tokens[1]));
+  uint64_t got = Fnv1a(text.data(), offset);
+  if (want != got) return malformed("checksum mismatch");
+  if (ReadTokens(&in, &tokens, &consumed)) {
+    return malformed("trailing bytes after checksum");
+  }
+
+  // The shard list must tile the key space exactly: ascending, disjoint,
+  // gap-free, first at 0, last at kShardKeyEnd.
+  uint64_t expect_lo = 0;
+  for (const ManifestShard& s : m.shards) {
+    if (s.range.lo != expect_lo || s.range.lo >= s.range.hi ||
+        s.range.hi > kShardKeyEnd) {
+      return malformed("shard ranges do not tile the key space");
+    }
+    expect_lo = s.range.hi;
+  }
+  if (expect_lo != kShardKeyEnd) {
+    return malformed("shard ranges stop short of the key space end");
+  }
+  return m;
+}
+
+[[nodiscard]] Status CommitManifest(const std::string& dir,
+                                    const Manifest& m) {
+  const std::string tmp = DirPath(dir, std::string(kManifestName) + ".tmp");
+  const std::string final_path = DirPath(dir, kManifestName);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    out << EncodeManifest(m);
+    out.flush();
+    if (!out.good()) return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("rename " + tmp + " -> " + final_path +
+                            " failed");
+  }
+  return Status::OK();
+}
+
+[[nodiscard]] StatusOr<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = DirPath(dir, kManifestName);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no manifest at " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DecodeManifest(buf.str());
+}
+
+}  // namespace popan::shard

@@ -1,0 +1,77 @@
+#ifndef POPAN_SHARD_MANIFEST_H_
+#define POPAN_SHARD_MANIFEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "shard/key_range.h"
+#include "spatial/pr_tree.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace popan::shard {
+
+/// The shard map's durable root: a small checksummed text file naming
+/// every shard's key range and its WAL (and optional checkpoint
+/// snapshot) file. The manifest is the COMMIT POINT of every split,
+/// merge, and checkpoint — per-shard files are always written and
+/// flushed first, then the new manifest replaces the old one via
+/// write-to-temp + atomic rename. A crash before the rename recovers the
+/// old shard map from the old manifest (the half-written files are
+/// orphans, ignored); a crash after recovers the new map whole. Recovery
+/// therefore always sees a manifest whose files exist in full, modulo a
+/// torn tail on the one WAL that was live at the crash.
+///
+/// Format (line-oriented, LF, text doubles round-trip bit-exactly
+/// through max_digits10):
+///
+///   popan-shard-manifest v1
+///   domain <lo.x> <lo.y> <hi.x> <hi.y>
+///   options <capacity> <max_depth>
+///   next-file-id <n>
+///   shards <count>
+///   shard <lo-key> <hi-key> <wal-file> <snapshot-file|->
+///   ...
+///   checksum <fnv1a of every preceding byte>
+struct ManifestShard {
+  KeyRange range;
+  std::string wal_file;       ///< relative filename within the store dir
+  std::string snapshot_file;  ///< empty = WAL-only (no checkpoint yet)
+};
+
+struct Manifest {
+  geo::Box2 domain = geo::Box2::UnitCube();
+  spatial::PrTreeOptions options;
+  /// Monotone counter naming per-shard files (wal-<id>.log /
+  /// snap-<id>.dat); persisting it keeps names unique across restarts.
+  uint64_t next_file_id = 0;
+  std::vector<ManifestShard> shards;
+};
+
+/// Serializes `m` to the exact on-disk byte form (checksum line last).
+std::string EncodeManifest(const Manifest& m);
+
+/// Parses and verifies a manifest. InvalidArgument for anything unusable:
+/// bad magic/version, malformed lines, checksum mismatch, or a shard list
+/// that is not a disjoint ascending exact tiling of [0, kShardKeyEnd).
+[[nodiscard]] StatusOr<Manifest> DecodeManifest(const std::string& text);
+
+/// Durably replaces `dir`/MANIFEST: writes MANIFEST.tmp, flushes, then
+/// renames over MANIFEST (the atomic commit). Internal on I/O failure.
+[[nodiscard]] Status CommitManifest(const std::string& dir,
+                                    const Manifest& m);
+
+/// Reads `dir`/MANIFEST. NotFound when absent (a fresh store directory);
+/// DecodeManifest errors pass through.
+[[nodiscard]] StatusOr<Manifest> ReadManifest(const std::string& dir);
+
+/// The conventional file names for a given file id.
+std::string WalFileName(uint64_t file_id);
+std::string SnapshotFileName(uint64_t file_id);
+
+}  // namespace popan::shard
+
+#endif  // POPAN_SHARD_MANIFEST_H_

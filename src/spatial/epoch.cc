@@ -7,6 +7,11 @@
 
 namespace popan::spatial {
 
+EpochManager::EpochManager(size_t max_readers) : slots_(max_readers) {
+  POPAN_CHECK(max_readers >= 1)
+      << "an epoch manager needs at least one reader slot";
+}
+
 EpochManager::~EpochManager() { ReclaimAll(); }
 
 void EpochManager::Pin::Release() {
@@ -18,8 +23,8 @@ void EpochManager::Pin::Release() {
 StatusOr<EpochManager::Pin> EpochManager::TryPinReader() {
   // Claim a free slot. Readers race on `claimed` only; a claimed slot is
   // touched by exactly one reader until it is released.
-  size_t slot = kMaxReaders;
-  for (size_t i = 0; i < kMaxReaders; ++i) {
+  size_t slot = slots_.size();
+  for (size_t i = 0; i < slots_.size(); ++i) {
     bool expected = false;
     if (slots_[i].claimed.compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
@@ -27,9 +32,9 @@ StatusOr<EpochManager::Pin> EpochManager::TryPinReader() {
       break;
     }
   }
-  if (slot >= kMaxReaders) {
+  if (slot >= slots_.size()) {
     return Status::ResourceExhausted(
-        "all " + std::to_string(kMaxReaders) +
+        "all " + std::to_string(slots_.size()) +
         " epoch reader slots are pinned");
   }
   // Publish the pin, then confirm the global epoch did not move past it;

@@ -1,11 +1,11 @@
 #ifndef POPAN_SPATIAL_EPOCH_H_
 #define POPAN_SPATIAL_EPOCH_H_
 
-#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "util/mutex.h"
 #include "util/statusor.h"
@@ -54,15 +54,20 @@ namespace popan::spatial {
 ///  - Counters (current_epoch, epochs_advanced, ...): any thread.
 class EpochManager {
  public:
-  /// Concurrent pinned readers supported. Slots are a fixed cache-line
-  /// padded array so pinning never allocates or locks; 64 comfortably
-  /// covers the bench's 16-reader scaling ceiling.
+  /// Default concurrent pinned readers supported. Slots are cache-line
+  /// padded and allocated once at construction, so pinning never
+  /// allocates or locks; 64 comfortably covers the bench's 16-reader
+  /// scaling ceiling. Callers with a known client budget (the shard
+  /// router's per-shard managers) size the manager explicitly instead.
   static constexpr size_t kMaxReaders = 64;
 
   /// Slot value meaning "not pinned".
   static constexpr uint64_t kIdle = ~uint64_t{0};
 
-  EpochManager() = default;
+  /// `max_readers` is the number of reader slots (must be >= 1); the
+  /// exhaustion contract (ResourceExhausted once every slot is pinned)
+  /// is the same at any size.
+  explicit EpochManager(size_t max_readers = kMaxReaders);
   ~EpochManager();
 
   EpochManager(const EpochManager&) = delete;
@@ -113,7 +118,7 @@ class EpochManager {
 
   /// Enters a read-side critical section: claims a free reader slot and
   /// pins the current epoch into it. Returns ResourceExhausted when all
-  /// kMaxReaders slots are simultaneously live — a runtime condition a
+  /// max_readers() slots are simultaneously live — a runtime condition a
   /// server with many connections must handle by shedding the request,
   /// not by crashing.
   [[nodiscard]] StatusOr<Pin> TryPinReader();
@@ -146,6 +151,9 @@ class EpochManager {
   /// no reader can still be inside a read-side critical section (shutdown
   /// / destructor path).
   size_t ReclaimAll();
+
+  /// The number of reader slots this manager was constructed with.
+  size_t max_readers() const { return slots_.size(); }
 
   /// The current global epoch (starts at 1).
   uint64_t current_epoch() const {
@@ -196,7 +204,9 @@ class EpochManager {
   void ReleaseSlot(size_t slot);
 
   std::atomic<uint64_t> global_epoch_{1};
-  std::array<ReaderSlot, kMaxReaders> slots_;
+  // Sized once at construction and never resized: slot addresses must be
+  // stable while pins are outstanding.
+  std::vector<ReaderSlot> slots_;
   /// The single-writer affinity contract, as a checkable capability: every
   /// access to limbo_ must sit inside a popan::AssumeRole scope naming
   /// this role. See the threading contract above.

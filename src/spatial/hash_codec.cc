@@ -1,0 +1,147 @@
+#include "spatial/hash_codec.h"
+
+#include <algorithm>
+#include <array>
+
+#include "spatial/morton.h"
+#include "util/check.h"
+#include "util/simd.h"
+
+namespace popan::spatial {
+
+namespace {
+
+/// Final lattice-to-domain step shared by Decode and DecodeBatchLanes.
+/// Its a + b * c shape is exactly the kind the SIMD parity policy keeps
+/// off the vector paths (contraction to FMA would change results), so it
+/// is compiled once, never inlined, and called from both the scalar and
+/// the batched decoder — bitwise-identical outputs by construction.
+[[gnu::noinline]] geo::Point2 LatticeToDomain(const geo::Box2& domain,
+                                              uint64_t xq, uint64_t yq) {
+  // xq * 2^-31 is exact in a double, so lattice points round-trip.
+  const double scale =
+      1.0 / static_cast<double>(uint64_t{1} << HashPointCodec::kBitsPerAxis);
+  return geo::Point2(
+      domain.lo().x() + domain.Extent(0) * (static_cast<double>(xq) * scale),
+      domain.lo().y() + domain.Extent(1) * (static_cast<double>(yq) * scale));
+}
+
+}  // namespace
+
+uint64_t HashPointCodec::Encode(const geo::Point2& p) const {
+  // Normalize to [0, 1) and quantize each axis to kBitsPerAxis bits —
+  // identical arithmetic to Excell::PseudoKey, so the two structures
+  // decompose the domain the same way.
+  double fx = (p.x() - domain.lo().x()) / domain.Extent(0);
+  double fy = (p.y() - domain.lo().y()) / domain.Extent(1);
+  auto quantize = [](double f) {
+    double scaled = f * static_cast<double>(uint64_t{1} << kBitsPerAxis);
+    uint64_t q = scaled <= 0.0 ? 0 : static_cast<uint64_t>(scaled);
+    return std::min(q, (uint64_t{1} << kBitsPerAxis) - 1);
+  };
+  uint64_t xq = quantize(fx);
+  uint64_t yq = quantize(fy);
+  uint64_t key = 0;
+  for (size_t level = 0; level < kBitsPerAxis; ++level) {
+    uint64_t ybit = (yq >> (kBitsPerAxis - 1 - level)) & 1;
+    uint64_t xbit = (xq >> (kBitsPerAxis - 1 - level)) & 1;
+    key = (key << 2) | (ybit << 1) | xbit;
+  }
+  return key << (64 - 2 * kBitsPerAxis);
+}
+
+geo::Point2 HashPointCodec::Decode(uint64_t key) const {
+  uint64_t bits = key >> (64 - 2 * kBitsPerAxis);
+  uint64_t xq = 0;
+  uint64_t yq = 0;
+  for (size_t level = 0; level < kBitsPerAxis; ++level) {
+    uint64_t pair = (bits >> (2 * (kBitsPerAxis - 1 - level))) & 3u;
+    yq = (yq << 1) | (pair >> 1);
+    xq = (xq << 1) | (pair & 1);
+  }
+  return LatticeToDomain(domain, xq, yq);
+}
+
+void HashPointCodec::EncodeBatch(std::span<const geo::Point2> pts,
+                                 uint64_t* out) const {
+  const size_t n = pts.size();
+  if (n == 0) return;
+  POPAN_CHECK(out != nullptr);
+  const double scale = static_cast<double>(uint64_t{1} << kBitsPerAxis);
+  const uint32_t max_q = (uint32_t{1} << kBitsPerAxis) - 1;
+  const int left_align = 64 - 2 * static_cast<int>(kBitsPerAxis);
+  for (size_t base = 0; base < n; base += 8) {
+    const size_t c = n - base < 8 ? n - base : 8;
+    double fx[8];
+    double fy[8];
+    // Normalization (subtract, divide) stays scalar: cheap next to the
+    // quantize + interleave, and trivially identical to Encode's.
+    for (size_t i = 0; i < c; ++i) {
+      const geo::Point2& p = pts[base + i];
+      fx[i] = (p.x() - domain.lo().x()) / domain.Extent(0);
+      fy[i] = (p.y() - domain.lo().y()) / domain.Extent(1);
+    }
+    uint32_t xq[8];
+    uint32_t yq[8];
+    uint64_t keys[8];
+    simd::QuantizeClamped(fx, c, scale, max_q, xq);
+    simd::QuantizeClamped(fy, c, scale, max_q, yq);
+    if (c == 8) {
+      spatial::InterleaveBatch8(xq, yq, keys);
+    } else {
+      for (size_t i = 0; i < c; ++i) {
+        keys[i] = simd::InterleaveBits(xq[i], yq[i]);
+      }
+    }
+    for (size_t i = 0; i < c; ++i) out[base + i] = keys[i] << left_align;
+  }
+}
+
+void HashPointCodec::DecodeBatchLanes(const uint64_t* keys, size_t n,
+                                      double* xs, double* ys) const {
+  if (n == 0) return;
+  POPAN_CHECK(keys != nullptr && xs != nullptr && ys != nullptr);
+  const int right_align = 64 - 2 * static_cast<int>(kBitsPerAxis);
+  for (size_t base = 0; base < n; base += 8) {
+    const size_t c = n - base < 8 ? n - base : 8;
+    uint64_t bits[8];
+    uint32_t xq[8];
+    uint32_t yq[8];
+    for (size_t i = 0; i < c; ++i) bits[i] = keys[base + i] >> right_align;
+    if (c == 8) {
+      spatial::DeinterleaveBatch8(bits, xq, yq);
+    } else {
+      for (size_t i = 0; i < c; ++i) {
+        simd::DeinterleaveBits(bits[i], &xq[i], &yq[i]);
+      }
+    }
+    for (size_t i = 0; i < c; ++i) {
+      const geo::Point2 p = LatticeToDomain(domain, xq[i], yq[i]);
+      xs[base + i] = p.x();
+      ys[base + i] = p.y();
+    }
+  }
+}
+
+geo::Box2 HashPointCodec::BlockOfPrefix(uint64_t prefix_bits,
+                                        size_t depth_bits) const {
+  // Even bit positions split y, odd split x — the mirror of Encode's
+  // y-first interleave (and of Excell::BlockOfPrefix).
+  geo::Box2 box = domain;
+  for (size_t level = 0; level < depth_bits; ++level) {
+    uint64_t bit = (prefix_bits >> (depth_bits - 1 - level)) & 1;
+    geo::Point2 lo = box.lo();
+    geo::Point2 hi = box.hi();
+    size_t axis = (level % 2 == 0) ? 1 : 0;
+    double mid = 0.5 * (lo[axis] + hi[axis]);
+    if (bit) {
+      lo[axis] = mid;
+    } else {
+      hi[axis] = mid;
+    }
+    box = geo::Box2(lo, hi);
+  }
+  return box;
+}
+
+}  // namespace popan::spatial

@@ -1,0 +1,55 @@
+#ifndef POPAN_SPATIAL_HASH_CODEC_H_
+#define POPAN_SPATIAL_HASH_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace popan::spatial {
+
+/// Coordinate codec for running spatial queries over an extendible hash
+/// table: a point maps to the EXCELL-style pseudokey — each coordinate
+/// normalized to [0, 1) and quantized to 31 bits, bits interleaved y
+/// first, the 62-bit result left-aligned in 64 bits so the table's
+/// directory (which indexes by top bits) sees a y/x-alternating regular
+/// decomposition of the domain. Use identity_hash = true on the table so
+/// keys are placed by these bits, not remixed. Decode is the exact inverse
+/// for points on the per-axis 2^-31 lattice of the domain.
+///
+/// This file is one of the few sanctioned homes for raw shift/mask
+/// arithmetic on interleaved keys (the shard-key-arithmetic lint rule
+/// allowlists src/spatial/); everything outside goes through this codec,
+/// the morton.h codecs, or shard/key_range.h.
+struct HashPointCodec {
+  geo::Box2 domain = geo::Box2::UnitCube();
+
+  static constexpr size_t kBitsPerAxis = 31;
+
+  uint64_t Encode(const geo::Point2& p) const;
+  geo::Point2 Decode(uint64_t key) const;
+
+  /// Batched Encode: out[i] = Encode(pts[i]), bit for bit, through the
+  /// QuantizeClamped + InterleaveBatch8 kernels. out holds pts.size()
+  /// entries.
+  void EncodeBatch(std::span<const geo::Point2> pts, uint64_t* out) const;
+
+  /// Batched Decode into coordinate lanes: (xs[i], ys[i]) = Decode(keys[i])
+  /// bit for bit. The bit de-interleave is batched; the final
+  /// lattice-to-domain arithmetic runs through the same scalar helper as
+  /// Decode (its a + b * c shape must not be vectorized or fused). The
+  /// lane output feeds the SIMD bucket filters directly.
+  void DecodeBatchLanes(const uint64_t* keys, size_t n, double* xs,
+                        double* ys) const;
+
+  /// The dyadic block of the domain shared by all keys whose pseudokey
+  /// starts with the depth_bits-bit prefix (the geometry of one hash
+  /// bucket; matches Excell::BlockOfPrefix).
+  geo::Box2 BlockOfPrefix(uint64_t prefix_bits, size_t depth_bits) const;
+};
+
+}  // namespace popan::spatial
+
+#endif  // POPAN_SPATIAL_HASH_CODEC_H_

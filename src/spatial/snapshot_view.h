@@ -64,10 +64,13 @@ class CowPrTree {
   /// Creates an empty tree over `bounds`. `initial_sequence` anchors the
   /// version counter — pass the WAL/checkpoint sequence the starting
   /// state reflects (0 for an empty tree) so snapshot sequence numbers
-  /// line up with log sequence numbers.
+  /// line up with log sequence numbers. `epoch_readers` sizes the
+  /// epoch manager's reader-slot table (concurrent pinned snapshots);
+  /// the shard router sizes per-shard trees to its client budget.
   explicit CowPrTree(const BoxT& bounds, const PrTreeOptions& options = {},
-                     uint64_t initial_sequence = 0)
-      : bounds_(bounds), options_(options) {
+                     uint64_t initial_sequence = 0,
+                     size_t epoch_readers = EpochManager::kMaxReaders)
+      : bounds_(bounds), options_(options), epochs_(epoch_readers) {
     POPAN_CHECK(options_.capacity >= 1) << "capacity must be at least 1";
     HistAdd(0, 0);
     Version* v = new Version;
@@ -101,6 +104,21 @@ class CowPrTree {
   bool empty() const { return size() == 0; }
   size_t LeafCount() const {
     return head_.load(std::memory_order_relaxed)->leaf_count;
+  }
+
+  /// Writer-side census of the newest version — the same histogram fold
+  /// SnapshotView::LiveCensus performs, without pinning a reader slot.
+  /// O(depths x occupancies); this is what lets the shard balancer poll
+  /// every shard's census per rebalance check without touching points.
+  Census LiveCensus() const {
+    Census census;
+    for (size_t d = 0; d < hist_.size(); ++d) {
+      const std::vector<uint64_t>& row = hist_[d];
+      for (size_t occ = 0; occ < row.size(); ++occ) {
+        if (row[occ] != 0) census.AddLeaves(occ, d, row[occ]);
+      }
+    }
+    return census;
   }
 
   /// The reclamation machinery, exposed for storm harnesses and benches

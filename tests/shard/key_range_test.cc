@@ -1,0 +1,184 @@
+#include "shard/key_range.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "spatial/morton.h"
+#include "util/random.h"
+
+namespace popan::shard {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+using spatial::MortonCode;
+
+TEST(KeyRangeTest, DefaultIsFullDomain) {
+  KeyRange range;
+  EXPECT_TRUE(range.IsFullDomain());
+  EXPECT_EQ(range.Width(), kShardKeyEnd);
+  EXPECT_TRUE(range.Contains(0));
+  EXPECT_TRUE(range.Contains(kShardKeyEnd - 1));
+  EXPECT_FALSE(range.Contains(kShardKeyEnd));
+}
+
+TEST(KeyRangeTest, ShardKeyMatchesMortonCodeAtMaxDepth) {
+  Box2 domain = Box2::UnitCube();
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    Point2 p(rng.NextDouble(), rng.NextDouble());
+    MortonCode code = spatial::CodeOfPoint(domain, p, MortonCode::kMaxDepth);
+    EXPECT_EQ(ShardKeyOfPoint(domain, p), code.bits);
+  }
+}
+
+TEST(KeyRangeTest, ShardKeyIsPrefixConsistentWithShallowerCodes) {
+  // The key of a point always falls inside the descendant interval of the
+  // point's code at ANY depth — the property that lets the split-key
+  // search reason about leaf blocks instead of individual points.
+  Box2 domain(Point2(-3.0, 1.0), Point2(5.0, 9.0));
+  Pcg32 rng(11);
+  for (int i = 0; i < 300; ++i) {
+    Point2 p(rng.NextDouble(-3.0, 5.0), rng.NextDouble(1.0, 9.0));
+    uint64_t key = ShardKeyOfPoint(domain, p);
+    for (uint8_t depth = 0; depth <= MortonCode::kMaxDepth; ++depth) {
+      MortonCode code = spatial::CodeOfPoint(domain, p, depth);
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      spatial::DescendantRange(code, &lo, &hi);
+      EXPECT_LE(lo, key);
+      EXPECT_LT(key, hi);
+    }
+  }
+}
+
+/// The descendant key interval of one block.
+KeyRange IntervalOf(const MortonCode& code) {
+  KeyRange r;
+  spatial::DescendantRange(code, &r.lo, &r.hi);
+  return r;
+}
+
+TEST(CoverBlocksTest, FullDomainIsOneRootBlock) {
+  std::vector<MortonCode> blocks = CoverBlocks(KeyRange{});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].depth, 0);
+  EXPECT_EQ(blocks[0].bits, 0u);
+}
+
+TEST(CoverBlocksTest, TilesArbitraryRangesExactly) {
+  Pcg32 rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t a = rng.Next64() % kShardKeyEnd;
+    uint64_t b = rng.Next64() % kShardKeyEnd;
+    if (a == b) continue;
+    KeyRange range{std::min(a, b), std::max(a, b)};
+    std::vector<MortonCode> blocks = CoverBlocks(range);
+    // Ascending, gap-free, exact tiling.
+    uint64_t expect = range.lo;
+    for (const MortonCode& block : blocks) {
+      KeyRange iv = IntervalOf(block);
+      EXPECT_EQ(iv.lo, expect);
+      expect = iv.hi;
+    }
+    EXPECT_EQ(expect, range.hi);
+    // The staircase bound: like a base-4 digit expansion, each side of
+    // the range needs at most three sibling blocks per depth level.
+    EXPECT_LE(blocks.size(), 6u * (MortonCode::kMaxDepth + 1));
+  }
+}
+
+TEST(CoverBlocksTest, BlocksAreMaximal) {
+  // Every block in the canonical cover is as shallow as its alignment and
+  // the range boundaries allow: its parent block's interval must escape
+  // the range (otherwise the parent should have been used).
+  Pcg32 rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t a = rng.Next64() % kShardKeyEnd;
+    uint64_t b = rng.Next64() % kShardKeyEnd;
+    if (a == b) continue;
+    KeyRange range{std::min(a, b), std::max(a, b)};
+    for (const MortonCode& block : CoverBlocks(range)) {
+      if (block.depth == 0) continue;
+      KeyRange parent = IntervalOf(spatial::ParentCode(block));
+      EXPECT_TRUE(parent.lo < range.lo || parent.hi > range.hi)
+          << "non-maximal block in cover of " << range.ToString();
+    }
+  }
+}
+
+TEST(CoverBoxesTest, FootprintMatchesPointMembership) {
+  // A point lies in some cover box iff its shard key lies in the range.
+  // (Box containment is half-open on each axis, exactly like the key
+  // interval, so the equivalence is exact.)
+  Box2 domain = Box2::UnitCube();
+  Pcg32 rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t a = rng.Next64() % kShardKeyEnd;
+    uint64_t b = rng.Next64() % kShardKeyEnd;
+    if (a == b) continue;
+    KeyRange range{std::min(a, b), std::max(a, b)};
+    std::vector<geo::Box2> boxes = CoverBoxes(domain, range);
+    for (int i = 0; i < 200; ++i) {
+      Point2 p(rng.NextDouble(), rng.NextDouble());
+      bool in_boxes = false;
+      for (const geo::Box2& box : boxes) {
+        if (box.Contains(p)) {
+          in_boxes = true;
+          break;
+        }
+      }
+      EXPECT_EQ(in_boxes, range.Contains(ShardKeyOfPoint(domain, p)));
+    }
+  }
+}
+
+TEST(FootprintTest, TouchTestsNeverPruneAMatchingPoint) {
+  // The fan-out filters may only skip a shard when it provably holds no
+  // match: for every point whose key is in the range, any query box
+  // containing the point must touch the range, any axis line through it
+  // must touch, and the k-NN lower bound must not exceed the true
+  // distance.
+  Box2 domain(Point2(0.0, -2.0), Point2(4.0, 2.0));
+  Pcg32 rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t a = rng.Next64() % kShardKeyEnd;
+    uint64_t b = rng.Next64() % kShardKeyEnd;
+    if (a == b) continue;
+    KeyRange range{std::min(a, b), std::max(a, b)};
+    for (int i = 0; i < 100; ++i) {
+      Point2 p(rng.NextDouble(0.0, 4.0), rng.NextDouble(-2.0, 2.0));
+      if (!range.Contains(ShardKeyOfPoint(domain, p))) continue;
+      Point2 qlo(p.x() - rng.NextDouble(0.0, 0.5),
+                 p.y() - rng.NextDouble(0.0, 0.5));
+      Point2 qhi(p.x() + rng.NextDouble(0.001, 0.5),
+                 p.y() + rng.NextDouble(0.001, 0.5));
+      EXPECT_TRUE(RangeTouchesBox(domain, range, Box2(qlo, qhi)));
+      EXPECT_TRUE(RangeTouchesAxisValue(domain, range, 0, p.x()));
+      EXPECT_TRUE(RangeTouchesAxisValue(domain, range, 1, p.y()));
+      Point2 q(rng.NextDouble(-1.0, 5.0), rng.NextDouble(-3.0, 3.0));
+      EXPECT_LE(RangeDistanceSquaredTo(domain, range, q),
+                q.DistanceSquared(p));
+    }
+  }
+}
+
+TEST(FootprintTest, DisjointBoxIsPruned) {
+  Box2 domain = Box2::UnitCube();
+  // The first quadrant's key interval covers [0, 4^kMaxDepth / 4).
+  KeyRange first_quadrant{0, kShardKeyEnd / 4};
+  // Query box entirely in the opposite quadrant.
+  EXPECT_FALSE(RangeTouchesBox(domain, first_quadrant,
+                               Box2(Point2(0.6, 0.6), Point2(0.9, 0.9))));
+  EXPECT_FALSE(RangeTouchesAxisValue(domain, first_quadrant, 0, 0.75));
+  EXPECT_GT(
+      RangeDistanceSquaredTo(domain, first_quadrant, Point2(0.9, 0.9)),
+      0.0);
+}
+
+}  // namespace
+}  // namespace popan::shard

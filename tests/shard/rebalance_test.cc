@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "shard/router.h"
+#include "util/random.h"
+
+namespace popan::shard {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+RouterOptions BalancedOptions() {
+  RouterOptions options;
+  options.rebalance.enabled = true;
+  options.rebalance.ref_qx = 0.05;
+  options.rebalance.ref_qy = 0.05;
+  options.rebalance.split_cost = 6.0;
+  options.rebalance.merge_cost = 3.0;
+  options.rebalance.min_split_points = 32;
+  options.rebalance.max_shards = 16;
+  options.rebalance.check_interval = 32;
+  return options;
+}
+
+TEST(RebalanceTest, SkewedLoadTriggersCensusPredictedSplits) {
+  Box2 domain = Box2::UnitCube();
+  ShardRouter router(domain, BalancedOptions());
+  // Zipf-ish skew: almost everything lands in one hot corner cluster.
+  Pcg32 rng(101);
+  for (int i = 0; i < 4000; ++i) {
+    Point2 p = rng.NextDouble() < 0.9
+                   ? Point2(rng.NextDouble(0.0, 0.1),
+                            rng.NextDouble(0.0, 0.1))
+                   : Point2(rng.NextDouble(), rng.NextDouble());
+    Status s = router.Insert(p);
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists)
+        << s.ToString();
+  }
+  EXPECT_GT(router.rebalance_checks(), 0u);
+  EXPECT_GT(router.splits(), 0u);
+  ASSERT_GT(router.shard_count(), 1u);
+  EXPECT_LE(router.shard_count(), 16u);
+
+  // The balancer's whole point: after splitting, no shard's predicted
+  // cost should dwarf the mean. Allow generous slack for leaf
+  // granularity — the gate is "bounded imbalance", not perfection.
+  std::vector<ShardInfo> shards = router.Shards();
+  double max_cost = 0.0;
+  double total_cost = 0.0;
+  for (const ShardInfo& s : shards) {
+    max_cost = std::max(max_cost, s.predicted_cost);
+    total_cost += s.predicted_cost;
+  }
+  double mean_cost = total_cost / static_cast<double>(shards.size());
+  EXPECT_LT(max_cost, 8.0 * mean_cost);
+  // And no shard is left over the split threshold with room to split.
+  for (const ShardInfo& s : shards) {
+    if (s.size >= 2 * BalancedOptions().rebalance.min_split_points) {
+      EXPECT_LT(s.predicted_cost,
+                2.0 * BalancedOptions().rebalance.split_cost)
+          << s.range.ToString() << " size=" << s.size;
+    }
+  }
+}
+
+TEST(RebalanceTest, DrainedShardsMergeBackTogether) {
+  Box2 domain = Box2::UnitCube();
+  ShardRouter router(domain, BalancedOptions());
+  Pcg32 rng(103);
+  std::vector<Point2> points;
+  for (int i = 0; i < 3000; ++i) {
+    points.emplace_back(rng.NextDouble(), rng.NextDouble());
+    Status s = router.Insert(points.back());
+    if (!s.ok()) points.pop_back();
+  }
+  size_t peak = router.shard_count();
+  ASSERT_GT(peak, 1u);
+
+  // Drain almost everything; the merge threshold pulls the cold shards
+  // back together.
+  for (size_t i = 16; i < points.size(); ++i) {
+    ASSERT_TRUE(router.Erase(points[i]).ok());
+  }
+  EXPECT_LT(router.shard_count(), peak);
+  EXPECT_GT(router.merges(), 0u);
+}
+
+TEST(RebalanceTest, UnsplittableHotspotDoesNotSpin) {
+  // A hot shard whose points all share one Morton block refuses to split
+  // (FailedPrecondition). The balancer must remember the refusal and not
+  // retry every check while the population is unchanged.
+  Box2 domain = Box2::UnitCube();
+  RouterOptions options = BalancedOptions();
+  options.rebalance.min_split_points = 16;
+  options.rebalance.split_cost = 0.5;  // every check wants this split
+  options.rebalance.merge_cost = 0.1;
+  options.rebalance.check_interval = 8;
+  ShardRouter router(domain, options);
+  double eps = 0x1.0p-45;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(
+        router.Insert(Point2(0.25 + i * eps, 0.25 + i * eps)).ok());
+  }
+  // Interleave enough no-op churn (inside the SAME Morton block, so
+  // the shard stays unsplittable) to run many balance checks.
+  for (int round = 0; round < 50; ++round) {
+    Point2 p(0.25 + (100 + round) * eps, 0.25);
+    ASSERT_TRUE(router.Insert(p).ok());
+    ASSERT_TRUE(router.Erase(p).ok());
+  }
+  EXPECT_GT(router.rebalance_checks(), 10u);
+  EXPECT_EQ(router.splits(), 0u);
+  EXPECT_EQ(router.shard_count(), 1u);
+}
+
+TEST(RebalanceTest, MaxShardsCapsTheMap) {
+  Box2 domain = Box2::UnitCube();
+  RouterOptions options = BalancedOptions();
+  options.rebalance.max_shards = 3;
+  options.rebalance.split_cost = 2.0;   // eager
+  options.rebalance.merge_cost = 0.5;   // nearly never merge
+  ShardRouter router(domain, options);
+  Pcg32 rng(107);
+  for (int i = 0; i < 5000; ++i) {
+    Status s =
+        router.Insert(Point2(rng.NextDouble(), rng.NextDouble()));
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists);
+  }
+  EXPECT_LE(router.shard_count(), 3u);
+}
+
+TEST(RebalanceTest, DisabledBalancerNeverRebalances) {
+  Box2 domain = Box2::UnitCube();
+  ShardRouter router(domain, RouterOptions{});
+  Pcg32 rng(109);
+  for (int i = 0; i < 2000; ++i) {
+    Status s =
+        router.Insert(Point2(rng.NextDouble(0.0, 0.05),
+                             rng.NextDouble(0.0, 0.05)));
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kAlreadyExists);
+  }
+  EXPECT_EQ(router.shard_count(), 1u);
+  EXPECT_EQ(router.rebalance_checks(), 0u);
+  EXPECT_EQ(router.splits(), 0u);
+}
+
+}  // namespace
+}  // namespace popan::shard

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "query/query.h"
+#include "shard/manifest.h"
+#include "shard/router.h"
+#include "spatial/census.h"
+#include "util/random.h"
+
+namespace popan::shard {
+namespace {
+
+using geo::Box2;
+using geo::Point2;
+
+std::string FreshStoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/popan_shard_" + name;
+  // Tests reuse names across runs; start from an empty directory.
+  std::string cleanup = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(cleanup.c_str()), 0);
+  return dir;
+}
+
+std::vector<Point2> RandomPoints(uint64_t seed, size_t n) {
+  Pcg32 rng(seed);
+  std::vector<Point2> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.emplace_back(rng.NextDouble(), rng.NextDouble());
+  }
+  return points;
+}
+
+std::unique_ptr<ShardRouter> OpenOrDie(const std::string& dir,
+                                       const RouterOptions& options) {
+  StatusOr<std::unique_ptr<ShardRouter>> router =
+      ShardRouter::Open(dir, Box2::UnitCube(), options);
+  EXPECT_TRUE(router.ok()) << router.status().ToString();
+  return std::move(router).value();
+}
+
+/// All points in canonical order, via a full-domain range query.
+std::vector<Point2> Contents(const ShardRouter& router) {
+  return Execute(router.Snapshot(),
+                 query::QuerySpec::Range(Box2::UnitCube()))
+      .points;
+}
+
+/// Shard map fingerprint: ranges, sizes, sequences, and per-shard census.
+struct MapFingerprint {
+  std::vector<KeyRange> ranges;
+  std::vector<size_t> sizes;
+  std::vector<uint64_t> sequences;
+  std::vector<spatial::Census> censuses;
+};
+
+MapFingerprint FingerprintOf(const ShardRouter& router) {
+  MapFingerprint fp;
+  for (const ShardInfo& s : router.Shards()) {
+    fp.ranges.push_back(s.range);
+    fp.sizes.push_back(s.size);
+    fp.sequences.push_back(s.sequence);
+  }
+  MultiSnapshot snapshot = router.Snapshot();
+  for (const MultiSnapshot::Entry& e : snapshot.entries()) {
+    fp.censuses.push_back(e.view.LiveCensus());
+  }
+  return fp;
+}
+
+void ExpectSameMap(const MapFingerprint& a, const MapFingerprint& b) {
+  ASSERT_EQ(a.ranges.size(), b.ranges.size());
+  for (size_t i = 0; i < a.ranges.size(); ++i) {
+    EXPECT_EQ(a.ranges[i], b.ranges[i]);
+    EXPECT_EQ(a.sizes[i], b.sizes[i]);
+    EXPECT_EQ(a.sequences[i], b.sequences[i]);
+    EXPECT_TRUE(a.censuses[i] == b.censuses[i])
+        << "census mismatch in shard " << a.ranges[i].ToString();
+  }
+}
+
+TEST(ShardRecoveryTest, FreshDirectoryBootsEmptyAndCommitsManifest) {
+  std::string dir = FreshStoreDir("fresh");
+  RouterOptions options;
+  {
+    std::unique_ptr<ShardRouter> router = OpenOrDie(dir, options);
+    EXPECT_TRUE(router->durable());
+    EXPECT_EQ(router->shard_count(), 1u);
+    EXPECT_EQ(router->size(), 0u);
+    // The first manifest is already durable: a crash right here must
+    // still reopen.
+  }
+  std::unique_ptr<ShardRouter> reopened = OpenOrDie(dir, options);
+  EXPECT_EQ(reopened->shard_count(), 1u);
+  EXPECT_EQ(reopened->size(), 0u);
+}
+
+TEST(ShardRecoveryTest, ReopenReplaysWalsAcrossTheShardMap) {
+  std::string dir = FreshStoreDir("replay");
+  RouterOptions options;
+  std::vector<Point2> points = RandomPoints(211, 400);
+  MapFingerprint before;
+  std::vector<Point2> contents;
+  {
+    std::unique_ptr<ShardRouter> router = OpenOrDie(dir, options);
+    for (const Point2& p : points) ASSERT_TRUE(router->Insert(p).ok());
+    ASSERT_TRUE(router->SplitShard(0).ok());
+    ASSERT_TRUE(router->SplitShard(1).ok());
+    // Post-split churn exercises replay of records appended AFTER a
+    // WAL handoff.
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(router->Erase(points[i]).ok());
+    }
+    for (const Point2& p : RandomPoints(223, 50)) {
+      ASSERT_TRUE(router->Insert(p).ok());
+    }
+    router->FlushWals();
+    before = FingerprintOf(*router);
+    contents = Contents(*router);
+  }
+  std::unique_ptr<ShardRouter> reopened = OpenOrDie(dir, options);
+  EXPECT_EQ(reopened->shard_count(), 3u);
+  EXPECT_EQ(reopened->size(), 350u);
+  ExpectSameMap(before, FingerprintOf(*reopened));
+  EXPECT_EQ(Contents(*reopened), contents);
+
+  // The recovered store keeps accepting writes.
+  ASSERT_TRUE(reopened->Insert(Point2(0.111, 0.222)).ok());
+}
+
+TEST(ShardRecoveryTest, CheckpointCompactsAndStillRecovers) {
+  std::string dir = FreshStoreDir("checkpoint");
+  RouterOptions options;
+  MapFingerprint before;
+  {
+    std::unique_ptr<ShardRouter> router = OpenOrDie(dir, options);
+    for (const Point2& p : RandomPoints(227, 300)) {
+      ASSERT_TRUE(router->Insert(p).ok());
+    }
+    ASSERT_TRUE(router->SplitShard(0).ok());
+    ASSERT_TRUE(router->CheckpointShard(0).ok());
+    // Writes after the checkpoint land in the fresh anchored WAL.
+    for (const Point2& p : RandomPoints(229, 60)) {
+      ASSERT_TRUE(router->Insert(p).ok());
+    }
+    router->FlushWals();
+    before = FingerprintOf(*router);
+  }
+  std::unique_ptr<ShardRouter> reopened = OpenOrDie(dir, options);
+  ExpectSameMap(before, FingerprintOf(*reopened));
+}
+
+TEST(ShardRecoveryTest, MismatchedGeometryIsFailedPrecondition) {
+  std::string dir = FreshStoreDir("geometry");
+  { OpenOrDie(dir, RouterOptions{}); }
+  StatusOr<std::unique_ptr<ShardRouter>> wrong = ShardRouter::Open(
+      dir, Box2(Point2(0.0, 0.0), Point2(2.0, 2.0)), RouterOptions{});
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardRecoveryTest, TornWalTailIsTruncatedOnReopen) {
+  std::string dir = FreshStoreDir("torn");
+  RouterOptions options;
+  std::string wal_file;
+  {
+    std::unique_ptr<ShardRouter> router = OpenOrDie(dir, options);
+    for (const Point2& p : RandomPoints(233, 50)) {
+      ASSERT_TRUE(router->Insert(p).ok());
+    }
+    router->FlushWals();
+    StatusOr<Manifest> manifest = ReadManifest(dir);
+    ASSERT_TRUE(manifest.ok());
+    wal_file = manifest.value().shards[0].wal_file;
+  }
+  {
+    // A torn final record: garbage bytes after the intact prefix.
+    std::ofstream out(dir + "/" + wal_file,
+                      std::ios::binary | std::ios::app);
+    out << "I 0.5";  // truncated mid-record
+  }
+  std::unique_ptr<ShardRouter> reopened = OpenOrDie(dir, options);
+  EXPECT_EQ(reopened->size(), 50u);
+  // The truncated tail was discarded and the file resumed: new writes
+  // append cleanly and survive another reopen.
+  ASSERT_TRUE(reopened->Insert(Point2(0.42, 0.24)).ok());
+  reopened->FlushWals();
+  reopened.reset();
+  std::unique_ptr<ShardRouter> again = OpenOrDie(dir, options);
+  EXPECT_EQ(again->size(), 51u);
+}
+
+/// The mid-rebalance crash matrix: for every injected stage, a reopened
+/// store must land on a CONSISTENT shard map — the pre-rebalance map for
+/// crashes before the manifest commit, the post-rebalance map after it —
+/// with censuses exactly equal to an uncrashed control performing the
+/// same operations.
+class SplitCrashTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SplitCrashTest, KillAndRecoverDuringSplit) {
+  const std::string stage = GetParam();
+  std::string dir = FreshStoreDir(std::string("split_") +
+                                  std::string(stage).substr(6));
+  std::vector<Point2> points = RandomPoints(239, 300);
+
+  // Control: the same store without the crash, before and after split.
+  MapFingerprint pre_split;
+  MapFingerprint post_split;
+  {
+    std::string control_dir = FreshStoreDir(
+        std::string("split_control_") + std::string(stage).substr(6));
+    std::unique_ptr<ShardRouter> control =
+        OpenOrDie(control_dir, RouterOptions{});
+    for (const Point2& p : points) ASSERT_TRUE(control->Insert(p).ok());
+    control->FlushWals();
+    pre_split = FingerprintOf(*control);
+    ASSERT_TRUE(control->SplitShard(0).ok());
+    post_split = FingerprintOf(*control);
+  }
+
+  RouterOptions crashing;
+  crashing.crash_hook = [&stage](std::string_view at) {
+    return at == stage;
+  };
+  {
+    std::unique_ptr<ShardRouter> router = OpenOrDie(dir, crashing);
+    for (const Point2& p : points) ASSERT_TRUE(router->Insert(p).ok());
+    router->FlushWals();
+    Status split = router->SplitShard(0);
+    ASSERT_FALSE(split.ok());
+    EXPECT_EQ(split.code(), StatusCode::kFailedPrecondition);
+    // Poisoned: every further write refuses.
+    EXPECT_FALSE(router->Insert(Point2(0.9, 0.9)).ok());
+  }
+
+  std::unique_ptr<ShardRouter> recovered = OpenOrDie(dir, RouterOptions{});
+  if (stage == "split:after-manifest") {
+    // Crash after the commit point: the split is durable, and the WAL
+    // handoff replays to the exact post-split shard map and censuses.
+    ExpectSameMap(post_split, FingerprintOf(*recovered));
+  } else {
+    // Crash before the commit point: the old map survives untouched
+    // (half-written handoff files are orphans).
+    ExpectSameMap(pre_split, FingerprintOf(*recovered));
+  }
+  // Either way, not a single point was lost or duplicated.
+  EXPECT_EQ(recovered->size(), points.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, SplitCrashTest,
+                         ::testing::Values("split:before-wal",
+                                           "split:before-manifest",
+                                           "split:after-manifest"));
+
+TEST(ShardRecoveryTest, KillAndRecoverDuringMerge) {
+  std::vector<Point2> points = RandomPoints(241, 260);
+  for (const char* stage :
+       {"merge:before-wal", "merge:before-manifest",
+        "merge:after-manifest"}) {
+    std::string dir = FreshStoreDir("merge_crash");
+    MapFingerprint pre_merge;
+    MapFingerprint post_merge;
+    {
+      std::string control_dir = FreshStoreDir("merge_control");
+      std::unique_ptr<ShardRouter> control =
+          OpenOrDie(control_dir, RouterOptions{});
+      for (const Point2& p : points) ASSERT_TRUE(control->Insert(p).ok());
+      ASSERT_TRUE(control->SplitShard(0).ok());
+      control->FlushWals();
+      pre_merge = FingerprintOf(*control);
+      ASSERT_TRUE(control->MergeShards(0).ok());
+      post_merge = FingerprintOf(*control);
+    }
+
+    RouterOptions crashing;
+    std::string_view want = stage;
+    crashing.crash_hook = [want](std::string_view at) {
+      return at == want;
+    };
+    {
+      std::unique_ptr<ShardRouter> router = OpenOrDie(dir, crashing);
+      for (const Point2& p : points) ASSERT_TRUE(router->Insert(p).ok());
+      ASSERT_TRUE(router->SplitShard(0).ok());
+      router->FlushWals();
+      ASSERT_FALSE(router->MergeShards(0).ok());
+    }
+
+    std::unique_ptr<ShardRouter> recovered =
+        OpenOrDie(dir, RouterOptions{});
+    if (want == "merge:after-manifest") {
+      ExpectSameMap(post_merge, FingerprintOf(*recovered));
+    } else {
+      ExpectSameMap(pre_merge, FingerprintOf(*recovered));
+    }
+    EXPECT_EQ(recovered->size(), points.size()) << stage;
+  }
+}
+
+}  // namespace
+}  // namespace popan::shard

@@ -66,6 +66,42 @@ TEST(EpochExhaustionTest, ExhaustionDoesNotPoisonTheManager) {
   }
 }
 
+TEST(EpochExhaustionTest, NonDefaultSlotCountKeepsTheContract) {
+  // The slot count is a constructor parameter now (the shard router
+  // sizes per-shard managers to its client budget); the exhaustion
+  // contract must hold at any size, not just 64.
+  constexpr size_t kSmall = 3;
+  EpochManager manager(kSmall);
+  EXPECT_EQ(manager.max_readers(), kSmall);
+  std::vector<EpochManager::Pin> pins;
+  for (size_t i = 0; i < kSmall; ++i) {
+    StatusOr<EpochManager::Pin> pin = manager.TryPinReader();
+    ASSERT_TRUE(pin.ok()) << "pin " << i << ": "
+                          << pin.status().ToString();
+    pins.push_back(ValueOrDie(std::move(pin)));
+  }
+  StatusOr<EpochManager::Pin> overflow = manager.TryPinReader();
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  pins.pop_back();
+  EXPECT_TRUE(manager.TryPinReader().ok());
+}
+
+TEST(EpochExhaustionTest, TreeSizedBelowDefaultExhaustsEarly) {
+  constexpr size_t kReaders = 2;
+  CowPrQuadtree tree(Box2::UnitCube(), PrTreeOptions(),
+                     /*initial_sequence=*/0, kReaders);
+  ASSERT_TRUE(tree.Insert(Point2(0.25, 0.75)).ok());
+  std::vector<SnapshotView2> snapshots;
+  for (size_t i = 0; i < kReaders; ++i) {
+    snapshots.push_back(ValueOrDie(tree.TrySnapshot()));
+  }
+  EXPECT_EQ(tree.TrySnapshot().status().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(snapshots.front().RangeQuery(Box2::UnitCube()).size(), 1u);
+  snapshots.pop_back();
+  EXPECT_TRUE(tree.TrySnapshot().ok());
+}
+
 TEST(EpochExhaustionTest, TrySnapshotSurfacesExhaustion) {
   CowPrQuadtree tree(Box2::UnitCube(), PrTreeOptions());
   ASSERT_TRUE(tree.Insert(Point2(0.25, 0.75)).ok());

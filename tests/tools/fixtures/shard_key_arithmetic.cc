@@ -1,0 +1,22 @@
+// Fixture: raw bit surgery on Morton-key identifiers outside the
+// codec / key-range layer (shard-key-arithmetic).
+#include <cstdint>
+#include <ostream>
+
+uint64_t Demo(uint64_t shard_key, uint64_t key, std::ostream& out) {
+  uint64_t child = shard_key << 2;  // line 7: shift on a key
+  uint64_t parent = key >> 2;       // line 8: shift on a key
+  uint64_t quadrant = key & 0x3;    // line 9: mask against a literal
+  uint64_t low = 0x7u & key;        // line 10: literal on the left
+  key <<= 2;                        // line 11: compound shift
+  key |= 0x1;                       // line 12: compound mask
+  // Clean: "monkey"/"keyboard" only contain "key" as a substring.
+  uint64_t monkey = 2;
+  uint64_t keyboard = monkey << 1;
+  // Clean: chained stream insertion is piping, not arithmetic.
+  out << key << " " << keyboard << "\n";
+  // Clean: generic hash mixing — no key-ish identifier is shifted.
+  uint64_t hash = 0;
+  hash = (hash << 5) ^ key;
+  return child + parent + quadrant + low + monkey + hash;
+}

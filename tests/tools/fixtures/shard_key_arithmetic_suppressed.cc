@@ -1,0 +1,12 @@
+// Suppressed twin of shard_key_arithmetic.cc: each bit-surgery line
+// carries a reasoned popan-lint allow.
+#include <cstdint>
+
+uint64_t Demo(uint64_t shard_key, uint64_t key) {
+  // One-off diagnostic decode; production code goes through KeyRange.
+  // popan-lint: allow(shard-key-arithmetic)
+  uint64_t child = shard_key << 2;
+  uint64_t quadrant = key & 0x3;  // popan-lint: allow(shard-key-arithmetic)
+  key <<= 2;                      // popan-lint: allow(shard-key-arithmetic)
+  return child + quadrant + key;
+}

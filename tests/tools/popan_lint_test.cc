@@ -352,6 +352,41 @@ TEST(PopanLintTest, RawThreadSpawnSuppressionsSilence) {
                   .empty());
 }
 
+// --- shard-key-arithmetic ----------------------------------------------
+
+TEST(PopanLintTest, ShardKeyArithmeticFlagsShiftsAndMasks) {
+  std::vector<Finding> findings = LintText(
+      "src/shard/router.cc", ReadFixture("shard_key_arithmetic.cc"));
+  // The lookalikes stay clean: "monkey"/"keyboard" substrings, chained
+  // stream insertion, and hash mixing on non-key identifiers.
+  EXPECT_EQ(RulesAndLines(findings),
+            (Expected{{"shard-key-arithmetic", 7},
+                      {"shard-key-arithmetic", 8},
+                      {"shard-key-arithmetic", 9},
+                      {"shard-key-arithmetic", 10},
+                      {"shard-key-arithmetic", 11},
+                      {"shard-key-arithmetic", 12}}));
+}
+
+TEST(PopanLintTest, ShardKeyArithmeticAllowedInCodecAndKeyRangeFiles) {
+  // The Morton codec, the hash-directory codecs, and the key-range
+  // algebra are the sanctioned homes for key bit surgery.
+  for (const char* path :
+       {"src/spatial/morton.cc", "src/spatial/morton.h",
+        "src/spatial/hash_codec.cc", "src/spatial/excell.cc",
+        "src/shard/key_range.h", "src/shard/key_range.cc"}) {
+    EXPECT_TRUE(
+        LintText(path, ReadFixture("shard_key_arithmetic.cc")).empty())
+        << path;
+  }
+}
+
+TEST(PopanLintTest, ShardKeyArithmeticSuppressionsSilence) {
+  EXPECT_TRUE(LintText("src/shard/router.cc",
+                       ReadFixture("shard_key_arithmetic_suppressed.cc"))
+                  .empty());
+}
+
 // --- suppression edge cases --------------------------------------------
 
 TEST(PopanLintTest, SuppressionAllowListCoversMultipleRules) {

@@ -304,6 +304,7 @@ class Linter {
     CheckUnannotatedGuardedMember();
     CheckAtomicImplicitOrdering();
     CheckRawThreadSpawn();
+    CheckShardKeyArithmetic();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 if (a.line != b.line) return a.line < b.line;
@@ -953,6 +954,7 @@ class Linter {
     for (const char* allowed :
          {"src/sim/thread_pool.h", "src/sim/thread_pool.cc",
           "src/sim/rw_storm.h", "src/sim/rw_storm.cc",
+          "src/shard/shard_storm.h", "src/shard/shard_storm.cc",
           "src/server/traffic_sim.h", "src/server/traffic_sim.cc"}) {
       if (EndsWith(path_, allowed)) return;
     }
@@ -997,6 +999,184 @@ class Linter {
         Report("raw-thread-spawn", li,
                ".detach() abandons the thread join discipline; threads "
                "must be joined (the pool does this structurally)");
+      }
+    }
+  }
+
+  // --- shard-key-arithmetic ---------------------------------------------
+  /// Splits an identifier into lowercase word parts at underscores and
+  /// camelCase boundaries: "ShardKeyMask" -> {shard, key, mask}, so
+  /// "monkey"/"keyboard" never read as keys.
+  static std::vector<std::string> WordParts(const std::string& id) {
+    std::vector<std::string> parts;
+    std::string current;
+    for (size_t i = 0; i < id.size(); ++i) {
+      char c = id[i];
+      if (c == '_') {
+        if (!current.empty()) {
+          parts.push_back(current);
+          current.clear();
+        }
+        continue;
+      }
+      bool upper = c >= 'A' && c <= 'Z';
+      bool prev_lower =
+          i > 0 && ((id[i - 1] >= 'a' && id[i - 1] <= 'z') ||
+                    (id[i - 1] >= '0' && id[i - 1] <= '9'));
+      if (upper && prev_lower && !current.empty()) {
+        parts.push_back(current);
+        current.clear();
+      }
+      current.push_back(upper ? static_cast<char>(c - 'A' + 'a') : c);
+    }
+    if (!current.empty()) parts.push_back(current);
+    return parts;
+  }
+
+  static bool IsKeyishIdent(const std::string& id) {
+    for (const std::string& part : WordParts(id)) {
+      if (part == "key" || part == "keys" || part == "morton") return true;
+    }
+    return false;
+  }
+
+  /// True when the postfix chain ending just before `end` (identifiers
+  /// joined by '.' / '->') names a Morton key: "key", "state.shard_key",
+  /// "MortonKeyOf". A ')' or ']' receiver does not resolve.
+  static bool KeyishChainEndingAt(const std::string& code, size_t end) {
+    size_t i = end;
+    while (true) {
+      while (i > 0 && code[i - 1] == ' ') --i;
+      size_t stop = i;
+      while (i > 0 && IsIdentChar(code[i - 1])) --i;
+      if (i == stop) return false;
+      std::string ident = code.substr(i, stop - i);
+      if (ident[0] >= '0' && ident[0] <= '9') return false;
+      if (IsKeyishIdent(ident)) return true;
+      if (i >= 1 && code[i - 1] == '.') {
+        --i;
+        continue;
+      }
+      if (i >= 2 && code[i - 2] == '-' && code[i - 1] == '>') {
+        i -= 2;
+        continue;
+      }
+      return false;
+    }
+  }
+
+  static bool KeyishChainStartingAt(const std::string& code, size_t pos) {
+    while (true) {
+      while (pos < code.size() && code[pos] == ' ') ++pos;
+      size_t start = pos;
+      while (pos < code.size() && IsIdentChar(code[pos])) ++pos;
+      if (pos == start) return false;
+      std::string ident = code.substr(start, pos - start);
+      if (ident[0] >= '0' && ident[0] <= '9') return false;
+      if (IsKeyishIdent(ident)) return true;
+      if (pos < code.size() && code[pos] == '.') {
+        ++pos;
+        continue;
+      }
+      if (pos + 1 < code.size() && code[pos] == '-' &&
+          code[pos + 1] == '>') {
+        pos += 2;
+        continue;
+      }
+      return false;
+    }
+  }
+
+  static bool NumericTokenEndingAt(const std::string& code, size_t end) {
+    size_t i = end;
+    while (i > 0 && code[i - 1] == ' ') --i;
+    size_t stop = i;
+    while (i > 0 && (IsIdentChar(code[i - 1]) || code[i - 1] == '\'')) --i;
+    return i < stop && code[i] >= '0' && code[i] <= '9';
+  }
+
+  static bool NumericTokenStartingAt(const std::string& code, size_t pos) {
+    while (pos < code.size() && code[pos] == ' ') ++pos;
+    return pos < code.size() && code[pos] >= '0' && code[pos] <= '9';
+  }
+
+  void CheckShardKeyArithmetic() {
+    // The sanctioned homes for raw Morton-key bit surgery: the codec
+    // itself, the hash-directory codecs built on the same interleave,
+    // and the shard key-range algebra. Everywhere else must go through
+    // their helpers (CodeOfPoint, DescendantRange, KeyRange/CoverBlocks,
+    // ShardKeyOfPoint, ...) so depth bounds and the canonical staircase
+    // invariants live in exactly one place.
+    for (const char* allowed :
+         {"src/spatial/morton.h", "src/spatial/morton.cc",
+          "src/spatial/hash_codec.h", "src/spatial/hash_codec.cc",
+          "src/spatial/excell.h", "src/spatial/excell.cc",
+          "src/shard/key_range.h", "src/shard/key_range.cc"}) {
+      if (EndsWith(path_, allowed)) return;
+    }
+    const std::string shift_msg =
+        "raw shift on a Morton-key identifier outside the codec/"
+        "key-range layer; use the spatial::Morton* / shard::KeyRange "
+        "helpers so depth bounds stay in one place";
+    const std::string mask_msg =
+        "raw mask arithmetic on a Morton-key identifier outside the "
+        "codec/key-range layer; use the spatial::Morton* / "
+        "shard::KeyRange helpers so depth bounds stay in one place";
+    for (size_t li = 0; li < model_.lines.size(); ++li) {
+      const std::string& code = model_.lines[li].code;
+      for (size_t pos = 0; pos + 1 < code.size(); ++pos) {
+        char c = code[pos];
+        char next = code[pos + 1];
+        if ((c == '<' && next == '<') || (c == '>' && next == '>')) {
+          size_t after = pos + 2;
+          bool compound = after < code.size() && code[after] == '=';
+          if (!compound) {
+            // A second <</>> earlier on the line is stream piping
+            // (chained insertion/extraction), not arithmetic.
+            if (code.find("<<") < pos || code.find(">>") < pos) {
+              ++pos;
+              continue;
+            }
+            // Binary shifts are spaced (clang-format); "Range>>" is a
+            // template closer and "cout<<x" never occurs in-tree.
+            if (after >= code.size() || code[after] != ' ') {
+              ++pos;
+              continue;
+            }
+          }
+          if (pos == 0 || code[pos - 1] != ' ') {
+            ++pos;
+            continue;
+          }
+          if (KeyishChainEndingAt(code, pos)) {
+            Report("shard-key-arithmetic", li, shift_msg);
+          }
+          ++pos;
+          continue;
+        }
+        if (c == '&' || c == '|' || c == '^') {
+          if (next == c) {  // && and || are logical, not masks
+            ++pos;
+            continue;
+          }
+          if (pos == 0 || code[pos - 1] != ' ') continue;
+          if (next == '=') {
+            // Compound mask assignment: the target IS being rewritten.
+            if (KeyishChainEndingAt(code, pos)) {
+              Report("shard-key-arithmetic", li, mask_msg);
+            }
+            ++pos;
+            continue;
+          }
+          if (next != ' ') continue;  // reference/address-of spellings
+          bool left_key = KeyishChainEndingAt(code, pos);
+          bool right_key = KeyishChainStartingAt(code, pos + 1);
+          bool left_num = NumericTokenEndingAt(code, pos);
+          bool right_num = NumericTokenStartingAt(code, pos + 1);
+          if ((left_key && right_num) || (left_num && right_key)) {
+            Report("shard-key-arithmetic", li, mask_msg);
+          }
+        }
       }
     }
   }

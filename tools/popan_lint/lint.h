@@ -77,10 +77,24 @@ namespace popan::lint {
 ///                          outside the sanctioned homes: the ThreadPool
 ///                          implementation (src/sim/thread_pool.*) and the
 ///                          storm/traffic harnesses (src/sim/rw_storm.*,
+///                          src/shard/shard_storm.*,
 ///                          src/server/traffic_sim.*). Everything else
 ///                          routes work through sim::ThreadPool so shutdown
 ///                          joins are structural, or carries a reasoned
 ///                          suppression (e.g. a test's server thread).
+///   shard-key-arithmetic   raw bit surgery (shifts, literal masks,
+///                          compound mask assignments) on a Morton-key
+///                          identifier — word parts "key"/"morton", so
+///                          "monkey" never reads as a key — anywhere but
+///                          the codec files (src/spatial/morton.*,
+///                          hash_codec.*, excell.*) and the shard
+///                          key-range algebra (src/shard/key_range.*).
+///                          Key manipulation must go through their
+///                          helpers so depth bounds and the canonical
+///                          staircase invariants live in one place.
+///                          Stream piping (chained << / >>), template
+///                          closers, and generic hash mixing on
+///                          non-key identifiers stay clean.
 ///
 /// Suppression syntax: `// popan-lint: allow(<rule>[, <rule>...])`.
 /// On a line with code it silences that line; on a line of its own it
